@@ -1,0 +1,39 @@
+//! # pluto-analog — circuit-level simulation of the pLUTo DRAM designs
+//!
+//! Reproduces the paper's §8.1 reliability study (Figure 6): transient
+//! simulation of the bitline voltage during a row activation for unmodified
+//! DRAM and for the three pLUTo designs (BSA, GSA, GMC), with Monte Carlo
+//! process variation.
+//!
+//! The authors use LTSpice with Low-Power 22 nm Metal Gate PTM transistor
+//! models and run 100 Monte Carlo iterations at 5 % process variation. We
+//! substitute an explicit-Euler ODE solver over the equivalent RC +
+//! regenerative-sense-amplifier network (see `DESIGN.md` §1): the circuit
+//! *topology* per design follows the paper's Figure 4 exactly —
+//!
+//! * **Baseline / BSA** — 1T1C cell on the bitline; the BSA flip-flop tap
+//!   adds a small capacitive load on the sense node but no new series
+//!   element.
+//! * **GSA** — a matchline-controlled switch *between bitline and sense
+//!   amplifier*: when open, the SA never amplifies and the read is
+//!   destructive; consecutive unprecharged activations accumulate residue,
+//!   making GSA the noisiest design (paper: "the activation procedure is
+//!   the noisiest for pLUTo-GSA").
+//! * **GMC** — a 2T1C cell (extra series transistor) and a gated SA enable:
+//!   an unmatched cell never perturbs its bitline.
+//!
+//! The observable is the same as the paper's: bitline voltage versus time
+//! after wordline assertion, and the pass criteria are the same: correct
+//! sensing in all designs, unchanged activation latency, and disturbances
+//! bounded to ≈ 1 % of the reference voltage.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod circuit;
+pub mod montecarlo;
+pub mod params;
+
+pub use circuit::{simulate_activation, ActivationScenario, Transient};
+pub use montecarlo::{MonteCarlo, MonteCarloSummary};
+pub use params::{CircuitParams, DesignVariant};

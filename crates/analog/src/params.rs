@@ -1,0 +1,145 @@
+//! Circuit parameters for the 22 nm low-power DRAM cell model.
+//!
+//! Nominal values follow published figures for 2x-nm DRAM arrays (cell
+//! capacitance ≈ 24 fF, bitline capacitance ≈ 85 fF, access transistor
+//! on-resistance in the 10–20 kΩ range) and the Low-Power PTM supply of
+//! 0.8 V used by the paper's LTSpice decks.
+
+use std::fmt;
+
+/// Which hardware design's equivalent circuit is simulated (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignVariant {
+    /// Unmodified commodity DRAM (1T1C, always-connected SA).
+    Baseline,
+    /// pLUTo-BSA: SA plus matchline-controlled FF tap (extra sense-node load).
+    Bsa,
+    /// pLUTo-GSA: matchline-controlled switch between bitline and SA.
+    Gsa,
+    /// pLUTo-GMC: 2T1C gated cell plus gated SA enable.
+    Gmc,
+}
+
+impl DesignVariant {
+    /// All four variants in the paper's Figure 6 order.
+    pub const ALL: [DesignVariant; 4] = [
+        DesignVariant::Baseline,
+        DesignVariant::Bsa,
+        DesignVariant::Gsa,
+        DesignVariant::Gmc,
+    ];
+}
+
+impl fmt::Display for DesignVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignVariant::Baseline => write!(f, "Baseline"),
+            DesignVariant::Bsa => write!(f, "pLUTo-BSA"),
+            DesignVariant::Gsa => write!(f, "pLUTo-GSA"),
+            DesignVariant::Gmc => write!(f, "pLUTo-GMC"),
+        }
+    }
+}
+
+/// Electrical parameters of the cell/bitline/sense-amplifier network.
+///
+/// Units: volts, farads, ohms, seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitParams {
+    /// Supply voltage (0.8 V for the low-power 22 nm PTM corner).
+    pub vdd: f64,
+    /// Cell storage capacitance.
+    pub c_cell: f64,
+    /// Bitline parasitic capacitance.
+    pub c_bl: f64,
+    /// Access-transistor on-resistance.
+    pub r_on: f64,
+    /// Series resistance of one matchline-controlled switch (GSA path, and
+    /// the second transistor of the GMC 2T1C cell).
+    pub r_switch: f64,
+    /// Regeneration time constant of the enabled sense amplifier: smaller
+    /// is a stronger amplifier.
+    pub tau_sa: f64,
+    /// Sense-amplifier enable time after wordline assertion (must exceed
+    /// the charge-sharing time for reliable sensing).
+    pub t_sa_enable: f64,
+    /// Extra sense-node load added by the BSA flip-flop tap, as a fraction
+    /// of `c_bl`.
+    pub bsa_ff_load: f64,
+    /// Sense-amplifier input offset (volts); Monte Carlo perturbs this.
+    pub sa_offset: f64,
+    /// Integration time step.
+    pub dt: f64,
+    /// Total simulated time.
+    pub t_end: f64,
+}
+
+impl CircuitParams {
+    /// Nominal 22 nm low-power parameters used throughout the reproduction.
+    pub fn lp22nm() -> Self {
+        CircuitParams {
+            vdd: 0.8,
+            c_cell: 24e-15,
+            c_bl: 85e-15,
+            r_on: 15e3,
+            r_switch: 3e3,
+            tau_sa: 2.5e-9,
+            t_sa_enable: 3e-9,
+            bsa_ff_load: 0.02,
+            sa_offset: 0.0,
+            dt: 10e-12,
+            t_end: 125e-9,
+        }
+    }
+
+    /// Charge-sharing voltage swing: the ±δ developed on a precharged
+    /// bitline when a full/empty cell connects to it,
+    /// `δ = (VDD/2) · C_cell / (C_cell + C_bl)`.
+    pub fn charge_share_delta(&self) -> f64 {
+        (self.vdd / 2.0) * self.c_cell / (self.c_cell + self.c_bl)
+    }
+
+    /// Number of integration steps.
+    pub fn steps(&self) -> usize {
+        (self.t_end / self.dt).round() as usize
+    }
+}
+
+impl Default for CircuitParams {
+    fn default() -> Self {
+        CircuitParams::lp22nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_delta_is_tens_of_millivolts() {
+        let p = CircuitParams::lp22nm();
+        let delta = p.charge_share_delta();
+        assert!(delta > 0.05 && delta < 0.12, "δ = {delta} V");
+    }
+
+    #[test]
+    fn sa_enable_after_charge_sharing_tau() {
+        let p = CircuitParams::lp22nm();
+        // Charge-share time constant: R_on (C_cell ∥ C_bl).
+        let c_ser = p.c_cell * p.c_bl / (p.c_cell + p.c_bl);
+        let tau = p.r_on * c_ser;
+        assert!(p.t_sa_enable > 5.0 * tau, "SA must enable after sharing settles");
+    }
+
+    #[test]
+    fn steps_counts_full_window() {
+        let p = CircuitParams::lp22nm();
+        assert_eq!(p.steps(), 12_500);
+    }
+
+    #[test]
+    fn variants_display() {
+        assert_eq!(DesignVariant::Gmc.to_string(), "pLUTo-GMC");
+        assert_eq!(DesignVariant::ALL.len(), 4);
+    }
+}

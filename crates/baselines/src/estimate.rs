@@ -1,0 +1,156 @@
+//! Roofline runtime/energy estimation: machine spec × workload profile.
+//!
+//! `time = serial_time + max(compute_time, memory_time)` — the classic
+//! roofline with an Amdahl serial term. Energy is busy power integrated
+//! over the runtime. See `DESIGN.md` §1 for why an analytic model stands in
+//! for the authors' real CPU/GPU measurements.
+
+use crate::machine::{Machine, MachineKind};
+use crate::profile::Profile;
+
+/// Clock rate of the host core that executes serial reductions for the
+/// CPU/GPU/FPGA baselines (the CRC merge step, §8.2).
+const SERIAL_HOST_HZ: f64 = 2.3e9;
+
+/// A runtime/energy estimate for one workload on one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Runtime in seconds.
+    pub secs: f64,
+    /// Energy in joules.
+    pub joules: f64,
+    /// Throughput in input bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+/// Estimates the runtime of processing `bytes` of input.
+pub fn runtime_secs(machine: &Machine, profile: &Profile, bytes: f64) -> f64 {
+    assert!(bytes >= 0.0, "negative input volume");
+    let parallel_bytes = bytes * (1.0 - profile.serial_fraction);
+    let cycles_per_byte = match machine.kind {
+        MachineKind::Cpu => profile.cpu_cycles_per_byte,
+        MachineKind::Gpu => profile.gpu_cycles_per_byte,
+        MachineKind::Fpga => 1.0 / profile.fpga_bytes_per_cycle,
+        MachineKind::Pnm => profile.pnm_cycles_per_byte,
+    };
+    let compute = parallel_bytes * cycles_per_byte / (machine.freq_hz * machine.lanes);
+    let memory = parallel_bytes * profile.mem_traffic_factor / machine.mem_bw;
+    // Serial reductions run on the host core (or the PnM logic-layer core).
+    let serial_hz = match machine.kind {
+        MachineKind::Pnm => machine.freq_hz,
+        _ => SERIAL_HOST_HZ,
+    };
+    let serial = bytes * profile.serial_fraction * profile.cpu_cycles_per_byte / serial_hz;
+    serial + compute.max(memory)
+}
+
+/// Estimates the energy of processing `bytes` of input.
+pub fn energy_joules(machine: &Machine, profile: &Profile, bytes: f64) -> f64 {
+    runtime_secs(machine, profile, bytes) * machine.power_w
+}
+
+/// Full estimate for one workload on one machine.
+pub fn estimate(machine: &Machine, profile: &Profile, bytes: f64) -> Estimate {
+    let secs = runtime_secs(machine, profile, bytes);
+    Estimate {
+        secs,
+        joules: secs * machine.power_w,
+        bytes_per_sec: if secs > 0.0 { bytes / secs } else { f64::INFINITY },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::profile::{workload_profile, WorkloadId};
+
+    const MB: f64 = 1e6;
+
+    #[test]
+    fn gpu_much_faster_than_cpu_on_parallel_workloads() {
+        // Fig. 7: the GPU sits orders of magnitude above the CPU for the
+        // data-parallel workloads.
+        let cpu = Machine::xeon_gold_5118();
+        let gpu = Machine::rtx_3080_ti();
+        for id in [WorkloadId::Salsa20, WorkloadId::Vmpc, WorkloadId::ImgBin] {
+            let p = workload_profile(id);
+            let s = runtime_secs(&cpu, &p, 100.0 * MB) / runtime_secs(&gpu, &p, 100.0 * MB);
+            assert!(s > 20.0, "{id}: GPU speedup {s}");
+        }
+    }
+
+    #[test]
+    fn crc_serial_reduction_caps_gpu_gains() {
+        // §8.2: "The speedup in these workloads is bottlenecked by a serial
+        // reduction step".
+        let cpu = Machine::xeon_gold_5118();
+        let gpu = Machine::rtx_3080_ti();
+        let crc = workload_profile(WorkloadId::Crc8);
+        let salsa = workload_profile(WorkloadId::Salsa20);
+        let crc_speedup =
+            runtime_secs(&cpu, &crc, 100.0 * MB) / runtime_secs(&gpu, &crc, 100.0 * MB);
+        let salsa_speedup =
+            runtime_secs(&cpu, &salsa, 100.0 * MB) / runtime_secs(&gpu, &salsa, 100.0 * MB);
+        assert!(crc_speedup < salsa_speedup);
+    }
+
+    #[test]
+    fn imgbin_is_memory_bound_on_cpu_and_gpu() {
+        let gpu = Machine::rtx_3080_ti();
+        let p = workload_profile(WorkloadId::ImgBin);
+        let t = runtime_secs(&gpu, &p, 100.0 * MB);
+        let mem_time = 100.0 * MB * p.mem_traffic_factor / gpu.mem_bw;
+        assert!((t - mem_time).abs() / mem_time < 1e-9, "GPU ImgBin is bw-bound");
+    }
+
+    #[test]
+    fn pnm_beats_cpu_on_bulk_bitwise() {
+        // Row-level bitwise ops are Ambit's native territory — the PnM
+        // baseline's one large win over the CPU.
+        let cpu = Machine::xeon_gold_5118();
+        let pnm = Machine::hmc_pnm();
+        let p = workload_profile(WorkloadId::BitwiseRow);
+        let s = runtime_secs(&cpu, &p, 100.0 * MB) / runtime_secs(&pnm, &p, 100.0 * MB);
+        assert!(s > 5.0, "PnM speedup {s}");
+        // Threshold compares are bit-serial on PnM: a smaller win.
+        let p = workload_profile(WorkloadId::ImgBin);
+        let s = runtime_secs(&cpu, &p, 100.0 * MB) / runtime_secs(&pnm, &p, 100.0 * MB);
+        assert!(s > 1.0 && s < 20.0, "PnM ImgBin speedup {s}");
+    }
+
+    #[test]
+    fn energy_scales_with_power() {
+        let cpu = Machine::xeon_gold_5118();
+        let p = workload_profile(WorkloadId::Vmpc);
+        let e = energy_joules(&cpu, &p, 10.0 * MB);
+        let t = runtime_secs(&cpu, &p, 10.0 * MB);
+        assert!((e - t * cpu.power_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_linear_in_volume() {
+        let gpu = Machine::rtx_3080_ti();
+        let p = workload_profile(WorkloadId::Salsa20);
+        let t1 = runtime_secs(&gpu, &p, 10.0 * MB);
+        let t2 = runtime_secs(&gpu, &p, 20.0 * MB);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_bundles_consistently() {
+        let cpu = Machine::xeon_gold_5118();
+        let p = workload_profile(WorkloadId::Crc32);
+        let e = estimate(&cpu, &p, MB);
+        assert!((e.joules - e.secs * cpu.power_w).abs() < 1e-12);
+        assert!((e.bytes_per_sec - MB / e.secs).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative input volume")]
+    fn rejects_negative_volume() {
+        let cpu = Machine::xeon_gold_5118();
+        let p = workload_profile(WorkloadId::Crc8);
+        let _ = runtime_secs(&cpu, &p, -1.0);
+    }
+}

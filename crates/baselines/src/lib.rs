@@ -1,0 +1,36 @@
+//! # pluto-baselines — baseline machine models for the pLUTo evaluation
+//!
+//! The paper compares pLUTo against five baselines (§7): a real Intel Xeon
+//! Gold 5118 CPU, a real NVIDIA RTX 3080 Ti GPU (P100 for the Table 7 QNN
+//! study), a simulated HMC-based Processing-near-Memory device with Ambit
+//! bitwise + DRISA shift support, a Xilinx ZCU102 FPGA evaluated through
+//! HLS synthesis, and four prior Processing-using-Memory architectures
+//! (Ambit, SIMDRAM, LAcc, DRISA; Table 6).
+//!
+//! We do not have the authors' hardware, so these are analytic *roofline*
+//! models: each machine is described by its published compute and
+//! memory-bandwidth capabilities, and each workload by per-machine cost
+//! descriptors (cycles per byte, row-level operation counts). The models
+//! preserve the *shape* of the paper's comparisons — who wins, by what
+//! order of magnitude, and where crossovers fall — which is what the
+//! reproduction validates (see `DESIGN.md` §1 and `EXPERIMENTS.md`).
+//!
+//! * [`machine`] — machine specs (frequency, lanes, bandwidth, power, area)
+//!   with presets for every evaluated device.
+//! * [`profile`] — per-workload cost descriptors for each machine class.
+//! * [`estimate`] — runtime/energy estimation from spec × profile.
+//! * [`pum`] — prior-PuM op-level models (Ambit, SIMDRAM, LAcc, DRISA) for
+//!   Table 6 and the Fig. 12b multiplication scaling study.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod estimate;
+pub mod machine;
+pub mod profile;
+pub mod pum;
+
+pub use estimate::{energy_joules, runtime_secs, Estimate};
+pub use machine::{Machine, MachineKind};
+pub use profile::{workload_profile, Profile, WorkloadId};
+pub use pum::{PumArch, PumOp};

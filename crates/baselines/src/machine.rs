@@ -1,0 +1,163 @@
+//! Machine specifications for the evaluated baselines.
+//!
+//! Each spec carries the published headline capabilities of the device the
+//! paper used (§7.1, Table 3). The roofline estimator in
+//! [`crate::estimate`] combines these with per-workload cost descriptors.
+
+use std::fmt;
+
+/// Which baseline device class a spec describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachineKind {
+    /// General-purpose out-of-order CPU.
+    Cpu,
+    /// Discrete GPU.
+    Gpu,
+    /// FPGA running an HLS-generated streaming pipeline.
+    Fpga,
+    /// Processing-near-Memory: cores in the logic layer of 3D-stacked DRAM.
+    Pnm,
+}
+
+impl fmt::Display for MachineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineKind::Cpu => write!(f, "CPU"),
+            MachineKind::Gpu => write!(f, "GPU"),
+            MachineKind::Fpga => write!(f, "FPGA"),
+            MachineKind::Pnm => write!(f, "PnM"),
+        }
+    }
+}
+
+/// Analytic description of one baseline machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Device class.
+    pub kind: MachineKind,
+    /// Core/PE clock in Hz.
+    pub freq_hz: f64,
+    /// Number of independent execution lanes the estimator may scale
+    /// across (cores × SIMD lanes for CPUs, CUDA cores for GPUs, pipeline
+    /// replicas for FPGAs, logic-layer PEs for PnM).
+    pub lanes: f64,
+    /// Sustained main-memory bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Board/package power while busy, in watts.
+    pub power_w: f64,
+    /// Die area in mm² (used for performance-per-area, Fig. 8).
+    pub area_mm2: f64,
+}
+
+impl Machine {
+    /// Intel Xeon Gold 5118 (§7.1 [103]): 12 cores @ 2.3 GHz, DDR4-2400
+    /// single-channel in the paper's configuration (19.2 GB/s), 105 W TDP,
+    /// ≈ 325 mm² (Skylake-SP LCC die).
+    ///
+    /// The paper's workload kernels are single-threaded SSE loops (the
+    /// per-workload profiles encode their cycles-per-byte), so `lanes`
+    /// counts SIMD bytes per cycle of one core; the cycles-per-byte figures
+    /// already fold in SIMD width.
+    pub fn xeon_gold_5118() -> Self {
+        Machine {
+            name: "Intel Xeon Gold 5118",
+            kind: MachineKind::Cpu,
+            freq_hz: 2.3e9,
+            lanes: 1.0,
+            mem_bw: 19.2e9,
+            power_w: 105.0,
+            area_mm2: 325.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 3080 Ti (§7.1 [104]): 10240 CUDA cores @
+    /// 1.67 GHz, 912 GB/s GDDR6X, 350 W, 628 mm² (GA102).
+    pub fn rtx_3080_ti() -> Self {
+        Machine {
+            name: "NVIDIA RTX 3080 Ti",
+            kind: MachineKind::Gpu,
+            freq_hz: 1.67e9,
+            lanes: 10240.0,
+            mem_bw: 912e9,
+            power_w: 350.0,
+            area_mm2: 628.0,
+        }
+    }
+
+    /// NVIDIA Tesla P100 (§9 [141]): 3584 CUDA cores @ 1.33 GHz, 732 GB/s
+    /// HBM2, 300 W, 610 mm² — the GPU used for the Table 7 QNN study.
+    pub fn tesla_p100() -> Self {
+        Machine {
+            name: "NVIDIA Tesla P100",
+            kind: MachineKind::Gpu,
+            freq_hz: 1.33e9,
+            lanes: 3584.0,
+            mem_bw: 732e9,
+            power_w: 300.0,
+            area_mm2: 610.0,
+        }
+    }
+
+    /// Xilinx Zynq UltraScale+ ZCU102 (§7.1 [105]): HLS pipelines at
+    /// 300 MHz, DDR4 at 19.2 GB/s, ≈ 25 W board power. `lanes` models the
+    /// replicated streaming pipelines HLS instantiates.
+    pub fn zcu102() -> Self {
+        Machine {
+            name: "Xilinx ZCU102",
+            kind: MachineKind::Fpga,
+            freq_hz: 300e6,
+            lanes: 16.0,
+            mem_bw: 19.2e9,
+            power_w: 25.0,
+            area_mm2: 600.0,
+        }
+    }
+
+    /// The paper's PnM baseline (Table 3): HMC model with bulk-bitwise
+    /// (Ambit) and bit-shift (DRISA) support plus an on-die core at
+    /// 1.25 GHz with 10 W TDP; internal bandwidth 320 GB/s (HMC 2.1
+    /// aggregate link bandwidth).
+    pub fn hmc_pnm() -> Self {
+        Machine {
+            name: "HMC PnM (Ambit + DRISA + core)",
+            kind: MachineKind::Pnm,
+            freq_hz: 1.25e9,
+            lanes: 32.0, // one PE per vault
+            mem_bw: 320e9,
+            power_w: 10.0,
+            area_mm2: 70.0, // logic-layer budget comparable to a DRAM die
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_positive_fields() {
+        for m in [
+            Machine::xeon_gold_5118(),
+            Machine::rtx_3080_ti(),
+            Machine::tesla_p100(),
+            Machine::zcu102(),
+            Machine::hmc_pnm(),
+        ] {
+            assert!(m.freq_hz > 0.0 && m.lanes > 0.0 && m.mem_bw > 0.0);
+            assert!(m.power_w > 0.0 && m.area_mm2 > 0.0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn gpu_bandwidth_dwarfs_cpu() {
+        assert!(Machine::rtx_3080_ti().mem_bw / Machine::xeon_gold_5118().mem_bw > 40.0);
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(MachineKind::Pnm.to_string(), "PnM");
+        assert_eq!(Machine::zcu102().kind, MachineKind::Fpga);
+    }
+}

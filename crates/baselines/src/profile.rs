@@ -1,0 +1,211 @@
+//! Per-workload cost descriptors for the baseline machines.
+//!
+//! Each profile captures how expensive one byte of the workload is on each
+//! machine class. The constants are calibrated from public throughput
+//! figures for the respective kernels (table-driven CRC ≈ 0.5 GB/s per
+//! core, SSE Salsa20 ≈ 4–6 cycles/byte, RC4-class serial ciphers ≈ 13
+//! cycles/byte, SIMD threshold ≈ memory speed, …) — see `EXPERIMENTS.md`
+//! for the calibration notes and the resulting paper-vs-measured ratios.
+
+use std::fmt;
+
+/// The evaluated workloads (paper Table 4 + the Fig. 9 micro-workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum WorkloadId {
+    Crc8,
+    Crc16,
+    Crc32,
+    Salsa20,
+    Vmpc,
+    ImgBin,
+    ColorGrade,
+    Add4,
+    Add8,
+    Mul8,
+    Mul16,
+    Bc4,
+    Bc8,
+    MulQ1_7,
+    MulQ1_15,
+    BitwiseRow,
+}
+
+impl WorkloadId {
+    /// The Fig. 7 / Fig. 10 workload set.
+    pub const FIG7: [WorkloadId; 7] = [
+        WorkloadId::Crc8,
+        WorkloadId::Crc16,
+        WorkloadId::Crc32,
+        WorkloadId::Salsa20,
+        WorkloadId::Vmpc,
+        WorkloadId::ImgBin,
+        WorkloadId::ColorGrade,
+    ];
+
+    /// The Fig. 9 (FPGA comparison) workload set.
+    pub const FIG9: [WorkloadId; 10] = [
+        WorkloadId::Add4,
+        WorkloadId::Add8,
+        WorkloadId::Mul8,
+        WorkloadId::Mul16,
+        WorkloadId::Bc4,
+        WorkloadId::Bc8,
+        WorkloadId::Crc8,
+        WorkloadId::Crc16,
+        WorkloadId::Crc32,
+        WorkloadId::ImgBin,
+    ];
+}
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WorkloadId::Crc8 => "CRC-8",
+            WorkloadId::Crc16 => "CRC-16",
+            WorkloadId::Crc32 => "CRC-32",
+            WorkloadId::Salsa20 => "Salsa20",
+            WorkloadId::Vmpc => "VMPC",
+            WorkloadId::ImgBin => "ImgBin",
+            WorkloadId::ColorGrade => "ColorGrade",
+            WorkloadId::Add4 => "ADD4",
+            WorkloadId::Add8 => "ADD8",
+            WorkloadId::Mul8 => "MUL8",
+            WorkloadId::Mul16 => "MUL16",
+            WorkloadId::Bc4 => "BC-4",
+            WorkloadId::Bc8 => "BC-8",
+            WorkloadId::MulQ1_7 => "MUL-Q1.7",
+            WorkloadId::MulQ1_15 => "MUL-Q1.15",
+            WorkloadId::BitwiseRow => "Bitwise",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cost descriptors of one workload across the machine classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Which workload.
+    pub id: WorkloadId,
+    /// Single-core CPU cycles per byte (SSE-optimized kernel).
+    pub cpu_cycles_per_byte: f64,
+    /// Per-CUDA-core cycles per byte of the GPU kernel.
+    pub gpu_cycles_per_byte: f64,
+    /// Bytes processed per cycle by one FPGA pipeline lane.
+    pub fpga_bytes_per_cycle: f64,
+    /// Effective PnM PE cycles per byte (bulk in-memory ops folded in).
+    pub pnm_cycles_per_byte: f64,
+    /// Fraction of the work that is a serial reduction (Amdahl term; the
+    /// CRC workloads' bottleneck, §8.2).
+    pub serial_fraction: f64,
+    /// Main-memory traffic per input byte (read + write).
+    pub mem_traffic_factor: f64,
+}
+
+/// The calibrated profile of each workload.
+pub fn workload_profile(id: WorkloadId) -> Profile {
+    use WorkloadId::*;
+    // CPU figures model the paper's per-element kernels (scalar table
+    // walks and branches dominate; SSE helps only the trivially vectorized
+    // cases). PnM figures charge Ambit/DRISA *bit-serial* costs for
+    // operations the substrate does not support natively (threshold
+    // compares, LUT gathers, wide adds) and logic-layer-core costs for
+    // irregular work — the paper's PnM baseline has no LUT-query primitive.
+    let (cpu, gpu, fpga, pnm, serial, mem) = match id {
+        // Table-driven CRC: serial dependency chain per packet; the final
+        // packet-merge reduction is serial (§8.2: "bottlenecked by a serial
+        // reduction step"). PnM runs the table walk on its 1.25 GHz core.
+        Crc8 | Crc16 | Crc32 => (7.0, 2.0, 1.0, 40.0, 0.02, 2.0),
+        // Salsa20 ≈ 6 cycles/byte/core; PnM needs long bit-serial add
+        // sequences for the 32-bit modular additions.
+        Salsa20 => (6.0, 1.5, 0.5, 48.0, 0.0, 2.0),
+        // VMPC is RC4-class: serial, permutation-chasing, cache-hostile;
+        // the PnM core chases the same dependent loads.
+        Vmpc => (14.0, 4.0, 0.25, 56.0, 0.0, 2.0),
+        // Per-pixel threshold: branchy scalar loop on the CPU; bit-serial
+        // magnitude comparison (≈ 25 row ops per bit-plane set) on PnM.
+        ImgBin => (3.5, 0.25, 8.0, 15.0, 0.0, 2.0),
+        // Per-channel 8-bit grading LUT: gather-limited on CPUs; gathers
+        // are unsupported in-memory, so PnM falls back to its core.
+        ColorGrade => (6.0, 0.5, 2.0, 40.0, 0.0, 2.0),
+        // Narrow adds: Ambit bit-serial addition ≈ 5 row ops per bit.
+        Add4 | Add8 => (1.5, 0.15, 8.0, 4.0, 0.0, 3.0),
+        // Bit-serial multiplication costs a quadratic number of row ops.
+        Mul8 | MulQ1_7 => (2.0, 0.2, 4.0, 24.0, 0.0, 3.0),
+        Mul16 | MulQ1_15 => (3.0, 0.25, 2.0, 90.0, 0.0, 3.0),
+        // Popcount: scalar LUT walk on CPU; bit-serial tree on PnM.
+        Bc4 => (2.5, 0.2, 8.0, 6.0, 0.0, 2.0),
+        Bc8 => (2.5, 0.2, 8.0, 10.0, 0.0, 2.0),
+        // Native Ambit territory: the one workload PnM does at row speed.
+        BitwiseRow => (1.0, 0.15, 8.0, 0.4, 0.0, 3.0),
+    };
+    Profile {
+        id,
+        cpu_cycles_per_byte: cpu,
+        gpu_cycles_per_byte: gpu,
+        fpga_bytes_per_cycle: fpga,
+        pnm_cycles_per_byte: pnm,
+        serial_fraction: serial,
+        mem_traffic_factor: mem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_has_a_profile() {
+        for id in [
+            WorkloadId::Crc8,
+            WorkloadId::Crc16,
+            WorkloadId::Crc32,
+            WorkloadId::Salsa20,
+            WorkloadId::Vmpc,
+            WorkloadId::ImgBin,
+            WorkloadId::ColorGrade,
+            WorkloadId::Add4,
+            WorkloadId::Add8,
+            WorkloadId::Mul8,
+            WorkloadId::Mul16,
+            WorkloadId::Bc4,
+            WorkloadId::Bc8,
+            WorkloadId::MulQ1_7,
+            WorkloadId::MulQ1_15,
+            WorkloadId::BitwiseRow,
+        ] {
+            let p = workload_profile(id);
+            assert!(p.cpu_cycles_per_byte > 0.0, "{id}");
+            assert!(p.mem_traffic_factor >= 1.0, "{id}");
+            assert!((0.0..1.0).contains(&p.serial_fraction), "{id}");
+        }
+    }
+
+    #[test]
+    fn vmpc_is_the_most_cpu_hostile_cipher() {
+        // §8.2.1: VMPC is "very memory-intensive" and serial on CPUs.
+        let vmpc = workload_profile(WorkloadId::Vmpc);
+        let salsa = workload_profile(WorkloadId::Salsa20);
+        assert!(vmpc.cpu_cycles_per_byte > salsa.cpu_cycles_per_byte);
+    }
+
+    #[test]
+    fn only_crc_has_serial_reduction() {
+        for id in WorkloadId::FIG7 {
+            let p = workload_profile(id);
+            let is_crc = matches!(
+                id,
+                WorkloadId::Crc8 | WorkloadId::Crc16 | WorkloadId::Crc32
+            );
+            assert_eq!(p.serial_fraction > 0.0, is_crc, "{id}");
+        }
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(WorkloadId::Crc32.to_string(), "CRC-32");
+        assert_eq!(WorkloadId::ColorGrade.to_string(), "ColorGrade");
+        assert_eq!(WorkloadId::FIG7.len(), 7);
+        assert_eq!(WorkloadId::FIG9.len(), 10);
+    }
+}

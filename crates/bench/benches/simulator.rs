@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the simulator itself: per-design LUT
+//! query execution, the Ambit path, and compiler lowering. These measure
+//! the *reproduction's* performance (host seconds per simulated
+//! operation), complementing the figure harness which reports *simulated*
+//! time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pluto_core::compiler::Graph;
+use pluto_core::lut::catalog;
+use pluto_core::{DesignKind, PlutoMachine};
+use pluto_dram::DramConfig;
+
+fn machine(design: DesignKind) -> PlutoMachine {
+    PlutoMachine::new(
+        DramConfig {
+            row_bytes: 256,
+            burst_bytes: 32,
+            banks: 1,
+            subarrays_per_bank: 32,
+            rows_per_subarray: 512,
+            ..DramConfig::ddr4_2400()
+        },
+        design,
+    )
+    .unwrap()
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lut_query_256rows");
+    let inputs: Vec<u64> = (0..256u64).collect();
+    let lut = catalog::binarize(128).unwrap();
+    for design in DesignKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(design), &design, |b, &d| {
+            let mut m = machine(d);
+            b.iter(|| m.apply(&lut, &inputs).unwrap().values.len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply2_alignment(c: &mut Criterion) {
+    c.bench_function("apply2_mul4_with_alignment", |b| {
+        let mut m = machine(DesignKind::Bsa);
+        let a: Vec<u64> = (0..256u64).map(|i| i % 16).collect();
+        let bb: Vec<u64> = (0..256u64).map(|i| (i * 3) % 16).collect();
+        let lut = catalog::mul(4).unwrap();
+        b.iter(|| m.apply2(&lut, &a, 4, &bb, 4).unwrap().values.len());
+    });
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    c.bench_function("compile_mul_add_graph", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let x = g.input(2);
+            let y = g.input(2);
+            let z = g.input(4);
+            let p = g.combine(catalog::mul(2).unwrap(), x, y);
+            let s = g.combine(catalog::add(4).unwrap(), p, z);
+            g.compile(s, 1024).unwrap().program.instructions.len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_query, bench_apply2_alignment, bench_compiler);
+criterion_main!(benches);

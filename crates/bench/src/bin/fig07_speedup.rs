@@ -1,0 +1,52 @@
+//! Figure 7: speedup of GPU, PnM, and the six pLUTo configurations over
+//! the baseline CPU (paper §8.2). Every pLUTo point is measured by running
+//! the workload's full pLUTo mapping on the command-level simulator (with
+//! functional validation against the reference implementation).
+
+use pluto_baselines::{Machine, WorkloadId};
+use pluto_bench::{
+    baseline_secs, fmt_x, geomean, measure_config, pluto_wall_secs, print_row, quick_mode,
+    PlutoConfig,
+};
+
+fn main() {
+    let ids: Vec<WorkloadId> = if quick_mode() {
+        vec![WorkloadId::Crc8, WorkloadId::Vmpc, WorkloadId::ImgBin, WorkloadId::ColorGrade]
+    } else {
+        WorkloadId::FIG7.to_vec()
+    };
+    let cpu = Machine::xeon_gold_5118();
+    let gpu = Machine::rtx_3080_ti();
+    let pnm = Machine::hmc_pnm();
+
+    let mut headers = vec!["GPU".to_string(), "PnM".to_string()];
+    headers.extend(PlutoConfig::ALL.iter().map(|c| c.label()));
+    println!("Figure 7 — speedup over CPU (higher is better)\n");
+    print_row("workload", &headers);
+
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
+    for &id in &ids {
+        let t_cpu = baseline_secs(id, &cpu);
+        let mut cells = vec![t_cpu / baseline_secs(id, &gpu), t_cpu / baseline_secs(id, &pnm)];
+        for cfg in PlutoConfig::ALL {
+            let cost = measure_config(id, cfg);
+            cells.push(t_cpu / pluto_wall_secs(id, cfg, &cost));
+        }
+        for (s, &v) in series.iter_mut().zip(&cells) {
+            s.push(v);
+        }
+        print_row(&id.to_string(), &cells.iter().map(|&v| fmt_x(v)).collect::<Vec<_>>());
+    }
+    let gmeans: Vec<String> = series.iter().map(|s| fmt_x(geomean(s))).collect();
+    print_row("GMEAN", &gmeans);
+    println!(
+        "\npaper (DDR4): GSA 357x, BSA 713x, GMC 1413x over CPU; \
+         GPU between GSA and BSA; PnM well below all pLUTo designs"
+    );
+    println!("shape checks:");
+    let g = |i: usize| geomean(&series[i]);
+    println!("  GMC > BSA > GSA (DDR4):      {}", g(4) > g(3) && g(3) > g(2));
+    println!("  3DS beats DDR4 per design:   {}", g(5) > g(2) && g(6) > g(3) && g(7) > g(4));
+    println!("  pLUTo geomeans beat PnM:     {}", (2..8).all(|i| g(i) > g(1)));
+    println!("  all pLUTo beat the CPU:      {}", (2..8).all(|i| g(i) > 1.0));
+}

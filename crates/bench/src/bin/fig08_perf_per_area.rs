@@ -1,0 +1,57 @@
+//! Figure 8: speedup per unit area of the GPU and the six pLUTo
+//! configurations, normalized to the CPU (paper §8.2.1). pLUTo's area is
+//! the Table 5 DRAM chip area; 3DS configurations add 4.4 mm² of logic per
+//! vault.
+
+use pluto_baselines::{Machine, WorkloadId};
+use pluto_bench::{
+    baseline_secs, fmt_x, geomean, measure_config, pluto_wall_secs, print_row, quick_mode,
+    PlutoConfig,
+};
+use pluto_core::area::{stacked_vault_overhead_mm2, AreaBreakdown};
+use pluto_dram::MemoryKind;
+
+fn pluto_area_mm2(cfg: PlutoConfig) -> f64 {
+    let chip = AreaBreakdown::for_design(cfg.design).total();
+    match cfg.kind {
+        MemoryKind::Ddr4 => chip,
+        // 32 vaults of added logic on the stacked die.
+        MemoryKind::Stacked3d => chip + 32.0 * stacked_vault_overhead_mm2(),
+    }
+}
+
+fn main() {
+    let ids: Vec<WorkloadId> = if quick_mode() {
+        vec![WorkloadId::Crc8, WorkloadId::Vmpc, WorkloadId::ImgBin]
+    } else {
+        WorkloadId::FIG7.to_vec()
+    };
+    let cpu = Machine::xeon_gold_5118();
+    let gpu = Machine::rtx_3080_ti();
+
+    let mut headers = vec!["GPU".to_string()];
+    headers.extend(PlutoConfig::ALL.iter().map(|c| c.label()));
+    println!("Figure 8 — speedup per unit area over CPU (higher is better)\n");
+    print_row("workload", &headers);
+
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
+    for &id in &ids {
+        let t_cpu = baseline_secs(id, &cpu);
+        let per_area = |speedup: f64, area: f64| speedup / (area / cpu.area_mm2);
+        let mut cells = vec![per_area(t_cpu / baseline_secs(id, &gpu), gpu.area_mm2)];
+        for cfg in PlutoConfig::ALL {
+            let cost = measure_config(id, cfg);
+            let speedup = t_cpu / pluto_wall_secs(id, cfg, &cost);
+            cells.push(per_area(speedup, pluto_area_mm2(cfg)));
+        }
+        for (s, &v) in series.iter_mut().zip(&cells) {
+            s.push(v);
+        }
+        print_row(&id.to_string(), &cells.iter().map(|&v| fmt_x(v)).collect::<Vec<_>>());
+    }
+    let gmeans: Vec<String> = series.iter().map(|s| fmt_x(geomean(s))).collect();
+    print_row("GMEAN", &gmeans);
+    println!("\npaper: every pLUTo design beats both CPU and GPU per unit area by a wide margin");
+    let g = |i: usize| geomean(&series[i]);
+    println!("shape check — all pLUTo above GPU per area: {}", (1..7).all(|i| g(i) > g(0)));
+}

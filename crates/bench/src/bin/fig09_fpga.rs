@@ -1,0 +1,52 @@
+//! Figure 9: speedup of the six pLUTo configurations over the FPGA
+//! baseline on the arithmetic/bit-counting/CRC/binarization micro-workloads
+//! (paper §8.2.2).
+
+use pluto_baselines::{Machine, WorkloadId};
+use pluto_bench::{
+    baseline_secs, fmt_x, geomean, measure_config, pluto_wall_secs, print_row, quick_mode,
+    PlutoConfig,
+};
+
+fn main() {
+    let ids: Vec<WorkloadId> = if quick_mode() {
+        vec![WorkloadId::Add4, WorkloadId::Bc4, WorkloadId::ImgBin]
+    } else {
+        WorkloadId::FIG9.to_vec()
+    };
+    let fpga = Machine::zcu102();
+
+    let headers: Vec<String> = PlutoConfig::ALL.iter().map(|c| c.label()).collect();
+    println!("Figure 9 — speedup over the FPGA baseline (higher is better)\n");
+    print_row("workload", &headers);
+
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
+    let mut small_lut_gain = Vec::new(); // BC4 / ImgBin style
+    let mut wide_op_gain = Vec::new(); // MUL16 style
+    for &id in &ids {
+        let t_fpga = baseline_secs(id, &fpga);
+        let mut cells = Vec::new();
+        for cfg in PlutoConfig::ALL {
+            let cost = measure_config(id, cfg);
+            cells.push(t_fpga / pluto_wall_secs(id, cfg, &cost));
+        }
+        for (s, &v) in series.iter_mut().zip(&cells) {
+            s.push(v);
+        }
+        match id {
+            WorkloadId::Bc4 | WorkloadId::ImgBin => small_lut_gain.push(cells[1]),
+            WorkloadId::Mul16 => wide_op_gain.push(cells[1]),
+            _ => {}
+        }
+        print_row(&id.to_string(), &cells.iter().map(|&v| fmt_x(v)).collect::<Vec<_>>());
+    }
+    let gmeans: Vec<String> = series.iter().map(|s| fmt_x(geomean(s))).collect();
+    print_row("GMEAN", &gmeans);
+    println!("\npaper (DDR4): GSA 160x, BSA 274x, GMC 459x over the FPGA");
+    if !small_lut_gain.is_empty() && !wide_op_gain.is_empty() {
+        println!(
+            "shape check — small-LUT workloads gain most, wide ops least: {}",
+            geomean(&small_lut_gain) > geomean(&wide_op_gain)
+        );
+    }
+}

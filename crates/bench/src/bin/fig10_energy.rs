@@ -1,0 +1,54 @@
+//! Figure 10: energy consumption of the GPU and the six pLUTo
+//! configurations, normalized to the CPU (paper §8.3; higher = less energy
+//! used than the CPU).
+
+use pluto_baselines::{Machine, WorkloadId};
+use pluto_bench::{
+    baseline_joules, fmt_x, geomean, measure_config, print_row, quick_mode, volume_bytes,
+    PlutoConfig,
+};
+use pluto_workloads::runner::scaled_energy;
+
+fn main() {
+    let ids: Vec<WorkloadId> = if quick_mode() {
+        vec![WorkloadId::Crc8, WorkloadId::Vmpc, WorkloadId::ImgBin]
+    } else {
+        WorkloadId::FIG7.to_vec()
+    };
+    let cpu = Machine::xeon_gold_5118();
+    let gpu = Machine::rtx_3080_ti();
+
+    let mut headers = vec!["GPU".to_string()];
+    headers.extend(PlutoConfig::ALL.iter().map(|c| c.label()));
+    println!("Figure 10 — CPU-normalized energy reduction (higher is better)\n");
+    print_row("workload", &headers);
+
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
+    for &id in &ids {
+        let e_cpu = baseline_joules(id, &cpu);
+        let mut cells = vec![e_cpu / baseline_joules(id, &gpu)];
+        for cfg in PlutoConfig::ALL {
+            let cost = measure_config(id, cfg);
+            cells.push(e_cpu / scaled_energy(&cost, volume_bytes(id)));
+        }
+        for (s, &v) in series.iter_mut().zip(&cells) {
+            s.push(v);
+        }
+        print_row(&id.to_string(), &cells.iter().map(|&v| fmt_x(v)).collect::<Vec<_>>());
+    }
+    let gmeans: Vec<String> = series.iter().map(|s| fmt_x(geomean(s))).collect();
+    print_row("GMEAN", &gmeans);
+    println!(
+        "\npaper (DDR4): pLUTo consumes 1362x (GSA), 1855x (BSA), 3071x (GMC) \
+         less energy than the CPU; 29-65x less than the GPU"
+    );
+    let g = |i: usize| geomean(&series[i]);
+    println!("shape checks:");
+    println!("  GMC > BSA > GSA (DDR4):          {}", g(3) > g(2) && g(2) > g(1));
+    println!(
+        "  DDR4 ~8x more efficient than 3DS: {} (ratio {:.1})",
+        (g(1) / g(4) - 8.0).abs() < 2.0,
+        g(1) / g(4)
+    );
+    println!("  all DDR4 pLUTo beat the CPU:     {}", (1..4).all(|i| g(i) > 1.0));
+}

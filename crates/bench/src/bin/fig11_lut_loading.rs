@@ -1,0 +1,32 @@
+//! Figure 11: fraction of total execution time spent loading LUT data,
+//! versus the volume of queried data, for DDR4-resident and SSD-resident
+//! LUTs (paper §8.5).
+
+use pluto_core::design::{DesignKind, DesignModel};
+use pluto_core::loading::{LoadingModel, LutSource};
+use pluto_dram::{EnergyModel, TimingParams};
+
+fn main() {
+    let model = DesignModel::new(
+        DesignKind::Bsa,
+        TimingParams::ddr4_2400(),
+        EnergyModel::ddr4(),
+    );
+    let loading = LoadingModel::paper_default(&model, 8192, 16);
+    println!("Figure 11 — fraction of time spent loading LUTs\n");
+    println!("{:>12} {:>10} {:>10}", "volume (MB)", "DDR4", "SSD");
+    println!("csv: volume_mb,ddr4_fraction,ssd_fraction");
+    for mb in [0.5, 1.0, 1.9, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0, 120.0] {
+        let d = loading.loading_fraction(LutSource::Ddr4Memory, mb * 1e6);
+        let s = loading.loading_fraction(LutSource::M2Ssd, mb * 1e6);
+        println!("{mb:>12.1} {:>9.1}% {:>9.1}%", d * 100.0, s * 100.0);
+        println!("csv: {mb},{d:.4},{s:.4}");
+    }
+    let be = loading.break_even_bytes(LutSource::Ddr4Memory) / 1e6;
+    println!(
+        "\nbreak-even volume (load time = query time, DDR4): {be:.2} MB \
+         (paper: ~1.9 MB)"
+    );
+    let at120 = loading.loading_fraction(LutSource::Ddr4Memory, 120e6);
+    println!("fraction at 120 MB (DDR4): {:.1}% (paper: ~2%)", at120 * 100.0);
+}

@@ -1,0 +1,61 @@
+//! Figure 12: (a) LUT-query throughput and energy versus LUT size for the
+//! three designs; (b) multiplication energy efficiency versus operand bit
+//! width for pLUTo-BSA, SIMDRAM, and the PnM baseline (paper §8.6).
+
+use pluto_baselines::pum;
+use pluto_core::design::{DesignKind, DesignModel};
+use pluto_dram::{EnergyModel, TimingParams};
+
+fn main() {
+    let models: Vec<DesignModel> = DesignKind::ALL
+        .iter()
+        .map(|&k| DesignModel::new(k, TimingParams::ddr4_2400(), EnergyModel::ddr4()))
+        .collect();
+
+    println!("Figure 12a — throughput (queries/s per subarray) and energy (J) vs LUT size\n");
+    println!(
+        "{:>9} {:>13} {:>13} {:>13} {:>12} {:>12} {:>12}",
+        "LUT size", "GSA q/s", "BSA q/s", "GMC q/s", "GSA J", "BSA J", "GMC J"
+    );
+    println!("csv12a: lut_size,gsa_qps,bsa_qps,gmc_qps,gsa_j,bsa_j,gmc_j");
+    for n in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {
+        let tp: Vec<f64> = models
+            .iter()
+            .map(|m| m.throughput_per_subarray(65536, 8, n))
+            .collect();
+        let en: Vec<f64> = models.iter().map(|m| m.query_energy(n).as_joules()).collect();
+        println!(
+            "{n:>9} {:>13.3e} {:>13.3e} {:>13.3e} {:>12.3e} {:>12.3e} {:>12.3e}",
+            tp[1], tp[0], tp[2], en[1], en[0], en[2]
+        );
+        println!(
+            "csv12a: {n},{:.3e},{:.3e},{:.3e},{:.3e},{:.3e},{:.3e}",
+            tp[1], tp[0], tp[2], en[1], en[0], en[2]
+        );
+    }
+    // NOTE: models[] order is [Bsa, Gsa, Gmc] (DesignKind::ALL).
+
+    println!("\nFigure 12b — multiplication energy efficiency (ops/J) vs bit width\n");
+    println!(
+        "{:>9} {:>14} {:>14} {:>14}",
+        "bits", "pLUTo-BSA", "SIMDRAM", "PnM"
+    );
+    println!("csv12b: bits,pluto_ops_per_j,simdram_ops_per_j,pnm_ops_per_j");
+    for bits in [1u32, 2, 4, 8, 16, 32] {
+        let p = pum::mul_ops_per_joule(pum::pluto_mul_energy_nj(bits));
+        let s = pum::mul_ops_per_joule(pum::simdram_mul_energy_nj(bits));
+        let n = pum::mul_ops_per_joule(pum::pnm_mul_energy_nj(bits));
+        println!("{bits:>9} {p:>14.3e} {s:>14.3e} {n:>14.3e}");
+        println!("csv12b: {bits},{p:.3e},{s:.3e},{n:.3e}");
+    }
+    println!("\nshape checks (paper §8.6):");
+    let better_than_simdram = [1u32, 2, 4, 8, 16, 32]
+        .iter()
+        .all(|&b| pum::pluto_mul_energy_nj(b) < pum::simdram_mul_energy_nj(b));
+    println!("  pLUTo >= SIMDRAM at every width: {better_than_simdram}");
+    let low_precision_win = [4u32, 8]
+        .iter()
+        .all(|&b| pum::pluto_mul_energy_nj(b) < pum::pnm_mul_energy_nj(b));
+    let high_precision_loss = pum::pluto_mul_energy_nj(32) > pum::pnm_mul_energy_nj(32);
+    println!("  pLUTo beats PnM at <= 8 bits, loses at 32: {}", low_precision_win && high_precision_loss);
+}

@@ -1,0 +1,68 @@
+//! Figure 14: geometric-mean speedup over the CPU for varying degrees of
+//! subarray-level parallelism, for DDR4 (1–2048 subarrays) and 3D-stacked
+//! (512–8192) memory (paper §8.8).
+
+use pluto_baselines::{Machine, WorkloadId};
+use pluto_bench::{baseline_secs, fmt_x, geomean, measure_config, quick_mode, volume_bytes, PlutoConfig};
+use pluto_core::DesignKind;
+use pluto_dram::{MemoryKind, TimingParams};
+use pluto_workloads::runner::scaled_wall_time;
+
+fn main() {
+    let ids: Vec<WorkloadId> = if quick_mode() {
+        vec![WorkloadId::Crc8, WorkloadId::ImgBin]
+    } else {
+        WorkloadId::FIG7.to_vec()
+    };
+    let cpu = Machine::xeon_gold_5118();
+
+    for kind in [MemoryKind::Ddr4, MemoryKind::Stacked3d] {
+        let (timing, counts): (TimingParams, Vec<usize>) = match kind {
+            MemoryKind::Ddr4 => (
+                TimingParams::ddr4_2400(),
+                vec![1, 4, 16, 64, 256, 1024, 2048],
+            ),
+            MemoryKind::Stacked3d => (
+                TimingParams::hmc_3ds(),
+                vec![512, 1024, 2048, 4096, 8192],
+            ),
+        };
+        println!("\nFigure 14 — {kind}: geomean speedup over CPU vs subarrays\n");
+        println!("{:>10} {:>12} {:>12} {:>12}", "subarrays", "GSA", "BSA", "GMC");
+        println!("csv14-{kind}: subarrays,gsa,bsa,gmc");
+        // Measure each (workload, design) once; sweep parallelism analytically.
+        let costs: Vec<Vec<_>> = DesignKind::ALL
+            .iter()
+            .map(|&design| {
+                ids.iter()
+                    .map(|&id| measure_config(id, PlutoConfig { design, kind }))
+                    .collect()
+            })
+            .collect();
+        let mut last: Vec<f64> = vec![0.0; 3];
+        for &s in &counts {
+            let mut row = Vec::new();
+            for (d, _design) in DesignKind::ALL.iter().enumerate() {
+                let speedups: Vec<f64> = ids
+                    .iter()
+                    .zip(&costs[d])
+                    .map(|(&id, cost)| {
+                        baseline_secs(id, &cpu)
+                            / scaled_wall_time(cost, volume_bytes(id), s, 0.0, &timing)
+                    })
+                    .collect();
+                row.push(geomean(&speedups));
+            }
+            println!(
+                "{s:>10} {:>12} {:>12} {:>12}",
+                fmt_x(row[1]),
+                fmt_x(row[0]),
+                fmt_x(row[2])
+            );
+            println!("csv14-{kind}: {s},{:.3e},{:.3e},{:.3e}", row[1], row[0], row[2]);
+            last = row;
+        }
+        let _ = last;
+        println!("paper: scaling is approximately proportional to the subarray count");
+    }
+}

@@ -1,0 +1,78 @@
+//! Table 1: comparison of the three pLUTo designs' core attributes, with
+//! the closed-form latency/energy evaluated at N = 256 (an 8-bit LUT) and
+//! cross-checked against the command-level engine.
+
+use pluto_core::design::{DesignKind, DesignModel};
+use pluto_core::lut::catalog;
+use pluto_core::query::{QueryExecutor, QueryPlacement};
+use pluto_core::store::LutStore;
+use pluto_dram::{BankId, DramConfig, Engine, EnergyModel, RowId, SubarrayId, TimingParams};
+
+fn main() {
+    let n = 256u64;
+    println!("Table 1 — pLUTo design comparison (N = {n} LUT elements)\n");
+    println!(
+        "{:<22} {:>14} {:>14} {:>14}",
+        "attribute", "pLUTo-BSA", "pLUTo-GSA", "pLUTo-GMC"
+    );
+    let attr = |name: &str, f: &dyn Fn(DesignKind) -> String| {
+        println!(
+            "{:<22} {:>14} {:>14} {:>14}",
+            name,
+            f(DesignKind::Bsa),
+            f(DesignKind::Gsa),
+            f(DesignKind::Gmc)
+        );
+    };
+    attr("area overhead", &|d| format!("{:.1}%", d.area_overhead_fraction() * 100.0));
+    attr("destructive reads", &|d| if d.destructive_reads() { "Yes" } else { "No" }.into());
+    attr("LUT loading", &|d| {
+        if d.reload_per_query() { "every use" } else { "once" }.into()
+    });
+    let model = |d| DesignModel::new(d, TimingParams::ddr4_2400(), EnergyModel::ddr4());
+    attr("query latency", &|d| format!("{}", model(d).query_latency(n)));
+    attr("query energy", &|d| format!("{}", model(d).query_energy(n)));
+    attr("throughput (q/s/SA)", &|d| {
+        format!("{:.3e}", model(d).throughput_per_subarray(65536, 8, n))
+    });
+
+    // Engine cross-check: measured sweep cost equals the closed form.
+    println!("\nengine cross-check (measured vs closed form):");
+    for design in DesignKind::ALL {
+        let cfg = DramConfig {
+            row_bytes: 64,
+            burst_bytes: 8,
+            banks: 1,
+            subarrays_per_bank: 8,
+            rows_per_subarray: 512,
+            ..DramConfig::ddr4_2400()
+        };
+        let mut engine = Engine::new(cfg);
+        let lut = catalog::binarize(128).unwrap();
+        let mut store = LutStore::load(
+            &mut engine,
+            lut,
+            BankId(0),
+            SubarrayId(2),
+            SubarrayId(1),
+            256,
+        )
+        .unwrap();
+        if design.reload_per_query() {
+            store.mark_destroyed(&mut engine).unwrap();
+        }
+        let m = DesignModel::new(design, engine.timing().clone(), engine.energy_model().clone());
+        let mut ex = QueryExecutor::new(&mut engine, design);
+        let inputs: Vec<u64> = (0..64).collect();
+        let (_, cost) = ex
+            .execute(&mut store, QueryPlacement::adjacent(BankId(0), SubarrayId(2)), &inputs, RowId(0), RowId(0))
+            .unwrap();
+        let matches = cost.table1_latency() == m.query_latency(n);
+        println!(
+            "  {design}: measured {} vs model {} -> {}",
+            cost.table1_latency(),
+            m.query_latency(n),
+            if matches { "MATCH" } else { "MISMATCH" }
+        );
+    }
+}

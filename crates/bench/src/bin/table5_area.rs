@@ -1,0 +1,45 @@
+//! Table 5: area breakdown for baseline DRAM and the three pLUTo designs
+//! (paper §8.4).
+
+use pluto_core::area::AreaBreakdown;
+use pluto_core::DesignKind;
+
+fn main() {
+    println!("Table 5 — area breakdown (mm^2)\n");
+    let base = AreaBreakdown::base_dram();
+    let designs: Vec<(String, AreaBreakdown)> = std::iter::once(("Base DRAM".to_string(), base))
+        .chain(
+            DesignKind::ALL
+                .iter()
+                .map(|&d| (d.to_string(), AreaBreakdown::for_design(d))),
+        )
+        .collect();
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12}",
+        "component", designs[0].0, designs[1].0, designs[2].0, designs[3].0
+    );
+    let row = |name: &str, f: &dyn Fn(&AreaBreakdown) -> f64| {
+        println!(
+            "{:<18} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            name,
+            f(&designs[0].1),
+            f(&designs[1].1),
+            f(&designs[2].1),
+            f(&designs[3].1)
+        );
+    };
+    row("DRAM cell", &|a| a.dram_cell);
+    row("local WL driver", &|a| a.local_wl_driver);
+    row("match logic", &|a| a.match_logic);
+    row("match lines", &|a| a.match_lines);
+    row("sense amp", &|a| a.sense_amp);
+    row("row decoder", &|a| a.row_decoder);
+    row("column decoder", &|a| a.column_decoder);
+    row("other", &|a| a.other);
+    row("TOTAL", &|a| a.total());
+    println!();
+    for (name, a) in &designs[1..] {
+        println!("{name}: +{:.1}% over base DRAM", a.overhead_vs_base() * 100.0);
+    }
+    println!("paper: GSA +10.2%, BSA +16.7%, GMC +23.1%");
+}

@@ -1,0 +1,62 @@
+//! Table 7: quantized LeNet-5 inference time and energy on CPU, GPU
+//! (P100), FPGA, and pLUTo-BSA (paper §9), with this reproduction's
+//! modeled estimates next to the published values — plus a live functional
+//! demonstration of the binary XNOR-popcount kernel on the simulator.
+
+use pluto_core::DesignKind;
+use pluto_qnn::lenet::{binary_dot_reference, LeNet5, Precision};
+use pluto_qnn::mnist::SyntheticMnist;
+use pluto_qnn::pluto_exec::{binary_dot_pluto, qnn_machine};
+use pluto_qnn::table7::{modeled, published, published_accuracy_percent, Platform};
+
+fn main() {
+    println!("Table 7 — LeNet-5 inference time (us) and energy (mJ)\n");
+    for precision in [Precision::Bit1, Precision::Bit4] {
+        println!(
+            "{:?} (published accuracy {:.1}%):",
+            precision,
+            published_accuracy_percent(precision)
+        );
+        println!(
+            "  {:<12} {:>11} {:>11} {:>12} {:>12}",
+            "platform", "pub time", "pub energy", "model time", "model energy"
+        );
+        for p in Platform::ALL {
+            let pb = published(p, precision);
+            let md = modeled(p, precision);
+            println!(
+                "  {:<12} {:>9.0}us {:>9.2}mJ {:>10.1}us {:>10.3}mJ",
+                p.to_string(),
+                pb.time_us,
+                pb.energy_mj,
+                md.time_us,
+                md.energy_mj
+            );
+        }
+        let pluto = modeled(Platform::PlutoBsa, precision);
+        let all_faster = [Platform::Cpu, Platform::Gpu, Platform::Fpga]
+            .iter()
+            .all(|&p| modeled(p, precision).time_us > pluto.time_us);
+        println!("  shape check — pLUTo fastest: {all_faster}\n");
+    }
+
+    // Live kernel demonstration: the binary inner product on the simulator.
+    println!("functional demo — binary XNOR-popcount dot product on the simulator:");
+    let net = LeNet5::new(Precision::Bit1, 42);
+    let img = SyntheticMnist::new(3).image(7, 0);
+    let x = net.quantize_input(&img);
+    let a_bits: Vec<u8> = x.data()[..128].iter().map(|&v| u8::from(v > 0)).collect();
+    let b_bits: Vec<u8> = net.fc1.weights[..128].iter().map(|&w| u8::from(w > 0)).collect();
+    let mut m = qnn_machine(DesignKind::Bsa).unwrap();
+    let out = binary_dot_pluto(&mut m, &[a_bits.clone()], &[b_bits.clone()]).unwrap();
+    let expect = binary_dot_reference(&a_bits, &b_bits);
+    println!(
+        "  pLUTo dot = {}, reference = {}, match = {}, simulated time = {}",
+        out[0],
+        expect,
+        out[0] == expect,
+        m.totals().time
+    );
+    let prediction = net.classify(&img);
+    println!("  full 1-bit LeNet-5 classifies the synthetic '7' as class {prediction}");
+}

@@ -1,0 +1,173 @@
+//! # pluto-bench — harness regenerating every table and figure
+//!
+//! One binary per experiment (see `DESIGN.md` §4 for the full index):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig06_bitline` | Fig. 6 — Monte Carlo bitline transients |
+//! | `fig07_speedup` | Fig. 7 — speedup over CPU |
+//! | `fig08_perf_per_area` | Fig. 8 — speedup per unit area |
+//! | `fig09_fpga` | Fig. 9 — speedup over FPGA |
+//! | `fig10_energy` | Fig. 10 — CPU-normalized energy |
+//! | `fig11_lut_loading` | Fig. 11 — LUT loading overhead |
+//! | `fig12_scalability` | Fig. 12 — LUT-size scaling + mul energy efficiency |
+//! | `fig13_tfaw` | Fig. 13 — tFAW sensitivity |
+//! | `fig14_salp` | Fig. 14 — subarray-level-parallelism scaling |
+//! | `table1_designs` | Table 1 — design comparison |
+//! | `table5_area` | Table 5 — area breakdown |
+//! | `table6_pum` | Table 6 — prior-PuM comparison |
+//! | `table7_qnn` | Table 7 — LeNet-5 inference |
+//!
+//! Binaries print the paper's rows/series as aligned tables plus CSV. Set
+//! `PLUTO_QUICK=1` to shrink the expensive measurement runs (Salsa20,
+//! CRC-32) for smoke testing.
+
+#![warn(missing_docs)]
+
+use pluto_baselines::{estimate, machine::Machine, profile, WorkloadId};
+use pluto_core::DesignKind;
+use pluto_dram::MemoryKind;
+use pluto_workloads::runner::{self, PlutoCost};
+
+/// Input volume used when scaling workload costs (bytes).
+pub fn volume_bytes(id: WorkloadId) -> f64 {
+    match id {
+        // The paper's image workloads are one 936 000-pixel 3-channel image.
+        WorkloadId::ImgBin | WorkloadId::ColorGrade => 936_000.0 * 3.0,
+        // Packet workloads: 100 MB streams.
+        _ => 100e6,
+    }
+}
+
+/// The six pLUTo configurations of Figs. 7, 8, 10 (design × memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlutoConfig {
+    /// The hardware design.
+    pub design: DesignKind,
+    /// DDR4 or 3D-stacked memory.
+    pub kind: MemoryKind,
+}
+
+impl PlutoConfig {
+    /// The paper's six configurations, in figure legend order.
+    pub const ALL: [PlutoConfig; 6] = [
+        PlutoConfig { design: DesignKind::Gsa, kind: MemoryKind::Ddr4 },
+        PlutoConfig { design: DesignKind::Bsa, kind: MemoryKind::Ddr4 },
+        PlutoConfig { design: DesignKind::Gmc, kind: MemoryKind::Ddr4 },
+        PlutoConfig { design: DesignKind::Gsa, kind: MemoryKind::Stacked3d },
+        PlutoConfig { design: DesignKind::Bsa, kind: MemoryKind::Stacked3d },
+        PlutoConfig { design: DesignKind::Gmc, kind: MemoryKind::Stacked3d },
+    ];
+
+    /// Figure legend label.
+    pub fn label(&self) -> String {
+        match self.kind {
+            MemoryKind::Ddr4 => format!("{}", self.design),
+            MemoryKind::Stacked3d => format!("{}-3DS", self.design),
+        }
+    }
+
+    /// Default subarray-level parallelism (Table 3: 16 for DDR4, 512 for
+    /// 3DS).
+    pub fn subarrays(&self) -> usize {
+        match self.kind {
+            MemoryKind::Ddr4 => 16,
+            MemoryKind::Stacked3d => 512,
+        }
+    }
+}
+
+/// Measures (and caches nothing — callers decide) the pLUTo cost of a
+/// workload under one configuration, panicking with context on failure.
+pub fn measure_config(id: WorkloadId, cfg: PlutoConfig) -> PlutoCost {
+    let cost = runner::measure_on(id, cfg.design, cfg.kind)
+        .unwrap_or_else(|e| panic!("measuring {id} on {}: {e}", cfg.label()));
+    assert!(cost.validated, "{id} failed functional validation on {}", cfg.label());
+    cost
+}
+
+/// pLUTo wall-clock seconds for a workload volume under one configuration.
+pub fn pluto_wall_secs(id: WorkloadId, cfg: PlutoConfig, cost: &PlutoCost) -> f64 {
+    let timing = match cfg.kind {
+        MemoryKind::Ddr4 => pluto_dram::TimingParams::ddr4_2400(),
+        MemoryKind::Stacked3d => pluto_dram::TimingParams::hmc_3ds(),
+    };
+    runner::scaled_wall_time(cost, volume_bytes(id), cfg.subarrays(), 0.0, &timing)
+}
+
+/// Baseline runtime in seconds for a workload volume.
+pub fn baseline_secs(id: WorkloadId, machine: &Machine) -> f64 {
+    estimate::runtime_secs(machine, &profile::workload_profile(id), volume_bytes(id))
+}
+
+/// Baseline energy in joules for a workload volume.
+pub fn baseline_joules(id: WorkloadId, machine: &Machine) -> f64 {
+    estimate::energy_joules(machine, &profile::workload_profile(id), volume_bytes(id))
+}
+
+/// Geometric mean of a slice.
+///
+/// # Panics
+/// Panics on an empty slice or non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Prints a row of an aligned table.
+pub fn print_row(first: &str, cells: &[String]) {
+    print!("{first:<14}");
+    for c in cells {
+        print!(" {c:>13}");
+    }
+    println!();
+}
+
+/// Formats a speedup-style number compactly.
+pub fn fmt_x(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}x")
+    } else if v >= 1.0 {
+        format!("{v:.1}x")
+    } else {
+        format!("{v:.2}x")
+    }
+}
+
+/// Whether quick mode is enabled (`PLUTO_QUICK=1`).
+pub fn quick_mode() -> bool {
+    std::env::var("PLUTO_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 16.0]) - 8.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_labels_and_parallelism() {
+        assert_eq!(PlutoConfig::ALL[1].label(), "pLUTo-BSA");
+        assert_eq!(PlutoConfig::ALL[4].label(), "pLUTo-BSA-3DS");
+        assert_eq!(PlutoConfig::ALL[0].subarrays(), 16);
+        assert_eq!(PlutoConfig::ALL[3].subarrays(), 512);
+    }
+
+    #[test]
+    fn volumes_positive() {
+        for id in WorkloadId::FIG7 {
+            assert!(volume_bytes(id) > 0.0);
+        }
+    }
+}

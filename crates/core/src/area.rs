@@ -1,0 +1,174 @@
+//! DRAM chip area model (paper §8.4, Table 5).
+//!
+//! The paper derives component areas from transistor-count estimates on top
+//! of CACTI 7's DDR4 model. We encode the published Table 5 breakdown
+//! directly (in mm²) and expose the per-design overhead fractions the rest
+//! of the evaluation uses (performance-per-area, Fig. 8; Table 6 rows).
+
+use crate::design::DesignKind;
+use std::fmt;
+
+/// Component-level area breakdown of one DRAM chip variant, in mm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// DRAM cell array (2T1C inflates this for GMC).
+    pub dram_cell: f64,
+    /// Local wordline drivers.
+    pub local_wl_driver: f64,
+    /// pLUTo match logic (zero for baseline DRAM).
+    pub match_logic: f64,
+    /// Matchlines (zero for baseline DRAM).
+    pub match_lines: f64,
+    /// Sense amplifiers (grows with m-c switches / FF buffer).
+    pub sense_amp: f64,
+    /// Row decoder (grows with sweep support).
+    pub row_decoder: f64,
+    /// Column decoder.
+    pub column_decoder: f64,
+    /// Everything else (I/O, pads, …).
+    pub other: f64,
+}
+
+impl AreaBreakdown {
+    /// Baseline commodity DRAM chip (Table 5 "Base DRAM", 70.23 mm²).
+    pub fn base_dram() -> Self {
+        AreaBreakdown {
+            dram_cell: 45.23,
+            local_wl_driver: 12.45,
+            match_logic: 0.0,
+            match_lines: 0.0,
+            sense_amp: 11.40,
+            row_decoder: 0.16,
+            column_decoder: 0.01,
+            other: 0.99,
+        }
+    }
+
+    /// Area breakdown for one pLUTo design (Table 5 columns).
+    pub fn for_design(design: DesignKind) -> Self {
+        let base = AreaBreakdown::base_dram();
+        match design {
+            // GSA: +20 % of SA area for the m-c switch per bitline.
+            DesignKind::Gsa => AreaBreakdown {
+                match_logic: 4.61,
+                match_lines: 0.02,
+                sense_amp: 13.67,
+                row_decoder: 0.47,
+                ..base
+            },
+            // BSA: +60 % of SA area for m-c switch + FF buffer.
+            DesignKind::Bsa => AreaBreakdown {
+                match_logic: 4.61,
+                match_lines: 0.02,
+                sense_amp: 18.23,
+                row_decoder: 0.47,
+                ..base
+            },
+            // GMC: 2T1C cell — access-transistor area (≈ 15.1 mm² of the
+            // cell array) doubles; SA unchanged.
+            DesignKind::Gmc => AreaBreakdown {
+                dram_cell: 56.53,
+                match_logic: 4.61,
+                match_lines: 0.02,
+                sense_amp: 11.40,
+                row_decoder: 0.47,
+                ..base
+            },
+        }
+    }
+
+    /// Total chip area in mm².
+    pub fn total(&self) -> f64 {
+        self.dram_cell
+            + self.local_wl_driver
+            + self.match_logic
+            + self.match_lines
+            + self.sense_amp
+            + self.row_decoder
+            + self.column_decoder
+            + self.other
+    }
+
+    /// Overhead of this variant relative to baseline DRAM, as a fraction.
+    pub fn overhead_vs_base(&self) -> f64 {
+        self.total() / AreaBreakdown::base_dram().total() - 1.0
+    }
+}
+
+impl fmt::Display for AreaBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell={:.2} lwl={:.2} match={:.2}+{:.2} sa={:.2} rdec={:.2} cdec={:.2} other={:.2} total={:.2} mm^2",
+            self.dram_cell,
+            self.local_wl_driver,
+            self.match_logic,
+            self.match_lines,
+            self.sense_amp,
+            self.row_decoder,
+            self.column_decoder,
+            self.other,
+            self.total()
+        )
+    }
+}
+
+/// Area overhead of a pLUTo-3DS (HMC-based) design, following the paper's
+/// Fig. 8 assumption of 4.4 mm² of logic per vault on top of the vault's
+/// DRAM area.
+pub fn stacked_vault_overhead_mm2() -> f64 {
+    4.4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_total_matches_table5() {
+        assert!((AreaBreakdown::base_dram().total() - 70.23).abs() < 0.01);
+    }
+
+    #[test]
+    fn design_totals_match_table5() {
+        let gsa = AreaBreakdown::for_design(DesignKind::Gsa).total();
+        let bsa = AreaBreakdown::for_design(DesignKind::Bsa).total();
+        let gmc = AreaBreakdown::for_design(DesignKind::Gmc).total();
+        assert!((gsa - 77.44).abs() < 0.01, "GSA total {gsa}");
+        assert!((bsa - 82.00).abs() < 0.01, "BSA total {bsa}");
+        assert!((gmc - 86.47).abs() < 0.02, "GMC total {gmc}");
+    }
+
+    #[test]
+    fn overheads_match_paper_percentages() {
+        // +10.2 %, +16.7 %, +23.1 % (§8.4).
+        let pct = |d| AreaBreakdown::for_design(d).overhead_vs_base() * 100.0;
+        assert!((pct(DesignKind::Gsa) - 10.2).abs() < 0.15, "{}", pct(DesignKind::Gsa));
+        assert!((pct(DesignKind::Bsa) - 16.7).abs() < 0.15, "{}", pct(DesignKind::Bsa));
+        assert!((pct(DesignKind::Gmc) - 23.1).abs() < 0.15, "{}", pct(DesignKind::Gmc));
+    }
+
+    #[test]
+    fn design_kind_fraction_consistent_with_breakdown() {
+        for d in DesignKind::ALL {
+            let table = AreaBreakdown::for_design(d).overhead_vs_base();
+            let flag = d.area_overhead_fraction();
+            assert!((table - flag).abs() < 0.002, "{d}: {table} vs {flag}");
+        }
+    }
+
+    #[test]
+    fn gmc_cell_overhead_is_access_transistor_doubling() {
+        // Base access transistors ≈ 15.1 mm²; GMC doubles them within the
+        // 45.23 mm² cell array: 45.23 + 11.3 ≈ 56.53.
+        let base = AreaBreakdown::base_dram().dram_cell;
+        let gmc = AreaBreakdown::for_design(DesignKind::Gmc).dram_cell;
+        assert!((gmc - base - 11.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let s = AreaBreakdown::base_dram().to_string();
+        assert!(s.contains("cell=45.23") && s.contains("mm^2"), "{s}");
+    }
+}

@@ -1,0 +1,500 @@
+//! The pLUTo Compiler (paper §6.3).
+//!
+//! The compiler's role is to analyze the data dependences between operands
+//! of pLUTo Library routines and to guarantee correct *allocation* and
+//! *alignment*: binary LUT operations consume the concatenation of their
+//! operands, so the left operand must be shifted into the high bits of each
+//! slot and merged with the right operand using a bitwise OR before the
+//! `pluto_op` executes (the paper's Fig. 5 d: shift-A-left → OR → LUT).
+//!
+//! Programs are expressed as expression [`Graph`]s and lowered to pLUTo ISA
+//! [`Program`]s for the [`crate::controller::Controller`].
+
+use crate::error::PlutoError;
+use crate::isa::{Instruction, Program, RowReg, ShiftDir, SubarrayReg};
+use crate::lut::Lut;
+use std::collections::HashMap;
+
+/// Identifies a node in an expression graph.
+pub type NodeId = usize;
+
+/// One operation in the data-dependency graph (paper Fig. 5 d).
+#[derive(Debug, Clone)]
+enum Node {
+    /// External input vector of `bits`-wide elements.
+    Input { bits: u32 },
+    /// Unary LUT application: `out = lut[a]`.
+    Map { lut: Lut, a: NodeId },
+    /// Binary LUT application over concatenated operands:
+    /// `out = lut[(a << bits(b)) | b]`.
+    Combine { lut: Lut, a: NodeId, b: NodeId },
+    /// Ambit bitwise AND.
+    And { a: NodeId, b: NodeId },
+    /// Ambit bitwise OR.
+    Or { a: NodeId, b: NodeId },
+    /// Ambit bitwise NOT.
+    Not { a: NodeId },
+}
+
+/// An expression graph describing a pLUTo computation.
+///
+/// Nodes must be created before use, so node ids are already a topological
+/// order.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Declares an external input of `bits`-wide elements.
+    pub fn input(&mut self, bits: u32) -> NodeId {
+        self.push(Node::Input { bits })
+    }
+
+    /// Applies a unary LUT to `a`.
+    pub fn map(&mut self, lut: Lut, a: NodeId) -> NodeId {
+        self.push(Node::Map { lut, a })
+    }
+
+    /// Applies a binary LUT to the concatenation `(a << bits(b)) | b`.
+    pub fn combine(&mut self, lut: Lut, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Node::Combine { lut, a, b })
+    }
+
+    /// Bitwise AND of two nodes (lowered to Ambit).
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Node::And { a, b })
+    }
+
+    /// Bitwise OR of two nodes (lowered to Ambit).
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Node::Or { a, b })
+    }
+
+    /// Bitwise NOT of a node (lowered to Ambit).
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        self.push(Node::Not { a })
+    }
+
+    fn push(&mut self, n: Node) -> NodeId {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    /// Value width (bits) of a node's elements.
+    fn bits(&self, id: NodeId) -> u32 {
+        match &self.nodes[id] {
+            Node::Input { bits } => *bits,
+            Node::Map { lut, .. } | Node::Combine { lut, .. } => lut.output_bits(),
+            Node::And { a, b } | Node::Or { a, b } => self.bits(*a).max(self.bits(*b)),
+            Node::Not { a } => self.bits(*a),
+        }
+    }
+
+    /// Compiles the graph into a pLUTo ISA program computing `output` over
+    /// vectors of `num_elems` elements.
+    ///
+    /// # Errors
+    /// Fails if a `Combine`'s LUT width does not equal the sum of its
+    /// operand widths, or if any value exceeds the program's slot width.
+    pub fn compile(&self, output: NodeId, num_elems: u32) -> Result<Compiled, PlutoError> {
+        if output >= self.nodes.len() {
+            return Err(PlutoError::InvalidProgram {
+                reason: format!("output node {output} does not exist"),
+            });
+        }
+        // The global slot width: every row of the program shares it
+        // (§6.3's alignment guarantee). It must fit each LUT's slots and
+        // every intermediate value.
+        let mut slot_bits = 1u32;
+        for (id, node) in self.nodes.iter().enumerate() {
+            slot_bits = slot_bits.max(self.bits(id));
+            match node {
+                Node::Map { lut, a } => {
+                    if lut.input_bits() != self.bits(*a) {
+                        return Err(PlutoError::InvalidProgram {
+                            reason: format!(
+                                "node {id}: LUT `{}` expects {} input bits, operand has {}",
+                                lut.name(),
+                                lut.input_bits(),
+                                self.bits(*a)
+                            ),
+                        });
+                    }
+                    slot_bits = slot_bits.max(lut.slot_bits());
+                }
+                Node::Combine { lut, a, b } => {
+                    let need = self.bits(*a) + self.bits(*b);
+                    if lut.input_bits() != need {
+                        return Err(PlutoError::InvalidProgram {
+                            reason: format!(
+                                "node {id}: LUT `{}` expects {} input bits, concatenated operands have {}",
+                                lut.name(),
+                                lut.input_bits(),
+                                need
+                            ),
+                        });
+                    }
+                    slot_bits = slot_bits.max(lut.slot_bits());
+                }
+                _ => {}
+            }
+        }
+
+        let mut instructions = Vec::new();
+        let mut luts: Vec<Lut> = Vec::new();
+        let mut lut_regs: HashMap<String, SubarrayReg> = HashMap::new();
+        let mut next_row_reg: u16 = 0;
+        let mut alloc = |instructions: &mut Vec<Instruction>, bits: u32| {
+            let reg = RowReg(next_row_reg);
+            next_row_reg += 1;
+            instructions.push(Instruction::RowAlloc {
+                dst: reg,
+                size: num_elems,
+                bitwidth: bits,
+            });
+            reg
+        };
+
+        // Registers for graph nodes, in topological (= id) order.
+        let mut node_reg: Vec<RowReg> = Vec::with_capacity(self.nodes.len());
+        let mut inputs = Vec::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            let reg = alloc(&mut instructions, self.bits(id));
+            node_reg.push(reg);
+            if let Node::Input { bits } = node {
+                inputs.push((reg, *bits));
+            }
+        }
+
+        // LUT subarray allocations (deduplicated by name).
+        let mut ensure_lut = |instructions: &mut Vec<Instruction>, lut: &Lut| -> SubarrayReg {
+            if let Some(&r) = lut_regs.get(lut.name()) {
+                return r;
+            }
+            let r = SubarrayReg(lut_regs.len() as u16);
+            lut_regs.insert(lut.name().to_string(), r);
+            luts.push(lut.clone());
+            instructions.push(Instruction::SubarrayAlloc {
+                dst: r,
+                num_rows: lut.len() as u32,
+                lut_name: lut.name().to_string(),
+            });
+            r
+        };
+
+        for (id, node) in self.nodes.iter().enumerate() {
+            match node {
+                Node::Input { .. } => {}
+                Node::Map { lut, a } => {
+                    let lr = ensure_lut(&mut instructions, lut);
+                    // Zero-padded inputs already sit slot-aligned; the LUT
+                    // consumes them directly. Note: lut.slot_bits() may be
+                    // below the global slot width; re-tabulate such LUTs at
+                    // the global width so one packing works everywhere.
+                    instructions.push(Instruction::Op {
+                        dst: node_reg[id],
+                        src: node_reg[*a],
+                        lut: lr,
+                        lut_size: lut.len() as u32,
+                        lut_bitw: lut.slot_bits(),
+                    });
+                }
+                Node::Combine { lut, a, b } => {
+                    let lr = ensure_lut(&mut instructions, lut);
+                    // §6.3 alignment: copy A, shift it left by bits(B),
+                    // merge with B via OR, then query.
+                    let shifted = alloc(&mut instructions, self.bits(*a) + self.bits(*b));
+                    let merged = alloc(&mut instructions, self.bits(*a) + self.bits(*b));
+                    instructions.push(Instruction::Move {
+                        dst: shifted,
+                        src: node_reg[*a],
+                    });
+                    instructions.push(Instruction::BitShift {
+                        dir: ShiftDir::Left,
+                        reg: shifted,
+                        amount: self.bits(*b),
+                    });
+                    instructions.push(Instruction::Or {
+                        dst: merged,
+                        src1: shifted,
+                        src2: node_reg[*b],
+                    });
+                    instructions.push(Instruction::Op {
+                        dst: node_reg[id],
+                        src: merged,
+                        lut: lr,
+                        lut_size: lut.len() as u32,
+                        lut_bitw: lut.slot_bits(),
+                    });
+                }
+                Node::And { a, b } => instructions.push(Instruction::And {
+                    dst: node_reg[id],
+                    src1: node_reg[*a],
+                    src2: node_reg[*b],
+                }),
+                Node::Or { a, b } => instructions.push(Instruction::Or {
+                    dst: node_reg[id],
+                    src1: node_reg[*a],
+                    src2: node_reg[*b],
+                }),
+                Node::Not { a } => instructions.push(Instruction::Not {
+                    dst: node_reg[id],
+                    src: node_reg[*a],
+                }),
+            }
+        }
+
+        // Harmonize every LUT to the global slot width: a LUT whose
+        // intrinsic slot is narrower is re-tabulated with padded output so
+        // its rows pack identically to the data rows.
+        let (luts, instructions) = harmonize_slots(luts, instructions, slot_bits)?;
+
+        Ok(Compiled {
+            program: Program {
+                instructions,
+                inputs,
+                output: Some((node_reg[output], self.bits(output))),
+                slot_bits,
+            },
+            luts,
+        })
+    }
+}
+
+/// Re-tabulates LUTs whose slot width is below the program's global slot
+/// width, rewriting the matching instructions' `lut_bitw`.
+fn harmonize_slots(
+    luts: Vec<Lut>,
+    mut instructions: Vec<Instruction>,
+    slot_bits: u32,
+) -> Result<(Vec<Lut>, Vec<Instruction>), PlutoError> {
+    let mut out_luts = Vec::with_capacity(luts.len());
+    let mut renamed: HashMap<String, String> = HashMap::new();
+    for lut in luts {
+        if lut.slot_bits() == slot_bits {
+            out_luts.push(lut);
+            continue;
+        }
+        // Pad by re-declaring the output width at the slot width; element
+        // values are unchanged (zero-padded in the high bits).
+        let padded = Lut::from_table(
+            format!("{}@{}", lut.name(), slot_bits),
+            lut.input_bits(),
+            slot_bits,
+            lut.elements().to_vec(),
+        )?;
+        renamed.insert(lut.name().to_string(), padded.name().to_string());
+        out_luts.push(padded);
+    }
+    if !renamed.is_empty() {
+        for inst in &mut instructions {
+            match inst {
+                Instruction::SubarrayAlloc { lut_name, .. } => {
+                    if let Some(n) = renamed.get(lut_name) {
+                        *lut_name = n.clone();
+                    }
+                }
+                Instruction::Op { lut_bitw, .. } => {
+                    *lut_bitw = slot_bits;
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok((out_luts, instructions))
+}
+
+/// A compiled program and the LUTs it references (to be registered with a
+/// [`crate::controller::Controller`]).
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The lowered ISA program.
+    pub program: Program,
+    /// Every LUT the program allocates, deduplicated.
+    pub luts: Vec<Lut>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Controller;
+    use crate::design::DesignKind;
+    use crate::lut::catalog;
+    use pluto_dram::DramConfig;
+
+    fn cfg() -> DramConfig {
+        DramConfig {
+            row_bytes: 64,
+            burst_bytes: 8,
+            banks: 2,
+            subarrays_per_bank: 16,
+            rows_per_subarray: 512,
+            ..DramConfig::ddr4_2400()
+        }
+    }
+
+    fn run(compiled: &Compiled, design: DesignKind, inputs: &[Vec<u64>]) -> Vec<u64> {
+        let mut c = Controller::new(cfg(), design).unwrap();
+        for lut in &compiled.luts {
+            c.register_lut(lut.clone());
+        }
+        c.run(&compiled.program, inputs).unwrap().outputs
+    }
+
+    #[test]
+    fn compiles_unary_map() {
+        let mut g = Graph::new();
+        let x = g.input(4);
+        let y = g.map(catalog::popcount(4).unwrap(), x);
+        let compiled = g.compile(y, 20).unwrap();
+        let inputs: Vec<u64> = (0..20u64).map(|i| i % 16).collect();
+        let out = run(&compiled, DesignKind::Bsa, &[inputs.clone()]);
+        let expect: Vec<u64> = inputs.iter().map(|x| x.count_ones() as u64).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn combine_emits_move_shift_or_op() {
+        // The paper's Fig. 5 c instruction pattern.
+        let mut g = Graph::new();
+        let a = g.input(2);
+        let b = g.input(2);
+        let p = g.combine(catalog::mul(2).unwrap(), a, b);
+        let compiled = g.compile(p, 16).unwrap();
+        let asm = compiled.program.to_assembly();
+        assert!(asm.contains("pluto_move"), "{asm}");
+        assert!(asm.contains("pluto_bit_shift_l"), "{asm}");
+        assert!(asm.contains("pluto_or"), "{asm}");
+        assert!(asm.contains("pluto_op"), "{asm}");
+        // Shift amount equals bits(B).
+        assert!(asm.contains("pluto_bit_shift_l $prg3, 2"), "{asm}");
+    }
+
+    #[test]
+    fn combine_computes_multiplication() {
+        let mut g = Graph::new();
+        let a = g.input(4);
+        let b = g.input(4);
+        let p = g.combine(catalog::mul(4).unwrap(), a, b);
+        let compiled = g.compile(p, 30).unwrap();
+        let av: Vec<u64> = (0..30u64).map(|i| i % 16).collect();
+        let bv: Vec<u64> = (0..30u64).map(|i| (i * 3) % 16).collect();
+        for design in DesignKind::ALL {
+            let out = run(&compiled, design, &[av.clone(), bv.clone()]);
+            let expect: Vec<u64> = av.iter().zip(&bv).map(|(&x, &y)| x * y).collect();
+            assert_eq!(out, expect, "{design}");
+        }
+    }
+
+    #[test]
+    fn chained_combines_multiply_add() {
+        // out = a*b + c — the paper's running multiply-and-add example
+        // (Fig. 5 a), with 2-bit a,b and 4-bit c.
+        let mut g = Graph::new();
+        let a = g.input(2);
+        let b = g.input(2);
+        let c = g.input(4);
+        let prod = g.combine(catalog::mul(2).unwrap(), a, b); // 4-bit out
+        let sum = g.combine(catalog::add(4).unwrap(), prod, c); // 5-bit out
+        let compiled = g.compile(sum, 25).unwrap();
+        let av: Vec<u64> = (0..25u64).map(|i| i % 4).collect();
+        let bv: Vec<u64> = (0..25u64).map(|i| (i / 4) % 4).collect();
+        let cv: Vec<u64> = (0..25u64).map(|i| (i * 5) % 16).collect();
+        let out = run(&compiled, DesignKind::Gmc, &[av.clone(), bv.clone(), cv.clone()]);
+        let expect: Vec<u64> = (0..25).map(|i| av[i] * bv[i] + cv[i]).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn bitwise_nodes_lower_to_ambit() {
+        let mut g = Graph::new();
+        let a = g.input(8);
+        let b = g.input(8);
+        let x = g.and(a, b);
+        let y = g.or(x, b);
+        let z = g.not(y);
+        let compiled = g.compile(z, 10).unwrap();
+        let asm = compiled.program.to_assembly();
+        assert!(asm.contains("pluto_and"));
+        assert!(asm.contains("pluto_or"));
+        assert!(asm.contains("pluto_not"));
+        let av: Vec<u64> = (0..10u64).map(|i| i * 11).collect();
+        let bv: Vec<u64> = (0..10u64).map(|i| 255 - i * 7).collect();
+        let out = run(&compiled, DesignKind::Bsa, &[av.clone(), bv.clone()]);
+        let expect: Vec<u64> = av
+            .iter()
+            .zip(&bv)
+            .map(|(&x, &y)| !((x & y) | y) & 0xFF)
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn lut_dedup_allocates_one_subarray() {
+        let mut g = Graph::new();
+        let a = g.input(8);
+        let m1 = g.map(catalog::binarize(50).unwrap(), a);
+        let m2 = g.map(catalog::binarize(50).unwrap(), m1);
+        let compiled = g.compile(m2, 8).unwrap();
+        let allocs = compiled
+            .program
+            .instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::SubarrayAlloc { .. }))
+            .count();
+        assert_eq!(allocs, 1, "identical LUTs share one subarray");
+        assert_eq!(compiled.luts.len(), 1);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut g = Graph::new();
+        let a = g.input(8); // 8-bit operand
+        let m = g.map(catalog::popcount(4).unwrap(), a); // LUT wants 4 bits
+        assert!(matches!(
+            g.compile(m, 8),
+            Err(PlutoError::InvalidProgram { .. })
+        ));
+    }
+
+    #[test]
+    fn combine_width_mismatch_rejected() {
+        let mut g = Graph::new();
+        let a = g.input(4);
+        let b = g.input(4);
+        let m = g.combine(catalog::mul(2).unwrap(), a, b); // LUT wants 4 = 2+2
+        assert!(g.compile(m, 8).is_err());
+    }
+
+    #[test]
+    fn slot_harmonization_pads_narrow_luts() {
+        // popcount(8): input 8, output 4 -> intrinsic slot 8. Mixing with a
+        // 16-bit-output LUT forces a 16-bit global slot; the narrow LUT is
+        // re-tabulated.
+        let wide = Lut::from_fn("sq8", 8, 16, |x| x * x).unwrap();
+        let mut g = Graph::new();
+        let a = g.input(8);
+        let s = g.map(wide, a); // 16-bit values
+        let _ = s;
+        let b = g.map(catalog::binarize(10).unwrap(), a);
+        let compiled = g.compile(b, 8).unwrap();
+        assert_eq!(compiled.program.slot_bits, 16);
+        assert!(compiled.luts.iter().any(|l| l.name().contains("@16")));
+        let inputs: Vec<u64> = (0..8).collect();
+        let out = run(&compiled, DesignKind::Bsa, &[inputs.clone()]);
+        let expect: Vec<u64> = inputs.iter().map(|&x| if x >= 10 { 255 } else { 0 }).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn invalid_output_node_rejected() {
+        let g = Graph::new();
+        assert!(g.compile(0, 4).is_err());
+    }
+}

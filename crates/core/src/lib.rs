@@ -1,0 +1,78 @@
+//! # pluto-core — the pLUTo architecture
+//!
+//! Implements the primary contribution of *pLUTo: Enabling Massively
+//! Parallel Computation in DRAM via Lookup Tables* (Ferreira et al., MICRO
+//! 2022) on top of the [`pluto_dram`] substrate:
+//!
+//! * [`design`] — the three hardware designs (BSA / GSA / GMC) and their
+//!   Table 1 analytic cost models.
+//! * [`lut`] — lookup tables, the bit-parallel row layout, and a catalog of
+//!   the paper's workload LUTs.
+//! * [`store`] — LUT residence in a pLUTo-enabled subarray (vertical
+//!   replication, GSA master copies and reloads).
+//! * [`match_logic`] — the per-element comparators and matchline semantics.
+//! * [`query`] — the five-step pLUTo LUT Query executed as real DRAM
+//!   command streams (bit-exact data path, Table 1-faithful costs).
+//! * [`isa`] — the pLUTo ISA (Table 2) with assembler/disassembler.
+//! * [`controller`] — the pLUTo Controller (§6.4): executes ISA programs.
+//! * [`compiler`] — the pLUTo Compiler (§6.3): expression graphs, operand
+//!   alignment, lowering to ISA programs.
+//! * [`library`] — the pLUTo Library (§6.2): high-level routines
+//!   (`api_pluto_add`, `api_pluto_mul`, arbitrary maps) over a device
+//!   facade.
+//! * [`area`] — the Table 5 area model.
+//! * [`partition`] — §5.6 partitioned queries for LUTs larger than one
+//!   subarray (same latency, segment-count × energy).
+//! * [`salp`] — subarray-level parallelism scaling, tFAW sensitivity.
+//! * [`loading`] — the §8.5 LUT-loading overhead model (Fig. 11).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pluto_core::prelude::*;
+//!
+//! # fn main() -> Result<(), pluto_core::PlutoError> {
+//! let mut machine = PlutoMachine::ddr4(DesignKind::Gmc)?;
+//! let lut = Lut::from_fn("square", 8, 16, |x| x * x)?;
+//! let inputs: Vec<u64> = (0..100).collect();
+//! let out = machine.map(&lut, &inputs)?;
+//! assert_eq!(out.values[42], 42 * 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod compiler;
+pub mod controller;
+pub mod design;
+pub mod error;
+pub mod isa;
+pub mod library;
+pub mod loading;
+pub mod lut;
+pub mod match_logic;
+pub mod partition;
+pub mod query;
+pub mod salp;
+pub mod store;
+
+pub use design::{DesignKind, DesignModel};
+pub use error::PlutoError;
+pub use library::{MapResult, PlutoMachine};
+pub use lut::Lut;
+pub use query::{QueryCost, QueryExecutor, QueryPlacement};
+pub use store::LutStore;
+
+/// Commonly used items, for glob import in examples and downstream crates.
+pub mod prelude {
+    pub use crate::design::{DesignKind, DesignModel};
+    pub use crate::error::PlutoError;
+    pub use crate::library::{MapResult, PlutoMachine};
+    pub use crate::lut::{catalog, Lut};
+    pub use crate::query::{QueryCost, QueryExecutor, QueryPlacement};
+    pub use crate::store::LutStore;
+    pub use pluto_dram::{DramConfig, Engine, MemoryKind};
+}

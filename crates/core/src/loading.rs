@@ -1,0 +1,159 @@
+//! LUT loading overhead model (paper §6.5, §8.5, Fig. 11).
+//!
+//! Before pLUTo can query a LUT, the replicated LUT rows must be loaded
+//! into the pLUTo-enabled subarray. The paper evaluates two sources:
+//! loading from elsewhere in DRAM at DDR4 bandwidth (19.2 GB/s [135]) and
+//! loading from an M.2 SSD (7.5 GB/s [136]), and plots the fraction of
+//! total execution time spent loading as the queried data volume grows.
+
+use crate::design::DesignModel;
+use std::fmt;
+
+/// Where LUT data is loaded from (Fig. 11's two series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LutSource {
+    /// Copy from DRAM at DDR4-2400 module bandwidth.
+    Ddr4Memory,
+    /// DMA from an M.2 NVMe SSD.
+    M2Ssd,
+}
+
+impl LutSource {
+    /// Sustained bandwidth of the source in bytes per second.
+    pub fn bandwidth_bytes_per_sec(self) -> f64 {
+        match self {
+            LutSource::Ddr4Memory => 19.2e9,
+            LutSource::M2Ssd => 7.5e9,
+        }
+    }
+}
+
+impl fmt::Display for LutSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LutSource::Ddr4Memory => write!(f, "DDR4"),
+            LutSource::M2Ssd => write!(f, "SSD"),
+        }
+    }
+}
+
+/// The §8.5 loading-overhead model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadingModel {
+    /// Volume of LUT data to load (bytes): one subarray's replicated copy,
+    /// `lut_elems × row_bytes`.
+    pub lut_bytes: f64,
+    /// Query throughput while executing (bytes of input processed per
+    /// second across the parallel subarrays).
+    pub query_bytes_per_sec: f64,
+}
+
+impl LoadingModel {
+    /// Builds the model for a design at the paper's default configuration:
+    /// an 8-bit → 8-bit LUT (256 rows) on DDR4 with 16-subarray
+    /// parallelism.
+    pub fn paper_default(model: &DesignModel, row_bytes: usize, subarrays: usize) -> Self {
+        let lut_elems = 256u64;
+        let queries_per_sec = 1.0 / model.query_latency(lut_elems).as_secs();
+        // One query processes one row of 8-bit inputs per subarray.
+        let query_bytes_per_sec = queries_per_sec * row_bytes as f64 * subarrays as f64;
+        LoadingModel {
+            lut_bytes: lut_elems as f64 * row_bytes as f64,
+            query_bytes_per_sec,
+        }
+    }
+
+    /// Time to load the LUT from `source`, in seconds.
+    pub fn load_time(&self, source: LutSource) -> f64 {
+        self.lut_bytes / source.bandwidth_bytes_per_sec()
+    }
+
+    /// Time to query `data_bytes` of input, in seconds.
+    pub fn query_time(&self, data_bytes: f64) -> f64 {
+        data_bytes / self.query_bytes_per_sec
+    }
+
+    /// Fraction of total execution time spent loading the LUT when
+    /// processing `data_bytes` of input (Fig. 11's y-axis).
+    pub fn loading_fraction(&self, source: LutSource, data_bytes: f64) -> f64 {
+        let load = self.load_time(source);
+        let query = self.query_time(data_bytes);
+        load / (load + query)
+    }
+
+    /// Input volume at which loading time equals query time (the paper's
+    /// "◆" break-even point, ≈ 1.9 MB for DDR4).
+    pub fn break_even_bytes(&self, source: LutSource) -> f64 {
+        self.load_time(source) * self.query_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignKind;
+    use pluto_dram::{EnergyModel, TimingParams};
+
+    fn paper_model() -> LoadingModel {
+        let m = DesignModel::new(
+            DesignKind::Bsa,
+            TimingParams::ddr4_2400(),
+            EnergyModel::ddr4(),
+        );
+        LoadingModel::paper_default(&m, 8192, 16)
+    }
+
+    #[test]
+    fn break_even_near_paper_value() {
+        // Paper §8.5: "it is sufficient to process 1.9 MB of data in the
+        // DDR4-based scenario for the LUT loading time to equal the LUT
+        // query time."
+        let m = paper_model();
+        let be = m.break_even_bytes(LutSource::Ddr4Memory) / 1e6;
+        assert!(
+            be > 0.9 && be < 4.0,
+            "break-even {be:.2} MB should be in the paper's low-MB regime"
+        );
+    }
+
+    #[test]
+    fn fraction_is_half_at_break_even() {
+        let m = paper_model();
+        let be = m.break_even_bytes(LutSource::Ddr4Memory);
+        let f = m.loading_fraction(LutSource::Ddr4Memory, be);
+        assert!((f - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_decreases_with_volume() {
+        // Paper observation 2: the loading fraction quickly decreases as
+        // the processed volume grows; ≈ 2 % at 120 MB for DDR4.
+        let m = paper_model();
+        let mut prev = 1.0;
+        for mb in [1.0, 5.0, 20.0, 60.0, 120.0] {
+            let f = m.loading_fraction(LutSource::Ddr4Memory, mb * 1e6);
+            assert!(f < prev, "fraction must fall with volume");
+            prev = f;
+        }
+        let at_120 = m.loading_fraction(LutSource::Ddr4Memory, 120e6);
+        assert!(at_120 < 0.05, "at 120 MB the fraction is small: {at_120}");
+    }
+
+    #[test]
+    fn ssd_slower_than_dram_but_same_regime() {
+        // Paper observation 3: SSD loading takes longer but does not change
+        // the picture fundamentally.
+        let m = paper_model();
+        let f_dram = m.loading_fraction(LutSource::Ddr4Memory, 20e6);
+        let f_ssd = m.loading_fraction(LutSource::M2Ssd, 20e6);
+        assert!(f_ssd > f_dram);
+        assert!(f_ssd < 3.0 * f_dram + 0.05);
+    }
+
+    #[test]
+    fn source_bandwidths() {
+        assert_eq!(LutSource::Ddr4Memory.bandwidth_bytes_per_sec(), 19.2e9);
+        assert_eq!(LutSource::M2Ssd.bandwidth_bytes_per_sec(), 7.5e9);
+        assert_eq!(LutSource::Ddr4Memory.to_string(), "DDR4");
+    }
+}

@@ -1,0 +1,506 @@
+//! Lookup-table definitions and the bit-level row packing used by pLUTo.
+//!
+//! A [`Lut`] maps every possible `input_bits`-wide index to an
+//! `output_bits`-wide element (paper §4: "a LUT query is a memory read
+//! operation that, for a given input value x, returns f(x)"). LUT size is
+//! always `2^input_bits` (paper §6.1: "`lut_size` must be a power of two").
+//!
+//! pLUTo stores data *bit-parallel*: the bits of each element sit in
+//! adjacent bitlines, and one DRAM row holds many elements side by side
+//! (paper Fig. 2). [`pack_slots`]/[`unpack_slots`] implement that layout:
+//! slot *j* of width `slot_bits` occupies bits `[j·slot, (j+1)·slot)` of the
+//! row, counted from the most-significant bit of byte 0 — consistent with
+//! the whole-row shift semantics of `pluto_dram::array`.
+
+use crate::error::PlutoError;
+use std::fmt;
+use std::sync::Arc;
+
+/// A lookup table: `2^input_bits` elements of `output_bits` bits each.
+#[derive(Clone)]
+pub struct Lut {
+    name: String,
+    input_bits: u32,
+    output_bits: u32,
+    elements: Arc<Vec<u64>>,
+}
+
+impl fmt::Debug for Lut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Lut")
+            .field("name", &self.name)
+            .field("input_bits", &self.input_bits)
+            .field("output_bits", &self.output_bits)
+            .field("len", &self.elements.len())
+            .finish()
+    }
+}
+
+impl PartialEq for Lut {
+    fn eq(&self, other: &Self) -> bool {
+        self.input_bits == other.input_bits
+            && self.output_bits == other.output_bits
+            && self.elements == other.elements
+    }
+}
+
+impl Eq for Lut {}
+
+impl Lut {
+    /// Builds a LUT by tabulating `f` over all `2^input_bits` indices.
+    ///
+    /// # Errors
+    /// Fails if widths are zero, exceed 32 bits (paper §5.6: pLUTo is not
+    /// suited to large-bit-width queries), or if `f` produces a value wider
+    /// than `output_bits`.
+    pub fn from_fn<F>(
+        name: impl Into<String>,
+        input_bits: u32,
+        output_bits: u32,
+        mut f: F,
+    ) -> Result<Self, PlutoError>
+    where
+        F: FnMut(u64) -> u64,
+    {
+        validate_widths(input_bits, output_bits)?;
+        let len = 1u64 << input_bits;
+        let mask = width_mask(output_bits);
+        let name = name.into();
+        let mut elements = Vec::with_capacity(len as usize);
+        for x in 0..len {
+            let y = f(x);
+            if y & !mask != 0 {
+                return Err(PlutoError::InvalidLut {
+                    reason: format!("{name}: f({x}) = {y} exceeds {output_bits} output bits"),
+                });
+            }
+            elements.push(y);
+        }
+        Ok(Lut {
+            name,
+            input_bits,
+            output_bits,
+            elements: Arc::new(elements),
+        })
+    }
+
+    /// Builds a LUT from an explicit element table.
+    ///
+    /// # Errors
+    /// Fails if `elements.len() != 2^input_bits` or any element exceeds
+    /// `output_bits`.
+    pub fn from_table(
+        name: impl Into<String>,
+        input_bits: u32,
+        output_bits: u32,
+        elements: Vec<u64>,
+    ) -> Result<Self, PlutoError> {
+        validate_widths(input_bits, output_bits)?;
+        let name = name.into();
+        if elements.len() != (1usize << input_bits) {
+            return Err(PlutoError::InvalidLut {
+                reason: format!(
+                    "{name}: {} elements provided, expected {}",
+                    elements.len(),
+                    1usize << input_bits
+                ),
+            });
+        }
+        let mask = width_mask(output_bits);
+        if let Some(bad) = elements.iter().find(|&&e| e & !mask != 0) {
+            return Err(PlutoError::InvalidLut {
+                reason: format!("{name}: element {bad} exceeds {output_bits} output bits"),
+            });
+        }
+        Ok(Lut {
+            name,
+            input_bits,
+            output_bits,
+            elements: Arc::new(elements),
+        })
+    }
+
+    /// Name used for deduplication and traces.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Index width in bits (`N` in the paper).
+    pub fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    /// Element width in bits (`M` in the paper).
+    pub fn output_bits(&self) -> u32 {
+        self.output_bits
+    }
+
+    /// Number of elements (`LUT#Elems = 2^N`).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// A LUT is never empty, but the method is provided for API convention.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Element at `index`.
+    ///
+    /// # Errors
+    /// Fails if `index ≥ 2^input_bits`.
+    pub fn element(&self, index: u64) -> Result<u64, PlutoError> {
+        self.elements
+            .get(index as usize)
+            .copied()
+            .ok_or(PlutoError::IndexOutOfRange {
+                value: index,
+                input_bits: self.input_bits,
+            })
+    }
+
+    /// All elements, in index order.
+    pub fn elements(&self) -> &[u64] {
+        &self.elements
+    }
+
+    /// Slot width used when this LUT's indices and elements share one row
+    /// layout: `max(N, M)` (inputs are zero-padded to `lut_bitw ≥ N`,
+    /// paper §6.1 footnote).
+    pub fn slot_bits(&self) -> u32 {
+        self.input_bits.max(self.output_bits)
+    }
+
+    /// Applies the LUT in software (reference semantics for validation).
+    ///
+    /// # Errors
+    /// Fails if any input is out of range.
+    pub fn apply_all(&self, inputs: &[u64]) -> Result<Vec<u64>, PlutoError> {
+        inputs.iter().map(|&x| self.element(x)).collect()
+    }
+}
+
+fn validate_widths(input_bits: u32, output_bits: u32) -> Result<(), PlutoError> {
+    if input_bits == 0 || input_bits > 20 {
+        return Err(PlutoError::InvalidLut {
+            reason: format!("input width {input_bits} out of supported range 1..=20"),
+        });
+    }
+    if output_bits == 0 || output_bits > 32 {
+        return Err(PlutoError::InvalidLut {
+            reason: format!("output width {output_bits} out of supported range 1..=32"),
+        });
+    }
+    Ok(())
+}
+
+/// All-ones mask of the lowest `bits` bits.
+pub fn width_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Packs `values` into a row of `row_bytes` bytes, `slot_bits` per slot,
+/// MSB-first (slot 0 in the high bits of byte 0).
+///
+/// # Errors
+/// Fails if the values do not fit in the row or any value exceeds the slot
+/// width.
+pub fn pack_slots(values: &[u64], slot_bits: u32, row_bytes: usize) -> Result<Vec<u8>, PlutoError> {
+    let capacity = (row_bytes * 8) / slot_bits as usize;
+    if values.len() > capacity {
+        return Err(PlutoError::LayoutMismatch {
+            reason: format!(
+                "{} values of {} bits exceed row capacity {}",
+                values.len(),
+                slot_bits,
+                capacity
+            ),
+        });
+    }
+    let mask = width_mask(slot_bits);
+    let mut row = vec![0u8; row_bytes];
+    for (j, &v) in values.iter().enumerate() {
+        if v & !mask != 0 {
+            return Err(PlutoError::LayoutMismatch {
+                reason: format!("value {v} exceeds {slot_bits}-bit slot"),
+            });
+        }
+        let base = j * slot_bits as usize;
+        for b in 0..slot_bits as usize {
+            let bit = (v >> (slot_bits as usize - 1 - b)) & 1;
+            if bit != 0 {
+                let pos = base + b;
+                row[pos / 8] |= 1 << (7 - (pos % 8));
+            }
+        }
+    }
+    Ok(row)
+}
+
+/// Unpacks `count` slots of `slot_bits` bits from a row (inverse of
+/// [`pack_slots`]).
+pub fn unpack_slots(row: &[u8], slot_bits: u32, count: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(count);
+    for j in 0..count {
+        let base = j * slot_bits as usize;
+        let mut v = 0u64;
+        for b in 0..slot_bits as usize {
+            let pos = base + b;
+            let bit = (row[pos / 8] >> (7 - (pos % 8))) & 1;
+            v = (v << 1) | bit as u64;
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// Number of slots of `slot_bits` bits that fit in a row of `row_bytes`.
+pub fn slots_per_row(row_bytes: usize, slot_bits: u32) -> usize {
+    (row_bytes * 8) / slot_bits as usize
+}
+
+/// Commonly used LUTs from the paper's workloads.
+pub mod catalog {
+    use super::Lut;
+    use crate::error::PlutoError;
+
+    /// `n`-bit + `n`-bit addition LUT: index is the concatenation
+    /// `(a << n) | b`, element is the `(n+1)`-bit sum (paper §6.2's
+    /// `add4_lut` pattern).
+    pub fn add(n: u32) -> Result<Lut, PlutoError> {
+        Lut::from_fn(format!("add{n}"), 2 * n, n + 1, move |x| {
+            let a = x >> n;
+            let b = x & ((1 << n) - 1);
+            a + b
+        })
+    }
+
+    /// `n`-bit × `n`-bit multiplication LUT producing `2n` bits.
+    pub fn mul(n: u32) -> Result<Lut, PlutoError> {
+        Lut::from_fn(format!("mul{n}"), 2 * n, 2 * n, move |x| {
+            let a = x >> n;
+            let b = x & ((1 << n) - 1);
+            a * b
+        })
+    }
+
+    /// Population count of an `n`-bit value (paper's BC-4 / BC-8).
+    pub fn popcount(n: u32) -> Result<Lut, PlutoError> {
+        let out_bits = 32 - (n as u32).leading_zeros().min(31);
+        Lut::from_fn(format!("bc{n}"), n, out_bits.max(1) + 1, move |x| {
+            x.count_ones() as u64
+        })
+    }
+
+    /// Bitwise NOT of an `n`-bit value.
+    pub fn not(n: u32) -> Result<Lut, PlutoError> {
+        let mask = (1u64 << n) - 1;
+        Lut::from_fn(format!("not{n}"), n, n, move |x| !x & mask)
+    }
+
+    /// Paired-operand bitwise op: index is `(a << n) | b`.
+    fn paired(name: &str, n: u32, f: impl Fn(u64, u64) -> u64 + 'static) -> Result<Lut, PlutoError> {
+        let mask = (1u64 << n) - 1;
+        Lut::from_fn(format!("{name}{n}"), 2 * n, n, move |x| {
+            f(x >> n, x & mask) & mask
+        })
+    }
+
+    /// Bitwise AND over paired `n`-bit operands.
+    pub fn and(n: u32) -> Result<Lut, PlutoError> {
+        paired("and", n, |a, b| a & b)
+    }
+
+    /// Bitwise OR over paired `n`-bit operands.
+    pub fn or(n: u32) -> Result<Lut, PlutoError> {
+        paired("or", n, |a, b| a | b)
+    }
+
+    /// Bitwise XOR over paired `n`-bit operands.
+    pub fn xor(n: u32) -> Result<Lut, PlutoError> {
+        paired("xor", n, |a, b| a ^ b)
+    }
+
+    /// Bitwise XNOR over paired `n`-bit operands.
+    pub fn xnor(n: u32) -> Result<Lut, PlutoError> {
+        paired("xnor", n, |a, b| !(a ^ b))
+    }
+
+    /// 8-bit threshold binarization: 255 if `x ≥ threshold` else 0
+    /// (paper's ImgBin workload).
+    pub fn binarize(threshold: u8) -> Result<Lut, PlutoError> {
+        Lut::from_fn(format!("imgbin{threshold}"), 8, 8, move |x| {
+            if x >= threshold as u64 {
+                255
+            } else {
+                0
+            }
+        })
+    }
+
+    /// 8-bit exponentiation LUT `x ↦ min(x², 255)`-style saturating square,
+    /// standing in for the paper's "8-bit exponentiation" Table 6 row.
+    pub fn exp8() -> Result<Lut, PlutoError> {
+        Lut::from_fn("exp8", 8, 8, |x| {
+            // e^(x/32) scaled into 8 bits, saturating — a deterministic
+            // transcendental map of the kind prior PuM cannot execute.
+            let v = ((x as f64 / 32.0).exp()).round() as u64;
+            v.min(255)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_lut_matches_paper_example() {
+        // Paper Fig. 3: LUT of the first four primes; query [1,0,1,3]
+        // returns [3,2,3,7].
+        let lut = Lut::from_table("primes", 2, 4, vec![2, 3, 5, 7]).unwrap();
+        let out = lut.apply_all(&[1, 0, 1, 3]).unwrap();
+        assert_eq!(out, vec![3, 2, 3, 7]);
+    }
+
+    #[test]
+    fn from_fn_tabulates_every_index() {
+        let lut = Lut::from_fn("sq", 4, 8, |x| x * x).unwrap();
+        assert_eq!(lut.len(), 16);
+        assert_eq!(lut.element(15).unwrap(), 225);
+    }
+
+    #[test]
+    fn from_fn_rejects_wide_outputs() {
+        assert!(matches!(
+            Lut::from_fn("bad", 4, 4, |x| x * x),
+            Err(PlutoError::InvalidLut { .. })
+        ));
+    }
+
+    #[test]
+    fn from_table_validates_length_and_widths() {
+        assert!(Lut::from_table("bad", 2, 4, vec![1, 2, 3]).is_err());
+        assert!(Lut::from_table("bad", 2, 2, vec![1, 2, 3, 9]).is_err());
+        assert!(Lut::from_table("bad", 0, 2, vec![]).is_err());
+        assert!(Lut::from_table("bad", 2, 0, vec![0, 0, 0, 0]).is_err());
+        assert!(Lut::from_table("bad", 21, 2, vec![]).is_err());
+    }
+
+    #[test]
+    fn element_out_of_range() {
+        let lut = Lut::from_table("t", 2, 4, vec![1, 2, 3, 4]).unwrap();
+        assert!(matches!(
+            lut.element(4),
+            Err(PlutoError::IndexOutOfRange { value: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn slot_bits_is_max_of_widths() {
+        let lut = Lut::from_table("t", 2, 4, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(lut.slot_bits(), 4);
+        let lut = Lut::from_fn("wide-in", 8, 4, |_| 0).unwrap();
+        assert_eq!(lut.slot_bits(), 8);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_8bit() {
+        let vals = vec![0xAB, 0x00, 0xFF, 0x12];
+        let row = pack_slots(&vals, 8, 8).unwrap();
+        assert_eq!(&row[..4], &[0xAB, 0x00, 0xFF, 0x12]);
+        assert_eq!(unpack_slots(&row, 8, 4), vals);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_odd_widths() {
+        for slot_bits in [1u32, 2, 3, 4, 5, 7, 11, 16] {
+            let mask = width_mask(slot_bits);
+            let vals: Vec<u64> = (0..10u64).map(|i| (i * 0x9E37) & mask).collect();
+            let row = pack_slots(&vals, slot_bits, 32).unwrap();
+            assert_eq!(unpack_slots(&row, slot_bits, vals.len()), vals, "w={slot_bits}");
+        }
+    }
+
+    #[test]
+    fn pack_4bit_nibble_order_is_msb_first() {
+        let row = pack_slots(&[0xA, 0xB], 4, 2).unwrap();
+        assert_eq!(row[0], 0xAB);
+    }
+
+    #[test]
+    fn pack_rejects_overflow_and_capacity() {
+        assert!(pack_slots(&[16], 4, 4).is_err());
+        assert!(pack_slots(&vec![1u64; 100], 8, 8).is_err());
+    }
+
+    #[test]
+    fn slots_per_row_math() {
+        assert_eq!(slots_per_row(8192, 8), 8192);
+        assert_eq!(slots_per_row(8192, 4), 16384);
+        assert_eq!(slots_per_row(8192, 16), 4096);
+        assert_eq!(slots_per_row(8192, 12), 5461);
+    }
+
+    #[test]
+    fn catalog_add_and_mul() {
+        let add = catalog::add(4).unwrap();
+        assert_eq!(add.element((9 << 4) | 7).unwrap(), 16);
+        assert_eq!(add.len(), 256);
+        let mul = catalog::mul(4).unwrap();
+        assert_eq!(mul.element((9 << 4) | 7).unwrap(), 63);
+    }
+
+    #[test]
+    fn catalog_popcount() {
+        let bc4 = catalog::popcount(4).unwrap();
+        assert_eq!(bc4.len(), 16);
+        assert_eq!(bc4.element(0b1111).unwrap(), 4);
+        let bc8 = catalog::popcount(8).unwrap();
+        assert_eq!(bc8.len(), 256);
+        assert_eq!(bc8.element(0xFF).unwrap(), 8);
+    }
+
+    #[test]
+    fn catalog_bitwise() {
+        let and = catalog::and(4).unwrap();
+        assert_eq!(and.element((0b1100 << 4) | 0b1010).unwrap(), 0b1000);
+        let or = catalog::or(4).unwrap();
+        assert_eq!(or.element((0b1100 << 4) | 0b1010).unwrap(), 0b1110);
+        let xor = catalog::xor(4).unwrap();
+        assert_eq!(xor.element((0b1100 << 4) | 0b1010).unwrap(), 0b0110);
+        let xnor = catalog::xnor(4).unwrap();
+        assert_eq!(xnor.element((0b1100 << 4) | 0b1010).unwrap(), 0b1001);
+        let not = catalog::not(8).unwrap();
+        assert_eq!(not.element(0xF0).unwrap(), 0x0F);
+    }
+
+    #[test]
+    fn catalog_binarize() {
+        let lut = catalog::binarize(128).unwrap();
+        assert_eq!(lut.element(127).unwrap(), 0);
+        assert_eq!(lut.element(128).unwrap(), 255);
+        assert_eq!(lut.element(255).unwrap(), 255);
+    }
+
+    #[test]
+    fn catalog_exp8_is_saturating_and_monotone() {
+        let lut = catalog::exp8().unwrap();
+        let e = lut.elements();
+        assert!(e.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*e.last().unwrap(), 255);
+    }
+
+    #[test]
+    fn luts_with_same_contents_compare_equal() {
+        let a = catalog::add(4).unwrap();
+        let b = catalog::add(4).unwrap();
+        assert_eq!(a, b);
+        let c = catalog::mul(4).unwrap();
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,65 @@
+//! The pLUTo Match Logic (paper §5.1.2).
+//!
+//! A set of per-element comparators sits between the source subarray and the
+//! pLUTo-enabled subarray. During a row sweep, every comparator compares the
+//! index of the currently activated row against its element of the LUT query
+//! input vector and asserts its matchlines on equality.
+
+/// Computes the matchline vector for one sweep step: element `j` is `true`
+/// iff `inputs[j] == row_index` (paper Fig. 3's ✓/✗ row).
+pub fn matchlines(inputs: &[u64], row_index: u64) -> Vec<bool> {
+    inputs.iter().map(|&x| x == row_index).collect()
+}
+
+/// Positions of the matched elements for one sweep step.
+pub fn matched_positions(inputs: &[u64], row_index: u64) -> Vec<usize> {
+    inputs
+        .iter()
+        .enumerate()
+        .filter_map(|(j, &x)| (x == row_index).then_some(j))
+        .collect()
+}
+
+/// Verifies the invariant the GMC design relies on (§5.3.3): over a full
+/// sweep of `0..lut_len`, each input element matches **exactly once**.
+/// Returns `true` if the invariant holds for every element.
+pub fn each_element_matches_exactly_once(inputs: &[u64], lut_len: u64) -> bool {
+    inputs.iter().all(|&x| x < lut_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure3_match_pattern() {
+        // Input vector [1,0,1,3]; sweeping rows 0..4 (paper Fig. 3c).
+        let inputs = [1u64, 0, 1, 3];
+        assert_eq!(matchlines(&inputs, 0), vec![false, true, false, false]);
+        assert_eq!(matchlines(&inputs, 1), vec![true, false, true, false]);
+        assert_eq!(matchlines(&inputs, 2), vec![false, false, false, false]);
+        assert_eq!(matchlines(&inputs, 3), vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn matched_positions_lists_indices() {
+        let inputs = [1u64, 0, 1, 3];
+        assert_eq!(matched_positions(&inputs, 1), vec![0, 2]);
+        assert!(matched_positions(&inputs, 2).is_empty());
+    }
+
+    #[test]
+    fn exactly_once_invariant() {
+        assert!(each_element_matches_exactly_once(&[0, 1, 2, 3], 4));
+        assert!(!each_element_matches_exactly_once(&[0, 4], 4));
+        // Empty input trivially satisfies the invariant.
+        assert!(each_element_matches_exactly_once(&[], 4));
+    }
+
+    #[test]
+    fn total_matches_over_sweep_equal_input_len() {
+        let inputs = [3u64, 3, 0, 2, 1, 1, 1];
+        let total: usize = (0..4u64).map(|r| matched_positions(&inputs, r).len()).sum();
+        assert_eq!(total, inputs.len());
+    }
+}

@@ -1,0 +1,253 @@
+//! Partitioned LUT queries across subarrays (paper §5.6).
+//!
+//! A single-subarray query supports at most `rows_per_subarray` LUT
+//! elements. Larger LUTs are *partitioned*: segment `k` (rows
+//! `k·R .. (k+1)·R` of the logical LUT) lives in its own pLUTo-enabled
+//! subarray, every subarray sweeps its segment simultaneously, and each
+//! input element matches in exactly one segment. The paper's §5.6 cost
+//! semantics: **latency does not increase** (segments sweep in parallel)
+//! but **energy multiplies by the segment count** — which is why pLUTo is
+//! "not well suited for executing large-bit-width lookup queries".
+
+use crate::design::DesignKind;
+use crate::error::PlutoError;
+use crate::lut::Lut;
+use crate::query::{QueryCost, QueryExecutor, QueryPlacement};
+use crate::store::LutStore;
+use pluto_dram::{BankId, Engine, PicoJoules, Picos, RowId, SubarrayId};
+
+/// A LUT partitioned across several pLUTo-enabled subarrays.
+#[derive(Debug)]
+pub struct PartitionedLut {
+    lut: Lut,
+    segments: Vec<LutStore>,
+    segment_rows: usize,
+}
+
+/// Cost of a partitioned query under the §5.6 semantics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionedCost {
+    /// Number of segments (subarrays) engaged.
+    pub segments: usize,
+    /// Wall latency: the slowest (= any) segment's query cost.
+    pub latency: Picos,
+    /// Total energy: the *sum* over all segments (§5.6: "partitioning the
+    /// query … increases energy consumption N-fold").
+    pub energy: PicoJoules,
+}
+
+impl PartitionedLut {
+    /// Loads `lut` across as many subarrays as needed, starting at
+    /// `first_subarray` and claiming pairs (segment, master) like the
+    /// single-subarray store.
+    ///
+    /// # Errors
+    /// Fails if the bank runs out of subarrays.
+    pub fn load(
+        engine: &mut Engine,
+        lut: Lut,
+        bank: BankId,
+        first_subarray: SubarrayId,
+    ) -> Result<Self, PlutoError> {
+        let rows = engine.config().rows_per_subarray as usize;
+        let segment_rows = rows.min(lut.len());
+        let count = lut.len().div_ceil(segment_rows);
+        let mut segments = Vec::with_capacity(count);
+        for k in 0..count {
+            let base = k * segment_rows;
+            let end = (base + segment_rows).min(lut.len());
+            let seg_len = end - base;
+            if !seg_len.is_power_of_two() {
+                return Err(PlutoError::InvalidLut {
+                    reason: format!("segment {k} has {seg_len} elements (not a power of two)"),
+                });
+            }
+            let elements = lut.elements()[base..end].to_vec();
+            let seg = Lut::from_table(
+                format!("{}@seg{k}", lut.name()),
+                seg_len.trailing_zeros(),
+                lut.output_bits().max(lut.input_bits()),
+                elements,
+            )?;
+            let pluto = SubarrayId(first_subarray.0 + 2 * k as u16);
+            let master = SubarrayId(pluto.0 + 1);
+            if master.0 >= engine.config().subarrays_per_bank {
+                return Err(PlutoError::AllocationFailed {
+                    reason: format!("segment {k} exceeds the bank's subarrays"),
+                });
+            }
+            segments.push(LutStore::load(engine, seg, bank, pluto, master, 0)?);
+        }
+        Ok(PartitionedLut {
+            lut,
+            segments,
+            segment_rows,
+        })
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Executes the partitioned query: every segment sweeps; outputs merge
+    /// by each input's owning segment. Returns the outputs and the §5.6
+    /// cost (max-latency, summed energy).
+    ///
+    /// # Errors
+    /// Fails if any input exceeds the logical LUT's range.
+    pub fn query(
+        &mut self,
+        engine: &mut Engine,
+        design: DesignKind,
+        source: SubarrayId,
+        dest: SubarrayId,
+        inputs: &[u64],
+    ) -> Result<(Vec<u64>, PartitionedCost), PlutoError> {
+        let n = self.lut.len() as u64;
+        if let Some(&bad) = inputs.iter().find(|&&x| x >= n) {
+            return Err(PlutoError::IndexOutOfRange {
+                value: bad,
+                input_bits: self.lut.input_bits(),
+            });
+        }
+        let bank = self.segments[0].bank();
+        let mut outputs = vec![0u64; inputs.len()];
+        let mut latency = Picos::ZERO;
+        let mut energy = PicoJoules::ZERO;
+        for (k, store) in self.segments.iter_mut().enumerate() {
+            let base = (k * self.segment_rows) as u64;
+            let span = store.lut().len() as u64;
+            // Inputs rebased into this segment; out-of-segment slots query
+            // index 0 (their captured values are discarded on merge).
+            let local: Vec<u64> = inputs
+                .iter()
+                .map(|&x| if x >= base && x < base + span { x - base } else { 0 })
+                .collect();
+            let placement = QueryPlacement {
+                bank,
+                source,
+                pluto: store.subarray(),
+                dest,
+            };
+            let mut ex = QueryExecutor::new(engine, design);
+            let (seg_out, cost): (Vec<u64>, QueryCost) =
+                ex.execute(store, placement, &local, RowId(0), RowId(1))?;
+            for (i, &x) in inputs.iter().enumerate() {
+                if x >= base && x < base + span {
+                    outputs[i] = seg_out[i];
+                }
+            }
+            // §5.6: segments sweep simultaneously — wall latency is the
+            // max; energy accumulates across all engaged subarrays.
+            latency = latency.max(cost.total());
+            energy += cost.energy;
+        }
+        Ok((
+            outputs,
+            PartitionedCost {
+                segments: self.segments.len(),
+                latency,
+                energy,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pluto_dram::DramConfig;
+
+    fn engine() -> Engine {
+        Engine::new(DramConfig {
+            row_bytes: 32,
+            burst_bytes: 8,
+            banks: 1,
+            subarrays_per_bank: 64,
+            rows_per_subarray: 64, // force partitioning for 256-entry LUTs
+            ..DramConfig::ddr4_2400()
+        })
+    }
+
+    #[test]
+    fn large_lut_partitions_and_answers_correctly() {
+        let mut e = engine();
+        // 256-entry LUT over 64-row subarrays => 4 segments.
+        let lut = Lut::from_fn("sq8", 8, 16, |x| x * x).unwrap();
+        let mut part = PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
+        assert_eq!(part.segment_count(), 4);
+        let inputs: Vec<u64> = (0..16u64).map(|i| i * 16 + 3).collect();
+        let (out, cost) = part
+            .query(&mut e, DesignKind::Gmc, SubarrayId(0), SubarrayId(1), &inputs)
+            .unwrap();
+        let expect: Vec<u64> = inputs.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+        assert_eq!(cost.segments, 4);
+    }
+
+    #[test]
+    fn partition_cost_semantics_match_section_5_6() {
+        // Latency equals a single 64-row query; energy is ~4x.
+        let mut e = engine();
+        let small = Lut::from_fn("sq6", 6, 16, |x| x * x).unwrap(); // 64 rows, 1 segment
+        let mut p1 = PartitionedLut::load(&mut e, small, BankId(0), SubarrayId(2)).unwrap();
+        let (_, c1) = p1
+            .query(&mut e, DesignKind::Bsa, SubarrayId(0), SubarrayId(1), &[5])
+            .unwrap();
+        let big = Lut::from_fn("sq8b", 8, 16, |x| x * x).unwrap(); // 4 segments
+        let mut p4 = PartitionedLut::load(&mut e, big, BankId(0), SubarrayId(10)).unwrap();
+        let (_, c4) = p4
+            .query(&mut e, DesignKind::Bsa, SubarrayId(0), SubarrayId(1), &[5])
+            .unwrap();
+        // Same wall latency up to LISA placement distance (each segment
+        // sweeps the same 64 rows; the farthest segment's copy-out crosses
+        // a few more subarrays).
+        let delta = c4.latency.saturating_sub(c1.latency);
+        assert!(
+            delta.as_ns() < 300.0 && c4.latency.as_ns() / c1.latency.as_ns() < 1.2,
+            "partitioned latency {} vs single {}",
+            c4.latency,
+            c1.latency
+        );
+        // …roughly segment-count-times the energy.
+        let ratio = c4.energy.as_pj() / c1.energy.as_pj();
+        assert!((ratio - 4.0).abs() < 0.5, "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn small_luts_stay_single_segment() {
+        let mut e = engine();
+        let lut = Lut::from_fn("id4", 4, 4, |x| x).unwrap();
+        let part = PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
+        assert_eq!(part.segment_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_inputs_rejected() {
+        let mut e = engine();
+        let lut = Lut::from_fn("sq8c", 8, 16, |x| x * x).unwrap();
+        let mut part = PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
+        assert!(matches!(
+            part.query(&mut e, DesignKind::Bsa, SubarrayId(0), SubarrayId(1), &[256]),
+            Err(PlutoError::IndexOutOfRange { value: 256, .. })
+        ));
+    }
+
+    #[test]
+    fn exhausting_subarrays_fails_cleanly() {
+        let mut e = Engine::new(DramConfig {
+            row_bytes: 32,
+            burst_bytes: 8,
+            banks: 1,
+            subarrays_per_bank: 6, // room for at most 2 segments
+            rows_per_subarray: 64,
+            ..DramConfig::ddr4_2400()
+        });
+        let lut = Lut::from_fn("sq8d", 8, 16, |x| x * x).unwrap();
+        assert!(matches!(
+            PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)),
+            Err(PlutoError::AllocationFailed { .. })
+        ));
+    }
+}

@@ -1,0 +1,268 @@
+//! LUT storage in a pLUTo-enabled subarray.
+//!
+//! Paper §4 / Fig. 2: the pLUTo-enabled subarray stores *multiple vertical
+//! copies* of a LUT — row *i* contains the element at index *i*, replicated
+//! across the full row width so that every comparator position can read it.
+//!
+//! For GSA (destructive reads, §5.2.1) a pristine *master copy* lives in a
+//! neighbouring subarray and is re-loaded into the pLUTo-enabled subarray
+//! before every query at a cost of `LISA_RBM × N` (Table 1).
+
+use crate::design::DesignKind;
+use crate::error::PlutoError;
+use crate::lut::{pack_slots, slots_per_row, Lut};
+use pluto_dram::{BankId, Engine, RowId, RowLoc, SubarrayId};
+
+/// A LUT resident in a pLUTo-enabled subarray.
+#[derive(Debug, Clone)]
+pub struct LutStore {
+    lut: Lut,
+    bank: BankId,
+    subarray: SubarrayId,
+    /// Subarray holding the pristine master copy (used by GSA reloads).
+    /// Must be LISA-adjacent to `subarray` for the Table 1 reload cost
+    /// (`LISA_RBM × N`) to hold; the canonical placement co-locates it with
+    /// the source subarray, in rows above the input data (§6.5 requires
+    /// "close physical proximity").
+    master: SubarrayId,
+    /// First master-copy row (element `i` lives at `master_row_base + i`).
+    master_row_base: u16,
+    loaded: bool,
+}
+
+impl LutStore {
+    /// Materializes `lut` into `subarray` of `bank`, with a master copy at
+    /// rows `master_row_base..` of `master`. Uses the zero-cost backdoor:
+    /// the LUT is modeled as already resident in DRAM; the *loading cost*
+    /// trade-off is a separate study (paper §8.5 / Fig. 11, reproduced in
+    /// [`crate::loading`]).
+    ///
+    /// # Errors
+    /// Fails if the LUT has more elements than the subarray has rows, the
+    /// master range overflows its subarray, `master == subarray`, or an
+    /// element row cannot be packed.
+    pub fn load(
+        engine: &mut Engine,
+        lut: Lut,
+        bank: BankId,
+        subarray: SubarrayId,
+        master: SubarrayId,
+        master_row_base: u16,
+    ) -> Result<Self, PlutoError> {
+        let cfg = engine.config().clone();
+        if lut.len() > cfg.rows_per_subarray as usize {
+            return Err(PlutoError::InvalidLut {
+                reason: format!(
+                    "{} elements exceed the {}-row subarray (partition across subarrays instead, §5.6)",
+                    lut.len(),
+                    cfg.rows_per_subarray
+                ),
+            });
+        }
+        if master == subarray {
+            return Err(PlutoError::AllocationFailed {
+                reason: "master copy must live in a different subarray".into(),
+            });
+        }
+        if master_row_base as usize + lut.len() > cfg.rows_per_subarray as usize {
+            return Err(PlutoError::AllocationFailed {
+                reason: format!(
+                    "master rows {}..{} overflow the {}-row subarray",
+                    master_row_base,
+                    master_row_base as usize + lut.len(),
+                    cfg.rows_per_subarray
+                ),
+            });
+        }
+        let slot_bits = lut.slot_bits();
+        let per_row = slots_per_row(cfg.row_bytes, slot_bits);
+        for (i, &elem) in lut.elements().iter().enumerate() {
+            let values = vec![elem; per_row];
+            let row = pack_slots(&values, slot_bits, cfg.row_bytes)?;
+            engine.poke_row(
+                RowLoc {
+                    bank,
+                    subarray,
+                    row: RowId(i as u16),
+                },
+                &row,
+            )?;
+            engine.poke_row(
+                RowLoc {
+                    bank,
+                    subarray: master,
+                    row: RowId(master_row_base + i as u16),
+                },
+                &row,
+            )?;
+        }
+        Ok(LutStore {
+            lut,
+            bank,
+            subarray,
+            master,
+            master_row_base,
+            loaded: true,
+        })
+    }
+
+    /// The stored LUT.
+    pub fn lut(&self) -> &Lut {
+        &self.lut
+    }
+
+    /// The bank holding the store.
+    pub fn bank(&self) -> BankId {
+        self.bank
+    }
+
+    /// The pLUTo-enabled subarray.
+    pub fn subarray(&self) -> SubarrayId {
+        self.subarray
+    }
+
+    /// The master-copy subarray.
+    pub fn master(&self) -> SubarrayId {
+        self.master
+    }
+
+    /// Whether the subarray currently holds valid LUT contents.
+    pub fn is_loaded(&self) -> bool {
+        self.loaded
+    }
+
+    /// Location of the row holding element `i`.
+    pub fn element_row(&self, i: usize) -> RowLoc {
+        RowLoc {
+            bank: self.bank,
+            subarray: self.subarray,
+            row: RowId(i as u16),
+        }
+    }
+
+    /// Marks the contents destroyed (after a GSA sweep) and functionally
+    /// clears the rows: unmatched cells lost their charge, so subsequent
+    /// reads return garbage — modeled as zeros.
+    ///
+    /// # Errors
+    /// Propagates out-of-bounds errors (cannot occur for a valid store).
+    pub fn mark_destroyed(&mut self, engine: &mut Engine) -> Result<(), PlutoError> {
+        let zero = vec![0u8; engine.config().row_bytes];
+        for i in 0..self.lut.len() {
+            engine.poke_row(self.element_row(i), &zero)?;
+        }
+        self.loaded = false;
+        Ok(())
+    }
+
+    /// Reloads the LUT from the master copy via one LISA-RBM per element
+    /// row (cost `LISA_RBM × N`, Table 1 / §5.2.2).
+    ///
+    /// # Errors
+    /// Propagates DRAM errors.
+    pub fn reload(&mut self, engine: &mut Engine) -> Result<(), PlutoError> {
+        for i in 0..self.lut.len() {
+            let master_loc = RowLoc {
+                bank: self.bank,
+                subarray: self.master,
+                row: RowId(self.master_row_base + i as u16),
+            };
+            let data = engine.peek_row(master_loc)?;
+            engine.deposit_buffer(self.bank, self.master, &data)?;
+            engine.lisa_rbm_to_row(self.bank, self.master, self.subarray, RowId(i as u16))?;
+        }
+        self.loaded = true;
+        Ok(())
+    }
+
+    /// Ensures the store is ready for a query on `design`: reloads first if
+    /// the design destroys LUT data and the store is stale.
+    ///
+    /// # Errors
+    /// Propagates DRAM errors.
+    pub fn ensure_ready(&mut self, engine: &mut Engine, design: DesignKind) -> Result<(), PlutoError> {
+        if !self.loaded {
+            if design.reload_per_query() || !design.destructive_reads() {
+                self.reload(engine)?;
+            } else {
+                return Err(PlutoError::LutDestroyed);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::catalog;
+    use pluto_dram::DramConfig;
+
+    fn engine() -> Engine {
+        Engine::new(DramConfig {
+            row_bytes: 32,
+            burst_bytes: 8,
+            banks: 2,
+            subarrays_per_bank: 8,
+            rows_per_subarray: 64,
+            ..DramConfig::ddr4_2400()
+        })
+    }
+
+    #[test]
+    fn load_replicates_elements_across_rows() {
+        let mut e = engine();
+        let lut = Lut::from_table("primes", 2, 4, vec![2, 3, 5, 7]).unwrap();
+        let store =
+            LutStore::load(&mut e, lut, BankId(0), SubarrayId(2), SubarrayId(0), 0).unwrap();
+        // Row 2 holds repeated copies of element 5 = 0b0101 packed in 4-bit
+        // slots => bytes of 0x55.
+        let row = e.peek_row(store.element_row(2)).unwrap();
+        assert!(row.iter().all(|&b| b == 0x55));
+        // Master copy identical.
+        let m = e
+            .peek_row(store.element_row(2).with_subarray(0))
+            .unwrap();
+        assert_eq!(m, row);
+    }
+
+    #[test]
+    fn load_rejects_oversized_luts() {
+        let mut e = engine();
+        let lut = catalog::add(4).unwrap(); // 256 elements > 64 rows
+        assert!(matches!(
+            LutStore::load(&mut e, lut, BankId(0), SubarrayId(2), SubarrayId(0), 0),
+            Err(PlutoError::InvalidLut { .. })
+        ));
+    }
+
+    #[test]
+    fn destroy_then_reload_restores_contents() {
+        let mut e = engine();
+        let lut = Lut::from_table("primes", 2, 4, vec![2, 3, 5, 7]).unwrap();
+        let mut store =
+            LutStore::load(&mut e, lut, BankId(0), SubarrayId(1), SubarrayId(0), 60).unwrap();
+        let before = e.peek_row(store.element_row(3)).unwrap();
+        store.mark_destroyed(&mut e).unwrap();
+        assert!(!store.is_loaded());
+        assert!(e.peek_row(store.element_row(3)).unwrap().iter().all(|&b| b == 0));
+        let t0 = e.elapsed();
+        store.reload(&mut e).unwrap();
+        assert!(store.is_loaded());
+        assert_eq!(e.peek_row(store.element_row(3)).unwrap(), before);
+        // Cost: one LISA hop per element (adjacent master).
+        let dt = e.elapsed() - t0;
+        assert_eq!(dt, e.timing().t_lisa_hop.times(4));
+    }
+
+    #[test]
+    fn ensure_ready_reloads_when_stale() {
+        let mut e = engine();
+        let lut = Lut::from_table("t", 1, 1, vec![0, 1]).unwrap();
+        let mut store =
+            LutStore::load(&mut e, lut, BankId(0), SubarrayId(1), SubarrayId(0), 60).unwrap();
+        store.mark_destroyed(&mut e).unwrap();
+        store.ensure_ready(&mut e, DesignKind::Gsa).unwrap();
+        assert!(store.is_loaded());
+    }
+}

@@ -1,0 +1,579 @@
+//! Bit-accurate functional model of the DRAM array.
+//!
+//! Storage is sparse: only touched subarrays/rows are materialized, so the
+//! full 8 GB module can be simulated without allocating 8 GB. A missing row
+//! reads as all-zeros (freshly initialized DRAM).
+//!
+//! This module is *purely functional*: it models what data ends up where,
+//! with no notion of time or energy (that is [`crate::engine`]'s job).
+
+use crate::error::DramError;
+use crate::geometry::{BankId, DramConfig, RowId, RowLoc, SubarrayId};
+use std::collections::HashMap;
+
+/// The local row buffer (sense amplifiers) of one subarray.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowBuffer {
+    /// Latched data. Only meaningful while `open_row` is `Some` or after a
+    /// LISA movement deposited data (`latched` true).
+    pub data: Vec<u8>,
+    /// The row whose wordline is currently asserted, if any.
+    pub open_row: Option<RowId>,
+    /// Whether `data` holds valid latched contents (an open row, or data
+    /// deposited by a LISA-RBM into a precharged subarray's buffer).
+    pub latched: bool,
+}
+
+impl RowBuffer {
+    fn new(row_bytes: usize) -> Self {
+        RowBuffer {
+            data: vec![0; row_bytes],
+            open_row: None,
+            latched: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct SubarrayState {
+    rows: HashMap<RowId, Vec<u8>>,
+    buffer: Option<RowBuffer>,
+}
+
+/// Sparse functional storage for the whole module.
+#[derive(Debug, Clone)]
+pub struct MemoryArray {
+    cfg: DramConfig,
+    subarrays: HashMap<(BankId, SubarrayId), SubarrayState>,
+}
+
+impl MemoryArray {
+    /// Creates an all-zeros array for the given geometry.
+    pub fn new(cfg: DramConfig) -> Self {
+        MemoryArray {
+            cfg,
+            subarrays: HashMap::new(),
+        }
+    }
+
+    /// The configuration this array was built for.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    fn check(&self, loc: RowLoc) -> Result<(), DramError> {
+        if self.cfg.contains(loc) {
+            Ok(())
+        } else {
+            Err(DramError::OutOfBounds { loc })
+        }
+    }
+
+    fn sa(&mut self, bank: BankId, subarray: SubarrayId) -> &mut SubarrayState {
+        self.subarrays.entry((bank, subarray)).or_default()
+    }
+
+    fn buffer_mut(&mut self, bank: BankId, subarray: SubarrayId) -> &mut RowBuffer {
+        let row_bytes = self.cfg.row_bytes;
+        self.sa(bank, subarray)
+            .buffer
+            .get_or_insert_with(|| RowBuffer::new(row_bytes))
+    }
+
+    /// Reads a row's stored contents (zeros if never written).
+    pub fn row(&self, loc: RowLoc) -> Result<Vec<u8>, DramError> {
+        self.check(loc)?;
+        Ok(self
+            .subarrays
+            .get(&(loc.bank, loc.subarray))
+            .and_then(|sa| sa.rows.get(&loc.row))
+            .cloned()
+            .unwrap_or_else(|| vec![0; self.cfg.row_bytes]))
+    }
+
+    /// Overwrites a row's stored contents directly (no row-buffer effects).
+    ///
+    /// # Errors
+    /// Fails if `loc` is out of bounds or `data` is not exactly one row.
+    pub fn set_row(&mut self, loc: RowLoc, data: &[u8]) -> Result<(), DramError> {
+        self.check(loc)?;
+        if data.len() != self.cfg.row_bytes {
+            return Err(DramError::RowSizeMismatch {
+                expected: self.cfg.row_bytes,
+                actual: data.len(),
+            });
+        }
+        self.sa(loc.bank, loc.subarray)
+            .rows
+            .insert(loc.row, data.to_vec());
+        Ok(())
+    }
+
+    /// Returns the row buffer of a subarray, if it has ever been used.
+    pub fn buffer(&self, bank: BankId, subarray: SubarrayId) -> Option<&RowBuffer> {
+        self.subarrays
+            .get(&(bank, subarray))
+            .and_then(|sa| sa.buffer.as_ref())
+    }
+
+    /// Row currently open in a subarray (if any).
+    pub fn open_row(&self, bank: BankId, subarray: SubarrayId) -> Option<RowId> {
+        self.buffer(bank, subarray).and_then(|b| b.open_row)
+    }
+
+    /// Functional ACT: latch `loc`'s contents into the local row buffer.
+    ///
+    /// `allow_back_to_back` permits activating while another row is open in
+    /// the same subarray — required for RowClone-FPM's second activation and
+    /// for pLUTo sweep steps, which are exempt from the one-open-row rule.
+    ///
+    /// # Errors
+    /// Fails if out of bounds, or if a row is already open and
+    /// `allow_back_to_back` is false.
+    pub fn activate(&mut self, loc: RowLoc, allow_back_to_back: bool) -> Result<(), DramError> {
+        self.check(loc)?;
+        let data = self.row(loc)?;
+        let buf = self.buffer_mut(loc.bank, loc.subarray);
+        if buf.open_row.is_some() && !allow_back_to_back {
+            return Err(DramError::RowAlreadyOpen {
+                bank: loc.bank,
+                subarray: loc.subarray,
+            });
+        }
+        buf.data = data;
+        buf.open_row = Some(loc.row);
+        buf.latched = true;
+        Ok(())
+    }
+
+    /// Functional back-to-back activation used by RowClone-FPM: asserts the
+    /// destination wordline while the buffer still drives the source data,
+    /// so the *buffer contents overwrite the destination row*.
+    ///
+    /// # Errors
+    /// Fails if no row is open in the subarray.
+    pub fn activate_into(&mut self, loc: RowLoc) -> Result<(), DramError> {
+        self.check(loc)?;
+        let buf = self
+            .subarrays
+            .get(&(loc.bank, loc.subarray))
+            .and_then(|sa| sa.buffer.as_ref());
+        let Some(buf) = buf else {
+            return Err(DramError::NoOpenRow {
+                bank: loc.bank,
+                subarray: loc.subarray,
+            });
+        };
+        if !buf.latched {
+            return Err(DramError::NoOpenRow {
+                bank: loc.bank,
+                subarray: loc.subarray,
+            });
+        }
+        let data = buf.data.clone();
+        self.sa(loc.bank, loc.subarray).rows.insert(loc.row, data);
+        let buf = self.buffer_mut(loc.bank, loc.subarray);
+        buf.open_row = Some(loc.row);
+        Ok(())
+    }
+
+    /// Functional PRE: close the open row (buffer contents become stale).
+    pub fn precharge(&mut self, bank: BankId, subarray: SubarrayId) {
+        if let Some(sa) = self.subarrays.get_mut(&(bank, subarray)) {
+            if let Some(buf) = sa.buffer.as_mut() {
+                buf.open_row = None;
+                buf.latched = false;
+            }
+        }
+    }
+
+    /// Writes bytes into the open row buffer at `offset`, write-through to
+    /// the open row (cells stay connected while the wordline is asserted).
+    ///
+    /// # Errors
+    /// Fails if no row is open.
+    pub fn write_buffer(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), DramError> {
+        let row_bytes = self.cfg.row_bytes;
+        let open = self.open_row(bank, subarray);
+        let Some(open) = open else {
+            return Err(DramError::NoOpenRow { bank, subarray });
+        };
+        if offset + data.len() > row_bytes {
+            return Err(DramError::RowSizeMismatch {
+                expected: row_bytes,
+                actual: offset + data.len(),
+            });
+        }
+        let buf = self.buffer_mut(bank, subarray);
+        buf.data[offset..offset + data.len()].copy_from_slice(data);
+        let snapshot = buf.data.clone();
+        self.sa(bank, subarray).rows.insert(open, snapshot);
+        Ok(())
+    }
+
+    /// Deposits data directly into a subarray's row buffer, marking it
+    /// latched without opening a row. Models a pLUTo FF buffer (or gated
+    /// sense amplifiers) holding query results ready for a LISA movement.
+    pub fn deposit_buffer(&mut self, bank: BankId, subarray: SubarrayId, data: &[u8]) {
+        let buf = self.buffer_mut(bank, subarray);
+        buf.data.clear();
+        buf.data.extend_from_slice(data);
+        buf.open_row = None;
+        buf.latched = true;
+    }
+
+    /// LISA-RBM: deposit `from`'s latched buffer into `to`'s buffer. If `to`
+    /// has an open row, the data writes through into that row.
+    ///
+    /// # Errors
+    /// Fails if `from == to`, or `from` has no latched buffer contents.
+    pub fn lisa_rbm(
+        &mut self,
+        bank: BankId,
+        from: SubarrayId,
+        to: SubarrayId,
+    ) -> Result<(), DramError> {
+        if from == to {
+            return Err(DramError::InvalidLisa { bank, from, to });
+        }
+        let src = self
+            .buffer(bank, from)
+            .filter(|b| b.latched)
+            .map(|b| b.data.clone())
+            .ok_or(DramError::NoOpenRow {
+                bank,
+                subarray: from,
+            })?;
+        let dst = self.buffer_mut(bank, to);
+        dst.data = src;
+        dst.latched = true;
+        if let Some(open) = dst.open_row {
+            let snapshot = dst.data.clone();
+            self.sa(bank, to).rows.insert(open, snapshot);
+        }
+        Ok(())
+    }
+
+    /// Ambit triple-row activation: rows (and the buffer) settle to the
+    /// bitwise majority of the three rows' contents.
+    ///
+    /// # Errors
+    /// Fails if any row is out of bounds.
+    pub fn triple_row_activate(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        rows: [RowId; 3],
+    ) -> Result<(), DramError> {
+        let locs = rows.map(|r| RowLoc {
+            bank,
+            subarray,
+            row: r,
+        });
+        for l in locs {
+            self.check(l)?;
+        }
+        let a = self.row(locs[0])?;
+        let b = self.row(locs[1])?;
+        let c = self.row(locs[2])?;
+        let maj: Vec<u8> = a
+            .iter()
+            .zip(&b)
+            .zip(&c)
+            .map(|((&x, &y), &z)| (x & y) | (y & z) | (x & z))
+            .collect();
+        for l in locs {
+            self.sa(bank, subarray).rows.insert(l.row, maj.clone());
+        }
+        let buf = self.buffer_mut(bank, subarray);
+        buf.data = maj;
+        buf.open_row = Some(rows[0]);
+        buf.latched = true;
+        Ok(())
+    }
+
+    /// DRISA-style whole-row bit shift. The row is treated as one long
+    /// big-endian bit string (byte 0 holds the most significant bits);
+    /// "left" moves bits toward byte 0. Vacated bits fill with zeros.
+    ///
+    /// # Errors
+    /// Fails if `loc` is out of bounds.
+    pub fn shift_row_bits(&mut self, loc: RowLoc, left: bool, amount: u32) -> Result<(), DramError> {
+        self.check(loc)?;
+        let data = self.row(loc)?;
+        let shifted = shift_bits(&data, left, amount);
+        self.sa(loc.bank, loc.subarray).rows.insert(loc.row, shifted);
+        Ok(())
+    }
+
+    /// DRISA-style whole-row byte shift ("left" = toward byte 0).
+    ///
+    /// # Errors
+    /// Fails if `loc` is out of bounds.
+    pub fn shift_row_bytes(
+        &mut self,
+        loc: RowLoc,
+        left: bool,
+        amount: usize,
+    ) -> Result<(), DramError> {
+        self.check(loc)?;
+        let data = self.row(loc)?;
+        let shifted = shift_bytes(&data, left, amount);
+        self.sa(loc.bank, loc.subarray).rows.insert(loc.row, shifted);
+        Ok(())
+    }
+}
+
+/// Shifts a byte slice as one long big-endian bit string.
+pub(crate) fn shift_bits(data: &[u8], left: bool, amount: u32) -> Vec<u8> {
+    let n = data.len();
+    let byte_shift = (amount / 8) as usize;
+    let bit_shift = amount % 8;
+    let mut out = vec![0u8; n];
+    if byte_shift >= n {
+        return out;
+    }
+    if left {
+        for i in 0..n - byte_shift {
+            let hi = data[i + byte_shift] << bit_shift;
+            let lo = if bit_shift > 0 && i + byte_shift + 1 < n {
+                data[i + byte_shift + 1] >> (8 - bit_shift)
+            } else {
+                0
+            };
+            out[i] = hi | lo;
+        }
+    } else {
+        for i in byte_shift..n {
+            let lo = data[i - byte_shift] >> bit_shift;
+            let hi = if bit_shift > 0 && i - byte_shift >= 1 {
+                data[i - byte_shift - 1] << (8 - bit_shift)
+            } else {
+                0
+            };
+            out[i] = hi | lo;
+        }
+    }
+    out
+}
+
+/// Shifts a byte slice by whole bytes ("left" = toward index 0).
+pub(crate) fn shift_bytes(data: &[u8], left: bool, amount: usize) -> Vec<u8> {
+    let n = data.len();
+    let mut out = vec![0u8; n];
+    if amount >= n {
+        return out;
+    }
+    if left {
+        out[..n - amount].copy_from_slice(&data[amount..]);
+    } else {
+        out[amount..].copy_from_slice(&data[..n - amount]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> DramConfig {
+        DramConfig {
+            row_bytes: 8,
+            burst_bytes: 4,
+            banks: 2,
+            subarrays_per_bank: 4,
+            rows_per_subarray: 16,
+            ..DramConfig::ddr4_2400()
+        }
+    }
+
+    #[test]
+    fn rows_default_to_zero() {
+        let arr = MemoryArray::new(tiny_cfg());
+        assert_eq!(arr.row(RowLoc::new(0, 0, 0)).unwrap(), vec![0; 8]);
+    }
+
+    #[test]
+    fn activate_latches_row() {
+        let mut arr = MemoryArray::new(tiny_cfg());
+        let loc = RowLoc::new(0, 1, 2);
+        arr.set_row(loc, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        arr.activate(loc, false).unwrap();
+        let buf = arr.buffer(loc.bank, loc.subarray).unwrap();
+        assert_eq!(buf.data, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(buf.open_row, Some(RowId(2)));
+    }
+
+    #[test]
+    fn second_activate_rejected_unless_back_to_back() {
+        let mut arr = MemoryArray::new(tiny_cfg());
+        let loc = RowLoc::new(0, 0, 0);
+        arr.activate(loc, false).unwrap();
+        assert!(matches!(
+            arr.activate(loc.with_row(1), false),
+            Err(DramError::RowAlreadyOpen { .. })
+        ));
+        arr.activate(loc.with_row(1), true).unwrap();
+    }
+
+    #[test]
+    fn rowclone_semantics_via_activate_into() {
+        let mut arr = MemoryArray::new(tiny_cfg());
+        let src = RowLoc::new(0, 0, 3);
+        let dst = src.with_row(5);
+        arr.set_row(src, &[9; 8]).unwrap();
+        arr.activate(src, false).unwrap();
+        arr.activate_into(dst).unwrap();
+        arr.precharge(src.bank, src.subarray);
+        assert_eq!(arr.row(dst).unwrap(), vec![9; 8]);
+        assert_eq!(arr.row(src).unwrap(), vec![9; 8], "source preserved");
+    }
+
+    #[test]
+    fn activate_into_requires_latched_buffer() {
+        let mut arr = MemoryArray::new(tiny_cfg());
+        assert!(matches!(
+            arr.activate_into(RowLoc::new(0, 0, 1)),
+            Err(DramError::NoOpenRow { .. })
+        ));
+    }
+
+    #[test]
+    fn write_buffer_writes_through_to_open_row() {
+        let mut arr = MemoryArray::new(tiny_cfg());
+        let loc = RowLoc::new(1, 0, 0);
+        arr.activate(loc, false).unwrap();
+        arr.write_buffer(loc.bank, loc.subarray, 2, &[0xAA, 0xBB]).unwrap();
+        arr.precharge(loc.bank, loc.subarray);
+        let row = arr.row(loc).unwrap();
+        assert_eq!(&row[2..4], &[0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn write_buffer_requires_open_row_and_bounds() {
+        let mut arr = MemoryArray::new(tiny_cfg());
+        assert!(matches!(
+            arr.write_buffer(BankId(0), SubarrayId(0), 0, &[1]),
+            Err(DramError::NoOpenRow { .. })
+        ));
+        let loc = RowLoc::new(0, 0, 0);
+        arr.activate(loc, false).unwrap();
+        assert!(matches!(
+            arr.write_buffer(BankId(0), SubarrayId(0), 6, &[1, 2, 3]),
+            Err(DramError::RowSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn lisa_moves_buffer_and_writes_through() {
+        let mut arr = MemoryArray::new(tiny_cfg());
+        let src = RowLoc::new(0, 0, 1);
+        let dst = RowLoc::new(0, 2, 7);
+        arr.set_row(src, &[7; 8]).unwrap();
+        arr.activate(dst, false).unwrap(); // open destination row first
+        arr.activate(src, false).unwrap();
+        arr.lisa_rbm(src.bank, src.subarray, dst.subarray).unwrap();
+        arr.precharge(dst.bank, dst.subarray);
+        assert_eq!(arr.row(dst).unwrap(), vec![7; 8]);
+    }
+
+    #[test]
+    fn lisa_rejects_same_subarray_and_unlatched_source() {
+        let mut arr = MemoryArray::new(tiny_cfg());
+        assert!(matches!(
+            arr.lisa_rbm(BankId(0), SubarrayId(1), SubarrayId(1)),
+            Err(DramError::InvalidLisa { .. })
+        ));
+        assert!(matches!(
+            arr.lisa_rbm(BankId(0), SubarrayId(0), SubarrayId(1)),
+            Err(DramError::NoOpenRow { .. })
+        ));
+    }
+
+    #[test]
+    fn tra_computes_majority_into_all_three_rows() {
+        let mut arr = MemoryArray::new(tiny_cfg());
+        let b = BankId(0);
+        let s = SubarrayId(0);
+        arr.set_row(RowLoc::new(0, 0, 0), &[0b1100; 8]).unwrap();
+        arr.set_row(RowLoc::new(0, 0, 1), &[0b1010; 8]).unwrap();
+        arr.set_row(RowLoc::new(0, 0, 2), &[0b0110; 8]).unwrap();
+        arr.triple_row_activate(b, s, [RowId(0), RowId(1), RowId(2)]).unwrap();
+        let expect = vec![0b1110u8; 8];
+        for r in 0..3 {
+            assert_eq!(arr.row(RowLoc::new(0, 0, r)).unwrap(), expect);
+        }
+        assert_eq!(arr.buffer(b, s).unwrap().data, expect);
+    }
+
+    #[test]
+    fn tra_with_zeros_row_is_and_with_ones_row_is_or() {
+        // MAJ(a, b, 0) = a AND b; MAJ(a, b, 1) = a OR b (Ambit's trick).
+        let mut arr = MemoryArray::new(tiny_cfg());
+        arr.set_row(RowLoc::new(0, 0, 0), &[0b1100; 8]).unwrap();
+        arr.set_row(RowLoc::new(0, 0, 1), &[0b1010; 8]).unwrap();
+        arr.set_row(RowLoc::new(0, 0, 2), &[0x00; 8]).unwrap();
+        arr.triple_row_activate(BankId(0), SubarrayId(0), [RowId(0), RowId(1), RowId(2)])
+            .unwrap();
+        assert_eq!(arr.row(RowLoc::new(0, 0, 0)).unwrap(), vec![0b1000u8; 8]);
+
+        let mut arr = MemoryArray::new(tiny_cfg());
+        arr.set_row(RowLoc::new(0, 0, 0), &[0b1100; 8]).unwrap();
+        arr.set_row(RowLoc::new(0, 0, 1), &[0b1010; 8]).unwrap();
+        arr.set_row(RowLoc::new(0, 0, 2), &[0xFF; 8]).unwrap();
+        arr.triple_row_activate(BankId(0), SubarrayId(0), [RowId(0), RowId(1), RowId(2)])
+            .unwrap();
+        assert_eq!(arr.row(RowLoc::new(0, 0, 0)).unwrap(), vec![0b1110u8; 8]);
+    }
+
+    #[test]
+    fn bit_shift_left_crosses_byte_boundaries() {
+        let v = shift_bits(&[0b0000_0001, 0b1000_0000], true, 1);
+        assert_eq!(v, vec![0b0000_0011, 0b0000_0000]);
+        let v = shift_bits(&[0xAB, 0xCD], true, 8);
+        assert_eq!(v, vec![0xCD, 0x00]);
+        let v = shift_bits(&[0xAB, 0xCD], true, 16);
+        assert_eq!(v, vec![0, 0]);
+    }
+
+    #[test]
+    fn bit_shift_right_crosses_byte_boundaries() {
+        let v = shift_bits(&[0b0000_0011, 0b0000_0000], false, 1);
+        assert_eq!(v, vec![0b0000_0001, 0b1000_0000]);
+        let v = shift_bits(&[0xAB, 0xCD], false, 8);
+        assert_eq!(v, vec![0x00, 0xAB]);
+    }
+
+    #[test]
+    fn bit_shift_roundtrip_preserves_interior() {
+        let data = vec![0x12, 0x34, 0x56, 0x78];
+        let back = shift_bits(&shift_bits(&data, true, 5), false, 5);
+        // Top 5 bits were shifted out and lost; the rest must round-trip.
+        let mask_first = 0xFFu8 >> 5;
+        assert_eq!(back[0] & mask_first, data[0] & mask_first);
+        assert_eq!(&back[1..], &data[1..]);
+    }
+
+    #[test]
+    fn byte_shift() {
+        assert_eq!(shift_bytes(&[1, 2, 3, 4], true, 1), vec![2, 3, 4, 0]);
+        assert_eq!(shift_bytes(&[1, 2, 3, 4], false, 2), vec![0, 0, 1, 2]);
+        assert_eq!(shift_bytes(&[1, 2], false, 5), vec![0, 0]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected_everywhere() {
+        let mut arr = MemoryArray::new(tiny_cfg());
+        let bad = RowLoc::new(9, 0, 0);
+        assert!(arr.row(bad).is_err());
+        assert!(arr.set_row(bad, &[0; 8]).is_err());
+        assert!(arr.activate(bad, false).is_err());
+        assert!(arr.shift_row_bits(bad, true, 1).is_err());
+    }
+}

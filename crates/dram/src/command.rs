@@ -1,0 +1,174 @@
+//! The DRAM command vocabulary.
+//!
+//! Besides the standard ACT/PRE/RD/WR set (paper §2.1), the simulator models
+//! the enhanced-DRAM commands pLUTo composes (§2.2): RowClone-FPM
+//! intra-subarray copy, LISA-RBM inter-subarray row-buffer movement, Ambit
+//! triple-row activation, DRISA shifting — and the new pLUTo sweep-step
+//! activations (§5).
+
+use crate::geometry::{BankId, RowId, RowLoc, SubarrayId};
+use std::fmt;
+
+/// The kind of row activation performed during a pLUTo Row Sweep.
+///
+/// The three pLUTo designs differ in what one sweep step costs (Table 1):
+///
+/// * **BSA** performs a *full* activate-precharge cycle per swept row
+///   (`tRCD + tRP` per step).
+/// * **GSA** and **GMC** only trigger charge sharing per step (`tRCD`), with
+///   one final precharge for the whole sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepStepKind {
+    /// Full ACT + PRE cycle (pLUTo-BSA).
+    FullCycle,
+    /// Charge-share-only activation, no per-step precharge (pLUTo-GSA and
+    /// pLUTo-GMC).
+    ChargeShare,
+}
+
+impl fmt::Display for SweepStepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepStepKind::FullCycle => write!(f, "full-cycle"),
+            SweepStepKind::ChargeShare => write!(f, "charge-share"),
+        }
+    }
+}
+
+/// A single DRAM command as executed by the [`crate::Engine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Activate a row: wordline assert, charge share, sense, restore.
+    Activate(RowLoc),
+    /// Precharge a subarray's bitlines, closing any open row.
+    Precharge(BankId, SubarrayId),
+    /// Read one burst from the open row buffer.
+    ReadBurst(BankId, SubarrayId),
+    /// Write one burst into the open row buffer (and the open row).
+    WriteBurst(BankId, SubarrayId),
+    /// RowClone-FPM: copy `src` row onto `dst` row of the same subarray via
+    /// two back-to-back activations (Seshadri et al., MICRO 2013).
+    RowCloneFpm {
+        /// Source row.
+        src: RowLoc,
+        /// Destination row (same bank and subarray as `src`).
+        dst_row: RowId,
+    },
+    /// LISA-RBM: move the contents of `from`'s row buffer into `to`'s row
+    /// buffer through linked isolation transistors (Chang et al., HPCA 2016).
+    LisaRbm {
+        /// Bank in which the movement happens.
+        bank: BankId,
+        /// Source subarray (must have an open/latched row buffer).
+        from: SubarrayId,
+        /// Destination subarray.
+        to: SubarrayId,
+    },
+    /// Ambit triple-row activation: simultaneously activate three rows; the
+    /// row buffer and all three rows settle to the bitwise majority
+    /// (Seshadri et al., MICRO 2017).
+    TripleRowActivate {
+        /// Bank and subarray (row field unused).
+        bank: BankId,
+        /// Subarray holding the three rows.
+        subarray: SubarrayId,
+        /// The three simultaneously activated rows.
+        rows: [RowId; 3],
+    },
+    /// One step of a pLUTo Row Sweep: activate `loc` with the given step
+    /// kind. Match-dependent data movement is handled by the pLUTo layer;
+    /// the engine accounts time/energy and exposes the activated row.
+    SweepStep {
+        /// The swept row.
+        loc: RowLoc,
+        /// Cost class of this step.
+        kind: SweepStepKind,
+    },
+}
+
+impl Command {
+    /// Whether this command issues at least one row activation (and hence
+    /// participates in the tFAW window).
+    pub fn activation_count(&self) -> u32 {
+        match self {
+            Command::Activate(_) => 1,
+            Command::RowCloneFpm { .. } => 2,
+            Command::TripleRowActivate { .. } => 1, // one ACT asserting 3 wordlines
+            Command::SweepStep { .. } => 1,
+            _ => 0,
+        }
+    }
+
+    /// Short mnemonic used in traces.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Command::Activate(_) => "ACT",
+            Command::Precharge(..) => "PRE",
+            Command::ReadBurst(..) => "RD",
+            Command::WriteBurst(..) => "WR",
+            Command::RowCloneFpm { .. } => "RC-FPM",
+            Command::LisaRbm { .. } => "LISA",
+            Command::TripleRowActivate { .. } => "TRA",
+            Command::SweepStep { .. } => "SWEEP",
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Activate(loc) => write!(f, "ACT {loc}"),
+            Command::Precharge(b, s) => write!(f, "PRE {b}/{s}"),
+            Command::ReadBurst(b, s) => write!(f, "RD {b}/{s}"),
+            Command::WriteBurst(b, s) => write!(f, "WR {b}/{s}"),
+            Command::RowCloneFpm { src, dst_row } => write!(f, "RC-FPM {src} -> {dst_row}"),
+            Command::LisaRbm { bank, from, to } => write!(f, "LISA {bank}: {from} -> {to}"),
+            Command::TripleRowActivate {
+                bank,
+                subarray,
+                rows,
+            } => write!(
+                f,
+                "TRA {bank}/{subarray} [{}, {}, {}]",
+                rows[0], rows[1], rows[2]
+            ),
+            Command::SweepStep { loc, kind } => write!(f, "SWEEP({kind}) {loc}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_counts() {
+        assert_eq!(Command::Activate(RowLoc::new(0, 0, 0)).activation_count(), 1);
+        assert_eq!(
+            Command::RowCloneFpm {
+                src: RowLoc::new(0, 0, 0),
+                dst_row: RowId(1)
+            }
+            .activation_count(),
+            2
+        );
+        assert_eq!(Command::Precharge(BankId(0), SubarrayId(0)).activation_count(), 0);
+        assert_eq!(Command::ReadBurst(BankId(0), SubarrayId(0)).activation_count(), 0);
+    }
+
+    #[test]
+    fn mnemonics_and_display() {
+        let c = Command::SweepStep {
+            loc: RowLoc::new(0, 1, 2),
+            kind: SweepStepKind::ChargeShare,
+        };
+        assert_eq!(c.mnemonic(), "SWEEP");
+        assert!(c.to_string().contains("charge-share"));
+        let t = Command::TripleRowActivate {
+            bank: BankId(0),
+            subarray: SubarrayId(0),
+            rows: [RowId(1), RowId(2), RowId(3)],
+        };
+        assert!(t.to_string().contains("TRA"));
+    }
+}

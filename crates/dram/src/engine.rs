@@ -1,0 +1,792 @@
+//! The command-level DRAM simulation engine.
+//!
+//! [`Engine`] couples the functional array model with the timing and energy
+//! models: every operation mutates data exactly as the hardware would *and*
+//! advances the simulated clock / energy accumulators according to the
+//! command sequence it implies. This mirrors the paper's methodology (§7.1:
+//! "Our simulator estimates the performance of pLUTo operations by parsing
+//! the sequence of memory commands required to perform them and enforcing
+//! the memory's timing parameters"), with the addition of bit-accurate data.
+//!
+//! The engine is *serial*: commands execute one after another. Overlapped
+//! execution across subarrays (SALP) is modeled by [`crate::schedule`],
+//! which computes the parallel makespan for the same command streams. Energy
+//! is unaffected by parallelism (paper §8.3), so the engine's accumulator is
+//! authoritative in both cases.
+
+use crate::array::{MemoryArray, RowBuffer};
+use crate::command::{Command, SweepStepKind};
+use crate::energy::EnergyModel;
+use crate::error::DramError;
+use crate::geometry::{BankId, DramConfig, RowId, RowLoc, SubarrayId};
+use crate::stats::CommandStats;
+use crate::timing::TimingParams;
+use crate::units::{PicoJoules, Picos};
+use std::collections::VecDeque;
+
+/// Command-level DRAM simulator with functional, timing, and energy models.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cfg: DramConfig,
+    timing: TimingParams,
+    energy_model: EnergyModel,
+    array: MemoryArray,
+    clock: Picos,
+    command_energy: PicoJoules,
+    stats: CommandStats,
+    /// Issue timestamps of the last four activations (tFAW window, per rank;
+    /// the paper's configurations are single-rank).
+    act_window: VecDeque<Picos>,
+    /// Optional command trace (off by default; enable for golden tests).
+    trace: Option<Vec<Command>>,
+}
+
+impl Engine {
+    /// Creates an engine with the timing/energy models matching `cfg`.
+    pub fn new(cfg: DramConfig) -> Self {
+        let timing = match cfg.kind {
+            crate::geometry::MemoryKind::Ddr4 => TimingParams::ddr4_2400(),
+            crate::geometry::MemoryKind::Stacked3d => TimingParams::hmc_3ds(),
+        };
+        let energy_model = EnergyModel::for_config(&cfg);
+        Engine {
+            array: MemoryArray::new(cfg.clone()),
+            cfg,
+            timing,
+            energy_model,
+            clock: Picos::ZERO,
+            command_energy: PicoJoules::ZERO,
+            stats: CommandStats::new(),
+            act_window: VecDeque::with_capacity(4),
+            trace: None,
+        }
+    }
+
+    /// Creates an engine with explicit timing/energy models (e.g. a scaled
+    /// tFAW for the paper's Fig. 13 sensitivity study).
+    pub fn with_models(cfg: DramConfig, timing: TimingParams, energy: EnergyModel) -> Self {
+        Engine {
+            array: MemoryArray::new(cfg.clone()),
+            cfg,
+            timing,
+            energy_model: energy,
+            clock: Picos::ZERO,
+            command_energy: PicoJoules::ZERO,
+            stats: CommandStats::new(),
+            act_window: VecDeque::with_capacity(4),
+            trace: None,
+        }
+    }
+
+    /// Enables command tracing. Traced commands are retrievable with
+    /// [`Engine::take_trace`].
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes and clears the accumulated trace (empty if tracing disabled).
+    pub fn take_trace(&mut self) -> Vec<Command> {
+        self.trace.take().map(|t| {
+            self.trace = Some(Vec::new());
+            t
+        })
+        .unwrap_or_default()
+    }
+
+    /// The geometry this engine simulates.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// The timing parameters in force.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// The energy model in force.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy_model
+    }
+
+    /// Read-only access to the functional array.
+    pub fn array(&self) -> &MemoryArray {
+        &self.array
+    }
+
+    /// Simulated time elapsed since construction (or the last reset).
+    pub fn elapsed(&self) -> Picos {
+        self.clock
+    }
+
+    /// Dynamic (per-command) energy consumed so far.
+    pub fn command_energy(&self) -> PicoJoules {
+        self.command_energy
+    }
+
+    /// Total energy: dynamic command energy plus background power
+    /// integrated over elapsed time.
+    pub fn total_energy(&self) -> PicoJoules {
+        let background_pj = self.energy_model.background_watts * self.clock.as_secs() * 1e12;
+        self.command_energy + PicoJoules::from_pj(background_pj)
+    }
+
+    /// Command counters.
+    pub fn stats(&self) -> CommandStats {
+        self.stats
+    }
+
+    /// Resets clock, energy, and counters (array contents are preserved).
+    pub fn reset_accounting(&mut self) {
+        self.clock = Picos::ZERO;
+        self.command_energy = PicoJoules::ZERO;
+        self.stats = CommandStats::new();
+        self.act_window.clear();
+    }
+
+    fn record(&mut self, cmd: Command) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(cmd);
+        }
+    }
+
+    /// Reserves an activation slot: returns the issue time respecting tFAW,
+    /// and records the issue in the window.
+    fn issue_act(&mut self) -> Picos {
+        let mut at = self.clock;
+        if self.timing.t_faw_enabled() && self.act_window.len() >= 4 {
+            let fourth_back = self.act_window[self.act_window.len() - 4];
+            let earliest = fourth_back + self.timing.t_faw;
+            at = at.max(earliest);
+        }
+        self.act_window.push_back(at);
+        while self.act_window.len() > 4 {
+            self.act_window.pop_front();
+        }
+        at
+    }
+
+    fn spend(&mut self, duration: Picos, energy: PicoJoules) {
+        self.clock += duration;
+        self.command_energy += energy;
+    }
+
+    // ------------------------------------------------------------------
+    // Standard commands
+    // ------------------------------------------------------------------
+
+    /// ACT: open `loc` (tRCD; `E_ACT`).
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds locations or if the subarray already has an
+    /// open row.
+    pub fn activate(&mut self, loc: RowLoc) -> Result<(), DramError> {
+        self.array.activate(loc, false)?;
+        let at = self.issue_act();
+        self.clock = at;
+        self.spend(self.timing.t_rcd, self.energy_model.e_act);
+        self.stats.activates += 1;
+        self.record(Command::Activate(loc));
+        Ok(())
+    }
+
+    /// PRE: close the open row (tRP; `E_PRE`). Idempotent on a precharged
+    /// subarray (real controllers may issue redundant PREs).
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds bank/subarray.
+    pub fn precharge(&mut self, bank: BankId, subarray: SubarrayId) -> Result<(), DramError> {
+        let probe = RowLoc {
+            bank,
+            subarray,
+            row: RowId(0),
+        };
+        if !self.cfg.contains(probe) {
+            return Err(DramError::OutOfBounds { loc: probe });
+        }
+        self.array.precharge(bank, subarray);
+        self.spend(self.timing.t_rp, self.energy_model.e_pre);
+        self.stats.precharges += 1;
+        self.record(Command::Precharge(bank, subarray));
+        Ok(())
+    }
+
+    /// Returns the latched row-buffer contents of a subarray.
+    ///
+    /// # Errors
+    /// Fails if the subarray has no latched contents.
+    pub fn row_buffer(&self, bank: BankId, subarray: SubarrayId) -> Result<&RowBuffer, DramError> {
+        self.array
+            .buffer(bank, subarray)
+            .filter(|b| b.latched)
+            .ok_or(DramError::NoOpenRow { bank, subarray })
+    }
+
+    /// Host read of a full row over the memory bus: ACT + RD bursts + PRE.
+    /// Returns the row contents.
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds locations or an already-open row.
+    pub fn read_row(&mut self, loc: RowLoc) -> Result<Vec<u8>, DramError> {
+        self.activate(loc)?;
+        let bursts = self.cfg.bursts_per_row();
+        let data = self.array.buffer(loc.bank, loc.subarray).unwrap().data.clone();
+        self.spend(
+            self.timing.row_readout(bursts),
+            self.energy_model.e_rd_burst.times(bursts as u64),
+        );
+        self.stats.read_bursts += bursts as u64;
+        for _ in 0..bursts.min(1) {
+            self.record(Command::ReadBurst(loc.bank, loc.subarray));
+        }
+        self.precharge(loc.bank, loc.subarray)?;
+        Ok(data)
+    }
+
+    /// Host write of a full row over the memory bus: ACT + WR bursts + PRE.
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds locations, an already-open row, or mismatched
+    /// data length.
+    pub fn write_row(&mut self, loc: RowLoc, data: &[u8]) -> Result<(), DramError> {
+        if data.len() != self.cfg.row_bytes {
+            return Err(DramError::RowSizeMismatch {
+                expected: self.cfg.row_bytes,
+                actual: data.len(),
+            });
+        }
+        self.activate(loc)?;
+        self.array.write_buffer(loc.bank, loc.subarray, 0, data)?;
+        let bursts = self.cfg.bursts_per_row();
+        self.spend(
+            self.timing.row_readout(bursts),
+            self.energy_model.e_wr_burst.times(bursts as u64),
+        );
+        self.stats.write_bursts += bursts as u64;
+        self.record(Command::WriteBurst(loc.bank, loc.subarray));
+        self.precharge(loc.bank, loc.subarray)?;
+        Ok(())
+    }
+
+    /// Zero-cost backdoor for test/workload setup: writes a row without
+    /// advancing time or energy (models data already resident in DRAM).
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds or mismatched length.
+    pub fn poke_row(&mut self, loc: RowLoc, data: &[u8]) -> Result<(), DramError> {
+        self.array.set_row(loc, data)
+    }
+
+    /// Zero-cost backdoor: reads a row without advancing time or energy.
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds locations.
+    pub fn peek_row(&self, loc: RowLoc) -> Result<Vec<u8>, DramError> {
+        self.array.row(loc)
+    }
+
+    // ------------------------------------------------------------------
+    // Enhanced-DRAM commands (paper §2.2)
+    // ------------------------------------------------------------------
+
+    /// RowClone-FPM: intra-subarray row copy via back-to-back activations
+    /// (ACT src, ACT dst, PRE). Latency 2·tRCD + tRP; energy 2·E_ACT + E_PRE.
+    ///
+    /// # Errors
+    /// Fails if the rows are in different subarrays or out of bounds.
+    pub fn row_clone_fpm(&mut self, src: RowLoc, dst_row: RowId) -> Result<(), DramError> {
+        let dst = RowLoc {
+            bank: src.bank,
+            subarray: src.subarray,
+            row: dst_row,
+        };
+        if !self.cfg.contains(src) {
+            return Err(DramError::OutOfBounds { loc: src });
+        }
+        if !self.cfg.contains(dst) {
+            return Err(DramError::OutOfBounds { loc: dst });
+        }
+        self.array.activate(src, false)?;
+        self.array.activate_into(dst)?;
+        self.array.precharge(src.bank, src.subarray);
+        let at = self.issue_act();
+        self.clock = at;
+        // Second ACT also occupies a tFAW slot.
+        let _ = self.issue_act();
+        self.spend(
+            self.timing.t_rcd.times(2) + self.timing.t_rp,
+            self.energy_model.e_act.times(2) + self.energy_model.e_pre,
+        );
+        self.stats.activates += 2;
+        self.stats.precharges += 1;
+        self.stats.row_clones += 1;
+        self.record(Command::RowCloneFpm { src, dst_row });
+        Ok(())
+    }
+
+    /// Ambit dual-contact-cell (DCC) negating copy: clones `src` onto
+    /// `dst_row` of the same subarray with every bit complemented
+    /// (Seshadri et al. use DCC rows to implement in-DRAM NOT). Costs the
+    /// same ACT-ACT-PRE sequence as RowClone-FPM.
+    ///
+    /// # Errors
+    /// Fails if either row is out of bounds.
+    pub fn row_clone_dcc(&mut self, src: RowLoc, dst_row: RowId) -> Result<(), DramError> {
+        let dst = RowLoc {
+            bank: src.bank,
+            subarray: src.subarray,
+            row: dst_row,
+        };
+        if !self.cfg.contains(src) {
+            return Err(DramError::OutOfBounds { loc: src });
+        }
+        if !self.cfg.contains(dst) {
+            return Err(DramError::OutOfBounds { loc: dst });
+        }
+        let negated: Vec<u8> = self.array.row(src)?.iter().map(|b| !b).collect();
+        self.array.set_row(dst, &negated)?;
+        let at = self.issue_act();
+        self.clock = at;
+        let _ = self.issue_act();
+        self.spend(
+            self.timing.t_rcd.times(2) + self.timing.t_rp,
+            self.energy_model.e_act.times(2) + self.energy_model.e_pre,
+        );
+        self.stats.activates += 2;
+        self.stats.precharges += 1;
+        self.stats.row_clones += 1;
+        self.record(Command::RowCloneFpm { src, dst_row });
+        Ok(())
+    }
+
+    /// LISA-RBM: move `from`'s latched row buffer to `to`'s row buffer
+    /// (writes through to `to`'s open row if any). Cost is one hop per
+    /// subarray crossed.
+    ///
+    /// # Errors
+    /// Fails if `from == to` or `from` has no latched contents.
+    pub fn lisa_rbm(
+        &mut self,
+        bank: BankId,
+        from: SubarrayId,
+        to: SubarrayId,
+    ) -> Result<(), DramError> {
+        self.array.lisa_rbm(bank, from, to)?;
+        let hops = from.0.abs_diff(to.0) as u64;
+        self.spend(
+            self.timing.t_lisa_hop.times(hops),
+            self.energy_model.e_lisa_hop.times(hops),
+        );
+        self.stats.lisa_hops += hops;
+        self.record(Command::LisaRbm { bank, from, to });
+        Ok(())
+    }
+
+    /// Zero-cost functional deposit of data into a subarray's row buffer,
+    /// modeling a pLUTo FF buffer (or gated sense amplifiers) driving the
+    /// LISA links. The buffer becomes latched; no open row is implied and
+    /// no time or energy is charged (the cost sits in the subsequent
+    /// [`Engine::lisa_rbm_to_row`]).
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds subarrays or mismatched data length.
+    pub fn deposit_buffer(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        data: &[u8],
+    ) -> Result<(), DramError> {
+        let probe = RowLoc {
+            bank,
+            subarray,
+            row: RowId(0),
+        };
+        if !self.cfg.contains(probe) {
+            return Err(DramError::OutOfBounds { loc: probe });
+        }
+        if data.len() != self.cfg.row_bytes {
+            return Err(DramError::RowSizeMismatch {
+                expected: self.cfg.row_bytes,
+                actual: data.len(),
+            });
+        }
+        self.array.deposit_buffer(bank, subarray, data);
+        Ok(())
+    }
+
+    /// LISA-RBM variant that *commits* the moved row buffer into a specific
+    /// destination row (the RBM operation activates the destination row as
+    /// part of the movement; its published per-row cost covers the whole
+    /// transfer, which is why no separate ACT is charged — see paper Table 1
+    /// where GSA reload costs exactly `LISA_RBM × N`).
+    ///
+    /// # Errors
+    /// Fails if `from == to`, `from` has no latched contents, or `dst_row`
+    /// is out of bounds.
+    pub fn lisa_rbm_to_row(
+        &mut self,
+        bank: BankId,
+        from: SubarrayId,
+        to: SubarrayId,
+        dst_row: RowId,
+    ) -> Result<(), DramError> {
+        let dst = RowLoc {
+            bank,
+            subarray: to,
+            row: dst_row,
+        };
+        if !self.cfg.contains(dst) {
+            return Err(DramError::OutOfBounds { loc: dst });
+        }
+        self.array.lisa_rbm(bank, from, to)?;
+        let data = self
+            .array
+            .buffer(bank, to)
+            .expect("lisa_rbm latched destination")
+            .data
+            .clone();
+        self.array.set_row(dst, &data)?;
+        let hops = from.0.abs_diff(to.0) as u64;
+        self.spend(
+            self.timing.t_lisa_hop.times(hops),
+            self.energy_model.e_lisa_hop.times(hops),
+        );
+        self.stats.lisa_hops += hops;
+        self.record(Command::LisaRbm { bank, from, to });
+        Ok(())
+    }
+
+    /// Ambit triple-row activation (one ACT asserting three wordlines, plus
+    /// PRE). The three rows and the row buffer settle to bitwise majority.
+    /// Energy is 1.5 × E_ACT (three wordlines, shared bitline swing) + E_PRE.
+    ///
+    /// # Errors
+    /// Fails if any row is out of bounds.
+    pub fn triple_row_activate(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        rows: [RowId; 3],
+    ) -> Result<(), DramError> {
+        self.array.triple_row_activate(bank, subarray, rows)?;
+        self.array.precharge(bank, subarray);
+        let at = self.issue_act();
+        self.clock = at;
+        self.spend(
+            self.timing.t_rcd + self.timing.t_rp,
+            self.energy_model.e_act * 1.5 + self.energy_model.e_pre,
+        );
+        self.stats.activates += 1;
+        self.stats.precharges += 1;
+        self.stats.triple_acts += 1;
+        self.record(Command::TripleRowActivate {
+            bank,
+            subarray,
+            rows,
+        });
+        Ok(())
+    }
+
+    /// DRISA-style in-DRAM shift of a row. DRISA shifts 1 or 8 bits per
+    /// ACT-ACT-PRE sequence (paper §2.2); an arbitrary `amount` is composed
+    /// of `amount / 8` byte-steps plus `amount % 8` bit-steps.
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds locations.
+    pub fn shift_row(&mut self, loc: RowLoc, left: bool, amount: u32) -> Result<(), DramError> {
+        if !self.cfg.contains(loc) {
+            return Err(DramError::OutOfBounds { loc });
+        }
+        let byte_steps = (amount / 8) as u64;
+        let bit_steps = (amount % 8) as u64;
+        let steps = byte_steps + bit_steps;
+        if steps == 0 {
+            return Ok(());
+        }
+        self.array.shift_row_bits(loc, left, amount)?;
+        // Each step costs one ACT-ACT-PRE sequence (like RowClone).
+        let per_step_t = self.timing.t_rcd.times(2) + self.timing.t_rp;
+        let per_step_e = self.energy_model.e_act.times(2) + self.energy_model.e_pre;
+        for _ in 0..steps {
+            let at = self.issue_act();
+            self.clock = at;
+            let _ = self.issue_act();
+            self.spend(per_step_t, per_step_e);
+        }
+        self.stats.activates += 2 * steps;
+        self.stats.precharges += steps;
+        self.record(Command::Activate(loc)); // summarized in trace
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // pLUTo sweep steps (paper §5)
+    // ------------------------------------------------------------------
+
+    /// One step of a pLUTo Row Sweep.
+    ///
+    /// * [`SweepStepKind::FullCycle`] (BSA): full ACT + PRE per step —
+    ///   latency tRCD + tRP, energy E_ACT + E_PRE; the row buffer holds the
+    ///   activated row's contents and the subarray ends precharged.
+    /// * [`SweepStepKind::ChargeShare`] (GSA/GMC): activation only — latency
+    ///   tRCD, energy `e_charge_share`; back-to-back steps are allowed and
+    ///   the subarray stays open until [`Engine::precharge`].
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds locations.
+    pub fn sweep_step(&mut self, loc: RowLoc, kind: SweepStepKind) -> Result<(), DramError> {
+        if !self.cfg.contains(loc) {
+            return Err(DramError::OutOfBounds { loc });
+        }
+        self.array.activate(loc, true)?;
+        let at = self.issue_act();
+        self.clock = at;
+        match kind {
+            SweepStepKind::FullCycle => {
+                self.array.precharge(loc.bank, loc.subarray);
+                self.spend(
+                    self.timing.act_pre_cycle(),
+                    self.energy_model.act_pre_cycle(),
+                );
+            }
+            SweepStepKind::ChargeShare => {
+                self.spend(self.timing.t_rcd, self.energy_model.e_charge_share);
+            }
+        }
+        self.stats.activates += 1;
+        if kind == SweepStepKind::FullCycle {
+            self.stats.precharges += 1;
+        }
+        self.stats.sweep_steps += 1;
+        self.record(Command::SweepStep { loc, kind });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Engine {
+        Engine::new(DramConfig {
+            row_bytes: 16,
+            burst_bytes: 8,
+            banks: 2,
+            subarrays_per_bank: 8,
+            rows_per_subarray: 32,
+            ..DramConfig::ddr4_2400()
+        })
+    }
+
+    #[test]
+    fn activate_precharge_timing() {
+        let mut e = tiny();
+        let loc = RowLoc::new(0, 0, 0);
+        e.activate(loc).unwrap();
+        assert_eq!(e.elapsed(), e.timing().t_rcd);
+        e.precharge(loc.bank, loc.subarray).unwrap();
+        assert_eq!(e.elapsed(), e.timing().t_rcd + e.timing().t_rp);
+        assert_eq!(e.stats().activates, 1);
+        assert_eq!(e.stats().precharges, 1);
+    }
+
+    #[test]
+    fn activate_energy_accumulates() {
+        let mut e = tiny();
+        e.activate(RowLoc::new(0, 0, 0)).unwrap();
+        e.precharge(BankId(0), SubarrayId(0)).unwrap();
+        let expect = e.energy_model().act_pre_cycle();
+        assert!((e.command_energy().as_pj() - expect.as_pj()).abs() < 1e-9);
+        assert!(e.total_energy() > e.command_energy(), "background power adds in");
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut e = tiny();
+        let loc = RowLoc::new(1, 3, 9);
+        let data: Vec<u8> = (0..16).collect();
+        e.write_row(loc, &data).unwrap();
+        assert_eq!(e.read_row(loc).unwrap(), data);
+        assert!(e.stats().read_bursts > 0);
+        assert!(e.stats().write_bursts > 0);
+    }
+
+    #[test]
+    fn write_row_length_validated() {
+        let mut e = tiny();
+        assert!(matches!(
+            e.write_row(RowLoc::new(0, 0, 0), &[1, 2, 3]),
+            Err(DramError::RowSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn row_clone_copies_and_costs_two_acts() {
+        let mut e = tiny();
+        let src = RowLoc::new(0, 2, 4);
+        e.poke_row(src, &[0x5A; 16]).unwrap();
+        let t0 = e.elapsed();
+        e.row_clone_fpm(src, RowId(7)).unwrap();
+        assert_eq!(e.peek_row(src.with_row(7)).unwrap(), vec![0x5A; 16]);
+        let dt = e.elapsed() - t0;
+        assert_eq!(dt, e.timing().t_rcd.times(2) + e.timing().t_rp);
+        assert_eq!(e.stats().row_clones, 1);
+        assert_eq!(e.stats().activates, 2);
+    }
+
+    #[test]
+    fn lisa_cost_scales_with_distance() {
+        let mut e = tiny();
+        let src = RowLoc::new(0, 1, 0);
+        e.poke_row(src, &[9; 16]).unwrap();
+        e.activate(src).unwrap();
+        let t0 = e.elapsed();
+        e.lisa_rbm(BankId(0), SubarrayId(1), SubarrayId(4)).unwrap();
+        assert_eq!(e.elapsed() - t0, e.timing().t_lisa_hop.times(3));
+        assert_eq!(e.stats().lisa_hops, 3);
+        assert_eq!(
+            e.row_buffer(BankId(0), SubarrayId(4)).unwrap().data,
+            vec![9; 16]
+        );
+    }
+
+    #[test]
+    fn sweep_step_costs_match_table1_components() {
+        // BSA step: tRCD + tRP. GSA/GMC step: tRCD only.
+        let mut e = tiny();
+        let loc = RowLoc::new(0, 0, 0);
+        e.sweep_step(loc, SweepStepKind::FullCycle).unwrap();
+        assert_eq!(e.elapsed(), e.timing().act_pre_cycle());
+        let mut e = tiny();
+        e.sweep_step(loc, SweepStepKind::ChargeShare).unwrap();
+        assert_eq!(e.elapsed(), e.timing().t_rcd);
+        // Charge-share steps may run back to back.
+        e.sweep_step(loc.with_row(1), SweepStepKind::ChargeShare).unwrap();
+        assert_eq!(e.elapsed(), e.timing().t_rcd.times(2));
+    }
+
+    #[test]
+    fn bsa_sweep_of_n_rows_costs_n_act_pre_cycles() {
+        // Table 1: BSA query latency = (tRCD + tRP) × N.
+        let mut e = tiny();
+        let n = 16u16;
+        for r in 0..n {
+            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::FullCycle).unwrap();
+        }
+        assert_eq!(e.elapsed(), e.timing().act_pre_cycle().times(n as u64));
+        let expect_e = e.energy_model().act_pre_cycle().times(n as u64);
+        assert!((e.command_energy().as_pj() - expect_e.as_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gmc_sweep_of_n_rows_costs_n_trcd_plus_trp() {
+        // Table 1: GMC query latency = tRCD × N + tRP.
+        let mut e = tiny();
+        let n = 16u16;
+        for r in 0..n {
+            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::ChargeShare).unwrap();
+        }
+        e.precharge(BankId(0), SubarrayId(0)).unwrap();
+        assert_eq!(
+            e.elapsed(),
+            e.timing().t_rcd.times(n as u64) + e.timing().t_rp
+        );
+    }
+
+    #[test]
+    fn shift_row_composes_byte_and_bit_steps() {
+        let mut e = tiny();
+        let loc = RowLoc::new(0, 0, 0);
+        let mut data = vec![0u8; 16];
+        data[1] = 0xFF;
+        e.poke_row(loc, &data).unwrap();
+        let t0 = e.elapsed();
+        e.shift_row(loc, true, 10).unwrap(); // 1 byte-step + 2 bit-steps
+        let steps = 3u64;
+        assert_eq!(
+            e.elapsed() - t0,
+            (e.timing().t_rcd.times(2) + e.timing().t_rp).times(steps)
+        );
+        let row = e.peek_row(loc).unwrap();
+        // 0xFF at byte 1 shifted left 10 bits: moves into byte 0 shifted by 2.
+        assert_eq!(row[0], 0xFC);
+    }
+
+    #[test]
+    fn shift_zero_is_free() {
+        let mut e = tiny();
+        e.shift_row(RowLoc::new(0, 0, 0), true, 0).unwrap();
+        assert_eq!(e.elapsed(), Picos::ZERO);
+    }
+
+    #[test]
+    fn tfaw_throttles_rapid_activations() {
+        // Craft a timing set where activations are much faster than tFAW so
+        // the window binds: tRCD = 1 ns, tFAW = 100 ns.
+        let cfg = DramConfig {
+            row_bytes: 8,
+            burst_bytes: 8,
+            ..DramConfig::ddr4_2400()
+        };
+        let mut timing = TimingParams::ddr4_2400();
+        timing.t_rcd = Picos::from_ns(1.0);
+        timing.t_rp = Picos::from_ns(1.0);
+        timing.t_faw = Picos::from_ns(100.0);
+        let mut e = Engine::with_models(cfg, timing, EnergyModel::ddr4());
+        for r in 0..5 {
+            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::ChargeShare).unwrap();
+        }
+        // Fifth ACT cannot issue before t = 100 ns (first ACT at t=0).
+        assert!(e.elapsed() >= Picos::from_ns(100.0));
+    }
+
+    #[test]
+    fn tfaw_disabled_when_zero() {
+        let cfg = DramConfig {
+            row_bytes: 8,
+            burst_bytes: 8,
+            ..DramConfig::ddr4_2400()
+        };
+        let mut timing = TimingParams::ddr4_2400();
+        timing.t_rcd = Picos::from_ns(1.0);
+        timing.t_rp = Picos::from_ns(1.0);
+        timing = timing.with_t_faw_scale(0.0);
+        let mut e = Engine::with_models(cfg, timing, EnergyModel::ddr4());
+        for r in 0..8 {
+            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::ChargeShare).unwrap();
+        }
+        assert_eq!(e.elapsed(), Picos::from_ns(8.0));
+    }
+
+    #[test]
+    fn trace_records_commands() {
+        let mut e = tiny();
+        e.enable_trace();
+        e.activate(RowLoc::new(0, 0, 0)).unwrap();
+        e.precharge(BankId(0), SubarrayId(0)).unwrap();
+        let trace = e.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].mnemonic(), "ACT");
+        assert_eq!(trace[1].mnemonic(), "PRE");
+    }
+
+    #[test]
+    fn reset_accounting_preserves_data() {
+        let mut e = tiny();
+        let loc = RowLoc::new(0, 0, 0);
+        e.write_row(loc, &[3; 16]).unwrap();
+        e.reset_accounting();
+        assert_eq!(e.elapsed(), Picos::ZERO);
+        assert_eq!(e.stats().total_commands(), 0);
+        assert_eq!(e.peek_row(loc).unwrap(), vec![3; 16]);
+    }
+
+    #[test]
+    fn out_of_bounds_everywhere() {
+        let mut e = tiny();
+        assert!(e.activate(RowLoc::new(99, 0, 0)).is_err());
+        assert!(e.precharge(BankId(99), SubarrayId(0)).is_err());
+        assert!(e.sweep_step(RowLoc::new(0, 99, 0), SweepStepKind::FullCycle).is_err());
+        assert!(e.row_clone_fpm(RowLoc::new(0, 0, 0), RowId(999)).is_err());
+        assert!(e.shift_row(RowLoc::new(0, 0, 999), true, 1).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for the DRAM simulator.
+
+use crate::geometry::{BankId, RowLoc, SubarrayId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the DRAM simulator.
+///
+/// Every variant carries enough context to identify the offending command;
+/// the engine rejects command sequences that real DRAM (with the pLUTo
+/// modifications) could not execute, instead of silently producing wrong
+/// timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// A location was outside the configured geometry.
+    OutOfBounds {
+        /// The offending location.
+        loc: RowLoc,
+    },
+    /// ACT issued to a subarray whose row buffer already holds an open row.
+    RowAlreadyOpen {
+        /// Bank of the offending subarray.
+        bank: BankId,
+        /// The offending subarray.
+        subarray: SubarrayId,
+    },
+    /// A command that needs an open row found the subarray precharged.
+    NoOpenRow {
+        /// Bank of the offending subarray.
+        bank: BankId,
+        /// The offending subarray.
+        subarray: SubarrayId,
+    },
+    /// A row-granularity data transfer had mismatched length.
+    RowSizeMismatch {
+        /// Expected length in bytes (the configured row size).
+        expected: usize,
+        /// Provided length in bytes.
+        actual: usize,
+    },
+    /// An intra-subarray operation was given rows in different subarrays.
+    SubarrayMismatch {
+        /// First location.
+        a: RowLoc,
+        /// Second location.
+        b: RowLoc,
+    },
+    /// LISA row-buffer movement requires distinct source and destination
+    /// subarrays within the same bank.
+    InvalidLisa {
+        /// Bank of the attempted movement.
+        bank: BankId,
+        /// Source subarray.
+        from: SubarrayId,
+        /// Destination subarray.
+        to: SubarrayId,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::OutOfBounds { loc } => {
+                write!(f, "location {loc} is outside the configured geometry")
+            }
+            DramError::RowAlreadyOpen { bank, subarray } => {
+                write!(f, "{bank}/{subarray} already has an open row")
+            }
+            DramError::NoOpenRow { bank, subarray } => {
+                write!(f, "{bank}/{subarray} has no open row")
+            }
+            DramError::RowSizeMismatch { expected, actual } => {
+                write!(f, "row data length {actual} does not match row size {expected}")
+            }
+            DramError::SubarrayMismatch { a, b } => {
+                write!(f, "rows {a} and {b} are not in the same subarray")
+            }
+            DramError::InvalidLisa { bank, from, to } => {
+                write!(f, "invalid LISA movement {bank}: {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::RowLoc;
+
+    #[test]
+    fn errors_display_context() {
+        let e = DramError::OutOfBounds {
+            loc: RowLoc::new(1, 2, 3),
+        };
+        assert!(e.to_string().contains("B1/SA2/R3"));
+        let e = DramError::RowSizeMismatch {
+            expected: 8192,
+            actual: 16,
+        };
+        assert!(e.to_string().contains("8192"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DramError>();
+    }
+}

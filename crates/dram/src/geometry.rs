@@ -1,0 +1,279 @@
+//! Hierarchical DRAM organization and typed addresses.
+//!
+//! Mirrors the paper's Figure 1: a DRAM *module* consists of chips; each chip
+//! contains *banks* (grouped into bank groups in DDR4); each bank is divided
+//! into *subarrays*; each subarray is a 2-D array of cells organized as
+//! *rows*. The simulator operates at module granularity: a "row" here is a
+//! module-level row (8 KiB for the paper's DDR4 configuration, 256 B for the
+//! 3D-stacked configuration — paper Table 3 and §7).
+
+use std::fmt;
+
+/// Identifies a bank within the module (bank group × bank flattened).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BankId(pub u16);
+
+/// Identifies a subarray within a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SubarrayId(pub u16);
+
+/// Identifies a row within a subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowId(pub u16);
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{}", self.0)
+    }
+}
+
+impl fmt::Display for SubarrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SA{}", self.0)
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Fully qualified location of a DRAM row: bank, subarray, row.
+///
+/// ```
+/// use pluto_dram::RowLoc;
+/// let loc = RowLoc::new(1, 2, 3);
+/// assert_eq!(loc.to_string(), "B1/SA2/R3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowLoc {
+    /// Bank containing the row.
+    pub bank: BankId,
+    /// Subarray within the bank.
+    pub subarray: SubarrayId,
+    /// Row within the subarray.
+    pub row: RowId,
+}
+
+impl RowLoc {
+    /// Creates a row location from raw indices.
+    pub const fn new(bank: u16, subarray: u16, row: u16) -> Self {
+        RowLoc {
+            bank: BankId(bank),
+            subarray: SubarrayId(subarray),
+            row: RowId(row),
+        }
+    }
+
+    /// Returns the same location with a different row index.
+    pub const fn with_row(self, row: u16) -> Self {
+        RowLoc {
+            bank: self.bank,
+            subarray: self.subarray,
+            row: RowId(row),
+        }
+    }
+
+    /// Returns the same location with a different subarray index.
+    pub const fn with_subarray(self, subarray: u16) -> Self {
+        RowLoc {
+            bank: self.bank,
+            subarray: SubarrayId(subarray),
+            row: self.row,
+        }
+    }
+}
+
+impl fmt::Display for RowLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.bank, self.subarray, self.row)
+    }
+}
+
+/// Which class of memory device the configuration describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryKind {
+    /// Commodity DDR4 DIMM (the paper's primary configuration).
+    Ddr4,
+    /// 3D-stacked memory modeled after HMC (the paper's "3DS" configuration).
+    Stacked3d,
+}
+
+impl fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryKind::Ddr4 => write!(f, "DDR4"),
+            MemoryKind::Stacked3d => write!(f, "3DS"),
+        }
+    }
+}
+
+/// Static description of a DRAM module's organization.
+///
+/// The two presets correspond to the paper's Table 3 / §7 configurations:
+///
+/// * [`DramConfig::ddr4_2400`]: 8 GB, 1 channel, 1 rank, 4 bank groups × 4
+///   banks, 512 rows per subarray, 8 KiB rows.
+/// * [`DramConfig::hmc_3ds`]: HMC-like stack with 256 B rows and enough
+///   subarrays for 512-subarray parallelism.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DramConfig {
+    /// Device class.
+    pub kind: MemoryKind,
+    /// Number of independently addressable banks (bank groups × banks).
+    pub banks: u16,
+    /// Number of subarrays per bank.
+    pub subarrays_per_bank: u16,
+    /// Number of rows in each subarray.
+    pub rows_per_subarray: u16,
+    /// Row (and row buffer) size in bytes.
+    pub row_bytes: usize,
+    /// Column burst size in bytes (per RD/WR command at module level).
+    pub burst_bytes: usize,
+}
+
+impl DramConfig {
+    /// The paper's DDR4 configuration (Table 3): DDR4-2400, 8 GB, 1 channel,
+    /// 1 rank, 4 bank groups with 4 banks each, 512 rows per subarray, 8 KiB
+    /// per row.
+    pub fn ddr4_2400() -> Self {
+        DramConfig {
+            kind: MemoryKind::Ddr4,
+            banks: 16,
+            subarrays_per_bank: 128, // 8 GB / (16 banks * 512 rows * 8 KiB)
+            rows_per_subarray: 512,
+            row_bytes: 8 * 1024,
+            burst_bytes: 64,
+        }
+    }
+
+    /// The paper's 3D-stacked (HMC-like) configuration (§7): 256 B row
+    /// buffers, 512-subarray default parallelism. We model the stack as 32
+    /// vaults (banks) × 512 subarrays.
+    pub fn hmc_3ds() -> Self {
+        DramConfig {
+            kind: MemoryKind::Stacked3d,
+            banks: 32,
+            subarrays_per_bank: 512,
+            rows_per_subarray: 512,
+            row_bytes: 256,
+            burst_bytes: 32,
+        }
+    }
+
+    /// Row size in bytes.
+    pub fn row_bytes(&self) -> usize {
+        self.row_bytes
+    }
+
+    /// Row size in bits.
+    pub fn row_bits(&self) -> usize {
+        self.row_bytes * 8
+    }
+
+    /// Total capacity of the module in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.banks as u64
+            * self.subarrays_per_bank as u64
+            * self.rows_per_subarray as u64
+            * self.row_bytes as u64
+    }
+
+    /// Total number of subarrays in the module.
+    pub fn total_subarrays(&self) -> u32 {
+        self.banks as u32 * self.subarrays_per_bank as u32
+    }
+
+    /// Number of RD/WR bursts needed to transfer one full row over the bus.
+    pub fn bursts_per_row(&self) -> usize {
+        self.row_bytes.div_ceil(self.burst_bytes)
+    }
+
+    /// Checks that a location is within this configuration's bounds.
+    pub fn contains(&self, loc: RowLoc) -> bool {
+        loc.bank.0 < self.banks
+            && loc.subarray.0 < self.subarrays_per_bank
+            && loc.row.0 < self.rows_per_subarray
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::ddr4_2400()
+    }
+}
+
+impl fmt::Display for DramConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} banks x {} subarrays x {} rows x {} B)",
+            self.kind, self.banks, self.subarrays_per_bank, self.rows_per_subarray, self.row_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_capacity_is_8_gib() {
+        let cfg = DramConfig::ddr4_2400();
+        assert_eq!(cfg.capacity_bytes(), 8 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn ddr4_row_is_8_kib() {
+        let cfg = DramConfig::ddr4_2400();
+        assert_eq!(cfg.row_bytes(), 8192);
+        assert_eq!(cfg.row_bits(), 65536);
+        assert_eq!(cfg.bursts_per_row(), 128);
+    }
+
+    #[test]
+    fn hmc_rows_are_256_bytes() {
+        let cfg = DramConfig::hmc_3ds();
+        assert_eq!(cfg.row_bytes(), 256);
+        // 512-subarray parallelism must be expressible.
+        assert!(cfg.total_subarrays() >= 512);
+    }
+
+    #[test]
+    fn paper_equivalence_16x8kib_eq_512x256b() {
+        // §7: "16 x 8 kB = 512 x 256 B = 128 kB" — the two default design
+        // points process identical data volumes per operation.
+        let ddr4 = DramConfig::ddr4_2400();
+        let hmc = DramConfig::hmc_3ds();
+        assert_eq!(16 * ddr4.row_bytes(), 512 * hmc.row_bytes());
+        assert_eq!(16 * ddr4.row_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let cfg = DramConfig::ddr4_2400();
+        assert!(cfg.contains(RowLoc::new(0, 0, 0)));
+        assert!(cfg.contains(RowLoc::new(15, 127, 511)));
+        assert!(!cfg.contains(RowLoc::new(16, 0, 0)));
+        assert!(!cfg.contains(RowLoc::new(0, 128, 0)));
+        assert!(!cfg.contains(RowLoc::new(0, 0, 512)));
+    }
+
+    #[test]
+    fn row_loc_helpers() {
+        let loc = RowLoc::new(1, 2, 3);
+        assert_eq!(loc.with_row(9).row, RowId(9));
+        assert_eq!(loc.with_subarray(5).subarray, SubarrayId(5));
+        assert_eq!(loc.with_row(9).bank, BankId(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RowLoc::new(1, 2, 3).to_string(), "B1/SA2/R3");
+        assert_eq!(MemoryKind::Ddr4.to_string(), "DDR4");
+        assert_eq!(MemoryKind::Stacked3d.to_string(), "3DS");
+        let s = DramConfig::ddr4_2400().to_string();
+        assert!(s.contains("DDR4"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Command counters accumulated by the engine.
+
+use std::fmt;
+
+/// Running counts of every command class executed by an [`crate::Engine`].
+///
+/// The paper's energy results are pure functions of these counts (§8.3:
+/// "pLUTo's energy consumption depends on the total number of DRAM
+/// operations required by the executed pLUTo ISA instructions"), so tests
+/// assert on them directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommandStats {
+    /// Row activations (including those inside compound commands).
+    pub activates: u64,
+    /// Precharges.
+    pub precharges: u64,
+    /// RD bursts.
+    pub read_bursts: u64,
+    /// WR bursts.
+    pub write_bursts: u64,
+    /// RowClone-FPM copies.
+    pub row_clones: u64,
+    /// LISA row-buffer-movement hops (adjacent-subarray granularity).
+    pub lisa_hops: u64,
+    /// Ambit triple-row activations.
+    pub triple_acts: u64,
+    /// pLUTo sweep steps.
+    pub sweep_steps: u64,
+}
+
+impl CommandStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of commands of any class.
+    pub fn total_commands(&self) -> u64 {
+        self.activates
+            + self.precharges
+            + self.read_bursts
+            + self.write_bursts
+            + self.row_clones
+            + self.lisa_hops
+            + self.triple_acts
+            + self.sweep_steps
+    }
+
+    /// Componentwise difference (`self - earlier`), for measuring a window
+    /// of execution.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `earlier` has larger counts.
+    pub fn since(&self, earlier: &CommandStats) -> CommandStats {
+        CommandStats {
+            activates: self.activates - earlier.activates,
+            precharges: self.precharges - earlier.precharges,
+            read_bursts: self.read_bursts - earlier.read_bursts,
+            write_bursts: self.write_bursts - earlier.write_bursts,
+            row_clones: self.row_clones - earlier.row_clones,
+            lisa_hops: self.lisa_hops - earlier.lisa_hops,
+            triple_acts: self.triple_acts - earlier.triple_acts,
+            sweep_steps: self.sweep_steps - earlier.sweep_steps,
+        }
+    }
+}
+
+impl fmt::Display for CommandStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ACT={} PRE={} RD={} WR={} RC={} LISA={} TRA={} SWEEP={}",
+            self.activates,
+            self.precharges,
+            self.read_bursts,
+            self.write_bursts,
+            self.row_clones,
+            self.lisa_hops,
+            self.triple_acts,
+            self.sweep_steps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_diff() {
+        let mut a = CommandStats::new();
+        a.activates = 5;
+        a.precharges = 3;
+        let mut b = a;
+        b.activates = 9;
+        b.sweep_steps = 2;
+        let d = b.since(&a);
+        assert_eq!(d.activates, 4);
+        assert_eq!(d.precharges, 0);
+        assert_eq!(d.sweep_steps, 2);
+        assert_eq!(d.total_commands(), 6);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!CommandStats::new().to_string().is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! Quantized LeNet-5 (paper §9: 1-bit and 4-bit variants, after LeCun et
+//! al. and the quantization scheme of Hubara/Khoram-Li).
+//!
+//! Topology (28×28 input, `same`-padded first conv as in the classic MNIST
+//! variant):
+//!
+//! ```text
+//! conv1: 6 @ 5×5  → 24×24 → avgpool 2×2 → 12×12
+//! conv2: 16 @ 5×5 → 8×8   → avgpool 2×2 → 4×4
+//! fc1: 256 → 120, fc2: 120 → 84, fc3: 84 → 10
+//! ```
+//!
+//! Quantization: weights and activations are symmetric integers —
+//! 1-bit = {−1, +1} (binarised, XNOR-popcount-compatible), 4-bit =
+//! {−8 … 7}. Weights are deterministic (seeded), standing in for a trained
+//! checkpoint: Table 7 measures time/energy, which depend only on the
+//! compute graph (`DESIGN.md` §1).
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Quantization precision of weights and activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Binarised network: values in {−1, +1}.
+    Bit1,
+    /// 4-bit network: values in {−8, …, 7}.
+    Bit4,
+}
+
+impl Precision {
+    /// Quantizes an integer to the representable set.
+    pub fn quantize(self, v: i32) -> i32 {
+        match self {
+            Precision::Bit1 => {
+                if v >= 0 {
+                    1
+                } else {
+                    -1
+                }
+            }
+            Precision::Bit4 => v.clamp(-8, 7),
+        }
+    }
+
+    /// Bits per value.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Bit1 => 1,
+            Precision::Bit4 => 4,
+        }
+    }
+}
+
+/// One convolution layer's weights: `[out_ch][in_ch][k][k]`.
+#[derive(Debug, Clone)]
+pub struct ConvLayer {
+    /// Output channels.
+    pub out_ch: usize,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Kernel side.
+    pub k: usize,
+    /// Flattened weights.
+    pub weights: Vec<i32>,
+}
+
+/// One fully connected layer's weights: `[out][in]`.
+#[derive(Debug, Clone)]
+pub struct FcLayer {
+    /// Output features.
+    pub out: usize,
+    /// Input features.
+    pub input: usize,
+    /// Flattened weights.
+    pub weights: Vec<i32>,
+}
+
+/// The quantized LeNet-5 network.
+#[derive(Debug, Clone)]
+pub struct LeNet5 {
+    /// Precision of weights and activations.
+    pub precision: Precision,
+    /// conv1: 6 @ 5×5 over 1 channel.
+    pub conv1: ConvLayer,
+    /// conv2: 16 @ 5×5 over 6 channels.
+    pub conv2: ConvLayer,
+    /// fc1: 256 → 120.
+    pub fc1: FcLayer,
+    /// fc2: 120 → 84.
+    pub fc2: FcLayer,
+    /// fc3: 84 → 10.
+    pub fc3: FcLayer,
+}
+
+fn gen_weights(rng: &mut StdRng, n: usize, precision: Precision) -> Vec<i32> {
+    (0..n)
+        .map(|_| match precision {
+            Precision::Bit1 => {
+                if rng.gen::<bool>() {
+                    1
+                } else {
+                    -1
+                }
+            }
+            Precision::Bit4 => rng.gen_range(-8..=7),
+        })
+        .collect()
+}
+
+impl LeNet5 {
+    /// Builds the network with deterministic seeded weights.
+    pub fn new(precision: Precision, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LeNet5 {
+            precision,
+            conv1: ConvLayer {
+                out_ch: 6,
+                in_ch: 1,
+                k: 5,
+                weights: gen_weights(&mut rng, 6 * 5 * 5, precision),
+            },
+            conv2: ConvLayer {
+                out_ch: 16,
+                in_ch: 6,
+                k: 5,
+                weights: gen_weights(&mut rng, 16 * 6 * 5 * 5, precision),
+            },
+            fc1: FcLayer {
+                out: 120,
+                input: 256,
+                weights: gen_weights(&mut rng, 120 * 256, precision),
+            },
+            fc2: FcLayer {
+                out: 84,
+                input: 120,
+                weights: gen_weights(&mut rng, 84 * 120, precision),
+            },
+            fc3: FcLayer {
+                out: 10,
+                input: 84,
+                weights: gen_weights(&mut rng, 10 * 84, precision),
+            },
+        }
+    }
+
+    /// Quantizes a raw 0..=255 image into the activation set.
+    pub fn quantize_input(&self, img: &Tensor) -> Tensor {
+        let data = img
+            .data()
+            .iter()
+            .map(|&v| self.precision.quantize((v - 128) / 16))
+            .collect();
+        Tensor::from_vec(img.shape(), data)
+    }
+
+    /// Runs inference, returning the 10 class logits.
+    ///
+    /// # Panics
+    /// Panics if the input is not `[1, 28, 28]`.
+    pub fn infer(&self, img: &Tensor) -> Tensor {
+        assert_eq!(img.shape(), &[1, 28, 28], "LeNet-5 expects [1,28,28]");
+        let x = self.quantize_input(img);
+        let x = conv_valid(&x, &self.conv1, self.precision); // 6×24×24
+        let x = avgpool2(&x, self.precision); // 6×12×12
+        let x = conv_valid(&x, &self.conv2, self.precision); // 16×8×8
+        let x = avgpool2(&x, self.precision); // 16×4×4
+        let flat: Vec<i32> = x.data().to_vec();
+        let x = fc(&flat, &self.fc1, self.precision, true);
+        let x = fc(&x, &self.fc2, self.precision, true);
+        let logits = fc(&x, &self.fc3, self.precision, false);
+        Tensor::from_vec(&[10], logits)
+    }
+
+    /// Classifies an image (argmax over logits).
+    pub fn classify(&self, img: &Tensor) -> usize {
+        self.infer(img).argmax()
+    }
+
+    /// Multiply–accumulate counts per layer, used by the Table 7 cost
+    /// model: (conv MACs, fc MACs).
+    pub fn mac_counts(&self) -> (u64, u64) {
+        let conv1 = 6u64 * 24 * 24 * (5 * 5);
+        let conv2 = 16u64 * 8 * 8 * (6 * 5 * 5);
+        let fc = (120u64 * 256) + (84 * 120) + (10 * 84);
+        (conv1 + conv2, fc)
+    }
+}
+
+fn conv_valid(x: &Tensor, layer: &ConvLayer, precision: Precision) -> Tensor {
+    let (in_ch, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    assert_eq!(in_ch, layer.in_ch);
+    let oh = h - layer.k + 1;
+    let ow = w - layer.k + 1;
+    let mut out = Tensor::zeros(&[layer.out_ch, oh, ow]);
+    for oc in 0..layer.out_ch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0i32;
+                for ic in 0..in_ch {
+                    for ky in 0..layer.k {
+                        for kx in 0..layer.k {
+                            let wgt = layer.weights
+                                [((oc * in_ch + ic) * layer.k + ky) * layer.k + kx];
+                            acc += wgt * x.at3(ic, oy + ky, ox + kx);
+                        }
+                    }
+                }
+                // Re-quantize the activation (scale chosen per precision).
+                let scaled = match precision {
+                    Precision::Bit1 => acc,
+                    Precision::Bit4 => acc / 16,
+                };
+                out.set3(oc, oy, ox, precision.quantize(scaled));
+            }
+        }
+    }
+    out
+}
+
+fn avgpool2(x: &Tensor, precision: Precision) -> Tensor {
+    let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let mut out = Tensor::zeros(&[c, h / 2, w / 2]);
+    for ch in 0..c {
+        for y in 0..h / 2 {
+            for xx in 0..w / 2 {
+                let s = x.at3(ch, 2 * y, 2 * xx)
+                    + x.at3(ch, 2 * y, 2 * xx + 1)
+                    + x.at3(ch, 2 * y + 1, 2 * xx)
+                    + x.at3(ch, 2 * y + 1, 2 * xx + 1);
+                out.set3(ch, y, xx, precision.quantize(s / 4));
+            }
+        }
+    }
+    out
+}
+
+fn fc(x: &[i32], layer: &FcLayer, precision: Precision, activate: bool) -> Vec<i32> {
+    assert_eq!(x.len(), layer.input, "fc input size");
+    (0..layer.out)
+        .map(|o| {
+            let acc: i32 = (0..layer.input)
+                .map(|i| layer.weights[o * layer.input + i] * x[i])
+                .sum();
+            if activate {
+                let scaled = match precision {
+                    Precision::Bit1 => acc,
+                    Precision::Bit4 => acc / 32,
+                };
+                precision.quantize(scaled)
+            } else {
+                acc
+            }
+        })
+        .collect()
+}
+
+/// Reference binary dot product used to validate the pLUTo XNOR-popcount
+/// kernel: operands in {−1,+1} encoded as bits (1 ⇔ +1),
+/// `dot = 2·popcount(XNOR(a,b)) − n`.
+pub fn binary_dot_reference(a_bits: &[u8], b_bits: &[u8]) -> i32 {
+    assert_eq!(a_bits.len(), b_bits.len());
+    let same = a_bits
+        .iter()
+        .zip(b_bits)
+        .filter(|(&x, &y)| x == y)
+        .count() as i32;
+    2 * same - a_bits.len() as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnist::SyntheticMnist;
+
+    #[test]
+    fn inference_shapes_and_determinism() {
+        for precision in [Precision::Bit1, Precision::Bit4] {
+            let net = LeNet5::new(precision, 42);
+            let img = SyntheticMnist::new(1).image(3, 0);
+            let logits = net.infer(&img);
+            assert_eq!(logits.shape(), &[10]);
+            assert_eq!(logits.data(), net.infer(&img).data(), "deterministic");
+        }
+    }
+
+    #[test]
+    fn different_inputs_give_different_logits() {
+        let net = LeNet5::new(Precision::Bit4, 42);
+        let g = SyntheticMnist::new(1);
+        let a = net.infer(&g.image(0, 0));
+        let b = net.infer(&g.image(7, 0));
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn binary_activations_stay_binary() {
+        let net = LeNet5::new(Precision::Bit1, 7);
+        let img = SyntheticMnist::new(2).image(5, 1);
+        let x = net.quantize_input(&img);
+        assert!(x.data().iter().all(|&v| v == 1 || v == -1));
+        let c = conv_valid(&x, &net.conv1, Precision::Bit1);
+        assert!(c.data().iter().all(|&v| v == 1 || v == -1));
+    }
+
+    #[test]
+    fn four_bit_activations_bounded() {
+        let net = LeNet5::new(Precision::Bit4, 7);
+        let img = SyntheticMnist::new(2).image(5, 1);
+        let x = net.quantize_input(&img);
+        let c = conv_valid(&x, &net.conv1, Precision::Bit4);
+        assert!(c.data().iter().all(|&v| (-8..=7).contains(&v)));
+    }
+
+    #[test]
+    fn mac_counts_match_topology() {
+        let net = LeNet5::new(Precision::Bit1, 0);
+        let (conv, fc) = net.mac_counts();
+        assert_eq!(conv, 6 * 24 * 24 * 25 + 16 * 8 * 8 * 150);
+        assert_eq!(fc, 120 * 256 + 84 * 120 + 10 * 84);
+    }
+
+    #[test]
+    fn binary_dot_identity() {
+        // dot(x, x) = n; dot(x, !x) = -n.
+        let a = vec![1u8, 0, 1, 1, 0, 0, 1, 0];
+        let na: Vec<u8> = a.iter().map(|&b| 1 - b).collect();
+        assert_eq!(binary_dot_reference(&a, &a), 8);
+        assert_eq!(binary_dot_reference(&a, &na), -8);
+    }
+
+    #[test]
+    fn classification_is_stable() {
+        let net = LeNet5::new(Precision::Bit4, 42);
+        let g = SyntheticMnist::new(9);
+        let c1 = net.classify(&g.image(2, 0));
+        let c2 = net.classify(&g.image(2, 0));
+        assert_eq!(c1, c2);
+        assert!(c1 < 10);
+    }
+}

@@ -1,0 +1,32 @@
+//! # pluto-qnn — quantized LeNet-5 case study (paper §9, Table 7)
+//!
+//! The paper evaluates 1-bit and 4-bit quantized LeNet-5 inference on
+//! MNIST as a proof of concept for pLUTo's low-bit-width strengths. This
+//! crate reproduces the study end to end:
+//!
+//! * [`tensor`] — a minimal integer tensor.
+//! * [`mnist`] — a deterministic synthetic MNIST-like digit generator
+//!   (stroke templates + seeded noise; see `DESIGN.md` §1: Table 7 measures
+//!   inference *time and energy*, not accuracy, so synthetic digits
+//!   exercise the identical compute path).
+//! * [`lenet`] — the LeNet-5 topology with 1-bit (binarised,
+//!   XNOR-popcount) and 4-bit quantised arithmetic.
+//! * [`pluto_exec`] — the pLUTo mapping of the binary dot-product kernel
+//!   (bit-plane XNOR LUT queries + BC-8 popcount fold), validated against
+//!   the reference layer, plus the whole-network operation counting used
+//!   for the Table 7 cost model.
+//! * [`table7`] — the paper's published Table 7 numbers next to this
+//!   reproduction's modeled estimates.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lenet;
+pub mod mnist;
+pub mod pluto_exec;
+pub mod table7;
+pub mod tensor;
+
+pub use lenet::{LeNet5, Precision};
+pub use mnist::SyntheticMnist;
+pub use table7::{published, InferenceCost, Platform};

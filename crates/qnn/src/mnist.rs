@@ -1,0 +1,162 @@
+//! Deterministic synthetic MNIST-like digits.
+//!
+//! We do not ship the MNIST dataset; Table 7 measures inference time and
+//! energy, which depend only on the network's compute graph, not on pixel
+//! statistics. The generator rasterizes simple per-class stroke templates
+//! with seeded positional jitter and noise, producing 28×28 grayscale
+//! images with class-dependent structure.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length (MNIST's 28).
+pub const SIDE: usize = 28;
+
+/// A deterministic synthetic digit dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticMnist {
+    seed: u64,
+}
+
+impl SyntheticMnist {
+    /// Creates a generator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        SyntheticMnist { seed }
+    }
+
+    /// Generates sample `index` of class `digit` as a `[1, 28, 28]` tensor
+    /// with values 0..=255.
+    ///
+    /// # Panics
+    /// Panics if `digit > 9`.
+    pub fn image(&self, digit: u8, index: u64) -> Tensor {
+        assert!(digit <= 9, "digit out of range");
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (digit as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ index,
+        );
+        let jx = rng.gen_range(-2i32..=2);
+        let jy = rng.gen_range(-2i32..=2);
+        let mut img = Tensor::zeros(&[1, SIDE, SIDE]);
+        for (x0, y0, x1, y1) in strokes(digit) {
+            draw_line(
+                &mut img,
+                (x0 as i32 + jx, y0 as i32 + jy),
+                (x1 as i32 + jx, y1 as i32 + jy),
+            );
+        }
+        // Light noise.
+        for _ in 0..30 {
+            let x = rng.gen_range(0..SIDE);
+            let y = rng.gen_range(0..SIDE);
+            let v = img.at3(0, y, x);
+            img.set3(0, y, x, (v + rng.gen_range(0..60)).min(255));
+        }
+        img
+    }
+
+    /// Generates a batch of `count` images cycling through the ten classes.
+    pub fn batch(&self, count: usize) -> Vec<(u8, Tensor)> {
+        (0..count)
+            .map(|i| {
+                let digit = (i % 10) as u8;
+                (digit, self.image(digit, i as u64))
+            })
+            .collect()
+    }
+}
+
+/// Per-class stroke templates in a 28×28 canvas.
+fn strokes(digit: u8) -> Vec<(usize, usize, usize, usize)> {
+    match digit {
+        0 => vec![(8, 6, 20, 6), (20, 6, 20, 22), (20, 22, 8, 22), (8, 22, 8, 6)],
+        1 => vec![(14, 5, 14, 23), (10, 9, 14, 5)],
+        2 => vec![(8, 8, 20, 8), (20, 8, 20, 14), (20, 14, 8, 22), (8, 22, 20, 22)],
+        3 => vec![(8, 6, 20, 6), (20, 6, 12, 14), (12, 14, 20, 22), (20, 22, 8, 22)],
+        4 => vec![(10, 5, 8, 15), (8, 15, 20, 15), (17, 5, 17, 23)],
+        5 => vec![(20, 6, 8, 6), (8, 6, 8, 14), (8, 14, 19, 14), (19, 14, 19, 22), (19, 22, 8, 22)],
+        6 => vec![(18, 5, 9, 14), (9, 14, 9, 22), (9, 22, 19, 22), (19, 22, 19, 15), (19, 15, 9, 15)],
+        7 => vec![(8, 6, 20, 6), (20, 6, 12, 23)],
+        8 => vec![(9, 6, 19, 6), (19, 6, 19, 13), (19, 13, 9, 13), (9, 13, 9, 6), (9, 13, 9, 22), (9, 22, 19, 22), (19, 22, 19, 13)],
+        _ => vec![(9, 6, 19, 6), (19, 6, 19, 13), (19, 13, 9, 13), (9, 13, 9, 6), (19, 13, 16, 23)],
+    }
+}
+
+fn draw_line(img: &mut Tensor, (x0, y0): (i32, i32), (x1, y1): (i32, i32)) {
+    // Bresenham with a soft 1-pixel halo.
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let (mut x, mut y) = (x0, y0);
+    loop {
+        stamp(img, x, y, 255);
+        stamp(img, x + 1, y, 120);
+        stamp(img, x, y + 1, 120);
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+fn stamp(img: &mut Tensor, x: i32, y: i32, v: i32) {
+    if (0..SIDE as i32).contains(&x) && (0..SIDE as i32).contains(&y) {
+        let cur = img.at3(0, y as usize, x as usize);
+        img.set3(0, y as usize, x as usize, cur.max(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_are_deterministic() {
+        let g = SyntheticMnist::new(7);
+        assert_eq!(g.image(3, 0).data(), g.image(3, 0).data());
+        assert_ne!(g.image(3, 0).data(), g.image(3, 1).data());
+    }
+
+    #[test]
+    fn classes_are_structurally_distinct() {
+        let g = SyntheticMnist::new(1);
+        let a = g.image(0, 0);
+        let b = g.image(1, 0);
+        let diff = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .filter(|(x, y)| x != y)
+            .count();
+        assert!(diff > 50, "digits 0 and 1 should differ substantially");
+    }
+
+    #[test]
+    fn values_in_byte_range() {
+        let g = SyntheticMnist::new(2);
+        for d in 0..10u8 {
+            let img = g.image(d, 5);
+            assert!(img.data().iter().all(|&v| (0..=255).contains(&v)), "digit {d}");
+            assert!(img.data().iter().any(|&v| v > 0), "digit {d} not blank");
+        }
+    }
+
+    #[test]
+    fn batch_cycles_classes() {
+        let g = SyntheticMnist::new(3);
+        let batch = g.batch(25);
+        assert_eq!(batch.len(), 25);
+        assert_eq!(batch[0].0, 0);
+        assert_eq!(batch[13].0, 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! pLUTo execution of the QNN kernels (paper §9).
+//!
+//! The binarised network's inner product is
+//! `dot(a, b) = 2·popcount(XNOR(a, b)) − n` — precisely the bit counting +
+//! bitwise operations pLUTo excels at (Table 6). [`binary_dot_pluto`] runs
+//! that kernel *functionally* on a [`PlutoMachine`]: one XNOR LUT-query
+//! stream over bit pairs and a BC-8 popcount fold, validated against the
+//! reference. [`qnn_query_count`] extends the per-kernel costs to the whole
+//! network via the layer MAC counts, feeding the Table 7 cost model.
+
+use crate::lenet::{LeNet5, Precision};
+use pluto_core::lut::catalog;
+use pluto_core::{DesignKind, PlutoError, PlutoMachine};
+use pluto_dram::{DramConfig, PicoJoules, Picos};
+
+/// Builds a machine sized for the QNN kernels.
+///
+/// # Errors
+/// Propagates machine construction errors.
+pub fn qnn_machine(design: DesignKind) -> Result<PlutoMachine, PlutoError> {
+    PlutoMachine::new(
+        DramConfig {
+            row_bytes: 256,
+            burst_bytes: 32,
+            banks: 1,
+            subarrays_per_bank: 64,
+            rows_per_subarray: 512,
+            ..DramConfig::ddr4_2400()
+        },
+        design,
+    )
+}
+
+/// Computes many binary dot products at once: row `i` of `a_rows`/`b_rows`
+/// is a pair of bit vectors (1 ⇔ +1). Returns one signed dot product per
+/// row.
+///
+/// The mapping packs bit pairs per position and issues: one XNOR(1) query
+/// stream per position batch, then BC-8 popcount queries over the XNOR
+/// result bytes, then a host-side (PnM-core) sum — mirroring the paper's
+/// "bulk querying of input values using only short sequences of DRAM
+/// commands".
+///
+/// # Errors
+/// Propagates machine errors.
+pub fn binary_dot_pluto(
+    m: &mut PlutoMachine,
+    a_rows: &[Vec<u8>],
+    b_rows: &[Vec<u8>],
+) -> Result<Vec<i32>, PlutoError> {
+    assert_eq!(a_rows.len(), b_rows.len());
+    let xnor1 = catalog::xnor(1)?;
+    let bc8 = catalog::popcount(8)?;
+    let mut out = Vec::with_capacity(a_rows.len());
+    for (a, b) in a_rows.iter().zip(b_rows) {
+        assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let av: Vec<u64> = a.iter().map(|&v| v as u64 & 1).collect();
+        let bv: Vec<u64> = b.iter().map(|&v| v as u64 & 1).collect();
+        // Bulk XNOR over all positions of this pair.
+        let x = m.apply2(&xnor1, &av, 1, &bv, 1)?.values;
+        // Pack XNOR bits into bytes and BC-8 them.
+        let bytes: Vec<u64> = x
+            .chunks(8)
+            .map(|c| c.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (b << i)))
+            .collect();
+        let counts = m.apply(&bc8, &bytes)?.values;
+        let same: u64 = counts.iter().sum();
+        out.push(2 * same as i32 - n as i32);
+    }
+    Ok(out)
+}
+
+/// Number of bulk LUT queries the full network needs per inference batch,
+/// per precision. A batch is one source row of elements (8192 slots on the
+/// paper's DDR4 rows); MACs map to queries as:
+///
+/// * 1-bit: one XNOR query + one BC-8 query per 8·8192 MACs (bit-packed),
+/// * 4-bit: one mul4 query + two 4-bit add queries per 8192 MACs.
+pub fn qnn_query_count(net: &LeNet5) -> u64 {
+    let (conv, fc) = net.mac_counts();
+    let macs = conv + fc;
+    let slots = 8192u64;
+    match net.precision {
+        Precision::Bit1 => 2 * macs.div_ceil(8 * slots).max(1) * 8,
+        Precision::Bit4 => 3 * macs.div_ceil(slots).max(1),
+    }
+}
+
+/// Modeled pLUTo-BSA inference cost of one image (time and energy) from
+/// the query count and the Table 1 closed forms.
+pub fn pluto_inference_cost(net: &LeNet5, design: DesignKind) -> (Picos, PicoJoules) {
+    let model = pluto_core::DesignModel::new(
+        design,
+        pluto_dram::TimingParams::ddr4_2400(),
+        pluto_dram::EnergyModel::ddr4(),
+    );
+    let queries = qnn_query_count(net);
+    // QNN LUTs are small: XNOR(1) has 4 rows; mul4/add4 have 256.
+    let lut_elems = match net.precision {
+        Precision::Bit1 => 8, // XNOR + packing helpers
+        Precision::Bit4 => 256,
+    };
+    // 16-subarray parallelism (Table 3 default).
+    let time = Picos::from_ps(model.query_latency(lut_elems).as_ps() * queries / 16);
+    let energy = model.query_energy(lut_elems).times(queries);
+    (time, energy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lenet::binary_dot_reference;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn binary_dot_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<(Vec<u8>, Vec<u8>)> = (0..6)
+            .map(|_| {
+                let a: Vec<u8> = (0..64).map(|_| rng.gen_range(0..2u8)).collect();
+                let b: Vec<u8> = (0..64).map(|_| rng.gen_range(0..2u8)).collect();
+                (a, b)
+            })
+            .collect();
+        let a_rows: Vec<Vec<u8>> = rows.iter().map(|r| r.0.clone()).collect();
+        let b_rows: Vec<Vec<u8>> = rows.iter().map(|r| r.1.clone()).collect();
+        let mut m = qnn_machine(DesignKind::Gmc).unwrap();
+        let out = binary_dot_pluto(&mut m, &a_rows, &b_rows).unwrap();
+        for (i, (a, b)) in rows.iter().enumerate() {
+            assert_eq!(out[i], binary_dot_reference(a, b), "row {i}");
+        }
+    }
+
+    #[test]
+    fn query_counts_scale_with_precision() {
+        let net1 = LeNet5::new(Precision::Bit1, 0);
+        let net4 = LeNet5::new(Precision::Bit4, 0);
+        assert!(
+            qnn_query_count(&net4) > qnn_query_count(&net1),
+            "4-bit needs more queries than binary"
+        );
+    }
+
+    #[test]
+    fn pluto_cost_orderings() {
+        // 4-bit inference is slower than 1-bit (Table 7: 23 µs vs 30 µs),
+        // and both complete in tens of microseconds.
+        let net1 = LeNet5::new(Precision::Bit1, 0);
+        let net4 = LeNet5::new(Precision::Bit4, 0);
+        let (t1, e1) = pluto_inference_cost(&net1, DesignKind::Bsa);
+        let (t4, e4) = pluto_inference_cost(&net4, DesignKind::Bsa);
+        assert!(t4 > t1);
+        assert!(e4 > e1);
+        assert!(t1.as_us() < 200.0, "1-bit time {t1}");
+    }
+}

@@ -1,0 +1,201 @@
+//! The Table 7 comparison: LeNet-5 inference time and energy on CPU, GPU
+//! (Tesla P100), FPGA (ZCU102), and pLUTo-BSA.
+//!
+//! [`published`] returns the paper's Table 7 values verbatim; the figure
+//! harness prints them next to this reproduction's modeled estimates
+//! ([`modeled`]), which combine the network's MAC counts with the baseline
+//! roofline models and the pLUTo query-count model of
+//! [`crate::pluto_exec`].
+
+use crate::lenet::{LeNet5, Precision};
+use crate::pluto_exec;
+use pluto_baselines::Machine;
+use pluto_core::DesignKind;
+use std::fmt;
+
+/// The four Table 7 platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Intel Xeon Gold 5118.
+    Cpu,
+    /// NVIDIA Tesla P100.
+    Gpu,
+    /// Xilinx ZCU102.
+    Fpga,
+    /// pLUTo-BSA (DDR4, 16-subarray parallelism).
+    PlutoBsa,
+}
+
+impl Platform {
+    /// All platforms in table order.
+    pub const ALL: [Platform; 4] = [
+        Platform::Cpu,
+        Platform::Gpu,
+        Platform::Fpga,
+        Platform::PlutoBsa,
+    ];
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::Cpu => write!(f, "CPU"),
+            Platform::Gpu => write!(f, "GPU (P100)"),
+            Platform::Fpga => write!(f, "FPGA"),
+            Platform::PlutoBsa => write!(f, "pLUTo-BSA"),
+        }
+    }
+}
+
+/// Inference time and energy for one precision on one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceCost {
+    /// Time per inference in microseconds.
+    pub time_us: f64,
+    /// Energy per inference in millijoules.
+    pub energy_mj: f64,
+}
+
+/// The paper's published Table 7 values.
+pub fn published(platform: Platform, precision: Precision) -> InferenceCost {
+    match (platform, precision) {
+        (Platform::Cpu, Precision::Bit1) => InferenceCost { time_us: 249.0, energy_mj: 2.2 },
+        (Platform::Cpu, Precision::Bit4) => InferenceCost { time_us: 997.0, energy_mj: 8.7 },
+        (Platform::Gpu, Precision::Bit1) => InferenceCost { time_us: 56.0, energy_mj: 1.6 },
+        (Platform::Gpu, Precision::Bit4) => InferenceCost { time_us: 224.0, energy_mj: 6.5 },
+        (Platform::Fpga, Precision::Bit1) => InferenceCost { time_us: 141.0, energy_mj: 0.3 },
+        (Platform::Fpga, Precision::Bit4) => InferenceCost { time_us: 563.0, energy_mj: 1.3 },
+        (Platform::PlutoBsa, Precision::Bit1) => InferenceCost { time_us: 23.0, energy_mj: 0.02 },
+        (Platform::PlutoBsa, Precision::Bit4) => InferenceCost { time_us: 30.0, energy_mj: 0.08 },
+    }
+}
+
+/// Published classification accuracy of the quantized networks (Table 7,
+/// from Khoram & Li): 97.4 % at 1 bit, 99.1 % at 4 bits.
+pub fn published_accuracy_percent(precision: Precision) -> f64 {
+    match precision {
+        Precision::Bit1 => 97.4,
+        Precision::Bit4 => 99.1,
+    }
+}
+
+/// This reproduction's modeled estimate of one platform's inference cost.
+///
+/// The baseline models are MAC-count rooflines whose per-MAC throughput
+/// and effective busy power are anchored to the paper's measured Table 7
+/// points (we cannot re-measure the authors' hardware — `DESIGN.md` §1);
+/// the pLUTo estimate comes from this reproduction's own query-count and
+/// Table 1 cost models, so the comparison tests something real: whether an
+/// independently derived pLUTo cost stays in the published regime and
+/// preserves every ordering.
+pub fn modeled(platform: Platform, precision: Precision) -> InferenceCost {
+    let net = LeNet5::new(precision, 42);
+    let (conv_macs, fc_macs) = net.mac_counts();
+    let macs = (conv_macs + fc_macs) as f64;
+    match platform {
+        Platform::PlutoBsa => {
+            let (t, e) = pluto_exec::pluto_inference_cost(&net, DesignKind::Bsa);
+            InferenceCost {
+                time_us: t.as_us(),
+                energy_mj: e.as_mj(),
+            }
+        }
+        Platform::Cpu => {
+            // Quantized MACs on one SSE core: ≈ 2 cycles/MAC at 1 bit
+            // (XNOR-popcount tricks), ≈ 8 cycles/MAC at 4 bits (unpack,
+            // multiply, re-quantize) — anchored to the measured 249/997 µs.
+            let m = Machine::xeon_gold_5118();
+            let cycles = match precision {
+                Precision::Bit1 => 2.0,
+                Precision::Bit4 => 8.0,
+            };
+            let secs = macs * cycles / m.freq_hz;
+            // Single-core busy power ≈ 8.8 W of the 105 W package.
+            InferenceCost {
+                time_us: secs * 1e6,
+                energy_mj: secs * 8.8 * 1e3,
+            }
+        }
+        Platform::Gpu => {
+            // Batch-1 inference on the P100 is kernel-launch-bound; the
+            // measured floors are ≈ 55 µs (1-bit) and ≈ 220 µs (4-bit,
+            // extra dequantize kernels), with negligible compute on top.
+            let m = Machine::tesla_p100();
+            let floor = match precision {
+                Precision::Bit1 => 55e-6,
+                Precision::Bit4 => 220e-6,
+            };
+            let secs = floor + macs / (m.freq_hz * m.lanes);
+            // Effective batch-1 busy power ≈ 29 W of the 300 W board.
+            InferenceCost {
+                time_us: secs * 1e6,
+                energy_mj: secs * 29.0 * 1e3,
+            }
+        }
+        Platform::Fpga => {
+            // The paper's HLS pipelines sustain ≈ 6.7 (1-bit) / ≈ 1.67
+            // (4-bit) MACs per 300 MHz cycle at ≈ 2.3 W accelerator power.
+            let m = Machine::zcu102();
+            let per_cycle = match precision {
+                Precision::Bit1 => 6.7,
+                Precision::Bit4 => 1.67,
+            };
+            let secs = macs / (per_cycle * m.freq_hz);
+            InferenceCost {
+                time_us: secs * 1e6,
+                energy_mj: secs * 2.3 * 1e3,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_matches_paper_rows() {
+        let p = published(Platform::PlutoBsa, Precision::Bit1);
+        assert_eq!(p.time_us, 23.0);
+        assert_eq!(p.energy_mj, 0.02);
+        assert_eq!(published(Platform::Cpu, Precision::Bit4).time_us, 997.0);
+        assert_eq!(published_accuracy_percent(Precision::Bit4), 99.1);
+    }
+
+    #[test]
+    fn published_speedups_match_paper_text() {
+        // §9: pLUTo-BSA outperforms the CPU (10×, 30×), the GPU (2×, 7×)
+        // and the FPGA (6×, 19×) for 1-/4-bit inference.
+        let s = |p: Platform, q: Precision| published(p, q).time_us / published(Platform::PlutoBsa, q).time_us;
+        assert!((s(Platform::Cpu, Precision::Bit1) - 10.8).abs() < 1.0);
+        assert!((s(Platform::Cpu, Precision::Bit4) - 33.2).abs() < 4.0);
+        assert!((s(Platform::Gpu, Precision::Bit1) - 2.4).abs() < 0.6);
+        assert!((s(Platform::Fpga, Precision::Bit1) - 6.1).abs() < 0.5);
+    }
+
+    #[test]
+    fn modeled_preserves_the_orderings() {
+        for precision in [Precision::Bit1, Precision::Bit4] {
+            let pluto = modeled(Platform::PlutoBsa, precision);
+            for p in [Platform::Cpu, Platform::Gpu, Platform::Fpga] {
+                let other = modeled(p, precision);
+                assert!(
+                    pluto.time_us < other.time_us,
+                    "{p} faster than pLUTo at {precision:?}: {other:?} vs {pluto:?}"
+                );
+                assert!(
+                    pluto.energy_mj < other.energy_mj,
+                    "{p} more efficient than pLUTo at {precision:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn modeled_pluto_in_published_regime() {
+        // Tens of microseconds, sub-0.1 mJ — the Table 7 regime.
+        let c = modeled(Platform::PlutoBsa, Precision::Bit1);
+        assert!(c.time_us > 1.0 && c.time_us < 500.0, "{c:?}");
+        assert!(c.energy_mj < 1.0, "{c:?}");
+    }
+}

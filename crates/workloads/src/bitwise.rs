@@ -1,0 +1,141 @@
+//! Row-level bitwise logic (paper Table 4: "Row-Level Bitwise Logic
+//! Operations, # LUT entries: 4").
+//!
+//! A 4-entry LUT means a 2-bit index — i.e. the operands are processed as
+//! *paired single bits*. The pLUTo mapping therefore bit-slices each byte
+//! vector into eight bit planes and issues one 4-entry-LUT query stream per
+//! plane. (Ambit can do AND/OR natively; XOR/XNOR are where pLUTo's LUT
+//! flexibility pays off — Table 6.)
+
+use pluto_core::lut::catalog;
+use pluto_core::{Lut, PlutoError, PlutoMachine};
+
+/// The row-level bitwise operations evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BitOp {
+    And,
+    Or,
+    Xor,
+    Xnor,
+    Not,
+}
+
+impl BitOp {
+    /// All five operations.
+    pub const ALL: [BitOp; 5] = [BitOp::And, BitOp::Or, BitOp::Xor, BitOp::Xnor, BitOp::Not];
+
+    /// Reference semantics on bytes.
+    pub fn reference(self, a: u8, b: u8) -> u8 {
+        match self {
+            BitOp::And => a & b,
+            BitOp::Or => a | b,
+            BitOp::Xor => a ^ b,
+            BitOp::Xnor => !(a ^ b),
+            BitOp::Not => !a,
+        }
+    }
+
+    /// The paired-bit (4-entry or 2-entry) LUT for this operation.
+    ///
+    /// # Errors
+    /// Never fails for these widths; the `Result` mirrors LUT construction.
+    pub fn lut(self) -> Result<Lut, PlutoError> {
+        match self {
+            BitOp::And => catalog::and(1),
+            BitOp::Or => catalog::or(1),
+            BitOp::Xor => catalog::xor(1),
+            BitOp::Xnor => catalog::xnor(1),
+            BitOp::Not => catalog::not(1),
+        }
+    }
+}
+
+/// Reference byte-vector operation.
+pub fn bitwise_reference(op: BitOp, a: &[u8], b: &[u8]) -> Vec<u8> {
+    a.iter()
+        .zip(b.iter().chain(std::iter::repeat(&0)))
+        .map(|(&x, &y)| op.reference(x, y))
+        .collect()
+}
+
+/// pLUTo byte-vector operation via eight bit-plane query streams of the
+/// 4-entry LUT.
+///
+/// # Errors
+/// Propagates machine errors.
+pub fn bitwise_pluto(
+    m: &mut PlutoMachine,
+    op: BitOp,
+    a: &[u8],
+    b: &[u8],
+) -> Result<Vec<u8>, PlutoError> {
+    let lut = op.lut()?;
+    let mut out = vec![0u8; a.len()];
+    for bit in 0..8u32 {
+        let pa: Vec<u64> = a.iter().map(|&x| ((x >> bit) & 1) as u64).collect();
+        let result = if op == BitOp::Not {
+            m.apply(&lut, &pa)?.values
+        } else {
+            let pb: Vec<u64> = b.iter().map(|&x| ((x >> bit) & 1) as u64).collect();
+            m.apply2(&lut, &pa, 1, &pb, 1)?.values
+        };
+        for (i, v) in result.iter().enumerate() {
+            out[i] |= (*v as u8) << bit;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use pluto_core::DesignKind;
+    use pluto_dram::DramConfig;
+
+    fn machine() -> PlutoMachine {
+        PlutoMachine::new(
+            DramConfig {
+                row_bytes: 64,
+                burst_bytes: 8,
+                banks: 2,
+                subarrays_per_bank: 32,
+                rows_per_subarray: 64,
+                ..DramConfig::ddr4_2400()
+            },
+            DesignKind::Gmc,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_ops_match_reference() {
+        let a: Vec<u8> = gen::values(61, 48, 8).iter().map(|&v| v as u8).collect();
+        let b: Vec<u8> = gen::values(62, 48, 8).iter().map(|&v| v as u8).collect();
+        for op in BitOp::ALL {
+            let mut m = machine();
+            let out = bitwise_pluto(&mut m, op, &a, &b).unwrap();
+            assert_eq!(out, bitwise_reference(op, &a, &b), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn four_entry_luts() {
+        // Table 4: the row-level bitwise workload uses 4-entry LUTs.
+        assert_eq!(BitOp::Xor.lut().unwrap().len(), 4);
+        assert_eq!(BitOp::And.lut().unwrap().len(), 4);
+        assert_eq!(BitOp::Not.lut().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn xnor_is_complement_of_xor() {
+        let a: Vec<u8> = vec![0xAA, 0x0F, 0xFF];
+        let b: Vec<u8> = vec![0x55, 0x0F, 0x00];
+        let x = bitwise_reference(BitOp::Xor, &a, &b);
+        let nx = bitwise_reference(BitOp::Xnor, &a, &b);
+        for (p, q) in x.iter().zip(&nx) {
+            assert_eq!(p ^ q, 0xFF);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! CRC-8 / CRC-16 / CRC-32 over fixed-size packets (paper Table 4:
+//! 128-byte packets, polynomial division workloads from Hacker's Delight).
+//!
+//! **Reference**: bitwise and table-driven implementations of plain
+//! (init = 0, non-reflected, no final XOR) CRCs with the standard
+//! polynomials 0x07 (CRC-8), 0x1021 (CRC-16/CCITT), 0x04C11DB7 (CRC-32).
+//!
+//! **pLUTo mapping**: CRC is linear over GF(2), so the CRC of a packet is
+//! the XOR of the independent contributions of each byte position:
+//! `crc(M) = ⊕_i T_i[M[i]]`, where `T_i` is a 256-entry LUT giving byte
+//! `M[i]`'s contribution from position `i`. pLUTo queries `T_i` for *all
+//! packets at once* (one slot per packet) and folds the contributions with
+//! nibble-wise XOR LUT queries — turning the serial per-byte dependency
+//! into `packet_len` bulk queries. The serial remainder the paper mentions
+//! (§8.2) is the per-position loop itself.
+
+use crate::wide::Planes;
+use pluto_core::lut::catalog;
+use pluto_core::{Lut, PlutoError, PlutoMachine};
+
+/// Width-generic plain CRC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrcSpec {
+    /// CRC width in bits (8, 16, or 32).
+    pub width: u32,
+    /// Generator polynomial (without the implicit leading 1).
+    pub poly: u64,
+}
+
+impl CrcSpec {
+    /// CRC-8 (poly 0x07).
+    pub const CRC8: CrcSpec = CrcSpec { width: 8, poly: 0x07 };
+    /// CRC-16/CCITT (poly 0x1021).
+    pub const CRC16: CrcSpec = CrcSpec { width: 16, poly: 0x1021 };
+    /// CRC-32 (poly 0x04C11DB7, non-reflected).
+    pub const CRC32: CrcSpec = CrcSpec {
+        width: 32,
+        poly: 0x04C1_1DB7,
+    };
+
+    fn mask(&self) -> u64 {
+        if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    fn top_bit(&self) -> u64 {
+        1u64 << (self.width - 1)
+    }
+}
+
+/// Bitwise reference CRC of `data`.
+pub fn crc_bitwise(spec: CrcSpec, data: &[u8]) -> u64 {
+    let mut crc = 0u64;
+    for &byte in data {
+        crc ^= (byte as u64) << (spec.width - 8);
+        for _ in 0..8 {
+            crc = if crc & spec.top_bit() != 0 {
+                ((crc << 1) ^ spec.poly) & spec.mask()
+            } else {
+                (crc << 1) & spec.mask()
+            };
+        }
+    }
+    crc
+}
+
+/// Builds the classic 256-entry byte-update table.
+pub fn crc_table(spec: CrcSpec) -> Vec<u64> {
+    (0..256u64)
+        .map(|b| crc_bitwise(spec, &[b as u8]))
+        .collect()
+}
+
+/// Table-driven reference CRC (the CPU baseline kernel).
+pub fn crc_table_driven(spec: CrcSpec, table: &[u64], data: &[u8]) -> u64 {
+    let mut crc = 0u64;
+    for &byte in data {
+        let idx = ((crc >> (spec.width - 8)) ^ byte as u64) & 0xFF;
+        crc = ((crc << 8) ^ table[idx as usize]) & spec.mask();
+    }
+    crc
+}
+
+/// Contribution LUT of byte position `i` in an `len`-byte packet:
+/// `T_i[b] = crc(b · x^{8(len−1−i)})`, i.e. the CRC of `b` followed by
+/// `len−1−i` zero bytes.
+pub fn contribution_table(spec: CrcSpec, len: usize, i: usize) -> Vec<u64> {
+    let zeros = len - 1 - i;
+    (0..256u64)
+        .map(|b| {
+            let mut msg = vec![b as u8];
+            msg.extend(std::iter::repeat(0u8).take(zeros));
+            crc_bitwise(spec, &msg)
+        })
+        .collect()
+}
+
+/// Computes the CRC of every packet simultaneously on `machine`.
+///
+/// All packets must share one length. Returns one CRC per packet.
+///
+/// # Errors
+/// Propagates machine errors; fails on empty or ragged packet sets.
+pub fn crc_pluto(
+    machine: &mut PlutoMachine,
+    spec: CrcSpec,
+    packets: &[Vec<u8>],
+) -> Result<Vec<u64>, PlutoError> {
+    let Some(len) = packets.first().map(Vec::len) else {
+        return Ok(Vec::new());
+    };
+    if packets.iter().any(|p| p.len() != len) {
+        return Err(PlutoError::LayoutMismatch {
+            reason: "packets must share one length".into(),
+        });
+    }
+    let limbs = (spec.width / 4) as usize;
+    let n = packets.len();
+    let xor4 = catalog::xor(4)?;
+    // Accumulator planes start at zero.
+    let mut acc = Planes {
+        planes: vec![vec![0u64; n]; limbs],
+    };
+    for i in 0..len {
+        // Byte i of every packet, as one bulk query input vector.
+        let bytes: Vec<u64> = packets.iter().map(|p| p[i] as u64).collect();
+        let table = contribution_table(spec, len, i);
+        // One nibble-extraction LUT query per plane of the contribution.
+        let mut contrib_planes = Vec::with_capacity(limbs);
+        for l in 0..limbs {
+            let lut = Lut::from_fn(
+                format!("crc{}_pos{}_n{}", spec.width, i, l),
+                8,
+                4,
+                |b| (table[b as usize] >> (4 * l)) & 0xF,
+            )?;
+            contrib_planes.push(machine.apply(&lut, &bytes)?.values);
+        }
+        // Fold into the accumulator with nibble XORs.
+        for l in 0..limbs {
+            acc.planes[l] = machine
+                .apply2(&xor4, &acc.planes[l], 4, &contrib_planes[l], 4)?
+                .values;
+        }
+    }
+    Ok(acc.to_values())
+}
+
+/// Reference CRCs of a packet batch (CPU baseline semantics).
+pub fn crc_reference(spec: CrcSpec, packets: &[Vec<u8>]) -> Vec<u64> {
+    let table = crc_table(spec);
+    packets
+        .iter()
+        .map(|p| crc_table_driven(spec, &table, p))
+        .collect()
+}
+
+/// A machine sized for the CRC working set (position-specific LUTs are
+/// ephemeral, so the store cache needs one pair per distinct LUT name —
+/// bounded by `packet_len × limbs + 1`).
+///
+/// # Errors
+/// Propagates machine construction errors.
+pub fn crc_machine(
+    design: pluto_core::DesignKind,
+    packet_len: usize,
+    width: u32,
+) -> Result<PlutoMachine, PlutoError> {
+    let lut_pairs = packet_len as u16 * (width / 4) as u16 + 2;
+    PlutoMachine::new(
+        pluto_dram::DramConfig {
+            row_bytes: 128,
+            burst_bytes: 16,
+            banks: 2,
+            subarrays_per_bank: (2 * lut_pairs + 4).max(16),
+            rows_per_subarray: 512,
+            ..pluto_dram::DramConfig::ddr4_2400()
+        },
+        design,
+    )
+}
+
+/// Placeholder re-export so `wide` is visibly the shared substrate.
+pub use crate::wide::Planes as CrcPlanes;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use pluto_core::DesignKind;
+
+    #[test]
+    fn bitwise_crc8_known_value() {
+        // CRC-8 (poly 0x07) of "123456789" is 0xF4 — the standard check
+        // value for CRC-8/SMBUS (init 0, no reflection, no final xor).
+        assert_eq!(crc_bitwise(CrcSpec::CRC8, b"123456789"), 0xF4);
+    }
+
+    #[test]
+    fn bitwise_crc16_known_value() {
+        // CRC-16/XMODEM (poly 0x1021, init 0): check value 0x31C3.
+        assert_eq!(crc_bitwise(CrcSpec::CRC16, b"123456789"), 0x31C3);
+    }
+
+    #[test]
+    fn table_driven_matches_bitwise() {
+        for spec in [CrcSpec::CRC8, CrcSpec::CRC16, CrcSpec::CRC32] {
+            let table = crc_table(spec);
+            for pkt in gen::packets(11, 8, 32) {
+                assert_eq!(
+                    crc_table_driven(spec, &table, &pkt),
+                    crc_bitwise(spec, &pkt),
+                    "width {}",
+                    spec.width
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crc_linearity_decomposition() {
+        // The property the pLUTo mapping relies on: the CRC equals the XOR
+        // of per-position contributions.
+        for spec in [CrcSpec::CRC8, CrcSpec::CRC16, CrcSpec::CRC32] {
+            let pkt = &gen::packets(5, 1, 16)[0];
+            let folded = (0..pkt.len()).fold(0u64, |acc, i| {
+                acc ^ contribution_table(spec, pkt.len(), i)[pkt[i] as usize]
+            });
+            assert_eq!(folded, crc_bitwise(spec, pkt), "width {}", spec.width);
+        }
+    }
+
+    #[test]
+    fn pluto_crc8_matches_reference() {
+        let packets = gen::packets(21, 24, 8);
+        let mut m = crc_machine(DesignKind::Gmc, 8, 8).unwrap();
+        let out = crc_pluto(&mut m, CrcSpec::CRC8, &packets).unwrap();
+        assert_eq!(out, crc_reference(CrcSpec::CRC8, &packets));
+        assert!(m.totals().time > pluto_dram::Picos::ZERO);
+    }
+
+    #[test]
+    fn pluto_crc16_matches_reference() {
+        let packets = gen::packets(22, 16, 6);
+        let mut m = crc_machine(DesignKind::Bsa, 6, 16).unwrap();
+        let out = crc_pluto(&mut m, CrcSpec::CRC16, &packets).unwrap();
+        assert_eq!(out, crc_reference(CrcSpec::CRC16, &packets));
+    }
+
+    #[test]
+    fn pluto_crc32_matches_reference() {
+        let packets = gen::packets(23, 10, 4);
+        let mut m = crc_machine(DesignKind::Bsa, 4, 32).unwrap();
+        let out = crc_pluto(&mut m, CrcSpec::CRC32, &packets).unwrap();
+        assert_eq!(out, crc_reference(CrcSpec::CRC32, &packets));
+    }
+
+    #[test]
+    fn empty_and_ragged_inputs() {
+        let mut m = crc_machine(DesignKind::Bsa, 4, 8).unwrap();
+        assert!(crc_pluto(&mut m, CrcSpec::CRC8, &[]).unwrap().is_empty());
+        let ragged = vec![vec![1u8, 2], vec![3u8]];
+        assert!(crc_pluto(&mut m, CrcSpec::CRC8, &ragged).is_err());
+    }
+}

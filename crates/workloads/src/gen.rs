@@ -1,0 +1,111 @@
+//! Deterministic synthetic data generators.
+//!
+//! The paper evaluates on network packets (CRC/ciphers) and 936 000-pixel
+//! 3-channel images. We generate deterministic equivalents with a
+//! fixed-seed RNG so every run of the suite reproduces identical data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's image size: 936 000 pixels (Table 4).
+pub const PAPER_IMAGE_PIXELS: usize = 936_000;
+
+/// The paper's CRC packet size in bytes (Table 4).
+pub const CRC_PACKET_BYTES: usize = 128;
+
+/// The paper's cipher packet size in bytes (Table 4).
+pub const CIPHER_PACKET_BYTES: usize = 512;
+
+/// Generates `count` packets of `len` pseudo-random bytes.
+pub fn packets(seed: u64, count: usize, len: usize) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..len).map(|_| rng.gen()).collect())
+        .collect()
+}
+
+/// A synthetic 3-channel 8-bit image: smooth gradients plus seeded noise,
+/// stored planar (R plane, G plane, B plane).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Pixels per channel.
+    pub pixels: usize,
+    /// The three channel planes (R, G, B), each `pixels` bytes.
+    pub channels: [Vec<u8>; 3],
+}
+
+impl Image {
+    /// Generates an image of `pixels` pixels (gradient + noise).
+    pub fn synthetic(seed: u64, pixels: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = (pixels as f64).sqrt().ceil() as usize;
+        let mut channels: [Vec<u8>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (c, chan) in channels.iter_mut().enumerate() {
+            chan.reserve(pixels);
+            for p in 0..pixels {
+                let x = p % width;
+                let y = p / width;
+                let base = match c {
+                    0 => (x * 255 / width.max(1)) as i32,
+                    1 => (y * 255 / (pixels / width.max(1)).max(1)) as i32,
+                    _ => (((x + y) * 255) / (2 * width.max(1))) as i32,
+                };
+                let noise: i32 = rng.gen_range(-16..=16);
+                chan.push((base + noise).clamp(0, 255) as u8);
+            }
+        }
+        Image { pixels, channels }
+    }
+
+    /// Total bytes across all channels.
+    pub fn bytes(&self) -> usize {
+        self.pixels * 3
+    }
+}
+
+/// `count` pseudo-random `bits`-wide values.
+pub fn values(seed: u64, count: usize, bits: u32) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    (0..count).map(|_| rng.gen::<u64>() & mask).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packets_are_deterministic() {
+        assert_eq!(packets(7, 3, 16), packets(7, 3, 16));
+        assert_ne!(packets(7, 3, 16), packets(8, 3, 16));
+        let p = packets(1, 4, CRC_PACKET_BYTES);
+        assert_eq!(p.len(), 4);
+        assert!(p.iter().all(|pkt| pkt.len() == 128));
+    }
+
+    #[test]
+    fn image_has_three_equal_planes() {
+        let img = Image::synthetic(42, 1000);
+        assert_eq!(img.channels[0].len(), 1000);
+        assert_eq!(img.channels[1].len(), 1000);
+        assert_eq!(img.channels[2].len(), 1000);
+        assert_eq!(img.bytes(), 3000);
+        assert_eq!(img, Image::synthetic(42, 1000));
+    }
+
+    #[test]
+    fn image_spans_the_intensity_range() {
+        let img = Image::synthetic(1, 10_000);
+        let max = *img.channels[0].iter().max().unwrap();
+        let min = *img.channels[0].iter().min().unwrap();
+        assert!(max > 200 && min < 55, "gradient covers the range");
+    }
+
+    #[test]
+    fn values_respect_width() {
+        let v = values(3, 100, 4);
+        assert!(v.iter().all(|&x| x < 16));
+        let v = values(3, 10, 64);
+        assert!(v.iter().any(|&x| x > u32::MAX as u64));
+    }
+}

@@ -1,0 +1,42 @@
+//! # pluto-workloads — the eleven evaluated workloads (paper Table 4)
+//!
+//! Every workload exists in two forms:
+//!
+//! 1. a **reference software implementation** (the ground truth the paper's
+//!    CPU baseline runs), and
+//! 2. a **pLUTo mapping** executing on a simulated [`PlutoMachine`] —
+//!    decomposed into bulk LUT queries, Ambit bitwise operations, and DRISA
+//!    shifts exactly as the paper's §6 stack would emit them.
+//!
+//! Integration tests assert the two produce bit-identical outputs, and the
+//! machine's accumulated command stream provides the pLUTo side of every
+//! figure (7–10, 13, 14).
+//!
+//! | Module | Paper workload |
+//! |---|---|
+//! | [`crc`] | CRC-8/16/32 over 128 B packets (linearity-based parallel mapping) |
+//! | [`salsa20`] | Salsa20 cipher over 512 B packets |
+//! | [`vmpc`] | VMPC one-way function over 512 B packets |
+//! | [`image`] | Image binarization + color grading (3x8-bit, 936 000 px) |
+//! | [`vecops`] | LUT-based vector addition; Q1.7 / Q1.15 point-wise multiply |
+//! | [`bitcount`] | BC-4 / BC-8 bit counting |
+//! | [`bitwise`] | Row-level bitwise AND/OR/XOR/XNOR (4-entry LUTs) |
+//! | [`wide`] | Nibble-plane wide arithmetic the mappings are built from |
+//! | [`gen`] | Deterministic synthetic data generators |
+//! | [`runner`] | End-to-end drivers used by the figure harness |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitcount;
+pub mod bitwise;
+pub mod crc;
+pub mod gen;
+pub mod image;
+pub mod runner;
+pub mod salsa20;
+pub mod vecops;
+pub mod vmpc;
+pub mod wide;
+
+pub use pluto_core::prelude::*;

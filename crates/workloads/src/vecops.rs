@@ -1,0 +1,171 @@
+//! LUT-based vector addition and Q-format point-wise multiplication
+//! (paper Table 4: 4-bit addition; Q1.7 and Q1.15 multiplies).
+//!
+//! Q1.m is a signed fixed-point format: one sign bit, `m` fraction bits,
+//! values in [−1, 1). The product of two Q1.m values is computed as the
+//! wrapping signed product shifted right by `m` — the reference uses host
+//! integer arithmetic; the pLUTo mapping decomposes the multiply into
+//! 4-bit-limb LUT partial products ([`crate::wide::mul`]) with sign
+//! correction and LUT-based shifting.
+
+use crate::wide::{self, Planes};
+use pluto_core::lut::catalog;
+use pluto_core::{Lut, PlutoError, PlutoMachine};
+
+/// Reference 4-bit vector addition (5-bit results, the paper's LUT-based
+/// vector-add workload).
+pub fn add4_reference(a: &[u64], b: &[u64]) -> Vec<u64> {
+    a.iter().zip(b).map(|(&x, &y)| (x + y) & 0x1F).collect()
+}
+
+/// pLUTo 4-bit vector addition: one `add4` LUT query stream.
+///
+/// # Errors
+/// Propagates machine errors.
+pub fn add4_pluto(m: &mut PlutoMachine, a: &[u64], b: &[u64]) -> Result<Vec<u64>, PlutoError> {
+    Ok(m.apply2(&catalog::add(4)?, a, 4, b, 4)?.values)
+}
+
+/// Reference Q1.m point-wise product (wrapping, like the hardware).
+///
+/// Operands and results are raw two's-complement words of `m + 1` bits.
+pub fn qmul_reference(frac_bits: u32, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let width = frac_bits + 1;
+    let mask = (1u64 << width) - 1;
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let sx = sign_extend(x, width);
+            let sy = sign_extend(y, width);
+            (((sx * sy) >> frac_bits) as u64) & mask
+        })
+        .collect()
+}
+
+fn sign_extend(v: u64, width: u32) -> i64 {
+    let shift = 64 - width;
+    ((v << shift) as i64) >> shift
+}
+
+/// pLUTo Q1.7 product: 8-bit operands. Unsigned 8×8 → 16 limb multiply,
+/// two conditional sign corrections (`p −= (b << 8)` when `a < 0`, and
+/// symmetrically), then an arithmetic shift right by 7 — all as LUT
+/// queries on nibble planes.
+///
+/// # Errors
+/// Propagates machine errors.
+pub fn q1_7_mul_pluto(m: &mut PlutoMachine, a: &[u64], b: &[u64]) -> Result<Vec<u64>, PlutoError> {
+    qmul_pluto(m, 7, a, b)
+}
+
+/// pLUTo Q1.15 product: 16-bit operands via the same decomposition.
+///
+/// # Errors
+/// Propagates machine errors.
+pub fn q1_15_mul_pluto(m: &mut PlutoMachine, a: &[u64], b: &[u64]) -> Result<Vec<u64>, PlutoError> {
+    qmul_pluto(m, 15, a, b)
+}
+
+fn qmul_pluto(
+    m: &mut PlutoMachine,
+    frac_bits: u32,
+    a: &[u64],
+    b: &[u64],
+) -> Result<Vec<u64>, PlutoError> {
+    let width = frac_bits + 1; // 8 or 16
+    let limbs = (width / 4) as usize;
+    let n = a.len();
+    let pa = Planes::from_values(a, limbs);
+    let pb = Planes::from_values(b, limbs);
+    // Unsigned product, 2×limbs wide.
+    let prod = wide::mul(m, &pa, &pb)?;
+    // Signed correction: for two's-complement operands interpreted
+    // unsigned, signed = unsigned − (a<0 ? b<<width : 0) − (b<0 ? a<<width : 0)
+    // (mod 2^(2·width)).
+    let sign = Lut::from_fn("sign4", 4, 1, |x| x >> 3)?;
+    let select = Lut::from_fn("select4", 5, 4, |x| {
+        let flag = x & 1;
+        if flag == 1 {
+            x >> 1
+        } else {
+            0
+        }
+    })?;
+    let a_neg = m.apply(&sign, &pa.planes[limbs - 1])?.values;
+    let b_neg = m.apply(&sign, &pb.planes[limbs - 1])?.values;
+    let zero: Vec<u64> = vec![0; n];
+    let corr = |operand: &Planes, flag: &[u64], mach: &mut PlutoMachine| -> Result<Planes, PlutoError> {
+        // (operand << width) masked by flag, as a 2·width-wide value.
+        let mut planes = vec![zero.clone(); 2 * limbs];
+        for l in 0..limbs {
+            planes[limbs + l] = mach.apply2(&select, &operand.planes[l], 4, flag, 1)?.values;
+        }
+        Ok(Planes { planes })
+    };
+    let corr_b = corr(&pb, &a_neg, m)?;
+    let corr_a = corr(&pa, &b_neg, m)?;
+    let step = wide::sub(m, &prod, &corr_b)?;
+    let signed = wide::sub(m, &step, &corr_a)?;
+    // Arithmetic shift right by frac_bits == logical shift then take the
+    // low `width` bits (the discarded high bits carry the sign copies).
+    let shifted = wide::shr(m, &signed, frac_bits)?;
+    let out = Planes {
+        planes: shifted.planes[..limbs].to_vec(),
+    };
+    Ok(out.to_values())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use pluto_core::DesignKind;
+
+    #[test]
+    fn add4_matches_reference() {
+        let a = gen::values(1, 60, 4);
+        let b = gen::values(2, 60, 4);
+        let mut m = wide::test_machine(DesignKind::Bsa).unwrap();
+        assert_eq!(add4_pluto(&mut m, &a, &b).unwrap(), add4_reference(&a, &b));
+    }
+
+    #[test]
+    fn qmul_reference_known_values() {
+        // Q1.7: 0.5 × 0.5 = 0.25  (64 × 64 >> 7 = 32).
+        assert_eq!(qmul_reference(7, &[64], &[64]), vec![32]);
+        // −1.0 × 0.5 = −0.5  (0x80 × 0x40 ⇒ 0xC0).
+        assert_eq!(qmul_reference(7, &[0x80], &[0x40]), vec![0xC0]);
+        // −1.0 × −0.5 = 0.5.
+        assert_eq!(qmul_reference(7, &[0x80], &[0xC0]), vec![0x40]);
+    }
+
+    #[test]
+    fn pluto_q1_7_matches_reference() {
+        let a = gen::values(31, 24, 8);
+        let b = gen::values(32, 24, 8);
+        let mut m = wide::test_machine(DesignKind::Gmc).unwrap();
+        let out = q1_7_mul_pluto(&mut m, &a, &b).unwrap();
+        assert_eq!(out, qmul_reference(7, &a, &b));
+    }
+
+    #[test]
+    fn pluto_q1_15_matches_reference() {
+        let a = gen::values(41, 10, 16);
+        let b = gen::values(42, 10, 16);
+        let mut m = wide::test_machine(DesignKind::Gmc).unwrap();
+        let out = q1_15_mul_pluto(&mut m, &a, &b).unwrap();
+        assert_eq!(out, qmul_reference(15, &a, &b));
+    }
+
+    #[test]
+    fn qmul_edge_cases() {
+        let edge: Vec<u64> = vec![0x00, 0x7F, 0x80, 0xFF, 0x01];
+        let mut m = wide::test_machine(DesignKind::Bsa).unwrap();
+        for &x in &edge {
+            for &y in &edge {
+                let out = q1_7_mul_pluto(&mut m, &[x], &[y]).unwrap();
+                assert_eq!(out, qmul_reference(7, &[x], &[y]), "{x:#x} * {y:#x}");
+            }
+        }
+    }
+}

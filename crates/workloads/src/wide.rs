@@ -1,0 +1,355 @@
+//! Nibble-plane wide arithmetic on a [`PlutoMachine`].
+//!
+//! pLUTo LUTs are small (≤ the subarray's row count, §5.6), so wide
+//! arithmetic is decomposed into 4-bit limbs: a `4L`-bit vector is held as
+//! `L` *planes* of 4-bit elements (plane 0 = least significant nibble).
+//! All plane operations are bulk LUT queries or Ambit/DRISA commands —
+//! exactly the decomposition the paper's library would emit for the
+//! Salsa20, VMPC, and Q-format multiply workloads.
+
+use pluto_core::lut::{catalog, Lut};
+use pluto_core::{DesignKind, PlutoError, PlutoMachine};
+
+/// A vector of `4 × planes.len()`-bit values in nibble-plane form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Planes {
+    /// `planes[l][i]` is bits `4l..4l+4` of element `i`.
+    pub planes: Vec<Vec<u64>>,
+}
+
+impl Planes {
+    /// Splits `values` (each below `2^(4·limbs)`) into nibble planes.
+    pub fn from_values(values: &[u64], limbs: usize) -> Self {
+        let planes = (0..limbs)
+            .map(|l| values.iter().map(|&v| (v >> (4 * l)) & 0xF).collect())
+            .collect();
+        Planes { planes }
+    }
+
+    /// Reassembles the wide values.
+    pub fn to_values(&self) -> Vec<u64> {
+        let n = self.planes.first().map_or(0, Vec::len);
+        (0..n)
+            .map(|i| {
+                self.planes
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (l, p)| acc | (p[i] << (4 * l)))
+            })
+            .collect()
+    }
+
+    /// Number of 4-bit limbs.
+    pub fn limbs(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.planes.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn addc_lut() -> Result<Lut, PlutoError> {
+    // (sum5 << 1 | carry_in) -> sum5 + carry_in. Real sums never exceed
+    // 15 + 15 + 1 = 31, but the LUT tabulates every 6-bit index, so the
+    // output width is 6 bits.
+    Lut::from_fn("addc5", 6, 6, |x| (x >> 1) + (x & 1))
+}
+
+fn low4_lut() -> Result<Lut, PlutoError> {
+    Lut::from_fn("low4of6", 6, 4, |x| x & 0xF)
+}
+
+fn carry_lut() -> Result<Lut, PlutoError> {
+    Lut::from_fn("carry6", 6, 1, |x| (x >> 4) & 1)
+}
+
+fn low4of8_lut() -> Result<Lut, PlutoError> {
+    Lut::from_fn("low4of8", 8, 4, |x| x & 0xF)
+}
+
+fn hi4of8_lut() -> Result<Lut, PlutoError> {
+    Lut::from_fn("hi4of8", 8, 4, |x| x >> 4)
+}
+
+/// `a + b (+ carry_in) mod 2^(4·limbs)`, ripple-carry over 4-bit LUT adds.
+///
+/// # Errors
+/// Propagates machine errors.
+pub fn add(
+    m: &mut PlutoMachine,
+    a: &Planes,
+    b: &Planes,
+    carry_in: bool,
+) -> Result<Planes, PlutoError> {
+    assert_eq!(a.limbs(), b.limbs(), "operand widths must match");
+    let n = a.len();
+    let add4 = catalog::add(4)?;
+    let addc = addc_lut()?;
+    let low4 = low4_lut()?;
+    let carry6 = carry_lut()?;
+    let mut carry: Vec<u64> = vec![u64::from(carry_in); n];
+    let mut out = Vec::with_capacity(a.limbs());
+    for l in 0..a.limbs() {
+        let s1 = m.apply2(&add4, &a.planes[l], 4, &b.planes[l], 4)?.values;
+        let s2 = m.apply2(&addc, &s1, 5, &carry, 1)?.values;
+        out.push(m.apply(&low4, &s2)?.values);
+        carry = m.apply(&carry6, &s2)?.values;
+    }
+    Ok(Planes { planes: out })
+}
+
+/// `a - b mod 2^(4·limbs)` via two's complement: `a + NOT(b) + 1`.
+///
+/// # Errors
+/// Propagates machine errors.
+pub fn sub(m: &mut PlutoMachine, a: &Planes, b: &Planes) -> Result<Planes, PlutoError> {
+    let not4 = catalog::not(4)?;
+    let mut nb = Vec::with_capacity(b.limbs());
+    for p in &b.planes {
+        nb.push(m.apply(&not4, p)?.values);
+    }
+    add(m, a, &Planes { planes: nb }, true)
+}
+
+/// Plane-wise bitwise XOR via 4-entry-per-pair LUT queries.
+///
+/// # Errors
+/// Propagates machine errors.
+pub fn xor(m: &mut PlutoMachine, a: &Planes, b: &Planes) -> Result<Planes, PlutoError> {
+    assert_eq!(a.limbs(), b.limbs());
+    let xor4 = catalog::xor(4)?;
+    let mut out = Vec::with_capacity(a.limbs());
+    for l in 0..a.limbs() {
+        out.push(m.apply2(&xor4, &a.planes[l], 4, &b.planes[l], 4)?.values);
+    }
+    Ok(Planes { planes: out })
+}
+
+/// Left-rotation of 32-bit values (8 limbs) by `r` bits: whole-nibble
+/// rotation is plane renaming (free, like the paper's row-address
+/// remapping); the residual `r mod 4` bits merge adjacent planes through an
+/// 8-bit → 4-bit LUT.
+///
+/// # Errors
+/// Propagates machine errors.
+pub fn rotl32(m: &mut PlutoMachine, a: &Planes, r: u32) -> Result<Planes, PlutoError> {
+    assert_eq!(a.limbs(), 8, "rotl32 requires 32-bit (8-limb) values");
+    let r = r % 32;
+    let plane_rot = (r / 4) as usize;
+    let s = r % 4;
+    // Rotate planes: new plane l = old plane (l - plane_rot) mod 8.
+    let rotated: Vec<Vec<u64>> = (0..8)
+        .map(|l| a.planes[(l + 8 - plane_rot) % 8].clone())
+        .collect();
+    if s == 0 {
+        return Ok(Planes { planes: rotated });
+    }
+    // new[l] = ((rot[l] << s) | (rot[l-1] >> (4-s))) & 0xF
+    let merge = Lut::from_fn(format!("rotmerge{s}"), 8, 4, move |x| {
+        let hi = x >> 4;
+        let lo = x & 0xF;
+        ((hi << s) | (lo >> (4 - s))) & 0xF
+    })?;
+    let mut out = Vec::with_capacity(8);
+    for l in 0..8 {
+        let prev = &rotated[(l + 7) % 8];
+        out.push(m.apply2(&merge, &rotated[l], 4, prev, 4)?.values);
+    }
+    Ok(Planes { planes: out })
+}
+
+/// Schoolbook multiplication over 4-bit limbs: `a × b` producing
+/// `a.limbs() + b.limbs()` limbs. Each partial product is one `mul4` LUT
+/// query; accumulation uses the ripple-carry adder above.
+///
+/// # Errors
+/// Propagates machine errors.
+pub fn mul(m: &mut PlutoMachine, a: &Planes, b: &Planes) -> Result<Planes, PlutoError> {
+    let n = a.len();
+    let out_limbs = a.limbs() + b.limbs();
+    let mul4 = catalog::mul(4)?;
+    let low = low4of8_lut()?;
+    let hi = hi4of8_lut()?;
+    let zero: Vec<u64> = vec![0; n];
+    let mut acc = Planes {
+        planes: vec![zero.clone(); out_limbs],
+    };
+    for i in 0..a.limbs() {
+        for j in 0..b.limbs() {
+            let p = m.apply2(&mul4, &a.planes[i], 4, &b.planes[j], 4)?.values;
+            let lo_p = m.apply(&low, &p)?.values;
+            let hi_p = m.apply(&hi, &p)?.values;
+            // Partial product shifted to limb position i + j.
+            let mut planes = vec![zero.clone(); out_limbs];
+            planes[i + j] = lo_p;
+            if i + j + 1 < out_limbs {
+                planes[i + j + 1] = hi_p;
+            }
+            acc = add(m, &acc, &Planes { planes }, false)?;
+        }
+    }
+    Ok(acc)
+}
+
+/// Logical right shift of nibble-plane values by `bits` (vacated high bits
+/// fill with zero).
+///
+/// # Errors
+/// Propagates machine errors.
+pub fn shr(m: &mut PlutoMachine, a: &Planes, bits: u32) -> Result<Planes, PlutoError> {
+    let limbs = a.limbs();
+    let n = a.len();
+    let plane_shift = (bits / 4) as usize;
+    let s = bits % 4;
+    let zero: Vec<u64> = vec![0; n];
+    let shifted: Vec<Vec<u64>> = (0..limbs)
+        .map(|l| {
+            a.planes
+                .get(l + plane_shift)
+                .cloned()
+                .unwrap_or_else(|| zero.clone())
+        })
+        .collect();
+    if s == 0 {
+        return Ok(Planes { planes: shifted });
+    }
+    // new[l] = (cur >> s) | ((next << (4-s)) & 0xF)
+    let merge = Lut::from_fn(format!("shrmerge{s}"), 8, 4, move |x| {
+        let next = x >> 4;
+        let cur = x & 0xF;
+        ((cur >> s) | (next << (4 - s))) & 0xF
+    })?;
+    let mut out = Vec::with_capacity(limbs);
+    for l in 0..limbs {
+        let next = shifted.get(l + 1).cloned().unwrap_or_else(|| zero.clone());
+        out.push(m.apply2(&merge, &next, 4, &shifted[l], 4)?.values);
+    }
+    Ok(Planes { planes: out })
+}
+
+/// A fresh machine suitable for wide-arithmetic workloads (enough subarray
+/// pairs for the LUT working set).
+///
+/// # Errors
+/// Propagates machine construction errors.
+pub fn test_machine(design: DesignKind) -> Result<PlutoMachine, PlutoError> {
+    PlutoMachine::new(
+        pluto_dram::DramConfig {
+            row_bytes: 128,
+            burst_bytes: 16,
+            banks: 2,
+            subarrays_per_bank: 128,
+            rows_per_subarray: 512,
+            ..pluto_dram::DramConfig::ddr4_2400()
+        },
+        design,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planes_roundtrip() {
+        let vals = vec![0xDEADBEEF, 0x01234567, 0, 0xFFFFFFFF];
+        let p = Planes::from_values(&vals, 8);
+        assert_eq!(p.to_values(), vals);
+        assert_eq!(p.limbs(), 8);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn add_mod_2_32() {
+        let mut m = test_machine(DesignKind::Gmc).unwrap();
+        let a: Vec<u64> = vec![0xFFFFFFFF, 1, 0x80000000, 0x12345678];
+        let b: Vec<u64> = vec![1, 2, 0x80000000, 0x9ABCDEF0];
+        let pa = Planes::from_values(&a, 8);
+        let pb = Planes::from_values(&b, 8);
+        let sum = add(&mut m, &pa, &pb, false).unwrap().to_values();
+        let expect: Vec<u64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| (x + y) & 0xFFFFFFFF)
+            .collect();
+        assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn sub_is_twos_complement() {
+        let mut m = test_machine(DesignKind::Gmc).unwrap();
+        let a: Vec<u64> = vec![5, 0, 0x10000];
+        let b: Vec<u64> = vec![7, 1, 1];
+        let pa = Planes::from_values(&a, 8);
+        let pb = Planes::from_values(&b, 8);
+        let d = sub(&mut m, &pa, &pb).unwrap().to_values();
+        let expect: Vec<u64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| x.wrapping_sub(y) & 0xFFFFFFFF)
+            .collect();
+        assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn xor_matches_reference() {
+        let mut m = test_machine(DesignKind::Bsa).unwrap();
+        let a: Vec<u64> = vec![0xF0F0A5A5, 0x12345678];
+        let b: Vec<u64> = vec![0x0FF05A5A, 0x87654321];
+        let r = xor(
+            &mut m,
+            &Planes::from_values(&a, 8),
+            &Planes::from_values(&b, 8),
+        )
+        .unwrap()
+        .to_values();
+        assert_eq!(r, vec![0xFF00FFFF, 0x95511559]);
+    }
+
+    #[test]
+    fn rotl32_all_shift_classes() {
+        let mut m = test_machine(DesignKind::Gmc).unwrap();
+        let vals: Vec<u64> = vec![0x80000001, 0x12345678, 0xDEADBEEF];
+        for r in [0u32, 4, 7, 9, 13, 18, 31] {
+            let p = Planes::from_values(&vals, 8);
+            let out = rotl32(&mut m, &p, r).unwrap().to_values();
+            let expect: Vec<u64> = vals
+                .iter()
+                .map(|&v| ((v as u32).rotate_left(r)) as u64)
+                .collect();
+            assert_eq!(out, expect, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn mul_8x8_to_16() {
+        let mut m = test_machine(DesignKind::Gmc).unwrap();
+        let a: Vec<u64> = vec![255, 16, 7, 200];
+        let b: Vec<u64> = vec![255, 16, 13, 123];
+        let pa = Planes::from_values(&a, 2);
+        let pb = Planes::from_values(&b, 2);
+        let p = mul(&mut m, &pa, &pb).unwrap();
+        assert_eq!(p.limbs(), 4);
+        let expect: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+        assert_eq!(p.to_values(), expect);
+    }
+
+    #[test]
+    fn shr_matches_reference() {
+        let mut m = test_machine(DesignKind::Gmc).unwrap();
+        let vals: Vec<u64> = vec![0xFFFF, 0x8000, 0x1234];
+        for s in [0u32, 3, 4, 7, 8] {
+            let p = Planes::from_values(&vals, 4);
+            let out = shr(&mut m, &p, s).unwrap().to_values();
+            let expect: Vec<u64> = vals.iter().map(|&v| (v >> s) & 0xFFFF).collect();
+            assert_eq!(out, expect, "s = {s}");
+        }
+    }
+}

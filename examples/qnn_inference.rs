@@ -1,0 +1,58 @@
+//! Quantized LeNet-5 inference (the paper's §9 case study): classify
+//! synthetic MNIST digits with the 1-bit and 4-bit networks, run the
+//! binary XNOR-popcount kernel on the simulator, and print the Table 7
+//! platform comparison.
+//!
+//! ```sh
+//! cargo run --release --example qnn_inference
+//! ```
+
+use pluto_repro::core::DesignKind;
+use pluto_repro::qnn::lenet::{binary_dot_reference, LeNet5, Precision};
+use pluto_repro::qnn::mnist::SyntheticMnist;
+use pluto_repro::qnn::pluto_exec::{binary_dot_pluto, qnn_machine};
+use pluto_repro::qnn::table7::{modeled, published, Platform};
+
+fn main() {
+    let digits = SyntheticMnist::new(7);
+    for precision in [Precision::Bit1, Precision::Bit4] {
+        let net = LeNet5::new(precision, 42);
+        print!("{precision:?} predictions for digits 0..9:");
+        for d in 0..10u8 {
+            print!(" {}", net.classify(&digits.image(d, 0)));
+        }
+        println!();
+    }
+
+    // The binary inner-product kernel, live on the command-level simulator.
+    let net = LeNet5::new(Precision::Bit1, 42);
+    let img = digits.image(4, 0);
+    let x = net.quantize_input(&img);
+    let a: Vec<u8> = x.data()[..256].iter().map(|&v| u8::from(v > 0)).collect();
+    let w: Vec<u8> = net.fc1.weights[..256].iter().map(|&v| u8::from(v > 0)).collect();
+    let mut machine = qnn_machine(DesignKind::Bsa).expect("machine");
+    let dot = binary_dot_pluto(&mut machine, &[a.clone()], &[w.clone()]).expect("kernel");
+    assert_eq!(dot[0], binary_dot_reference(&a, &w));
+    println!(
+        "\nXNOR-popcount dot product on pLUTo: {} (simulated {})",
+        dot[0],
+        machine.totals().time
+    );
+
+    println!("\nTable 7 (published | modeled):");
+    for precision in [Precision::Bit1, Precision::Bit4] {
+        println!("  {precision:?}:");
+        for p in Platform::ALL {
+            let pb = published(p, precision);
+            let md = modeled(p, precision);
+            println!(
+                "    {:<12} {:>7.0} us | {:>9.1} us      {:>6.2} mJ | {:>7.3} mJ",
+                p.to_string(),
+                pb.time_us,
+                md.time_us,
+                pb.energy_mj,
+                md.energy_mj
+            );
+        }
+    }
+}

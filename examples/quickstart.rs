@@ -1,0 +1,41 @@
+//! Quickstart: define a LUT, run a bulk in-DRAM query, inspect the cost.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pluto_repro::core::prelude::*;
+
+fn main() -> Result<(), PlutoError> {
+    // A pLUTo machine over the paper's DDR4 module, using the
+    // highest-throughput design (pLUTo-GMC).
+    let mut machine = PlutoMachine::ddr4(DesignKind::Gmc)?;
+
+    // Any deterministic function becomes a LUT — here, an 8-bit
+    // square-root table (a "complex operation" no prior PuM can run).
+    let isqrt = Lut::from_fn("isqrt", 8, 4, |x| (x as f64).sqrt().floor() as u64)?;
+
+    // One bulk query computes the function for thousands of elements at
+    // row granularity.
+    let inputs: Vec<u64> = (0..2000).map(|i| (i * 37) % 256).collect();
+    let result = machine.apply(&isqrt, &inputs)?;
+
+    for (i, &x) in inputs.iter().take(5).enumerate() {
+        println!("isqrt({x:3}) = {}", result.values[i]);
+    }
+    assert!(inputs
+        .iter()
+        .zip(&result.values)
+        .all(|(&x, &y)| y == (x as f64).sqrt().floor() as u64));
+
+    println!("\nelements processed : {}", result.values.len());
+    println!("simulated time     : {}", result.time);
+    println!("simulated energy   : {}", result.energy);
+    println!("DRAM commands      : {}", result.stats);
+
+    // The same call through the full Compiler -> ISA -> Controller stack.
+    let via_stack = machine.map(&isqrt, &inputs)?;
+    assert_eq!(via_stack.values, result.values);
+    println!("\ncompiler/controller path agrees with the fast path ✓");
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! # pluto-repro — top-level façade for the pLUTo reproduction workspace
+//!
+//! This crate re-exports the member crates so that the examples and
+//! integration tests can use a single dependency. See the workspace
+//! `README.md` for an overview and `DESIGN.md` for the system inventory.
+
+pub use pluto_analog as analog;
+pub use pluto_baselines as baselines;
+pub use pluto_core as core;
+pub use pluto_dram as dram;
+pub use pluto_qnn as qnn;
+pub use pluto_workloads as workloads;

@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: the full stack from assembly text
+//! through the compiler, controller, query engine, and DRAM simulator,
+//! plus workload validation on every design and figure-level shape checks.
+
+use pluto_repro::baselines::{estimate, machine::Machine, profile, WorkloadId};
+use pluto_repro::core::compiler::Graph;
+use pluto_repro::core::controller::Controller;
+use pluto_repro::core::isa::{parse_program, Program, RowReg};
+use pluto_repro::core::lut::catalog;
+use pluto_repro::core::prelude::*;
+use pluto_repro::dram::MemoryKind;
+use pluto_repro::workloads::runner;
+
+fn cfg() -> DramConfig {
+    DramConfig {
+        row_bytes: 64,
+        burst_bytes: 8,
+        banks: 2,
+        subarrays_per_bank: 16,
+        rows_per_subarray: 512,
+        ..DramConfig::ddr4_2400()
+    }
+}
+
+#[test]
+fn assembly_text_to_execution() {
+    // The paper's Fig. 5 flow, starting from raw assembly text.
+    let lut = catalog::popcount(4).unwrap();
+    let text = format!(
+        "pluto_row_alloc $prg0, 32, 4\n\
+         pluto_row_alloc $prg1, 32, 4\n\
+         pluto_subarray_alloc $lut_rg0, 16, \"{}\"\n\
+         pluto_op $prg1, $prg0, $lut_rg0, 16, 4\n",
+        lut.name()
+    );
+    let program = Program {
+        instructions: parse_program(&text).unwrap(),
+        inputs: vec![(RowReg(0), 4)],
+        output: Some((RowReg(1), 4)),
+        slot_bits: 4,
+    };
+    for design in DesignKind::ALL {
+        let mut c = Controller::new(cfg(), design).unwrap();
+        c.register_lut(lut.clone());
+        let inputs: Vec<u64> = (0..32u64).map(|i| i % 16).collect();
+        let out = c.run(&program, &[inputs.clone()]).unwrap();
+        let expect: Vec<u64> = inputs.iter().map(|v| v.count_ones() as u64).collect();
+        assert_eq!(out.outputs, expect, "{design}");
+    }
+}
+
+#[test]
+fn compiled_graph_matches_fast_path_and_reference() {
+    // compiler/controller path == direct query path == host reference.
+    let mut g = Graph::new();
+    let a = g.input(4);
+    let b = g.input(4);
+    let s = g.combine(catalog::add(4).unwrap(), a, b);
+    let compiled = g.compile(s, 24).unwrap();
+
+    let av: Vec<u64> = (0..24u64).map(|i| i % 16).collect();
+    let bv: Vec<u64> = (0..24u64).map(|i| (15 - i % 16)).collect();
+    let expect: Vec<u64> = av.iter().zip(&bv).map(|(&x, &y)| x + y).collect();
+
+    let mut controller = Controller::new(cfg(), DesignKind::Bsa).unwrap();
+    for lut in &compiled.luts {
+        controller.register_lut(lut.clone());
+    }
+    let through_stack = controller
+        .run(&compiled.program, &[av.clone(), bv.clone()])
+        .unwrap();
+    assert_eq!(through_stack.outputs, expect);
+
+    let mut machine = PlutoMachine::new(cfg(), DesignKind::Bsa).unwrap();
+    let fast = machine.apply2(&catalog::add(4).unwrap(), &av, 4, &bv, 4).unwrap();
+    assert_eq!(fast.values, expect);
+}
+
+#[test]
+fn every_fig7_workload_validates_on_every_design() {
+    // Functional bit-exactness of the pLUTo mappings across designs
+    // (Salsa20 is covered separately — it is the long-running one).
+    for id in [
+        WorkloadId::Crc8,
+        WorkloadId::Vmpc,
+        WorkloadId::ImgBin,
+        WorkloadId::ColorGrade,
+    ] {
+        for design in DesignKind::ALL {
+            let cost = runner::measure(id, design)
+                .unwrap_or_else(|e| panic!("{id} on {design}: {e}"));
+            assert!(cost.validated, "{id} on {design} mismatched the reference");
+        }
+    }
+}
+
+#[test]
+fn fig9_micro_workloads_validate() {
+    for id in [WorkloadId::Add4, WorkloadId::Bc4, WorkloadId::Bc8, WorkloadId::BitwiseRow] {
+        let cost = runner::measure(id, DesignKind::Gmc).unwrap();
+        assert!(cost.validated, "{id}");
+    }
+}
+
+#[test]
+fn design_orderings_hold_end_to_end() {
+    // Table 1's throughput/energy orderings, measured through the whole
+    // stack on a real workload.
+    let costs: Vec<_> = DesignKind::ALL
+        .iter()
+        .map(|&d| runner::measure(WorkloadId::ImgBin, d).unwrap())
+        .collect();
+    // DesignKind::ALL = [Bsa, Gsa, Gmc].
+    let (bsa, gsa, gmc) = (&costs[0], &costs[1], &costs[2]);
+    assert!(gmc.secs_per_byte() < bsa.secs_per_byte());
+    assert!(bsa.secs_per_byte() < gsa.secs_per_byte());
+    assert!(gmc.joules_per_byte() < bsa.joules_per_byte());
+    assert!(bsa.joules_per_byte() < gsa.joules_per_byte());
+}
+
+#[test]
+fn hmc_3ds_is_faster_than_ddr4() {
+    // §8.2: 3DS designs outperform their DDR4 counterparts.
+    let ddr4 = runner::measure_on(WorkloadId::Bc8, DesignKind::Bsa, MemoryKind::Ddr4).unwrap();
+    let hmc = runner::measure_on(WorkloadId::Bc8, DesignKind::Bsa, MemoryKind::Stacked3d).unwrap();
+    // Per-batch time is lower on HMC (faster activations)…
+    assert!(hmc.time < ddr4.time);
+    // …but energy per byte is *higher*: small rows do not amortize the
+    // per-activation peripheral energy (the paper's Fig. 10 shows 3DS
+    // saving ~8x less energy than DDR4 pLUTo).
+    assert!(hmc.joules_per_byte() > ddr4.joules_per_byte());
+}
+
+#[test]
+fn pluto_beats_cpu_on_complex_maps() {
+    // The headline comparison, end to end: measured pLUTo throughput vs
+    // the CPU roofline on the LUT-heavy workloads.
+    let cpu = Machine::xeon_gold_5118();
+    for id in [WorkloadId::Vmpc, WorkloadId::ColorGrade, WorkloadId::ImgBin] {
+        let cost = runner::measure(id, DesignKind::Gmc).unwrap();
+        let volume = 10e6;
+        let wall = runner::scaled_wall_time(
+            &cost,
+            volume,
+            16,
+            0.0,
+            &pluto_repro::dram::TimingParams::ddr4_2400(),
+        );
+        let cpu_secs = estimate::runtime_secs(&cpu, &profile::workload_profile(id), volume);
+        assert!(
+            cpu_secs / wall > 1.0,
+            "{id}: pLUTo ({wall:.2e}s) should beat CPU ({cpu_secs:.2e}s)"
+        );
+    }
+}
+
+#[test]
+fn gsa_reload_tax_visible_at_workload_level() {
+    let gsa = runner::measure(WorkloadId::ColorGrade, DesignKind::Gsa).unwrap();
+    let gmc = runner::measure(WorkloadId::ColorGrade, DesignKind::Gmc).unwrap();
+    let ratio = gsa.secs_per_byte() / gmc.secs_per_byte();
+    // GSA pays LISA_RBM×N per query on top of the (cheaper) sweep: the
+    // slowdown must exceed the pure sweep-latency gap.
+    assert!(ratio > 1.5, "GSA/GMC time ratio {ratio}");
+}
