@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full offline CI gate. Run locally before pushing; the GitHub
+# workflow (.github/workflows/ci.yml) runs exactly these steps.
+#
+# Offline invariant: the workspace has zero crates.io dependencies, so
+# every step below must succeed with no network and an empty registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q (quick mode for the bench-binary smoke tests)"
+PLUTO_QUICK=1 cargo test -q --workspace
+
+echo "==> CI green"

@@ -209,14 +209,26 @@ mod tests {
 
     #[test]
     fn baseline_senses_one_and_restores_cell() {
-        let t = simulate_activation(&p(), DesignVariant::Baseline, ActivationScenario::matched_one());
+        let t = simulate_activation(
+            &p(),
+            DesignVariant::Baseline,
+            ActivationScenario::matched_one(),
+        );
         assert!(t.sensed_correctly(p().vdd));
-        assert!(t.final_cell() > 0.95 * p().vdd, "restore failed: {}", t.final_cell());
+        assert!(
+            t.final_cell() > 0.95 * p().vdd,
+            "restore failed: {}",
+            t.final_cell()
+        );
     }
 
     #[test]
     fn baseline_senses_zero_and_restores_cell() {
-        let t = simulate_activation(&p(), DesignVariant::Baseline, ActivationScenario::matched_zero());
+        let t = simulate_activation(
+            &p(),
+            DesignVariant::Baseline,
+            ActivationScenario::matched_zero(),
+        );
         assert!(t.sensed_correctly(p().vdd));
         assert!(t.final_cell() < 0.05 * p().vdd);
     }
@@ -225,7 +237,10 @@ mod tests {
     fn all_designs_sense_matched_cells_correctly() {
         // Paper §8.1 key result: none of the three designs introduces errors.
         for variant in DesignVariant::ALL {
-            for scenario in [ActivationScenario::matched_one(), ActivationScenario::matched_zero()] {
+            for scenario in [
+                ActivationScenario::matched_one(),
+                ActivationScenario::matched_zero(),
+            ] {
                 let t = simulate_activation(&p(), variant, scenario);
                 assert!(
                     t.sensed_correctly(p().vdd),
@@ -240,9 +255,13 @@ mod tests {
     fn activation_latency_similar_across_designs() {
         // Paper §8.1: "in all pLUTo designs, the activation time is not
         // affected by the introduced DRAM modifications."
-        let base = simulate_activation(&p(), DesignVariant::Baseline, ActivationScenario::matched_one())
-            .latch_time(p().vdd)
-            .unwrap();
+        let base = simulate_activation(
+            &p(),
+            DesignVariant::Baseline,
+            ActivationScenario::matched_one(),
+        )
+        .latch_time(p().vdd)
+        .unwrap();
         for variant in [DesignVariant::Bsa, DesignVariant::Gsa, DesignVariant::Gmc] {
             let t = simulate_activation(&p(), variant, ActivationScenario::matched_one())
                 .latch_time(p().vdd)
@@ -258,19 +277,31 @@ mod tests {
     fn gsa_unmatched_read_is_destructive() {
         // SA gated off: the cell dumps charge into the bitline and is never
         // restored — the defining GSA trade-off (paper §5.2.1).
-        let t = simulate_activation(&p(), DesignVariant::Gsa, ActivationScenario::unmatched_one());
+        let t = simulate_activation(
+            &p(),
+            DesignVariant::Gsa,
+            ActivationScenario::unmatched_one(),
+        );
         let vdd = p().vdd;
         // Bitline only moves by the charge-share delta…
         assert!(t.final_bitline() < vdd / 2.0 + 2.0 * p().charge_share_delta());
         // …and the cell has lost its full level.
-        assert!(t.final_cell() < 0.75 * vdd, "cell kept {} V", t.final_cell());
+        assert!(
+            t.final_cell() < 0.75 * vdd,
+            "cell kept {} V",
+            t.final_cell()
+        );
     }
 
     #[test]
     fn gmc_unmatched_bitline_undisturbed() {
         // GMC's gated cell never perturbs the bitline when unmatched
         // (paper §5.3: "the voltage in the bitlines is kept at VDD/2").
-        let t = simulate_activation(&p(), DesignVariant::Gmc, ActivationScenario::unmatched_one());
+        let t = simulate_activation(
+            &p(),
+            DesignVariant::Gmc,
+            ActivationScenario::unmatched_one(),
+        );
         let vdd = p().vdd;
         assert!(t.max_disturbance(vdd) < 0.01 * vdd);
         // And the cell keeps its charge (non-destructive).
@@ -295,7 +326,11 @@ mod tests {
     #[test]
     fn charge_share_delta_visible_before_sa_enable() {
         let params = p();
-        let t = simulate_activation(&params, DesignVariant::Baseline, ActivationScenario::matched_one());
+        let t = simulate_activation(
+            &params,
+            DesignVariant::Baseline,
+            ActivationScenario::matched_one(),
+        );
         // Sample just before SA enable.
         let idx = (params.t_sa_enable / params.dt) as usize - 1;
         let swing = t.v_bitline[idx] - params.vdd / 2.0;
@@ -308,7 +343,11 @@ mod tests {
 
     #[test]
     fn transient_is_dense_and_monotone_time() {
-        let t = simulate_activation(&p(), DesignVariant::Baseline, ActivationScenario::matched_one());
+        let t = simulate_activation(
+            &p(),
+            DesignVariant::Baseline,
+            ActivationScenario::matched_one(),
+        );
         assert_eq!(t.time.len(), p().steps() + 1);
         assert!(t.time.windows(2).all(|w| w[1] > w[0]));
     }

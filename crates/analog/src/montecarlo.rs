@@ -9,8 +9,7 @@
 
 use crate::circuit::{simulate_activation, ActivationScenario, Transient};
 use crate::params::{CircuitParams, DesignVariant};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_support::{Rng, SeedableRng, StdRng};
 
 /// Configuration of a Monte Carlo sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,7 +64,7 @@ impl MonteCarlo {
     /// Draws a perturbed copy of `nominal` using Box–Muller Gaussian noise.
     fn perturb(&self, nominal: &CircuitParams, rng: &mut StdRng) -> CircuitParams {
         let mut gauss = |sigma: f64| -> f64 {
-            // Box–Muller transform; `rand` 0.8 offers uniform primitives.
+            // Box–Muller transform over sim-support's uniform primitives.
             let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
             let u2: f64 = rng.gen_range(0.0..1.0);
             (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * sigma
@@ -136,7 +135,10 @@ impl MonteCarlo {
         MonteCarloSummary {
             variant,
             runs: transients.len(),
-            correct: transients.iter().filter(|t| t.sensed_correctly(vdd)).count(),
+            correct: transients
+                .iter()
+                .filter(|t| t.sensed_correctly(vdd))
+                .count(),
             mean_final: mean,
             std_final: var.sqrt(),
             mean_latch_time: mean_latch,
@@ -173,7 +175,10 @@ mod tests {
         let mc = MonteCarlo::default();
         let p = fast_params();
         for variant in DesignVariant::ALL {
-            for scenario in [ActivationScenario::matched_one(), ActivationScenario::matched_zero()] {
+            for scenario in [
+                ActivationScenario::matched_one(),
+                ActivationScenario::matched_zero(),
+            ] {
                 let s = mc.summarize(&p, variant, scenario);
                 assert!(
                     s.all_correct(),
@@ -231,7 +236,11 @@ mod tests {
     fn different_designs_get_different_noise_streams() {
         let mc = MonteCarlo::default();
         let p = fast_params();
-        let a = mc.summarize(&p, DesignVariant::Baseline, ActivationScenario::matched_one());
+        let a = mc.summarize(
+            &p,
+            DesignVariant::Baseline,
+            ActivationScenario::matched_one(),
+        );
         let b = mc.summarize(&p, DesignVariant::Bsa, ActivationScenario::matched_one());
         // Final voltages clamp to the rail, so distinguish the streams by
         // the latch-time statistics instead.
@@ -245,7 +254,11 @@ mod tests {
             ..MonteCarlo::default()
         };
         let p = fast_params();
-        let s = mc.summarize(&p, DesignVariant::Baseline, ActivationScenario::matched_one());
+        let s = mc.summarize(
+            &p,
+            DesignVariant::Baseline,
+            ActivationScenario::matched_one(),
+        );
         assert!(s.mean_latch_time > 1e-9 && s.mean_latch_time < 50e-9);
     }
 }

@@ -128,7 +128,10 @@ mod tests {
         // Charge-share time constant: R_on (C_cell ∥ C_bl).
         let c_ser = p.c_cell * p.c_bl / (p.c_cell + p.c_bl);
         let tau = p.r_on * c_ser;
-        assert!(p.t_sa_enable > 5.0 * tau, "SA must enable after sharing settles");
+        assert!(
+            p.t_sa_enable > 5.0 * tau,
+            "SA must enable after sharing settles"
+        );
     }
 
     #[test]

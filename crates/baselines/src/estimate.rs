@@ -55,7 +55,11 @@ pub fn estimate(machine: &Machine, profile: &Profile, bytes: f64) -> Estimate {
     Estimate {
         secs,
         joules: secs * machine.power_w,
-        bytes_per_sec: if secs > 0.0 { bytes / secs } else { f64::INFINITY },
+        bytes_per_sec: if secs > 0.0 {
+            bytes / secs
+        } else {
+            f64::INFINITY
+        },
     }
 }
 
@@ -101,7 +105,10 @@ mod tests {
         let p = workload_profile(WorkloadId::ImgBin);
         let t = runtime_secs(&gpu, &p, 100.0 * MB);
         let mem_time = 100.0 * MB * p.mem_traffic_factor / gpu.mem_bw;
-        assert!((t - mem_time).abs() / mem_time < 1e-9, "GPU ImgBin is bw-bound");
+        assert!(
+            (t - mem_time).abs() / mem_time < 1e-9,
+            "GPU ImgBin is bw-bound"
+        );
     }
 
     #[test]

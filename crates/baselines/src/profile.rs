@@ -193,10 +193,7 @@ mod tests {
     fn only_crc_has_serial_reduction() {
         for id in WorkloadId::FIG7 {
             let p = workload_profile(id);
-            let is_crc = matches!(
-                id,
-                WorkloadId::Crc8 | WorkloadId::Crc16 | WorkloadId::Crc32
-            );
+            let is_crc = matches!(id, WorkloadId::Crc8 | WorkloadId::Crc16 | WorkloadId::Crc32);
             assert_eq!(p.serial_fraction > 0.0, is_crc, "{id}");
         }
     }

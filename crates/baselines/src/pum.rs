@@ -241,17 +241,30 @@ mod tests {
 
     #[test]
     fn table6_bitwise_latencies_published() {
-        assert_eq!(published_latency_ns(PumArch::Ambit, PumOp::And), Some(270.0));
-        assert_eq!(published_latency_ns(PumArch::Simdram, PumOp::Mul4), Some(7451.0));
+        assert_eq!(
+            published_latency_ns(PumArch::Ambit, PumOp::And),
+            Some(270.0)
+        );
+        assert_eq!(
+            published_latency_ns(PumArch::Simdram, PumOp::Mul4),
+            Some(7451.0)
+        );
         assert_eq!(published_latency_ns(PumArch::LAcc, PumOp::Xor), Some(450.0));
-        assert_eq!(published_latency_ns(PumArch::Drisa, PumOp::Bc8), Some(13580.0));
+        assert_eq!(
+            published_latency_ns(PumArch::Drisa, PumOp::Bc8),
+            Some(13580.0)
+        );
     }
 
     #[test]
     fn unsupported_ops_are_none() {
         // Table 6: "−" indicates the operation is not supported.
         for arch in PumArch::ALL {
-            assert_eq!(published_latency_ns(arch, PumOp::LutQuery8To8), None, "{arch}");
+            assert_eq!(
+                published_latency_ns(arch, PumOp::LutQuery8To8),
+                None,
+                "{arch}"
+            );
             assert_eq!(published_latency_ns(arch, PumOp::Binarize8), None, "{arch}");
             assert_eq!(published_latency_ns(arch, PumOp::Exp8), None, "{arch}");
         }

@@ -1,14 +1,17 @@
-//! Criterion micro-benchmarks of the simulator itself: per-design LUT
-//! query execution, the Ambit path, and compiler lowering. These measure
-//! the *reproduction's* performance (host seconds per simulated
-//! operation), complementing the figure harness which reports *simulated*
-//! time.
+//! Micro-benchmarks of the simulator itself: per-design LUT query
+//! execution, the Ambit path, and compiler lowering. These measure the
+//! *reproduction's* performance (host seconds per simulated operation),
+//! complementing the figure harness which reports *simulated* time.
+//!
+//! Runs under the sim-support harness (`cargo bench -p pluto-bench`) and
+//! writes a machine-readable `BENCH_simulator.json` baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pluto_core::compiler::Graph;
 use pluto_core::lut::catalog;
 use pluto_core::{DesignKind, PlutoMachine};
 use pluto_dram::DramConfig;
+use sim_support::bench::{BenchmarkId, Criterion};
+use sim_support::{bench_group, bench_main};
 
 fn machine(design: DesignKind) -> PlutoMachine {
     PlutoMachine::new(
@@ -62,5 +65,5 @@ fn bench_compiler(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_query, bench_apply2_alignment, bench_compiler);
-criterion_main!(benches);
+bench_group!(benches, bench_query, bench_apply2_alignment, bench_compiler);
+bench_main!(benches);

@@ -16,7 +16,7 @@ use pluto_core::lut::catalog;
 use pluto_core::query::{QueryExecutor, QueryPlacement};
 use pluto_core::salp::{batch_makespan, QueryBatch, SalpConfig};
 use pluto_core::store::LutStore;
-use pluto_dram::{BankId, DramConfig, Engine, EnergyModel, RowId, SubarrayId, TimingParams};
+use pluto_dram::{BankId, DramConfig, EnergyModel, Engine, RowId, SubarrayId, TimingParams};
 
 fn main() {
     ablation_master_distance();
@@ -27,7 +27,10 @@ fn main() {
 /// GSA reload cost versus master-copy placement distance.
 fn ablation_master_distance() {
     println!("Ablation 1 — GSA query latency vs master-copy distance\n");
-    println!("{:>10} {:>14} {:>12}", "hops", "query latency", "vs adjacent");
+    println!(
+        "{:>10} {:>14} {:>12}",
+        "hops", "query latency", "vs adjacent"
+    );
     let mut adjacent_ns = 0.0;
     for hops in [1u16, 2, 4, 8, 16] {
         let cfg = DramConfig {
@@ -42,8 +45,7 @@ fn ablation_master_distance() {
         let lut = catalog::popcount(4).unwrap();
         let pluto = SubarrayId(20);
         let master = SubarrayId(20 + hops);
-        let mut store =
-            LutStore::load(&mut engine, lut, BankId(0), pluto, master, 0).unwrap();
+        let mut store = LutStore::load(&mut engine, lut, BankId(0), pluto, master, 0).unwrap();
         let placement = QueryPlacement {
             bank: BankId(0),
             source: SubarrayId(19),
@@ -67,7 +69,10 @@ fn ablation_master_distance() {
 /// Lookups per second as a function of slot width at fixed LUT size.
 fn ablation_slot_width() {
     println!("Ablation 2 — throughput vs slot width (256-element LUT, BSA)\n");
-    println!("{:>11} {:>13} {:>16}", "slot bits", "slots/row", "lookups/s/SA");
+    println!(
+        "{:>11} {:>13} {:>16}",
+        "slot bits", "slots/row", "lookups/s/SA"
+    );
     let model = DesignModel::new(
         DesignKind::Bsa,
         TimingParams::ddr4_2400(),
@@ -101,7 +106,14 @@ fn ablation_salp_tfaw_grid() {
     for subarrays in [1usize, 4, 16, 64, 256] {
         print!("{subarrays:>10}");
         for scale in [0.0, 0.25, 0.5, 1.0, 2.0] {
-            let t = batch_makespan(&model, batch, SalpConfig { subarrays, t_faw_scale: scale });
+            let t = batch_makespan(
+                &model,
+                batch,
+                SalpConfig {
+                    subarrays,
+                    t_faw_scale: scale,
+                },
+            );
             print!(" {:>9.1}", t.as_us());
         }
         println!();

@@ -7,17 +7,27 @@ use pluto_analog::{ActivationScenario, CircuitParams, DesignVariant, MonteCarlo}
 fn main() {
     let params = CircuitParams::lp22nm();
     let mc = MonteCarlo::default();
-    println!("Figure 6 — bitline transients ({} runs, {:.0}% variation)\n", mc.runs, mc.sigma * 100.0);
+    println!(
+        "Figure 6 — bitline transients ({} runs, {:.0}% variation)\n",
+        mc.runs,
+        mc.sigma * 100.0
+    );
     println!(
         "{:<12} {:>9} {:>12} {:>12} {:>14} {:>12}",
         "design", "correct", "mean V_bl", "std V_bl", "latch (ns)", "disturb %"
     );
     for variant in DesignVariant::ALL {
-        for scenario in [ActivationScenario::matched_one(), ActivationScenario::matched_zero()] {
+        for scenario in [
+            ActivationScenario::matched_one(),
+            ActivationScenario::matched_zero(),
+        ] {
             let s = mc.summarize(&params, variant, scenario);
             println!(
                 "{:<12} {:>6}/{:<3} {:>10.4} V {:>10.4} V {:>12.2} {:>11.2}",
-                format!("{variant}{}", if scenario.cell_value { " (1)" } else { " (0)" }),
+                format!(
+                    "{variant}{}",
+                    if scenario.cell_value { " (1)" } else { " (0)" }
+                ),
                 s.correct,
                 s.runs,
                 s.mean_final,
@@ -28,21 +38,31 @@ fn main() {
         }
     }
     // Unmatched GMC: the disturbance bound (paper: ~0.9 % of VDD).
-    let s = mc.summarize(&params, DesignVariant::Gmc, ActivationScenario::unmatched_one());
+    let s = mc.summarize(
+        &params,
+        DesignVariant::Gmc,
+        ActivationScenario::unmatched_one(),
+    );
     println!(
         "\nGMC unmatched bitline disturbance: {:.2}% of VDD (paper: ~0.9%)",
         s.max_unmatched_disturbance * 100.0
     );
 
     // CSV sample transient per design (downsampled), for plotting.
-    println!("\ncsv: time_ns,{}", DesignVariant::ALL.map(|v| v.to_string()).join(","));
+    println!(
+        "\ncsv: time_ns,{}",
+        DesignVariant::ALL.map(|v| v.to_string()).join(",")
+    );
     let traces: Vec<_> = DesignVariant::ALL
         .iter()
         .map(|&v| pluto_analog::simulate_activation(&params, v, ActivationScenario::matched_one()))
         .collect();
     let n = traces[0].time.len();
     for i in (0..n).step_by(n / 25) {
-        let row: Vec<String> = traces.iter().map(|t| format!("{:.4}", t.v_bitline[i])).collect();
+        let row: Vec<String> = traces
+            .iter()
+            .map(|t| format!("{:.4}", t.v_bitline[i]))
+            .collect();
         println!("csv: {:.2},{}", traces[0].time[i] * 1e9, row.join(","));
     }
 }

@@ -11,7 +11,12 @@ use pluto_bench::{
 
 fn main() {
     let ids: Vec<WorkloadId> = if quick_mode() {
-        vec![WorkloadId::Crc8, WorkloadId::Vmpc, WorkloadId::ImgBin, WorkloadId::ColorGrade]
+        vec![
+            WorkloadId::Crc8,
+            WorkloadId::Vmpc,
+            WorkloadId::ImgBin,
+            WorkloadId::ColorGrade,
+        ]
     } else {
         WorkloadId::FIG7.to_vec()
     };
@@ -27,7 +32,10 @@ fn main() {
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
     for &id in &ids {
         let t_cpu = baseline_secs(id, &cpu);
-        let mut cells = vec![t_cpu / baseline_secs(id, &gpu), t_cpu / baseline_secs(id, &pnm)];
+        let mut cells = vec![
+            t_cpu / baseline_secs(id, &gpu),
+            t_cpu / baseline_secs(id, &pnm),
+        ];
         for cfg in PlutoConfig::ALL {
             let cost = measure_config(id, cfg);
             cells.push(t_cpu / pluto_wall_secs(id, cfg, &cost));
@@ -35,7 +43,10 @@ fn main() {
         for (s, &v) in series.iter_mut().zip(&cells) {
             s.push(v);
         }
-        print_row(&id.to_string(), &cells.iter().map(|&v| fmt_x(v)).collect::<Vec<_>>());
+        print_row(
+            &id.to_string(),
+            &cells.iter().map(|&v| fmt_x(v)).collect::<Vec<_>>(),
+        );
     }
     let gmeans: Vec<String> = series.iter().map(|s| fmt_x(geomean(s))).collect();
     print_row("GMEAN", &gmeans);
@@ -45,8 +56,20 @@ fn main() {
     );
     println!("shape checks:");
     let g = |i: usize| geomean(&series[i]);
-    println!("  GMC > BSA > GSA (DDR4):      {}", g(4) > g(3) && g(3) > g(2));
-    println!("  3DS beats DDR4 per design:   {}", g(5) > g(2) && g(6) > g(3) && g(7) > g(4));
-    println!("  pLUTo geomeans beat PnM:     {}", (2..8).all(|i| g(i) > g(1)));
-    println!("  all pLUTo beat the CPU:      {}", (2..8).all(|i| g(i) > 1.0));
+    println!(
+        "  GMC > BSA > GSA (DDR4):      {}",
+        g(4) > g(3) && g(3) > g(2)
+    );
+    println!(
+        "  3DS beats DDR4 per design:   {}",
+        g(5) > g(2) && g(6) > g(3) && g(7) > g(4)
+    );
+    println!(
+        "  pLUTo geomeans beat PnM:     {}",
+        (2..8).all(|i| g(i) > g(1))
+    );
+    println!(
+        "  all pLUTo beat the CPU:      {}",
+        (2..8).all(|i| g(i) > 1.0)
+    );
 }

@@ -47,11 +47,17 @@ fn main() {
         for (s, &v) in series.iter_mut().zip(&cells) {
             s.push(v);
         }
-        print_row(&id.to_string(), &cells.iter().map(|&v| fmt_x(v)).collect::<Vec<_>>());
+        print_row(
+            &id.to_string(),
+            &cells.iter().map(|&v| fmt_x(v)).collect::<Vec<_>>(),
+        );
     }
     let gmeans: Vec<String> = series.iter().map(|s| fmt_x(geomean(s))).collect();
     print_row("GMEAN", &gmeans);
     println!("\npaper: every pLUTo design beats both CPU and GPU per unit area by a wide margin");
     let g = |i: usize| geomean(&series[i]);
-    println!("shape check — all pLUTo above GPU per area: {}", (1..7).all(|i| g(i) > g(0)));
+    println!(
+        "shape check — all pLUTo above GPU per area: {}",
+        (1..7).all(|i| g(i) > g(0))
+    );
 }

@@ -38,7 +38,10 @@ fn main() {
             WorkloadId::Mul16 => wide_op_gain.push(cells[1]),
             _ => {}
         }
-        print_row(&id.to_string(), &cells.iter().map(|&v| fmt_x(v)).collect::<Vec<_>>());
+        print_row(
+            &id.to_string(),
+            &cells.iter().map(|&v| fmt_x(v)).collect::<Vec<_>>(),
+        );
     }
     let gmeans: Vec<String> = series.iter().map(|s| fmt_x(geomean(s))).collect();
     print_row("GMEAN", &gmeans);

@@ -34,7 +34,10 @@ fn main() {
         for (s, &v) in series.iter_mut().zip(&cells) {
             s.push(v);
         }
-        print_row(&id.to_string(), &cells.iter().map(|&v| fmt_x(v)).collect::<Vec<_>>());
+        print_row(
+            &id.to_string(),
+            &cells.iter().map(|&v| fmt_x(v)).collect::<Vec<_>>(),
+        );
     }
     let gmeans: Vec<String> = series.iter().map(|s| fmt_x(geomean(s))).collect();
     print_row("GMEAN", &gmeans);
@@ -44,11 +47,17 @@ fn main() {
     );
     let g = |i: usize| geomean(&series[i]);
     println!("shape checks:");
-    println!("  GMC > BSA > GSA (DDR4):          {}", g(3) > g(2) && g(2) > g(1));
+    println!(
+        "  GMC > BSA > GSA (DDR4):          {}",
+        g(3) > g(2) && g(2) > g(1)
+    );
     println!(
         "  DDR4 ~8x more efficient than 3DS: {} (ratio {:.1})",
         (g(1) / g(4) - 8.0).abs() < 2.0,
         g(1) / g(4)
     );
-    println!("  all DDR4 pLUTo beat the CPU:     {}", (1..4).all(|i| g(i) > 1.0));
+    println!(
+        "  all DDR4 pLUTo beat the CPU:     {}",
+        (1..4).all(|i| g(i) > 1.0)
+    );
 }

@@ -16,7 +16,9 @@ fn main() {
     println!("Figure 11 — fraction of time spent loading LUTs\n");
     println!("{:>12} {:>10} {:>10}", "volume (MB)", "DDR4", "SSD");
     println!("csv: volume_mb,ddr4_fraction,ssd_fraction");
-    for mb in [0.5, 1.0, 1.9, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0, 120.0] {
+    for mb in [
+        0.5, 1.0, 1.9, 5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0, 120.0,
+    ] {
         let d = loading.loading_fraction(LutSource::Ddr4Memory, mb * 1e6);
         let s = loading.loading_fraction(LutSource::M2Ssd, mb * 1e6);
         println!("{mb:>12.1} {:>9.1}% {:>9.1}%", d * 100.0, s * 100.0);
@@ -28,5 +30,8 @@ fn main() {
          (paper: ~1.9 MB)"
     );
     let at120 = loading.loading_fraction(LutSource::Ddr4Memory, 120e6);
-    println!("fraction at 120 MB (DDR4): {:.1}% (paper: ~2%)", at120 * 100.0);
+    println!(
+        "fraction at 120 MB (DDR4): {:.1}% (paper: ~2%)",
+        at120 * 100.0
+    );
 }

@@ -23,7 +23,10 @@ fn main() {
             .iter()
             .map(|m| m.throughput_per_subarray(65536, 8, n))
             .collect();
-        let en: Vec<f64> = models.iter().map(|m| m.query_energy(n).as_joules()).collect();
+        let en: Vec<f64> = models
+            .iter()
+            .map(|m| m.query_energy(n).as_joules())
+            .collect();
         println!(
             "{n:>9} {:>13.3e} {:>13.3e} {:>13.3e} {:>12.3e} {:>12.3e} {:>12.3e}",
             tp[1], tp[0], tp[2], en[1], en[0], en[2]
@@ -57,5 +60,8 @@ fn main() {
         .iter()
         .all(|&b| pum::pluto_mul_energy_nj(b) < pum::pnm_mul_energy_nj(b));
     let high_precision_loss = pum::pluto_mul_energy_nj(32) > pum::pnm_mul_energy_nj(32);
-    println!("  pLUTo beats PnM at <= 8 bits, loses at 32: {}", low_precision_win && high_precision_loss);
+    println!(
+        "  pLUTo beats PnM at <= 8 bits, loses at 32: {}",
+        low_precision_win && high_precision_loss
+    );
 }

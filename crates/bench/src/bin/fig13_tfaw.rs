@@ -44,9 +44,7 @@ fn main() {
         .map(|v| format!("{:.1}%", geomean(v) * 100.0))
         .collect();
     print_row("GMEAN", &gmeans);
-    println!(
-        "\npaper: ~10% loss at tFAW=50%, ~20% at tFAW=100%, similar across workloads"
-    );
+    println!("\npaper: ~10% loss at tFAW=50%, ~20% at tFAW=100%, similar across workloads");
     println!(
         "shape check — monotone penalty: {}",
         geomean(&per_scale[0]) >= geomean(&per_scale[1])

@@ -3,7 +3,9 @@
 //! (512–8192) memory (paper §8.8).
 
 use pluto_baselines::{Machine, WorkloadId};
-use pluto_bench::{baseline_secs, fmt_x, geomean, measure_config, quick_mode, volume_bytes, PlutoConfig};
+use pluto_bench::{
+    baseline_secs, fmt_x, geomean, measure_config, quick_mode, volume_bytes, PlutoConfig,
+};
 use pluto_core::DesignKind;
 use pluto_dram::{MemoryKind, TimingParams};
 use pluto_workloads::runner::scaled_wall_time;
@@ -22,13 +24,13 @@ fn main() {
                 TimingParams::ddr4_2400(),
                 vec![1, 4, 16, 64, 256, 1024, 2048],
             ),
-            MemoryKind::Stacked3d => (
-                TimingParams::hmc_3ds(),
-                vec![512, 1024, 2048, 4096, 8192],
-            ),
+            MemoryKind::Stacked3d => (TimingParams::hmc_3ds(), vec![512, 1024, 2048, 4096, 8192]),
         };
         println!("\nFigure 14 — {kind}: geomean speedup over CPU vs subarrays\n");
-        println!("{:>10} {:>12} {:>12} {:>12}", "subarrays", "GSA", "BSA", "GMC");
+        println!(
+            "{:>10} {:>12} {:>12} {:>12}",
+            "subarrays", "GSA", "BSA", "GMC"
+        );
         println!("csv14-{kind}: subarrays,gsa,bsa,gmc");
         // Measure each (workload, design) once; sweep parallelism analytically.
         let costs: Vec<Vec<_>> = DesignKind::ALL
@@ -59,7 +61,10 @@ fn main() {
                 fmt_x(row[0]),
                 fmt_x(row[2])
             );
-            println!("csv14-{kind}: {s},{:.3e},{:.3e},{:.3e}", row[1], row[0], row[2]);
+            println!(
+                "csv14-{kind}: {s},{:.3e},{:.3e},{:.3e}",
+                row[1], row[0], row[2]
+            );
             last = row;
         }
         let _ = last;

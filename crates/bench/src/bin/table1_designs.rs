@@ -6,7 +6,7 @@ use pluto_core::design::{DesignKind, DesignModel};
 use pluto_core::lut::catalog;
 use pluto_core::query::{QueryExecutor, QueryPlacement};
 use pluto_core::store::LutStore;
-use pluto_dram::{BankId, DramConfig, Engine, EnergyModel, RowId, SubarrayId, TimingParams};
+use pluto_dram::{BankId, DramConfig, EnergyModel, Engine, RowId, SubarrayId, TimingParams};
 
 fn main() {
     let n = 256u64;
@@ -24,13 +24,24 @@ fn main() {
             f(DesignKind::Gmc)
         );
     };
-    attr("area overhead", &|d| format!("{:.1}%", d.area_overhead_fraction() * 100.0));
-    attr("destructive reads", &|d| if d.destructive_reads() { "Yes" } else { "No" }.into());
+    attr("area overhead", &|d| {
+        format!("{:.1}%", d.area_overhead_fraction() * 100.0)
+    });
+    attr("destructive reads", &|d| {
+        if d.destructive_reads() { "Yes" } else { "No" }.into()
+    });
     attr("LUT loading", &|d| {
-        if d.reload_per_query() { "every use" } else { "once" }.into()
+        if d.reload_per_query() {
+            "every use"
+        } else {
+            "once"
+        }
+        .into()
     });
     let model = |d| DesignModel::new(d, TimingParams::ddr4_2400(), EnergyModel::ddr4());
-    attr("query latency", &|d| format!("{}", model(d).query_latency(n)));
+    attr("query latency", &|d| {
+        format!("{}", model(d).query_latency(n))
+    });
     attr("query energy", &|d| format!("{}", model(d).query_energy(n)));
     attr("throughput (q/s/SA)", &|d| {
         format!("{:.3e}", model(d).throughput_per_subarray(65536, 8, n))
@@ -61,11 +72,21 @@ fn main() {
         if design.reload_per_query() {
             store.mark_destroyed(&mut engine).unwrap();
         }
-        let m = DesignModel::new(design, engine.timing().clone(), engine.energy_model().clone());
+        let m = DesignModel::new(
+            design,
+            engine.timing().clone(),
+            engine.energy_model().clone(),
+        );
         let mut ex = QueryExecutor::new(&mut engine, design);
         let inputs: Vec<u64> = (0..64).collect();
         let (_, cost) = ex
-            .execute(&mut store, QueryPlacement::adjacent(BankId(0), SubarrayId(2)), &inputs, RowId(0), RowId(0))
+            .execute(
+                &mut store,
+                QueryPlacement::adjacent(BankId(0), SubarrayId(2)),
+                &inputs,
+                RowId(0),
+                RowId(0),
+            )
             .unwrap();
         let matches = cost.table1_latency() == m.query_latency(n);
         println!(

@@ -39,7 +39,10 @@ fn main() {
     row("TOTAL", &|a| a.total());
     println!();
     for (name, a) in &designs[1..] {
-        println!("{name}: +{:.1}% over base DRAM", a.overhead_vs_base() * 100.0);
+        println!(
+            "{name}: +{:.1}% over base DRAM",
+            a.overhead_vs_base() * 100.0
+        );
     }
     println!("paper: GSA +10.2%, BSA +16.7%, GMC +23.1%");
 }

@@ -66,7 +66,10 @@ fn main() {
             a.power_w()
         );
     }
-    println!("{:<10} {:>10} {:>10.1} {:>8.1}", "pLUTo-BSA", 8.0, 70.5, 11.0);
+    println!(
+        "{:<10} {:>10} {:>10.1} {:>8.1}",
+        "pLUTo-BSA", 8.0, 70.5, 11.0
+    );
 
     println!("\nshape checks (paper's key observations):");
     let ours_xor = measured_pluto_ns(PumOp::Xor);

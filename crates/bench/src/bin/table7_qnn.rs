@@ -46,9 +46,17 @@ fn main() {
     let img = SyntheticMnist::new(3).image(7, 0);
     let x = net.quantize_input(&img);
     let a_bits: Vec<u8> = x.data()[..128].iter().map(|&v| u8::from(v > 0)).collect();
-    let b_bits: Vec<u8> = net.fc1.weights[..128].iter().map(|&w| u8::from(w > 0)).collect();
+    let b_bits: Vec<u8> = net.fc1.weights[..128]
+        .iter()
+        .map(|&w| u8::from(w > 0))
+        .collect();
     let mut m = qnn_machine(DesignKind::Bsa).unwrap();
-    let out = binary_dot_pluto(&mut m, &[a_bits.clone()], &[b_bits.clone()]).unwrap();
+    let out = binary_dot_pluto(
+        &mut m,
+        std::slice::from_ref(&a_bits),
+        std::slice::from_ref(&b_bits),
+    )
+    .unwrap();
     let expect = binary_dot_reference(&a_bits, &b_bits);
     println!(
         "  pLUTo dot = {}, reference = {}, match = {}, simulated time = {}",

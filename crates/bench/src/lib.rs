@@ -51,12 +51,30 @@ pub struct PlutoConfig {
 impl PlutoConfig {
     /// The paper's six configurations, in figure legend order.
     pub const ALL: [PlutoConfig; 6] = [
-        PlutoConfig { design: DesignKind::Gsa, kind: MemoryKind::Ddr4 },
-        PlutoConfig { design: DesignKind::Bsa, kind: MemoryKind::Ddr4 },
-        PlutoConfig { design: DesignKind::Gmc, kind: MemoryKind::Ddr4 },
-        PlutoConfig { design: DesignKind::Gsa, kind: MemoryKind::Stacked3d },
-        PlutoConfig { design: DesignKind::Bsa, kind: MemoryKind::Stacked3d },
-        PlutoConfig { design: DesignKind::Gmc, kind: MemoryKind::Stacked3d },
+        PlutoConfig {
+            design: DesignKind::Gsa,
+            kind: MemoryKind::Ddr4,
+        },
+        PlutoConfig {
+            design: DesignKind::Bsa,
+            kind: MemoryKind::Ddr4,
+        },
+        PlutoConfig {
+            design: DesignKind::Gmc,
+            kind: MemoryKind::Ddr4,
+        },
+        PlutoConfig {
+            design: DesignKind::Gsa,
+            kind: MemoryKind::Stacked3d,
+        },
+        PlutoConfig {
+            design: DesignKind::Bsa,
+            kind: MemoryKind::Stacked3d,
+        },
+        PlutoConfig {
+            design: DesignKind::Gmc,
+            kind: MemoryKind::Stacked3d,
+        },
     ];
 
     /// Figure legend label.
@@ -82,7 +100,11 @@ impl PlutoConfig {
 pub fn measure_config(id: WorkloadId, cfg: PlutoConfig) -> PlutoCost {
     let cost = runner::measure_on(id, cfg.design, cfg.kind)
         .unwrap_or_else(|e| panic!("measuring {id} on {}: {e}", cfg.label()));
-    assert!(cost.validated, "{id} failed functional validation on {}", cfg.label());
+    assert!(
+        cost.validated,
+        "{id} failed functional validation on {}",
+        cfg.label()
+    );
     cost
 }
 
@@ -141,9 +163,15 @@ pub fn fmt_x(v: f64) -> String {
     }
 }
 
-/// Whether quick mode is enabled (`PLUTO_QUICK=1`).
+/// Whether quick mode is enabled — `PLUTO_QUICK=1` in the environment or
+/// a `--quick` flag on the binary's command line. Every figure/table
+/// binary honors this (the `bins_smoke` integration tests run them all
+/// with `--quick`).
 pub fn quick_mode() -> bool {
-    std::env::var("PLUTO_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("PLUTO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick")
 }
 
 #[cfg(test)]

@@ -143,9 +143,21 @@ mod tests {
     fn overheads_match_paper_percentages() {
         // +10.2 %, +16.7 %, +23.1 % (§8.4).
         let pct = |d| AreaBreakdown::for_design(d).overhead_vs_base() * 100.0;
-        assert!((pct(DesignKind::Gsa) - 10.2).abs() < 0.15, "{}", pct(DesignKind::Gsa));
-        assert!((pct(DesignKind::Bsa) - 16.7).abs() < 0.15, "{}", pct(DesignKind::Bsa));
-        assert!((pct(DesignKind::Gmc) - 23.1).abs() < 0.15, "{}", pct(DesignKind::Gmc));
+        assert!(
+            (pct(DesignKind::Gsa) - 10.2).abs() < 0.15,
+            "{}",
+            pct(DesignKind::Gsa)
+        );
+        assert!(
+            (pct(DesignKind::Bsa) - 16.7).abs() < 0.15,
+            "{}",
+            pct(DesignKind::Bsa)
+        );
+        assert!(
+            (pct(DesignKind::Gmc) - 23.1).abs() < 0.15,
+            "{}",
+            pct(DesignKind::Gmc)
+        );
     }
 
     #[test]

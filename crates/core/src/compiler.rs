@@ -354,7 +354,7 @@ mod tests {
         let y = g.map(catalog::popcount(4).unwrap(), x);
         let compiled = g.compile(y, 20).unwrap();
         let inputs: Vec<u64> = (0..20u64).map(|i| i % 16).collect();
-        let out = run(&compiled, DesignKind::Bsa, &[inputs.clone()]);
+        let out = run(&compiled, DesignKind::Bsa, std::slice::from_ref(&inputs));
         let expect: Vec<u64> = inputs.iter().map(|x| x.count_ones() as u64).collect();
         assert_eq!(out, expect);
     }
@@ -406,7 +406,11 @@ mod tests {
         let av: Vec<u64> = (0..25u64).map(|i| i % 4).collect();
         let bv: Vec<u64> = (0..25u64).map(|i| (i / 4) % 4).collect();
         let cv: Vec<u64> = (0..25u64).map(|i| (i * 5) % 16).collect();
-        let out = run(&compiled, DesignKind::Gmc, &[av.clone(), bv.clone(), cv.clone()]);
+        let out = run(
+            &compiled,
+            DesignKind::Gmc,
+            &[av.clone(), bv.clone(), cv.clone()],
+        );
         let expect: Vec<u64> = (0..25).map(|i| av[i] * bv[i] + cv[i]).collect();
         assert_eq!(out, expect);
     }
@@ -487,8 +491,11 @@ mod tests {
         assert_eq!(compiled.program.slot_bits, 16);
         assert!(compiled.luts.iter().any(|l| l.name().contains("@16")));
         let inputs: Vec<u64> = (0..8).collect();
-        let out = run(&compiled, DesignKind::Bsa, &[inputs.clone()]);
-        let expect: Vec<u64> = inputs.iter().map(|&x| if x >= 10 { 255 } else { 0 }).collect();
+        let out = run(&compiled, DesignKind::Bsa, std::slice::from_ref(&inputs));
+        let expect: Vec<u64> = inputs
+            .iter()
+            .map(|&x| if x >= 10 { 255 } else { 0 })
+            .collect();
         assert_eq!(out, expect);
     }
 

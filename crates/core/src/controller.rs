@@ -141,9 +141,11 @@ impl Controller {
     }
 
     fn binding(&self, reg: RowReg) -> Result<&RowBinding, PlutoError> {
-        self.row_regs.get(&reg).ok_or(PlutoError::UnallocatedRegister {
-            name: reg.to_string(),
-        })
+        self.row_regs
+            .get(&reg)
+            .ok_or(PlutoError::UnallocatedRegister {
+                name: reg.to_string(),
+            })
     }
 
     fn data_loc(&self, row: RowId) -> RowLoc {
@@ -261,10 +263,16 @@ impl Controller {
 
     fn exec(&mut self, inst: &Instruction) -> Result<(), PlutoError> {
         match inst.clone() {
-            Instruction::RowAlloc { dst, size, bitwidth } => self.exec_row_alloc(dst, size, bitwidth),
-            Instruction::SubarrayAlloc { dst, num_rows, lut_name } => {
-                self.exec_subarray_alloc(dst, num_rows, &lut_name)
-            }
+            Instruction::RowAlloc {
+                dst,
+                size,
+                bitwidth,
+            } => self.exec_row_alloc(dst, size, bitwidth),
+            Instruction::SubarrayAlloc {
+                dst,
+                num_rows,
+                lut_name,
+            } => self.exec_subarray_alloc(dst, num_rows, &lut_name),
             Instruction::Op {
                 dst,
                 src,
@@ -310,13 +318,13 @@ impl Controller {
         num_rows: u32,
         lut_name: &str,
     ) -> Result<(), PlutoError> {
-        let lut = self
-            .lut_registry
-            .get(lut_name)
-            .cloned()
-            .ok_or_else(|| PlutoError::InvalidProgram {
-                reason: format!("LUT `{lut_name}` not registered with the controller"),
-            })?;
+        let lut =
+            self.lut_registry
+                .get(lut_name)
+                .cloned()
+                .ok_or_else(|| PlutoError::InvalidProgram {
+                    reason: format!("LUT `{lut_name}` not registered with the controller"),
+                })?;
         if lut.len() != num_rows as usize {
             return Err(PlutoError::InvalidProgram {
                 reason: format!(
@@ -359,7 +367,10 @@ impl Controller {
         let check = (|| {
             if store.lut().len() != lut_size as usize {
                 return Err(PlutoError::InvalidProgram {
-                    reason: format!("pluto_op lut_size {lut_size} != LUT length {}", store.lut().len()),
+                    reason: format!(
+                        "pluto_op lut_size {lut_size} != LUT length {}",
+                        store.lut().len()
+                    ),
                 });
             }
             if store.lut().slot_bits() != lut_bitw {
@@ -438,22 +449,29 @@ impl Controller {
         let dst_b = self.binding(dst)?.clone();
         let control = if or { self.compute.c1 } else { self.compute.c0 };
         for i in 0..a_b.rows.len() {
-            let (ra, rb) = (a_b.rows[i], *b_b.rows.get(i).ok_or(PlutoError::LayoutMismatch {
-                reason: format!("{b} shorter than {a}"),
-            })?);
+            let (ra, rb) = (
+                a_b.rows[i],
+                *b_b.rows.get(i).ok_or(PlutoError::LayoutMismatch {
+                    reason: format!("{b} shorter than {a}"),
+                })?,
+            );
             let rd = *dst_b.rows.get(i).ok_or(PlutoError::LayoutMismatch {
                 reason: format!("{dst} too small for {a}"),
             })?;
             // AAP(a, T0); AAP(b, T1); AAP(Ck, T2); TRA; AAP(T0, dst).
-            self.engine.row_clone_fpm(self.data_loc(ra), self.compute.t0)?;
-            self.engine.row_clone_fpm(self.data_loc(rb), self.compute.t1)?;
-            self.engine.row_clone_fpm(self.data_loc(control), self.compute.t2)?;
+            self.engine
+                .row_clone_fpm(self.data_loc(ra), self.compute.t0)?;
+            self.engine
+                .row_clone_fpm(self.data_loc(rb), self.compute.t1)?;
+            self.engine
+                .row_clone_fpm(self.data_loc(control), self.compute.t2)?;
             self.engine.triple_row_activate(
                 self.bank,
                 self.data_subarray,
                 [self.compute.t0, self.compute.t1, self.compute.t2],
             )?;
-            self.engine.row_clone_fpm(self.data_loc(self.compute.t0), rd)?;
+            self.engine
+                .row_clone_fpm(self.data_loc(self.compute.t0), rd)?;
         }
         Ok(())
     }
@@ -537,7 +555,7 @@ mod tests {
             c.register_lut(lut.clone());
             let prog = simple_map_program(&lut, 40);
             let inputs: Vec<u64> = (0..40u64).map(|i| i % 16).collect();
-            let result = c.run(&prog, &[inputs.clone()]).unwrap();
+            let result = c.run(&prog, std::slice::from_ref(&inputs)).unwrap();
             let expect: Vec<u64> = inputs.iter().map(|x| x.count_ones() as u64).collect();
             assert_eq!(result.outputs, expect, "{design}");
             assert!(result.elapsed > Picos::ZERO);
@@ -555,10 +573,13 @@ mod tests {
         let prog = simple_map_program(&lut, 150);
         let inputs: Vec<u64> = (0..150u64).map(|i| (i * 7) % 256).collect();
         let before = c.engine().stats().sweep_steps;
-        let result = c.run(&prog, &[inputs.clone()]).unwrap();
+        let result = c.run(&prog, std::slice::from_ref(&inputs)).unwrap();
         let sweeps = c.engine().stats().sweep_steps - before;
         assert_eq!(sweeps, 3 * 256, "3 queries x 256 rows");
-        let expect: Vec<u64> = inputs.iter().map(|&x| if x >= 100 { 255 } else { 0 }).collect();
+        let expect: Vec<u64> = inputs
+            .iter()
+            .map(|&x| if x >= 100 { 255 } else { 0 })
+            .collect();
         assert_eq!(result.outputs, expect);
     }
 
@@ -600,14 +621,45 @@ mod tests {
         let mut c = Controller::new(cfg(), DesignKind::Bsa).unwrap();
         let prog = Program {
             instructions: vec![
-                Instruction::RowAlloc { dst: RowReg(0), size: 64, bitwidth: 8 },
-                Instruction::RowAlloc { dst: RowReg(1), size: 64, bitwidth: 8 },
-                Instruction::RowAlloc { dst: RowReg(2), size: 64, bitwidth: 8 },
-                Instruction::RowAlloc { dst: RowReg(3), size: 64, bitwidth: 8 },
-                Instruction::RowAlloc { dst: RowReg(4), size: 64, bitwidth: 8 },
-                Instruction::And { dst: RowReg(2), src1: RowReg(0), src2: RowReg(1) },
-                Instruction::Or { dst: RowReg(3), src1: RowReg(0), src2: RowReg(1) },
-                Instruction::Not { dst: RowReg(4), src: RowReg(0) },
+                Instruction::RowAlloc {
+                    dst: RowReg(0),
+                    size: 64,
+                    bitwidth: 8,
+                },
+                Instruction::RowAlloc {
+                    dst: RowReg(1),
+                    size: 64,
+                    bitwidth: 8,
+                },
+                Instruction::RowAlloc {
+                    dst: RowReg(2),
+                    size: 64,
+                    bitwidth: 8,
+                },
+                Instruction::RowAlloc {
+                    dst: RowReg(3),
+                    size: 64,
+                    bitwidth: 8,
+                },
+                Instruction::RowAlloc {
+                    dst: RowReg(4),
+                    size: 64,
+                    bitwidth: 8,
+                },
+                Instruction::And {
+                    dst: RowReg(2),
+                    src1: RowReg(0),
+                    src2: RowReg(1),
+                },
+                Instruction::Or {
+                    dst: RowReg(3),
+                    src1: RowReg(0),
+                    src2: RowReg(1),
+                },
+                Instruction::Not {
+                    dst: RowReg(4),
+                    src: RowReg(0),
+                },
             ],
             inputs: vec![(RowReg(0), 8), (RowReg(1), 8)],
             output: Some((RowReg(2), 8)),
@@ -631,16 +683,27 @@ mod tests {
         let mut c = Controller::new(cfg(), DesignKind::Gmc).unwrap();
         let prog = Program {
             instructions: vec![
-                Instruction::RowAlloc { dst: RowReg(0), size: 10, bitwidth: 8 },
-                Instruction::RowAlloc { dst: RowReg(1), size: 10, bitwidth: 8 },
-                Instruction::Move { dst: RowReg(1), src: RowReg(0) },
+                Instruction::RowAlloc {
+                    dst: RowReg(0),
+                    size: 10,
+                    bitwidth: 8,
+                },
+                Instruction::RowAlloc {
+                    dst: RowReg(1),
+                    size: 10,
+                    bitwidth: 8,
+                },
+                Instruction::Move {
+                    dst: RowReg(1),
+                    src: RowReg(0),
+                },
             ],
             inputs: vec![(RowReg(0), 8)],
             output: Some((RowReg(1), 8)),
             slot_bits: 8,
         };
         let data: Vec<u64> = (100..110).collect();
-        let r = c.run(&prog, &[data.clone()]).unwrap();
+        let r = c.run(&prog, std::slice::from_ref(&data)).unwrap();
         assert_eq!(r.outputs, data);
     }
 
@@ -694,7 +757,7 @@ mod tests {
         prog.slot_bits = 4;
         let inputs: Vec<u64> = (0..200u64).map(|i| i % 16).collect();
         let before = c.engine().stats().lisa_hops;
-        let result = c.run(&prog, &[inputs.clone()]).unwrap();
+        let result = c.run(&prog, std::slice::from_ref(&inputs)).unwrap();
         let hops = c.engine().stats().lisa_hops - before;
         // Second query must reload all 16 rows (master is adjacent: 1 hop
         // each) plus 2 copy-out hops; ≥ 16.

@@ -148,9 +148,7 @@ impl DesignModel {
         let act = self.energy.e_charge_share;
         match self.kind {
             DesignKind::Bsa => (self.energy.e_act + self.energy.e_pre).times(n),
-            DesignKind::Gsa => {
-                self.energy.e_lisa_hop.times(n) + act.times(n) + self.energy.e_pre
-            }
+            DesignKind::Gsa => self.energy.e_lisa_hop.times(n) + act.times(n) + self.energy.e_pre,
             DesignKind::Gmc => act.times(n) + self.energy.e_pre,
         }
     }

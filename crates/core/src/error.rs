@@ -55,7 +55,10 @@ impl fmt::Display for PlutoError {
             PlutoError::Dram(e) => write!(f, "dram: {e}"),
             PlutoError::InvalidLut { reason } => write!(f, "invalid LUT: {reason}"),
             PlutoError::IndexOutOfRange { value, input_bits } => {
-                write!(f, "value {value} does not fit in a {input_bits}-bit LUT index")
+                write!(
+                    f,
+                    "value {value} does not fit in a {input_bits}-bit LUT index"
+                )
             }
             PlutoError::LayoutMismatch { reason } => write!(f, "layout mismatch: {reason}"),
             PlutoError::UnallocatedRegister { name } => {
@@ -64,7 +67,10 @@ impl fmt::Display for PlutoError {
             PlutoError::AllocationFailed { reason } => write!(f, "allocation failed: {reason}"),
             PlutoError::InvalidProgram { reason } => write!(f, "invalid program: {reason}"),
             PlutoError::LutDestroyed => {
-                write!(f, "LUT contents were destroyed by a GSA sweep and not reloaded")
+                write!(
+                    f,
+                    "LUT contents were destroyed by a GSA sweep and not reloaded"
+                )
             }
         }
     }

@@ -132,7 +132,11 @@ pub enum Instruction {
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Instruction::RowAlloc { dst, size, bitwidth } => {
+            Instruction::RowAlloc {
+                dst,
+                size,
+                bitwidth,
+            } => {
                 write!(f, "pluto_row_alloc {dst}, {size}, {bitwidth}")
             }
             Instruction::SubarrayAlloc {

@@ -14,9 +14,7 @@ use crate::error::PlutoError;
 use crate::lut::{catalog, slots_per_row, Lut};
 use crate::query::{QueryExecutor, QueryPlacement};
 use crate::store::LutStore;
-use pluto_dram::{
-    BankId, CommandStats, DramConfig, Engine, PicoJoules, Picos, RowId, SubarrayId,
-};
+use pluto_dram::{BankId, CommandStats, DramConfig, Engine, PicoJoules, Picos, RowId, SubarrayId};
 use std::collections::HashMap;
 
 /// Aggregate cost of the operations a [`PlutoMachine`] has executed.
@@ -353,7 +351,12 @@ impl PlutoMachine {
     ///
     /// # Errors
     /// Propagates controller errors.
-    pub fn bitwise_and(&mut self, bits: u32, a: &[u64], b: &[u64]) -> Result<MapResult, PlutoError> {
+    pub fn bitwise_and(
+        &mut self,
+        bits: u32,
+        a: &[u64],
+        b: &[u64],
+    ) -> Result<MapResult, PlutoError> {
         let mut g = Graph::new();
         let na = g.input(bits);
         let nb = g.input(bits);
@@ -379,7 +382,12 @@ impl PlutoMachine {
     ///
     /// # Errors
     /// Fails if operands exceed `bits` bits.
-    pub fn bitwise_xor(&mut self, bits: u32, a: &[u64], b: &[u64]) -> Result<MapResult, PlutoError> {
+    pub fn bitwise_xor(
+        &mut self,
+        bits: u32,
+        a: &[u64],
+        b: &[u64],
+    ) -> Result<MapResult, PlutoError> {
         self.map2(&catalog::xor(bits)?, a, bits, b, bits)
     }
 
@@ -470,7 +478,10 @@ mod tests {
         let bc = m.popcount(8, &inputs).unwrap();
         assert_eq!(
             bc.values,
-            inputs.iter().map(|x| x.count_ones() as u64).collect::<Vec<_>>()
+            inputs
+                .iter()
+                .map(|x| x.count_ones() as u64)
+                .collect::<Vec<_>>()
         );
         let bin = m.binarize(128, &inputs).unwrap();
         assert_eq!(
@@ -547,7 +558,11 @@ mod tests {
         let lut = catalog::popcount(4).unwrap();
         let r1 = m.apply(&lut, &[1, 2, 3]).unwrap();
         let r2 = m.apply(&lut, &[4, 5, 6]).unwrap();
-        assert!(r1.stats.lisa_hops >= 16, "reload hops: {}", r1.stats.lisa_hops);
+        assert!(
+            r1.stats.lisa_hops >= 16,
+            "reload hops: {}",
+            r1.stats.lisa_hops
+        );
         assert!(r2.stats.lisa_hops >= 16);
     }
 

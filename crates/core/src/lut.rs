@@ -290,7 +290,7 @@ pub mod catalog {
 
     /// Population count of an `n`-bit value (paper's BC-4 / BC-8).
     pub fn popcount(n: u32) -> Result<Lut, PlutoError> {
-        let out_bits = 32 - (n as u32).leading_zeros().min(31);
+        let out_bits = 32 - n.leading_zeros().min(31);
         Lut::from_fn(format!("bc{n}"), n, out_bits.max(1) + 1, move |x| {
             x.count_ones() as u64
         })
@@ -303,7 +303,11 @@ pub mod catalog {
     }
 
     /// Paired-operand bitwise op: index is `(a << n) | b`.
-    fn paired(name: &str, n: u32, f: impl Fn(u64, u64) -> u64 + 'static) -> Result<Lut, PlutoError> {
+    fn paired(
+        name: &str,
+        n: u32,
+        f: impl Fn(u64, u64) -> u64 + 'static,
+    ) -> Result<Lut, PlutoError> {
         let mask = (1u64 << n) - 1;
         Lut::from_fn(format!("{name}{n}"), 2 * n, n, move |x| {
             f(x >> n, x & mask) & mask
@@ -422,7 +426,11 @@ mod tests {
             let mask = width_mask(slot_bits);
             let vals: Vec<u64> = (0..10u64).map(|i| (i * 0x9E37) & mask).collect();
             let row = pack_slots(&vals, slot_bits, 32).unwrap();
-            assert_eq!(unpack_slots(&row, slot_bits, vals.len()), vals, "w={slot_bits}");
+            assert_eq!(
+                unpack_slots(&row, slot_bits, vals.len()),
+                vals,
+                "w={slot_bits}"
+            );
         }
     }
 

@@ -122,7 +122,13 @@ impl PartitionedLut {
             // index 0 (their captured values are discarded on merge).
             let local: Vec<u64> = inputs
                 .iter()
-                .map(|&x| if x >= base && x < base + span { x - base } else { 0 })
+                .map(|&x| {
+                    if x >= base && x < base + span {
+                        x - base
+                    } else {
+                        0
+                    }
+                })
                 .collect();
             let placement = QueryPlacement {
                 bank,
@@ -179,7 +185,13 @@ mod tests {
         assert_eq!(part.segment_count(), 4);
         let inputs: Vec<u64> = (0..16u64).map(|i| i * 16 + 3).collect();
         let (out, cost) = part
-            .query(&mut e, DesignKind::Gmc, SubarrayId(0), SubarrayId(1), &inputs)
+            .query(
+                &mut e,
+                DesignKind::Gmc,
+                SubarrayId(0),
+                SubarrayId(1),
+                &inputs,
+            )
             .unwrap();
         let expect: Vec<u64> = inputs.iter().map(|&x| x * x).collect();
         assert_eq!(out, expect);
@@ -229,7 +241,13 @@ mod tests {
         let lut = Lut::from_fn("sq8c", 8, 16, |x| x * x).unwrap();
         let mut part = PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
         assert!(matches!(
-            part.query(&mut e, DesignKind::Bsa, SubarrayId(0), SubarrayId(1), &[256]),
+            part.query(
+                &mut e,
+                DesignKind::Bsa,
+                SubarrayId(0),
+                SubarrayId(1),
+                &[256]
+            ),
             Err(PlutoError::IndexOutOfRange { value: 256, .. })
         ));
     }

@@ -139,7 +139,10 @@ impl<'e> QueryExecutor<'e> {
             });
         }
         if !match_logic::each_element_matches_exactly_once(inputs, n) {
-            let bad = *inputs.iter().find(|&&x| x >= n).expect("some input too large");
+            let bad = *inputs
+                .iter()
+                .find(|&&x| x >= n)
+                .expect("some input too large");
             return Err(PlutoError::IndexOutOfRange {
                 value: bad,
                 input_bits: lut.input_bits(),
@@ -194,7 +197,10 @@ impl<'e> QueryExecutor<'e> {
             let resident = self.engine.peek_row(src_loc)?;
             let inputs = unpack_slots(&resident, slot_bits, num_slots);
             if !match_logic::each_element_matches_exactly_once(&inputs, n) {
-                let bad = inputs.into_iter().find(|&x| x >= n).expect("some input too large");
+                let bad = inputs
+                    .into_iter()
+                    .find(|&x| x >= n)
+                    .expect("some input too large");
                 return Err(PlutoError::IndexOutOfRange {
                     value: bad,
                     input_bits: lut.input_bits(),
@@ -464,10 +470,14 @@ mod tests {
             .unwrap();
         assert_eq!(out.len(), 64);
         for (i, &o) in out.iter().enumerate() {
-            assert_eq!(o, (inputs[i] as u64).count_ones() as u64);
+            assert_eq!(o, inputs[i].count_ones() as u64);
         }
         // Sweep cost is independent of how many slots were queried.
-        let model = DesignModel::new(DesignKind::Gmc, e.timing().clone(), e.energy_model().clone());
+        let model = DesignModel::new(
+            DesignKind::Gmc,
+            e.timing().clone(),
+            e.energy_model().clone(),
+        );
         assert_eq!(cost.sweep, model.sweep_latency(16));
     }
 

@@ -148,7 +148,14 @@ mod tests {
                 lut_elems: 256,
                 queries: 1,
             };
-            let t = batch_makespan(&m, batch, SalpConfig { subarrays: 1, t_faw_scale: 0.0 });
+            let t = batch_makespan(
+                &m,
+                batch,
+                SalpConfig {
+                    subarrays: 1,
+                    t_faw_scale: 0.0,
+                },
+            );
             // Lane = setup ACT + query latency + copyout + source PRE.
             let overhead = m.timing().t_rcd + m.timing().t_lisa_hop + m.timing().t_rp;
             assert_eq!(t, m.query_latency(256) + overhead, "{kind}");
@@ -163,13 +170,25 @@ mod tests {
         let total_queries = 256;
         let t1 = batch_makespan(
             &m,
-            QueryBatch { lut_elems: 256, queries: total_queries },
-            SalpConfig { subarrays: 1, t_faw_scale: 0.0 },
+            QueryBatch {
+                lut_elems: 256,
+                queries: total_queries,
+            },
+            SalpConfig {
+                subarrays: 1,
+                t_faw_scale: 0.0,
+            },
         );
         let t16 = batch_makespan(
             &m,
-            QueryBatch { lut_elems: 256, queries: total_queries },
-            SalpConfig { subarrays: 16, t_faw_scale: 0.0 },
+            QueryBatch {
+                lut_elems: 256,
+                queries: total_queries,
+            },
+            SalpConfig {
+                subarrays: 16,
+                t_faw_scale: 0.0,
+            },
         );
         let speedup = t1.as_secs() / t16.as_secs();
         assert!(
@@ -183,20 +202,29 @@ mod tests {
         // Paper Fig. 13: performance decreases monotonically as tFAW
         // tightens from 0 % to 100 %.
         let m = model(DesignKind::Gmc);
-        let batch = QueryBatch { lut_elems: 256, queries: 64 };
+        let batch = QueryBatch {
+            lut_elems: 256,
+            queries: 64,
+        };
         let p0 = t_faw_relative_performance(&m, batch, 16, 0.0);
         let p50 = t_faw_relative_performance(&m, batch, 16, 0.5);
         let p100 = t_faw_relative_performance(&m, batch, 16, 1.0);
         assert!((p0 - 1.0).abs() < 1e-9);
         assert!(p50 <= p0 && p100 <= p50, "p0={p0} p50={p50} p100={p100}");
-        assert!(p100 > 0.2, "throttling should not collapse performance: {p100}");
+        assert!(
+            p100 > 0.2,
+            "throttling should not collapse performance: {p100}"
+        );
     }
 
     #[test]
     fn single_subarray_unaffected_by_tfaw() {
         // Serial activations are spaced wider than tFAW/4 already.
         let m = model(DesignKind::Bsa);
-        let batch = QueryBatch { lut_elems: 64, queries: 4 };
+        let batch = QueryBatch {
+            lut_elems: 64,
+            queries: 4,
+        };
         let p = t_faw_relative_performance(&m, batch, 1, 1.0);
         assert!((p - 1.0).abs() < 1e-9, "p = {p}");
     }
@@ -205,7 +233,14 @@ mod tests {
     fn empty_batch_is_free() {
         let m = model(DesignKind::Bsa);
         assert_eq!(
-            batch_makespan(&m, QueryBatch { lut_elems: 16, queries: 0 }, SalpConfig::ddr4_default()),
+            batch_makespan(
+                &m,
+                QueryBatch {
+                    lut_elems: 16,
+                    queries: 0
+                },
+                SalpConfig::ddr4_default()
+            ),
             Picos::ZERO
         );
     }
@@ -213,10 +248,20 @@ mod tests {
     #[test]
     fn more_subarrays_never_slower() {
         let m = model(DesignKind::Gsa);
-        let batch = QueryBatch { lut_elems: 128, queries: 128 };
+        let batch = QueryBatch {
+            lut_elems: 128,
+            queries: 128,
+        };
         let mut prev = Picos::from_ps(u64::MAX);
         for s in [1usize, 2, 4, 8, 16, 32] {
-            let t = batch_makespan(&m, batch, SalpConfig { subarrays: s, t_faw_scale: 1.0 });
+            let t = batch_makespan(
+                &m,
+                batch,
+                SalpConfig {
+                    subarrays: s,
+                    t_faw_scale: 1.0,
+                },
+            );
             assert!(t <= prev, "{s} subarrays slower than {}", s / 2);
             prev = t;
         }

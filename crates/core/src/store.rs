@@ -180,7 +180,11 @@ impl LutStore {
     ///
     /// # Errors
     /// Propagates DRAM errors.
-    pub fn ensure_ready(&mut self, engine: &mut Engine, design: DesignKind) -> Result<(), PlutoError> {
+    pub fn ensure_ready(
+        &mut self,
+        engine: &mut Engine,
+        design: DesignKind,
+    ) -> Result<(), PlutoError> {
         if !self.loaded {
             if design.reload_per_query() || !design.destructive_reads() {
                 self.reload(engine)?;
@@ -220,9 +224,7 @@ mod tests {
         let row = e.peek_row(store.element_row(2)).unwrap();
         assert!(row.iter().all(|&b| b == 0x55));
         // Master copy identical.
-        let m = e
-            .peek_row(store.element_row(2).with_subarray(0))
-            .unwrap();
+        let m = e.peek_row(store.element_row(2).with_subarray(0)).unwrap();
         assert_eq!(m, row);
     }
 
@@ -245,7 +247,11 @@ mod tests {
         let before = e.peek_row(store.element_row(3)).unwrap();
         store.mark_destroyed(&mut e).unwrap();
         assert!(!store.is_loaded());
-        assert!(e.peek_row(store.element_row(3)).unwrap().iter().all(|&b| b == 0));
+        assert!(e
+            .peek_row(store.element_row(3))
+            .unwrap()
+            .iter()
+            .all(|&b| b == 0));
         let t0 = e.elapsed();
         store.reload(&mut e).unwrap();
         assert!(store.is_loaded());

@@ -1,10 +1,14 @@
-//! Property-based tests of the pLUTo architecture layer.
+//! Property-based tests of the pLUTo architecture layer (sim-support
+//! harness).
 
-use proptest::prelude::*;
 use pluto_core::isa::{parse_program, Instruction};
 use pluto_core::lut::{catalog, Lut};
 use pluto_core::prelude::*;
 use pluto_dram::DramConfig;
+use sim_support::prop::{self, Gen};
+use sim_support::{prop_assert, prop_assert_eq};
+
+const CASES: u32 = 40;
 
 fn cfg() -> DramConfig {
     DramConfig {
@@ -17,30 +21,35 @@ fn cfg() -> DramConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// Every design answers every random LUT identically to software.
+#[test]
+fn designs_agree_with_software_and_each_other() {
+    prop::check(
+        "designs_agree_with_software_and_each_other",
+        CASES,
+        |g: &mut Gen| {
+            let elements: Vec<u64> = g.vec_range(16, 16, 0u64..256);
+            let raw_inputs: Vec<u64> = g.vec_any(1, 49);
+            let lut = Lut::from_table("rand", 4, 8, elements).unwrap();
+            let inputs: Vec<u64> = raw_inputs.iter().map(|&v| v % 16).collect();
+            let expect = lut.apply_all(&inputs).unwrap();
+            for design in DesignKind::ALL {
+                let mut m = PlutoMachine::new(cfg(), design).unwrap();
+                let got = m.apply(&lut, &inputs).unwrap().values;
+                prop_assert_eq!(&got, &expect, "{}", design);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Every design answers every random LUT identically to software.
-    #[test]
-    fn designs_agree_with_software_and_each_other(
-        elements in prop::collection::vec(0u64..256, 16..=16),
-        raw_inputs in prop::collection::vec(any::<u64>(), 1..50),
-    ) {
-        let lut = Lut::from_table("rand", 4, 8, elements).unwrap();
-        let inputs: Vec<u64> = raw_inputs.iter().map(|&v| v % 16).collect();
-        let expect = lut.apply_all(&inputs).unwrap();
-        for design in DesignKind::ALL {
-            let mut m = PlutoMachine::new(cfg(), design).unwrap();
-            let got = m.apply(&lut, &inputs).unwrap().values;
-            prop_assert_eq!(&got, &expect, "{}", design);
-        }
-    }
-
-    /// Repeating a query yields identical results and identical marginal
-    /// cost on the non-destructive designs; GSA stays correct while paying
-    /// its reload every time.
-    #[test]
-    fn repeat_query_stability(inputs in prop::collection::vec(0u64..16, 1..40)) {
+/// Repeating a query yields identical results and identical marginal
+/// cost on the non-destructive designs; GSA stays correct while paying
+/// its reload every time.
+#[test]
+fn repeat_query_stability() {
+    prop::check("repeat_query_stability", CASES, |g| {
+        let inputs: Vec<u64> = g.vec_range(1, 39, 0u64..16);
         let lut = catalog::popcount(4).unwrap();
         for design in DesignKind::ALL {
             let mut m = PlutoMachine::new(cfg(), design).unwrap();
@@ -51,48 +60,64 @@ proptest! {
                 prop_assert_eq!(first.time, second.time, "{} marginal cost stable", design);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// apply2 over random widths equals the concatenated-index semantics.
-    #[test]
-    fn apply2_equals_concat_semantics(
-        a_bits in 1u32..5,
-        b_bits in 1u32..5,
-        seed in any::<u64>(),
-    ) {
+/// apply2 over random widths equals the concatenated-index semantics.
+#[test]
+fn apply2_equals_concat_semantics() {
+    prop::check("apply2_equals_concat_semantics", CASES, |g| {
+        let a_bits: u32 = g.range(1u32..5);
+        let b_bits: u32 = g.range(1u32..5);
+        let seed: u64 = g.any();
         let lut = Lut::from_fn("cat", a_bits + b_bits, 8, |x| (x * 7) & 0xFF).unwrap();
         let n = 24usize;
-        let a: Vec<u64> = (0..n as u64).map(|i| (i.wrapping_mul(seed | 1)) % (1 << a_bits)).collect();
-        let b: Vec<u64> = (0..n as u64).map(|i| (i.wrapping_mul(seed | 7)) % (1 << b_bits)).collect();
+        let a: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(seed | 1)) % (1 << a_bits))
+            .collect();
+        let b: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(seed | 7)) % (1 << b_bits))
+            .collect();
         let mut m = PlutoMachine::new(cfg(), DesignKind::Bsa).unwrap();
         let got = m.apply2(&lut, &a, a_bits, &b, b_bits).unwrap().values;
-        let expect: Vec<u64> = a.iter().zip(&b)
+        let expect: Vec<u64> = a
+            .iter()
+            .zip(&b)
             .map(|(&x, &y)| lut.element((x << b_bits) | y).unwrap())
             .collect();
         prop_assert_eq!(got, expect);
-    }
+        Ok(())
+    });
+}
 
-    /// The compiler's output is valid assembly: it round-trips through the
-    /// textual assembler.
-    #[test]
-    fn compiled_programs_roundtrip_as_assembly(n_elems in 1u32..200) {
-        let mut g = pluto_core::compiler::Graph::new();
-        let a = g.input(4);
-        let b = g.input(4);
-        let s = g.combine(catalog::add(4).unwrap(), a, b);
+/// The compiler's output is valid assembly: it round-trips through the
+/// textual assembler.
+#[test]
+fn compiled_programs_roundtrip_as_assembly() {
+    prop::check("compiled_programs_roundtrip_as_assembly", CASES, |g| {
+        let n_elems: u32 = g.range(1u32..200);
+        let mut graph = pluto_core::compiler::Graph::new();
+        let a = graph.input(4);
+        let b = graph.input(4);
+        let s = graph.combine(catalog::add(4).unwrap(), a, b);
         // popcount expects 4-bit input; mask the 5-bit sum through a LUT.
         let mask = Lut::from_fn("mask4", 5, 4, |x| x & 0xF).unwrap();
-        let masked = g.map(mask, s);
-        let m = g.map(catalog::popcount(4).unwrap(), masked);
-        let compiled = g.compile(m, n_elems).unwrap();
+        let masked = graph.map(mask, s);
+        let m = graph.map(catalog::popcount(4).unwrap(), masked);
+        let compiled = graph.compile(m, n_elems).unwrap();
         let text = compiled.program.to_assembly();
         let parsed = parse_program(&text).unwrap();
         prop_assert_eq!(parsed, compiled.program.instructions);
-    }
+        Ok(())
+    });
+}
 
-    /// Query cost grows linearly with LUT size for every design (Table 1).
-    #[test]
-    fn cost_linear_in_lut_size(bits in 1u32..9) {
+/// Query cost grows linearly with LUT size for every design (Table 1).
+#[test]
+fn cost_linear_in_lut_size() {
+    prop::check("cost_linear_in_lut_size", CASES, |g| {
+        let bits: u32 = g.range(1u32..9);
         use pluto_dram::{EnergyModel, TimingParams};
         for design in DesignKind::ALL {
             let m = DesignModel::new(design, TimingParams::ddr4_2400(), EnergyModel::ddr4());
@@ -105,31 +130,72 @@ proptest! {
             prop_assert!(t2 / t1 <= 2.0 + 1e-9, "{}", design);
             prop_assert!(t2 / t1 > 1.5, "{}", design);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The ISA parser rejects any mangled mnemonic.
-    #[test]
-    fn parser_rejects_unknown_mnemonics(suffix in "[a-z]{1,8}") {
+/// The ISA parser rejects any mangled mnemonic.
+#[test]
+fn parser_rejects_unknown_mnemonics() {
+    prop::check("parser_rejects_unknown_mnemonics", CASES, |g| {
+        let suffix = g.lowercase(1, 8);
         let line = format!("pluto_{suffix}_bogus $prg0, $prg1");
         prop_assert!(pluto_core::isa::parse_instruction(&line).is_err());
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn instruction_display_covers_every_variant() {
     // Non-property companion: every instruction variant round-trips (the
-    // proptest above only exercises compiler-emitted subsets).
+    // properties above only exercise compiler-emitted subsets).
     use pluto_core::isa::{RowReg, ShiftDir, SubarrayReg};
     let all = vec![
-        Instruction::RowAlloc { dst: RowReg(1), size: 8, bitwidth: 4 },
-        Instruction::SubarrayAlloc { dst: SubarrayReg(0), num_rows: 16, lut_name: "x".into() },
-        Instruction::Op { dst: RowReg(1), src: RowReg(0), lut: SubarrayReg(0), lut_size: 16, lut_bitw: 4 },
-        Instruction::Not { dst: RowReg(1), src: RowReg(0) },
-        Instruction::And { dst: RowReg(2), src1: RowReg(0), src2: RowReg(1) },
-        Instruction::Or { dst: RowReg(2), src1: RowReg(0), src2: RowReg(1) },
-        Instruction::BitShift { dir: ShiftDir::Left, reg: RowReg(0), amount: 3 },
-        Instruction::ByteShift { dir: ShiftDir::Right, reg: RowReg(0), amount: 2 },
-        Instruction::Move { dst: RowReg(1), src: RowReg(0) },
+        Instruction::RowAlloc {
+            dst: RowReg(1),
+            size: 8,
+            bitwidth: 4,
+        },
+        Instruction::SubarrayAlloc {
+            dst: SubarrayReg(0),
+            num_rows: 16,
+            lut_name: "x".into(),
+        },
+        Instruction::Op {
+            dst: RowReg(1),
+            src: RowReg(0),
+            lut: SubarrayReg(0),
+            lut_size: 16,
+            lut_bitw: 4,
+        },
+        Instruction::Not {
+            dst: RowReg(1),
+            src: RowReg(0),
+        },
+        Instruction::And {
+            dst: RowReg(2),
+            src1: RowReg(0),
+            src2: RowReg(1),
+        },
+        Instruction::Or {
+            dst: RowReg(2),
+            src1: RowReg(0),
+            src2: RowReg(1),
+        },
+        Instruction::BitShift {
+            dir: ShiftDir::Left,
+            reg: RowReg(0),
+            amount: 3,
+        },
+        Instruction::ByteShift {
+            dir: ShiftDir::Right,
+            reg: RowReg(0),
+            amount: 2,
+        },
+        Instruction::Move {
+            dst: RowReg(1),
+            src: RowReg(0),
+        },
     ];
     for inst in all {
         let parsed = pluto_core::isa::parse_instruction(&inst.to_string()).unwrap();

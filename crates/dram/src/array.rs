@@ -304,11 +304,18 @@ impl MemoryArray {
     ///
     /// # Errors
     /// Fails if `loc` is out of bounds.
-    pub fn shift_row_bits(&mut self, loc: RowLoc, left: bool, amount: u32) -> Result<(), DramError> {
+    pub fn shift_row_bits(
+        &mut self,
+        loc: RowLoc,
+        left: bool,
+        amount: u32,
+    ) -> Result<(), DramError> {
         self.check(loc)?;
         let data = self.row(loc)?;
         let shifted = shift_bits(&data, left, amount);
-        self.sa(loc.bank, loc.subarray).rows.insert(loc.row, shifted);
+        self.sa(loc.bank, loc.subarray)
+            .rows
+            .insert(loc.row, shifted);
         Ok(())
     }
 
@@ -325,7 +332,9 @@ impl MemoryArray {
         self.check(loc)?;
         let data = self.row(loc)?;
         let shifted = shift_bytes(&data, left, amount);
-        self.sa(loc.bank, loc.subarray).rows.insert(loc.row, shifted);
+        self.sa(loc.bank, loc.subarray)
+            .rows
+            .insert(loc.row, shifted);
         Ok(())
     }
 }
@@ -449,7 +458,8 @@ mod tests {
         let mut arr = MemoryArray::new(tiny_cfg());
         let loc = RowLoc::new(1, 0, 0);
         arr.activate(loc, false).unwrap();
-        arr.write_buffer(loc.bank, loc.subarray, 2, &[0xAA, 0xBB]).unwrap();
+        arr.write_buffer(loc.bank, loc.subarray, 2, &[0xAA, 0xBB])
+            .unwrap();
         arr.precharge(loc.bank, loc.subarray);
         let row = arr.row(loc).unwrap();
         assert_eq!(&row[2..4], &[0xAA, 0xBB]);
@@ -504,7 +514,8 @@ mod tests {
         arr.set_row(RowLoc::new(0, 0, 0), &[0b1100; 8]).unwrap();
         arr.set_row(RowLoc::new(0, 0, 1), &[0b1010; 8]).unwrap();
         arr.set_row(RowLoc::new(0, 0, 2), &[0b0110; 8]).unwrap();
-        arr.triple_row_activate(b, s, [RowId(0), RowId(1), RowId(2)]).unwrap();
+        arr.triple_row_activate(b, s, [RowId(0), RowId(1), RowId(2)])
+            .unwrap();
         let expect = vec![0b1110u8; 8];
         for r in 0..3 {
             assert_eq!(arr.row(RowLoc::new(0, 0, r)).unwrap(), expect);

@@ -143,7 +143,10 @@ mod tests {
 
     #[test]
     fn activation_counts() {
-        assert_eq!(Command::Activate(RowLoc::new(0, 0, 0)).activation_count(), 1);
+        assert_eq!(
+            Command::Activate(RowLoc::new(0, 0, 0)).activation_count(),
+            1
+        );
         assert_eq!(
             Command::RowCloneFpm {
                 src: RowLoc::new(0, 0, 0),
@@ -152,8 +155,14 @@ mod tests {
             .activation_count(),
             2
         );
-        assert_eq!(Command::Precharge(BankId(0), SubarrayId(0)).activation_count(), 0);
-        assert_eq!(Command::ReadBurst(BankId(0), SubarrayId(0)).activation_count(), 0);
+        assert_eq!(
+            Command::Precharge(BankId(0), SubarrayId(0)).activation_count(),
+            0
+        );
+        assert_eq!(
+            Command::ReadBurst(BankId(0), SubarrayId(0)).activation_count(),
+            0
+        );
     }
 
     #[test]

@@ -86,11 +86,13 @@ impl Engine {
 
     /// Takes and clears the accumulated trace (empty if tracing disabled).
     pub fn take_trace(&mut self) -> Vec<Command> {
-        self.trace.take().map(|t| {
-            self.trace = Some(Vec::new());
-            t
-        })
-        .unwrap_or_default()
+        self.trace
+            .take()
+            .map(|t| {
+                self.trace = Some(Vec::new());
+                t
+            })
+            .unwrap_or_default()
     }
 
     /// The geometry this engine simulates.
@@ -229,7 +231,12 @@ impl Engine {
     pub fn read_row(&mut self, loc: RowLoc) -> Result<Vec<u8>, DramError> {
         self.activate(loc)?;
         let bursts = self.cfg.bursts_per_row();
-        let data = self.array.buffer(loc.bank, loc.subarray).unwrap().data.clone();
+        let data = self
+            .array
+            .buffer(loc.bank, loc.subarray)
+            .unwrap()
+            .data
+            .clone();
         self.spend(
             self.timing.row_readout(bursts),
             self.energy_model.e_rd_burst.times(bursts as u64),
@@ -596,7 +603,10 @@ mod tests {
         e.precharge(BankId(0), SubarrayId(0)).unwrap();
         let expect = e.energy_model().act_pre_cycle();
         assert!((e.command_energy().as_pj() - expect.as_pj()).abs() < 1e-9);
-        assert!(e.total_energy() > e.command_energy(), "background power adds in");
+        assert!(
+            e.total_energy() > e.command_energy(),
+            "background power adds in"
+        );
     }
 
     #[test]
@@ -660,7 +670,8 @@ mod tests {
         e.sweep_step(loc, SweepStepKind::ChargeShare).unwrap();
         assert_eq!(e.elapsed(), e.timing().t_rcd);
         // Charge-share steps may run back to back.
-        e.sweep_step(loc.with_row(1), SweepStepKind::ChargeShare).unwrap();
+        e.sweep_step(loc.with_row(1), SweepStepKind::ChargeShare)
+            .unwrap();
         assert_eq!(e.elapsed(), e.timing().t_rcd.times(2));
     }
 
@@ -670,7 +681,8 @@ mod tests {
         let mut e = tiny();
         let n = 16u16;
         for r in 0..n {
-            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::FullCycle).unwrap();
+            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::FullCycle)
+                .unwrap();
         }
         assert_eq!(e.elapsed(), e.timing().act_pre_cycle().times(n as u64));
         let expect_e = e.energy_model().act_pre_cycle().times(n as u64);
@@ -683,7 +695,8 @@ mod tests {
         let mut e = tiny();
         let n = 16u16;
         for r in 0..n {
-            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::ChargeShare).unwrap();
+            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::ChargeShare)
+                .unwrap();
         }
         e.precharge(BankId(0), SubarrayId(0)).unwrap();
         assert_eq!(
@@ -733,7 +746,8 @@ mod tests {
         timing.t_faw = Picos::from_ns(100.0);
         let mut e = Engine::with_models(cfg, timing, EnergyModel::ddr4());
         for r in 0..5 {
-            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::ChargeShare).unwrap();
+            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::ChargeShare)
+                .unwrap();
         }
         // Fifth ACT cannot issue before t = 100 ns (first ACT at t=0).
         assert!(e.elapsed() >= Picos::from_ns(100.0));
@@ -752,7 +766,8 @@ mod tests {
         timing = timing.with_t_faw_scale(0.0);
         let mut e = Engine::with_models(cfg, timing, EnergyModel::ddr4());
         for r in 0..8 {
-            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::ChargeShare).unwrap();
+            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::ChargeShare)
+                .unwrap();
         }
         assert_eq!(e.elapsed(), Picos::from_ns(8.0));
     }
@@ -785,7 +800,9 @@ mod tests {
         let mut e = tiny();
         assert!(e.activate(RowLoc::new(99, 0, 0)).is_err());
         assert!(e.precharge(BankId(99), SubarrayId(0)).is_err());
-        assert!(e.sweep_step(RowLoc::new(0, 99, 0), SweepStepKind::FullCycle).is_err());
+        assert!(e
+            .sweep_step(RowLoc::new(0, 99, 0), SweepStepKind::FullCycle)
+            .is_err());
         assert!(e.row_clone_fpm(RowLoc::new(0, 0, 0), RowId(999)).is_err());
         assert!(e.shift_row(RowLoc::new(0, 0, 999), true, 1).is_err());
     }

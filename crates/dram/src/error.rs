@@ -70,7 +70,10 @@ impl fmt::Display for DramError {
                 write!(f, "{bank}/{subarray} has no open row")
             }
             DramError::RowSizeMismatch { expected, actual } => {
-                write!(f, "row data length {actual} does not match row size {expected}")
+                write!(
+                    f,
+                    "row data length {actual} does not match row size {expected}"
+                )
             }
             DramError::SubarrayMismatch { a, b } => {
                 write!(f, "rows {a} and {b} are not in the same subarray")

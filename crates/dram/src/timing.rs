@@ -50,7 +50,7 @@ impl TimingParams {
             t_ras: Picos::from_ns(32.0),
             t_faw: Picos::from_ns(13.328),
             t_cl: Picos::from_ns(14.16),
-            t_ccd: Picos::from_ns(4.166), // tCCD_S = 4 tCK
+            t_ccd: Picos::from_ns(4.166),   // tCCD_S = 4 tCK
             t_burst: Picos::from_ns(3.332), // BL8 @ 2400 MT/s
             t_lisa_hop: Picos::from_ns(16.0),
             t_faw_scale_applied: 1.0,
@@ -86,9 +86,13 @@ impl TimingParams {
     /// Panics if `scale` is negative or not finite.
     pub fn with_t_faw_scale(&self, scale: f64) -> Self {
         let mut t = self.clone();
-        t.t_faw = t.t_faw.scale(scale / self.t_faw_scale_applied.max(f64::MIN_POSITIVE));
+        t.t_faw = t
+            .t_faw
+            .scale(scale / self.t_faw_scale_applied.max(f64::MIN_POSITIVE));
         // Recompute from the nominal value to avoid compounding rounding.
-        let nominal = self.t_faw.scale(1.0 / self.t_faw_scale_applied.max(f64::MIN_POSITIVE));
+        let nominal = self
+            .t_faw
+            .scale(1.0 / self.t_faw_scale_applied.max(f64::MIN_POSITIVE));
         t.t_faw = nominal.scale(scale);
         t.t_faw_scale_applied = scale;
         t

@@ -31,7 +31,10 @@ impl Picos {
     /// # Panics
     /// Panics if `ns` is negative or not finite.
     pub fn from_ns(ns: f64) -> Self {
-        assert!(ns.is_finite() && ns >= 0.0, "invalid nanosecond value: {ns}");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "invalid nanosecond value: {ns}"
+        );
         Picos((ns * 1e3).round() as u64)
     }
 

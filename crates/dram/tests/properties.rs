@@ -1,10 +1,13 @@
-//! Property-based tests of the DRAM substrate.
+//! Property-based tests of the DRAM substrate (sim-support harness).
 
-use proptest::prelude::*;
 use pluto_dram::{
     BankId, DramConfig, Engine, Lane, LaneStep, ParallelScheduler, Picos, RowId, RowLoc,
     SubarrayId, SweepStepKind,
 };
+use sim_support::prop::{self, CaseResult, Gen};
+use sim_support::{prop_assert, prop_assert_eq};
+
+const CASES: u32 = 64;
 
 fn cfg() -> DramConfig {
     DramConfig {
@@ -17,27 +20,32 @@ fn cfg() -> DramConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A row written with poke reads back identically through both the
+/// backdoor and the timed read path.
+#[test]
+fn poke_peek_read_roundtrip() {
+    prop::check(
+        "poke_peek_read_roundtrip",
+        CASES,
+        |g: &mut Gen| -> CaseResult {
+            let data: Vec<u8> = g.vec_any(32, 32);
+            let mut e = Engine::new(cfg());
+            let loc = RowLoc::new(1, 3, 7);
+            e.poke_row(loc, &data).unwrap();
+            prop_assert_eq!(e.peek_row(loc).unwrap(), data.clone());
+            prop_assert_eq!(e.read_row(loc).unwrap(), data);
+            Ok(())
+        },
+    );
+}
 
-    /// A row written with poke reads back identically through both the
-    /// backdoor and the timed read path.
-    #[test]
-    fn poke_peek_read_roundtrip(data in prop::collection::vec(any::<u8>(), 32..=32)) {
-        let mut e = Engine::new(cfg());
-        let loc = RowLoc::new(1, 3, 7);
-        e.poke_row(loc, &data).unwrap();
-        prop_assert_eq!(e.peek_row(loc).unwrap(), data.clone());
-        prop_assert_eq!(e.read_row(loc).unwrap(), data);
-    }
-
-    /// Shifting left then right by the same amount zeroes exactly the
-    /// wrapped-out bits and preserves the rest.
-    #[test]
-    fn shift_roundtrip_masks_only_edges(
-        data in prop::collection::vec(any::<u8>(), 32..=32),
-        amount in 0u32..64,
-    ) {
+/// Shifting left then right by the same amount zeroes exactly the
+/// wrapped-out bits and preserves the rest.
+#[test]
+fn shift_roundtrip_masks_only_edges() {
+    prop::check("shift_roundtrip_masks_only_edges", CASES, |g| {
+        let data: Vec<u8> = g.vec_any(32, 32);
+        let amount: u32 = g.range(0u32..64);
         let mut e = Engine::new(cfg());
         let loc = RowLoc::new(0, 0, 0);
         e.poke_row(loc, &data).unwrap();
@@ -56,15 +64,17 @@ proptest! {
             let actual = (got[bit / 8] >> (7 - bit % 8)) & 1;
             prop_assert_eq!(actual, expect, "bit {}", bit);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Chained LISA movements deliver the original row buffer contents
-    /// across any path of subarrays.
-    #[test]
-    fn lisa_chain_preserves_data(
-        data in prop::collection::vec(any::<u8>(), 32..=32),
-        hops in prop::collection::vec(0u16..8, 1..5),
-    ) {
+/// Chained LISA movements deliver the original row buffer contents
+/// across any path of subarrays.
+#[test]
+fn lisa_chain_preserves_data() {
+    prop::check("lisa_chain_preserves_data", CASES, |g| {
+        let data: Vec<u8> = g.vec_any(32, 32);
+        let hops: Vec<u16> = g.vec_range(1, 4, 0u16..8);
         let mut e = Engine::new(cfg());
         let src = RowLoc::new(0, 0, 1);
         e.poke_row(src, &data).unwrap();
@@ -72,29 +82,49 @@ proptest! {
         let mut cur = SubarrayId(0);
         for &h in &hops {
             let next = SubarrayId(h);
-            if next == cur { continue; }
+            if next == cur {
+                continue;
+            }
             e.lisa_rbm(BankId(0), cur, next).unwrap();
             cur = next;
         }
         let buf = e.row_buffer(BankId(0), cur).unwrap();
         prop_assert_eq!(&buf.data, &data);
-    }
+        Ok(())
+    });
+}
 
-    /// Engine clock and energy are monotone non-decreasing over any
-    /// command sequence.
-    #[test]
-    fn accounting_is_monotone(ops in prop::collection::vec(0u8..5, 1..40)) {
+/// Engine clock and energy are monotone non-decreasing over any
+/// command sequence.
+#[test]
+fn accounting_is_monotone() {
+    prop::check("accounting_is_monotone", CASES, |g| {
+        let ops: Vec<u8> = g.vec_range(1, 39, 0u8..5);
         let mut e = Engine::new(cfg());
         let mut last_t = Picos::ZERO;
         let mut last_e = 0.0f64;
         for (i, &op) in ops.iter().enumerate() {
             let row = (i % 60) as u16;
             match op {
-                0 => { let _ = e.sweep_step(RowLoc::new(0, 1, row), SweepStepKind::FullCycle); }
-                1 => { let _ = e.sweep_step(RowLoc::new(0, 1, row), SweepStepKind::ChargeShare); }
-                2 => { let _ = e.row_clone_fpm(RowLoc::new(0, 2, row), RowId((row + 1) % 60)); }
-                3 => { let _ = e.precharge(BankId(0), SubarrayId(1)); }
-                _ => { let _ = e.triple_row_activate(BankId(0), SubarrayId(3), [RowId(0), RowId(1), RowId(2)]); }
+                0 => {
+                    let _ = e.sweep_step(RowLoc::new(0, 1, row), SweepStepKind::FullCycle);
+                }
+                1 => {
+                    let _ = e.sweep_step(RowLoc::new(0, 1, row), SweepStepKind::ChargeShare);
+                }
+                2 => {
+                    let _ = e.row_clone_fpm(RowLoc::new(0, 2, row), RowId((row + 1) % 60));
+                }
+                3 => {
+                    let _ = e.precharge(BankId(0), SubarrayId(1));
+                }
+                _ => {
+                    let _ = e.triple_row_activate(
+                        BankId(0),
+                        SubarrayId(3),
+                        [RowId(0), RowId(1), RowId(2)],
+                    );
+                }
             }
             prop_assert!(e.elapsed() >= last_t);
             prop_assert!(e.command_energy().as_pj() >= last_e);
@@ -102,53 +132,66 @@ proptest! {
             last_e = e.command_energy().as_pj();
         }
         prop_assert!(e.total_energy() >= e.command_energy());
-    }
+        Ok(())
+    });
+}
 
-    /// Tightening tFAW never reduces a parallel schedule's makespan, and
-    /// disabling it never increases it.
-    #[test]
-    fn tfaw_monotone_in_makespan(
-        lanes in 1usize..12,
-        steps in 1usize..20,
-        faw_ns in 1.0f64..50.0,
-    ) {
+/// Tightening tFAW never reduces a parallel schedule's makespan, and
+/// disabling it never increases it.
+#[test]
+fn tfaw_monotone_in_makespan() {
+    prop::check("tfaw_monotone_in_makespan", CASES, |g| {
+        let lanes: usize = g.range(1usize..12);
+        let steps: usize = g.range(1usize..20);
+        let faw_ns: f64 = g.range(1.0f64..50.0);
         let mut lane = Lane::new();
         lane.push_repeated(LaneStep::act(Picos::from_ns(10.0)), steps);
         let free = ParallelScheduler::new(Picos::ZERO).makespan_uniform(&lane, lanes);
         let tight = ParallelScheduler::new(Picos::from_ns(faw_ns)).makespan_uniform(&lane, lanes);
-        let tighter = ParallelScheduler::new(Picos::from_ns(faw_ns * 2.0)).makespan_uniform(&lane, lanes);
+        let tighter =
+            ParallelScheduler::new(Picos::from_ns(faw_ns * 2.0)).makespan_uniform(&lane, lanes);
         prop_assert!(tight >= free);
         prop_assert!(tighter >= tight);
-    }
+        Ok(())
+    });
+}
 
-    /// Ambit TRA with constant control rows implements AND/OR exactly.
-    #[test]
-    fn tra_and_or_reference(
-        a in prop::collection::vec(any::<u8>(), 32..=32),
-        b in prop::collection::vec(any::<u8>(), 32..=32),
-        use_or in any::<bool>(),
-    ) {
+/// Ambit TRA with constant control rows implements AND/OR exactly.
+#[test]
+fn tra_and_or_reference() {
+    prop::check("tra_and_or_reference", CASES, |g| {
+        let a: Vec<u8> = g.vec_any(32, 32);
+        let b: Vec<u8> = g.vec_any(32, 32);
+        let use_or: bool = g.any();
         let mut e = Engine::new(cfg());
         let control = vec![if use_or { 0xFF } else { 0x00 }; 32];
         e.poke_row(RowLoc::new(0, 0, 0), &a).unwrap();
         e.poke_row(RowLoc::new(0, 0, 1), &b).unwrap();
         e.poke_row(RowLoc::new(0, 0, 2), &control).unwrap();
-        e.triple_row_activate(BankId(0), SubarrayId(0), [RowId(0), RowId(1), RowId(2)]).unwrap();
+        e.triple_row_activate(BankId(0), SubarrayId(0), [RowId(0), RowId(1), RowId(2)])
+            .unwrap();
         let got = e.peek_row(RowLoc::new(0, 0, 0)).unwrap();
-        let expect: Vec<u8> = a.iter().zip(&b)
+        let expect: Vec<u8> = a
+            .iter()
+            .zip(&b)
             .map(|(&x, &y)| if use_or { x | y } else { x & y })
             .collect();
         prop_assert_eq!(got, expect);
-    }
+        Ok(())
+    });
+}
 
-    /// DCC negating clone is an involution through a scratch row.
-    #[test]
-    fn dcc_double_negation(data in prop::collection::vec(any::<u8>(), 32..=32)) {
+/// DCC negating clone is an involution through a scratch row.
+#[test]
+fn dcc_double_negation() {
+    prop::check("dcc_double_negation", CASES, |g| {
+        let data: Vec<u8> = g.vec_any(32, 32);
         let mut e = Engine::new(cfg());
         let src = RowLoc::new(0, 0, 0);
         e.poke_row(src, &data).unwrap();
         e.row_clone_dcc(src, RowId(1)).unwrap();
         e.row_clone_dcc(src.with_row(1), RowId(2)).unwrap();
         prop_assert_eq!(e.peek_row(src.with_row(2)).unwrap(), data);
-    }
+        Ok(())
+    });
 }

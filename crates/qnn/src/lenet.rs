@@ -17,8 +17,7 @@
 //! compute graph (`DESIGN.md` §1).
 
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_support::{Rng, SeedableRng, StdRng};
 
 /// Quantization precision of weights and activations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -201,8 +200,8 @@ fn conv_valid(x: &Tensor, layer: &ConvLayer, precision: Precision) -> Tensor {
                 for ic in 0..in_ch {
                     for ky in 0..layer.k {
                         for kx in 0..layer.k {
-                            let wgt = layer.weights
-                                [((oc * in_ch + ic) * layer.k + ky) * layer.k + kx];
+                            let wgt =
+                                layer.weights[((oc * in_ch + ic) * layer.k + ky) * layer.k + kx];
                             acc += wgt * x.at3(ic, oy + ky, ox + kx);
                         }
                     }
@@ -261,11 +260,7 @@ fn fc(x: &[i32], layer: &FcLayer, precision: Precision, activate: bool) -> Vec<i
 /// `dot = 2·popcount(XNOR(a,b)) − n`.
 pub fn binary_dot_reference(a_bits: &[u8], b_bits: &[u8]) -> i32 {
     assert_eq!(a_bits.len(), b_bits.len());
-    let same = a_bits
-        .iter()
-        .zip(b_bits)
-        .filter(|(&x, &y)| x == y)
-        .count() as i32;
+    let same = a_bits.iter().zip(b_bits).filter(|(&x, &y)| x == y).count() as i32;
     2 * same - a_bits.len() as i32
 }
 

@@ -7,8 +7,7 @@
 //! images with class-dependent structure.
 
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_support::{Rng, SeedableRng, StdRng};
 
 /// Image side length (MNIST's 28).
 pub const SIDE: usize = 28;
@@ -69,16 +68,57 @@ impl SyntheticMnist {
 /// Per-class stroke templates in a 28×28 canvas.
 fn strokes(digit: u8) -> Vec<(usize, usize, usize, usize)> {
     match digit {
-        0 => vec![(8, 6, 20, 6), (20, 6, 20, 22), (20, 22, 8, 22), (8, 22, 8, 6)],
+        0 => vec![
+            (8, 6, 20, 6),
+            (20, 6, 20, 22),
+            (20, 22, 8, 22),
+            (8, 22, 8, 6),
+        ],
         1 => vec![(14, 5, 14, 23), (10, 9, 14, 5)],
-        2 => vec![(8, 8, 20, 8), (20, 8, 20, 14), (20, 14, 8, 22), (8, 22, 20, 22)],
-        3 => vec![(8, 6, 20, 6), (20, 6, 12, 14), (12, 14, 20, 22), (20, 22, 8, 22)],
+        2 => vec![
+            (8, 8, 20, 8),
+            (20, 8, 20, 14),
+            (20, 14, 8, 22),
+            (8, 22, 20, 22),
+        ],
+        3 => vec![
+            (8, 6, 20, 6),
+            (20, 6, 12, 14),
+            (12, 14, 20, 22),
+            (20, 22, 8, 22),
+        ],
         4 => vec![(10, 5, 8, 15), (8, 15, 20, 15), (17, 5, 17, 23)],
-        5 => vec![(20, 6, 8, 6), (8, 6, 8, 14), (8, 14, 19, 14), (19, 14, 19, 22), (19, 22, 8, 22)],
-        6 => vec![(18, 5, 9, 14), (9, 14, 9, 22), (9, 22, 19, 22), (19, 22, 19, 15), (19, 15, 9, 15)],
+        5 => vec![
+            (20, 6, 8, 6),
+            (8, 6, 8, 14),
+            (8, 14, 19, 14),
+            (19, 14, 19, 22),
+            (19, 22, 8, 22),
+        ],
+        6 => vec![
+            (18, 5, 9, 14),
+            (9, 14, 9, 22),
+            (9, 22, 19, 22),
+            (19, 22, 19, 15),
+            (19, 15, 9, 15),
+        ],
         7 => vec![(8, 6, 20, 6), (20, 6, 12, 23)],
-        8 => vec![(9, 6, 19, 6), (19, 6, 19, 13), (19, 13, 9, 13), (9, 13, 9, 6), (9, 13, 9, 22), (9, 22, 19, 22), (19, 22, 19, 13)],
-        _ => vec![(9, 6, 19, 6), (19, 6, 19, 13), (19, 13, 9, 13), (9, 13, 9, 6), (19, 13, 16, 23)],
+        8 => vec![
+            (9, 6, 19, 6),
+            (19, 6, 19, 13),
+            (19, 13, 9, 13),
+            (9, 13, 9, 6),
+            (9, 13, 9, 22),
+            (9, 22, 19, 22),
+            (19, 22, 19, 13),
+        ],
+        _ => vec![
+            (9, 6, 19, 6),
+            (19, 6, 19, 13),
+            (19, 13, 9, 13),
+            (9, 13, 9, 6),
+            (19, 13, 16, 23),
+        ],
     }
 }
 
@@ -146,7 +186,10 @@ mod tests {
         let g = SyntheticMnist::new(2);
         for d in 0..10u8 {
             let img = g.image(d, 5);
-            assert!(img.data().iter().all(|&v| (0..=255).contains(&v)), "digit {d}");
+            assert!(
+                img.data().iter().all(|&v| (0..=255).contains(&v)),
+                "digit {d}"
+            );
             assert!(img.data().iter().any(|&v| v > 0), "digit {d} not blank");
         }
     }

@@ -62,7 +62,11 @@ pub fn binary_dot_pluto(
         // Pack XNOR bits into bytes and BC-8 them.
         let bytes: Vec<u64> = x
             .chunks(8)
-            .map(|c| c.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (b << i)))
+            .map(|c| {
+                c.iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &b)| acc | (b << i))
+            })
             .collect();
         let counts = m.apply(&bc8, &bytes)?.values;
         let same: u64 = counts.iter().sum();
@@ -111,8 +115,7 @@ pub fn pluto_inference_cost(net: &LeNet5, design: DesignKind) -> (Picos, PicoJou
 mod tests {
     use super::*;
     use crate::lenet::binary_dot_reference;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use sim_support::{Rng, SeedableRng, StdRng};
 
     #[test]
     fn binary_dot_matches_reference() {

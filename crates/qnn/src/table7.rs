@@ -59,14 +59,38 @@ pub struct InferenceCost {
 /// The paper's published Table 7 values.
 pub fn published(platform: Platform, precision: Precision) -> InferenceCost {
     match (platform, precision) {
-        (Platform::Cpu, Precision::Bit1) => InferenceCost { time_us: 249.0, energy_mj: 2.2 },
-        (Platform::Cpu, Precision::Bit4) => InferenceCost { time_us: 997.0, energy_mj: 8.7 },
-        (Platform::Gpu, Precision::Bit1) => InferenceCost { time_us: 56.0, energy_mj: 1.6 },
-        (Platform::Gpu, Precision::Bit4) => InferenceCost { time_us: 224.0, energy_mj: 6.5 },
-        (Platform::Fpga, Precision::Bit1) => InferenceCost { time_us: 141.0, energy_mj: 0.3 },
-        (Platform::Fpga, Precision::Bit4) => InferenceCost { time_us: 563.0, energy_mj: 1.3 },
-        (Platform::PlutoBsa, Precision::Bit1) => InferenceCost { time_us: 23.0, energy_mj: 0.02 },
-        (Platform::PlutoBsa, Precision::Bit4) => InferenceCost { time_us: 30.0, energy_mj: 0.08 },
+        (Platform::Cpu, Precision::Bit1) => InferenceCost {
+            time_us: 249.0,
+            energy_mj: 2.2,
+        },
+        (Platform::Cpu, Precision::Bit4) => InferenceCost {
+            time_us: 997.0,
+            energy_mj: 8.7,
+        },
+        (Platform::Gpu, Precision::Bit1) => InferenceCost {
+            time_us: 56.0,
+            energy_mj: 1.6,
+        },
+        (Platform::Gpu, Precision::Bit4) => InferenceCost {
+            time_us: 224.0,
+            energy_mj: 6.5,
+        },
+        (Platform::Fpga, Precision::Bit1) => InferenceCost {
+            time_us: 141.0,
+            energy_mj: 0.3,
+        },
+        (Platform::Fpga, Precision::Bit4) => InferenceCost {
+            time_us: 563.0,
+            energy_mj: 1.3,
+        },
+        (Platform::PlutoBsa, Precision::Bit1) => InferenceCost {
+            time_us: 23.0,
+            energy_mj: 0.02,
+        },
+        (Platform::PlutoBsa, Precision::Bit4) => InferenceCost {
+            time_us: 30.0,
+            energy_mj: 0.08,
+        },
     }
 }
 
@@ -166,7 +190,9 @@ mod tests {
     fn published_speedups_match_paper_text() {
         // §9: pLUTo-BSA outperforms the CPU (10×, 30×), the GPU (2×, 7×)
         // and the FPGA (6×, 19×) for 1-/4-bit inference.
-        let s = |p: Platform, q: Precision| published(p, q).time_us / published(Platform::PlutoBsa, q).time_us;
+        let s = |p: Platform, q: Precision| {
+            published(p, q).time_us / published(Platform::PlutoBsa, q).time_us
+        };
         assert!((s(Platform::Cpu, Precision::Bit1) - 10.8).abs() < 1.0);
         assert!((s(Platform::Cpu, Precision::Bit4) - 33.2).abs() < 4.0);
         assert!((s(Platform::Gpu, Precision::Bit1) - 2.4).abs() < 0.6);

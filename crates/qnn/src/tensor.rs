@@ -21,7 +21,10 @@ impl Tensor {
     /// # Panics
     /// Panics if the shape is empty or has a zero dimension.
     pub fn zeros(shape: &[usize]) -> Self {
-        assert!(!shape.is_empty() && shape.iter().all(|&d| d > 0), "bad shape {shape:?}");
+        assert!(
+            !shape.is_empty() && shape.iter().all(|&d| d > 0),
+            "bad shape {shape:?}"
+        );
         Tensor {
             shape: shape.to_vec(),
             data: vec![0; shape.iter().product()],
@@ -33,7 +36,11 @@ impl Tensor {
     /// # Panics
     /// Panics if `data.len()` does not match the shape volume.
     pub fn from_vec(shape: &[usize], data: Vec<i32>) -> Self {
-        assert_eq!(data.len(), shape.iter().product::<usize>(), "shape/data mismatch");
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "shape/data mismatch"
+        );
         Tensor {
             shape: shape.to_vec(),
             data,

@@ -1,0 +1,349 @@
+//! Wall-clock micro-benchmark harness (`criterion` replacement).
+//!
+//! The API is shaped after `criterion` so bench files port with import
+//! changes only: a [`Criterion`] driver, [`BenchmarkId`]s, groups with
+//! `bench_with_input`, and a [`Bencher`] whose `iter` closure is the
+//! measured body. Measurement is intentionally simple — [`std::time::Instant`]
+//! around batches of iterations, auto-calibrated so one sample takes a few
+//! milliseconds — which is plenty to catch order-of-magnitude regressions
+//! in the simulator hot paths.
+//!
+//! Every harness run writes `BENCH_<name>.json` (into `SIM_BENCH_DIR`, or
+//! the current directory) with per-benchmark iteration counts and
+//! nanosecond statistics, so future PRs can diff machine-readable
+//! baselines. Set `PLUTO_QUICK=1` (or `SIM_BENCH_QUICK=1`) to shrink
+//! sample counts for smoke runs.
+//!
+//! Wire a bench target up with the [`bench_group!`](crate::bench_group)
+//! and [`bench_main!`](crate::bench_main) macros and `harness = false` in
+//! the crate manifest.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Target wall time for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(4);
+const SAMPLES_FULL: usize = 30;
+const SAMPLES_QUICK: usize = 8;
+
+/// Identifier of one benchmark within a group (mirrors
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id carrying only a parameter value (`group/<param>`).
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// An id with a function name and a parameter (`group/<name>/<param>`).
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+/// Statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Full benchmark id (`group/param` or bare function name).
+    pub id: String,
+    /// Iterations per measured sample (after calibration).
+    pub iters_per_sample: u64,
+    /// Number of measured samples.
+    pub samples: usize,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// Sample standard deviation of ns/iter.
+    pub stddev_ns: f64,
+    /// Fastest sample ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample ns/iter.
+    pub max_ns: f64,
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`] exactly once.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    result: Option<(u64, Vec<f64>)>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            result: None,
+        }
+    }
+
+    /// Calibrates, then measures `routine` and stores the samples. The
+    /// routine's return value is passed through [`std::hint::black_box`]
+    /// so the optimizer cannot delete the measured work.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Calibration: find an iteration count whose sample takes at
+        // least SAMPLE_TARGET.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+                break;
+            }
+            // Grow geometrically toward the target.
+            let grow =
+                (SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).clamp(2.0, 16.0);
+            iters = ((iters as f64 * grow) as u64).max(iters + 1);
+        }
+        let mut ns_per_iter = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            ns_per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some((iters, ns_per_iter));
+    }
+}
+
+/// The harness driver: owns configuration and collected [`Record`]s.
+#[derive(Debug)]
+pub struct Criterion {
+    name: String,
+    samples: usize,
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Creates a driver named `name` (the JSON baseline becomes
+    /// `BENCH_<name>.json`), honoring `PLUTO_QUICK`/`SIM_BENCH_QUICK`.
+    pub fn named(name: &str) -> Self {
+        let quick = ["PLUTO_QUICK", "SIM_BENCH_QUICK"]
+            .iter()
+            .any(|k| std::env::var(k).map(|v| v == "1").unwrap_or(false));
+        Criterion {
+            name: name.to_string(),
+            samples: if quick { SAMPLES_QUICK } else { SAMPLES_FULL },
+            records: Vec::new(),
+        }
+    }
+
+    /// Opens a named group; benchmarks inside report as `group/<id>`.
+    pub fn benchmark_group(&mut self, group: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group: group.to_string(),
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher::new(self.samples);
+        f(&mut bencher);
+        let (iters, mut samples) = bencher
+            .result
+            .unwrap_or_else(|| panic!("benchmark '{id}' never called Bencher::iter"));
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        // Sample (Bessel-corrected) variance, as documented on `Record`.
+        let var = if samples.len() > 1 {
+            samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let record = Record {
+            median_ns: samples[samples.len() / 2],
+            min_ns: samples[0],
+            max_ns: samples[samples.len() - 1],
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+            iters_per_sample: iters,
+            samples: samples.len(),
+            id,
+        };
+        println!(
+            "bench {:<40} {:>12.1} ns/iter (median {:.1}, σ {:.1}, {} iters × {} samples)",
+            record.id,
+            record.mean_ns,
+            record.median_ns,
+            record.stddev_ns,
+            record.iters_per_sample,
+            record.samples
+        );
+        self.records.push(record);
+    }
+
+    /// Writes the `BENCH_<name>.json` baseline and prints its path.
+    ///
+    /// # Panics
+    /// Panics if the baseline file cannot be written.
+    pub fn finalize(&mut self) {
+        let dir = std::env::var("SIM_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = format!("{dir}/BENCH_{}.json", self.name);
+        let json = self.to_json();
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path} ({} benchmarks)", self.records.len());
+    }
+
+    /// Serializes the collected records (hand-rolled; no serde offline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"harness\": \"sim-support\",\n  \"name\": {},\n  \"samples_per_benchmark\": {},\n  \"results\": [",
+            json_string(&self.name),
+            self.samples
+        );
+        for (i, r) in self.records.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"id\": {}, \"iters_per_sample\": {}, \"samples\": {}, \
+                 \"mean_ns\": {:.3}, \"median_ns\": {:.3}, \"stddev_ns\": {:.3}, \
+                 \"min_ns\": {:.3}, \"max_ns\": {:.3}}}",
+                if i == 0 { "" } else { "," },
+                json_string(&r.id),
+                r.iters_per_sample,
+                r.samples,
+                r.mean_ns,
+                r.median_ns,
+                r.stddev_ns,
+                r.min_ns,
+                r.max_ns
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` against one `input`, reporting as `group/<id>`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.group, id.0);
+        self.criterion.run(full, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no input, reporting as `group/<id>`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{id}", self.group);
+        self.criterion.run(full, f);
+        self
+    }
+
+    /// Ends the group (kept for criterion API parity; groups hold no
+    /// deferred state).
+    pub fn finish(self) {}
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Defines a bench group function `fn $name(c: &mut Criterion)` calling
+/// each listed benchmark function in order (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! bench_group {
+    ($name:ident, $($func:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::bench::Criterion) {
+            $($func(c);)+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target: runs each group
+/// and writes the JSON baseline (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Criterion::named(env!("CARGO_CRATE_NAME"));
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_and_json_is_parseable_shape() {
+        let mut c = Criterion::named("selftest");
+        c.samples = 3;
+        let mut acc = 0u64;
+        c.bench_function("tiny_add", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(1);
+                acc
+            })
+        });
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(7u32), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[1].id, "grp/7");
+        assert!(c.records.iter().all(|r| r.mean_ns >= 0.0 && r.samples == 3));
+        let json = c.to_json();
+        assert!(json.contains("\"grp/7\""));
+        assert!(json.contains("\"mean_ns\""));
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "never called Bencher::iter")]
+    fn missing_iter_is_an_error() {
+        let mut c = Criterion::named("selftest2");
+        c.samples = 2;
+        c.bench_function("forgot", |_b| {});
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

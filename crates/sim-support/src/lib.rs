@@ -1,0 +1,27 @@
+//! # sim-support — the workspace's in-repo determinism layer
+//!
+//! This workspace builds **offline**: no crates.io dependency may appear
+//! anywhere in the dependency graph. `sim-support` replaces the three
+//! external crates the reproduction would otherwise need:
+//!
+//! * [`rng`] — deterministic pseudo-random number generation (SplitMix64
+//!   and xoshiro256**) behind `Rng`/`SeedableRng`-shaped traits, replacing
+//!   `rand`. Fixed seeds produce bit-identical streams on every platform
+//!   and every run; a known-answer test pins the exact output words.
+//! * [`prop`] — a seeded property-testing harness with shrinking-lite
+//!   (budget-scaled case regeneration), replacing `proptest`.
+//! * [`bench`] — a wall-clock micro-benchmark harness built on
+//!   [`std::time::Instant`], replacing `criterion`. Each harness run emits
+//!   a machine-readable `BENCH_<name>.json` baseline.
+//!
+//! All three modules are `std`-only. Nothing here aims at cryptographic
+//! quality or statistical rigor beyond what deterministic simulation and
+//! regression testing require.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use rng::{Rng, SeedableRng, SplitMix64, StdRng};

@@ -1,0 +1,367 @@
+//! Seeded property-based testing with shrinking-lite.
+//!
+//! This is the workspace's offline replacement for `proptest`. A property
+//! is an ordinary `#[test]` that calls [`check`] with a closure; the
+//! closure receives a [`Gen`] (a seeded case generator) and returns
+//! [`CaseResult`]. Assertion macros ([`prop_assert!`](crate::prop_assert),
+//! [`prop_assert_eq!`](crate::prop_assert_eq),
+//! [`prop_assert_ne!`](crate::prop_assert_ne)) short-circuit the case with
+//! a formatted failure instead of panicking, so the harness can report the
+//! reproducing seed.
+//!
+//! ## Shrinking-lite
+//!
+//! Full value-level shrinking needs a strategy tree; we use a cheaper
+//! scheme that covers the common "smaller input still fails" payoff: every
+//! [`Gen`] carries a *budget* in `(0, 1]` that scales generated collection
+//! lengths toward their minimum. On failure the harness replays the same
+//! case seed at successively smaller budgets and reports the smallest
+//! budget that still fails, together with the seed and case index needed
+//! to reproduce it (`SIM_PROP_SEED` replays a whole run under a chosen
+//! base seed; `SIM_PROP_CASES` overrides the case count).
+//!
+//! ## Example
+//!
+//! ```
+//! use sim_support::prop::{self, CaseResult, Gen};
+//! use sim_support::prop_assert_eq;
+//!
+//! fn reverse_twice_is_identity(g: &mut Gen) -> CaseResult {
+//!     let v: Vec<u8> = g.vec_any(0, 64);
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     prop_assert_eq!(v, w);
+//!     Ok(())
+//! }
+//!
+//! prop::check("reverse_twice_is_identity", 32, reverse_twice_is_identity);
+//! ```
+
+use crate::rng::{Rng, SampleRange, SampleUniform, SeedableRng, SplitMix64, Standard, StdRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A failed property case: the formatted assertion message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseFailure {
+    /// Human-readable description of what failed.
+    pub message: String,
+}
+
+impl CaseFailure {
+    /// Creates a failure from any message.
+    pub fn new(message: impl Into<String>) -> Self {
+        CaseFailure {
+            message: message.into(),
+        }
+    }
+}
+
+/// What a property closure returns for one generated case.
+pub type CaseResult = Result<(), CaseFailure>;
+
+/// Default base seed for property runs (override with `SIM_PROP_SEED`).
+pub const DEFAULT_SEED: u64 = 0x0BAD_5EED_CAFE_F00D;
+
+const SHRINK_BUDGETS: [f64; 4] = [0.5, 0.25, 0.1, 0.03];
+
+/// A seeded case generator handed to property closures.
+#[derive(Debug)]
+pub struct Gen {
+    rng: StdRng,
+    budget: f64,
+}
+
+impl Gen {
+    /// Creates a generator for one case.
+    pub fn with_seed(seed: u64, budget: f64) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(seed),
+            budget,
+        }
+    }
+
+    /// The underlying stream, for call sites that want raw draws.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Samples a value of `T` from its full domain (`any::<T>()`).
+    pub fn any<T: Standard>(&mut self) -> T {
+        self.rng.gen()
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    pub fn range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.rng.gen_range(range)
+    }
+
+    /// Draws a collection length in `[lo, hi]`, scaled toward `lo` by the
+    /// shrink budget.
+    pub fn len(&mut self, lo: usize, hi: usize) -> usize {
+        let raw = self.rng.gen_range(lo..=hi);
+        lo + ((raw - lo) as f64 * self.budget).round() as usize
+    }
+
+    /// A vector of budget-scaled length in `[lo, hi]` with elements drawn
+    /// by `item`.
+    pub fn vec<T>(&mut self, lo: usize, hi: usize, mut item: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.len(lo, hi);
+        (0..n).map(|_| item(self)).collect()
+    }
+
+    /// A vector of full-domain elements (`vec(any::<T>(), lo..=hi)`).
+    pub fn vec_any<T: Standard>(&mut self, lo: usize, hi: usize) -> Vec<T> {
+        self.vec(lo, hi, |g| g.any())
+    }
+
+    /// A vector of elements drawn from `range` (`vec(range, lo..=hi)`).
+    pub fn vec_range<T, R>(&mut self, lo: usize, hi: usize, range: R) -> Vec<T>
+    where
+        T: SampleUniform,
+        R: SampleRange<T> + Clone,
+    {
+        self.vec(lo, hi, |g| g.range(range.clone()))
+    }
+
+    /// A lowercase ASCII string of budget-scaled length in `[lo, hi]`
+    /// (the `"[a-z]{lo,hi}"` regex strategy).
+    pub fn lowercase(&mut self, lo: usize, hi: usize) -> String {
+        let n = self.len(lo, hi);
+        (0..n)
+            .map(|_| char::from(b'a' + self.rng.gen_range(0..26u8)))
+            .collect()
+    }
+}
+
+/// Runs `property` over `cases` generated cases with the default base
+/// seed, panicking with a reproducible report on the first failure.
+pub fn check(name: &str, cases: u32, property: impl Fn(&mut Gen) -> CaseResult) {
+    check_seeded(name, cases, base_seed(), property);
+}
+
+/// [`check`] with an explicit base seed (used by the harness's own tests;
+/// normal properties should prefer [`check`] so `SIM_PROP_SEED` works).
+pub fn check_seeded(name: &str, cases: u32, seed: u64, property: impl Fn(&mut Gen) -> CaseResult) {
+    let cases = case_count(cases);
+    let mut seeder = SplitMix64::new(seed);
+    for case in 0..cases {
+        let case_seed = seeder.next_u64();
+        if let Err(message) = run_case(&property, case_seed, 1.0) {
+            // Shrinking-lite: replay the same stream at smaller budgets and
+            // keep the smallest one that still fails.
+            let mut final_budget = 1.0;
+            let mut final_message = message;
+            for &budget in &SHRINK_BUDGETS {
+                if let Err(m) = run_case(&property, case_seed, budget) {
+                    final_budget = budget;
+                    final_message = m;
+                }
+            }
+            panic!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (case seed {case_seed:#018x}, shrink budget {final_budget}):\n  {final_message}\n\
+                 reproduce the run with SIM_PROP_SEED={seed}"
+            );
+        }
+    }
+}
+
+fn run_case(
+    property: &impl Fn(&mut Gen) -> CaseResult,
+    case_seed: u64,
+    budget: f64,
+) -> Result<(), String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        property(&mut Gen::with_seed(case_seed, budget))
+    }));
+    match outcome {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(failure)) => Err(failure.message),
+        Err(payload) => Err(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}
+
+fn base_seed() -> u64 {
+    match std::env::var("SIM_PROP_SEED") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("SIM_PROP_SEED must be a u64, got '{v}'")),
+        Err(_) => DEFAULT_SEED,
+    }
+}
+
+fn case_count(default: u32) -> u32 {
+    match std::env::var("SIM_PROP_CASES") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("SIM_PROP_CASES must be a u32, got '{v}'")),
+        Err(_) => default,
+    }
+}
+
+/// Fails the current property case unless `cond` holds.
+///
+/// With a single argument the message is the stringified condition;
+/// additional arguments are a `format!` message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::prop::CaseFailure::new(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::prop::CaseFailure::new(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current property case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::prop::CaseFailure::new(format!(
+                "assertion failed: {} == {}\n  left:  {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err($crate::prop::CaseFailure::new(format!(
+                "assertion failed: {} == {} ({})\n  left:  {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current property case unless the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::prop::CaseFailure::new(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u32);
+        check_seeded("counts", 17, 99, |g| {
+            count.set(count.get() + 1);
+            let v: u64 = g.any();
+            prop_assert_eq!(v, v);
+            Ok(())
+        });
+        assert_eq!(count.get(), 17);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_budget() {
+        let result = catch_unwind(|| {
+            check_seeded("always_fails", 8, 5, |g| {
+                let v: Vec<u8> = g.vec_any(0, 50);
+                prop_assert!(v.len() > 1000, "len {}", v.len());
+                Ok(())
+            });
+        });
+        let payload = result.unwrap_err();
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("case seed"), "{msg}");
+        assert!(msg.contains("shrink budget 0.03"), "{msg}");
+    }
+
+    #[test]
+    fn panics_inside_properties_are_reported_not_propagated_raw() {
+        let result = catch_unwind(|| {
+            check_seeded("panics", 3, 5, |_g| {
+                let v: Vec<u8> = vec![];
+                prop_assert_eq!(v[10], 0); // indexing panic, caught
+                Ok(())
+            });
+        });
+        let payload = result.unwrap_err();
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("panicked"), "{msg}");
+    }
+
+    #[test]
+    fn budget_scales_lengths_toward_minimum() {
+        let mut g1 = Gen::with_seed(7, 1.0);
+        let mut g2 = Gen::with_seed(7, 0.03);
+        let long: Vec<u8> = g1.vec_any(2, 1000);
+        let short: Vec<u8> = g2.vec_any(2, 1000);
+        assert!(short.len() <= long.len());
+        assert!(short.len() >= 2);
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_seed() {
+        let collect = |seed| {
+            let values = std::cell::RefCell::new(Vec::new());
+            check_seeded("collect", 5, seed, |g| {
+                values.borrow_mut().push(g.any::<u64>());
+                Ok(())
+            });
+            values.into_inner()
+        };
+        assert_eq!(collect(11), collect(11));
+        assert_ne!(collect(11), collect(12));
+    }
+
+    #[test]
+    fn lowercase_matches_charset() {
+        let mut g = Gen::with_seed(3, 1.0);
+        for _ in 0..100 {
+            let s = g.lowercase(1, 8);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

@@ -29,9 +29,15 @@ pub struct CrcSpec {
 
 impl CrcSpec {
     /// CRC-8 (poly 0x07).
-    pub const CRC8: CrcSpec = CrcSpec { width: 8, poly: 0x07 };
+    pub const CRC8: CrcSpec = CrcSpec {
+        width: 8,
+        poly: 0x07,
+    };
     /// CRC-16/CCITT (poly 0x1021).
-    pub const CRC16: CrcSpec = CrcSpec { width: 16, poly: 0x1021 };
+    pub const CRC16: CrcSpec = CrcSpec {
+        width: 16,
+        poly: 0x1021,
+    };
     /// CRC-32 (poly 0x04C11DB7, non-reflected).
     pub const CRC32: CrcSpec = CrcSpec {
         width: 32,
@@ -69,9 +75,7 @@ pub fn crc_bitwise(spec: CrcSpec, data: &[u8]) -> u64 {
 
 /// Builds the classic 256-entry byte-update table.
 pub fn crc_table(spec: CrcSpec) -> Vec<u64> {
-    (0..256u64)
-        .map(|b| crc_bitwise(spec, &[b as u8]))
-        .collect()
+    (0..256u64).map(|b| crc_bitwise(spec, &[b as u8])).collect()
 }
 
 /// Table-driven reference CRC (the CPU baseline kernel).
@@ -131,19 +135,15 @@ pub fn crc_pluto(
         // One nibble-extraction LUT query per plane of the contribution.
         let mut contrib_planes = Vec::with_capacity(limbs);
         for l in 0..limbs {
-            let lut = Lut::from_fn(
-                format!("crc{}_pos{}_n{}", spec.width, i, l),
-                8,
-                4,
-                |b| (table[b as usize] >> (4 * l)) & 0xF,
-            )?;
+            let lut = Lut::from_fn(format!("crc{}_pos{}_n{}", spec.width, i, l), 8, 4, |b| {
+                (table[b as usize] >> (4 * l)) & 0xF
+            })?;
             contrib_planes.push(machine.apply(&lut, &bytes)?.values);
         }
         // Fold into the accumulator with nibble XORs.
-        for l in 0..limbs {
-            acc.planes[l] = machine
-                .apply2(&xor4, &acc.planes[l], 4, &contrib_planes[l], 4)?
-                .values;
+        for (acc_plane, contrib) in acc.planes.iter_mut().zip(&contrib_planes) {
+            let folded = machine.apply2(&xor4, acc_plane, 4, contrib, 4)?.values;
+            *acc_plane = folded;
         }
     }
     Ok(acc.to_values())

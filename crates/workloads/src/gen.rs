@@ -4,8 +4,7 @@
 //! 3-channel images. We generate deterministic equivalents with a
 //! fixed-seed RNG so every run of the suite reproduces identical data.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_support::{Rng, SeedableRng, StdRng};
 
 /// The paper's image size: 936 000 pixels (Table 4).
 pub const PAPER_IMAGE_PIXELS: usize = 936_000;
@@ -66,7 +65,11 @@ impl Image {
 /// `count` pseudo-random `bits`-wide values.
 pub fn values(seed: u64, count: usize, bits: u32) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     (0..count).map(|_| rng.gen::<u64>() & mask).collect()
 }
 

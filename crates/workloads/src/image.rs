@@ -79,9 +79,9 @@ pub fn binarize_pluto(
 ) -> Result<Image, PlutoError> {
     let lut = catalog::binarize(threshold)?;
     let mut channels: [Vec<u8>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for c in 0..3 {
-        let vals: Vec<u64> = img.channels[c].iter().map(|&p| p as u64).collect();
-        channels[c] = machine
+    for (chan, src) in channels.iter_mut().zip(&img.channels) {
+        let vals: Vec<u64> = src.iter().map(|&p| p as u64).collect();
+        *chan = machine
             .apply(&lut, &vals)?
             .values
             .into_iter()
@@ -104,7 +104,7 @@ pub fn grade_pluto(
     curves: &GradingCurves,
 ) -> Result<Image, PlutoError> {
     let mut channels: [Vec<u8>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for c in 0..3 {
+    for (c, chan) in channels.iter_mut().enumerate() {
         let lut = Lut::from_table(
             format!("grade_ch{c}"),
             8,
@@ -112,7 +112,7 @@ pub fn grade_pluto(
             curves.curves[c].iter().map(|&v| v as u64).collect(),
         )?;
         let vals: Vec<u64> = img.channels[c].iter().map(|&p| p as u64).collect();
-        channels[c] = machine
+        *chan = machine
             .apply(&lut, &vals)?
             .values
             .into_iter()

@@ -69,7 +69,6 @@ fn measurement_machine(design: DesignKind, subarrays: u16) -> Result<PlutoMachin
             banks: 1,
             subarrays_per_bank: subarrays,
             rows_per_subarray: 512,
-            ..DramConfig::ddr4_2400()
         },
         design,
     )
@@ -173,8 +172,7 @@ pub fn measure(id: WorkloadId, design: DesignKind) -> Result<PlutoCost, PlutoErr
                 let pa = crate::wide::Planes::from_values(&a, 2);
                 let pb = crate::wide::Planes::from_values(&b, 2);
                 let out = crate::wide::add(&mut m, &pa, &pb, false)?.to_values();
-                let expect: Vec<u64> =
-                    a.iter().zip(&b).map(|(&x, &y)| (x + y) & 0xFF).collect();
+                let expect: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| (x + y) & 0xFF).collect();
                 out == expect
             };
             (m, (n as f64) * bits as f64 / 8.0 * 2.0, ok)

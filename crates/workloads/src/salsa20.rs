@@ -28,12 +28,7 @@ pub fn quarterround(y: [u32; 4]) -> [u32; 4] {
 
 fn rowround(y: [u32; 16]) -> [u32; 16] {
     let mut z = [0u32; 16];
-    let idx = [
-        [0, 1, 2, 3],
-        [5, 6, 7, 4],
-        [10, 11, 8, 9],
-        [15, 12, 13, 14],
-    ];
+    let idx = [[0, 1, 2, 3], [5, 6, 7, 4], [10, 11, 8, 9], [15, 12, 13, 14]];
     for row in idx {
         let q = quarterround([y[row[0]], y[row[1]], y[row[2]], y[row[3]]]);
         for (k, &i) in row.iter().enumerate() {
@@ -45,12 +40,7 @@ fn rowround(y: [u32; 16]) -> [u32; 16] {
 
 fn columnround(x: [u32; 16]) -> [u32; 16] {
     let mut z = [0u32; 16];
-    let idx = [
-        [0, 4, 8, 12],
-        [5, 9, 13, 1],
-        [10, 14, 2, 6],
-        [15, 3, 7, 11],
-    ];
+    let idx = [[0, 4, 8, 12], [5, 9, 13, 1], [10, 14, 2, 6], [15, 3, 7, 11]];
     for col in idx {
         let q = quarterround([x[col[0]], x[col[1]], x[col[2]], x[col[3]]]);
         for (k, &i) in col.iter().enumerate() {
@@ -145,10 +135,7 @@ impl VectorState {
     }
 }
 
-fn quarterround_pluto(
-    m: &mut PlutoMachine,
-    y: [&Planes; 4],
-) -> Result<[Planes; 4], PlutoError> {
+fn quarterround_pluto(m: &mut PlutoMachine, y: [&Planes; 4]) -> Result<[Planes; 4], PlutoError> {
     let t = wide::add(m, y[0], y[3], false)?;
     let r = wide::rotl32(m, &t, ROTATIONS[0])?;
     let z1 = wide::xor(m, y[1], &r)?;
@@ -201,12 +188,7 @@ pub fn salsa20_core_pluto(
         words: input.words.clone(),
     };
     let columns = [[0, 4, 8, 12], [5, 9, 13, 1], [10, 14, 2, 6], [15, 3, 7, 11]];
-    let rows = [
-        [0, 1, 2, 3],
-        [5, 6, 7, 4],
-        [10, 11, 8, 9],
-        [15, 12, 13, 14],
-    ];
+    let rows = [[0, 1, 2, 3], [5, 6, 7, 4], [10, 11, 8, 9], [15, 12, 13, 14]];
     for _ in 0..double_rounds {
         round_pluto(m, &mut x, columns)?;
         round_pluto(m, &mut x, rows)?;
@@ -377,7 +359,9 @@ mod tests {
         assert!(encrypt_pluto(&mut m, &[0; 32], &[0; 8], &ragged, 1).is_err());
         let unaligned = vec![vec![0u8; 60]];
         assert!(encrypt_pluto(&mut m, &[0; 32], &[0; 8], &unaligned, 1).is_err());
-        assert!(encrypt_pluto(&mut m, &[0; 32], &[0; 8], &[], 1).unwrap().is_empty());
+        assert!(encrypt_pluto(&mut m, &[0; 32], &[0; 8], &[], 1)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -385,8 +369,8 @@ mod tests {
         let states: Vec<[u32; 16]> = (0..4u32)
             .map(|k| {
                 let mut s = [0u32; 16];
-                for w in 0..16 {
-                    s[w] = k * 131 + w as u32 * 7919;
+                for (w, slot) in s.iter_mut().enumerate() {
+                    *slot = k * 131 + w as u32 * 7919;
                 }
                 s
             })

@@ -94,14 +94,15 @@ fn qmul_pluto(
     let a_neg = m.apply(&sign, &pa.planes[limbs - 1])?.values;
     let b_neg = m.apply(&sign, &pb.planes[limbs - 1])?.values;
     let zero: Vec<u64> = vec![0; n];
-    let corr = |operand: &Planes, flag: &[u64], mach: &mut PlutoMachine| -> Result<Planes, PlutoError> {
-        // (operand << width) masked by flag, as a 2·width-wide value.
-        let mut planes = vec![zero.clone(); 2 * limbs];
-        for l in 0..limbs {
-            planes[limbs + l] = mach.apply2(&select, &operand.planes[l], 4, flag, 1)?.values;
-        }
-        Ok(Planes { planes })
-    };
+    let corr =
+        |operand: &Planes, flag: &[u64], mach: &mut PlutoMachine| -> Result<Planes, PlutoError> {
+            // (operand << width) masked by flag, as a 2·width-wide value.
+            let mut planes = vec![zero.clone(); 2 * limbs];
+            for l in 0..limbs {
+                planes[limbs + l] = mach.apply2(&select, &operand.planes[l], 4, flag, 1)?.values;
+            }
+            Ok(Planes { planes })
+        };
     let corr_b = corr(&pb, &a_neg, m)?;
     let corr_a = corr(&pa, &b_neg, m)?;
     let step = wide::sub(m, &prod, &corr_b)?;

@@ -9,8 +9,7 @@
 //! "complex operation as memory reads" workload.
 
 use pluto_core::{Lut, PlutoError, PlutoMachine};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_support::{Rng, SeedableRng, StdRng};
 
 /// A 256-byte permutation (the VMPC `P` table).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,12 +56,7 @@ pub fn vmpc_pluto(
     perm: &Permutation,
     packets: &[Vec<u8>],
 ) -> Result<Vec<Vec<u8>>, PlutoError> {
-    let p_lut = Lut::from_table(
-        "vmpc_p",
-        8,
-        8,
-        perm.0.iter().map(|&b| b as u64).collect(),
-    )?;
+    let p_lut = Lut::from_table("vmpc_p", 8, 8, perm.0.iter().map(|&b| b as u64).collect())?;
     let inc = Lut::from_fn("inc8", 8, 8, |x| (x + 1) & 0xFF)?;
     let flat: Vec<u64> = packets
         .iter()
@@ -76,7 +70,12 @@ pub fn vmpc_pluto(
     let mut out = Vec::with_capacity(packets.len());
     let mut cursor = 0usize;
     for p in packets {
-        out.push(s4[cursor..cursor + p.len()].iter().map(|&v| v as u8).collect());
+        out.push(
+            s4[cursor..cursor + p.len()]
+                .iter()
+                .map(|&v| v as u8)
+                .collect(),
+        );
         cursor += p.len();
     }
     Ok(out)
@@ -106,7 +105,12 @@ pub fn vmpc_pluto_composed(
     let mut res = Vec::with_capacity(packets.len());
     let mut cursor = 0usize;
     for p in packets {
-        res.push(out[cursor..cursor + p.len()].iter().map(|&v| v as u8).collect());
+        res.push(
+            out[cursor..cursor + p.len()]
+                .iter()
+                .map(|&v| v as u8)
+                .collect(),
+        );
         cursor += p.len();
     }
     Ok(res)
@@ -147,7 +151,9 @@ mod tests {
     #[test]
     fn vmpc_differs_from_identity_and_p() {
         let p = Permutation::from_key(4);
-        let same_as_p = (0..=255u8).filter(|&x| p.vmpc(x) == p.0[x as usize]).count();
+        let same_as_p = (0..=255u8)
+            .filter(|&x| p.vmpc(x) == p.0[x as usize])
+            .count();
         assert!(same_as_p < 64, "Q should not collapse to P");
     }
 

@@ -6,11 +6,11 @@
 //! ```
 
 use pluto_repro::core::prelude::*;
+use pluto_repro::dram::DramConfig;
 use pluto_repro::workloads::gen::Image;
 use pluto_repro::workloads::image::{
     binarize_pluto, binarize_reference, grade_pluto, GradingCurves,
 };
-use pluto_repro::dram::DramConfig;
 
 fn main() -> Result<(), PlutoError> {
     // A small image keeps the example fast; the bench harness runs the

@@ -29,9 +29,17 @@ fn main() {
     let img = digits.image(4, 0);
     let x = net.quantize_input(&img);
     let a: Vec<u8> = x.data()[..256].iter().map(|&v| u8::from(v > 0)).collect();
-    let w: Vec<u8> = net.fc1.weights[..256].iter().map(|&v| u8::from(v > 0)).collect();
+    let w: Vec<u8> = net.fc1.weights[..256]
+        .iter()
+        .map(|&v| u8::from(v > 0))
+        .collect();
     let mut machine = qnn_machine(DesignKind::Bsa).expect("machine");
-    let dot = binary_dot_pluto(&mut machine, &[a.clone()], &[w.clone()]).expect("kernel");
+    let dot = binary_dot_pluto(
+        &mut machine,
+        std::slice::from_ref(&a),
+        std::slice::from_ref(&w),
+    )
+    .expect("kernel");
     assert_eq!(dot[0], binary_dot_reference(&a, &w));
     println!(
         "\nXNOR-popcount dot product on pLUTo: {} (simulated {})",

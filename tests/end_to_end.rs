@@ -43,7 +43,7 @@ fn assembly_text_to_execution() {
         let mut c = Controller::new(cfg(), design).unwrap();
         c.register_lut(lut.clone());
         let inputs: Vec<u64> = (0..32u64).map(|i| i % 16).collect();
-        let out = c.run(&program, &[inputs.clone()]).unwrap();
+        let out = c.run(&program, std::slice::from_ref(&inputs)).unwrap();
         let expect: Vec<u64> = inputs.iter().map(|v| v.count_ones() as u64).collect();
         assert_eq!(out.outputs, expect, "{design}");
     }
@@ -59,7 +59,7 @@ fn compiled_graph_matches_fast_path_and_reference() {
     let compiled = g.compile(s, 24).unwrap();
 
     let av: Vec<u64> = (0..24u64).map(|i| i % 16).collect();
-    let bv: Vec<u64> = (0..24u64).map(|i| (15 - i % 16)).collect();
+    let bv: Vec<u64> = (0..24u64).map(|i| 15 - i % 16).collect();
     let expect: Vec<u64> = av.iter().zip(&bv).map(|(&x, &y)| x + y).collect();
 
     let mut controller = Controller::new(cfg(), DesignKind::Bsa).unwrap();
@@ -72,7 +72,9 @@ fn compiled_graph_matches_fast_path_and_reference() {
     assert_eq!(through_stack.outputs, expect);
 
     let mut machine = PlutoMachine::new(cfg(), DesignKind::Bsa).unwrap();
-    let fast = machine.apply2(&catalog::add(4).unwrap(), &av, 4, &bv, 4).unwrap();
+    let fast = machine
+        .apply2(&catalog::add(4).unwrap(), &av, 4, &bv, 4)
+        .unwrap();
     assert_eq!(fast.values, expect);
 }
 
@@ -87,8 +89,8 @@ fn every_fig7_workload_validates_on_every_design() {
         WorkloadId::ColorGrade,
     ] {
         for design in DesignKind::ALL {
-            let cost = runner::measure(id, design)
-                .unwrap_or_else(|e| panic!("{id} on {design}: {e}"));
+            let cost =
+                runner::measure(id, design).unwrap_or_else(|e| panic!("{id} on {design}: {e}"));
             assert!(cost.validated, "{id} on {design} mismatched the reference");
         }
     }
@@ -96,7 +98,12 @@ fn every_fig7_workload_validates_on_every_design() {
 
 #[test]
 fn fig9_micro_workloads_validate() {
-    for id in [WorkloadId::Add4, WorkloadId::Bc4, WorkloadId::Bc8, WorkloadId::BitwiseRow] {
+    for id in [
+        WorkloadId::Add4,
+        WorkloadId::Bc4,
+        WorkloadId::Bc8,
+        WorkloadId::BitwiseRow,
+    ] {
         let cost = runner::measure(id, DesignKind::Gmc).unwrap();
         assert!(cost.validated, "{id}");
     }

@@ -1,12 +1,15 @@
-//! Property-based tests of the core invariants (proptest).
+//! Property-based tests of the core invariants (sim-support harness).
 
-use proptest::prelude::*;
 use pluto_repro::core::lut::{pack_slots, slots_per_row, unpack_slots, Lut};
 use pluto_repro::core::match_logic;
 use pluto_repro::core::prelude::*;
 use pluto_repro::dram::{DramConfig, Engine, RowLoc};
 use pluto_repro::workloads::crc::{contribution_table, crc_bitwise, CrcSpec};
 use pluto_repro::workloads::vecops;
+use sim_support::prop::{self, Gen};
+use sim_support::{prop_assert, prop_assert_eq};
+
+const CASES: u32 = 48;
 
 fn small_cfg() -> DramConfig {
     DramConfig {
@@ -19,90 +22,118 @@ fn small_cfg() -> DramConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any LUT query on any design returns exactly `lut.apply_all`.
-    #[test]
-    fn query_equals_software_semantics(
-        seed in any::<u64>(),
-        input_bits in 1u32..6,
-        design_idx in 0usize..3,
-    ) {
+/// Any LUT query on any design returns exactly `lut.apply_all`.
+#[test]
+fn query_equals_software_semantics() {
+    prop::check("query_equals_software_semantics", CASES, |g: &mut Gen| {
+        let seed: u64 = g.any();
+        let input_bits: u32 = g.range(1u32..6);
+        let design_idx: usize = g.range(0usize..3);
         let design = DesignKind::ALL[design_idx];
         let n = 1usize << input_bits;
-        let elements: Vec<u64> = (0..n as u64).map(|i| (i.wrapping_mul(seed | 1)) & 0xF).collect();
+        let elements: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(seed | 1)) & 0xF)
+            .collect();
         let lut = Lut::from_table("prop", input_bits, 4, elements).unwrap();
         let mut machine = PlutoMachine::new(small_cfg(), design).unwrap();
-        let inputs: Vec<u64> = (0..30u64).map(|i| (i.wrapping_add(seed)) % n as u64).collect();
+        let inputs: Vec<u64> = (0..30u64)
+            .map(|i| (i.wrapping_add(seed)) % n as u64)
+            .collect();
         let got = machine.apply(&lut, &inputs).unwrap().values;
         let expect = lut.apply_all(&inputs).unwrap();
         prop_assert_eq!(got, expect);
-    }
+        Ok(())
+    });
+}
 
-    /// Row packing round-trips for every slot width.
-    #[test]
-    fn pack_unpack_roundtrip(
-        slot_bits in 1u32..17,
-        seed in any::<u64>(),
-    ) {
+/// Row packing round-trips for every slot width.
+#[test]
+fn pack_unpack_roundtrip() {
+    prop::check("pack_unpack_roundtrip", CASES, |g| {
+        let slot_bits: u32 = g.range(1u32..17);
+        let seed: u64 = g.any();
         let capacity = slots_per_row(64, slot_bits);
-        let mask = if slot_bits >= 64 { u64::MAX } else { (1u64 << slot_bits) - 1 };
-        let values: Vec<u64> = (0..capacity as u64).map(|i| i.wrapping_mul(seed | 3) & mask).collect();
+        let mask = if slot_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << slot_bits) - 1
+        };
+        let values: Vec<u64> = (0..capacity as u64)
+            .map(|i| i.wrapping_mul(seed | 3) & mask)
+            .collect();
         let row = pack_slots(&values, slot_bits, 64).unwrap();
         prop_assert_eq!(unpack_slots(&row, slot_bits, values.len()), values);
-    }
+        Ok(())
+    });
+}
 
-    /// Over a full sweep, each in-range input matches exactly once.
-    #[test]
-    fn match_exactly_once(inputs in prop::collection::vec(0u64..32, 1..64)) {
+/// Over a full sweep, each in-range input matches exactly once.
+#[test]
+fn match_exactly_once() {
+    prop::check("match_exactly_once", CASES, |g| {
+        let inputs: Vec<u64> = g.vec_range(1, 63, 0u64..32);
         let total: usize = (0..32u64)
             .map(|row| match_logic::matched_positions(&inputs, row).len())
             .sum();
         prop_assert_eq!(total, inputs.len());
         prop_assert!(match_logic::each_element_matches_exactly_once(&inputs, 32));
-    }
+        Ok(())
+    });
+}
 
-    /// CRC linearity: the per-position contribution decomposition equals
-    /// the serial CRC for every packet (the pLUTo mapping's foundation).
-    #[test]
-    fn crc_linearity(packet in prop::collection::vec(any::<u8>(), 1..24)) {
+/// CRC linearity: the per-position contribution decomposition equals
+/// the serial CRC for every packet (the pLUTo mapping's foundation).
+#[test]
+fn crc_linearity() {
+    prop::check("crc_linearity", CASES, |g| {
+        let packet: Vec<u8> = g.vec_any(1, 23);
         for spec in [CrcSpec::CRC8, CrcSpec::CRC16, CrcSpec::CRC32] {
             let folded = (0..packet.len()).fold(0u64, |acc, i| {
                 acc ^ contribution_table(spec, packet.len(), i)[packet[i] as usize]
             });
             prop_assert_eq!(folded, crc_bitwise(spec, &packet));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Q1.7 fixed-point multiply: reference semantics match i64 math.
-    #[test]
-    fn qmul_reference_is_signed_product(a in 0u64..256, b in 0u64..256) {
+/// Q1.7 fixed-point multiply: reference semantics match i64 math.
+#[test]
+fn qmul_reference_is_signed_product() {
+    prop::check("qmul_reference_is_signed_product", CASES, |g| {
+        let a: u64 = g.range(0u64..256);
+        let b: u64 = g.range(0u64..256);
         let out = vecops::qmul_reference(7, &[a], &[b])[0];
         let sa = (a as i64) << 56 >> 56;
         let sb = (b as i64) << 56 >> 56;
         let expect = (((sa * sb) >> 7) as u64) & 0xFF;
         prop_assert_eq!(out, expect);
-    }
+        Ok(())
+    });
+}
 
-    /// RowClone-FPM copies are exact and preserve the source.
-    #[test]
-    fn rowclone_preserves_and_copies(data in prop::collection::vec(any::<u8>(), 64..=64)) {
+/// RowClone-FPM copies are exact and preserve the source.
+#[test]
+fn rowclone_preserves_and_copies() {
+    prop::check("rowclone_preserves_and_copies", CASES, |g| {
+        let data: Vec<u8> = g.vec_any(64, 64);
         let mut e = Engine::new(small_cfg());
         let src = RowLoc::new(0, 1, 3);
         e.poke_row(src, &data).unwrap();
         e.row_clone_fpm(src, pluto_repro::dram::RowId(9)).unwrap();
         prop_assert_eq!(e.peek_row(src).unwrap(), data.clone());
         prop_assert_eq!(e.peek_row(src.with_row(9)).unwrap(), data);
-    }
+        Ok(())
+    });
+}
 
-    /// Ambit majority is idempotent on three equal rows and symmetric.
-    #[test]
-    fn ambit_majority_properties(
-        a in prop::collection::vec(any::<u8>(), 64..=64),
-        b in prop::collection::vec(any::<u8>(), 64..=64),
-        c in prop::collection::vec(any::<u8>(), 64..=64),
-    ) {
+/// Ambit majority is idempotent on three equal rows and symmetric.
+#[test]
+fn ambit_majority_properties() {
+    prop::check("ambit_majority_properties", CASES, |g| {
+        let a: Vec<u8> = g.vec_any(64, 64);
+        let b: Vec<u8> = g.vec_any(64, 64);
+        let c: Vec<u8> = g.vec_any(64, 64);
         use pluto_repro::dram::{BankId, RowId, SubarrayId};
         let run = |x: &[u8], y: &[u8], z: &[u8]| -> Vec<u8> {
             let mut e = Engine::new(small_cfg());
@@ -115,17 +146,22 @@ proptest! {
         };
         prop_assert_eq!(run(&a, &a, &a), a.clone());
         prop_assert_eq!(run(&a, &b, &c), run(&c, &a, &b));
-    }
+        Ok(())
+    });
+}
 
-    /// The GSA/GMC sweep-latency advantage over BSA approaches (but never
-    /// reaches) 2x as N grows — the paper's footnote 3.
-    #[test]
-    fn sweep_ratio_bounded_by_two(n in 1u64..2048) {
+/// The GSA/GMC sweep-latency advantage over BSA approaches (but never
+/// reaches) 2x as N grows — the paper's footnote 3.
+#[test]
+fn sweep_ratio_bounded_by_two() {
+    prop::check("sweep_ratio_bounded_by_two", CASES, |g| {
+        let n: u64 = g.range(1u64..2048);
         let t = pluto_repro::dram::TimingParams::ddr4_2400();
         let e = pluto_repro::dram::EnergyModel::ddr4();
         let bsa = DesignModel::new(DesignKind::Bsa, t.clone(), e.clone());
         let gmc = DesignModel::new(DesignKind::Gmc, t, e);
         let ratio = bsa.sweep_latency(n).as_ns() / gmc.sweep_latency(n).as_ns();
         prop_assert!(ratio > 1.0 && ratio < 2.0, "ratio {} at n={}", ratio, n);
-    }
+        Ok(())
+    });
 }
