@@ -13,10 +13,16 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
 echo "==> cargo test -q (quick mode for the bench-binary smoke tests)"
 PLUTO_QUICK=1 cargo test -q --workspace
+
+echo "==> session API quickstart (examples/session.rs)"
+cargo run --release --quiet --example session
 
 echo "==> CI green"

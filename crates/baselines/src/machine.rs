@@ -52,7 +52,7 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Intel Xeon Gold 5118 (§7.1 [103]): 12 cores @ 2.3 GHz, DDR4-2400
+    /// Intel Xeon Gold 5118 (§7.1 \[103\]): 12 cores @ 2.3 GHz, DDR4-2400
     /// single-channel in the paper's configuration (19.2 GB/s), 105 W TDP,
     /// ≈ 325 mm² (Skylake-SP LCC die).
     ///
@@ -72,7 +72,7 @@ impl Machine {
         }
     }
 
-    /// NVIDIA GeForce RTX 3080 Ti (§7.1 [104]): 10240 CUDA cores @
+    /// NVIDIA GeForce RTX 3080 Ti (§7.1 \[104\]): 10240 CUDA cores @
     /// 1.67 GHz, 912 GB/s GDDR6X, 350 W, 628 mm² (GA102).
     pub fn rtx_3080_ti() -> Self {
         Machine {
@@ -86,7 +86,7 @@ impl Machine {
         }
     }
 
-    /// NVIDIA Tesla P100 (§9 [141]): 3584 CUDA cores @ 1.33 GHz, 732 GB/s
+    /// NVIDIA Tesla P100 (§9 \[141\]): 3584 CUDA cores @ 1.33 GHz, 732 GB/s
     /// HBM2, 300 W, 610 mm² — the GPU used for the Table 7 QNN study.
     pub fn tesla_p100() -> Self {
         Machine {
@@ -100,7 +100,7 @@ impl Machine {
         }
     }
 
-    /// Xilinx Zynq UltraScale+ ZCU102 (§7.1 [105]): HLS pipelines at
+    /// Xilinx Zynq UltraScale+ ZCU102 (§7.1 \[105\]): HLS pipelines at
     /// 300 MHz, DDR4 at 19.2 GB/s, ≈ 25 W board power. `lanes` models the
     /// replicated streaming pipelines HLS instantiates.
     pub fn zcu102() -> Self {

@@ -32,6 +32,87 @@ pub enum WorkloadId {
 }
 
 impl WorkloadId {
+    /// All sixteen ids, aliases included, in declaration order.
+    pub const ALL: [WorkloadId; 16] = [
+        WorkloadId::Crc8,
+        WorkloadId::Crc16,
+        WorkloadId::Crc32,
+        WorkloadId::Salsa20,
+        WorkloadId::Vmpc,
+        WorkloadId::ImgBin,
+        WorkloadId::ColorGrade,
+        WorkloadId::Add4,
+        WorkloadId::Add8,
+        WorkloadId::Mul8,
+        WorkloadId::Mul16,
+        WorkloadId::Bc4,
+        WorkloadId::Bc8,
+        WorkloadId::MulQ1_7,
+        WorkloadId::MulQ1_15,
+        WorkloadId::BitwiseRow,
+    ];
+
+    /// The fourteen distinct workloads after alias resolution, in paper
+    /// Table 4 order (the order `pluto_workloads::registry()` uses).
+    pub const CANONICAL: [WorkloadId; 14] = [
+        WorkloadId::Crc8,
+        WorkloadId::Crc16,
+        WorkloadId::Crc32,
+        WorkloadId::Salsa20,
+        WorkloadId::Vmpc,
+        WorkloadId::ImgBin,
+        WorkloadId::ColorGrade,
+        WorkloadId::Add4,
+        WorkloadId::Add8,
+        WorkloadId::Mul8,
+        WorkloadId::Mul16,
+        WorkloadId::Bc4,
+        WorkloadId::Bc8,
+        WorkloadId::BitwiseRow,
+    ];
+
+    /// Resolves the aliased ids to the workload whose mapping and profile
+    /// they share: the paper's Fig. 9 "MUL8"/"MUL16" points *are* the Q1.7
+    /// and Q1.15 fixed-point multiplies of Fig. 12b, so `MulQ1_7` aliases
+    /// `Mul8` and `MulQ1_15` aliases `Mul16`. Every other id is its own
+    /// canonical form. Code that previously pattern-matched the pairs
+    /// (`Mul8 | MulQ1_7 => …`) should match on `id.canonical()` instead.
+    pub const fn canonical(self) -> WorkloadId {
+        match self {
+            WorkloadId::MulQ1_7 => WorkloadId::Mul8,
+            WorkloadId::MulQ1_15 => WorkloadId::Mul16,
+            other => other,
+        }
+    }
+
+    /// Whether this id is an alias of another workload (see
+    /// [`WorkloadId::canonical`]).
+    pub const fn is_alias(self) -> bool {
+        matches!(self, WorkloadId::MulQ1_7 | WorkloadId::MulQ1_15)
+    }
+
+    /// The paper's display label (what [`fmt::Display`] prints).
+    pub const fn label(self) -> &'static str {
+        match self {
+            WorkloadId::Crc8 => "CRC-8",
+            WorkloadId::Crc16 => "CRC-16",
+            WorkloadId::Crc32 => "CRC-32",
+            WorkloadId::Salsa20 => "Salsa20",
+            WorkloadId::Vmpc => "VMPC",
+            WorkloadId::ImgBin => "ImgBin",
+            WorkloadId::ColorGrade => "ColorGrade",
+            WorkloadId::Add4 => "ADD4",
+            WorkloadId::Add8 => "ADD8",
+            WorkloadId::Mul8 => "MUL8",
+            WorkloadId::Mul16 => "MUL16",
+            WorkloadId::Bc4 => "BC-4",
+            WorkloadId::Bc8 => "BC-8",
+            WorkloadId::MulQ1_7 => "MUL-Q1.7",
+            WorkloadId::MulQ1_15 => "MUL-Q1.15",
+            WorkloadId::BitwiseRow => "Bitwise",
+        }
+    }
+
     /// The Fig. 7 / Fig. 10 workload set.
     pub const FIG7: [WorkloadId; 7] = [
         WorkloadId::Crc8,
@@ -60,25 +141,7 @@ impl WorkloadId {
 
 impl fmt::Display for WorkloadId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            WorkloadId::Crc8 => "CRC-8",
-            WorkloadId::Crc16 => "CRC-16",
-            WorkloadId::Crc32 => "CRC-32",
-            WorkloadId::Salsa20 => "Salsa20",
-            WorkloadId::Vmpc => "VMPC",
-            WorkloadId::ImgBin => "ImgBin",
-            WorkloadId::ColorGrade => "ColorGrade",
-            WorkloadId::Add4 => "ADD4",
-            WorkloadId::Add8 => "ADD8",
-            WorkloadId::Mul8 => "MUL8",
-            WorkloadId::Mul16 => "MUL16",
-            WorkloadId::Bc4 => "BC-4",
-            WorkloadId::Bc8 => "BC-8",
-            WorkloadId::MulQ1_7 => "MUL-Q1.7",
-            WorkloadId::MulQ1_15 => "MUL-Q1.15",
-            WorkloadId::BitwiseRow => "Bitwise",
-        };
-        f.write_str(s)
+        f.write_str(self.label())
     }
 }
 
@@ -111,7 +174,7 @@ pub fn workload_profile(id: WorkloadId) -> Profile {
     // operations the substrate does not support natively (threshold
     // compares, LUT gathers, wide adds) and logic-layer-core costs for
     // irregular work — the paper's PnM baseline has no LUT-query primitive.
-    let (cpu, gpu, fpga, pnm, serial, mem) = match id {
+    let (cpu, gpu, fpga, pnm, serial, mem) = match id.canonical() {
         // Table-driven CRC: serial dependency chain per packet; the final
         // packet-merge reduction is serial (§8.2: "bottlenecked by a serial
         // reduction step"). PnM runs the table walk on its 1.25 GHz core.
@@ -131,8 +194,10 @@ pub fn workload_profile(id: WorkloadId) -> Profile {
         // Narrow adds: Ambit bit-serial addition ≈ 5 row ops per bit.
         Add4 | Add8 => (1.5, 0.15, 8.0, 4.0, 0.0, 3.0),
         // Bit-serial multiplication costs a quadratic number of row ops.
-        Mul8 | MulQ1_7 => (2.0, 0.2, 4.0, 24.0, 0.0, 3.0),
-        Mul16 | MulQ1_15 => (3.0, 0.25, 2.0, 90.0, 0.0, 3.0),
+        Mul8 => (2.0, 0.2, 4.0, 24.0, 0.0, 3.0),
+        Mul16 => (3.0, 0.25, 2.0, 90.0, 0.0, 3.0),
+        // `canonical()` folded the alias ids into Mul8/Mul16 above.
+        MulQ1_7 | MulQ1_15 => unreachable!("aliases resolve via canonical()"),
         // Popcount: scalar LUT walk on CPU; bit-serial tree on PnM.
         Bc4 => (2.5, 0.2, 8.0, 6.0, 0.0, 2.0),
         Bc8 => (2.5, 0.2, 8.0, 10.0, 0.0, 2.0),
@@ -156,29 +221,40 @@ mod tests {
 
     #[test]
     fn every_workload_has_a_profile() {
-        for id in [
-            WorkloadId::Crc8,
-            WorkloadId::Crc16,
-            WorkloadId::Crc32,
-            WorkloadId::Salsa20,
-            WorkloadId::Vmpc,
-            WorkloadId::ImgBin,
-            WorkloadId::ColorGrade,
-            WorkloadId::Add4,
-            WorkloadId::Add8,
-            WorkloadId::Mul8,
-            WorkloadId::Mul16,
-            WorkloadId::Bc4,
-            WorkloadId::Bc8,
-            WorkloadId::MulQ1_7,
-            WorkloadId::MulQ1_15,
-            WorkloadId::BitwiseRow,
-        ] {
+        for id in WorkloadId::ALL {
             let p = workload_profile(id);
             assert!(p.cpu_cycles_per_byte > 0.0, "{id}");
             assert!(p.mem_traffic_factor >= 1.0, "{id}");
             assert!((0.0..1.0).contains(&p.serial_fraction), "{id}");
         }
+    }
+
+    #[test]
+    fn aliases_resolve_to_their_canonical_workload() {
+        assert_eq!(WorkloadId::MulQ1_7.canonical(), WorkloadId::Mul8);
+        assert_eq!(WorkloadId::MulQ1_15.canonical(), WorkloadId::Mul16);
+        assert!(WorkloadId::MulQ1_7.is_alias());
+        assert!(WorkloadId::MulQ1_15.is_alias());
+        for id in WorkloadId::CANONICAL {
+            assert_eq!(id.canonical(), id, "{id} is canonical");
+            assert!(!id.is_alias(), "{id}");
+        }
+        // Alias pairs share one profile (modulo the embedded id).
+        let share = |a: WorkloadId, b: WorkloadId| {
+            let (pa, pb) = (workload_profile(a), workload_profile(b));
+            pa.cpu_cycles_per_byte == pb.cpu_cycles_per_byte
+                && pa.pnm_cycles_per_byte == pb.pnm_cycles_per_byte
+        };
+        assert!(share(WorkloadId::Mul8, WorkloadId::MulQ1_7));
+        assert!(share(WorkloadId::Mul16, WorkloadId::MulQ1_15));
+        // CANONICAL is exactly ALL minus the aliases.
+        assert_eq!(
+            WorkloadId::CANONICAL.to_vec(),
+            WorkloadId::ALL
+                .into_iter()
+                .filter(|id| !id.is_alias())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

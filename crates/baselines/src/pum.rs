@@ -1,8 +1,8 @@
 //! Prior Processing-using-Memory architecture models (paper §8.9, Table 6,
 //! and the Fig. 12b multiplication energy-efficiency study).
 //!
-//! Table 6 compares pLUTo-BSA against Ambit [84], SIMDRAM [75], LAcc [96],
-//! and DRISA [79] under each design's ideal data layout. The per-operation
+//! Table 6 compares pLUTo-BSA against Ambit \[84\], SIMDRAM \[75\], LAcc \[96\],
+//! and DRISA \[79\] under each design's ideal data layout. The per-operation
 //! latencies, capacities, areas, and powers below are the paper's published
 //! values (themselves derived from the original works); our benches print
 //! them next to the pLUTo numbers measured by this reproduction's

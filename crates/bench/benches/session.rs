@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the unified execution API (`DESIGN.md` §5): host
+//! cost of one `Session::run` (machine construction + prepare + pLUTo
+//! mapping + validation) per quick workload, and of the batched
+//! `run_all` path.
+//!
+//! Runs under the sim-support harness (`cargo bench -p pluto-bench`) and
+//! writes a machine-readable `BENCH_session.json` baseline.
+
+use pluto_baselines::WorkloadId;
+use pluto_core::session::{Session, Workload};
+use pluto_core::DesignKind;
+use pluto_workloads::workload_for;
+use sim_support::bench::{BenchmarkId, Criterion};
+use sim_support::{bench_group, bench_main};
+
+/// The cheap end of the registry — keeps bench wall time in check while
+/// still covering single-query, composed, and byte-vector scenarios.
+const QUICK_IDS: [WorkloadId; 4] = [
+    WorkloadId::Bc4,
+    WorkloadId::Add4,
+    WorkloadId::ImgBin,
+    WorkloadId::BitwiseRow,
+];
+
+fn bench_session_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_run");
+    for id in QUICK_IDS {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, &id| {
+            let mut workload = workload_for(id);
+            b.iter(|| {
+                let mut session = Session::builder(DesignKind::Gmc).build().unwrap();
+                session.run(workload.as_mut()).unwrap().acts
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_session_run_all(c: &mut Criterion) {
+    c.bench_function("session_run_all_quick4", |b| {
+        b.iter(|| {
+            let mut workloads: Vec<Box<dyn Workload>> =
+                QUICK_IDS.iter().map(|&id| workload_for(id)).collect();
+            let mut session = Session::builder(DesignKind::Gmc).build().unwrap();
+            session.run_all(&mut workloads).unwrap().len()
+        });
+    });
+}
+
+bench_group!(benches, bench_session_run, bench_session_run_all);
+bench_main!(benches);

@@ -3,7 +3,7 @@
 //! modeled chip's tFAW (paper §8.7).
 
 use pluto_baselines::WorkloadId;
-use pluto_bench::{geomean, measure_config, print_row, quick_mode, volume_bytes, PlutoConfig};
+use pluto_bench::{geomean, measure_all, print_row, quick_mode, volume_bytes, PlutoConfig};
 use pluto_core::DesignKind;
 use pluto_dram::{MemoryKind, TimingParams};
 use pluto_workloads::runner::scaled_wall_time;
@@ -27,12 +27,13 @@ fn main() {
         &["tFAW=0%".into(), "tFAW=50%".into(), "tFAW=100%".into()],
     );
     let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); scales.len()];
-    for &id in &ids {
-        let cost = measure_config(id, cfg);
-        let free = scaled_wall_time(&cost, volume_bytes(id), 16, 0.0, &timing);
+    // One batched session run measures every workload up front.
+    let costs = measure_all(&ids, cfg);
+    for (&id, cost) in ids.iter().zip(&costs) {
+        let free = scaled_wall_time(cost, volume_bytes(id), 16, 0.0, &timing);
         let mut cells = Vec::new();
         for (k, &s) in scales.iter().enumerate() {
-            let t = scaled_wall_time(&cost, volume_bytes(id), 16, s, &timing);
+            let t = scaled_wall_time(cost, volume_bytes(id), 16, s, &timing);
             let rel = free / t;
             per_scale[k].push(rel);
             cells.push(format!("{:.1}%", rel * 100.0));

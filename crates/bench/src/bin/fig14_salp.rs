@@ -4,7 +4,7 @@
 
 use pluto_baselines::{Machine, WorkloadId};
 use pluto_bench::{
-    baseline_secs, fmt_x, geomean, measure_config, quick_mode, volume_bytes, PlutoConfig,
+    baseline_secs, fmt_x, geomean, measure_all, quick_mode, volume_bytes, PlutoConfig,
 };
 use pluto_core::DesignKind;
 use pluto_dram::{MemoryKind, TimingParams};
@@ -32,14 +32,11 @@ fn main() {
             "subarrays", "GSA", "BSA", "GMC"
         );
         println!("csv14-{kind}: subarrays,gsa,bsa,gmc");
-        // Measure each (workload, design) once; sweep parallelism analytically.
+        // Measure each (workload, design) once — one batched session per
+        // design — then sweep parallelism analytically.
         let costs: Vec<Vec<_>> = DesignKind::ALL
             .iter()
-            .map(|&design| {
-                ids.iter()
-                    .map(|&id| measure_config(id, PlutoConfig { design, kind }))
-                    .collect()
-            })
+            .map(|&design| measure_all(&ids, PlutoConfig { design, kind }))
             .collect();
         let mut last: Vec<f64> = vec![0.0; 3];
         for &s in &counts {

@@ -6,7 +6,7 @@
 use pluto_core::DesignKind;
 use pluto_qnn::lenet::{binary_dot_reference, LeNet5, Precision};
 use pluto_qnn::mnist::SyntheticMnist;
-use pluto_qnn::pluto_exec::{binary_dot_pluto, qnn_machine};
+use pluto_qnn::pluto_exec::{binary_dot_pluto, qnn_session};
 use pluto_qnn::table7::{modeled, published, published_accuracy_percent, Platform};
 
 fn main() {
@@ -50,9 +50,9 @@ fn main() {
         .iter()
         .map(|&w| u8::from(w > 0))
         .collect();
-    let mut m = qnn_machine(DesignKind::Bsa).unwrap();
+    let mut session = qnn_session(DesignKind::Bsa).unwrap();
     let out = binary_dot_pluto(
-        &mut m,
+        &mut session,
         std::slice::from_ref(&a_bits),
         std::slice::from_ref(&b_bits),
     )
@@ -63,7 +63,7 @@ fn main() {
         out[0],
         expect,
         out[0] == expect,
-        m.totals().time
+        session.machine().totals().time
     );
     let prediction = net.classify(&img);
     println!("  full 1-bit LeNet-5 classifies the synthetic '7' as class {prediction}");

@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 use pluto_baselines::{estimate, machine::Machine, profile, WorkloadId};
+use pluto_core::session::{Session, Workload};
 use pluto_core::DesignKind;
 use pluto_dram::MemoryKind;
 use pluto_workloads::runner::{self, PlutoCost};
+use pluto_workloads::workload_for;
 
 /// Input volume used when scaling workload costs (bytes).
 pub fn volume_bytes(id: WorkloadId) -> f64 {
@@ -88,24 +90,55 @@ impl PlutoConfig {
     /// Default subarray-level parallelism (Table 3: 16 for DDR4, 512 for
     /// 3DS).
     pub fn subarrays(&self) -> usize {
-        match self.kind {
-            MemoryKind::Ddr4 => 16,
-            MemoryKind::Stacked3d => 512,
-        }
+        pluto_core::session::default_salp(self.kind)
+    }
+
+    /// A [`Session`] configured for this figure configuration, panicking
+    /// with context on failure.
+    pub fn session(&self) -> Session {
+        Session::builder(self.design)
+            .memory(self.kind)
+            .build()
+            .unwrap_or_else(|e| panic!("building a session for {}: {e}", self.label()))
     }
 }
 
 /// Measures (and caches nothing — callers decide) the pLUTo cost of a
 /// workload under one configuration, panicking with context on failure.
 pub fn measure_config(id: WorkloadId, cfg: PlutoConfig) -> PlutoCost {
-    let cost = runner::measure_on(id, cfg.design, cfg.kind)
+    let mut workload = workload_for(id);
+    let report = cfg
+        .session()
+        .run(workload.as_mut())
         .unwrap_or_else(|e| panic!("measuring {id} on {}: {e}", cfg.label()));
     assert!(
-        cost.validated,
+        report.validated,
         "{id} failed functional validation on {}",
         cfg.label()
     );
-    cost
+    PlutoCost::from_report(id, report)
+}
+
+/// Batched measurement: runs every workload in `ids` on one [`Session`]
+/// via `run_all` (the path the `BENCH_session.json` baseline exercises),
+/// panicking with context on failure.
+pub fn measure_all(ids: &[WorkloadId], cfg: PlutoConfig) -> Vec<PlutoCost> {
+    let mut workloads: Vec<Box<dyn Workload>> = ids.iter().map(|&id| workload_for(id)).collect();
+    let mut session = cfg.session();
+    let reports = session
+        .run_all(&mut workloads)
+        .unwrap_or_else(|e| panic!("batched measurement on {}: {e}", cfg.label()));
+    ids.iter()
+        .zip(reports)
+        .map(|(&id, report)| {
+            assert!(
+                report.validated,
+                "{id} failed functional validation on {}",
+                cfg.label()
+            );
+            PlutoCost::from_report(id, report)
+        })
+        .collect()
 }
 
 /// pLUTo wall-clock seconds for a workload volume under one configuration.

@@ -77,14 +77,14 @@ pub enum Instruction {
         /// Slot width of the query (≥ log2(lut_size); inputs zero-padded).
         lut_bitw: u32,
     },
-    /// `pluto_not dst, src` — in-DRAM bitwise NOT (Ambit [84]).
+    /// `pluto_not dst, src` — in-DRAM bitwise NOT (Ambit \[84\]).
     Not {
         /// Output row register.
         dst: RowReg,
         /// Input row register.
         src: RowReg,
     },
-    /// `pluto_and dst, src1, src2` — in-DRAM bitwise AND (Ambit [84]).
+    /// `pluto_and dst, src1, src2` — in-DRAM bitwise AND (Ambit \[84\]).
     And {
         /// Output row register.
         dst: RowReg,
@@ -93,7 +93,7 @@ pub enum Instruction {
         /// Second input.
         src2: RowReg,
     },
-    /// `pluto_or dst, src1, src2` — in-DRAM bitwise OR (Ambit [84]).
+    /// `pluto_or dst, src1, src2` — in-DRAM bitwise OR (Ambit \[84\]).
     Or {
         /// Output row register.
         dst: RowReg,
@@ -102,7 +102,7 @@ pub enum Instruction {
         /// Second input.
         src2: RowReg,
     },
-    /// `pluto_bit_shift_{l,r} src, #N` — DRISA bit shift in place [79].
+    /// `pluto_bit_shift_{l,r} src, #N` — DRISA bit shift in place \[79\].
     BitShift {
         /// Shift direction.
         dir: ShiftDir,
@@ -111,7 +111,7 @@ pub enum Instruction {
         /// Shift amount in bits.
         amount: u32,
     },
-    /// `pluto_byte_shift_{l,r} src, #N` — DRISA byte shift in place [79].
+    /// `pluto_byte_shift_{l,r} src, #N` — DRISA byte shift in place \[79\].
     ByteShift {
         /// Shift direction.
         dir: ShiftDir,
@@ -120,7 +120,7 @@ pub enum Instruction {
         /// Shift amount in bytes.
         amount: u32,
     },
-    /// `pluto_move dst, src` — in-DRAM row copy (RowClone / LISA [108]).
+    /// `pluto_move dst, src` — in-DRAM row copy (RowClone / LISA \[108\]).
     Move {
         /// Destination row register.
         dst: RowReg,

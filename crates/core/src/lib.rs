@@ -25,6 +25,9 @@
 //!   subarray (same latency, segment-count × energy).
 //! * [`salp`] — subarray-level parallelism scaling, tFAW sensitivity.
 //! * [`loading`] — the §8.5 LUT-loading overhead model (Fig. 11).
+//! * [`session`] — the unified execution API (`DESIGN.md` §5): explicit
+//!   [`ExecConfig`]s build [`Session`]s that run pluggable [`Workload`]
+//!   scenarios and accumulate [`CostReport`]s.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +60,7 @@ pub mod match_logic;
 pub mod partition;
 pub mod query;
 pub mod salp;
+pub mod session;
 pub mod store;
 
 pub use design::{DesignKind, DesignModel};
@@ -64,6 +68,7 @@ pub use error::PlutoError;
 pub use library::{MapResult, PlutoMachine};
 pub use lut::Lut;
 pub use query::{QueryCost, QueryExecutor, QueryPlacement};
+pub use session::{CostReport, ExecConfig, Session, SessionBuilder, Workload};
 pub use store::LutStore;
 
 /// Commonly used items, for glob import in examples and downstream crates.
@@ -73,6 +78,7 @@ pub mod prelude {
     pub use crate::library::{MapResult, PlutoMachine};
     pub use crate::lut::{catalog, Lut};
     pub use crate::query::{QueryCost, QueryExecutor, QueryPlacement};
+    pub use crate::session::{CostReport, ExecConfig, Session, SessionBuilder, Workload};
     pub use crate::store::LutStore;
     pub use pluto_dram::{DramConfig, Engine, MemoryKind};
 }

@@ -2,8 +2,8 @@
 //!
 //! Before pLUTo can query a LUT, the replicated LUT rows must be loaded
 //! into the pLUTo-enabled subarray. The paper evaluates two sources:
-//! loading from elsewhere in DRAM at DDR4 bandwidth (19.2 GB/s [135]) and
-//! loading from an M.2 SSD (7.5 GB/s [136]), and plots the fraction of
+//! loading from elsewhere in DRAM at DDR4 bandwidth (19.2 GB/s \[135\]) and
+//! loading from an M.2 SSD (7.5 GB/s \[136\]), and plots the fraction of
 //! total execution time spent loading as the queried data volume grows.
 
 use crate::design::DesignModel;

@@ -1,0 +1,690 @@
+//! The unified execution API: configurable sessions over pluggable
+//! workloads (`DESIGN.md` §5).
+//!
+//! The paper's §6.2 Library frames execution as `api_pluto_*` calls over a
+//! device facade; follow-on LUT-PIM systems generalize that to
+//! *configurable sessions over pluggable operations*. This module is that
+//! shape for the reproduction:
+//!
+//! * [`ExecConfig`] / [`SessionBuilder`] — every knob that used to hide in
+//!   scattered `DramConfig` literals or (worse) a `thread_local!` memory
+//!   kind is an explicit value: design, memory kind, geometry, row width,
+//!   SALP degree, tFAW scale, data seed.
+//! * [`Session`] — owns a [`PlutoMachine`], runs [`Workload`]s one at a
+//!   time or batched ([`Session::run_all`]), and accumulates one
+//!   [`CostReport`] per run. A `Session` is an ownable unit of work — the
+//!   prerequisite for sharded/async execution that a thread-local never
+//!   was.
+//! * [`Workload`] — the pluggable-scenario trait. Every paper workload in
+//!   `pluto-workloads` implements it (see that crate's `registry()`), and
+//!   downstream code can plug in new scenarios without touching any
+//!   dispatch table.
+//!
+//! ```
+//! use pluto_core::session::{Session, Workload};
+//! use pluto_core::{DesignKind, PlutoError};
+//! use pluto_core::lut::Lut;
+//! use sim_support::StdRng;
+//!
+//! /// A user-defined scenario: square 100 bytes via an 8-bit LUT.
+//! #[derive(Debug, Default)]
+//! struct Square {
+//!     inputs: Vec<u64>,
+//!     outputs: Vec<u64>,
+//! }
+//!
+//! impl Workload for Square {
+//!     fn id(&self) -> &'static str {
+//!         "square"
+//!     }
+//!     fn prepare(&mut self, _rng: &mut StdRng) {
+//!         self.inputs = (0..100).collect();
+//!     }
+//!     fn run_pluto(&mut self, session: &mut Session) -> Result<Vec<u8>, PlutoError> {
+//!         let lut = Lut::from_fn("square", 8, 16, |x| x * x)?;
+//!         self.outputs = session.machine_mut().apply(&lut, &self.inputs)?.values;
+//!         Ok(pluto_core::session::encode_words(&self.outputs))
+//!     }
+//!     fn run_reference(&self) -> Vec<u8> {
+//!         let expect: Vec<u64> = self.inputs.iter().map(|&x| x * x).collect();
+//!         pluto_core::session::encode_words(&expect)
+//!     }
+//!     fn input_bytes(&self) -> f64 {
+//!         self.inputs.len() as f64
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), PlutoError> {
+//! let mut session = Session::builder(DesignKind::Gmc).build()?;
+//! let report = session.run(&mut Square::default())?;
+//! assert!(report.validated);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::design::DesignKind;
+use crate::error::PlutoError;
+use crate::library::PlutoMachine;
+use pluto_dram::{DramConfig, MemoryKind, PicoJoules, Picos, TimingParams};
+use sim_support::{SeedableRng, StdRng};
+
+/// Row size used for fast functional measurement runs: command timing is
+/// independent of row *width* (a sweep step costs tRCD(+tRP) whether the
+/// row is 256 B or 8 KiB), so sessions default to narrow rows for speed
+/// and scale reported byte volumes by [`ExecConfig::row_ratio`].
+pub const MEASURE_ROW_BYTES: usize = 256;
+
+/// Row size of the paper's DDR4 configuration (Table 3).
+pub const PAPER_ROW_BYTES: usize = 8192;
+
+/// Row size of the paper's 3D-stacked (HMC) configuration (§7).
+pub const PAPER_3DS_ROW_BYTES: usize = 256;
+
+/// Default subarray-level parallelism per memory kind (Table 3: 16
+/// subarrays for DDR4, 512 for 3D-stacked).
+pub const fn default_salp(kind: MemoryKind) -> usize {
+    match kind {
+        MemoryKind::Ddr4 => 16,
+        MemoryKind::Stacked3d => 512,
+    }
+}
+
+/// Fully explicit execution configuration of a [`Session`].
+///
+/// Every field that used to be implicit — the memory kind smuggled
+/// through a thread-local, the geometry repeated as `DramConfig` literals
+/// at every call site — is a named value here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecConfig {
+    /// The hardware design (BSA / GSA / GMC).
+    pub design: DesignKind,
+    /// DDR4 or 3D-stacked memory (selects timing and energy models).
+    pub kind: MemoryKind,
+    /// Row (and row buffer) size in bytes.
+    pub row_bytes: usize,
+    /// Column burst size in bytes.
+    pub burst_bytes: usize,
+    /// Number of independently addressable banks.
+    pub banks: u16,
+    /// Subarrays per bank. A [`Workload`] may demand more via
+    /// [`Workload::min_subarrays`]; each run uses the maximum of the two.
+    pub subarrays_per_bank: u16,
+    /// Rows per subarray.
+    pub rows_per_subarray: u16,
+    /// Row size the measured byte volumes are scaled to (the paper's
+    /// 8 KiB DDR4 rows; see [`ExecConfig::row_ratio`]).
+    pub paper_row_bytes: usize,
+    /// Subarray-level parallelism applied by [`Session::wall_secs`].
+    pub salp_subarrays: usize,
+    /// tFAW throttle scale used by [`Session::wall_secs`] (0.0 disables
+    /// the activation-window floor, 1.0 is the nominal chip tFAW).
+    pub t_faw_scale: f64,
+    /// Seed of the RNG handed to [`Workload::prepare`].
+    pub seed: u64,
+}
+
+impl ExecConfig {
+    /// The default measurement configuration: narrow 256 B rows on one
+    /// bank of DDR4 (fast functional runs, paper-equivalent reporting).
+    pub fn measurement(design: DesignKind) -> Self {
+        ExecConfig {
+            design,
+            kind: MemoryKind::Ddr4,
+            row_bytes: MEASURE_ROW_BYTES,
+            burst_bytes: 32,
+            banks: 1,
+            subarrays_per_bank: 16,
+            rows_per_subarray: 512,
+            paper_row_bytes: PAPER_ROW_BYTES,
+            salp_subarrays: default_salp(MemoryKind::Ddr4),
+            t_faw_scale: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// The DRAM geometry this configuration describes.
+    pub fn dram_config(&self) -> DramConfig {
+        DramConfig {
+            kind: self.kind,
+            banks: self.banks,
+            subarrays_per_bank: self.subarrays_per_bank,
+            rows_per_subarray: self.rows_per_subarray,
+            row_bytes: self.row_bytes,
+            burst_bytes: self.burst_bytes,
+        }
+    }
+
+    /// Timing parameters of the configured memory kind.
+    pub fn timing(&self) -> TimingParams {
+        match self.kind {
+            MemoryKind::Ddr4 => TimingParams::ddr4_2400(),
+            MemoryKind::Stacked3d => TimingParams::hmc_3ds(),
+        }
+    }
+
+    /// Scaling factor from measurement rows to paper rows: the paper's
+    /// DDR4 rows are 8 KiB ([`ExecConfig::paper_row_bytes`]); its 3DS
+    /// rows are 256 B — equal to the default measurement rows, so 3DS
+    /// volumes scale by 1 unless the row width is overridden.
+    pub fn row_ratio(&self) -> f64 {
+        let paper = match self.kind {
+            MemoryKind::Ddr4 => self.paper_row_bytes,
+            MemoryKind::Stacked3d => PAPER_3DS_ROW_BYTES,
+        };
+        paper as f64 / self.row_bytes as f64
+    }
+}
+
+/// Builder for [`Session`]s; starts from [`ExecConfig::measurement`].
+///
+/// The SALP degree follows the memory kind's Table 3 default (16 for
+/// DDR4, 512 for 3DS) until [`SessionBuilder::salp`] pins it explicitly.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    config: ExecConfig,
+    salp_explicit: bool,
+}
+
+impl SessionBuilder {
+    /// Starts a builder for `design` with measurement defaults.
+    pub fn new(design: DesignKind) -> Self {
+        SessionBuilder {
+            config: ExecConfig::measurement(design),
+            salp_explicit: false,
+        }
+    }
+
+    /// Sets the hardware design.
+    #[must_use]
+    pub fn design(mut self, design: DesignKind) -> Self {
+        self.config.design = design;
+        self
+    }
+
+    /// Sets the memory kind (and, unless pinned, its default SALP degree).
+    #[must_use]
+    pub fn memory(mut self, kind: MemoryKind) -> Self {
+        self.config.kind = kind;
+        if !self.salp_explicit {
+            self.config.salp_subarrays = default_salp(kind);
+        }
+        self
+    }
+
+    /// Sets the row width in bytes.
+    #[must_use]
+    pub fn row_bytes(mut self, bytes: usize) -> Self {
+        self.config.row_bytes = bytes;
+        self
+    }
+
+    /// Sets the column burst size in bytes.
+    #[must_use]
+    pub fn burst_bytes(mut self, bytes: usize) -> Self {
+        self.config.burst_bytes = bytes;
+        self
+    }
+
+    /// Sets the bank count.
+    #[must_use]
+    pub fn banks(mut self, banks: u16) -> Self {
+        self.config.banks = banks;
+        self
+    }
+
+    /// Sets the subarrays-per-bank floor (workloads may demand more).
+    #[must_use]
+    pub fn subarrays(mut self, subarrays: u16) -> Self {
+        self.config.subarrays_per_bank = subarrays;
+        self
+    }
+
+    /// Sets the rows per subarray.
+    #[must_use]
+    pub fn rows_per_subarray(mut self, rows: u16) -> Self {
+        self.config.rows_per_subarray = rows;
+        self
+    }
+
+    /// Pins the subarray-level parallelism used for wall-clock scaling.
+    #[must_use]
+    pub fn salp(mut self, subarrays: usize) -> Self {
+        self.config.salp_subarrays = subarrays;
+        self.salp_explicit = true;
+        self
+    }
+
+    /// Sets the tFAW throttle scale (0.0 = unthrottled).
+    #[must_use]
+    pub fn t_faw_scale(mut self, scale: f64) -> Self {
+        self.config.t_faw_scale = scale;
+        self
+    }
+
+    /// Sets the seed of the RNG handed to [`Workload::prepare`].
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Builds the session (constructs and validates the machine).
+    ///
+    /// # Errors
+    /// Fails if the geometry cannot host the controller layout.
+    pub fn build(self) -> Result<Session, PlutoError> {
+        Session::with_config(self.config)
+    }
+}
+
+/// Measured cost of one [`Workload`] run on a [`Session`].
+///
+/// The session-level sibling of `MapResult`: where `MapResult` reports a
+/// single library call, a `CostReport` covers a whole workload batch plus
+/// its functional validation verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// The workload's stable identifier.
+    pub workload: &'static str,
+    /// The design the run executed on.
+    pub design: DesignKind,
+    /// The memory kind the run executed on.
+    pub kind: MemoryKind,
+    /// Serial single-subarray time of the batch.
+    pub time: Picos,
+    /// Dynamic DRAM energy of the batch.
+    pub energy: PicoJoules,
+    /// Row activations issued in the batch (tFAW-relevant).
+    pub acts: u64,
+    /// Paper-equivalent input bytes covered by the batch (8 KiB rows).
+    pub paper_bytes: f64,
+    /// Whether the pLUTo output matched the reference bit-for-bit.
+    pub validated: bool,
+}
+
+impl CostReport {
+    /// Serial seconds per paper-equivalent input byte.
+    pub fn secs_per_byte(&self) -> f64 {
+        self.time.as_secs() / self.paper_bytes
+    }
+
+    /// Joules per paper-equivalent input byte (SALP-independent, §8.3).
+    pub fn joules_per_byte(&self) -> f64 {
+        self.energy.as_joules() / self.paper_bytes
+    }
+
+    /// Wall-clock seconds to process `volume_bytes` of input given
+    /// `subarrays`-way SALP and a tFAW scale (0.0 = unthrottled).
+    pub fn scaled_wall_time(
+        &self,
+        volume_bytes: f64,
+        subarrays: usize,
+        t_faw_scale: f64,
+        timing: &TimingParams,
+    ) -> f64 {
+        let batches = volume_bytes / self.paper_bytes;
+        let serial = self.time.as_secs() * batches;
+        let parallel = serial / subarrays.max(1) as f64;
+        if t_faw_scale <= 0.0 {
+            return parallel;
+        }
+        let t_faw = timing.t_faw.as_secs() * t_faw_scale;
+        let act_floor = self.acts as f64 * batches * t_faw / 4.0;
+        parallel.max(act_floor)
+    }
+
+    /// Energy in joules to process `volume_bytes` (independent of SALP,
+    /// §8.3).
+    pub fn scaled_energy(&self, volume_bytes: f64) -> f64 {
+        self.joules_per_byte() * volume_bytes
+    }
+}
+
+/// A pluggable execution scenario: anything a [`Session`] can run,
+/// validate, and cost.
+///
+/// The eight workload modules of `pluto-workloads` implement this trait
+/// (enumerated by that crate's `registry()`); new scenarios plug in the
+/// same way with no dispatch table to edit.
+///
+/// Both `run_pluto` and `run_reference` return a canonical little-endian
+/// byte serialization of the workload output; the session compares the
+/// two to set [`CostReport::validated`].
+pub trait Workload {
+    /// Stable identifier (the paper's workload label where applicable).
+    fn id(&self) -> &'static str;
+
+    /// (Re)generates the workload's input data. The session passes a
+    /// deterministically seeded RNG ([`ExecConfig::seed`]); the paper
+    /// scenarios pin their own generator seeds instead of drawing from it
+    /// so that figure data stays bit-stable, but custom scenarios are free
+    /// to use `rng`.
+    fn prepare(&mut self, rng: &mut StdRng);
+
+    /// Executes the pLUTo mapping on the session's machine and returns
+    /// the serialized output.
+    ///
+    /// # Errors
+    /// Propagates machine/workload errors.
+    fn run_pluto(&mut self, session: &mut Session) -> Result<Vec<u8>, PlutoError>;
+
+    /// Runs the reference software implementation over the prepared
+    /// inputs and returns the serialized output.
+    fn run_reference(&self) -> Vec<u8>;
+
+    /// Input bytes covered by one batch (before paper-row scaling).
+    fn input_bytes(&self) -> f64;
+
+    /// Minimum subarrays-per-bank the mapping needs (LUT stores claim
+    /// subarray pairs). Defaults to the measurement geometry's 16.
+    fn min_subarrays(&self) -> u16 {
+        16
+    }
+}
+
+/// An ownable execution context: a [`PlutoMachine`] plus the explicit
+/// [`ExecConfig`] it was built from, accumulating one [`CostReport`] per
+/// workload run.
+///
+/// Each [`Session::run`] executes on a freshly initialized machine sized
+/// to the workload (cold-cost isolation, exactly the paper's per-workload
+/// measurement protocol); between runs the machine is available through
+/// [`Session::machine_mut`] for direct §6.2 library calls.
+#[derive(Debug)]
+pub struct Session {
+    config: ExecConfig,
+    machine: PlutoMachine,
+    reports: Vec<CostReport>,
+}
+
+impl Session {
+    /// Starts a [`SessionBuilder`] for `design`.
+    pub fn builder(design: DesignKind) -> SessionBuilder {
+        SessionBuilder::new(design)
+    }
+
+    /// Builds a session directly from an [`ExecConfig`].
+    ///
+    /// # Errors
+    /// Fails if the geometry cannot host the controller layout.
+    pub fn with_config(config: ExecConfig) -> Result<Self, PlutoError> {
+        let machine = PlutoMachine::new(config.dram_config(), config.design)?;
+        Ok(Session {
+            config,
+            machine,
+            reports: Vec::new(),
+        })
+    }
+
+    /// The configuration this session was built from.
+    ///
+    /// This is the *configured* geometry: a [`Session::run`] sizes its
+    /// fresh machine to `max(subarrays_per_bank, workload.min_subarrays())`,
+    /// so the machine left behind by a run may hold more subarrays than
+    /// configured here — `self.machine().config()` is the effective
+    /// geometry of the most recent machine.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// The session's machine (state of the most recent run, or the
+    /// initial machine if nothing ran yet). Its
+    /// [`PlutoMachine::config`] reflects the effective geometry, which a
+    /// run may have widened beyond [`Session::config`]'s subarray floor.
+    pub fn machine(&self) -> &PlutoMachine {
+        &self.machine
+    }
+
+    /// Mutable access to the machine for direct library calls.
+    pub fn machine_mut(&mut self) -> &mut PlutoMachine {
+        &mut self.machine
+    }
+
+    /// Consumes the session, returning its machine.
+    pub fn into_machine(self) -> PlutoMachine {
+        self.machine
+    }
+
+    /// Reports accumulated by [`Session::run`] / [`Session::run_all`], in
+    /// run order.
+    pub fn reports(&self) -> &[CostReport] {
+        &self.reports
+    }
+
+    /// Removes and returns the accumulated reports.
+    pub fn take_reports(&mut self) -> Vec<CostReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Runs one workload: prepare on a fresh machine, execute the pLUTo
+    /// mapping, validate against the reference, and record the cost.
+    ///
+    /// # Errors
+    /// Propagates machine construction and workload errors.
+    pub fn run(&mut self, workload: &mut dyn Workload) -> Result<CostReport, PlutoError> {
+        let mut cfg = self.config.clone();
+        cfg.subarrays_per_bank = cfg.subarrays_per_bank.max(workload.min_subarrays());
+        self.machine = PlutoMachine::new(cfg.dram_config(), cfg.design)?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        workload.prepare(&mut rng);
+        let pluto_out = workload.run_pluto(self)?;
+        let validated = pluto_out == workload.run_reference();
+        let totals = self.machine.totals();
+        let report = CostReport {
+            workload: workload.id(),
+            design: self.config.design,
+            kind: self.config.kind,
+            time: totals.time,
+            energy: totals.energy,
+            acts: self.machine.engine_stats().activates,
+            paper_bytes: workload.input_bytes() * self.config.row_ratio(),
+            validated,
+        };
+        self.reports.push(report);
+        Ok(report)
+    }
+
+    /// Runs a batch of workloads in order, returning their reports (also
+    /// accumulated on the session).
+    ///
+    /// # Errors
+    /// Stops at, and propagates, the first failing run.
+    pub fn run_all(
+        &mut self,
+        workloads: &mut [Box<dyn Workload>],
+    ) -> Result<Vec<CostReport>, PlutoError> {
+        workloads.iter_mut().map(|w| self.run(w.as_mut())).collect()
+    }
+
+    /// Wall-clock seconds to process `volume_bytes` under this session's
+    /// SALP degree and tFAW scale.
+    pub fn wall_secs(&self, report: &CostReport, volume_bytes: f64) -> f64 {
+        report.scaled_wall_time(
+            volume_bytes,
+            self.config.salp_subarrays,
+            self.config.t_faw_scale,
+            &self.config.timing(),
+        )
+    }
+
+    /// Energy in joules to process `volume_bytes` (SALP-independent).
+    pub fn energy_joules(&self, report: &CostReport, volume_bytes: f64) -> f64 {
+        report.scaled_energy(volume_bytes)
+    }
+}
+
+/// Canonical little-endian serialization of a word vector, for
+/// [`Workload`] output comparison.
+pub fn encode_words(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Flattens byte packets for [`Workload`] output comparison (both sides
+/// of a comparison share one deterministic shape).
+pub fn encode_packets(packets: &[Vec<u8>]) -> Vec<u8> {
+    packets.iter().flat_map(|p| p.iter().copied()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::Lut;
+
+    /// Minimal scenario used to exercise the session plumbing.
+    #[derive(Debug)]
+    struct SquareScenario {
+        inputs: Vec<u64>,
+        lie: bool,
+    }
+
+    impl SquareScenario {
+        fn new() -> Self {
+            SquareScenario {
+                inputs: Vec::new(),
+                lie: false,
+            }
+        }
+    }
+
+    impl Workload for SquareScenario {
+        fn id(&self) -> &'static str {
+            "square"
+        }
+        fn prepare(&mut self, _rng: &mut StdRng) {
+            self.inputs = (0..60).map(|i| i % 256).collect();
+        }
+        fn run_pluto(&mut self, session: &mut Session) -> Result<Vec<u8>, PlutoError> {
+            let lut = Lut::from_fn("sq", 8, 16, |x| x * x)?;
+            let out = session.machine_mut().apply(&lut, &self.inputs)?.values;
+            Ok(encode_words(&out))
+        }
+        fn run_reference(&self) -> Vec<u8> {
+            if self.lie {
+                return vec![0xFF];
+            }
+            let expect: Vec<u64> = self.inputs.iter().map(|&x| x * x).collect();
+            encode_words(&expect)
+        }
+        fn input_bytes(&self) -> f64 {
+            self.inputs.len() as f64
+        }
+    }
+
+    #[test]
+    fn builder_defaults_match_measurement_config() {
+        let s = Session::builder(DesignKind::Gmc).build().unwrap();
+        assert_eq!(*s.config(), ExecConfig::measurement(DesignKind::Gmc));
+        assert_eq!(s.config().row_bytes, MEASURE_ROW_BYTES);
+        assert_eq!(s.config().salp_subarrays, 16);
+        assert!((s.config().row_ratio() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_kind_updates_salp_default_unless_pinned() {
+        let s = Session::builder(DesignKind::Bsa)
+            .memory(MemoryKind::Stacked3d)
+            .build()
+            .unwrap();
+        assert_eq!(s.config().salp_subarrays, 512);
+        assert!((s.config().row_ratio() - 1.0).abs() < 1e-12);
+
+        let pinned = Session::builder(DesignKind::Bsa)
+            .salp(64)
+            .memory(MemoryKind::Stacked3d)
+            .build()
+            .unwrap();
+        assert_eq!(pinned.config().salp_subarrays, 64);
+
+        // Overriding the row width rescales both kinds' paper ratios.
+        let wide = Session::builder(DesignKind::Bsa)
+            .memory(MemoryKind::Stacked3d)
+            .row_bytes(512)
+            .build()
+            .unwrap();
+        assert!((wide.config().row_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_validates_and_accumulates_reports() {
+        let mut session = Session::builder(DesignKind::Gmc).build().unwrap();
+        let mut w = SquareScenario::new();
+        let report = session.run(&mut w).unwrap();
+        assert!(report.validated);
+        assert_eq!(report.workload, "square");
+        assert!(report.time > Picos::ZERO);
+        assert!(report.acts > 0);
+        assert!((report.paper_bytes - 60.0 * 32.0).abs() < 1e-9);
+        let second = session.run(&mut w).unwrap();
+        assert_eq!(session.reports(), &[report, second]);
+        // Fresh-machine isolation: identical runs cost identically.
+        assert_eq!(report, second);
+        assert_eq!(session.take_reports().len(), 2);
+        assert!(session.reports().is_empty());
+    }
+
+    #[test]
+    fn validation_failure_is_reported_not_fatal() {
+        let mut session = Session::builder(DesignKind::Bsa).build().unwrap();
+        let mut w = SquareScenario::new();
+        w.lie = true;
+        let report = session.run(&mut w).unwrap();
+        assert!(!report.validated);
+    }
+
+    #[test]
+    fn run_all_preserves_order() {
+        let mut session = Session::builder(DesignKind::Gmc).build().unwrap();
+        let mut ws: Vec<Box<dyn Workload>> = vec![
+            Box::new(SquareScenario::new()),
+            Box::new(SquareScenario::new()),
+        ];
+        let reports = session.run_all(&mut ws).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports, session.reports());
+    }
+
+    #[test]
+    fn sessions_compose_without_global_state() {
+        // The regression the thread-local made impossible: interleaving
+        // sessions of different memory kinds must not perturb each other.
+        let mut ddr4 = Session::builder(DesignKind::Gmc).build().unwrap();
+        let mut hmc = Session::builder(DesignKind::Gmc)
+            .memory(MemoryKind::Stacked3d)
+            .build()
+            .unwrap();
+        let first = ddr4.run(&mut SquareScenario::new()).unwrap();
+        let inner = hmc.run(&mut SquareScenario::new()).unwrap();
+        let second = ddr4.run(&mut SquareScenario::new()).unwrap();
+        assert_eq!(first, second, "inner 3DS session perturbed the outer one");
+        assert_eq!(inner.kind, MemoryKind::Stacked3d);
+        assert_eq!(first.kind, MemoryKind::Ddr4);
+        // ×32 paper-row scaling on DDR4, ×1 on 3DS.
+        assert!((first.paper_bytes / inner.paper_bytes - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_secs_honors_salp_and_tfaw() {
+        let mut session = Session::builder(DesignKind::Gmc).build().unwrap();
+        let report = session.run(&mut SquareScenario::new()).unwrap();
+        let serial = report.scaled_wall_time(1e6, 1, 0.0, &session.config().timing());
+        assert!((session.wall_secs(&report, 1e6) - serial / 16.0).abs() / serial < 1e-9);
+        // A nominal tFAW can only slow things down.
+        let throttled = report.scaled_wall_time(1e6, 2048, 1.0, &session.config().timing());
+        let free = report.scaled_wall_time(1e6, 2048, 0.0, &session.config().timing());
+        assert!(throttled >= free);
+        // Energy is parallelism-independent.
+        let e = session.energy_joules(&report, 2e6);
+        assert!((e / session.energy_joules(&report, 1e6) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn encode_helpers_are_shape_faithful() {
+        assert_eq!(encode_words(&[1, 2]).len(), 16);
+        assert_eq!(encode_words(&[1])[0], 1);
+        assert_eq!(encode_packets(&[vec![1, 2], vec![3]]), vec![1, 2, 3]);
+    }
+}

@@ -21,7 +21,7 @@
 //! * [`command`] — the DRAM command vocabulary, including the enhanced
 //!   commands pLUTo relies on (RowClone-FPM, LISA-RBM, Ambit TRA, DRISA
 //!   shifts, and pLUTo sweep steps).
-//! * [`array`] — sparse bit-accurate storage for banks/subarrays/rows with
+//! * [`mod@array`] — sparse bit-accurate storage for banks/subarrays/rows with
 //!   row-buffer semantics.
 //! * [`engine`] — the serial command-level simulator: executes commands,
 //!   mutates the functional array, accumulates elapsed time and energy, and

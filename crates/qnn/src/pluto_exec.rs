@@ -3,32 +3,34 @@
 //! The binarised network's inner product is
 //! `dot(a, b) = 2·popcount(XNOR(a, b)) − n` — precisely the bit counting +
 //! bitwise operations pLUTo excels at (Table 6). [`binary_dot_pluto`] runs
-//! that kernel *functionally* on a [`PlutoMachine`]: one XNOR LUT-query
-//! stream over bit pairs and a BC-8 popcount fold, validated against the
-//! reference. [`qnn_query_count`] extends the per-kernel costs to the whole
-//! network via the layer MAC counts, feeding the Table 7 cost model.
+//! that kernel *functionally* on a [`Session`]'s machine: one XNOR
+//! LUT-query stream over bit pairs and a BC-8 popcount fold, validated
+//! against the reference. [`qnn_query_count`] extends the per-kernel costs
+//! to the whole network via the layer MAC counts, feeding the Table 7 cost
+//! model.
 
 use crate::lenet::{LeNet5, Precision};
 use pluto_core::lut::catalog;
+use pluto_core::session::Session;
 use pluto_core::{DesignKind, PlutoError, PlutoMachine};
-use pluto_dram::{DramConfig, PicoJoules, Picos};
+use pluto_dram::{PicoJoules, Picos};
+
+/// Builds a [`Session`] sized for the QNN kernels (the measurement
+/// geometry with 64 subarrays per bank).
+///
+/// # Errors
+/// Propagates machine construction errors.
+pub fn qnn_session(design: DesignKind) -> Result<Session, PlutoError> {
+    Session::builder(design).subarrays(64).build()
+}
 
 /// Builds a machine sized for the QNN kernels.
 ///
 /// # Errors
 /// Propagates machine construction errors.
+#[deprecated(note = "use qnn_session (DESIGN.md §5)")]
 pub fn qnn_machine(design: DesignKind) -> Result<PlutoMachine, PlutoError> {
-    PlutoMachine::new(
-        DramConfig {
-            row_bytes: 256,
-            burst_bytes: 32,
-            banks: 1,
-            subarrays_per_bank: 64,
-            rows_per_subarray: 512,
-            ..DramConfig::ddr4_2400()
-        },
-        design,
-    )
+    qnn_session(design).map(Session::into_machine)
 }
 
 /// Computes many binary dot products at once: row `i` of `a_rows`/`b_rows`
@@ -44,11 +46,12 @@ pub fn qnn_machine(design: DesignKind) -> Result<PlutoMachine, PlutoError> {
 /// # Errors
 /// Propagates machine errors.
 pub fn binary_dot_pluto(
-    m: &mut PlutoMachine,
+    session: &mut Session,
     a_rows: &[Vec<u8>],
     b_rows: &[Vec<u8>],
 ) -> Result<Vec<i32>, PlutoError> {
     assert_eq!(a_rows.len(), b_rows.len());
+    let m = session.machine_mut();
     let xnor1 = catalog::xnor(1)?;
     let bc8 = catalog::popcount(8)?;
     let mut out = Vec::with_capacity(a_rows.len());
@@ -129,8 +132,8 @@ mod tests {
             .collect();
         let a_rows: Vec<Vec<u8>> = rows.iter().map(|r| r.0.clone()).collect();
         let b_rows: Vec<Vec<u8>> = rows.iter().map(|r| r.1.clone()).collect();
-        let mut m = qnn_machine(DesignKind::Gmc).unwrap();
-        let out = binary_dot_pluto(&mut m, &a_rows, &b_rows).unwrap();
+        let mut session = qnn_session(DesignKind::Gmc).unwrap();
+        let out = binary_dot_pluto(&mut session, &a_rows, &b_rows).unwrap();
         for (i, (a, b)) in rows.iter().enumerate() {
             assert_eq!(out[i], binary_dot_reference(a, b), "row {i}");
         }

@@ -10,7 +10,7 @@
 //!   and every run; a known-answer test pins the exact output words.
 //! * [`prop`] — a seeded property-testing harness with shrinking-lite
 //!   (budget-scaled case regeneration), replacing `proptest`.
-//! * [`bench`] — a wall-clock micro-benchmark harness built on
+//! * [`mod@bench`] — a wall-clock micro-benchmark harness built on
 //!   [`std::time::Instant`], replacing `criterion`. Each harness run emits
 //!   a machine-readable `BENCH_<name>.json` baseline.
 //!

@@ -108,3 +108,72 @@ mod tests {
         );
     }
 }
+
+// --- Pluggable scenario -------------------------------------------------
+
+use crate::gen;
+use pluto_baselines::WorkloadId;
+use pluto_core::session::{self, Session, Workload};
+use sim_support::StdRng;
+
+/// The bit-counting workload (Fig. 9 BC-4/BC-8) as a pluggable
+/// [`Workload`] scenario.
+#[derive(Debug)]
+pub struct BitcountWorkload {
+    id: WorkloadId,
+    bits: u32,
+    values: Vec<u64>,
+}
+
+impl BitcountWorkload {
+    /// A scenario for `bits`-wide popcounts (4 or 8).
+    ///
+    /// # Panics
+    /// Panics on widths other than 4 or 8.
+    pub fn new(bits: u32) -> Self {
+        let id = match bits {
+            4 => WorkloadId::Bc4,
+            8 => WorkloadId::Bc8,
+            _ => panic!("BitcountWorkload supports BC-4 and BC-8, not {bits}"),
+        };
+        let mut w = BitcountWorkload {
+            id,
+            bits,
+            values: Vec::new(),
+        };
+        w.regenerate();
+        w
+    }
+
+    fn regenerate(&mut self) {
+        self.values = gen::values(17, crate::MEASURE_BATCH_ELEMS, self.bits);
+    }
+}
+
+impl Workload for BitcountWorkload {
+    fn id(&self) -> &'static str {
+        self.id.label()
+    }
+
+    fn prepare(&mut self, _rng: &mut StdRng) {
+        self.regenerate();
+    }
+
+    fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        let m = sess.machine_mut();
+        let out = if self.bits == 4 {
+            bc4_pluto(m, &self.values)?
+        } else {
+            bc8_pluto(m, &self.values)?
+        };
+        Ok(session::encode_words(&out))
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        session::encode_words(&popcount_reference(&self.values))
+    }
+
+    fn input_bytes(&self) -> f64 {
+        (self.values.len() as f64) * self.bits as f64 / 8.0
+    }
+}

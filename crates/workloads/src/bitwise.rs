@@ -139,3 +139,75 @@ mod tests {
         }
     }
 }
+
+// --- Pluggable scenario -------------------------------------------------
+
+use crate::gen;
+use pluto_baselines::WorkloadId;
+use pluto_core::session::Session;
+use pluto_core::Workload;
+use sim_support::StdRng;
+
+/// The row-level bitwise workload (Table 4) as a pluggable [`Workload`]
+/// scenario: bulk XOR — the operation prior PuM cannot run natively —
+/// over one byte-vector measurement batch.
+#[derive(Debug)]
+pub struct BitwiseWorkload {
+    a: Vec<u8>,
+    b: Vec<u8>,
+}
+
+impl BitwiseWorkload {
+    /// A scenario over the paper-pinned operand vectors.
+    pub fn new() -> Self {
+        let mut w = BitwiseWorkload {
+            a: Vec::new(),
+            b: Vec::new(),
+        };
+        w.regenerate();
+        w
+    }
+
+    fn regenerate(&mut self) {
+        self.a = gen::values(18, crate::MEASURE_BATCH_ELEMS, 8)
+            .iter()
+            .map(|&v| v as u8)
+            .collect();
+        self.b = gen::values(19, crate::MEASURE_BATCH_ELEMS, 8)
+            .iter()
+            .map(|&v| v as u8)
+            .collect();
+    }
+}
+
+impl Default for BitwiseWorkload {
+    fn default() -> Self {
+        BitwiseWorkload::new()
+    }
+}
+
+impl Workload for BitwiseWorkload {
+    fn id(&self) -> &'static str {
+        WorkloadId::BitwiseRow.label()
+    }
+
+    fn prepare(&mut self, _rng: &mut StdRng) {
+        self.regenerate();
+    }
+
+    fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        bitwise_pluto(sess.machine_mut(), BitOp::Xor, &self.a, &self.b)
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        bitwise_reference(BitOp::Xor, &self.a, &self.b)
+    }
+
+    fn input_bytes(&self) -> f64 {
+        (self.a.len() + self.b.len()) as f64
+    }
+
+    fn min_subarrays(&self) -> u16 {
+        32
+    }
+}

@@ -266,3 +266,81 @@ mod tests {
         assert!(crc_pluto(&mut m, CrcSpec::CRC8, &ragged).is_err());
     }
 }
+
+// --- Pluggable scenario -------------------------------------------------
+
+use crate::gen;
+use pluto_baselines::WorkloadId;
+use pluto_core::session::{self, Session, Workload};
+use sim_support::StdRng;
+
+/// The CRC workload (Table 4) as a pluggable [`Workload`] scenario: one
+/// measurement batch of `spec`-CRCs over 128 B packets.
+#[derive(Debug)]
+pub struct CrcWorkload {
+    id: WorkloadId,
+    spec: CrcSpec,
+    packets: Vec<Vec<u8>>,
+}
+
+impl CrcWorkload {
+    /// A scenario for `spec` (CRC-8, CRC-16, or CRC-32).
+    ///
+    /// # Panics
+    /// Panics on CRC widths other than 8, 16, or 32 (the Table 4 set).
+    pub fn new(spec: CrcSpec) -> Self {
+        let id = match spec.width {
+            8 => WorkloadId::Crc8,
+            16 => WorkloadId::Crc16,
+            32 => WorkloadId::Crc32,
+            w => panic!("CrcWorkload supports CRC-8/16/32, not width {w}"),
+        };
+        let mut w = CrcWorkload {
+            id,
+            spec,
+            packets: Vec::new(),
+        };
+        w.regenerate();
+        w
+    }
+
+    /// Paper-pinned dataset; generator seeds are fixed so figure data is
+    /// bit-stable across runs and sessions.
+    fn regenerate(&mut self) {
+        self.packets = gen::packets(
+            0xC0 + self.spec.width as u64,
+            crate::MEASURE_BATCH_ELEMS,
+            gen::CRC_PACKET_BYTES,
+        );
+    }
+}
+
+impl Workload for CrcWorkload {
+    fn id(&self) -> &'static str {
+        self.id.label()
+    }
+
+    fn prepare(&mut self, _rng: &mut StdRng) {
+        self.regenerate();
+    }
+
+    fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        let out = crc_pluto(sess.machine_mut(), self.spec, &self.packets)?;
+        Ok(session::encode_words(&out))
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        session::encode_words(&crc_reference(self.spec, &self.packets))
+    }
+
+    fn input_bytes(&self) -> f64 {
+        (self.packets.len() * gen::CRC_PACKET_BYTES) as f64
+    }
+
+    fn min_subarrays(&self) -> u16 {
+        // One LUT-store subarray pair per position-specific contribution
+        // LUT, plus headroom for the scratch/data subarrays.
+        let pairs = (gen::CRC_PACKET_BYTES as u16) * (self.spec.width / 4) as u16 + 8;
+        2 * pairs + 8
+    }
+}

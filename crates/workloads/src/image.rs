@@ -194,3 +194,111 @@ mod tests {
         assert_eq!(out, all_white);
     }
 }
+
+// --- Pluggable scenarios ------------------------------------------------
+
+use pluto_baselines::WorkloadId;
+use pluto_core::session::{Session, Workload};
+use sim_support::StdRng;
+
+fn encode_image(img: &Image) -> Vec<u8> {
+    img.channels
+        .iter()
+        .flat_map(|c| c.iter().copied())
+        .collect()
+}
+
+/// The image binarization workload (Table 4) as a pluggable [`Workload`]
+/// scenario: one 3-channel measurement tile at the paper's 50% threshold.
+#[derive(Debug)]
+pub struct BinarizeWorkload {
+    img: Image,
+    threshold: u8,
+}
+
+impl BinarizeWorkload {
+    /// A scenario over the paper-pinned synthetic tile.
+    pub fn new() -> Self {
+        BinarizeWorkload {
+            img: Image::synthetic(5, crate::MEASURE_BATCH_ELEMS),
+            threshold: 128,
+        }
+    }
+}
+
+impl Default for BinarizeWorkload {
+    fn default() -> Self {
+        BinarizeWorkload::new()
+    }
+}
+
+impl Workload for BinarizeWorkload {
+    fn id(&self) -> &'static str {
+        WorkloadId::ImgBin.label()
+    }
+
+    fn prepare(&mut self, _rng: &mut StdRng) {
+        self.img = Image::synthetic(5, crate::MEASURE_BATCH_ELEMS);
+    }
+
+    fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        let out = binarize_pluto(sess.machine_mut(), &self.img, self.threshold)?;
+        Ok(encode_image(&out))
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        encode_image(&binarize_reference(&self.img, self.threshold))
+    }
+
+    fn input_bytes(&self) -> f64 {
+        (3 * self.img.pixels) as f64
+    }
+}
+
+/// The color-grading workload (Table 4) as a pluggable [`Workload`]
+/// scenario: the cinematic curve set over one 3-channel measurement tile.
+#[derive(Debug)]
+pub struct GradeWorkload {
+    img: Image,
+    curves: GradingCurves,
+}
+
+impl GradeWorkload {
+    /// A scenario over the paper-pinned synthetic tile.
+    pub fn new() -> Self {
+        GradeWorkload {
+            img: Image::synthetic(6, crate::MEASURE_BATCH_ELEMS),
+            curves: GradingCurves::cinematic(),
+        }
+    }
+}
+
+impl Default for GradeWorkload {
+    fn default() -> Self {
+        GradeWorkload::new()
+    }
+}
+
+impl Workload for GradeWorkload {
+    fn id(&self) -> &'static str {
+        WorkloadId::ColorGrade.label()
+    }
+
+    fn prepare(&mut self, _rng: &mut StdRng) {
+        self.img = Image::synthetic(6, crate::MEASURE_BATCH_ELEMS);
+        self.curves = GradingCurves::cinematic();
+    }
+
+    fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        let out = grade_pluto(sess.machine_mut(), &self.img, &self.curves)?;
+        Ok(encode_image(&out))
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        encode_image(&self.curves.apply_reference(&self.img))
+    }
+
+    fn input_bytes(&self) -> f64 {
+        (3 * self.img.pixels) as f64
+    }
+}

@@ -24,6 +24,14 @@
 //! | [`wide`] | Nibble-plane wide arithmetic the mappings are built from |
 //! | [`gen`] | Deterministic synthetic data generators |
 //! | [`runner`] | End-to-end drivers used by the figure harness |
+//!
+//! Every workload is also a first-class pluggable scenario: each module
+//! exposes a struct implementing [`pluto_core::session::Workload`]
+//! (`CrcWorkload`, `Salsa20Workload`, …), [`registry`] enumerates the
+//! fourteen canonical scenarios, and [`workload_for`] resolves a
+//! [`WorkloadId`] (aliases included) to its scenario. A
+//! [`pluto_core::session::Session`] runs them — see `DESIGN.md` §5 and
+//! `examples/session.rs`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -39,4 +47,44 @@ pub mod vecops;
 pub mod vmpc;
 pub mod wide;
 
+use pluto_baselines::WorkloadId;
+
 pub use pluto_core::prelude::*;
+
+/// Elements in one measurement batch, sized to one 256 B measurement row
+/// (≤ 256 8-bit slots).
+pub(crate) const MEASURE_BATCH_ELEMS: usize = 192;
+
+/// All fourteen canonical workloads as pluggable scenarios, in
+/// [`WorkloadId::CANONICAL`] (paper Table 4) order.
+pub fn registry() -> Vec<Box<dyn Workload>> {
+    WorkloadId::CANONICAL
+        .into_iter()
+        .map(workload_for)
+        .collect()
+}
+
+/// The scenario implementing `id`'s pLUTo mapping. Aliases resolve to
+/// their canonical workload ([`WorkloadId::canonical`]), so `MulQ1_7`
+/// yields the same scenario as `Mul8`.
+pub fn workload_for(id: WorkloadId) -> Box<dyn Workload> {
+    match id.canonical() {
+        WorkloadId::Crc8 => Box::new(crc::CrcWorkload::new(crc::CrcSpec::CRC8)),
+        WorkloadId::Crc16 => Box::new(crc::CrcWorkload::new(crc::CrcSpec::CRC16)),
+        WorkloadId::Crc32 => Box::new(crc::CrcWorkload::new(crc::CrcSpec::CRC32)),
+        WorkloadId::Salsa20 => Box::new(salsa20::Salsa20Workload::new()),
+        WorkloadId::Vmpc => Box::new(vmpc::VmpcWorkload::new()),
+        WorkloadId::ImgBin => Box::new(image::BinarizeWorkload::new()),
+        WorkloadId::ColorGrade => Box::new(image::GradeWorkload::new()),
+        WorkloadId::Add4 => Box::new(vecops::AddWorkload::new(4)),
+        WorkloadId::Add8 => Box::new(vecops::AddWorkload::new(8)),
+        WorkloadId::Mul8 => Box::new(vecops::QMulWorkload::new(7)),
+        WorkloadId::Mul16 => Box::new(vecops::QMulWorkload::new(15)),
+        WorkloadId::Bc4 => Box::new(bitcount::BitcountWorkload::new(4)),
+        WorkloadId::Bc8 => Box::new(bitcount::BitcountWorkload::new(8)),
+        WorkloadId::BitwiseRow => Box::new(bitwise::BitwiseWorkload::new()),
+        WorkloadId::MulQ1_7 | WorkloadId::MulQ1_15 => {
+            unreachable!("aliases resolve via canonical()")
+        }
+    }
+}

@@ -1,41 +1,38 @@
 //! End-to-end workload drivers for the figure harness.
 //!
-//! [`measure`] runs one workload's pLUTo mapping *functionally* on the
-//! command-level simulator, validates the output against the reference
-//! implementation, and returns the measured serial cost of one "row batch".
+//! This module is now a thin compatibility layer over the unified
+//! execution API (`DESIGN.md` §5): a [`pluto_core::session::Session`]
+//! built from an explicit [`pluto_core::session::ExecConfig`] runs the
+//! pluggable scenarios enumerated by [`crate::registry`], and each run
+//! yields a [`pluto_core::session::CostReport`]. [`PlutoCost`] pairs such
+//! a report with the [`WorkloadId`] the caller asked for; the deprecated
+//! [`measure`]/[`measure_on`] shims remain for one release.
 //!
 //! Command timing/energy in the engine is independent of the row *width*
 //! (a sweep step costs tRCD(+tRP) whether the row is 256 B or 8 KiB), so
 //! the functional run uses narrow 256 B rows for speed and the measured
 //! batch cost is reported against the paper-equivalent byte volume of
-//! 8 KiB rows (a fixed ×32 slot ratio). [`scaled_wall_time`] then scales a
-//! batch cost to arbitrary input volumes, subarray-level parallelism, and
-//! tFAW throttling — providing the pLUTo series of Figs. 7–10, 13, 14.
+//! 8 KiB rows (a fixed ×32 slot ratio on DDR4; ×1 on 3DS, whose rows are
+//! 256 B). [`scaled_wall_time`] then scales a batch cost to arbitrary
+//! input volumes, subarray-level parallelism, and tFAW throttling —
+//! providing the pLUTo series of Figs. 7–10, 13, 14.
 
-use crate::{bitcount, bitwise, crc, gen, image, salsa20, vecops, vmpc};
+use crate::workload_for;
 use pluto_baselines::WorkloadId;
-use pluto_core::{DesignKind, PlutoError, PlutoMachine};
-use pluto_dram::{DramConfig, MemoryKind, PicoJoules, Picos, TimingParams};
-use std::cell::Cell;
+use pluto_core::session::{CostReport, Session};
+use pluto_core::{DesignKind, PlutoError};
+use pluto_dram::{MemoryKind, PicoJoules, Picos, TimingParams};
 
-thread_local! {
-    /// Memory kind used by [`measurement_machine`] (set by [`measure_on`]).
-    static MEASURE_KIND: Cell<MemoryKind> = const { Cell::new(MemoryKind::Ddr4) };
-}
-
-/// Row size used for fast functional measurement runs.
-const MEASURE_ROW_BYTES: usize = 256;
-
-/// Row size of the paper's DDR4 configuration.
-const PAPER_ROW_BYTES: usize = 8192;
-
-/// Measured serial cost of one row batch of a workload on one design.
+/// Measured serial cost of one row batch of a workload on one design:
+/// a [`CostReport`] tagged with the requested [`WorkloadId`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlutoCost {
-    /// Which workload.
+    /// Which workload (as requested — alias ids are preserved).
     pub id: WorkloadId,
     /// Which design.
     pub design: DesignKind,
+    /// Which memory kind the batch was measured on.
+    pub kind: MemoryKind,
     /// Serial single-subarray time of the batch.
     pub time: Picos,
     /// Dynamic DRAM energy of the batch.
@@ -49,189 +46,80 @@ pub struct PlutoCost {
 }
 
 impl PlutoCost {
+    /// Tags a session [`CostReport`] with the requested workload id.
+    pub fn from_report(id: WorkloadId, report: CostReport) -> Self {
+        PlutoCost {
+            id,
+            design: report.design,
+            kind: report.kind,
+            time: report.time,
+            energy: report.energy,
+            acts: report.acts,
+            paper_bytes: report.paper_bytes,
+            validated: report.validated,
+        }
+    }
+
+    /// The session-level view of this cost (workload labeled by the
+    /// requested id).
+    pub fn report(&self) -> CostReport {
+        CostReport {
+            workload: self.id.label(),
+            design: self.design,
+            kind: self.kind,
+            time: self.time,
+            energy: self.energy,
+            acts: self.acts,
+            paper_bytes: self.paper_bytes,
+            validated: self.validated,
+        }
+    }
+
     /// Serial seconds per paper-equivalent input byte.
     pub fn secs_per_byte(&self) -> f64 {
-        self.time.as_secs() / self.paper_bytes
+        self.report().secs_per_byte()
     }
 
     /// Joules per paper-equivalent input byte (SALP-independent, §8.3).
     pub fn joules_per_byte(&self) -> f64 {
-        self.energy.as_joules() / self.paper_bytes
+        self.report().joules_per_byte()
     }
 }
 
-fn measurement_machine(design: DesignKind, subarrays: u16) -> Result<PlutoMachine, PlutoError> {
-    PlutoMachine::new(
-        DramConfig {
-            kind: MEASURE_KIND.with(Cell::get),
-            row_bytes: MEASURE_ROW_BYTES,
-            burst_bytes: 32,
-            banks: 1,
-            subarrays_per_bank: subarrays,
-            rows_per_subarray: 512,
-        },
-        design,
-    )
-}
-
-/// Scaling factor from measurement rows to paper rows: the paper's DDR4
-/// rows are 8 KiB; its 3DS rows are 256 B (equal to the measurement rows).
-fn row_ratio() -> f64 {
-    match MEASURE_KIND.with(Cell::get) {
-        MemoryKind::Ddr4 => PAPER_ROW_BYTES as f64 / MEASURE_ROW_BYTES as f64,
-        MemoryKind::Stacked3d => 1.0,
-    }
+/// Measures `id` on `design`/`kind` through the session API.
+fn run_one(id: WorkloadId, design: DesignKind, kind: MemoryKind) -> Result<PlutoCost, PlutoError> {
+    let mut workload = workload_for(id);
+    let mut session = Session::builder(design).memory(kind).build()?;
+    let report = session.run(workload.as_mut())?;
+    Ok(PlutoCost::from_report(id, report))
 }
 
 /// Like [`measure`], but on the given memory kind (`Stacked3d` models the
 /// paper's pLUTo-3DS configurations: HMC timings and energies).
 ///
+/// Unlike the old thread-local implementation, nested/interleaved
+/// measurements on different kinds compose: the kind is a parameter of
+/// the underlying [`Session`], not ambient state to save and restore.
+///
 /// # Errors
 /// Propagates machine/workload errors.
+#[deprecated(note = "build a Session over pluto_workloads::workload_for instead (DESIGN.md §5)")]
 pub fn measure_on(
     id: WorkloadId,
     design: DesignKind,
     kind: MemoryKind,
 ) -> Result<PlutoCost, PlutoError> {
-    MEASURE_KIND.with(|k| k.set(kind));
-    let result = measure(id, design);
-    MEASURE_KIND.with(|k| k.set(MemoryKind::Ddr4));
-    result
+    run_one(id, design, kind)
 }
 
-/// Runs the pLUTo mapping of `id` on `design`, validating against the
-/// reference and measuring one batch.
+/// Runs the pLUTo mapping of `id` on `design` (DDR4), validating against
+/// the reference and measuring one batch.
 ///
 /// # Errors
 /// Propagates machine/workload errors.
+#[deprecated(note = "build a Session over pluto_workloads::workload_for instead (DESIGN.md §5)")]
 pub fn measure(id: WorkloadId, design: DesignKind) -> Result<PlutoCost, PlutoError> {
-    use WorkloadId::*;
-    // Elements sized to one measurement row (≤ 256 8-bit slots).
-    let n = 192usize;
-    let (machine, input_bytes_run, validated) = match id {
-        Crc8 | Crc16 | Crc32 => {
-            let spec = match id {
-                Crc8 => crc::CrcSpec::CRC8,
-                Crc16 => crc::CrcSpec::CRC16,
-                _ => crc::CrcSpec::CRC32,
-            };
-            let len = gen::CRC_PACKET_BYTES;
-            let pairs = (len as u16) * (spec.width / 4) as u16 + 8;
-            let mut m = measurement_machine(design, 2 * pairs + 8)?;
-            let packets = gen::packets(0xC0 + spec.width as u64, n, len);
-            let out = crc::crc_pluto(&mut m, spec, &packets)?;
-            let ok = out == crc::crc_reference(spec, &packets);
-            (m, (n * len) as f64, ok)
-        }
-        Salsa20 => {
-            let blocks = 96usize;
-            let mut m = measurement_machine(design, 128)?;
-            let states: Vec<[u32; 16]> = (0..blocks)
-                .map(|i| salsa20::initial_state(&[7u8; 32], &[1u8; 8], i as u64))
-                .collect();
-            let out = salsa20::salsa20_core_pluto(&mut m, &states, 10)?;
-            let ok = states
-                .iter()
-                .zip(&out)
-                .all(|(s, o)| *o == salsa20::salsa20_core(*s));
-            (m, (blocks * 64) as f64, ok)
-        }
-        Vmpc => {
-            let mut m = measurement_machine(design, 16)?;
-            let perm = vmpc::Permutation::from_key(0xBEEF);
-            let packets = gen::packets(0x7E, 1, n);
-            let out = vmpc::vmpc_pluto(&mut m, &perm, &packets)?;
-            let ok = out == vmpc::vmpc_reference(&perm, &packets);
-            (m, n as f64, ok)
-        }
-        ImgBin => {
-            let mut m = measurement_machine(design, 16)?;
-            let img = gen::Image::synthetic(5, n);
-            let out = image::binarize_pluto(&mut m, &img, 128)?;
-            let ok = out == image::binarize_reference(&img, 128);
-            (m, (3 * n) as f64, ok)
-        }
-        ColorGrade => {
-            let mut m = measurement_machine(design, 16)?;
-            let img = gen::Image::synthetic(6, n);
-            let curves = image::GradingCurves::cinematic();
-            let out = image::grade_pluto(&mut m, &img, &curves)?;
-            let ok = out == curves.apply_reference(&img);
-            (m, (3 * n) as f64, ok)
-        }
-        Add4 | Add8 => {
-            // ADD8 composes two 4-bit LUT adds; ADD4 is a single query.
-            let mut m = measurement_machine(design, 64)?;
-            let bits = if id == Add4 { 4 } else { 8 };
-            let a = gen::values(11, n, bits);
-            let b = gen::values(12, n, bits);
-            let ok = if id == Add4 {
-                let out = vecops::add4_pluto(&mut m, &a, &b)?;
-                out == vecops::add4_reference(&a, &b)
-            } else {
-                let pa = crate::wide::Planes::from_values(&a, 2);
-                let pb = crate::wide::Planes::from_values(&b, 2);
-                let out = crate::wide::add(&mut m, &pa, &pb, false)?.to_values();
-                let expect: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| (x + y) & 0xFF).collect();
-                out == expect
-            };
-            (m, (n as f64) * bits as f64 / 8.0 * 2.0, ok)
-        }
-        Mul8 | MulQ1_7 => {
-            let mut m = measurement_machine(design, 64)?;
-            let a = gen::values(13, n, 8);
-            let b = gen::values(14, n, 8);
-            let out = vecops::q1_7_mul_pluto(&mut m, &a, &b)?;
-            let ok = out == vecops::qmul_reference(7, &a, &b);
-            (m, (n * 2) as f64, ok)
-        }
-        Mul16 | MulQ1_15 => {
-            let count = 64usize;
-            let mut m = measurement_machine(design, 64)?;
-            let a = gen::values(15, count, 16);
-            let b = gen::values(16, count, 16);
-            let out = vecops::q1_15_mul_pluto(&mut m, &a, &b)?;
-            let ok = out == vecops::qmul_reference(15, &a, &b);
-            (m, (count * 4) as f64, ok)
-        }
-        Bc4 | Bc8 => {
-            let mut m = measurement_machine(design, 16)?;
-            let bits = if id == Bc4 { 4 } else { 8 };
-            let v = gen::values(17, n, bits);
-            let out = if id == Bc4 {
-                bitcount::bc4_pluto(&mut m, &v)?
-            } else {
-                bitcount::bc8_pluto(&mut m, &v)?
-            };
-            let ok = out == bitcount::popcount_reference(&v);
-            (m, (n as f64) * bits as f64 / 8.0, ok)
-        }
-        BitwiseRow => {
-            let mut m = measurement_machine(design, 32)?;
-            let a: Vec<u8> = gen::values(18, n, 8).iter().map(|&v| v as u8).collect();
-            let b: Vec<u8> = gen::values(19, n, 8).iter().map(|&v| v as u8).collect();
-            let out = bitwise::bitwise_pluto(&mut m, bitwise::BitOp::Xor, &a, &b)?;
-            let ok = out == bitwise::bitwise_reference(bitwise::BitOp::Xor, &a, &b);
-            (m, (n * 2) as f64, ok)
-        }
-    };
-    let totals = machine.totals();
-    let stats_energy = totals.energy;
-    Ok(PlutoCost {
-        id,
-        design,
-        time: totals.time,
-        energy: stats_energy,
-        // Sweep steps dominate activations; count both plus clones.
-        acts: totals_acts(&machine),
-        paper_bytes: input_bytes_run * row_ratio(),
-        validated,
-    })
-}
-
-fn totals_acts(machine: &PlutoMachine) -> u64 {
-    let s = machine.engine_stats();
-    s.activates
+    run_one(id, design, MemoryKind::Ddr4)
 }
 
 /// Wall-clock seconds to process `volume_bytes` of input given a measured
@@ -243,25 +131,22 @@ pub fn scaled_wall_time(
     t_faw_scale: f64,
     timing: &TimingParams,
 ) -> f64 {
-    let batches = volume_bytes / cost.paper_bytes;
-    let serial = cost.time.as_secs() * batches;
-    let parallel = serial / subarrays.max(1) as f64;
-    if t_faw_scale <= 0.0 {
-        return parallel;
-    }
-    let t_faw = timing.t_faw.as_secs() * t_faw_scale;
-    let act_floor = cost.acts as f64 * batches * t_faw / 4.0;
-    parallel.max(act_floor)
+    cost.report()
+        .scaled_wall_time(volume_bytes, subarrays, t_faw_scale, timing)
 }
 
 /// Energy in joules to process `volume_bytes` (independent of SALP, §8.3).
 pub fn scaled_energy(cost: &PlutoCost, volume_bytes: f64) -> f64 {
-    cost.joules_per_byte() * volume_bytes
+    cost.report().scaled_energy(volume_bytes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn measure_new(id: WorkloadId, design: DesignKind) -> PlutoCost {
+        run_one(id, design, MemoryKind::Ddr4).unwrap()
+    }
 
     #[test]
     fn measure_validates_quick_workloads() {
@@ -274,25 +159,26 @@ mod tests {
             WorkloadId::Add4,
             WorkloadId::BitwiseRow,
         ] {
-            let cost = measure(id, DesignKind::Gmc).unwrap();
+            let cost = measure_new(id, DesignKind::Gmc);
             assert!(cost.validated, "{id} failed validation");
             assert!(cost.time > Picos::ZERO, "{id}");
             assert!(cost.acts > 0, "{id}");
             assert!(cost.paper_bytes > 0.0, "{id}");
+            assert_eq!(cost.kind, MemoryKind::Ddr4);
         }
     }
 
     #[test]
     fn gmc_cheaper_than_gsa_per_byte() {
-        let gmc = measure(WorkloadId::ImgBin, DesignKind::Gmc).unwrap();
-        let gsa = measure(WorkloadId::ImgBin, DesignKind::Gsa).unwrap();
+        let gmc = measure_new(WorkloadId::ImgBin, DesignKind::Gmc);
+        let gsa = measure_new(WorkloadId::ImgBin, DesignKind::Gsa);
         assert!(gmc.secs_per_byte() < gsa.secs_per_byte());
         assert!(gmc.joules_per_byte() < gsa.joules_per_byte());
     }
 
     #[test]
     fn wall_time_scales_down_with_subarrays() {
-        let cost = measure(WorkloadId::Bc8, DesignKind::Bsa).unwrap();
+        let cost = measure_new(WorkloadId::Bc8, DesignKind::Bsa);
         let t = TimingParams::ddr4_2400();
         let one = scaled_wall_time(&cost, 1e6, 1, 0.0, &t);
         let sixteen = scaled_wall_time(&cost, 1e6, 16, 0.0, &t);
@@ -301,7 +187,7 @@ mod tests {
 
     #[test]
     fn tfaw_floor_binds_at_high_parallelism() {
-        let cost = measure(WorkloadId::Bc8, DesignKind::Gmc).unwrap();
+        let cost = measure_new(WorkloadId::Bc8, DesignKind::Gmc);
         let t = TimingParams::ddr4_2400();
         let free = scaled_wall_time(&cost, 1e6, 2048, 0.0, &t);
         let nominal = scaled_wall_time(&cost, 1e6, 2048, 1.0, &t);
@@ -310,7 +196,28 @@ mod tests {
 
     #[test]
     fn energy_is_parallelism_independent() {
-        let cost = measure(WorkloadId::Bc4, DesignKind::Bsa).unwrap();
+        let cost = measure_new(WorkloadId::Bc4, DesignKind::Bsa);
         assert!((scaled_energy(&cost, 2e6) / scaled_energy(&cost, 1e6) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_the_session_path() {
+        let shim = measure(WorkloadId::Bc4, DesignKind::Gmc).unwrap();
+        let new = measure_new(WorkloadId::Bc4, DesignKind::Gmc);
+        assert_eq!(shim, new);
+        let shim3d = measure_on(WorkloadId::Bc4, DesignKind::Gmc, MemoryKind::Stacked3d).unwrap();
+        assert_eq!(shim3d.kind, MemoryKind::Stacked3d);
+    }
+
+    #[test]
+    fn alias_ids_measure_identically_to_their_canonical_workload() {
+        let canonical = measure_new(WorkloadId::Mul8, DesignKind::Gmc);
+        let alias = measure_new(WorkloadId::MulQ1_7, DesignKind::Gmc);
+        assert_eq!(alias.id, WorkloadId::MulQ1_7, "requested id is preserved");
+        assert_eq!(alias.time, canonical.time);
+        assert_eq!(alias.energy, canonical.energy);
+        assert_eq!(alias.acts, canonical.acts);
+        assert_eq!(alias.paper_bytes, canonical.paper_bytes);
     }
 }

@@ -379,3 +379,78 @@ mod tests {
         assert_eq!(v.to_states(), states);
     }
 }
+
+// --- Pluggable scenario -------------------------------------------------
+
+use pluto_baselines::WorkloadId;
+use pluto_core::session::{Session, Workload};
+use sim_support::StdRng;
+
+/// Blocks in one Salsa20 measurement batch.
+const MEASURE_BLOCKS: usize = 96;
+
+/// The Salsa20 workload (Table 4) as a pluggable [`Workload`] scenario:
+/// the full 10-double-round core over one batch of 64 B blocks.
+#[derive(Debug)]
+pub struct Salsa20Workload {
+    states: Vec<[u32; 16]>,
+}
+
+impl Salsa20Workload {
+    /// A scenario over the paper-pinned key/nonce/counter schedule.
+    pub fn new() -> Self {
+        let mut w = Salsa20Workload { states: Vec::new() };
+        w.regenerate();
+        w
+    }
+
+    fn regenerate(&mut self) {
+        self.states = (0..MEASURE_BLOCKS)
+            .map(|i| initial_state(&[7u8; 32], &[1u8; 8], i as u64))
+            .collect();
+    }
+
+    fn encode(states: &[[u32; 16]]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(states.len() * 64);
+        for s in states {
+            for w in s {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+impl Default for Salsa20Workload {
+    fn default() -> Self {
+        Salsa20Workload::new()
+    }
+}
+
+impl Workload for Salsa20Workload {
+    fn id(&self) -> &'static str {
+        WorkloadId::Salsa20.label()
+    }
+
+    fn prepare(&mut self, _rng: &mut StdRng) {
+        self.regenerate();
+    }
+
+    fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        let out = salsa20_core_pluto(sess.machine_mut(), &self.states, 10)?;
+        Ok(Salsa20Workload::encode(&out))
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        let expect: Vec<[u32; 16]> = self.states.iter().map(|&s| salsa20_core(s)).collect();
+        Salsa20Workload::encode(&expect)
+    }
+
+    fn input_bytes(&self) -> f64 {
+        (self.states.len() * 64) as f64
+    }
+
+    fn min_subarrays(&self) -> u16 {
+        128
+    }
+}

@@ -170,3 +170,167 @@ mod tests {
         }
     }
 }
+
+// --- Pluggable scenarios ------------------------------------------------
+
+use crate::gen;
+use pluto_baselines::WorkloadId;
+use pluto_core::session::{self, Session, Workload};
+use sim_support::StdRng;
+
+/// The LUT-based vector addition workload (Fig. 9 ADD4/ADD8) as a
+/// pluggable [`Workload`] scenario. ADD8 composes two 4-bit LUT adds via
+/// nibble planes; ADD4 is a single query.
+#[derive(Debug)]
+pub struct AddWorkload {
+    id: WorkloadId,
+    bits: u32,
+    a: Vec<u64>,
+    b: Vec<u64>,
+}
+
+impl AddWorkload {
+    /// A scenario for `bits`-wide addition (4 or 8).
+    ///
+    /// # Panics
+    /// Panics on widths other than 4 or 8.
+    pub fn new(bits: u32) -> Self {
+        let id = match bits {
+            4 => WorkloadId::Add4,
+            8 => WorkloadId::Add8,
+            _ => panic!("AddWorkload supports 4- and 8-bit adds, not {bits}"),
+        };
+        let mut w = AddWorkload {
+            id,
+            bits,
+            a: Vec::new(),
+            b: Vec::new(),
+        };
+        w.regenerate();
+        w
+    }
+
+    fn regenerate(&mut self) {
+        self.a = gen::values(11, crate::MEASURE_BATCH_ELEMS, self.bits);
+        self.b = gen::values(12, crate::MEASURE_BATCH_ELEMS, self.bits);
+    }
+}
+
+impl Workload for AddWorkload {
+    fn id(&self) -> &'static str {
+        self.id.label()
+    }
+
+    fn prepare(&mut self, _rng: &mut StdRng) {
+        self.regenerate();
+    }
+
+    fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        let m = sess.machine_mut();
+        let out = if self.bits == 4 {
+            add4_pluto(m, &self.a, &self.b)?
+        } else {
+            let pa = Planes::from_values(&self.a, 2);
+            let pb = Planes::from_values(&self.b, 2);
+            wide::add(m, &pa, &pb, false)?.to_values()
+        };
+        Ok(session::encode_words(&out))
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        let expect: Vec<u64> = if self.bits == 4 {
+            add4_reference(&self.a, &self.b)
+        } else {
+            self.a
+                .iter()
+                .zip(&self.b)
+                .map(|(&x, &y)| (x + y) & 0xFF)
+                .collect()
+        };
+        session::encode_words(&expect)
+    }
+
+    fn input_bytes(&self) -> f64 {
+        (self.a.len() as f64) * self.bits as f64 / 8.0 * 2.0
+    }
+
+    fn min_subarrays(&self) -> u16 {
+        64
+    }
+}
+
+/// The fixed-point multiply workload (Fig. 9 MUL8/MUL16 = Fig. 12b
+/// Q1.7/Q1.15) as a pluggable [`Workload`] scenario.
+#[derive(Debug)]
+pub struct QMulWorkload {
+    id: WorkloadId,
+    frac_bits: u32,
+    a: Vec<u64>,
+    b: Vec<u64>,
+}
+
+impl QMulWorkload {
+    /// A scenario for the Q1.`frac_bits` multiply (7 or 15).
+    ///
+    /// # Panics
+    /// Panics on fractional widths other than 7 or 15.
+    pub fn new(frac_bits: u32) -> Self {
+        let id = match frac_bits {
+            7 => WorkloadId::Mul8,
+            15 => WorkloadId::Mul16,
+            _ => panic!("QMulWorkload supports Q1.7 and Q1.15, not Q1.{frac_bits}"),
+        };
+        let mut w = QMulWorkload {
+            id,
+            frac_bits,
+            a: Vec::new(),
+            b: Vec::new(),
+        };
+        w.regenerate();
+        w
+    }
+
+    fn regenerate(&mut self) {
+        if self.frac_bits == 7 {
+            self.a = gen::values(13, crate::MEASURE_BATCH_ELEMS, 8);
+            self.b = gen::values(14, crate::MEASURE_BATCH_ELEMS, 8);
+        } else {
+            // 64 16-bit elements keep the Q1.15 batch run time level
+            // with the 8-bit workloads.
+            self.a = gen::values(15, 64, 16);
+            self.b = gen::values(16, 64, 16);
+        }
+    }
+}
+
+impl Workload for QMulWorkload {
+    fn id(&self) -> &'static str {
+        self.id.label()
+    }
+
+    fn prepare(&mut self, _rng: &mut StdRng) {
+        self.regenerate();
+    }
+
+    fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        let m = sess.machine_mut();
+        let out = if self.frac_bits == 7 {
+            q1_7_mul_pluto(m, &self.a, &self.b)?
+        } else {
+            q1_15_mul_pluto(m, &self.a, &self.b)?
+        };
+        Ok(session::encode_words(&out))
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        session::encode_words(&qmul_reference(self.frac_bits, &self.a, &self.b))
+    }
+
+    fn input_bytes(&self) -> f64 {
+        (self.a.len() * if self.frac_bits == 7 { 2 } else { 4 }) as f64
+    }
+
+    fn min_subarrays(&self) -> u16 {
+        64
+    }
+}

@@ -184,3 +184,63 @@ mod tests {
         assert!(m2.totals().calls < chained_calls);
     }
 }
+
+// --- Pluggable scenario -------------------------------------------------
+
+use crate::gen;
+use pluto_baselines::WorkloadId;
+use pluto_core::session::{self, Session, Workload};
+
+/// The VMPC workload (Table 4) as a pluggable [`Workload`] scenario: the
+/// one-way function over one measurement packet.
+#[derive(Debug)]
+pub struct VmpcWorkload {
+    perm: Permutation,
+    packets: Vec<Vec<u8>>,
+}
+
+impl VmpcWorkload {
+    /// A scenario over the paper-pinned key and packet data.
+    pub fn new() -> Self {
+        let mut w = VmpcWorkload {
+            perm: Permutation::from_key(0xBEEF),
+            packets: Vec::new(),
+        };
+        w.regenerate();
+        w
+    }
+
+    fn regenerate(&mut self) {
+        self.perm = Permutation::from_key(0xBEEF);
+        self.packets = gen::packets(0x7E, 1, crate::MEASURE_BATCH_ELEMS);
+    }
+}
+
+impl Default for VmpcWorkload {
+    fn default() -> Self {
+        VmpcWorkload::new()
+    }
+}
+
+impl Workload for VmpcWorkload {
+    fn id(&self) -> &'static str {
+        WorkloadId::Vmpc.label()
+    }
+
+    fn prepare(&mut self, _rng: &mut StdRng) {
+        self.regenerate();
+    }
+
+    fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        let out = vmpc_pluto(sess.machine_mut(), &self.perm, &self.packets)?;
+        Ok(session::encode_packets(&out))
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        session::encode_packets(&vmpc_reference(&self.perm, &self.packets))
+    }
+
+    fn input_bytes(&self) -> f64 {
+        crate::MEASURE_BATCH_ELEMS as f64
+    }
+}

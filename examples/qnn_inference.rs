@@ -10,7 +10,7 @@
 use pluto_repro::core::DesignKind;
 use pluto_repro::qnn::lenet::{binary_dot_reference, LeNet5, Precision};
 use pluto_repro::qnn::mnist::SyntheticMnist;
-use pluto_repro::qnn::pluto_exec::{binary_dot_pluto, qnn_machine};
+use pluto_repro::qnn::pluto_exec::{binary_dot_pluto, qnn_session};
 use pluto_repro::qnn::table7::{modeled, published, Platform};
 
 fn main() {
@@ -33,9 +33,9 @@ fn main() {
         .iter()
         .map(|&v| u8::from(v > 0))
         .collect();
-    let mut machine = qnn_machine(DesignKind::Bsa).expect("machine");
+    let mut session = qnn_session(DesignKind::Bsa).expect("session");
     let dot = binary_dot_pluto(
-        &mut machine,
+        &mut session,
         std::slice::from_ref(&a),
         std::slice::from_ref(&w),
     )
@@ -44,7 +44,7 @@ fn main() {
     println!(
         "\nXNOR-popcount dot product on pLUTo: {} (simulated {})",
         dot[0],
-        machine.totals().time
+        session.machine().totals().time
     );
 
     println!("\nTable 7 (published | modeled):");

@@ -10,9 +10,13 @@
 //! test to update casually.
 
 use pluto_repro::analog::{circuit::ActivationScenario, CircuitParams, DesignVariant, MonteCarlo};
+use pluto_repro::baselines::WorkloadId;
+use pluto_repro::core::session::Session;
+use pluto_repro::core::DesignKind;
 use pluto_repro::qnn::SyntheticMnist;
 use pluto_repro::workloads::gen;
 use pluto_repro::workloads::vmpc::Permutation;
+use pluto_repro::workloads::workload_for;
 
 #[test]
 fn packet_generator_is_bit_stable() {
@@ -59,6 +63,23 @@ fn synthetic_mnist_is_bit_stable() {
     let digits = SyntheticMnist::new(7);
     let sum: i64 = digits.image(3, 0).data().iter().map(|&v| v as i64).sum();
     assert_eq!(sum, 17025);
+}
+
+#[test]
+fn session_cost_reports_are_bit_stable() {
+    // The session API inherits the determinism contract end to end: two
+    // independent sessions measuring the same workload produce identical
+    // reports down to the f64 bits (fresh-machine isolation plus pinned
+    // generator seeds).
+    let run = || {
+        let mut workload = workload_for(WorkloadId::Vmpc);
+        let mut session = Session::builder(DesignKind::Gmc).build().unwrap();
+        session.run(workload.as_mut()).unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert!(a.validated);
+    assert_eq!(a, b);
+    assert_eq!(a.paper_bytes.to_bits(), b.paper_bytes.to_bits());
 }
 
 #[test]

@@ -8,8 +8,27 @@ use pluto_repro::core::controller::Controller;
 use pluto_repro::core::isa::{parse_program, Program, RowReg};
 use pluto_repro::core::lut::catalog;
 use pluto_repro::core::prelude::*;
+use pluto_repro::core::session::Session;
 use pluto_repro::dram::MemoryKind;
-use pluto_repro::workloads::runner;
+use pluto_repro::workloads::runner::PlutoCost;
+use pluto_repro::workloads::workload_for;
+
+/// Measures one workload through the unified session API.
+fn measure(id: WorkloadId, design: DesignKind) -> PlutoCost {
+    measure_on(id, design, MemoryKind::Ddr4)
+}
+
+fn measure_on(id: WorkloadId, design: DesignKind, kind: MemoryKind) -> PlutoCost {
+    let mut workload = workload_for(id);
+    let mut session = Session::builder(design)
+        .memory(kind)
+        .build()
+        .unwrap_or_else(|e| panic!("session for {id} on {design}/{kind}: {e}"));
+    let report = session
+        .run(workload.as_mut())
+        .unwrap_or_else(|e| panic!("{id} on {design}/{kind}: {e}"));
+    PlutoCost::from_report(id, report)
+}
 
 fn cfg() -> DramConfig {
     DramConfig {
@@ -89,8 +108,7 @@ fn every_fig7_workload_validates_on_every_design() {
         WorkloadId::ColorGrade,
     ] {
         for design in DesignKind::ALL {
-            let cost =
-                runner::measure(id, design).unwrap_or_else(|e| panic!("{id} on {design}: {e}"));
+            let cost = measure(id, design);
             assert!(cost.validated, "{id} on {design} mismatched the reference");
         }
     }
@@ -104,7 +122,7 @@ fn fig9_micro_workloads_validate() {
         WorkloadId::Bc8,
         WorkloadId::BitwiseRow,
     ] {
-        let cost = runner::measure(id, DesignKind::Gmc).unwrap();
+        let cost = measure(id, DesignKind::Gmc);
         assert!(cost.validated, "{id}");
     }
 }
@@ -115,7 +133,7 @@ fn design_orderings_hold_end_to_end() {
     // stack on a real workload.
     let costs: Vec<_> = DesignKind::ALL
         .iter()
-        .map(|&d| runner::measure(WorkloadId::ImgBin, d).unwrap())
+        .map(|&d| measure(WorkloadId::ImgBin, d))
         .collect();
     // DesignKind::ALL = [Bsa, Gsa, Gmc].
     let (bsa, gsa, gmc) = (&costs[0], &costs[1], &costs[2]);
@@ -128,8 +146,8 @@ fn design_orderings_hold_end_to_end() {
 #[test]
 fn hmc_3ds_is_faster_than_ddr4() {
     // §8.2: 3DS designs outperform their DDR4 counterparts.
-    let ddr4 = runner::measure_on(WorkloadId::Bc8, DesignKind::Bsa, MemoryKind::Ddr4).unwrap();
-    let hmc = runner::measure_on(WorkloadId::Bc8, DesignKind::Bsa, MemoryKind::Stacked3d).unwrap();
+    let ddr4 = measure_on(WorkloadId::Bc8, DesignKind::Bsa, MemoryKind::Ddr4);
+    let hmc = measure_on(WorkloadId::Bc8, DesignKind::Bsa, MemoryKind::Stacked3d);
     // Per-batch time is lower on HMC (faster activations)…
     assert!(hmc.time < ddr4.time);
     // …but energy per byte is *higher*: small rows do not amortize the
@@ -144,9 +162,9 @@ fn pluto_beats_cpu_on_complex_maps() {
     // the CPU roofline on the LUT-heavy workloads.
     let cpu = Machine::xeon_gold_5118();
     for id in [WorkloadId::Vmpc, WorkloadId::ColorGrade, WorkloadId::ImgBin] {
-        let cost = runner::measure(id, DesignKind::Gmc).unwrap();
+        let cost = measure(id, DesignKind::Gmc);
         let volume = 10e6;
-        let wall = runner::scaled_wall_time(
+        let wall = pluto_repro::workloads::runner::scaled_wall_time(
             &cost,
             volume,
             16,
@@ -163,8 +181,8 @@ fn pluto_beats_cpu_on_complex_maps() {
 
 #[test]
 fn gsa_reload_tax_visible_at_workload_level() {
-    let gsa = runner::measure(WorkloadId::ColorGrade, DesignKind::Gsa).unwrap();
-    let gmc = runner::measure(WorkloadId::ColorGrade, DesignKind::Gmc).unwrap();
+    let gsa = measure(WorkloadId::ColorGrade, DesignKind::Gsa);
+    let gmc = measure(WorkloadId::ColorGrade, DesignKind::Gmc);
     let ratio = gsa.secs_per_byte() / gmc.secs_per_byte();
     // GSA pays LISA_RBM×N per query on top of the (cheaper) sweep: the
     // slowdown must exceed the pure sweep-latency gap.
