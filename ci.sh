@@ -25,4 +25,10 @@ PLUTO_QUICK=1 cargo test -q --workspace
 echo "==> session API quickstart (examples/session.rs)"
 cargo run --release --quiet --example session
 
+echo "==> cluster executor quickstart (examples/cluster.rs)"
+cargo run --release --quiet --example cluster
+
+echo "==> 4-worker cluster smoke (fig07 --quick --workers 4)"
+cargo run --release --quiet -p pluto-bench --bin fig07_speedup -- --quick --workers 4
+
 echo "==> CI green"

@@ -1,0 +1,133 @@
+//! Wall-clock comparison of the serial `Session` sweep against the
+//! multi-worker `Cluster` executor (`DESIGN.md` §6): the full-registry
+//! sweep at 1/2/4 workers, plus shard fan-out over oversize batches.
+//! Writes the machine-readable `BENCH_cluster.json` baseline; the
+//! speedup is the ratio of the `serial/…` record to the matching
+//! `cluster/…` record (and `sharded/workers1` over `sharded/workers4`
+//! for the shard path).
+//!
+//! Results are bit-identical across all of these configurations (asserted
+//! in `tests/cluster.rs`); only wall-clock time varies. The measured
+//! speedup tracks the host's core count: ~1x on a single-CPU container,
+//! and at least 2x at 4 workers on a 4-core machine (the sweep's longest
+//! job, CRC-32, bounds the unsharded makespan at ~40% of the serial
+//! total).
+//!
+//! `PLUTO_QUICK=1` shrinks both the sample counts and the workload set
+//! (the three long-running scenarios are dropped), matching the other
+//! smoke-mode binaries.
+
+use pluto_baselines::WorkloadId;
+use pluto_bench::{measure_all, PlutoConfig};
+use pluto_core::cluster::Cluster;
+use pluto_core::session::Workload;
+use pluto_core::DesignKind;
+use pluto_dram::MemoryKind;
+use pluto_workloads::bitcount::BitcountWorkload;
+use pluto_workloads::image::{BinarizeWorkload, GradeWorkload};
+use pluto_workloads::vecops::AddWorkload;
+use pluto_workloads::workload_for;
+use sim_support::bench::Criterion;
+use sim_support::{bench_group, bench_main};
+
+fn sweep_ids() -> Vec<WorkloadId> {
+    let quick = std::env::var("PLUTO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    WorkloadId::CANONICAL
+        .into_iter()
+        .filter(|id| {
+            !quick
+                || !matches!(
+                    id,
+                    WorkloadId::Crc16 | WorkloadId::Crc32 | WorkloadId::Salsa20
+                )
+        })
+        .collect()
+}
+
+fn cfg() -> PlutoConfig {
+    PlutoConfig {
+        design: DesignKind::Gmc,
+        kind: MemoryKind::Ddr4,
+    }
+}
+
+fn registry_workloads(ids: &[WorkloadId]) -> Vec<Box<dyn Workload>> {
+    ids.iter().map(|&id| workload_for(id)).collect()
+}
+
+fn bench_serial_sweep(c: &mut Criterion) {
+    let ids = sweep_ids();
+    let label = if ids.len() == 14 {
+        "registry14"
+    } else {
+        "quick"
+    };
+    c.bench_function(&format!("serial/{label}"), |b| {
+        b.iter(|| measure_all(&ids, cfg()).len());
+    });
+}
+
+fn bench_cluster_sweep(c: &mut Criterion) {
+    let ids = sweep_ids();
+    let label = if ids.len() == 14 {
+        "registry14"
+    } else {
+        "quick"
+    };
+    let mut group = c.benchmark_group("cluster");
+    for workers in [1usize, 2, 4] {
+        // One long-lived pool per worker count: the steady state the
+        // figure binaries run in (machine pool stays warm across
+        // batches).
+        let mut cluster = Cluster::new(workers);
+        let config = cfg().exec_config();
+        group.bench_function(&format!("workers{workers}_{label}"), |b| {
+            b.iter(|| {
+                cluster
+                    .run_all(&config, registry_workloads(&ids))
+                    .expect("cluster sweep")
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Oversize batches of the input-sharded scenarios (small-LUT workloads,
+/// where per-shard LUT-store loading is cheap relative to the queries):
+/// eight measurement tiles each, fanned out with `submit_sharded`.
+fn sharded_batches() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(AddWorkload::with_batch(4, 8 * 192)),
+        Box::new(BitcountWorkload::with_batch(8, 8 * 192)),
+        Box::new(BinarizeWorkload::with_pixels(8 * 192)),
+        Box::new(GradeWorkload::with_pixels(8 * 192)),
+    ]
+}
+
+fn bench_sharded_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded");
+    for workers in [1usize, 4] {
+        let mut cluster = Cluster::new(workers);
+        let config = cfg().exec_config();
+        group.bench_function(&format!("workers{workers}_batches8x"), |b| {
+            b.iter(|| {
+                for w in sharded_batches() {
+                    cluster.submit_sharded(config.clone(), w);
+                }
+                cluster.run().expect("sharded fan-out").len()
+            });
+        });
+    }
+    group.finish();
+}
+
+bench_group!(
+    benches,
+    bench_serial_sweep,
+    bench_cluster_sweep,
+    bench_sharded_fanout
+);
+bench_main!(benches);

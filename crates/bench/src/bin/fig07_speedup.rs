@@ -5,7 +5,7 @@
 
 use pluto_baselines::{Machine, WorkloadId};
 use pluto_bench::{
-    baseline_secs, fmt_x, geomean, measure_config, pluto_wall_secs, print_row, quick_mode,
+    baseline_secs, cluster, fmt_x, geomean, measure_sweep, pluto_wall_secs, print_row, quick_mode,
     PlutoConfig,
 };
 
@@ -24,21 +24,28 @@ fn main() {
     let gpu = Machine::rtx_3080_ti();
     let pnm = Machine::hmc_pnm();
 
+    // Every (workload, config) measurement fans out across the cluster's
+    // workers; costs are bit-identical to the serial sweep.
+    let mut pool = cluster();
+    let costs = measure_sweep(&ids, &PlutoConfig::ALL, &mut pool);
+
     let mut headers = vec!["GPU".to_string(), "PnM".to_string()];
     headers.extend(PlutoConfig::ALL.iter().map(|c| c.label()));
-    println!("Figure 7 — speedup over CPU (higher is better)\n");
+    println!(
+        "Figure 7 — speedup over CPU (higher is better; measured on {} workers)\n",
+        pool.workers()
+    );
     print_row("workload", &headers);
 
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
-    for &id in &ids {
+    for (row, &id) in costs.iter().zip(&ids) {
         let t_cpu = baseline_secs(id, &cpu);
         let mut cells = vec![
             t_cpu / baseline_secs(id, &gpu),
             t_cpu / baseline_secs(id, &pnm),
         ];
-        for cfg in PlutoConfig::ALL {
-            let cost = measure_config(id, cfg);
-            cells.push(t_cpu / pluto_wall_secs(id, cfg, &cost));
+        for (cfg, cost) in PlutoConfig::ALL.iter().zip(row) {
+            cells.push(t_cpu / pluto_wall_secs(id, *cfg, cost));
         }
         for (s, &v) in series.iter_mut().zip(&cells) {
             s.push(v);

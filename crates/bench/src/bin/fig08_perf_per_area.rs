@@ -5,7 +5,7 @@
 
 use pluto_baselines::{Machine, WorkloadId};
 use pluto_bench::{
-    baseline_secs, fmt_x, geomean, measure_config, pluto_wall_secs, print_row, quick_mode,
+    baseline_secs, cluster, fmt_x, geomean, measure_sweep, pluto_wall_secs, print_row, quick_mode,
     PlutoConfig,
 };
 use pluto_core::area::{stacked_vault_overhead_mm2, AreaBreakdown};
@@ -29,20 +29,25 @@ fn main() {
     let cpu = Machine::xeon_gold_5118();
     let gpu = Machine::rtx_3080_ti();
 
+    let mut pool = cluster();
+    let costs = measure_sweep(&ids, &PlutoConfig::ALL, &mut pool);
+
     let mut headers = vec!["GPU".to_string()];
     headers.extend(PlutoConfig::ALL.iter().map(|c| c.label()));
-    println!("Figure 8 — speedup per unit area over CPU (higher is better)\n");
+    println!(
+        "Figure 8 — speedup per unit area over CPU (higher is better; {} workers)\n",
+        pool.workers()
+    );
     print_row("workload", &headers);
 
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
-    for &id in &ids {
+    for (row, &id) in costs.iter().zip(&ids) {
         let t_cpu = baseline_secs(id, &cpu);
         let per_area = |speedup: f64, area: f64| speedup / (area / cpu.area_mm2);
         let mut cells = vec![per_area(t_cpu / baseline_secs(id, &gpu), gpu.area_mm2)];
-        for cfg in PlutoConfig::ALL {
-            let cost = measure_config(id, cfg);
-            let speedup = t_cpu / pluto_wall_secs(id, cfg, &cost);
-            cells.push(per_area(speedup, pluto_area_mm2(cfg)));
+        for (cfg, cost) in PlutoConfig::ALL.iter().zip(row) {
+            let speedup = t_cpu / pluto_wall_secs(id, *cfg, cost);
+            cells.push(per_area(speedup, pluto_area_mm2(*cfg)));
         }
         for (s, &v) in series.iter_mut().zip(&cells) {
             s.push(v);

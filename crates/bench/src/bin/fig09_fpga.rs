@@ -4,7 +4,7 @@
 
 use pluto_baselines::{Machine, WorkloadId};
 use pluto_bench::{
-    baseline_secs, fmt_x, geomean, measure_config, pluto_wall_secs, print_row, quick_mode,
+    baseline_secs, cluster, fmt_x, geomean, measure_sweep, pluto_wall_secs, print_row, quick_mode,
     PlutoConfig,
 };
 
@@ -16,19 +16,24 @@ fn main() {
     };
     let fpga = Machine::zcu102();
 
+    let mut pool = cluster();
+    let costs = measure_sweep(&ids, &PlutoConfig::ALL, &mut pool);
+
     let headers: Vec<String> = PlutoConfig::ALL.iter().map(|c| c.label()).collect();
-    println!("Figure 9 — speedup over the FPGA baseline (higher is better)\n");
+    println!(
+        "Figure 9 — speedup over the FPGA baseline (higher is better; {} workers)\n",
+        pool.workers()
+    );
     print_row("workload", &headers);
 
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
     let mut small_lut_gain = Vec::new(); // BC4 / ImgBin style
     let mut wide_op_gain = Vec::new(); // MUL16 style
-    for &id in &ids {
+    for (row, &id) in costs.iter().zip(&ids) {
         let t_fpga = baseline_secs(id, &fpga);
         let mut cells = Vec::new();
-        for cfg in PlutoConfig::ALL {
-            let cost = measure_config(id, cfg);
-            cells.push(t_fpga / pluto_wall_secs(id, cfg, &cost));
+        for (cfg, cost) in PlutoConfig::ALL.iter().zip(row) {
+            cells.push(t_fpga / pluto_wall_secs(id, *cfg, cost));
         }
         for (s, &v) in series.iter_mut().zip(&cells) {
             s.push(v);

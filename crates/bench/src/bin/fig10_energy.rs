@@ -4,7 +4,7 @@
 
 use pluto_baselines::{Machine, WorkloadId};
 use pluto_bench::{
-    baseline_joules, fmt_x, geomean, measure_config, print_row, quick_mode, volume_bytes,
+    baseline_joules, cluster, fmt_x, geomean, measure_sweep, print_row, quick_mode, volume_bytes,
     PlutoConfig,
 };
 use pluto_workloads::runner::scaled_energy;
@@ -18,18 +18,23 @@ fn main() {
     let cpu = Machine::xeon_gold_5118();
     let gpu = Machine::rtx_3080_ti();
 
+    let mut pool = cluster();
+    let costs = measure_sweep(&ids, &PlutoConfig::ALL, &mut pool);
+
     let mut headers = vec!["GPU".to_string()];
     headers.extend(PlutoConfig::ALL.iter().map(|c| c.label()));
-    println!("Figure 10 — CPU-normalized energy reduction (higher is better)\n");
+    println!(
+        "Figure 10 — CPU-normalized energy reduction (higher is better; {} workers)\n",
+        pool.workers()
+    );
     print_row("workload", &headers);
 
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); headers.len()];
-    for &id in &ids {
+    for (row, &id) in costs.iter().zip(&ids) {
         let e_cpu = baseline_joules(id, &cpu);
         let mut cells = vec![e_cpu / baseline_joules(id, &gpu)];
-        for cfg in PlutoConfig::ALL {
-            let cost = measure_config(id, cfg);
-            cells.push(e_cpu / scaled_energy(&cost, volume_bytes(id)));
+        for cost in row {
+            cells.push(e_cpu / scaled_energy(cost, volume_bytes(id)));
         }
         for (s, &v) in series.iter_mut().zip(&cells) {
             s.push(v);

@@ -3,7 +3,9 @@
 //! modeled chip's tFAW (paper §8.7).
 
 use pluto_baselines::WorkloadId;
-use pluto_bench::{geomean, measure_all, print_row, quick_mode, volume_bytes, PlutoConfig};
+use pluto_bench::{
+    cluster, geomean, measure_all_on, print_row, quick_mode, volume_bytes, PlutoConfig,
+};
 use pluto_core::DesignKind;
 use pluto_dram::{MemoryKind, TimingParams};
 use pluto_workloads::runner::scaled_wall_time;
@@ -27,8 +29,8 @@ fn main() {
         &["tFAW=0%".into(), "tFAW=50%".into(), "tFAW=100%".into()],
     );
     let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); scales.len()];
-    // One batched session run measures every workload up front.
-    let costs = measure_all(&ids, cfg);
+    // One parallel cluster batch measures every workload up front.
+    let costs = measure_all_on(&ids, cfg, &mut cluster());
     for (&id, cost) in ids.iter().zip(&costs) {
         let free = scaled_wall_time(cost, volume_bytes(id), 16, 0.0, &timing);
         let mut cells = Vec::new();

@@ -4,7 +4,7 @@
 
 use pluto_baselines::{Machine, WorkloadId};
 use pluto_bench::{
-    baseline_secs, fmt_x, geomean, measure_all, quick_mode, volume_bytes, PlutoConfig,
+    baseline_secs, cluster, fmt_x, geomean, measure_sweep, quick_mode, volume_bytes, PlutoConfig,
 };
 use pluto_core::DesignKind;
 use pluto_dram::{MemoryKind, TimingParams};
@@ -17,6 +17,7 @@ fn main() {
         WorkloadId::FIG7.to_vec()
     };
     let cpu = Machine::xeon_gold_5118();
+    let mut pool = cluster();
 
     for kind in [MemoryKind::Ddr4, MemoryKind::Stacked3d] {
         let (timing, counts): (TimingParams, Vec<usize>) = match kind {
@@ -32,11 +33,15 @@ fn main() {
             "subarrays", "GSA", "BSA", "GMC"
         );
         println!("csv14-{kind}: subarrays,gsa,bsa,gmc");
-        // Measure each (workload, design) once — one batched session per
-        // design — then sweep parallelism analytically.
-        let costs: Vec<Vec<_>> = DesignKind::ALL
+        // Measure each (workload, design) once — all pairs in parallel
+        // on the cluster — then sweep parallelism analytically.
+        let cfgs: Vec<PlutoConfig> = DesignKind::ALL
             .iter()
-            .map(|&design| measure_all(&ids, PlutoConfig { design, kind }))
+            .map(|&design| PlutoConfig { design, kind })
+            .collect();
+        let by_workload = measure_sweep(&ids, &cfgs, &mut pool);
+        let costs: Vec<Vec<_>> = (0..cfgs.len())
+            .map(|d| by_workload.iter().map(|row| row[d]).collect())
             .collect();
         let mut last: Vec<f64> = vec![0.0; 3];
         for &s in &counts {

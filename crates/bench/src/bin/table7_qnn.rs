@@ -6,7 +6,7 @@
 use pluto_core::DesignKind;
 use pluto_qnn::lenet::{binary_dot_reference, LeNet5, Precision};
 use pluto_qnn::mnist::SyntheticMnist;
-use pluto_qnn::pluto_exec::{binary_dot_pluto, qnn_session};
+use pluto_qnn::pluto_exec::binary_dot_cluster;
 use pluto_qnn::table7::{modeled, published, published_accuracy_percent, Platform};
 
 fn main() {
@@ -40,30 +40,37 @@ fn main() {
         println!("  shape check — pLUTo fastest: {all_faster}\n");
     }
 
-    // Live kernel demonstration: the binary inner product on the simulator.
-    println!("functional demo — binary XNOR-popcount dot product on the simulator:");
+    // Live kernel demonstration: the binary inner product, run as a
+    // sharded workload through the same cluster pool as the figure
+    // sweeps — 32 row pairs of 128 bits (quantized activations against
+    // consecutive 128-weight slices of the fc1 matrix).
+    println!("functional demo — binary XNOR-popcount dot products via the cluster:");
     let net = LeNet5::new(Precision::Bit1, 42);
     let img = SyntheticMnist::new(3).image(7, 0);
     let x = net.quantize_input(&img);
     let a_bits: Vec<u8> = x.data()[..128].iter().map(|&v| u8::from(v > 0)).collect();
-    let b_bits: Vec<u8> = net.fc1.weights[..128]
-        .iter()
-        .map(|&w| u8::from(w > 0))
+    let a_rows: Vec<Vec<u8>> = vec![a_bits.clone(); 32];
+    let b_rows: Vec<Vec<u8>> = (0..32)
+        .map(|n| {
+            net.fc1.weights[n * 128..(n + 1) * 128]
+                .iter()
+                .map(|&w| u8::from(w > 0))
+                .collect()
+        })
         .collect();
-    let mut session = qnn_session(DesignKind::Bsa).unwrap();
-    let out = binary_dot_pluto(
-        &mut session,
-        std::slice::from_ref(&a_bits),
-        std::slice::from_ref(&b_bits),
-    )
-    .unwrap();
-    let expect = binary_dot_reference(&a_bits, &b_bits);
+    let mut pool = pluto_bench::cluster();
+    let (out, report) = binary_dot_cluster(&mut pool, DesignKind::Bsa, &a_rows, &b_rows).unwrap();
+    let all_match = out
+        .iter()
+        .zip(&b_rows)
+        .all(|(&dot, b)| dot == binary_dot_reference(&a_bits, b));
     println!(
-        "  pLUTo dot = {}, reference = {}, match = {}, simulated time = {}",
+        "  32 row pairs on {} workers: first dot = {}, all match reference = {}, \
+         batch simulated time = {}",
+        pool.workers(),
         out[0],
-        expect,
-        out[0] == expect,
-        session.machine().totals().time
+        all_match,
+        report.time
     );
     let prediction = net.classify(&img);
     println!("  full 1-bit LeNet-5 classifies the synthetic '7' as class {prediction}");

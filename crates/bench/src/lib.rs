@@ -21,11 +21,18 @@
 //! Binaries print the paper's rows/series as aligned tables plus CSV. Set
 //! `PLUTO_QUICK=1` to shrink the expensive measurement runs (Salsa20,
 //! CRC-32) for smoke testing.
+//!
+//! Measurement sweeps run on a `pluto_core::cluster::Cluster` worker
+//! pool ([`measure_sweep`]/[`measure_all_on`]): results are bit-identical
+//! to the serial session path for any worker count, so parallelism is a
+//! pure wall-clock win. Pass `--workers N` (or set `PLUTO_WORKERS`) to
+//! pin the pool size; the default is one worker per available CPU.
 
 #![warn(missing_docs)]
 
 use pluto_baselines::{estimate, machine::Machine, profile, WorkloadId};
-use pluto_core::session::{Session, Workload};
+use pluto_core::cluster::Cluster;
+use pluto_core::session::{ExecConfig, Session, Workload};
 use pluto_core::DesignKind;
 use pluto_dram::MemoryKind;
 use pluto_workloads::runner::{self, PlutoCost};
@@ -93,13 +100,19 @@ impl PlutoConfig {
         pluto_core::session::default_salp(self.kind)
     }
 
-    /// A [`Session`] configured for this figure configuration, panicking
-    /// with context on failure.
+    /// A [`Session`] configured for this figure configuration (built
+    /// from [`PlutoConfig::exec_config`], so the serial and cluster
+    /// paths share one configuration by construction), panicking with
+    /// context on failure.
     pub fn session(&self) -> Session {
-        Session::builder(self.design)
-            .memory(self.kind)
-            .build()
+        Session::with_config(self.exec_config())
             .unwrap_or_else(|e| panic!("building a session for {}: {e}", self.label()))
+    }
+
+    /// The explicit [`ExecConfig`] of this figure configuration — what
+    /// cluster submissions use.
+    pub fn exec_config(&self) -> ExecConfig {
+        ExecConfig::measurement_on(self.design, self.kind)
     }
 }
 
@@ -119,9 +132,10 @@ pub fn measure_config(id: WorkloadId, cfg: PlutoConfig) -> PlutoCost {
     PlutoCost::from_report(id, report)
 }
 
-/// Batched measurement: runs every workload in `ids` on one [`Session`]
-/// via `run_all` (the path the `BENCH_session.json` baseline exercises),
-/// panicking with context on failure.
+/// Serial batched measurement: runs every workload in `ids` on one
+/// [`Session`] via `run_all` (the serial baseline the
+/// `BENCH_session.json` and `BENCH_cluster.json` baselines compare
+/// against), panicking with context on failure.
 pub fn measure_all(ids: &[WorkloadId], cfg: PlutoConfig) -> Vec<PlutoCost> {
     let mut workloads: Vec<Box<dyn Workload>> = ids.iter().map(|&id| workload_for(id)).collect();
     let mut session = cfg.session();
@@ -139,6 +153,101 @@ pub fn measure_all(ids: &[WorkloadId], cfg: PlutoConfig) -> Vec<PlutoCost> {
             PlutoCost::from_report(id, report)
         })
         .collect()
+}
+
+/// Parallel batched measurement: the cluster counterpart of
+/// [`measure_all`] — same ids, same configuration, bit-identical costs,
+/// executed across `cluster`'s workers. Panics with context on failure.
+pub fn measure_all_on(
+    ids: &[WorkloadId],
+    cfg: PlutoConfig,
+    cluster: &mut Cluster,
+) -> Vec<PlutoCost> {
+    let sweep = measure_sweep(ids, &[cfg], cluster);
+    sweep.into_iter().map(|mut row| row.remove(0)).collect()
+}
+
+/// The full figure sweep on a [`Cluster`]: every `(workload, config)`
+/// pair becomes one job, all jobs run across the pool's workers, and the
+/// costs come back indexed `[workload][config]` — each bit-identical to
+/// the serial [`measure_config`] measurement of the same pair. Panics
+/// with context on the first failing or non-validating job (matching the
+/// serial sweep's behavior), or if `cluster` still has submissions
+/// pending from before this call (collect them with [`Cluster::run`]
+/// first — otherwise their reports would be misattributed to sweep
+/// cells).
+pub fn measure_sweep(
+    ids: &[WorkloadId],
+    cfgs: &[PlutoConfig],
+    cluster: &mut Cluster,
+) -> Vec<Vec<PlutoCost>> {
+    assert_eq!(
+        cluster.pending(),
+        0,
+        "measure_sweep runs its own batch; collect pending submissions with run() first"
+    );
+    for &id in ids {
+        for cfg in cfgs {
+            cluster.submit(cfg.exec_config(), workload_for(id));
+        }
+    }
+    let reports = cluster
+        .run()
+        .unwrap_or_else(|e| panic!("cluster sweep ({} jobs): {e}", ids.len() * cfgs.len()));
+    let mut rows = Vec::with_capacity(ids.len());
+    let mut it = reports.into_iter();
+    for &id in ids {
+        let row: Vec<PlutoCost> = cfgs
+            .iter()
+            .map(|cfg| {
+                let report = it.next().expect("one report per submitted job");
+                assert!(
+                    report.validated,
+                    "{id} failed functional validation on {}",
+                    cfg.label()
+                );
+                PlutoCost::from_report(id, report)
+            })
+            .collect();
+        rows.push(row);
+    }
+    rows
+}
+
+/// Worker-thread count for figure binaries: `--workers N` on the command
+/// line, else the `PLUTO_WORKERS` environment variable, else one per
+/// available CPU. Worker count never changes results — only wall-clock
+/// time (see `pluto_core::cluster`).
+///
+/// # Panics
+/// Panics (rather than silently falling back) when `--workers` or
+/// `PLUTO_WORKERS` is present but not a positive integer.
+pub fn worker_count() -> usize {
+    let parse = |source: &str, v: &str| -> usize {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| panic!("{source} expects a positive integer, got {v:?}"))
+    };
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--workers" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("--workers expects a value"));
+            return parse("--workers", &v);
+        }
+    }
+    if let Ok(v) = std::env::var("PLUTO_WORKERS") {
+        return parse("PLUTO_WORKERS", &v);
+    }
+    pluto_core::cluster::default_workers()
+}
+
+/// A [`Cluster`] sized by [`worker_count`] — what every migrated figure
+/// binary executes its sweeps on.
+pub fn cluster() -> Cluster {
+    Cluster::new(worker_count())
 }
 
 /// pLUTo wall-clock seconds for a workload volume under one configuration.
@@ -230,5 +339,21 @@ mod tests {
         for id in WorkloadId::FIG7 {
             assert!(volume_bytes(id) > 0.0);
         }
+    }
+
+    #[test]
+    fn cluster_sweep_is_bit_identical_to_serial_measurement() {
+        let ids = [WorkloadId::Bc4, WorkloadId::BitwiseRow];
+        let cfgs = [PlutoConfig::ALL[2], PlutoConfig::ALL[5]];
+        let mut cluster = Cluster::new(2);
+        let sweep = measure_sweep(&ids, &cfgs, &mut cluster);
+        for (i, &id) in ids.iter().enumerate() {
+            for (j, &cfg) in cfgs.iter().enumerate() {
+                assert_eq!(sweep[i][j], measure_config(id, cfg), "{id}/{}", cfg.label());
+            }
+        }
+        // measure_all_on agrees with the serial batched path.
+        let parallel = measure_all_on(&ids, cfgs[0], &mut cluster);
+        assert_eq!(parallel, measure_all(&ids, cfgs[0]));
     }
 }

@@ -47,6 +47,12 @@ pub enum PlutoError {
     /// The LUT store was used after its contents were destroyed (GSA
     /// destructive sweep without reload).
     LutDestroyed,
+    /// A cluster worker caught a panic while executing a workload (the
+    /// job is reported failed; the worker and its pool stay usable).
+    WorkerPanic {
+        /// The panic payload, stringified.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PlutoError {
@@ -71,6 +77,9 @@ impl fmt::Display for PlutoError {
                     f,
                     "LUT contents were destroyed by a GSA sweep and not reloaded"
                 )
+            }
+            PlutoError::WorkerPanic { reason } => {
+                write!(f, "a cluster worker panicked while running a job: {reason}")
             }
         }
     }

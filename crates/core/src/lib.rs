@@ -28,6 +28,9 @@
 //! * [`session`] — the unified execution API (`DESIGN.md` §5): explicit
 //!   [`ExecConfig`]s build [`Session`]s that run pluggable [`Workload`]
 //!   scenarios and accumulate [`CostReport`]s.
+//! * [`cluster`] — the sharded parallel executor (`DESIGN.md` §6): a
+//!   deterministic multi-worker [`Cluster`] with per-configuration
+//!   machine pooling, serial-identical results in submission order.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod area;
+pub mod cluster;
 pub mod compiler;
 pub mod controller;
 pub mod design;
@@ -63,6 +67,7 @@ pub mod salp;
 pub mod session;
 pub mod store;
 
+pub use cluster::Cluster;
 pub use design::{DesignKind, DesignModel};
 pub use error::PlutoError;
 pub use library::{MapResult, PlutoMachine};
@@ -73,6 +78,7 @@ pub use store::LutStore;
 
 /// Commonly used items, for glob import in examples and downstream crates.
 pub mod prelude {
+    pub use crate::cluster::Cluster;
     pub use crate::design::{DesignKind, DesignModel};
     pub use crate::error::PlutoError;
     pub use crate::library::{MapResult, PlutoMachine};

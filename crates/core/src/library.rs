@@ -129,6 +129,22 @@ impl PlutoMachine {
         self.totals = AggregateCost::default();
     }
 
+    /// Restores the machine to its just-constructed state: a pristine
+    /// engine (zero clock/energy/stats, empty array), no cached LUT
+    /// stores, and zeroed totals.
+    ///
+    /// A reset machine is bit-identical in behavior to a freshly built
+    /// one, but skips the controller-layout validation that
+    /// [`PlutoMachine::new`] performs — this is what lets the cluster
+    /// worker pool keep one machine per configuration and reuse it across
+    /// jobs without perturbing any measurement.
+    pub fn reset(&mut self) {
+        self.engine = Engine::new(self.cfg.clone());
+        self.totals = AggregateCost::default();
+        self.stores.clear();
+        self.next_pluto = 1;
+    }
+
     /// Runs a compiled graph through a fresh controller.
     fn run_graph(
         &mut self,
@@ -564,6 +580,33 @@ mod tests {
             r1.stats.lisa_hops
         );
         assert!(r2.stats.lisa_hops >= 16);
+    }
+
+    #[test]
+    fn reset_machine_is_bit_identical_to_fresh() {
+        // The cluster's machine-pooling contract: a reset machine costs
+        // and computes exactly like a freshly constructed one, including
+        // the GSA reload semantics that depend on LUT-store state.
+        for design in [DesignKind::Bsa, DesignKind::Gsa, DesignKind::Gmc] {
+            let lut = catalog::popcount(8).unwrap();
+            let inputs: Vec<u64> = (0..150u64).map(|i| (i * 37) % 256).collect();
+            let mut fresh = PlutoMachine::new(small_cfg(), design).unwrap();
+            let want = fresh.apply(&lut, &inputs).unwrap();
+            let want_totals = fresh.totals();
+            let want_stats = fresh.engine_stats();
+
+            let mut pooled = PlutoMachine::new(small_cfg(), design).unwrap();
+            // Dirty the machine with unrelated work, then reset.
+            pooled
+                .apply(&catalog::binarize(90).unwrap(), &[1, 2, 3])
+                .unwrap();
+            pooled.reset();
+            assert_eq!(pooled.totals(), AggregateCost::default());
+            let got = pooled.apply(&lut, &inputs).unwrap();
+            assert_eq!(got, want, "{design}");
+            assert_eq!(pooled.totals(), want_totals, "{design}");
+            assert_eq!(pooled.engine_stats(), want_stats, "{design}");
+        }
     }
 
     #[test]

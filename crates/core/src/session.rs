@@ -142,6 +142,19 @@ impl ExecConfig {
         }
     }
 
+    /// The default measurement configuration on an explicit memory kind:
+    /// [`ExecConfig::measurement`] with the kind's timing/energy models
+    /// and Table 3 SALP default. This is the configuration
+    /// `Session::builder(design).memory(kind)` builds — use it for
+    /// cluster submissions that must match a builder-made session
+    /// bit-for-bit.
+    pub fn measurement_on(design: DesignKind, kind: MemoryKind) -> Self {
+        let mut cfg = ExecConfig::measurement(design);
+        cfg.kind = kind;
+        cfg.salp_subarrays = default_salp(kind);
+        cfg
+    }
+
     /// The DRAM geometry this configuration describes.
     pub fn dram_config(&self) -> DramConfig {
         DramConfig {
@@ -338,6 +351,24 @@ impl CostReport {
     pub fn scaled_energy(&self, volume_bytes: f64) -> f64 {
         self.joules_per_byte() * volume_bytes
     }
+
+    /// Folds another shard's report into this one (the cluster's shard
+    /// reduction): time, energy, activations, and byte volumes add;
+    /// validation ANDs. Workload id, design, and kind are taken from
+    /// `self` — shards of one job share all three by construction.
+    ///
+    /// Folding in ascending shard order is deterministic (fixed
+    /// floating-point summation order), so a sharded parallel run
+    /// reduces to the same bits regardless of worker scheduling.
+    pub fn absorb(&mut self, shard: &CostReport) {
+        debug_assert_eq!(self.design, shard.design);
+        debug_assert_eq!(self.kind, shard.kind);
+        self.time += shard.time;
+        self.energy += shard.energy;
+        self.acts += shard.acts;
+        self.paper_bytes += shard.paper_bytes;
+        self.validated &= shard.validated;
+    }
 }
 
 /// A pluggable execution scenario: anything a [`Session`] can run,
@@ -350,7 +381,11 @@ impl CostReport {
 /// Both `run_pluto` and `run_reference` return a canonical little-endian
 /// byte serialization of the workload output; the session compares the
 /// two to set [`CostReport::validated`].
-pub trait Workload {
+///
+/// Workloads are `Send` so that a [`crate::cluster::Cluster`] can move
+/// boxed scenarios onto its worker threads; scenario structs are plain
+/// data, so the bound is free in practice.
+pub trait Workload: Send {
     /// Stable identifier (the paper's workload label where applicable).
     fn id(&self) -> &'static str;
 
@@ -379,6 +414,31 @@ pub trait Workload {
     /// subarray pairs). Defaults to the measurement geometry's 16.
     fn min_subarrays(&self) -> u16 {
         16
+    }
+
+    /// Splits this workload into independent input shards for parallel
+    /// fan-out across a [`crate::cluster::Cluster`]'s workers.
+    ///
+    /// The default implementation returns an empty vector, which marks
+    /// the workload as a *single shard*: the cluster runs it whole on one
+    /// worker. Shardable scenarios return two or more sub-workloads, each
+    /// carrying a pinned slice of the parent's input (their `prepare`
+    /// must keep that slice rather than regenerate). The cluster calls
+    /// [`Workload::prepare`] on the parent — with the configuration's
+    /// seeded RNG, exactly as a serial run would — *before* sharding, so
+    /// the slices always cover the prepared input state; the
+    /// cluster runs every shard on its own machine and reduces the shard
+    /// [`CostReport`]s — sums of time/energy/activations/bytes, logical
+    /// AND of `validated` — into one report for the submitted job.
+    ///
+    /// The reduced report equals the bit-exact fold of the shard reports
+    /// in shard order, so a sharded cluster run is reproducible and
+    /// matches a serial shard-by-shard execution exactly. It is *not*
+    /// expected to equal the unsharded run of the same workload: each
+    /// shard pays its own LUT-store load, exactly as independent
+    /// subarray groups would in hardware.
+    fn shards(&self) -> Vec<Box<dyn Workload>> {
+        Vec::new()
     }
 }
 
@@ -456,15 +516,29 @@ impl Session {
         std::mem::take(&mut self.reports)
     }
 
-    /// Runs one workload: prepare on a fresh machine, execute the pLUTo
-    /// mapping, validate against the reference, and record the cost.
+    /// Runs one workload: prepare on a pristine machine, execute the
+    /// pLUTo mapping, validate against the reference, and record the
+    /// cost.
+    ///
+    /// The machine starts every run in its just-constructed state
+    /// (cold-cost isolation). When the effective geometry matches the
+    /// machine left by the previous run, the session *resets* that
+    /// machine in place instead of rebuilding it — bit-identical
+    /// behavior (see [`PlutoMachine::reset`]) without re-validating the
+    /// controller layout, which is what makes pooled cluster workers
+    /// cheap.
     ///
     /// # Errors
     /// Propagates machine construction and workload errors.
     pub fn run(&mut self, workload: &mut dyn Workload) -> Result<CostReport, PlutoError> {
         let mut cfg = self.config.clone();
         cfg.subarrays_per_bank = cfg.subarrays_per_bank.max(workload.min_subarrays());
-        self.machine = PlutoMachine::new(cfg.dram_config(), cfg.design)?;
+        let dram = cfg.dram_config();
+        if *self.machine.config() == dram && self.machine.design() == cfg.design {
+            self.machine.reset();
+        } else {
+            self.machine = PlutoMachine::new(dram, cfg.design)?;
+        }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         workload.prepare(&mut rng);
         let pluto_out = workload.run_pluto(self)?;
@@ -591,6 +665,12 @@ mod tests {
             .unwrap();
         assert_eq!(s.config().salp_subarrays, 512);
         assert!((s.config().row_ratio() - 1.0).abs() < 1e-12);
+        // measurement_on is exactly what the builder produces — the
+        // contract cluster submissions rely on.
+        assert_eq!(
+            *s.config(),
+            ExecConfig::measurement_on(DesignKind::Bsa, MemoryKind::Stacked3d)
+        );
 
         let pinned = Session::builder(DesignKind::Bsa)
             .salp(64)

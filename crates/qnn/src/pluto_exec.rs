@@ -5,32 +5,37 @@
 //! bitwise operations pLUTo excels at (Table 6). [`binary_dot_pluto`] runs
 //! that kernel *functionally* on a [`Session`]'s machine: one XNOR
 //! LUT-query stream over bit pairs and a BC-8 popcount fold, validated
-//! against the reference. [`qnn_query_count`] extends the per-kernel costs
-//! to the whole network via the layer MAC counts, feeding the Table 7 cost
-//! model.
+//! against the reference. [`binary_dot_cluster`] runs the same kernel as
+//! a first-class [`Workload`] through a multi-worker
+//! [`pluto_core::cluster::Cluster`], sharding the row pairs across the
+//! pool — the per-layer LUT maps of a whole network submit as one batch.
+//! [`qnn_query_count`] extends the per-kernel costs to the whole network
+//! via the layer MAC counts, feeding the Table 7 cost model.
 
-use crate::lenet::{LeNet5, Precision};
+use crate::lenet::{binary_dot_reference, LeNet5, Precision};
+use pluto_core::cluster::Cluster;
 use pluto_core::lut::catalog;
-use pluto_core::session::Session;
-use pluto_core::{DesignKind, PlutoError, PlutoMachine};
+use pluto_core::session::{CostReport, ExecConfig, Session, Workload};
+use pluto_core::{DesignKind, PlutoError};
 use pluto_dram::{PicoJoules, Picos};
+use sim_support::StdRng;
+use std::sync::{Arc, Mutex};
 
-/// Builds a [`Session`] sized for the QNN kernels (the measurement
-/// geometry with 64 subarrays per bank).
+/// The execution configuration of the QNN kernels: the measurement
+/// geometry with 64 subarrays per bank.
+pub fn qnn_exec_config(design: DesignKind) -> ExecConfig {
+    let mut cfg = ExecConfig::measurement(design);
+    cfg.subarrays_per_bank = 64;
+    cfg
+}
+
+/// Builds a [`Session`] sized for the QNN kernels
+/// ([`qnn_exec_config`]'s geometry).
 ///
 /// # Errors
 /// Propagates machine construction errors.
 pub fn qnn_session(design: DesignKind) -> Result<Session, PlutoError> {
-    Session::builder(design).subarrays(64).build()
-}
-
-/// Builds a machine sized for the QNN kernels.
-///
-/// # Errors
-/// Propagates machine construction errors.
-#[deprecated(note = "use qnn_session (DESIGN.md §5)")]
-pub fn qnn_machine(design: DesignKind) -> Result<PlutoMachine, PlutoError> {
-    qnn_session(design).map(Session::into_machine)
+    Session::with_config(qnn_exec_config(design))
 }
 
 /// Computes many binary dot products at once: row `i` of `a_rows`/`b_rows`
@@ -50,8 +55,17 @@ pub fn binary_dot_pluto(
     a_rows: &[Vec<u8>],
     b_rows: &[Vec<u8>],
 ) -> Result<Vec<i32>, PlutoError> {
+    binary_dot_on(session.machine_mut(), a_rows, b_rows)
+}
+
+/// The kernel proper, on a bare machine (shared by the session path and
+/// the cluster workload).
+fn binary_dot_on(
+    m: &mut pluto_core::PlutoMachine,
+    a_rows: &[Vec<u8>],
+    b_rows: &[Vec<u8>],
+) -> Result<Vec<i32>, PlutoError> {
     assert_eq!(a_rows.len(), b_rows.len());
-    let m = session.machine_mut();
     let xnor1 = catalog::xnor(1)?;
     let bc8 = catalog::popcount(8)?;
     let mut out = Vec::with_capacity(a_rows.len());
@@ -76,6 +90,149 @@ pub fn binary_dot_pluto(
         out.push(2 * same as i32 - n as i32);
     }
     Ok(out)
+}
+
+/// Rows per [`BinaryDotWorkload`] shard: small enough that a LeNet-scale
+/// layer fans out across every worker, large enough to amortize shard
+/// overhead.
+const DOT_SHARD_ROWS: usize = 16;
+
+/// Shared output sink for the shards of one [`BinaryDotWorkload`]
+/// submission: `(first_row, dot_products)` per shard, reassembled in row
+/// order by [`binary_dot_cluster`].
+type DotSink = Arc<Mutex<Vec<(usize, Vec<i32>)>>>;
+
+/// The binary XNOR-popcount inner product as a first-class pluggable
+/// [`Workload`]: the QNN's per-layer LUT maps run through the same
+/// cluster pool as every other scenario, with row pairs sharded across
+/// workers ([`Workload::shards`]) and outputs delivered through a shared
+/// sink.
+#[derive(Debug)]
+pub struct BinaryDotWorkload {
+    a_rows: Vec<Vec<u8>>,
+    b_rows: Vec<Vec<u8>>,
+    /// Global index of `a_rows[0]` (shards preserve row order).
+    first_row: usize,
+    sink: DotSink,
+}
+
+impl BinaryDotWorkload {
+    /// A workload over paired bit-vector rows (1 ⇔ +1), publishing each
+    /// shard's dot products into `sink`.
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn new(a_rows: Vec<Vec<u8>>, b_rows: Vec<Vec<u8>>, sink: DotSink) -> Self {
+        assert_eq!(a_rows.len(), b_rows.len());
+        BinaryDotWorkload {
+            a_rows,
+            b_rows,
+            first_row: 0,
+            sink,
+        }
+    }
+}
+
+impl Workload for BinaryDotWorkload {
+    fn id(&self) -> &'static str {
+        "QNN-BinaryDot"
+    }
+
+    fn prepare(&mut self, _rng: &mut StdRng) {
+        // Inputs are caller-provided (network activations/weights), not
+        // generated.
+    }
+
+    fn run_pluto(&mut self, session: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        let out = binary_dot_on(session.machine_mut(), &self.a_rows, &self.b_rows)?;
+        let encoded = encode_dots(&out);
+        self.sink
+            .lock()
+            .expect("dot sink poisoned")
+            .push((self.first_row, out));
+        Ok(encoded)
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        let expect: Vec<i32> = self
+            .a_rows
+            .iter()
+            .zip(&self.b_rows)
+            .map(|(a, b)| binary_dot_reference(a, b))
+            .collect();
+        encode_dots(&expect)
+    }
+
+    fn input_bytes(&self) -> f64 {
+        // Two bit operands per position.
+        let bits: usize = self.a_rows.iter().map(Vec::len).sum();
+        (2 * bits) as f64 / 8.0
+    }
+
+    fn min_subarrays(&self) -> u16 {
+        64
+    }
+
+    fn shards(&self) -> Vec<Box<dyn Workload>> {
+        self.a_rows
+            .chunks(DOT_SHARD_ROWS)
+            .zip(self.b_rows.chunks(DOT_SHARD_ROWS))
+            .enumerate()
+            .map(|(i, (ca, cb))| {
+                Box::new(BinaryDotWorkload {
+                    a_rows: ca.to_vec(),
+                    b_rows: cb.to_vec(),
+                    first_row: self.first_row + i * DOT_SHARD_ROWS,
+                    sink: Arc::clone(&self.sink),
+                }) as Box<dyn Workload>
+            })
+            .collect()
+    }
+}
+
+fn encode_dots(values: &[i32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Computes many binary dot products through a [`Cluster`]: the row
+/// pairs shard across the pool's workers, every shard is validated
+/// against the reference, and the outputs reassemble in row order.
+/// Returns the dot products plus the reduced (shard-summed, §6-style)
+/// cost report of the whole batch.
+///
+/// # Errors
+/// Propagates machine/workload errors; fails if validation missed
+/// (`InvalidProgram`) — which the reference comparison precludes short of
+/// a simulator bug.
+///
+/// # Panics
+/// Panics if `cluster` has submissions pending from before this call:
+/// this function submits and runs one batch, so callers must collect
+/// their own in-flight batch with [`Cluster::run`] first.
+pub fn binary_dot_cluster(
+    cluster: &mut Cluster,
+    design: DesignKind,
+    a_rows: &[Vec<u8>],
+    b_rows: &[Vec<u8>],
+) -> Result<(Vec<i32>, CostReport), PlutoError> {
+    assert_eq!(
+        cluster.pending(),
+        0,
+        "binary_dot_cluster runs its own batch; collect pending submissions with run() first"
+    );
+    let sink: DotSink = Arc::new(Mutex::new(Vec::new()));
+    let workload = BinaryDotWorkload::new(a_rows.to_vec(), b_rows.to_vec(), Arc::clone(&sink));
+    cluster.submit_sharded(qnn_exec_config(design), Box::new(workload));
+    let report = cluster.run()?.remove(0);
+    if !report.validated {
+        return Err(PlutoError::InvalidProgram {
+            reason: "binary dot kernel mismatched the reference".into(),
+        });
+    }
+    let mut parts = sink.lock().expect("dot sink poisoned");
+    parts.sort_by_key(|(first_row, _)| *first_row);
+    let out: Vec<i32> = parts.drain(..).flat_map(|(_, vals)| vals).collect();
+    Ok((out, report))
 }
 
 /// Number of bulk LUT queries the full network needs per inference batch,
@@ -137,6 +294,42 @@ mod tests {
         for (i, (a, b)) in rows.iter().enumerate() {
             assert_eq!(out[i], binary_dot_reference(a, b), "row {i}");
         }
+    }
+
+    #[test]
+    fn cluster_dot_matches_session_dot_for_any_worker_count() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // 40 rows -> three shards of 16/16/8.
+        let a_rows: Vec<Vec<u8>> = (0..40)
+            .map(|_| (0..32).map(|_| rng.gen_range(0..2u8)).collect())
+            .collect();
+        let b_rows: Vec<Vec<u8>> = (0..40)
+            .map(|_| (0..32).map(|_| rng.gen_range(0..2u8)).collect())
+            .collect();
+        let mut session = qnn_session(DesignKind::Bsa).unwrap();
+        let serial = binary_dot_pluto(&mut session, &a_rows, &b_rows).unwrap();
+        for workers in [1, 4] {
+            let mut cluster = Cluster::new(workers);
+            let (out, report) =
+                binary_dot_cluster(&mut cluster, DesignKind::Bsa, &a_rows, &b_rows).unwrap();
+            assert_eq!(out, serial, "{workers} workers");
+            assert!(report.validated);
+            assert!(report.time > Picos::ZERO);
+        }
+    }
+
+    #[test]
+    fn cluster_dot_reduction_is_reproducible() {
+        let a = vec![vec![1u8, 0, 1, 1]; 33];
+        let b = vec![vec![1u8, 1, 0, 1]; 33];
+        let run = || {
+            let mut cluster = Cluster::new(3);
+            binary_dot_cluster(&mut cluster, DesignKind::Gmc, &a, &b).unwrap()
+        };
+        let (out1, rep1) = run();
+        let (out2, rep2) = run();
+        assert_eq!(out1, out2);
+        assert_eq!(rep1, rep2, "shard reduction must be bit-stable");
     }
 
     #[test]

@@ -122,15 +122,29 @@ use sim_support::StdRng;
 pub struct BitcountWorkload {
     id: WorkloadId,
     bits: u32,
+    elems: usize,
+    /// Shards pin their input slice; `prepare` must not regenerate it.
+    pinned: bool,
     values: Vec<u64>,
 }
 
 impl BitcountWorkload {
-    /// A scenario for `bits`-wide popcounts (4 or 8).
+    /// A scenario for `bits`-wide popcounts (4 or 8) over one measurement
+    /// batch.
     ///
     /// # Panics
     /// Panics on widths other than 4 or 8.
     pub fn new(bits: u32) -> Self {
+        BitcountWorkload::with_batch(bits, crate::MEASURE_BATCH_ELEMS)
+    }
+
+    /// A scenario over a batch of `elems` values; oversize batches split
+    /// into measurement-row-sized [`Workload::shards`] for cluster
+    /// fan-out.
+    ///
+    /// # Panics
+    /// Panics on widths other than 4 or 8.
+    pub fn with_batch(bits: u32, elems: usize) -> Self {
         let id = match bits {
             4 => WorkloadId::Bc4,
             8 => WorkloadId::Bc8,
@@ -139,6 +153,8 @@ impl BitcountWorkload {
         let mut w = BitcountWorkload {
             id,
             bits,
+            elems,
+            pinned: false,
             values: Vec::new(),
         };
         w.regenerate();
@@ -146,7 +162,7 @@ impl BitcountWorkload {
     }
 
     fn regenerate(&mut self) {
-        self.values = gen::values(17, crate::MEASURE_BATCH_ELEMS, self.bits);
+        self.values = gen::values(17, self.elems, self.bits);
     }
 }
 
@@ -156,7 +172,9 @@ impl Workload for BitcountWorkload {
     }
 
     fn prepare(&mut self, _rng: &mut StdRng) {
-        self.regenerate();
+        if !self.pinned {
+            self.regenerate();
+        }
     }
 
     fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
@@ -175,5 +193,20 @@ impl Workload for BitcountWorkload {
 
     fn input_bytes(&self) -> f64 {
         (self.values.len() as f64) * self.bits as f64 / 8.0
+    }
+
+    fn shards(&self) -> Vec<Box<dyn Workload>> {
+        self.values
+            .chunks(crate::MEASURE_BATCH_ELEMS)
+            .map(|c| {
+                Box::new(BitcountWorkload {
+                    id: self.id,
+                    bits: self.bits,
+                    elems: c.len(),
+                    pinned: true,
+                    values: c.to_vec(),
+                }) as Box<dyn Workload>
+            })
+            .collect()
     }
 }

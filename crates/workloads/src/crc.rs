@@ -280,15 +280,36 @@ use sim_support::StdRng;
 pub struct CrcWorkload {
     id: WorkloadId,
     spec: CrcSpec,
+    count: usize,
+    /// Shards pin their packet slice; `prepare` must not regenerate it.
+    pinned: bool,
     packets: Vec<Vec<u8>>,
 }
 
+/// Packets per CRC shard: one measurement batch. Shards don't go finer —
+/// every shard must load its own copy of the 128 position-specific
+/// contribution LUTs (just as an independent subarray group would), so
+/// sub-batch shards would be dominated by LUT loading rather than
+/// queries.
+const CRC_SHARD_PACKETS: usize = crate::MEASURE_BATCH_ELEMS;
+
 impl CrcWorkload {
-    /// A scenario for `spec` (CRC-8, CRC-16, or CRC-32).
+    /// A scenario for `spec` (CRC-8, CRC-16, or CRC-32) over one
+    /// measurement batch of 128 B packets.
     ///
     /// # Panics
     /// Panics on CRC widths other than 8, 16, or 32 (the Table 4 set).
     pub fn new(spec: CrcSpec) -> Self {
+        CrcWorkload::with_packets(spec, crate::MEASURE_BATCH_ELEMS)
+    }
+
+    /// A scenario over `count` packets; batches beyond one measurement
+    /// batch split into [`Workload::shards`] of independent packet
+    /// groups.
+    ///
+    /// # Panics
+    /// Panics on CRC widths other than 8, 16, or 32 (the Table 4 set).
+    pub fn with_packets(spec: CrcSpec, count: usize) -> Self {
         let id = match spec.width {
             8 => WorkloadId::Crc8,
             16 => WorkloadId::Crc16,
@@ -298,6 +319,8 @@ impl CrcWorkload {
         let mut w = CrcWorkload {
             id,
             spec,
+            count,
+            pinned: false,
             packets: Vec::new(),
         };
         w.regenerate();
@@ -309,7 +332,7 @@ impl CrcWorkload {
     fn regenerate(&mut self) {
         self.packets = gen::packets(
             0xC0 + self.spec.width as u64,
-            crate::MEASURE_BATCH_ELEMS,
+            self.count,
             gen::CRC_PACKET_BYTES,
         );
     }
@@ -321,7 +344,9 @@ impl Workload for CrcWorkload {
     }
 
     fn prepare(&mut self, _rng: &mut StdRng) {
-        self.regenerate();
+        if !self.pinned {
+            self.regenerate();
+        }
     }
 
     fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
@@ -342,5 +367,20 @@ impl Workload for CrcWorkload {
         // LUT, plus headroom for the scratch/data subarrays.
         let pairs = (gen::CRC_PACKET_BYTES as u16) * (self.spec.width / 4) as u16 + 8;
         2 * pairs + 8
+    }
+
+    fn shards(&self) -> Vec<Box<dyn Workload>> {
+        self.packets
+            .chunks(CRC_SHARD_PACKETS.max(1))
+            .map(|chunk| {
+                Box::new(CrcWorkload {
+                    id: self.id,
+                    spec: self.spec,
+                    count: chunk.len(),
+                    pinned: true,
+                    packets: chunk.to_vec(),
+                }) as Box<dyn Workload>
+            })
+            .collect()
     }
 }

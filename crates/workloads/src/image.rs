@@ -208,19 +208,49 @@ fn encode_image(img: &Image) -> Vec<u8> {
         .collect()
 }
 
+/// Splits an image into measurement-tile-sized sub-images (all three
+/// channel planes cut at the same pixel boundaries) for cluster shard
+/// fan-out.
+fn image_tiles(img: &Image) -> Vec<Image> {
+    let chunk = crate::MEASURE_BATCH_ELEMS;
+    (0..img.pixels)
+        .step_by(chunk.max(1))
+        .map(|start| {
+            let end = (start + chunk).min(img.pixels);
+            Image {
+                pixels: end - start,
+                channels: [0, 1, 2].map(|c| img.channels[c][start..end].to_vec()),
+            }
+        })
+        .collect()
+}
+
 /// The image binarization workload (Table 4) as a pluggable [`Workload`]
-/// scenario: one 3-channel measurement tile at the paper's 50% threshold.
+/// scenario: a 3-channel synthetic image at the paper's 50% threshold,
+/// one measurement tile by default.
 #[derive(Debug)]
 pub struct BinarizeWorkload {
     img: Image,
+    pixels: usize,
+    /// Shards pin their tile; `prepare` must not regenerate it.
+    pinned: bool,
     threshold: u8,
 }
 
 impl BinarizeWorkload {
     /// A scenario over the paper-pinned synthetic tile.
     pub fn new() -> Self {
+        BinarizeWorkload::with_pixels(crate::MEASURE_BATCH_ELEMS)
+    }
+
+    /// A scenario over a `pixels`-pixel synthetic image; images larger
+    /// than one measurement tile split into per-tile
+    /// [`Workload::shards`].
+    pub fn with_pixels(pixels: usize) -> Self {
         BinarizeWorkload {
-            img: Image::synthetic(5, crate::MEASURE_BATCH_ELEMS),
+            img: Image::synthetic(5, pixels),
+            pixels,
+            pinned: false,
             threshold: 128,
         }
     }
@@ -238,7 +268,9 @@ impl Workload for BinarizeWorkload {
     }
 
     fn prepare(&mut self, _rng: &mut StdRng) {
-        self.img = Image::synthetic(5, crate::MEASURE_BATCH_ELEMS);
+        if !self.pinned {
+            self.img = Image::synthetic(5, self.pixels);
+        }
     }
 
     fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
@@ -253,21 +285,48 @@ impl Workload for BinarizeWorkload {
     fn input_bytes(&self) -> f64 {
         (3 * self.img.pixels) as f64
     }
+
+    fn shards(&self) -> Vec<Box<dyn Workload>> {
+        image_tiles(&self.img)
+            .into_iter()
+            .map(|tile| {
+                Box::new(BinarizeWorkload {
+                    pixels: tile.pixels,
+                    img: tile,
+                    pinned: true,
+                    threshold: self.threshold,
+                }) as Box<dyn Workload>
+            })
+            .collect()
+    }
 }
 
 /// The color-grading workload (Table 4) as a pluggable [`Workload`]
-/// scenario: the cinematic curve set over one 3-channel measurement tile.
+/// scenario: the cinematic curve set over a 3-channel synthetic image,
+/// one measurement tile by default.
 #[derive(Debug)]
 pub struct GradeWorkload {
     img: Image,
+    pixels: usize,
+    /// Shards pin their tile; `prepare` must not regenerate it.
+    pinned: bool,
     curves: GradingCurves,
 }
 
 impl GradeWorkload {
     /// A scenario over the paper-pinned synthetic tile.
     pub fn new() -> Self {
+        GradeWorkload::with_pixels(crate::MEASURE_BATCH_ELEMS)
+    }
+
+    /// A scenario over a `pixels`-pixel synthetic image; images larger
+    /// than one measurement tile split into per-tile
+    /// [`Workload::shards`].
+    pub fn with_pixels(pixels: usize) -> Self {
         GradeWorkload {
-            img: Image::synthetic(6, crate::MEASURE_BATCH_ELEMS),
+            img: Image::synthetic(6, pixels),
+            pixels,
+            pinned: false,
             curves: GradingCurves::cinematic(),
         }
     }
@@ -285,8 +344,10 @@ impl Workload for GradeWorkload {
     }
 
     fn prepare(&mut self, _rng: &mut StdRng) {
-        self.img = Image::synthetic(6, crate::MEASURE_BATCH_ELEMS);
-        self.curves = GradingCurves::cinematic();
+        if !self.pinned {
+            self.img = Image::synthetic(6, self.pixels);
+            self.curves = GradingCurves::cinematic();
+        }
     }
 
     fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
@@ -300,5 +361,19 @@ impl Workload for GradeWorkload {
 
     fn input_bytes(&self) -> f64 {
         (3 * self.img.pixels) as f64
+    }
+
+    fn shards(&self) -> Vec<Box<dyn Workload>> {
+        image_tiles(&self.img)
+            .into_iter()
+            .map(|tile| {
+                Box::new(GradeWorkload {
+                    pixels: tile.pixels,
+                    img: tile,
+                    pinned: true,
+                    curves: self.curves.clone(),
+                }) as Box<dyn Workload>
+            })
+            .collect()
     }
 }

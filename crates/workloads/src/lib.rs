@@ -30,8 +30,14 @@
 //! (`CrcWorkload`, `Salsa20Workload`, …), [`registry`] enumerates the
 //! fourteen canonical scenarios, and [`workload_for`] resolves a
 //! [`WorkloadId`] (aliases included) to its scenario. A
-//! [`pluto_core::session::Session`] runs them — see `DESIGN.md` §5 and
-//! `examples/session.rs`.
+//! [`pluto_core::session::Session`] runs them serially; a
+//! [`pluto_core::cluster::Cluster`] runs them across a worker pool with
+//! bit-identical results. The vecops, bitcount, image, and CRC scenarios
+//! also implement real input sharding (`with_batch`/`with_pixels`/
+//! `with_packets` + [`pluto_core::session::Workload::shards`]), so one
+//! oversize batch fans out across workers and reduces to one validated
+//! report — see `DESIGN.md` §5–6, `examples/session.rs`, and
+//! `examples/cluster.rs`.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -1,12 +1,13 @@
 //! End-to-end workload drivers for the figure harness.
 //!
-//! This module is now a thin compatibility layer over the unified
-//! execution API (`DESIGN.md` §5): a [`pluto_core::session::Session`]
-//! built from an explicit [`pluto_core::session::ExecConfig`] runs the
-//! pluggable scenarios enumerated by [`crate::registry`], and each run
-//! yields a [`pluto_core::session::CostReport`]. [`PlutoCost`] pairs such
-//! a report with the [`WorkloadId`] the caller asked for; the deprecated
-//! [`measure`]/[`measure_on`] shims remain for one release.
+//! The unified execution API (`DESIGN.md` §5–6) does the heavy lifting: a
+//! [`pluto_core::session::Session`] (or a multi-worker
+//! [`pluto_core::cluster::Cluster`]) built from an explicit
+//! [`pluto_core::session::ExecConfig`] runs the pluggable scenarios
+//! enumerated by [`crate::registry`], and each run yields a
+//! [`pluto_core::session::CostReport`]. [`PlutoCost`] is a thin newtype
+//! pairing such a report with the [`WorkloadId`] the caller asked for
+//! (alias ids are preserved).
 //!
 //! Command timing/energy in the engine is independent of the row *width*
 //! (a sweep step costs tRCD(+tRP) whether the row is 256 B or 8 KiB), so
@@ -17,11 +18,9 @@
 //! input volumes, subarray-level parallelism, and tFAW throttling —
 //! providing the pLUTo series of Figs. 7–10, 13, 14.
 
-use crate::workload_for;
 use pluto_baselines::WorkloadId;
-use pluto_core::session::{CostReport, Session};
-use pluto_core::{DesignKind, PlutoError};
-use pluto_dram::{MemoryKind, PicoJoules, Picos, TimingParams};
+use pluto_core::session::CostReport;
+use pluto_dram::TimingParams;
 
 /// Measured serial cost of one row batch of a workload on one design:
 /// a [`CostReport`] tagged with the requested [`WorkloadId`].
@@ -29,97 +28,28 @@ use pluto_dram::{MemoryKind, PicoJoules, Picos, TimingParams};
 pub struct PlutoCost {
     /// Which workload (as requested — alias ids are preserved).
     pub id: WorkloadId,
-    /// Which design.
-    pub design: DesignKind,
-    /// Which memory kind the batch was measured on.
-    pub kind: MemoryKind,
-    /// Serial single-subarray time of the batch.
-    pub time: Picos,
-    /// Dynamic DRAM energy of the batch.
-    pub energy: PicoJoules,
-    /// Row activations issued in the batch (tFAW-relevant).
-    pub acts: u64,
-    /// Paper-equivalent input bytes covered by the batch (8 KiB rows).
-    pub paper_bytes: f64,
-    /// Whether the functional output matched the reference bit-for-bit.
-    pub validated: bool,
+    /// The session-level measurement, labeled with the requested id.
+    pub report: CostReport,
 }
 
 impl PlutoCost {
-    /// Tags a session [`CostReport`] with the requested workload id.
-    pub fn from_report(id: WorkloadId, report: CostReport) -> Self {
-        PlutoCost {
-            id,
-            design: report.design,
-            kind: report.kind,
-            time: report.time,
-            energy: report.energy,
-            acts: report.acts,
-            paper_bytes: report.paper_bytes,
-            validated: report.validated,
-        }
-    }
-
-    /// The session-level view of this cost (workload labeled by the
-    /// requested id).
-    pub fn report(&self) -> CostReport {
-        CostReport {
-            workload: self.id.label(),
-            design: self.design,
-            kind: self.kind,
-            time: self.time,
-            energy: self.energy,
-            acts: self.acts,
-            paper_bytes: self.paper_bytes,
-            validated: self.validated,
-        }
+    /// Tags a session [`CostReport`] with the requested workload id (the
+    /// report's `workload` label follows the id, so alias requests keep
+    /// their alias label).
+    pub fn from_report(id: WorkloadId, mut report: CostReport) -> Self {
+        report.workload = id.label();
+        PlutoCost { id, report }
     }
 
     /// Serial seconds per paper-equivalent input byte.
     pub fn secs_per_byte(&self) -> f64 {
-        self.report().secs_per_byte()
+        self.report.secs_per_byte()
     }
 
     /// Joules per paper-equivalent input byte (SALP-independent, §8.3).
     pub fn joules_per_byte(&self) -> f64 {
-        self.report().joules_per_byte()
+        self.report.joules_per_byte()
     }
-}
-
-/// Measures `id` on `design`/`kind` through the session API.
-fn run_one(id: WorkloadId, design: DesignKind, kind: MemoryKind) -> Result<PlutoCost, PlutoError> {
-    let mut workload = workload_for(id);
-    let mut session = Session::builder(design).memory(kind).build()?;
-    let report = session.run(workload.as_mut())?;
-    Ok(PlutoCost::from_report(id, report))
-}
-
-/// Like [`measure`], but on the given memory kind (`Stacked3d` models the
-/// paper's pLUTo-3DS configurations: HMC timings and energies).
-///
-/// Unlike the old thread-local implementation, nested/interleaved
-/// measurements on different kinds compose: the kind is a parameter of
-/// the underlying [`Session`], not ambient state to save and restore.
-///
-/// # Errors
-/// Propagates machine/workload errors.
-#[deprecated(note = "build a Session over pluto_workloads::workload_for instead (DESIGN.md §5)")]
-pub fn measure_on(
-    id: WorkloadId,
-    design: DesignKind,
-    kind: MemoryKind,
-) -> Result<PlutoCost, PlutoError> {
-    run_one(id, design, kind)
-}
-
-/// Runs the pLUTo mapping of `id` on `design` (DDR4), validating against
-/// the reference and measuring one batch.
-///
-/// # Errors
-/// Propagates machine/workload errors.
-#[deprecated(note = "build a Session over pluto_workloads::workload_for instead (DESIGN.md §5)")]
-pub fn measure(id: WorkloadId, design: DesignKind) -> Result<PlutoCost, PlutoError> {
-    run_one(id, design, MemoryKind::Ddr4)
 }
 
 /// Wall-clock seconds to process `volume_bytes` of input given a measured
@@ -131,21 +61,33 @@ pub fn scaled_wall_time(
     t_faw_scale: f64,
     timing: &TimingParams,
 ) -> f64 {
-    cost.report()
+    cost.report
         .scaled_wall_time(volume_bytes, subarrays, t_faw_scale, timing)
 }
 
 /// Energy in joules to process `volume_bytes` (independent of SALP, §8.3).
 pub fn scaled_energy(cost: &PlutoCost, volume_bytes: f64) -> f64 {
-    cost.report().scaled_energy(volume_bytes)
+    cost.report.scaled_energy(volume_bytes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload_for;
+    use pluto_core::cluster::Cluster;
+    use pluto_core::session::{ExecConfig, Session};
+    use pluto_core::DesignKind;
+    use pluto_dram::{MemoryKind, Picos};
 
-    fn measure_new(id: WorkloadId, design: DesignKind) -> PlutoCost {
-        run_one(id, design, MemoryKind::Ddr4).unwrap()
+    fn measure_on(id: WorkloadId, design: DesignKind, kind: MemoryKind) -> PlutoCost {
+        let mut workload = workload_for(id);
+        let mut session = Session::builder(design).memory(kind).build().unwrap();
+        let report = session.run(workload.as_mut()).unwrap();
+        PlutoCost::from_report(id, report)
+    }
+
+    fn measure(id: WorkloadId, design: DesignKind) -> PlutoCost {
+        measure_on(id, design, MemoryKind::Ddr4)
     }
 
     #[test]
@@ -159,26 +101,27 @@ mod tests {
             WorkloadId::Add4,
             WorkloadId::BitwiseRow,
         ] {
-            let cost = measure_new(id, DesignKind::Gmc);
-            assert!(cost.validated, "{id} failed validation");
-            assert!(cost.time > Picos::ZERO, "{id}");
-            assert!(cost.acts > 0, "{id}");
-            assert!(cost.paper_bytes > 0.0, "{id}");
-            assert_eq!(cost.kind, MemoryKind::Ddr4);
+            let cost = measure(id, DesignKind::Gmc);
+            assert!(cost.report.validated, "{id} failed validation");
+            assert!(cost.report.time > Picos::ZERO, "{id}");
+            assert!(cost.report.acts > 0, "{id}");
+            assert!(cost.report.paper_bytes > 0.0, "{id}");
+            assert_eq!(cost.report.kind, MemoryKind::Ddr4);
+            assert_eq!(cost.report.workload, id.label());
         }
     }
 
     #[test]
     fn gmc_cheaper_than_gsa_per_byte() {
-        let gmc = measure_new(WorkloadId::ImgBin, DesignKind::Gmc);
-        let gsa = measure_new(WorkloadId::ImgBin, DesignKind::Gsa);
+        let gmc = measure(WorkloadId::ImgBin, DesignKind::Gmc);
+        let gsa = measure(WorkloadId::ImgBin, DesignKind::Gsa);
         assert!(gmc.secs_per_byte() < gsa.secs_per_byte());
         assert!(gmc.joules_per_byte() < gsa.joules_per_byte());
     }
 
     #[test]
     fn wall_time_scales_down_with_subarrays() {
-        let cost = measure_new(WorkloadId::Bc8, DesignKind::Bsa);
+        let cost = measure(WorkloadId::Bc8, DesignKind::Bsa);
         let t = TimingParams::ddr4_2400();
         let one = scaled_wall_time(&cost, 1e6, 1, 0.0, &t);
         let sixteen = scaled_wall_time(&cost, 1e6, 16, 0.0, &t);
@@ -187,7 +130,7 @@ mod tests {
 
     #[test]
     fn tfaw_floor_binds_at_high_parallelism() {
-        let cost = measure_new(WorkloadId::Bc8, DesignKind::Gmc);
+        let cost = measure(WorkloadId::Bc8, DesignKind::Gmc);
         let t = TimingParams::ddr4_2400();
         let free = scaled_wall_time(&cost, 1e6, 2048, 0.0, &t);
         let nominal = scaled_wall_time(&cost, 1e6, 2048, 1.0, &t);
@@ -196,28 +139,43 @@ mod tests {
 
     #[test]
     fn energy_is_parallelism_independent() {
-        let cost = measure_new(WorkloadId::Bc4, DesignKind::Bsa);
+        let cost = measure(WorkloadId::Bc4, DesignKind::Bsa);
         assert!((scaled_energy(&cost, 2e6) / scaled_energy(&cost, 1e6) - 2.0).abs() < 1e-9);
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_the_session_path() {
-        let shim = measure(WorkloadId::Bc4, DesignKind::Gmc).unwrap();
-        let new = measure_new(WorkloadId::Bc4, DesignKind::Gmc);
-        assert_eq!(shim, new);
-        let shim3d = measure_on(WorkloadId::Bc4, DesignKind::Gmc, MemoryKind::Stacked3d).unwrap();
-        assert_eq!(shim3d.kind, MemoryKind::Stacked3d);
+    fn cluster_path_agrees_with_the_session_path() {
+        // The replacement for the removed `measure`/`measure_on` shims:
+        // a cluster-run job is bit-identical to its Session counterpart,
+        // on both memory kinds.
+        let mut cluster = Cluster::new(2);
+        cluster.submit(
+            ExecConfig::measurement(DesignKind::Gmc),
+            workload_for(WorkloadId::Bc4),
+        );
+        cluster.submit(
+            ExecConfig::measurement_on(DesignKind::Gmc, MemoryKind::Stacked3d),
+            workload_for(WorkloadId::Bc4),
+        );
+        let reports = cluster.run().unwrap();
+        let ddr4 = PlutoCost::from_report(WorkloadId::Bc4, reports[0]);
+        assert_eq!(ddr4, measure(WorkloadId::Bc4, DesignKind::Gmc));
+        assert_eq!(
+            PlutoCost::from_report(WorkloadId::Bc4, reports[1]),
+            measure_on(WorkloadId::Bc4, DesignKind::Gmc, MemoryKind::Stacked3d)
+        );
+        assert_eq!(reports[1].kind, MemoryKind::Stacked3d);
     }
 
     #[test]
     fn alias_ids_measure_identically_to_their_canonical_workload() {
-        let canonical = measure_new(WorkloadId::Mul8, DesignKind::Gmc);
-        let alias = measure_new(WorkloadId::MulQ1_7, DesignKind::Gmc);
+        let canonical = measure(WorkloadId::Mul8, DesignKind::Gmc);
+        let alias = measure(WorkloadId::MulQ1_7, DesignKind::Gmc);
         assert_eq!(alias.id, WorkloadId::MulQ1_7, "requested id is preserved");
-        assert_eq!(alias.time, canonical.time);
-        assert_eq!(alias.energy, canonical.energy);
-        assert_eq!(alias.acts, canonical.acts);
-        assert_eq!(alias.paper_bytes, canonical.paper_bytes);
+        assert_eq!(alias.report.workload, WorkloadId::MulQ1_7.label());
+        assert_eq!(alias.report.time, canonical.report.time);
+        assert_eq!(alias.report.energy, canonical.report.energy);
+        assert_eq!(alias.report.acts, canonical.report.acts);
+        assert_eq!(alias.report.paper_bytes, canonical.report.paper_bytes);
     }
 }

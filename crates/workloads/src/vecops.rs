@@ -185,16 +185,30 @@ use sim_support::StdRng;
 pub struct AddWorkload {
     id: WorkloadId,
     bits: u32,
+    elems: usize,
+    /// Shards pin their input slice; `prepare` must not regenerate it.
+    pinned: bool,
     a: Vec<u64>,
     b: Vec<u64>,
 }
 
 impl AddWorkload {
-    /// A scenario for `bits`-wide addition (4 or 8).
+    /// A scenario for `bits`-wide addition (4 or 8) over one measurement
+    /// batch.
     ///
     /// # Panics
     /// Panics on widths other than 4 or 8.
     pub fn new(bits: u32) -> Self {
+        AddWorkload::with_batch(bits, crate::MEASURE_BATCH_ELEMS)
+    }
+
+    /// A scenario over a batch of `elems` element pairs. Batches larger
+    /// than one measurement row split into row-sized [`Workload::shards`]
+    /// for cluster fan-out.
+    ///
+    /// # Panics
+    /// Panics on widths other than 4 or 8.
+    pub fn with_batch(bits: u32, elems: usize) -> Self {
         let id = match bits {
             4 => WorkloadId::Add4,
             8 => WorkloadId::Add8,
@@ -203,6 +217,8 @@ impl AddWorkload {
         let mut w = AddWorkload {
             id,
             bits,
+            elems,
+            pinned: false,
             a: Vec::new(),
             b: Vec::new(),
         };
@@ -211,8 +227,8 @@ impl AddWorkload {
     }
 
     fn regenerate(&mut self) {
-        self.a = gen::values(11, crate::MEASURE_BATCH_ELEMS, self.bits);
-        self.b = gen::values(12, crate::MEASURE_BATCH_ELEMS, self.bits);
+        self.a = gen::values(11, self.elems, self.bits);
+        self.b = gen::values(12, self.elems, self.bits);
     }
 }
 
@@ -222,7 +238,9 @@ impl Workload for AddWorkload {
     }
 
     fn prepare(&mut self, _rng: &mut StdRng) {
-        self.regenerate();
+        if !self.pinned {
+            self.regenerate();
+        }
     }
 
     fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
@@ -257,6 +275,24 @@ impl Workload for AddWorkload {
     fn min_subarrays(&self) -> u16 {
         64
     }
+
+    fn shards(&self) -> Vec<Box<dyn Workload>> {
+        let chunk = crate::MEASURE_BATCH_ELEMS;
+        self.a
+            .chunks(chunk)
+            .zip(self.b.chunks(chunk))
+            .map(|(ca, cb)| {
+                Box::new(AddWorkload {
+                    id: self.id,
+                    bits: self.bits,
+                    elems: ca.len(),
+                    pinned: true,
+                    a: ca.to_vec(),
+                    b: cb.to_vec(),
+                }) as Box<dyn Workload>
+            })
+            .collect()
+    }
 }
 
 /// The fixed-point multiply workload (Fig. 9 MUL8/MUL16 = Fig. 12b
@@ -265,16 +301,36 @@ impl Workload for AddWorkload {
 pub struct QMulWorkload {
     id: WorkloadId,
     frac_bits: u32,
+    elems: usize,
+    /// Shards pin their input slice; `prepare` must not regenerate it.
+    pinned: bool,
     a: Vec<u64>,
     b: Vec<u64>,
 }
 
 impl QMulWorkload {
-    /// A scenario for the Q1.`frac_bits` multiply (7 or 15).
+    /// A scenario for the Q1.`frac_bits` multiply (7 or 15) over one
+    /// measurement batch.
     ///
     /// # Panics
     /// Panics on fractional widths other than 7 or 15.
     pub fn new(frac_bits: u32) -> Self {
+        // 64 16-bit elements keep the Q1.15 batch run time level with
+        // the 8-bit workloads.
+        let elems = if frac_bits == 7 {
+            crate::MEASURE_BATCH_ELEMS
+        } else {
+            64
+        };
+        QMulWorkload::with_batch(frac_bits, elems)
+    }
+
+    /// A scenario over a batch of `elems` operand pairs; oversize batches
+    /// split into measurement-sized [`Workload::shards`].
+    ///
+    /// # Panics
+    /// Panics on fractional widths other than 7 or 15.
+    pub fn with_batch(frac_bits: u32, elems: usize) -> Self {
         let id = match frac_bits {
             7 => WorkloadId::Mul8,
             15 => WorkloadId::Mul16,
@@ -283,6 +339,8 @@ impl QMulWorkload {
         let mut w = QMulWorkload {
             id,
             frac_bits,
+            elems,
+            pinned: false,
             a: Vec::new(),
             b: Vec::new(),
         };
@@ -292,13 +350,20 @@ impl QMulWorkload {
 
     fn regenerate(&mut self) {
         if self.frac_bits == 7 {
-            self.a = gen::values(13, crate::MEASURE_BATCH_ELEMS, 8);
-            self.b = gen::values(14, crate::MEASURE_BATCH_ELEMS, 8);
+            self.a = gen::values(13, self.elems, 8);
+            self.b = gen::values(14, self.elems, 8);
         } else {
-            // 64 16-bit elements keep the Q1.15 batch run time level
-            // with the 8-bit workloads.
-            self.a = gen::values(15, 64, 16);
-            self.b = gen::values(16, 64, 16);
+            self.a = gen::values(15, self.elems, 16);
+            self.b = gen::values(16, self.elems, 16);
+        }
+    }
+
+    /// Natural shard granularity: one measurement batch.
+    fn shard_elems(&self) -> usize {
+        if self.frac_bits == 7 {
+            crate::MEASURE_BATCH_ELEMS
+        } else {
+            64
         }
     }
 }
@@ -309,7 +374,9 @@ impl Workload for QMulWorkload {
     }
 
     fn prepare(&mut self, _rng: &mut StdRng) {
-        self.regenerate();
+        if !self.pinned {
+            self.regenerate();
+        }
     }
 
     fn run_pluto(&mut self, sess: &mut Session) -> Result<Vec<u8>, PlutoError> {
@@ -332,5 +399,23 @@ impl Workload for QMulWorkload {
 
     fn min_subarrays(&self) -> u16 {
         64
+    }
+
+    fn shards(&self) -> Vec<Box<dyn Workload>> {
+        let chunk = self.shard_elems();
+        self.a
+            .chunks(chunk)
+            .zip(self.b.chunks(chunk))
+            .map(|(ca, cb)| {
+                Box::new(QMulWorkload {
+                    id: self.id,
+                    frac_bits: self.frac_bits,
+                    elems: ca.len(),
+                    pinned: true,
+                    a: ca.to_vec(),
+                    b: cb.to_vec(),
+                }) as Box<dyn Workload>
+            })
+            .collect()
     }
 }

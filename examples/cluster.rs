@@ -1,0 +1,81 @@
+//! Cluster quickstart: the sharded parallel executor (`DESIGN.md` §6).
+//!
+//! Fan a figure sweep out across a worker pool, check the results are
+//! bit-identical to the serial session path, and split one oversize
+//! batch into shards that reduce to a single validated report.
+//!
+//! ```sh
+//! cargo run --release --example cluster
+//! ```
+
+use pluto_repro::baselines::WorkloadId;
+use pluto_repro::core::cluster::Cluster;
+use pluto_repro::core::session::{ExecConfig, Session, Workload};
+use pluto_repro::core::{DesignKind, PlutoError};
+use pluto_repro::dram::MemoryKind;
+use pluto_repro::workloads::vecops::AddWorkload;
+use pluto_repro::workloads::workload_for;
+
+fn config(design: DesignKind, kind: MemoryKind) -> ExecConfig {
+    ExecConfig::measurement_on(design, kind)
+}
+
+fn main() -> Result<(), PlutoError> {
+    // 1. A pool of four workers. Worker count changes wall-clock time
+    //    only — results are bit-identical for any pool size.
+    let mut cluster = Cluster::new(4);
+
+    // 2. A mini figure sweep: workloads x (design, memory kind) pairs,
+    //    submitted as independent jobs. `run` returns the reports in
+    //    submission order.
+    let ids = [WorkloadId::Vmpc, WorkloadId::ImgBin, WorkloadId::Bc8];
+    let mut jobs = Vec::new();
+    for &id in &ids {
+        for (design, kind) in [
+            (DesignKind::Gmc, MemoryKind::Ddr4),
+            (DesignKind::Bsa, MemoryKind::Ddr4),
+            (DesignKind::Gmc, MemoryKind::Stacked3d),
+        ] {
+            jobs.push((id, design, kind));
+            cluster.submit(config(design, kind), workload_for(id));
+        }
+    }
+    let reports = cluster.run()?;
+
+    println!(
+        "{:<12} {:>6} {:>10} {:>14} {:>14} {:>10}",
+        "workload", "design", "memory", "batch time", "batch energy", "validated"
+    );
+    for (report, &(_, design, kind)) in reports.iter().zip(&jobs) {
+        println!(
+            "{:<12} {:>6} {:>10} {:>14} {:>14} {:>10}",
+            report.workload,
+            design.to_string(),
+            kind.to_string(),
+            report.time.to_string(),
+            report.energy.to_string(),
+            report.validated
+        );
+    }
+
+    // 3. Determinism check: the cluster's first report equals a serial
+    //    session run of the same job, bit for bit.
+    let (id, design, kind) = jobs[0];
+    let serial = Session::with_config(config(design, kind))?.run(workload_for(id).as_mut())?;
+    assert_eq!(reports[0], serial, "cluster must match the serial path");
+    println!("\nserial check: cluster report == Session report ({})", id);
+
+    // 4. Shard fan-out: a 10-row ADD4 batch splits into measurement-row
+    //    shards, runs across the pool, and reduces to one validated
+    //    report covering the whole volume.
+    let big = AddWorkload::with_batch(4, 10 * 192);
+    println!("shards: {}", big.shards().len());
+    cluster.submit_sharded(config(DesignKind::Gmc, MemoryKind::Ddr4), Box::new(big));
+    let reduced = cluster.run()?.remove(0);
+    assert!(reduced.validated);
+    println!(
+        "sharded ADD4 (1920 element pairs): time {}, paper bytes {:.0}, validated {}",
+        reduced.time, reduced.paper_bytes, reduced.validated
+    );
+    Ok(())
+}

@@ -1,0 +1,203 @@
+//! Integration tests of the sharded parallel executor (`DESIGN.md` §6):
+//! cluster runs over the full workload registry are bit-identical to
+//! serial `Session` runs on both memory kinds, independent of submission
+//! order and worker count, and shard fan-out reduces to the exact serial
+//! shard fold.
+
+use pluto_repro::baselines::WorkloadId;
+use pluto_repro::core::cluster::Cluster;
+use pluto_repro::core::session::{CostReport, ExecConfig, Session, Workload};
+use pluto_repro::core::DesignKind;
+use pluto_repro::dram::MemoryKind;
+use pluto_repro::workloads::{
+    bitcount::BitcountWorkload, crc::CrcSpec, crc::CrcWorkload, image::BinarizeWorkload,
+    image::GradeWorkload, registry, vecops::AddWorkload, vecops::QMulWorkload, workload_for,
+};
+use sim_support::{Rng, SeedableRng, StdRng};
+
+/// `PLUTO_QUICK=1` (the CI smoke configuration) skips the three
+/// long-running measurement workloads; a plain `cargo test` covers the
+/// full registry.
+fn skip_in_quick_mode(id: &str) -> bool {
+    let quick = std::env::var("PLUTO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    quick && ["CRC-16", "CRC-32", "Salsa20"].contains(&id)
+}
+
+fn exec_config(design: DesignKind, kind: MemoryKind) -> ExecConfig {
+    ExecConfig::measurement_on(design, kind)
+}
+
+/// Serial baseline: one fresh `Session::run` per workload.
+fn serial_report(config: &ExecConfig, workload: &mut dyn Workload) -> CostReport {
+    Session::with_config(config.clone())
+        .unwrap()
+        .run(workload)
+        .unwrap_or_else(|e| panic!("serial {}: {e}", workload.id()))
+}
+
+/// The registry with quick-mode filtering applied.
+fn quick_registry() -> Vec<Box<dyn Workload>> {
+    registry()
+        .into_iter()
+        .filter(|w| !skip_in_quick_mode(w.id()))
+        .collect()
+}
+
+/// The tentpole invariant: a parallel `run_all` over the full registry is
+/// bit-identical — `time`, `energy`, `acts`, `paper_bytes`, `validated`,
+/// every field — to serial `Session` runs, on both memory kinds.
+#[test]
+fn full_registry_parallel_matches_serial_on_both_kinds() {
+    for kind in [MemoryKind::Ddr4, MemoryKind::Stacked3d] {
+        let config = exec_config(DesignKind::Gmc, kind);
+        let mut cluster = Cluster::new(4);
+        let parallel = cluster
+            .run_all(&config, quick_registry())
+            .unwrap_or_else(|e| panic!("cluster registry run on {kind}: {e}"));
+        let serial: Vec<CostReport> = quick_registry()
+            .iter_mut()
+            .map(|w| serial_report(&config, w.as_mut()))
+            .collect();
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p, s, "{} on {kind}", s.workload);
+            assert!(p.validated, "{} on {kind}", s.workload);
+        }
+    }
+}
+
+/// Submission order is the only order that matters: a seeded shuffle of
+/// the (workload, kind) job list returns each job's serial-identical
+/// report at its (shuffled) submission slot.
+#[test]
+fn seeded_shuffle_submission_order_is_bit_identical() {
+    let ids = [
+        WorkloadId::Vmpc,
+        WorkloadId::ImgBin,
+        WorkloadId::ColorGrade,
+        WorkloadId::Add4,
+        WorkloadId::Bc8,
+        WorkloadId::BitwiseRow,
+    ];
+    let mut jobs: Vec<(WorkloadId, MemoryKind)> = ids
+        .iter()
+        .flat_map(|&id| {
+            [MemoryKind::Ddr4, MemoryKind::Stacked3d]
+                .into_iter()
+                .map(move |kind| (id, kind))
+        })
+        .collect();
+    // Fisher–Yates with the deterministic sim-support generator.
+    let mut rng = StdRng::seed_from_u64(0xC1D5);
+    for i in (1..jobs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        jobs.swap(i, j);
+    }
+
+    let mut cluster = Cluster::new(3);
+    for &(id, kind) in &jobs {
+        cluster.submit(exec_config(DesignKind::Bsa, kind), workload_for(id));
+    }
+    let reports = cluster.run().unwrap();
+    for (report, &(id, kind)) in reports.iter().zip(&jobs) {
+        let config = exec_config(DesignKind::Bsa, kind);
+        let serial = serial_report(&config, workload_for(id).as_mut());
+        assert_eq!(*report, serial, "{id} on {kind} (shuffled submission)");
+    }
+}
+
+/// Worker count is invisible in the results (only in wall-clock time).
+#[test]
+fn worker_count_does_not_change_registry_results() {
+    let ids = [WorkloadId::Bc4, WorkloadId::ImgBin, WorkloadId::BitwiseRow];
+    let run = |workers| {
+        let mut cluster = Cluster::new(workers);
+        for &id in &ids {
+            cluster.submit(
+                exec_config(DesignKind::Gmc, MemoryKind::Ddr4),
+                workload_for(id),
+            );
+        }
+        cluster.run().unwrap()
+    };
+    assert_eq!(run(1), run(4));
+}
+
+/// Shard fan-out for the input-sharded scenarios: one oversize batch
+/// splits across workers and reduces — in shard order — to the exact
+/// report a serial shard-by-shard fold produces, with validation intact.
+#[test]
+fn sharded_batches_reduce_to_the_serial_shard_fold() {
+    // (label, copy submitted to the cluster, copy folded serially).
+    type Case = (&'static str, Box<dyn Workload>, Box<dyn Workload>);
+    let large: Vec<Case> = vec![
+        (
+            "ADD4x5",
+            Box::new(AddWorkload::with_batch(4, 5 * 192)),
+            Box::new(AddWorkload::with_batch(4, 5 * 192)),
+        ),
+        (
+            "MUL8x3",
+            Box::new(QMulWorkload::with_batch(7, 3 * 192)),
+            Box::new(QMulWorkload::with_batch(7, 3 * 192)),
+        ),
+        (
+            "BC8x4",
+            Box::new(BitcountWorkload::with_batch(8, 4 * 192)),
+            Box::new(BitcountWorkload::with_batch(8, 4 * 192)),
+        ),
+        (
+            "ImgBinx3",
+            Box::new(BinarizeWorkload::with_pixels(3 * 192)),
+            Box::new(BinarizeWorkload::with_pixels(3 * 192)),
+        ),
+        (
+            "ColorGradex3",
+            Box::new(GradeWorkload::with_pixels(3 * 192)),
+            Box::new(GradeWorkload::with_pixels(3 * 192)),
+        ),
+        (
+            "CRC8x1.25",
+            Box::new(CrcWorkload::with_packets(CrcSpec::CRC8, 240)),
+            Box::new(CrcWorkload::with_packets(CrcSpec::CRC8, 240)),
+        ),
+    ];
+    let config = exec_config(DesignKind::Gmc, MemoryKind::Ddr4);
+    let mut cluster = Cluster::new(4);
+    let mut expected = Vec::new();
+    for (label, parallel_copy, serial_copy) in large {
+        let shards = serial_copy.shards();
+        assert!(shards.len() >= 2, "{label}: expected real fan-out");
+        cluster.submit_sharded(config.clone(), parallel_copy);
+        let mut fold: Option<CostReport> = None;
+        for mut shard in shards {
+            let r = serial_report(&config, shard.as_mut());
+            match fold.as_mut() {
+                None => fold = Some(r),
+                Some(acc) => acc.absorb(&r),
+            }
+        }
+        expected.push((label, fold.unwrap()));
+    }
+    let reduced = cluster.run().unwrap();
+    for (report, (label, expect)) in reduced.iter().zip(&expected) {
+        assert_eq!(report, expect, "{label}");
+        assert!(report.validated, "{label}");
+    }
+}
+
+/// Sharding preserves the workload's total input volume: the reduced
+/// paper-byte count of an N-tile batch equals N times one tile.
+#[test]
+fn sharded_volume_accounting_is_exact() {
+    let config = exec_config(DesignKind::Bsa, MemoryKind::Ddr4);
+    let mut tile = BitcountWorkload::with_batch(8, 192);
+    let one_tile = serial_report(&config, &mut tile);
+    let mut cluster = Cluster::new(2);
+    cluster.submit_sharded(config, Box::new(BitcountWorkload::with_batch(8, 6 * 192)));
+    let reduced = cluster.run().unwrap().remove(0);
+    assert!((reduced.paper_bytes - 6.0 * one_tile.paper_bytes).abs() < 1e-9);
+    assert_eq!(reduced.acts, 6 * one_tile.acts);
+}

@@ -109,7 +109,10 @@ fn every_fig7_workload_validates_on_every_design() {
     ] {
         for design in DesignKind::ALL {
             let cost = measure(id, design);
-            assert!(cost.validated, "{id} on {design} mismatched the reference");
+            assert!(
+                cost.report.validated,
+                "{id} on {design} mismatched the reference"
+            );
         }
     }
 }
@@ -123,7 +126,7 @@ fn fig9_micro_workloads_validate() {
         WorkloadId::BitwiseRow,
     ] {
         let cost = measure(id, DesignKind::Gmc);
-        assert!(cost.validated, "{id}");
+        assert!(cost.report.validated, "{id}");
     }
 }
 
@@ -149,7 +152,7 @@ fn hmc_3ds_is_faster_than_ddr4() {
     let ddr4 = measure_on(WorkloadId::Bc8, DesignKind::Bsa, MemoryKind::Ddr4);
     let hmc = measure_on(WorkloadId::Bc8, DesignKind::Bsa, MemoryKind::Stacked3d);
     // Per-batch time is lower on HMC (faster activations)…
-    assert!(hmc.time < ddr4.time);
+    assert!(hmc.report.time < ddr4.report.time);
     // …but energy per byte is *higher*: small rows do not amortize the
     // per-activation peripheral energy (the paper's Fig. 10 shows 3DS
     // saving ~8x less energy than DDR4 pLUTo).
