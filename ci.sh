@@ -31,4 +31,7 @@ cargo run --release --quiet --example cluster
 echo "==> 4-worker cluster smoke (fig07 --quick --workers 4)"
 cargo run --release --quiet -p pluto-bench --bin fig07_speedup -- --quick --workers 4
 
+echo "==> query-engine throughput guard (benches/query.rs smoke: word-parallel >= 2x scalar packing)"
+PLUTO_QUICK=1 cargo bench -p pluto-bench --bench query
+
 echo "==> CI green"

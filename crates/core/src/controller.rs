@@ -20,7 +20,7 @@ use crate::design::DesignKind;
 use crate::error::PlutoError;
 use crate::isa::{Instruction, Program, RowReg, ShiftDir, SubarrayReg};
 use crate::lut::{pack_slots, slots_per_row, unpack_slots, Lut};
-use crate::query::{QueryExecutor, QueryPlacement};
+use crate::query::{QueryExecutor, QueryPlacement, QueryScratch};
 use crate::store::LutStore;
 use pluto_dram::{BankId, DramConfig, Engine, PicoJoules, Picos, RowId, RowLoc, SubarrayId};
 use std::collections::HashMap;
@@ -73,6 +73,9 @@ pub struct Controller {
     high_cursor: u16,
     next_pluto_subarray: u16,
     slot_bits: u32,
+    /// Query scratch buffers reused across `pluto_op` chunks (the op's
+    /// output lives in DRAM; the unpacked output vector is never needed).
+    scratch: QueryScratch,
 }
 
 impl Controller {
@@ -121,6 +124,7 @@ impl Controller {
             high_cursor: rows - 5,
             next_pluto_subarray: 1,
             slot_bits: 8,
+            scratch: QueryScratch::new(),
         })
     }
 
@@ -417,7 +421,14 @@ impl Controller {
                     reason: format!("{dst} too small for {src}'s rows"),
                 })?;
                 let mut ex = QueryExecutor::new(&mut self.engine, self.design);
-                ex.execute_resident(&mut store, placement, src_row, dst_row, slots)?;
+                ex.execute_resident_with(
+                    &mut store,
+                    placement,
+                    src_row,
+                    dst_row,
+                    slots,
+                    &mut self.scratch,
+                )?;
                 remaining -= slots;
                 if remaining == 0 {
                     break;

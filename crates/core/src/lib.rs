@@ -72,7 +72,7 @@ pub use design::{DesignKind, DesignModel};
 pub use error::PlutoError;
 pub use library::{MapResult, PlutoMachine};
 pub use lut::Lut;
-pub use query::{QueryCost, QueryExecutor, QueryPlacement};
+pub use query::{QueryCost, QueryExecutor, QueryPlacement, QueryScratch};
 pub use session::{CostReport, ExecConfig, Session, SessionBuilder, Workload};
 pub use store::LutStore;
 

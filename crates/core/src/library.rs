@@ -12,7 +12,7 @@ use crate::controller::Controller;
 use crate::design::DesignKind;
 use crate::error::PlutoError;
 use crate::lut::{catalog, slots_per_row, Lut};
-use crate::query::{QueryExecutor, QueryPlacement};
+use crate::query::{QueryExecutor, QueryPlacement, QueryScratch};
 use crate::store::LutStore;
 use pluto_dram::{BankId, CommandStats, DramConfig, Engine, PicoJoules, Picos, RowId, SubarrayId};
 use std::collections::HashMap;
@@ -61,6 +61,10 @@ pub struct PlutoMachine {
     totals: AggregateCost,
     engine: Engine,
     stores: HashMap<String, LutStore>,
+    /// Query-path scratch buffers, reused across every `apply` chunk so
+    /// operation streams stop reallocating per query. Pure buffers — no
+    /// state survives a query, so reuse cannot perturb results.
+    scratch: QueryScratch,
     next_pluto: u16,
     bank: BankId,
     data_sa: SubarrayId,
@@ -80,6 +84,7 @@ impl PlutoMachine {
             design,
             totals: AggregateCost::default(),
             stores: HashMap::new(),
+            scratch: QueryScratch::new(),
             next_pluto: 1,
             bank: BankId(0),
             data_sa: SubarrayId(0),
@@ -239,8 +244,15 @@ impl PlutoMachine {
         let result: Result<(), PlutoError> = (|| {
             for chunk in inputs.chunks(capacity.max(1)) {
                 let mut ex = QueryExecutor::new(&mut self.engine, self.design);
-                let (out, _) = ex.execute(&mut store, placement, chunk, RowId(0), RowId(1))?;
-                values.extend(out);
+                ex.execute_with(
+                    &mut store,
+                    placement,
+                    chunk,
+                    RowId(0),
+                    RowId(1),
+                    &mut self.scratch,
+                )?;
+                values.extend_from_slice(self.scratch.outputs());
             }
             Ok(())
         })();

@@ -4,25 +4,40 @@
 //! pLUTo-enabled subarray. During a row sweep, every comparator compares the
 //! index of the currently activated row against its element of the LUT query
 //! input vector and asserts its matchlines on equality.
+//!
+//! Both helpers return lazy iterators rather than allocating a `Vec` per
+//! sweep step: a sweep issues one call per LUT row, so the old per-step
+//! allocations multiplied into `lut_len` heap round-trips per query.
+//! Callers that need an owned vector can `.collect()` (the scalar reference
+//! path in [`crate::query`] does exactly that, preserving the original
+//! allocation profile for differential benchmarking).
 
 /// Computes the matchline vector for one sweep step: element `j` is `true`
 /// iff `inputs[j] == row_index` (paper Fig. 3's ✓/✗ row).
-pub fn matchlines(inputs: &[u64], row_index: u64) -> Vec<bool> {
-    inputs.iter().map(|&x| x == row_index).collect()
+pub fn matchlines(inputs: &[u64], row_index: u64) -> impl Iterator<Item = bool> + '_ {
+    inputs.iter().map(move |&x| x == row_index)
 }
 
 /// Positions of the matched elements for one sweep step.
-pub fn matched_positions(inputs: &[u64], row_index: u64) -> Vec<usize> {
+pub fn matched_positions(inputs: &[u64], row_index: u64) -> impl Iterator<Item = usize> + '_ {
     inputs
         .iter()
         .enumerate()
-        .filter_map(|(j, &x)| (x == row_index).then_some(j))
-        .collect()
+        .filter_map(move |(j, &x)| (x == row_index).then_some(j))
 }
 
 /// Verifies the invariant the GMC design relies on (§5.3.3): over a full
 /// sweep of `0..lut_len`, each input element matches **exactly once**.
 /// Returns `true` if the invariant holds for every element.
+///
+/// The bound check `x < lut_len` is the *whole* invariant — a common
+/// misreading is that duplicate inputs would need rejecting too. They do
+/// not: the invariant is per *input element*, and element `j` matches
+/// exactly when the sweep activates row `inputs[j]`, which happens exactly
+/// once per sweep regardless of how many other elements hold the same
+/// value. (Two elements with equal inputs assert two *different*
+/// matchlines on the same step; no matchline fires twice.) See
+/// `duplicates_still_match_exactly_once` below for the spelled-out case.
 pub fn each_element_matches_exactly_once(inputs: &[u64], lut_len: u64) -> bool {
     inputs.iter().all(|&x| x < lut_len)
 }
@@ -31,21 +46,28 @@ pub fn each_element_matches_exactly_once(inputs: &[u64], lut_len: u64) -> bool {
 mod tests {
     use super::*;
 
+    fn matchline_vec(inputs: &[u64], row_index: u64) -> Vec<bool> {
+        matchlines(inputs, row_index).collect()
+    }
+
     #[test]
     fn paper_figure3_match_pattern() {
         // Input vector [1,0,1,3]; sweeping rows 0..4 (paper Fig. 3c).
         let inputs = [1u64, 0, 1, 3];
-        assert_eq!(matchlines(&inputs, 0), vec![false, true, false, false]);
-        assert_eq!(matchlines(&inputs, 1), vec![true, false, true, false]);
-        assert_eq!(matchlines(&inputs, 2), vec![false, false, false, false]);
-        assert_eq!(matchlines(&inputs, 3), vec![false, false, false, true]);
+        assert_eq!(matchline_vec(&inputs, 0), vec![false, true, false, false]);
+        assert_eq!(matchline_vec(&inputs, 1), vec![true, false, true, false]);
+        assert_eq!(matchline_vec(&inputs, 2), vec![false, false, false, false]);
+        assert_eq!(matchline_vec(&inputs, 3), vec![false, false, false, true]);
     }
 
     #[test]
     fn matched_positions_lists_indices() {
         let inputs = [1u64, 0, 1, 3];
-        assert_eq!(matched_positions(&inputs, 1), vec![0, 2]);
-        assert!(matched_positions(&inputs, 2).is_empty());
+        assert_eq!(
+            matched_positions(&inputs, 1).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(matched_positions(&inputs, 2).count(), 0);
     }
 
     #[test]
@@ -56,10 +78,32 @@ mod tests {
         assert!(each_element_matches_exactly_once(&[], 4));
     }
 
+    /// The documented footgun: `each_element_matches_exactly_once` checks
+    /// only `x < lut_len`, and that *is* sufficient — duplicated inputs are
+    /// legal and still satisfy the invariant, because the invariant counts
+    /// matches per input element (per comparator), not per LUT row.
+    #[test]
+    fn duplicates_still_match_exactly_once() {
+        let inputs = [2u64, 2, 2, 0, 2];
+        assert!(each_element_matches_exactly_once(&inputs, 4));
+        // Over the full sweep, every element position matches exactly once…
+        let mut match_count = vec![0usize; inputs.len()];
+        for row in 0..4u64 {
+            for j in matched_positions(&inputs, row) {
+                match_count[j] += 1;
+            }
+        }
+        assert_eq!(match_count, vec![1; inputs.len()]);
+        // …even though one step (row 2) asserts four matchlines at once.
+        assert_eq!(matched_positions(&inputs, 2).count(), 4);
+    }
+
     #[test]
     fn total_matches_over_sweep_equal_input_len() {
         let inputs = [3u64, 3, 0, 2, 1, 1, 1];
-        let total: usize = (0..4u64).map(|r| matched_positions(&inputs, r).len()).sum();
+        let total: usize = (0..4u64)
+            .map(|r| matched_positions(&inputs, r).count())
+            .sum();
         assert_eq!(total, inputs.len());
     }
 }

@@ -15,10 +15,26 @@
 //! The executor issues the real per-design command streams on the
 //! [`Engine`], so measured latency/energy match the paper's Table 1 closed
 //! forms (asserted by tests), while the data path is simulated bit-exactly.
+//!
+//! ## Word-parallel data path (DESIGN.md §7)
+//!
+//! Commands are authoritative for *cost*; words are authoritative for
+//! *data*. The executor drives the full per-design command stream on the
+//! engine — every sweep step, precharge, and LISA hop, so `QueryCost` and
+//! all engine accounting stay bit-identical to the original element-by-
+//! element simulation — but computes the output vector in one pass over
+//! the input slots (`out[j] = lut[in[j]]`), exploiting the paper's
+//! simultaneous-many-element semantics instead of scanning every slot on
+//! every sweep step. Slot packing runs on a streaming 64-bit shift/mask
+//! accumulator ([`crate::lut::pack_slots`]);
+//! [`QueryExecutor::execute_scalar_reference`] retains the original
+//! bit-serial sweep-scan path as the differential oracle.
 
 use crate::design::DesignKind;
 use crate::error::PlutoError;
-use crate::lut::{pack_slots, slots_per_row, unpack_slots};
+use crate::lut::{
+    pack_slots_into, pack_slots_scalar, slots_per_row, unpack_slots_into, unpack_slots_scalar,
+};
 use crate::match_logic;
 use crate::store::LutStore;
 use pluto_dram::{BankId, Engine, PicoJoules, Picos, RowId, RowLoc, SubarrayId};
@@ -82,6 +98,33 @@ impl QueryCost {
     }
 }
 
+/// Reusable buffers for the query hot path: input slots, output slots,
+/// and one packed row. A long-lived holder ([`crate::library::PlutoMachine`],
+/// the controller) keeps one `QueryScratch` and threads it through every
+/// query, so operation streams of thousands of queries stop paying three
+/// heap allocations per query.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Unpacked input slots (also used for the pre-query validation pass).
+    live: Vec<u64>,
+    /// Gathered output slots.
+    out: Vec<u64>,
+    /// Packed-row staging buffer.
+    row: Vec<u8>,
+}
+
+impl QueryScratch {
+    /// Creates empty scratch buffers (they grow to row size on first use).
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+
+    /// The output slots of the most recent query run with this scratch.
+    pub fn outputs(&self) -> &[u64] {
+        &self.out
+    }
+}
+
 /// Executes pLUTo LUT Queries of one design on an [`Engine`].
 #[derive(Debug)]
 pub struct QueryExecutor<'e> {
@@ -125,6 +168,26 @@ impl<'e> QueryExecutor<'e> {
         src_row: RowId,
         dst_row: RowId,
     ) -> Result<(Vec<u64>, QueryCost), PlutoError> {
+        let mut scratch = QueryScratch::new();
+        let cost = self.execute_with(store, placement, inputs, src_row, dst_row, &mut scratch)?;
+        Ok((std::mem::take(&mut scratch.out), cost))
+    }
+
+    /// [`QueryExecutor::execute`] with caller-owned scratch buffers: the
+    /// output vector lands in [`QueryScratch::outputs`] instead of a fresh
+    /// allocation. This is the hot-path entry point operation streams use.
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryExecutor::execute`].
+    pub fn execute_with(
+        &mut self,
+        store: &mut LutStore,
+        placement: QueryPlacement,
+        inputs: &[u64],
+        src_row: RowId,
+        dst_row: RowId,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryCost, PlutoError> {
         let lut = store.lut().clone();
         let n = lut.len() as u64;
         let slot_bits = lut.slot_bits();
@@ -157,9 +220,9 @@ impl<'e> QueryExecutor<'e> {
             subarray: placement.source,
             row: src_row,
         };
-        let packed = pack_slots(inputs, slot_bits, cfg.row_bytes)?;
-        self.engine.poke_row(src_loc, &packed)?;
-        self.execute_resident(store, placement, src_row, dst_row, inputs.len())
+        pack_slots_into(inputs, slot_bits, cfg.row_bytes, &mut scratch.row)?;
+        self.engine.poke_row(src_loc, &scratch.row)?;
+        self.execute_resident_with(store, placement, src_row, dst_row, inputs.len(), scratch)
     }
 
     /// Executes a bulk LUT query whose input vector is *already resident*
@@ -177,6 +240,32 @@ impl<'e> QueryExecutor<'e> {
         dst_row: RowId,
         num_slots: usize,
     ) -> Result<(Vec<u64>, QueryCost), PlutoError> {
+        let mut scratch = QueryScratch::new();
+        let cost = self.execute_resident_with(
+            store,
+            placement,
+            src_row,
+            dst_row,
+            num_slots,
+            &mut scratch,
+        )?;
+        Ok((std::mem::take(&mut scratch.out), cost))
+    }
+
+    /// [`QueryExecutor::execute_resident`] with caller-owned scratch
+    /// buffers (see [`QueryExecutor::execute_with`]).
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryExecutor::execute`].
+    pub fn execute_resident_with(
+        &mut self,
+        store: &mut LutStore,
+        placement: QueryPlacement,
+        src_row: RowId,
+        dst_row: RowId,
+        num_slots: usize,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryCost, PlutoError> {
         let lut = store.lut().clone();
         let n = lut.len() as u64;
         let slot_bits = lut.slot_bits();
@@ -194,12 +283,13 @@ impl<'e> QueryExecutor<'e> {
             row: src_row,
         };
         {
-            let resident = self.engine.peek_row(src_loc)?;
-            let inputs = unpack_slots(&resident, slot_bits, num_slots);
-            if !match_logic::each_element_matches_exactly_once(&inputs, n) {
-                let bad = inputs
-                    .into_iter()
-                    .find(|&x| x >= n)
+            self.engine.peek_row_into(src_loc, &mut scratch.row)?;
+            unpack_slots_into(&scratch.row, slot_bits, num_slots, &mut scratch.live);
+            if !match_logic::each_element_matches_exactly_once(&scratch.live, n) {
+                let bad = *scratch
+                    .live
+                    .iter()
+                    .find(|&&x| x >= n)
                     .expect("some input too large");
                 return Err(PlutoError::IndexOutOfRange {
                     value: bad,
@@ -226,30 +316,39 @@ impl<'e> QueryExecutor<'e> {
         // match logic reads the *row buffer*, so the indices used below are
         // whatever the activation latched — the data path is bit-exact.
         self.engine.activate(src_loc)?;
-        let live_inputs = {
+        {
             let buf = self.engine.row_buffer(bank, placement.source)?;
-            unpack_slots(&buf.data, slot_bits, num_slots)
-        };
+            unpack_slots_into(&buf.data, slot_bits, num_slots, &mut scratch.live);
+        }
         let clock_s = self.engine.elapsed();
         let energy_s = self.engine.command_energy();
 
-        // Phases 2–4: the pLUTo Row Sweep with match capture.
-        let mut out_slots: Vec<u64> = vec![0; num_slots];
+        // Phases 2–4: the pLUTo Row Sweep with match capture. The command
+        // stream is the real per-design sweep — one step per LUT row.
         let step_kind = self.design.sweep_step_kind();
         for i in 0..lut.len() {
             let loc = store.element_row(i);
             self.engine.sweep_step(loc, step_kind)?;
-            // Match logic: capture the active row's element everywhere the
-            // row index equals the input slot.
-            let element = lut.element(i as u64)?;
-            for j in match_logic::matched_positions(&live_inputs, i as u64) {
-                out_slots[j] = element;
-            }
         }
         // GSA/GMC sweeps end with a single precharge (§5.2.2, §5.3.3).
         if step_kind == pluto_dram::SweepStepKind::ChargeShare {
             self.engine.precharge(bank, placement.pluto)?;
         }
+        // Data path, inverted: rather than scanning every slot on every
+        // sweep step (O(lut_len × slots)), gather each slot's element in
+        // one pass (O(slots)). Over the whole sweep, slot j matches exactly
+        // on step `live[j]` and captures that row's element — so the
+        // gather below is bit-identical to the per-step match capture. A
+        // (structurally impossible) out-of-range slot would never match
+        // and leave the FF buffer's reset value, which the gather mirrors.
+        scratch.out.clear();
+        let elements = lut.elements();
+        scratch.out.extend(
+            scratch
+                .live
+                .iter()
+                .map(|&x| elements.get(x as usize).copied().unwrap_or(0)),
+        );
         let clock_w = self.engine.elapsed();
         let energy_w = self.engine.command_energy();
 
@@ -262,7 +361,124 @@ impl<'e> QueryExecutor<'e> {
         // (and commit it to the destination row). If the destination shares
         // the source subarray, close the source row *first* so the LISA
         // write-through cannot clobber the still-open input row.
-        let out_packed = pack_slots(&out_slots, slot_bits, cfg.row_bytes)?;
+        pack_slots_into(&scratch.out, slot_bits, cfg.row_bytes, &mut scratch.row)?;
+        if placement.dest == placement.source {
+            self.engine.precharge(bank, placement.source)?;
+        }
+        self.engine
+            .deposit_buffer(bank, placement.pluto, &scratch.row)?;
+        self.engine
+            .lisa_rbm_to_row(bank, placement.pluto, placement.dest, dst_row)?;
+        if placement.dest != placement.source {
+            // Close the source row.
+            self.engine.precharge(bank, placement.source)?;
+        }
+        let clock_end = self.engine.elapsed();
+        let energy_end = self.engine.command_energy();
+
+        let cost = QueryCost {
+            setup: clock_s - clock_r,
+            reload: clock_r - clock0,
+            sweep: clock_w - clock_s,
+            copyout: clock_end - clock_w,
+            energy: energy_end - energy0,
+            sweep_energy: energy_w - energy_s,
+            reload_energy: energy_r - energy0,
+        };
+        Ok(cost)
+    }
+
+    /// The retained pre-refactor scalar path: bit-serial slot packing and
+    /// the element-by-element sweep scan with per-step matchline
+    /// allocations. Drives the *same* command stream as the word-parallel
+    /// path, so outputs, costs, engine stats, and DRAM contents must all
+    /// be bit-identical — `tests/query_differential.rs` asserts exactly
+    /// that, and `benches/query.rs` measures the throughput gap.
+    ///
+    /// # Errors
+    /// Same conditions as [`QueryExecutor::execute`].
+    pub fn execute_scalar_reference(
+        &mut self,
+        store: &mut LutStore,
+        placement: QueryPlacement,
+        inputs: &[u64],
+        src_row: RowId,
+        dst_row: RowId,
+    ) -> Result<(Vec<u64>, QueryCost), PlutoError> {
+        let lut = store.lut().clone();
+        let n = lut.len() as u64;
+        let slot_bits = lut.slot_bits();
+        let cfg = self.engine.config().clone();
+        let capacity = slots_per_row(cfg.row_bytes, slot_bits);
+        if inputs.len() > capacity {
+            return Err(PlutoError::LayoutMismatch {
+                reason: format!(
+                    "{} inputs exceed the {capacity}-slot row capacity",
+                    inputs.len()
+                ),
+            });
+        }
+        if !match_logic::each_element_matches_exactly_once(inputs, n) {
+            let bad = *inputs
+                .iter()
+                .find(|&&x| x >= n)
+                .expect("some input too large");
+            return Err(PlutoError::IndexOutOfRange {
+                value: bad,
+                input_bits: lut.input_bits(),
+            });
+        }
+        let bank = placement.bank;
+        let src_loc = RowLoc {
+            bank,
+            subarray: placement.source,
+            row: src_row,
+        };
+        let packed = pack_slots_scalar(inputs, slot_bits, cfg.row_bytes)?;
+        self.engine.poke_row(src_loc, &packed)?;
+
+        let clock0 = self.engine.elapsed();
+        let energy0 = self.engine.command_energy();
+        if self.design.reload_per_query() {
+            store.reload(self.engine)?;
+        } else {
+            store.ensure_ready(self.engine, self.design)?;
+        }
+        let clock_r = self.engine.elapsed();
+        let energy_r = self.engine.command_energy();
+
+        self.engine.activate(src_loc)?;
+        let live_inputs = {
+            let buf = self.engine.row_buffer(bank, placement.source)?;
+            unpack_slots_scalar(&buf.data, slot_bits, inputs.len())
+        };
+        let clock_s = self.engine.elapsed();
+        let energy_s = self.engine.command_energy();
+
+        // The original per-step match capture, allocation profile intact.
+        let mut out_slots: Vec<u64> = vec![0; inputs.len()];
+        let step_kind = self.design.sweep_step_kind();
+        for i in 0..lut.len() {
+            let loc = store.element_row(i);
+            self.engine.sweep_step(loc, step_kind)?;
+            let element = lut.element(i as u64)?;
+            let matched: Vec<usize> =
+                match_logic::matched_positions(&live_inputs, i as u64).collect();
+            for j in matched {
+                out_slots[j] = element;
+            }
+        }
+        if step_kind == pluto_dram::SweepStepKind::ChargeShare {
+            self.engine.precharge(bank, placement.pluto)?;
+        }
+        let clock_w = self.engine.elapsed();
+        let energy_w = self.engine.command_energy();
+
+        if self.design.destructive_reads() {
+            store.mark_destroyed(self.engine)?;
+        }
+
+        let out_packed = pack_slots_scalar(&out_slots, slot_bits, cfg.row_bytes)?;
         if placement.dest == placement.source {
             self.engine.precharge(bank, placement.source)?;
         }
@@ -271,7 +487,6 @@ impl<'e> QueryExecutor<'e> {
         self.engine
             .lisa_rbm_to_row(bank, placement.pluto, placement.dest, dst_row)?;
         if placement.dest != placement.source {
-            // Close the source row.
             self.engine.precharge(bank, placement.source)?;
         }
         let clock_end = self.engine.elapsed();
@@ -299,7 +514,7 @@ pub fn query_capacity(row_bytes: usize, input_bits: u32, output_bits: u32) -> us
 mod tests {
     use super::*;
     use crate::design::DesignModel;
-    use crate::lut::{catalog, Lut};
+    use crate::lut::{catalog, unpack_slots, Lut};
     use pluto_dram::DramConfig;
 
     fn engine() -> Engine {
@@ -423,6 +638,70 @@ mod tests {
                 assert_eq!(cost.reload, Picos::ZERO, "{design} never reloads");
             }
             assert!(store.is_loaded());
+        }
+    }
+
+    #[test]
+    fn word_parallel_path_matches_scalar_reference() {
+        // Same query on two identical engines: the word-parallel path and
+        // the retained scalar path must agree on outputs, cost, stats, and
+        // the committed destination row (the full differential suite lives
+        // in tests/query_differential.rs).
+        for design in DesignKind::ALL {
+            let lut = catalog::popcount(4).unwrap();
+            let inputs: Vec<u64> = (0..40u64).map(|i| (i * 7) % 16).collect();
+
+            let mut e_word = engine();
+            let (mut store_w, placement) = setup(&mut e_word, lut.clone());
+            let mut ex = QueryExecutor::new(&mut e_word, design);
+            let (out_w, cost_w) = ex
+                .execute(&mut store_w, placement, &inputs, RowId(0), RowId(3))
+                .unwrap();
+
+            let mut e_scalar = engine();
+            let (mut store_s, placement) = setup(&mut e_scalar, lut);
+            let mut ex = QueryExecutor::new(&mut e_scalar, design);
+            let (out_s, cost_s) = ex
+                .execute_scalar_reference(&mut store_s, placement, &inputs, RowId(0), RowId(3))
+                .unwrap();
+
+            assert_eq!(out_w, out_s, "{design}");
+            assert_eq!(cost_w, cost_s, "{design}");
+            assert_eq!(e_word.elapsed(), e_scalar.elapsed(), "{design}");
+            assert_eq!(e_word.stats(), e_scalar.stats(), "{design}");
+            let dst = RowLoc {
+                bank: placement.bank,
+                subarray: placement.dest,
+                row: RowId(3),
+            };
+            assert_eq!(
+                e_word.peek_row(dst).unwrap(),
+                e_scalar.peek_row(dst).unwrap(),
+                "{design}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_queries() {
+        let mut e = engine();
+        let lut = catalog::popcount(4).unwrap();
+        let (mut store, placement) = setup(&mut e, lut);
+        let mut ex = QueryExecutor::new(&mut e, DesignKind::Gmc);
+        let mut scratch = QueryScratch::new();
+        for round in 0..3u64 {
+            let inputs: Vec<u64> = (0..32u64).map(|i| (i + round) % 16).collect();
+            ex.execute_with(
+                &mut store,
+                placement,
+                &inputs,
+                RowId(0),
+                RowId(1),
+                &mut scratch,
+            )
+            .unwrap();
+            let expect: Vec<u64> = inputs.iter().map(|x| x.count_ones() as u64).collect();
+            assert_eq!(scratch.outputs(), expect, "round {round}");
         }
     }
 

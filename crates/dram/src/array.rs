@@ -91,6 +91,27 @@ impl MemoryArray {
             .unwrap_or_else(|| vec![0; self.cfg.row_bytes]))
     }
 
+    /// Reads a row's stored contents into a caller-owned buffer (cleared
+    /// and refilled), avoiding the per-read allocation of
+    /// [`MemoryArray::row`] — the hot-path variant the word-parallel query
+    /// engine uses.
+    ///
+    /// # Errors
+    /// Fails if `loc` is out of bounds.
+    pub fn read_row_into(&self, loc: RowLoc, out: &mut Vec<u8>) -> Result<(), DramError> {
+        self.check(loc)?;
+        out.clear();
+        match self
+            .subarrays
+            .get(&(loc.bank, loc.subarray))
+            .and_then(|sa| sa.rows.get(&loc.row))
+        {
+            Some(data) => out.extend_from_slice(data),
+            None => out.resize(self.cfg.row_bytes, 0),
+        }
+        Ok(())
+    }
+
     /// Overwrites a row's stored contents directly (no row-buffer effects).
     ///
     /// # Errors
@@ -103,9 +124,13 @@ impl MemoryArray {
                 actual: data.len(),
             });
         }
-        self.sa(loc.bank, loc.subarray)
+        let slot = self
+            .sa(loc.bank, loc.subarray)
             .rows
-            .insert(loc.row, data.to_vec());
+            .entry(loc.row)
+            .or_default();
+        slot.clear();
+        slot.extend_from_slice(data);
         Ok(())
     }
 
@@ -132,15 +157,27 @@ impl MemoryArray {
     /// `allow_back_to_back` is false.
     pub fn activate(&mut self, loc: RowLoc, allow_back_to_back: bool) -> Result<(), DramError> {
         self.check(loc)?;
-        let data = self.row(loc)?;
-        let buf = self.buffer_mut(loc.bank, loc.subarray);
+        let row_bytes = self.cfg.row_bytes;
+        // Split-borrow the subarray so the row read can fill the buffer in
+        // place: a row sweep activates once per LUT row, so the fresh
+        // `Vec` per activation this used to allocate multiplied into
+        // `lut_len` heap round-trips per query.
+        let sa = self.sa(loc.bank, loc.subarray);
+        let SubarrayState { rows, buffer } = sa;
+        let buf = buffer.get_or_insert_with(|| RowBuffer::new(row_bytes));
         if buf.open_row.is_some() && !allow_back_to_back {
             return Err(DramError::RowAlreadyOpen {
                 bank: loc.bank,
                 subarray: loc.subarray,
             });
         }
-        buf.data = data;
+        match rows.get(&loc.row) {
+            Some(data) => buf.data.clone_from(data),
+            None => {
+                buf.data.clear();
+                buf.data.resize(row_bytes, 0);
+            }
+        }
         buf.open_row = Some(loc.row);
         buf.latched = true;
         Ok(())
@@ -242,21 +279,41 @@ impl MemoryArray {
         if from == to {
             return Err(DramError::InvalidLisa { bank, from, to });
         }
-        let src = self
-            .buffer(bank, from)
-            .filter(|b| b.latched)
-            .map(|b| b.data.clone())
-            .ok_or(DramError::NoOpenRow {
-                bank,
-                subarray: from,
-            })?;
+        // Borrow the source data by temporarily taking it, so the copy
+        // into the destination buffer (and its write-through row) reuses
+        // existing capacity: GSA pays one LISA hop per LUT row per query,
+        // so the buffer clones this used to make were a per-query
+        // `2 × lut_len` allocation storm.
+        let mut src = match self.subarrays.get_mut(&(bank, from)) {
+            Some(sa) if sa.buffer.as_ref().is_some_and(|b| b.latched) => {
+                std::mem::take(&mut sa.buffer.as_mut().expect("checked above").data)
+            }
+            _ => {
+                return Err(DramError::NoOpenRow {
+                    bank,
+                    subarray: from,
+                })
+            }
+        };
         let dst = self.buffer_mut(bank, to);
-        dst.data = src;
+        dst.data.clone_from(&src);
         dst.latched = true;
         if let Some(open) = dst.open_row {
-            let snapshot = dst.data.clone();
-            self.sa(bank, to).rows.insert(open, snapshot);
+            let SubarrayState { rows, buffer } = self.sa(bank, to);
+            let data = &buffer.as_ref().expect("buffer created above").data;
+            let slot = rows.entry(open).or_default();
+            slot.clone_from(data);
         }
+        // Hand the (unchanged) source data back to its buffer.
+        std::mem::swap(
+            &mut self
+                .sa(bank, from)
+                .buffer
+                .as_mut()
+                .expect("source buffer existed")
+                .data,
+            &mut src,
+        );
         Ok(())
     }
 
@@ -336,6 +393,85 @@ impl MemoryArray {
             .rows
             .insert(loc.row, shifted);
         Ok(())
+    }
+}
+
+/// Reads a `width`-bit big-endian field starting at bit `bit` of a row
+/// (bit 0 is the MSB of byte 0 — the whole-row bit-string convention of
+/// the DRISA shifts and the pLUTo slot layout).
+///
+/// The field is extracted with one aligned 64-bit window load instead of
+/// a per-bit loop. This is the standalone random-access accessor for row
+/// fields; `pluto-core`'s bulk slot packing streams whole rows through
+/// its own 64-bit accumulator and shares only the [`MAX_FIELD_BITS`]
+/// width bound. Bytes past the end of `row` read as zero, so fields
+/// ending on the last bits of a row need no special casing.
+///
+/// # Panics
+/// Panics if `width` is 0 or > 57 (the widest field whose 64-bit window
+/// still covers every starting bit-in-byte offset), or if the field
+/// extends past the end of the row.
+pub fn word_at_bit(row: &[u8], bit: usize, width: u32) -> u64 {
+    assert!(
+        (1..=MAX_FIELD_BITS).contains(&width),
+        "field width {width} outside 1..={MAX_FIELD_BITS}"
+    );
+    assert!(
+        bit + width as usize <= row.len() * 8,
+        "field [{bit}, {}) extends past the {}-bit row",
+        bit + width as usize,
+        row.len() * 8
+    );
+    let start = bit / 8;
+    let mut window = [0u8; 8];
+    let take = (row.len() - start).min(8);
+    window[..take].copy_from_slice(&row[start..start + take]);
+    let word = u64::from_be_bytes(window);
+    let shift = 64 - (bit % 8) as u32 - width;
+    (word >> shift) & field_mask(width)
+}
+
+/// Writes a `width`-bit big-endian field starting at bit `bit` of a row
+/// (inverse of [`word_at_bit`]; same conventions and limits).
+///
+/// # Panics
+/// Panics under the same conditions as [`word_at_bit`], or if `value` does
+/// not fit in `width` bits.
+pub fn set_word_at_bit(row: &mut [u8], bit: usize, width: u32, value: u64) {
+    assert!(
+        (1..=MAX_FIELD_BITS).contains(&width),
+        "field width {width} outside 1..={MAX_FIELD_BITS}"
+    );
+    assert!(
+        bit + width as usize <= row.len() * 8,
+        "field [{bit}, {}) extends past the {}-bit row",
+        bit + width as usize,
+        row.len() * 8
+    );
+    assert!(
+        value & !field_mask(width) == 0,
+        "value {value} exceeds {width} bits"
+    );
+    let start = bit / 8;
+    let mut window = [0u8; 8];
+    let take = (row.len() - start).min(8);
+    window[..take].copy_from_slice(&row[start..start + take]);
+    let mut word = u64::from_be_bytes(window);
+    let shift = 64 - (bit % 8) as u32 - width;
+    word = (word & !(field_mask(width) << shift)) | (value << shift);
+    window = word.to_be_bytes();
+    row[start..start + take].copy_from_slice(&window[..take]);
+}
+
+/// Widest field [`word_at_bit`]/[`set_word_at_bit`] support: an unaligned
+/// field starting up to 7 bits into its window must still fit in 64 bits.
+pub const MAX_FIELD_BITS: u32 = 57;
+
+fn field_mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
     }
 }
 
@@ -576,6 +712,65 @@ mod tests {
         assert_eq!(shift_bytes(&[1, 2, 3, 4], true, 1), vec![2, 3, 4, 0]);
         assert_eq!(shift_bytes(&[1, 2, 3, 4], false, 2), vec![0, 0, 1, 2]);
         assert_eq!(shift_bytes(&[1, 2], false, 5), vec![0, 0]);
+    }
+
+    #[test]
+    fn word_at_bit_reads_be_fields() {
+        let row = [0xAB, 0xCD, 0xEF, 0x01];
+        assert_eq!(word_at_bit(&row, 0, 8), 0xAB);
+        assert_eq!(word_at_bit(&row, 8, 8), 0xCD);
+        assert_eq!(word_at_bit(&row, 4, 8), 0xBC, "unaligned straddle");
+        assert_eq!(word_at_bit(&row, 0, 16), 0xABCD);
+        assert_eq!(word_at_bit(&row, 0, 1), 1);
+        assert_eq!(word_at_bit(&row, 2, 1), 1);
+        assert_eq!(word_at_bit(&row, 1, 1), 0);
+        // Field ending exactly at the end of the row.
+        assert_eq!(word_at_bit(&row, 24, 8), 0x01);
+        assert_eq!(word_at_bit(&row, 29, 3), 0x01);
+    }
+
+    #[test]
+    fn set_word_at_bit_roundtrips_and_preserves_neighbors() {
+        let mut row = [0xFFu8; 4];
+        set_word_at_bit(&mut row, 4, 8, 0x00);
+        assert_eq!(row, [0xF0, 0x0F, 0xFF, 0xFF]);
+        set_word_at_bit(&mut row, 29, 3, 0b010);
+        assert_eq!(word_at_bit(&row, 29, 3), 0b010);
+        assert_eq!(row[..3], [0xF0, 0x0F, 0xFF]);
+        // Every (offset, width) roundtrips against a bit-serial oracle.
+        for width in [1u32, 3, 7, 8, 11, 13, 16, 31, 57] {
+            for bit in 0..16usize {
+                let mut row = vec![0u8; 12];
+                let v = 0x5AA5_3CC3_0FF0_55AAu64 & ((1u64 << (width.min(63))) - 1);
+                set_word_at_bit(&mut row, bit, width, v);
+                let mut oracle = 0u64;
+                for b in 0..width as usize {
+                    let pos = bit + b;
+                    oracle = (oracle << 1) | u64::from((row[pos / 8] >> (7 - pos % 8)) & 1);
+                }
+                assert_eq!(oracle, v, "bit {bit} width {width}");
+                assert_eq!(word_at_bit(&row, bit, width), v, "bit {bit} width {width}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "extends past")]
+    fn word_at_bit_rejects_overrun() {
+        word_at_bit(&[0u8; 2], 12, 8);
+    }
+
+    #[test]
+    fn read_row_into_matches_row() {
+        let mut arr = MemoryArray::new(tiny_cfg());
+        let loc = RowLoc::new(0, 1, 2);
+        let mut buf = vec![0xEE; 3];
+        arr.read_row_into(loc, &mut buf).unwrap();
+        assert_eq!(buf, vec![0; 8], "missing rows read as zeros");
+        arr.set_row(loc, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        arr.read_row_into(loc, &mut buf).unwrap();
+        assert_eq!(buf, arr.row(loc).unwrap());
+        assert!(arr.read_row_into(RowLoc::new(9, 0, 0), &mut buf).is_err());
     }
 
     #[test]

@@ -291,6 +291,16 @@ impl Engine {
         self.array.row(loc)
     }
 
+    /// Zero-cost backdoor: reads a row into a caller-owned buffer without
+    /// advancing time or energy (the allocation-free sibling of
+    /// [`Engine::peek_row`], used by the word-parallel query hot path).
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds locations.
+    pub fn peek_row_into(&self, loc: RowLoc, out: &mut Vec<u8>) -> Result<(), DramError> {
+        self.array.read_row_into(loc, out)
+    }
+
     // ------------------------------------------------------------------
     // Enhanced-DRAM commands (paper §2.2)
     // ------------------------------------------------------------------

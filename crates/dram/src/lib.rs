@@ -60,7 +60,7 @@ pub mod stats;
 pub mod timing;
 pub mod units;
 
-pub use array::{MemoryArray, RowBuffer};
+pub use array::{set_word_at_bit, word_at_bit, MemoryArray, RowBuffer, MAX_FIELD_BITS};
 pub use command::{Command, SweepStepKind};
 pub use energy::EnergyModel;
 pub use engine::Engine;

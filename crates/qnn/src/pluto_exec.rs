@@ -69,22 +69,27 @@ fn binary_dot_on(
     let xnor1 = catalog::xnor(1)?;
     let bc8 = catalog::popcount(8)?;
     let mut out = Vec::with_capacity(a_rows.len());
+    // Staging buffers reused across every row pair (a LeNet-scale layer
+    // runs hundreds of pairs through one machine).
+    let mut av: Vec<u64> = Vec::new();
+    let mut bv: Vec<u64> = Vec::new();
+    let mut bytes: Vec<u64> = Vec::new();
     for (a, b) in a_rows.iter().zip(b_rows) {
         assert_eq!(a.len(), b.len());
         let n = a.len();
-        let av: Vec<u64> = a.iter().map(|&v| v as u64 & 1).collect();
-        let bv: Vec<u64> = b.iter().map(|&v| v as u64 & 1).collect();
+        av.clear();
+        av.extend(a.iter().map(|&v| v as u64 & 1));
+        bv.clear();
+        bv.extend(b.iter().map(|&v| v as u64 & 1));
         // Bulk XNOR over all positions of this pair.
         let x = m.apply2(&xnor1, &av, 1, &bv, 1)?.values;
         // Pack XNOR bits into bytes and BC-8 them.
-        let bytes: Vec<u64> = x
-            .chunks(8)
-            .map(|c| {
-                c.iter()
-                    .enumerate()
-                    .fold(0u64, |acc, (i, &b)| acc | (b << i))
-            })
-            .collect();
+        bytes.clear();
+        bytes.extend(x.chunks(8).map(|c| {
+            c.iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &b)| acc | (b << i))
+        }));
         let counts = m.apply(&bc8, &bytes)?.values;
         let same: u64 = counts.iter().sum();
         out.push(2 * same as i32 - n as i32);

@@ -135,6 +135,21 @@ impl Criterion {
         }
     }
 
+    /// The mean ns/iter of the collected record with the given id. Bench
+    /// targets use this for in-process regression guards (e.g. the
+    /// word-vs-scalar packing throughput gate in `pluto-bench`'s
+    /// `benches/query.rs`).
+    ///
+    /// # Panics
+    /// Panics if no record with that id was collected.
+    pub fn mean_ns(&self, id: &str) -> f64 {
+        self.records
+            .iter()
+            .find(|r| r.id == id)
+            .unwrap_or_else(|| panic!("no benchmark record named '{id}'"))
+            .mean_ns
+    }
+
     /// Opens a named group; benchmarks inside report as `group/<id>`.
     pub fn benchmark_group(&mut self, group: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {

@@ -72,12 +72,17 @@ pub fn bitwise_pluto(
 ) -> Result<Vec<u8>, PlutoError> {
     let lut = op.lut()?;
     let mut out = vec![0u8; a.len()];
+    // Bit-plane staging buffers shared by all eight planes.
+    let mut pa: Vec<u64> = Vec::with_capacity(a.len());
+    let mut pb: Vec<u64> = Vec::with_capacity(b.len());
     for bit in 0..8u32 {
-        let pa: Vec<u64> = a.iter().map(|&x| ((x >> bit) & 1) as u64).collect();
+        pa.clear();
+        pa.extend(a.iter().map(|&x| ((x >> bit) & 1) as u64));
         let result = if op == BitOp::Not {
             m.apply(&lut, &pa)?.values
         } else {
-            let pb: Vec<u64> = b.iter().map(|&x| ((x >> bit) & 1) as u64).collect();
+            pb.clear();
+            pb.extend(b.iter().map(|&x| ((x >> bit) & 1) as u64));
             m.apply2(&lut, &pa, 1, &pb, 1)?.values
         };
         for (i, v) in result.iter().enumerate() {

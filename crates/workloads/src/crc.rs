@@ -128,9 +128,13 @@ pub fn crc_pluto(
     let mut acc = Planes {
         planes: vec![vec![0u64; n]; limbs],
     };
+    // One staging buffer for every byte plane (CRC-32 over 100-byte
+    // packets reuses it 100 times instead of reallocating).
+    let mut bytes: Vec<u64> = Vec::with_capacity(n);
     for i in 0..len {
         // Byte i of every packet, as one bulk query input vector.
-        let bytes: Vec<u64> = packets.iter().map(|p| p[i] as u64).collect();
+        bytes.clear();
+        bytes.extend(packets.iter().map(|p| p[i] as u64));
         let table = contribution_table(spec, len, i);
         // One nibble-extraction LUT query per plane of the contribution.
         let mut contrib_planes = Vec::with_capacity(limbs);

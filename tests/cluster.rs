@@ -188,6 +188,29 @@ fn sharded_batches_reduce_to_the_serial_shard_fold() {
     }
 }
 
+/// The packed-row cache regression guard: submitting the *same* workload
+/// twice to a single-worker cluster reuses one pooled machine (the second
+/// run resets it in place) and — after PR 4 — serves its LUT store loads
+/// from the packed-row cache. Both runs must be bit-identical to a
+/// fresh-machine serial run: a stale or aliased cached row would corrupt
+/// the second run's outputs and flip `validated`.
+#[test]
+fn pooled_machine_with_cached_lut_store_matches_fresh_runs() {
+    for design in [DesignKind::Gsa, DesignKind::Gmc] {
+        let config = exec_config(design, MemoryKind::Ddr4);
+        let mut cluster = Cluster::new(1);
+        cluster.submit(config.clone(), workload_for(WorkloadId::Bc8));
+        cluster.submit(config.clone(), workload_for(WorkloadId::Bc8));
+        let reports = cluster.run().unwrap();
+        let fresh = serial_report(&config, workload_for(WorkloadId::Bc8).as_mut());
+        assert_eq!(reports.len(), 2);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(*r, fresh, "{design} pooled run {i} diverged from fresh");
+            assert!(r.validated, "{design} pooled run {i}");
+        }
+    }
+}
+
 /// Sharding preserves the workload's total input volume: the reduced
 /// paper-byte count of an N-tile batch equals N times one tile.
 #[test]

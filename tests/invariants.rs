@@ -73,7 +73,7 @@ fn match_exactly_once() {
     prop::check("match_exactly_once", CASES, |g| {
         let inputs: Vec<u64> = g.vec_range(1, 63, 0u64..32);
         let total: usize = (0..32u64)
-            .map(|row| match_logic::matched_positions(&inputs, row).len())
+            .map(|row| match_logic::matched_positions(&inputs, row).count())
             .sum();
         prop_assert_eq!(total, inputs.len());
         prop_assert!(match_logic::each_element_matches_exactly_once(&inputs, 32));

@@ -1,0 +1,1080 @@
+//! Differential suite locking down the word-parallel query engine
+//! (`DESIGN.md` §7): the vectorized row-sweep/match/pack path must be
+//! bit-identical to the retained scalar reference path — outputs, per-phase
+//! costs, engine clocks/energy/stats, and committed DRAM rows — across
+//! random LUTs × slot widths × input vectors × all three designs × both
+//! memory kinds, and every workload `CostReport` must match the golden
+//! values captured before the refactor.
+
+use pluto_repro::baselines::WorkloadId;
+use pluto_repro::core::lut::{
+    pack_slots, pack_slots_scalar, slots_per_row, unpack_slots, unpack_slots_scalar, width_mask,
+    Lut,
+};
+use pluto_repro::core::query::{QueryExecutor, QueryPlacement};
+use pluto_repro::core::session::{ExecConfig, Session};
+use pluto_repro::core::store::LutStore;
+use pluto_repro::core::DesignKind;
+use pluto_repro::dram::{BankId, DramConfig, Engine, MemoryKind, RowId, RowLoc, SubarrayId};
+use pluto_repro::workloads::workload_for;
+use sim_support::prop::{self, Gen};
+use sim_support::prop_assert_eq;
+
+/// A small-geometry engine on either memory kind (64 rows per subarray
+/// bounds LUTs to 6 input bits; the slot width still sweeps 1..=16).
+fn engine(kind: MemoryKind) -> Engine {
+    let base = match kind {
+        MemoryKind::Ddr4 => DramConfig::ddr4_2400(),
+        MemoryKind::Stacked3d => DramConfig::hmc_3ds(),
+    };
+    Engine::new(DramConfig {
+        row_bytes: 32,
+        burst_bytes: 8,
+        banks: 2,
+        subarrays_per_bank: 8,
+        rows_per_subarray: 64,
+        ..base
+    })
+}
+
+fn setup(e: &mut Engine, lut: Lut) -> (LutStore, QueryPlacement) {
+    let bank = BankId(0);
+    let pluto = SubarrayId(2);
+    let n = lut.len() as u16;
+    let base = e.config().rows_per_subarray - n;
+    let store = LutStore::load(e, lut, bank, pluto, SubarrayId(1), base).unwrap();
+    (store, QueryPlacement::adjacent(bank, pluto))
+}
+
+/// A random LUT whose slot width lands in 1..=16, including
+/// non-power-of-two and word-straddling widths (slot width =
+/// `max(input_bits, output_bits)`).
+fn random_lut(g: &mut Gen, tag: u64) -> Lut {
+    let input_bits = g.range(1u32..=6);
+    let output_bits = g.range(1u32..=16);
+    let mask = width_mask(output_bits);
+    let len = 1usize << input_bits;
+    let elements: Vec<u64> = (0..len).map(|_| g.any::<u64>() & mask).collect();
+    Lut::from_table(
+        format!("diff-{tag}-{input_bits}x{output_bits}"),
+        input_bits,
+        output_bits,
+        elements,
+    )
+    .unwrap()
+}
+
+/// The tentpole property: on identical engines, the word-parallel path and
+/// the scalar reference path are indistinguishable at every observable
+/// level.
+#[test]
+fn word_parallel_path_is_bit_identical_to_scalar_reference() {
+    prop::check("word_vs_scalar_query", 48, |g| {
+        let tag: u64 = g.any();
+        for kind in [MemoryKind::Ddr4, MemoryKind::Stacked3d] {
+            for design in DesignKind::ALL {
+                let lut = random_lut(g, tag);
+                let capacity = slots_per_row(32, lut.slot_bits());
+                let inputs: Vec<u64> = g.vec(0, capacity, |g| g.range(0..lut.len() as u64));
+                let dst_row = RowId(g.range(0u16..8));
+
+                let mut e_word = engine(kind);
+                let (mut store_w, placement) = setup(&mut e_word, lut.clone());
+                let mut ex = QueryExecutor::new(&mut e_word, design);
+                let (out_w, cost_w) = ex
+                    .execute(&mut store_w, placement, &inputs, RowId(0), dst_row)
+                    .unwrap();
+
+                let mut e_scalar = engine(kind);
+                let (mut store_s, placement) = setup(&mut e_scalar, lut.clone());
+                let mut ex = QueryExecutor::new(&mut e_scalar, design);
+                let (out_s, cost_s) = ex
+                    .execute_scalar_reference(&mut store_s, placement, &inputs, RowId(0), dst_row)
+                    .unwrap();
+
+                let label = format!("{design}/{kind}/{}", lut.name());
+                prop_assert_eq!(&out_w, &out_s, "outputs {label}");
+                let expect = lut.apply_all(&inputs).unwrap();
+                prop_assert_eq!(&out_w, &expect, "reference semantics {label}");
+                prop_assert_eq!(cost_w, cost_s, "cost {label}");
+                prop_assert_eq!(e_word.elapsed(), e_scalar.elapsed(), "clock {label}");
+                prop_assert_eq!(
+                    e_word.command_energy(),
+                    e_scalar.command_energy(),
+                    "energy {label}"
+                );
+                prop_assert_eq!(e_word.stats(), e_scalar.stats(), "stats {label}");
+                let dst = RowLoc {
+                    bank: placement.bank,
+                    subarray: placement.dest,
+                    row: dst_row,
+                };
+                prop_assert_eq!(
+                    e_word.peek_row(dst).unwrap(),
+                    e_scalar.peek_row(dst).unwrap(),
+                    "destination row {label}"
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Word-parallel pack/unpack agree with the bit-serial reference across
+/// every slot width 1..=16 (and wider), including widths that straddle
+/// 64-bit window boundaries, for random values and random byte rows.
+#[test]
+fn pack_unpack_match_scalar_reference_for_all_widths() {
+    prop::check("pack_unpack_word_vs_scalar", 64, |g| {
+        let slot_bits = g.range(1u32..=16);
+        let row_bytes = g.range(1usize..=96);
+        let capacity = slots_per_row(row_bytes, slot_bits);
+        if capacity == 0 {
+            return Ok(());
+        }
+        let mask = width_mask(slot_bits);
+        let count = g.range(0..=capacity);
+        let values: Vec<u64> = g.vec(0, capacity, |g| g.any::<u64>() & mask);
+        let word = pack_slots(&values, slot_bits, row_bytes).unwrap();
+        let scalar = pack_slots_scalar(&values, slot_bits, row_bytes).unwrap();
+        prop_assert_eq!(&word, &scalar, "pack w={}", slot_bits);
+
+        // Unpacking arbitrary bytes (not just packed output) must agree too.
+        let raw: Vec<u8> = g.vec_any(row_bytes, row_bytes);
+        prop_assert_eq!(
+            unpack_slots(&raw, slot_bits, count),
+            unpack_slots_scalar(&raw, slot_bits, count),
+            "unpack w={} count={}",
+            slot_bits,
+            count
+        );
+        // Roundtrip through the word path recovers the values.
+        prop_assert_eq!(
+            unpack_slots(&word, slot_bits, values.len()),
+            values,
+            "roundtrip w={}",
+            slot_bits
+        );
+        Ok(())
+    });
+}
+
+/// `PLUTO_QUICK=1` (the CI smoke configuration) skips the three
+/// long-running measurement workloads, matching `tests/cluster.rs`.
+fn skip_in_quick_mode(id: WorkloadId) -> bool {
+    let quick = std::env::var("PLUTO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    quick
+        && matches!(
+            id,
+            WorkloadId::Crc16 | WorkloadId::Crc32 | WorkloadId::Salsa20
+        )
+}
+
+/// Golden `CostReport`s captured on the pre-refactor (bit-serial,
+/// element-by-element) query engine: `(workload, design, kind, time_ps,
+/// energy_pj_bits, acts, paper_bytes_bits, validated)`. Energy and byte
+/// volumes are stored as `f64::to_bits` so equality is exact.
+type GoldenRow = (
+    &'static str,
+    &'static str,
+    &'static str,
+    u64,
+    u64,
+    u64,
+    u64,
+    bool,
+);
+
+const GOLDEN: [GoldenRow; 84] = [
+    (
+        "CRC-8",
+        "pLUTo-BSA",
+        "DDR4",
+        4803642880,
+        0x41f2176b11000000,
+        136448,
+        0x4128000000000000,
+        true,
+    ),
+    (
+        "CRC-8",
+        "pLUTo-BSA",
+        "3DS",
+        3480921304,
+        0x41d2176b11000000,
+        136448,
+        0x40d8000000000000,
+        true,
+    ),
+    (
+        "CRC-8",
+        "pLUTo-GSA",
+        "DDR4",
+        5052065280,
+        0x41f2d8c711000000,
+        136448,
+        0x4128000000000000,
+        true,
+    ),
+    (
+        "CRC-8",
+        "pLUTo-GSA",
+        "3DS",
+        3660893912,
+        0x41d2d8c711000000,
+        136448,
+        0x40d8000000000000,
+        true,
+    ),
+    (
+        "CRC-8",
+        "pLUTo-GMC",
+        "DDR4",
+        2954913280,
+        0x41e8828e22000000,
+        136448,
+        0x4128000000000000,
+        true,
+    ),
+    (
+        "CRC-8",
+        "pLUTo-GMC",
+        "3DS",
+        2141245144,
+        0x41c8828e22000000,
+        136448,
+        0x40d8000000000000,
+        true,
+    ),
+    (
+        "CRC-16",
+        "pLUTo-BSA",
+        "DDR4",
+        11737205760,
+        0x4205705a11000000,
+        272896,
+        0x4128000000000000,
+        true,
+    ),
+    (
+        "CRC-16",
+        "pLUTo-BSA",
+        "3DS",
+        8505235888,
+        0x41e5705a11000000,
+        272896,
+        0x40d8000000000000,
+        true,
+    ),
+    (
+        "CRC-16",
+        "pLUTo-GSA",
+        "DDR4",
+        12234050560,
+        0x420631b611000000,
+        272896,
+        0x4128000000000000,
+        true,
+    ),
+    (
+        "CRC-16",
+        "pLUTo-GSA",
+        "3DS",
+        8865181104,
+        0x41e631b611000000,
+        272896,
+        0x40d8000000000000,
+        true,
+    ),
+    (
+        "CRC-16",
+        "pLUTo-GMC",
+        "DDR4",
+        8039746560,
+        0x41ff346c22000000,
+        272896,
+        0x4128000000000000,
+        true,
+    ),
+    (
+        "CRC-16",
+        "pLUTo-GMC",
+        "3DS",
+        5825883568,
+        0x41df346c22000000,
+        272896,
+        0x40d8000000000000,
+        true,
+    ),
+    (
+        "CRC-32",
+        "pLUTo-BSA",
+        "DDR4",
+        31994091520,
+        0x421c223811000000,
+        545792,
+        0x4128000000000000,
+        true,
+    ),
+    (
+        "CRC-32",
+        "pLUTo-BSA",
+        "3DS",
+        23184044896,
+        0x41fc223811000000,
+        545792,
+        0x40d8000000000000,
+        true,
+    ),
+    (
+        "CRC-32",
+        "pLUTo-GSA",
+        "DDR4",
+        32987781120,
+        0x421ce39411000000,
+        545792,
+        0x4128000000000000,
+        true,
+    ),
+    (
+        "CRC-32",
+        "pLUTo-GSA",
+        "3DS",
+        23903935328,
+        0x41fce39411000000,
+        545792,
+        0x40d8000000000000,
+        true,
+    ),
+    (
+        "CRC-32",
+        "pLUTo-GMC",
+        "DDR4",
+        24599173120,
+        0x42164c1411000000,
+        545792,
+        0x4128000000000000,
+        true,
+    ),
+    (
+        "CRC-32",
+        "pLUTo-GMC",
+        "3DS",
+        17825340256,
+        0x41f64c1411000000,
+        545792,
+        0x40d8000000000000,
+        true,
+    ),
+    (
+        "Salsa20",
+        "pLUTo-BSA",
+        "DDR4",
+        73323397120,
+        0x4232007794000000,
+        2714112,
+        0x4108000000000000,
+        true,
+    ),
+    (
+        "Salsa20",
+        "pLUTo-BSA",
+        "3DS",
+        53133535744,
+        0x4212007794000000,
+        2714112,
+        0x40b8000000000000,
+        true,
+    ),
+    (
+        "Salsa20",
+        "pLUTo-GSA",
+        "DDR4",
+        78175641600,
+        0x4232ecac54000000,
+        2714112,
+        0x4108000000000000,
+        true,
+    ),
+    (
+        "Salsa20",
+        "pLUTo-GSA",
+        "3DS",
+        56648818688,
+        0x4212ecac54000000,
+        2714112,
+        0x40b8000000000000,
+        true,
+    ),
+    (
+        "Salsa20",
+        "pLUTo-GMC",
+        "DDR4",
+        37936537600,
+        0x422609fba8000000,
+        2714112,
+        0x4108000000000000,
+        true,
+    ),
+    (
+        "Salsa20",
+        "pLUTo-GMC",
+        "3DS",
+        27490557952,
+        0x420609fba8000000,
+        2714112,
+        0x40b8000000000000,
+        true,
+    ),
+    (
+        "VMPC",
+        "pLUTo-BSA",
+        "DDR4",
+        29208960,
+        0x417d7d1280000000,
+        1028,
+        0x40b8000000000000,
+        true,
+    ),
+    (
+        "VMPC",
+        "pLUTo-BSA",
+        "3DS",
+        21166180,
+        0x415d7d1280000000,
+        1028,
+        0x4068000000000000,
+        true,
+    ),
+    (
+        "VMPC",
+        "pLUTo-GSA",
+        "DDR4",
+        31149760,
+        0x417effca80000000,
+        1028,
+        0x40b8000000000000,
+        true,
+    ),
+    (
+        "VMPC",
+        "pLUTo-GSA",
+        "3DS",
+        22572216,
+        0x415effca80000000,
+        1028,
+        0x4068000000000000,
+        true,
+    ),
+    (
+        "VMPC",
+        "pLUTo-GMC",
+        "DDR4",
+        14765760,
+        0x4171d0ca80000000,
+        1028,
+        0x40b8000000000000,
+        true,
+    ),
+    (
+        "VMPC",
+        "pLUTo-GMC",
+        "3DS",
+        10699960,
+        0x4151d0ca80000000,
+        1028,
+        0x4068000000000000,
+        true,
+    ),
+    (
+        "ImgBin",
+        "pLUTo-BSA",
+        "DDR4",
+        21882720,
+        0x417618dc40000000,
+        771,
+        0x40d2000000000000,
+        true,
+    ),
+    (
+        "ImgBin",
+        "pLUTo-BSA",
+        "3DS",
+        15857244,
+        0x415618dc40000000,
+        771,
+        0x4082000000000000,
+        true,
+    ),
+    (
+        "ImgBin",
+        "pLUTo-GSA",
+        "DDR4",
+        23338320,
+        0x41773ae640000000,
+        771,
+        0x40d2000000000000,
+        true,
+    ),
+    (
+        "ImgBin",
+        "pLUTo-GSA",
+        "3DS",
+        16911771,
+        0x41573ae640000000,
+        771,
+        0x4082000000000000,
+        true,
+    ),
+    (
+        "ImgBin",
+        "pLUTo-GMC",
+        "DDR4",
+        11050320,
+        0x416aaf4c80000000,
+        771,
+        0x40d2000000000000,
+        true,
+    ),
+    (
+        "ImgBin",
+        "pLUTo-GMC",
+        "3DS",
+        8007579,
+        0x414aaf4c80000000,
+        771,
+        0x4082000000000000,
+        true,
+    ),
+    (
+        "ColorGrade",
+        "pLUTo-BSA",
+        "DDR4",
+        21978720,
+        0x41762ca2c0000000,
+        771,
+        0x40d2000000000000,
+        true,
+    ),
+    (
+        "ColorGrade",
+        "pLUTo-BSA",
+        "3DS",
+        15926808,
+        0x41562ca2c0000000,
+        771,
+        0x4082000000000000,
+        true,
+    ),
+    (
+        "ColorGrade",
+        "pLUTo-GSA",
+        "DDR4",
+        23434320,
+        0x41774eacc0000000,
+        771,
+        0x40d2000000000000,
+        true,
+    ),
+    (
+        "ColorGrade",
+        "pLUTo-GSA",
+        "3DS",
+        16981335,
+        0x41574eacc0000000,
+        771,
+        0x4082000000000000,
+        true,
+    ),
+    (
+        "ColorGrade",
+        "pLUTo-GMC",
+        "DDR4",
+        11146320,
+        0x416ad6d980000000,
+        771,
+        0x40d2000000000000,
+        true,
+    ),
+    (
+        "ColorGrade",
+        "pLUTo-GMC",
+        "3DS",
+        8077143,
+        0x414ad6d980000000,
+        771,
+        0x4082000000000000,
+        true,
+    ),
+    (
+        "ADD4",
+        "pLUTo-BSA",
+        "DDR4",
+        7294240,
+        0x415d767b00000000,
+        276,
+        0x40b8000000000000,
+        true,
+    ),
+    (
+        "ADD4",
+        "pLUTo-BSA",
+        "3DS",
+        5285748,
+        0x413d767b00000000,
+        276,
+        0x4068000000000000,
+        true,
+    ),
+    (
+        "ADD4",
+        "pLUTo-GSA",
+        "DDR4",
+        7779440,
+        0x415ef93300000000,
+        276,
+        0x40b8000000000000,
+        true,
+    ),
+    (
+        "ADD4",
+        "pLUTo-GSA",
+        "3DS",
+        5637257,
+        0x413ef93300000000,
+        276,
+        0x4068000000000000,
+        true,
+    ),
+    (
+        "ADD4",
+        "pLUTo-GMC",
+        "DDR4",
+        3683440,
+        0x4151ca3300000000,
+        276,
+        0x40b8000000000000,
+        true,
+    ),
+    (
+        "ADD4",
+        "pLUTo-GMC",
+        "3DS",
+        2669193,
+        0x4131ca3300000000,
+        276,
+        0x4068000000000000,
+        true,
+    ),
+    (
+        "ADD8",
+        "pLUTo-BSA",
+        "DDR4",
+        26113280,
+        0x417a469000000000,
+        968,
+        0x40c8000000000000,
+        true,
+    ),
+    (
+        "ADD8",
+        "pLUTo-BSA",
+        "3DS",
+        18922896,
+        0x415a469000000000,
+        968,
+        0x4078000000000000,
+        true,
+    ),
+    (
+        "ADD8",
+        "pLUTo-GSA",
+        "DDR4",
+        27875200,
+        0x417ba62000000000,
+        968,
+        0x40c8000000000000,
+        true,
+    ),
+    (
+        "ADD8",
+        "pLUTo-GSA",
+        "3DS",
+        20199352,
+        0x415ba62000000000,
+        968,
+        0x4078000000000000,
+        true,
+    ),
+    (
+        "ADD8",
+        "pLUTo-GMC",
+        "DDR4",
+        13539200,
+        0x41701d0000000000,
+        968,
+        0x40c8000000000000,
+        true,
+    ),
+    (
+        "ADD8",
+        "pLUTo-GMC",
+        "3DS",
+        9811128,
+        0x41501d0000000000,
+        968,
+        0x4078000000000000,
+        true,
+    ),
+    (
+        "MUL8",
+        "pLUTo-BSA",
+        "DDR4",
+        453499840,
+        0x41bc5c5c58000000,
+        16234,
+        0x40c8000000000000,
+        true,
+    ),
+    (
+        "MUL8",
+        "pLUTo-BSA",
+        "3DS",
+        328626784,
+        0x419c5c5c58000000,
+        16234,
+        0x4078000000000000,
+        true,
+    ),
+    (
+        "MUL8",
+        "pLUTo-GSA",
+        "DDR4",
+        483134240,
+        0x41bdcdde18000000,
+        16234,
+        0x40c8000000000000,
+        true,
+    ),
+    (
+        "MUL8",
+        "pLUTo-GSA",
+        "3DS",
+        350095958,
+        0x419dcdde18000000,
+        16234,
+        0x4078000000000000,
+        true,
+    ),
+    (
+        "MUL8",
+        "pLUTo-GMC",
+        "DDR4",
+        240958240,
+        0x41b19ff298000000,
+        16234,
+        0x40c8000000000000,
+        true,
+    ),
+    (
+        "MUL8",
+        "pLUTo-GMC",
+        "3DS",
+        174609174,
+        0x41919ff298000000,
+        16234,
+        0x4078000000000000,
+        true,
+    ),
+    (
+        "MUL16",
+        "pLUTo-BSA",
+        "DDR4",
+        2371688000,
+        0x41e28cf2f5000000,
+        85218,
+        0x40c0000000000000,
+        true,
+    ),
+    (
+        "MUL16",
+        "pLUTo-BSA",
+        "3DS",
+        1718634048,
+        0x41c28cf2f5000000,
+        85218,
+        0x4070000000000000,
+        true,
+    ),
+    (
+        "MUL16",
+        "pLUTo-GSA",
+        "DDR4",
+        2527086560,
+        0x41e37f26dd000000,
+        85218,
+        0x40c0000000000000,
+        true,
+    ),
+    (
+        "MUL16",
+        "pLUTo-GSA",
+        "3DS",
+        1831215322,
+        0x41c37f26dd000000,
+        85218,
+        0x4070000000000000,
+        true,
+    ),
+    (
+        "MUL16",
+        "pLUTo-GMC",
+        "DDR4",
+        1256814560,
+        0x41d705bdda000000,
+        85218,
+        0x40c0000000000000,
+        true,
+    ),
+    (
+        "MUL16",
+        "pLUTo-GMC",
+        "3DS",
+        910744474,
+        0x41b705bdda000000,
+        85218,
+        0x4070000000000000,
+        true,
+    ),
+    (
+        "BC-4",
+        "pLUTo-BSA",
+        "DDR4",
+        497440,
+        0x411ff3b000000000,
+        17,
+        0x40a8000000000000,
+        true,
+    ),
+    (
+        "BC-4",
+        "pLUTo-BSA",
+        "3DS",
+        360468,
+        0x40fff3b000000000,
+        17,
+        0x4058000000000000,
+        true,
+    ),
+    (
+        "BC-4",
+        "pLUTo-GSA",
+        "DDR4",
+        541040,
+        0x4121131800000000,
+        17,
+        0x40a8000000000000,
+        true,
+    ),
+    (
+        "BC-4",
+        "pLUTo-GSA",
+        "3DS",
+        392057,
+        0x4101131800000000,
+        17,
+        0x4058000000000000,
+        true,
+    ),
+    (
+        "BC-4",
+        "pLUTo-GMC",
+        "DDR4",
+        285040,
+        0x4114f73000000000,
+        17,
+        0x40a8000000000000,
+        true,
+    ),
+    (
+        "BC-4",
+        "pLUTo-GMC",
+        "3DS",
+        206553,
+        0x40f4f73000000000,
+        17,
+        0x4058000000000000,
+        true,
+    ),
+    (
+        "BC-8",
+        "pLUTo-BSA",
+        "DDR4",
+        7294240,
+        0x415d767b00000000,
+        257,
+        0x40b8000000000000,
+        true,
+    ),
+    (
+        "BC-8",
+        "pLUTo-BSA",
+        "3DS",
+        5285748,
+        0x413d767b00000000,
+        257,
+        0x4068000000000000,
+        true,
+    ),
+    (
+        "BC-8",
+        "pLUTo-GSA",
+        "DDR4",
+        7779440,
+        0x415ef93300000000,
+        257,
+        0x40b8000000000000,
+        true,
+    ),
+    (
+        "BC-8",
+        "pLUTo-GSA",
+        "3DS",
+        5637257,
+        0x413ef93300000000,
+        257,
+        0x4068000000000000,
+        true,
+    ),
+    (
+        "BC-8",
+        "pLUTo-GMC",
+        "DDR4",
+        3683440,
+        0x4151ca3300000000,
+        257,
+        0x40b8000000000000,
+        true,
+    ),
+    (
+        "BC-8",
+        "pLUTo-GMC",
+        "3DS",
+        2669193,
+        0x4131ca3300000000,
+        257,
+        0x4068000000000000,
+        true,
+    ),
+    (
+        "Bitwise",
+        "pLUTo-BSA",
+        "DDR4",
+        1260800,
+        0x4133f56000000000,
+        144,
+        0x40c8000000000000,
+        true,
+    ),
+    (
+        "Bitwise",
+        "pLUTo-BSA",
+        "3DS",
+        913632,
+        0x4113f56000000000,
+        144,
+        0x4078000000000000,
+        true,
+    ),
+    (
+        "Bitwise",
+        "pLUTo-GSA",
+        "DDR4",
+        1432960,
+        0x413627e000000000,
+        144,
+        0x40c8000000000000,
+        true,
+    ),
+    (
+        "Bitwise",
+        "pLUTo-GSA",
+        "3DS",
+        1038376,
+        0x411627e000000000,
+        144,
+        0x4078000000000000,
+        true,
+    ),
+    (
+        "Bitwise",
+        "pLUTo-GMC",
+        "DDR4",
+        920960,
+        0x412f20c000000000,
+        144,
+        0x40c8000000000000,
+        true,
+    ),
+    (
+        "Bitwise",
+        "pLUTo-GMC",
+        "3DS",
+        667368,
+        0x410f20c000000000,
+        144,
+        0x4078000000000000,
+        true,
+    ),
+];
+
+/// The acceptance gate: every `CostReport` of the full workload registry ×
+/// 3 designs × 2 memory kinds is bit-identical to the pre-refactor golden
+/// values (time in integer picoseconds; energy and paper-byte volumes
+/// compared on raw `f64` bits).
+#[test]
+fn cost_reports_match_pre_refactor_golden_values() {
+    let mut checked = 0usize;
+    for &(workload, design_s, kind_s, time_ps, energy_bits, acts, bytes_bits, validated) in &GOLDEN
+    {
+        let design = DesignKind::ALL
+            .into_iter()
+            .find(|d| d.to_string() == design_s)
+            .unwrap_or_else(|| panic!("unknown design {design_s}"));
+        let kind = match kind_s {
+            "DDR4" => MemoryKind::Ddr4,
+            _ => MemoryKind::Stacked3d,
+        };
+        let id = WorkloadId::CANONICAL
+            .into_iter()
+            .find(|id| id.to_string() == workload)
+            .unwrap_or_else(|| panic!("unknown workload {workload}"));
+        if skip_in_quick_mode(id) {
+            continue;
+        }
+        let config = ExecConfig::measurement_on(design, kind);
+        let mut w = workload_for(id);
+        let report = Session::with_config(config)
+            .unwrap()
+            .run(w.as_mut())
+            .unwrap_or_else(|e| panic!("{workload} on {design_s}/{kind_s}: {e}"));
+        let label = format!("{workload} on {design_s}/{kind_s}");
+        assert_eq!(report.time.as_ps(), time_ps, "time of {label}");
+        assert_eq!(
+            report.energy.as_pj().to_bits(),
+            energy_bits,
+            "energy of {label}"
+        );
+        assert_eq!(report.acts, acts, "acts of {label}");
+        assert_eq!(
+            report.paper_bytes.to_bits(),
+            bytes_bits,
+            "paper_bytes of {label}"
+        );
+        assert_eq!(report.validated, validated, "validated of {label}");
+        checked += 1;
+    }
+    assert!(checked >= 66, "golden coverage shrank: {checked} rows");
+}
