@@ -9,7 +9,8 @@
 
 use std::fmt;
 
-/// The evaluated workloads (paper Table 4 + the Fig. 9 micro-workloads).
+/// The evaluated workloads (paper Table 4 + the Fig. 9 micro-workloads,
+/// plus the §5.6 large-LUT scenarios this reproduction adds).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum WorkloadId {
@@ -29,11 +30,17 @@ pub enum WorkloadId {
     MulQ1_7,
     MulQ1_15,
     BitwiseRow,
+    /// Direct 12-bit → 8-bit tone map (a 4096-entry LUT partitioned
+    /// across subarrays, §5.6).
+    Gamma12,
+    /// Direct-table 8×8 → 16-bit multiply (a 65 536-entry LUT partitioned
+    /// across subarrays, §5.6 — contrast with the nibble-plane `Mul8`).
+    MulDirect8,
 }
 
 impl WorkloadId {
-    /// All sixteen ids, aliases included, in declaration order.
-    pub const ALL: [WorkloadId; 16] = [
+    /// All eighteen ids, aliases included, in declaration order.
+    pub const ALL: [WorkloadId; 18] = [
         WorkloadId::Crc8,
         WorkloadId::Crc16,
         WorkloadId::Crc32,
@@ -50,11 +57,14 @@ impl WorkloadId {
         WorkloadId::MulQ1_7,
         WorkloadId::MulQ1_15,
         WorkloadId::BitwiseRow,
+        WorkloadId::Gamma12,
+        WorkloadId::MulDirect8,
     ];
 
-    /// The fourteen distinct workloads after alias resolution, in paper
-    /// Table 4 order (the order `pluto_workloads::registry()` uses).
-    pub const CANONICAL: [WorkloadId; 14] = [
+    /// The sixteen distinct workloads after alias resolution — paper
+    /// Table 4 order followed by the §5.6 large-LUT scenarios (the order
+    /// `pluto_workloads::registry()` uses).
+    pub const CANONICAL: [WorkloadId; 16] = [
         WorkloadId::Crc8,
         WorkloadId::Crc16,
         WorkloadId::Crc32,
@@ -69,6 +79,8 @@ impl WorkloadId {
         WorkloadId::Bc4,
         WorkloadId::Bc8,
         WorkloadId::BitwiseRow,
+        WorkloadId::Gamma12,
+        WorkloadId::MulDirect8,
     ];
 
     /// Resolves the aliased ids to the workload whose mapping and profile
@@ -110,6 +122,8 @@ impl WorkloadId {
             WorkloadId::MulQ1_7 => "MUL-Q1.7",
             WorkloadId::MulQ1_15 => "MUL-Q1.15",
             WorkloadId::BitwiseRow => "Bitwise",
+            WorkloadId::Gamma12 => "Gamma12",
+            WorkloadId::MulDirect8 => "MulDirect8",
         }
     }
 
@@ -203,6 +217,15 @@ pub fn workload_profile(id: WorkloadId) -> Profile {
         Bc8 => (2.5, 0.2, 8.0, 10.0, 0.0, 2.0),
         // Native Ambit territory: the one workload PnM does at row speed.
         BitwiseRow => (1.0, 0.15, 8.0, 0.4, 0.0, 3.0),
+        // 12-bit tone map: a 4 KiB gather table that misses L1 (cf.
+        // ColorGrade's 256 B curve); gathers are unsupported in-memory so
+        // PnM falls back to its core.
+        Gamma12 => (7.0, 0.6, 2.0, 44.0, 0.0, 2.0),
+        // Direct-table multiply: the *CPU* computes it with one `imul`
+        // (same as Mul8); only LUT-based substrates pay the 128 KiB
+        // table, which is the §5.6 capacity–computation tradeoff the
+        // scenario exists to expose.
+        MulDirect8 => (2.0, 0.2, 4.0, 24.0, 0.0, 3.0),
     };
     Profile {
         id,

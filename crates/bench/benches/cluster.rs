@@ -57,13 +57,18 @@ fn registry_workloads(ids: &[WorkloadId]) -> Vec<Box<dyn Workload>> {
     ids.iter().map(|&id| workload_for(id)).collect()
 }
 
+/// `registryN` for the full canonical sweep, `quick` for the smoke set.
+fn sweep_label(ids: &[WorkloadId]) -> String {
+    if ids.len() == WorkloadId::CANONICAL.len() {
+        format!("registry{}", ids.len())
+    } else {
+        "quick".into()
+    }
+}
+
 fn bench_serial_sweep(c: &mut Criterion) {
     let ids = sweep_ids();
-    let label = if ids.len() == 14 {
-        "registry14"
-    } else {
-        "quick"
-    };
+    let label = sweep_label(&ids);
     c.bench_function(&format!("serial/{label}"), |b| {
         b.iter(|| measure_all(&ids, cfg()).len());
     });
@@ -71,11 +76,7 @@ fn bench_serial_sweep(c: &mut Criterion) {
 
 fn bench_cluster_sweep(c: &mut Criterion) {
     let ids = sweep_ids();
-    let label = if ids.len() == 14 {
-        "registry14"
-    } else {
-        "quick"
-    };
+    let label = sweep_label(&ids);
     let mut group = c.benchmark_group("cluster");
     for workers in [1usize, 2, 4] {
         // One long-lived pool per worker count: the steady state the

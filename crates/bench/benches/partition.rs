@@ -1,0 +1,193 @@
+//! Throughput of the §5.6 partitioned-LUT data path (`DESIGN.md` §8),
+//! writing the machine-readable `BENCH_partition.json` baseline.
+//!
+//! Three groups on the measurement geometry (256 B rows, 512 rows per
+//! subarray):
+//!
+//! * `query` — the end-to-end partitioned query (a 2048-entry LUT swept
+//!   as 4 parallel segment lanes through [`PartitionedLut::query_with`])
+//!   against a single-segment query of a 512-entry LUT (the same
+//!   per-subarray sweep length), all three designs. The partitioned
+//!   query issues 4× the commands, so its wall-clock cost per call bounds
+//!   the §5.6 overhead of the simulator itself.
+//! * `store` — `PartitionedLut::load` with every segment's packed rows
+//!   served by the process-wide cache (`load_cached`, the pooled-cluster
+//!   steady state) against `pack_segments_uncached`, the per-element
+//!   packing work the segment cache misses would redo.
+//! * `routing` — `PlutoMachine::apply` over the same inputs with a
+//!   512-entry (single) and a 2048-entry (partitioned) LUT: the
+//!   transparent-routing overhead callers actually see.
+
+use pluto_core::lut::{pack_slots, slots_per_row};
+use pluto_core::partition::PartitionedLut;
+use pluto_core::query::QueryScratch;
+use pluto_core::store::LutStore;
+use pluto_core::{DesignKind, Lut, PlutoMachine, QueryExecutor, QueryPlacement};
+use pluto_dram::{BankId, DramConfig, Engine, RowId, SubarrayId};
+use sim_support::bench::Criterion;
+
+fn bench_engine() -> Engine {
+    Engine::new(DramConfig {
+        row_bytes: 256,
+        burst_bytes: 32,
+        banks: 1,
+        subarrays_per_bank: 16,
+        rows_per_subarray: 512,
+        ..DramConfig::ddr4_2400()
+    })
+}
+
+/// 2048-entry LUT: 4 segments on the 512-row measurement geometry.
+fn big_lut() -> Lut {
+    Lut::from_fn("bench2048", 11, 16, |x| (x * x) & 0xFFFF).unwrap()
+}
+
+/// 512-entry LUT: the same per-subarray sweep length, one segment.
+fn small_lut() -> Lut {
+    Lut::from_fn("bench512", 9, 16, |x| (x * x) & 0xFFFF).unwrap()
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    for design in DesignKind::ALL {
+        let inputs: Vec<u64> = (0..128u64).map(|i| (i * 16) % 2048).collect();
+        let mut e = bench_engine();
+        let mut part = PartitionedLut::load(&mut e, big_lut(), BankId(0), SubarrayId(2)).unwrap();
+        let mut scratch = QueryScratch::new();
+        group.bench_function(&format!("partitioned4/{design}"), |b| {
+            b.iter(|| {
+                part.query_with(
+                    &mut e,
+                    design,
+                    SubarrayId(0),
+                    SubarrayId(1),
+                    &inputs,
+                    RowId(0),
+                    RowId(1),
+                    &mut scratch,
+                )
+                .unwrap();
+                scratch.outputs().len()
+            })
+        });
+
+        let inputs: Vec<u64> = (0..128u64).map(|i| (i * 4) % 512).collect();
+        let mut e = bench_engine();
+        let mut store = LutStore::load(
+            &mut e,
+            small_lut(),
+            BankId(0),
+            SubarrayId(2),
+            SubarrayId(1),
+            0,
+        )
+        .unwrap();
+        let placement = QueryPlacement::adjacent(BankId(0), SubarrayId(2));
+        let mut scratch = QueryScratch::new();
+        group.bench_function(&format!("single/{design}"), |b| {
+            b.iter(|| {
+                let mut ex = QueryExecutor::new(&mut e, design);
+                ex.execute_with(
+                    &mut store,
+                    placement,
+                    &inputs,
+                    RowId(0),
+                    RowId(1),
+                    &mut scratch,
+                )
+                .unwrap();
+                scratch.outputs().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_store_load(c: &mut Criterion) {
+    let lut = big_lut();
+    let mut group = c.benchmark_group("store");
+    group.bench_function("load_cached", |b| {
+        b.iter(|| {
+            let mut e = bench_engine();
+            let part = PartitionedLut::load(&mut e, lut.clone(), BankId(0), SubarrayId(2)).unwrap();
+            part.segment_count()
+        })
+    });
+    let row_bytes = bench_engine().config().row_bytes;
+    let per_row = slots_per_row(row_bytes, lut.slot_bits());
+    group.bench_function("pack_segments_uncached", |b| {
+        b.iter(|| {
+            // The packing work every segment's cache miss performs.
+            lut.elements()
+                .iter()
+                .map(|&elem| {
+                    let values = vec![elem; per_row];
+                    pack_slots(&values, lut.slot_bits(), row_bytes)
+                        .unwrap()
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_machine_routing(c: &mut Criterion) {
+    let inputs: Vec<u64> = (0..128u64).map(|i| (i * 3) % 512).collect();
+    let mut group = c.benchmark_group("routing");
+    for (label, lut) in [("single512", small_lut()), ("partitioned2048", big_lut())] {
+        let mut m = PlutoMachine::new(
+            DramConfig {
+                row_bytes: 256,
+                burst_bytes: 32,
+                banks: 1,
+                subarrays_per_bank: 16,
+                rows_per_subarray: 512,
+                ..DramConfig::ddr4_2400()
+            },
+            DesignKind::Gmc,
+        )
+        .unwrap();
+        group.bench_function(&format!("apply/{label}"), |b| {
+            b.iter(|| m.apply(&lut, &inputs).unwrap().values.len())
+        });
+    }
+    group.finish();
+}
+
+/// Sanity gates (deliberately loose — wall-clock on shared containers is
+/// noisy): a cached 4-segment load must beat redoing the full packing
+/// work, and a 4-segment query must cost less than 8× a single-segment
+/// query of the same sweep length (it issues exactly 4× the commands).
+fn guard(c: &Criterion) {
+    let cached = c.mean_ns("store/load_cached");
+    let packing = c.mean_ns("store/pack_segments_uncached");
+    assert!(
+        cached < packing,
+        "cached segment load ({cached:.0} ns) should beat uncached packing ({packing:.0} ns)"
+    );
+    println!(
+        "guard: cached 4-segment load {:.1}x faster than uncached packing",
+        packing / cached
+    );
+    for design in DesignKind::ALL {
+        let part = c.mean_ns(&format!("query/partitioned4/{design}"));
+        let single = c.mean_ns(&format!("query/single/{design}"));
+        let ratio = part / single;
+        assert!(
+            ratio < 8.0,
+            "4-segment query costs {ratio:.1}x a single-segment query on {design} \
+             (expected < 8x for 4x the commands)"
+        );
+        println!("guard: {design} partitioned/single query cost {ratio:.1}x (4x commands)");
+    }
+}
+
+fn main() {
+    let mut c = Criterion::named("partition");
+    bench_query(&mut c);
+    bench_store_load(&mut c);
+    bench_machine_routing(&mut c);
+    guard(&c);
+    c.finalize();
+}

@@ -20,8 +20,8 @@ use crate::design::DesignKind;
 use crate::error::PlutoError;
 use crate::isa::{Instruction, Program, RowReg, ShiftDir, SubarrayReg};
 use crate::lut::{pack_slots, slots_per_row, unpack_slots, Lut};
-use crate::query::{QueryExecutor, QueryPlacement, QueryScratch};
-use crate::store::LutStore;
+use crate::partition::PlutoStore;
+use crate::query::QueryScratch;
 use pluto_dram::{BankId, DramConfig, Engine, PicoJoules, Picos, RowId, RowLoc, SubarrayId};
 use std::collections::HashMap;
 
@@ -63,7 +63,7 @@ pub struct Controller {
     design: DesignKind,
     lut_registry: HashMap<String, Lut>,
     row_regs: HashMap<RowReg, RowBinding>,
-    sa_regs: HashMap<SubarrayReg, LutStore>,
+    sa_regs: HashMap<SubarrayReg, PlutoStore>,
     bank: BankId,
     data_subarray: SubarrayId,
     compute: ComputeRows,
@@ -337,17 +337,17 @@ impl Controller {
                 ),
             });
         }
-        // Each allocation claims a pLUTo-enabled subarray plus the adjacent
-        // subarray for the pristine master copy (1-hop GSA reloads).
-        if self.next_pluto_subarray + 1 >= self.engine.config().subarrays_per_bank {
-            return Err(PlutoError::AllocationFailed {
-                reason: "out of pLUTo-enabled subarrays".into(),
-            });
-        }
-        let subarray = SubarrayId(self.next_pluto_subarray);
-        let master = SubarrayId(self.next_pluto_subarray + 1);
-        let store = LutStore::load(&mut self.engine, lut, self.bank, subarray, master, 0)?;
-        self.next_pluto_subarray += 2;
+        // Each allocation claims (pLUTo, master) subarray pairs — one
+        // pair for a LUT that fits a subarray, one pair per §5.6 segment
+        // for a LUT that exceeds `rows_per_subarray` (masters stay
+        // adjacent for 1-hop GSA reloads either way).
+        let store = PlutoStore::load(
+            &mut self.engine,
+            lut,
+            self.bank,
+            SubarrayId(self.next_pluto_subarray),
+        )?;
+        self.next_pluto_subarray += store.subarrays_claimed();
         self.sa_regs.insert(dst, store);
         Ok(())
     }
@@ -394,7 +394,10 @@ impl Controller {
                     ),
                 });
             }
-            if !lut_size.is_power_of_two() {
+            // §6.1 requires a power-of-two `lut_size` for a single-sweep
+            // LUT; a partitioned LUT may have any logical length (each
+            // per-subarray segment is padded to a power of two, §5.6).
+            if !lut_size.is_power_of_two() && !store.is_partitioned() {
                 return Err(PlutoError::InvalidProgram {
                     reason: format!("lut_size {lut_size} must be a power of two"),
                 });
@@ -406,12 +409,6 @@ impl Controller {
             return Err(e);
         }
 
-        let placement = QueryPlacement {
-            bank: self.bank,
-            source: self.data_subarray,
-            pluto: store.subarray(),
-            dest: self.data_subarray,
-        };
         let per_row = slots_per_row(self.engine.config().row_bytes, self.slot_bits);
         let mut remaining = src_b.size as usize;
         let result: Result<(), PlutoError> = (|| {
@@ -420,10 +417,11 @@ impl Controller {
                 let dst_row = *dst_b.rows.get(i).ok_or(PlutoError::LayoutMismatch {
                     reason: format!("{dst} too small for {src}'s rows"),
                 })?;
-                let mut ex = QueryExecutor::new(&mut self.engine, self.design);
-                ex.execute_resident_with(
-                    &mut store,
-                    placement,
+                store.query_resident_with(
+                    &mut self.engine,
+                    self.design,
+                    self.data_subarray,
+                    self.data_subarray,
                     src_row,
                     dst_row,
                     slots,
@@ -571,6 +569,27 @@ mod tests {
             assert_eq!(result.outputs, expect, "{design}");
             assert!(result.elapsed > Picos::ZERO);
             assert!(result.energy > PicoJoules::ZERO);
+        }
+    }
+
+    #[test]
+    fn runs_a_partitioned_map_program_end_to_end() {
+        // A 1024-entry LUT over 512-row subarrays: the ISA path routes
+        // `pluto_op` through two §5.6 segments transparently.
+        for design in DesignKind::ALL {
+            let mut c = Controller::new(cfg(), design).unwrap();
+            let lut = Lut::from_fn("wide10", 10, 16, |x| (x * x) & 0xFFFF).unwrap();
+            c.register_lut(lut.clone());
+            let prog = simple_map_program(&lut, 40);
+            let inputs: Vec<u64> = (0..40u64).map(|i| (i * 31) % 1024).collect();
+            let before = c.engine().stats().sweep_steps;
+            let result = c.run(&prog, std::slice::from_ref(&inputs)).unwrap();
+            let sweeps = c.engine().stats().sweep_steps - before;
+            let expect: Vec<u64> = inputs.iter().map(|&x| (x * x) & 0xFFFF).collect();
+            assert_eq!(result.outputs, expect, "{design}");
+            // 40 elements in 32-slot rows (64 B / 16-bit slots) => two
+            // queries, both segments swept each time: 2 x 2 x 512 steps.
+            assert_eq!(sweeps, 2 * 2 * 512, "{design}");
         }
     }
 

@@ -22,7 +22,8 @@
 //!   facade.
 //! * [`area`] — the Table 5 area model.
 //! * [`partition`] — §5.6 partitioned queries for LUTs larger than one
-//!   subarray (same latency, segment-count × energy).
+//!   subarray (same latency, segment-count × energy), plus the unified
+//!   [`PlutoStore`] the machine/controller route every LUT through.
 //! * [`salp`] — subarray-level parallelism scaling, tFAW sensitivity.
 //! * [`loading`] — the §8.5 LUT-loading overhead model (Fig. 11).
 //! * [`session`] — the unified execution API (`DESIGN.md` §5): explicit
@@ -72,6 +73,7 @@ pub use design::{DesignKind, DesignModel};
 pub use error::PlutoError;
 pub use library::{MapResult, PlutoMachine};
 pub use lut::Lut;
+pub use partition::{PartitionedCost, PartitionedLut, PlutoStore};
 pub use query::{QueryCost, QueryExecutor, QueryPlacement, QueryScratch};
 pub use session::{CostReport, ExecConfig, Session, SessionBuilder, Workload};
 pub use store::LutStore;
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use crate::error::PlutoError;
     pub use crate::library::{MapResult, PlutoMachine};
     pub use crate::lut::{catalog, Lut};
+    pub use crate::partition::{PartitionedCost, PartitionedLut, PlutoStore};
     pub use crate::query::{QueryCost, QueryExecutor, QueryPlacement};
     pub use crate::session::{CostReport, ExecConfig, Session, SessionBuilder, Workload};
     pub use crate::store::LutStore;

@@ -12,8 +12,8 @@ use crate::controller::Controller;
 use crate::design::DesignKind;
 use crate::error::PlutoError;
 use crate::lut::{catalog, slots_per_row, Lut};
-use crate::query::{QueryExecutor, QueryPlacement, QueryScratch};
-use crate::store::LutStore;
+use crate::partition::PlutoStore;
+use crate::query::QueryScratch;
 use pluto_dram::{BankId, CommandStats, DramConfig, Engine, PicoJoules, Picos, RowId, SubarrayId};
 use std::collections::HashMap;
 
@@ -60,7 +60,7 @@ pub struct PlutoMachine {
     design: DesignKind,
     totals: AggregateCost,
     engine: Engine,
-    stores: HashMap<String, LutStore>,
+    stores: HashMap<String, PlutoStore>,
     /// Query-path scratch buffers, reused across every `apply` chunk so
     /// operation streams stop reallocating per query. Pure buffers — no
     /// state survives a query, so reuse cannot perturb results.
@@ -177,23 +177,40 @@ impl PlutoMachine {
         })
     }
 
-    /// Returns (creating on first use) the persistent [`LutStore`] for a
-    /// LUT on the fast path. Stores claim subarray pairs (pLUTo + master)
-    /// starting at subarray 1.
+    /// Returns (creating on first use) the persistent [`PlutoStore`] for
+    /// a LUT on the fast path. Stores claim subarray pairs (pLUTo +
+    /// master) starting at subarray 1 — one pair for a LUT that fits a
+    /// subarray, one pair per §5.6 segment for a LUT that exceeds
+    /// `rows_per_subarray` (which is routed through the partitioned data
+    /// path transparently).
+    ///
+    /// Cache identity is the *full LUT* — name and shape pick the key,
+    /// but a hit is only served after the stored table compares equal
+    /// (same witness rule as the packed-row cache in [`crate::store`]);
+    /// a different table reusing a name deterministically claims its own
+    /// variant key and subarrays instead of aliasing.
     fn store_for(&mut self, lut: &Lut) -> Result<String, PlutoError> {
-        let key = format!("{}#{}x{}", lut.name(), lut.input_bits(), lut.output_bits());
-        if !self.stores.contains_key(&key) {
-            if self.next_pluto + 1 >= self.cfg.subarrays_per_bank {
-                return Err(PlutoError::AllocationFailed {
-                    reason: "out of pLUTo-enabled subarrays for cached LUT stores".into(),
-                });
+        let base = format!("{}#{}x{}", lut.name(), lut.input_bits(), lut.output_bits());
+        let mut key = base.clone();
+        let mut variant = 0usize;
+        loop {
+            match self.stores.get(&key) {
+                Some(existing) if existing.lut() == lut => return Ok(key),
+                Some(_) => {
+                    variant += 1;
+                    key = format!("{base}#v{variant}");
+                }
+                None => break,
             }
-            let pluto = SubarrayId(self.next_pluto);
-            let master = SubarrayId(self.next_pluto + 1);
-            let store = LutStore::load(&mut self.engine, lut.clone(), self.bank, pluto, master, 0)?;
-            self.next_pluto += 2;
-            self.stores.insert(key.clone(), store);
         }
+        let store = PlutoStore::load(
+            &mut self.engine,
+            lut.clone(),
+            self.bank,
+            SubarrayId(self.next_pluto),
+        )?;
+        self.next_pluto += store.subarrays_claimed();
+        self.stores.insert(key.clone(), store);
         Ok(key)
     }
 
@@ -224,6 +241,12 @@ impl PlutoMachine {
     /// Chunks the input across as many queries as needed; the LUT store
     /// persists across calls (GSA reload costs recur per query, §5.2.1).
     ///
+    /// LUTs larger than one subarray are routed through the §5.6
+    /// partitioned data path transparently ([`crate::partition`]): the
+    /// same call serves an 8-bit gamma table and a 4096-entry direct
+    /// table, with §5.6 max-latency / summed-energy cost semantics folded
+    /// into the reported call cost.
+    ///
     /// # Errors
     /// Fails if inputs exceed the LUT's index range or the subarray pool is
     /// exhausted.
@@ -235,18 +258,13 @@ impl PlutoMachine {
         let stats0 = self.engine.stats();
         let mut values = Vec::with_capacity(inputs.len());
         let mut store = self.stores.remove(&key).expect("store cached above");
-        let placement = QueryPlacement {
-            bank: self.bank,
-            source: self.data_sa,
-            pluto: store.subarray(),
-            dest: self.data_sa,
-        };
         let result: Result<(), PlutoError> = (|| {
             for chunk in inputs.chunks(capacity.max(1)) {
-                let mut ex = QueryExecutor::new(&mut self.engine, self.design);
-                ex.execute_with(
-                    &mut store,
-                    placement,
+                store.query_with(
+                    &mut self.engine,
+                    self.design,
+                    self.data_sa,
+                    self.data_sa,
                     chunk,
                     RowId(0),
                     RowId(1),
@@ -619,6 +637,81 @@ mod tests {
             assert_eq!(pooled.totals(), want_totals, "{design}");
             assert_eq!(pooled.engine_stats(), want_stats, "{design}");
         }
+    }
+
+    #[test]
+    fn apply_routes_oversized_luts_through_the_partitioned_path() {
+        // 2048-entry LUT over 512-row subarrays => 4 segments, served by
+        // the *same* `apply` call sites use for small LUTs.
+        for design in DesignKind::ALL {
+            let mut m = PlutoMachine::new(small_cfg(), design).unwrap();
+            let lut = Lut::from_fn("tri11", 11, 16, |x| (x * 3) & 0xFFFF).unwrap();
+            let inputs: Vec<u64> = (0..300u64).map(|i| (i * 13) % 2048).collect();
+            let r = m.apply(&lut, &inputs).unwrap();
+            let expect: Vec<u64> = inputs.iter().map(|&x| (x * 3) & 0xFFFF).collect();
+            assert_eq!(r.values, expect, "{design}");
+            assert!(r.time > Picos::ZERO);
+            // All 4 segments swept per chunk: ≥ 4 × 512 sweep steps.
+            assert!(r.stats.sweep_steps >= 4 * 512, "{design}");
+        }
+    }
+
+    #[test]
+    fn partitioned_apply_pays_max_latency_not_serial_segments() {
+        // §5.6 end-to-end through the library: a 4-segment LUT query's
+        // reported time is close to a 1-segment query of the same row
+        // count, while its energy is ~4x.
+        let mut m = PlutoMachine::new(small_cfg(), DesignKind::Gmc).unwrap();
+        let small = Lut::from_fn("lat9", 9, 16, |x| x).unwrap(); // 512 = 1 subarray
+        let big = Lut::from_fn("lat11", 11, 16, |x| x).unwrap(); // 2048 = 4 segments
+        let inputs: Vec<u64> = (0..32u64).collect();
+        let r1 = m.apply(&small, &inputs).unwrap();
+        let r4 = m.apply(&big, &inputs).unwrap();
+        let t_ratio = r4.time.as_ns() / r1.time.as_ns();
+        assert!(
+            t_ratio < 1.2,
+            "partitioned latency should stay flat, got {t_ratio:.2}x"
+        );
+        let e_ratio = r4.energy.as_pj() / r1.energy.as_pj();
+        assert!(
+            (3.0..5.0).contains(&e_ratio),
+            "partitioned energy should be ~4x, got {e_ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn oversized_lut_store_is_cached_across_calls() {
+        let mut m = PlutoMachine::new(small_cfg(), DesignKind::Gmc).unwrap();
+        let lut = Lut::from_fn("cache11", 11, 16, |x| x ^ 0x55).unwrap();
+        m.apply(&lut, &[1, 2, 3]).unwrap();
+        let before = m.next_pluto;
+        assert_eq!(before, 1 + 2 * 4, "4 segment pairs claimed");
+        m.apply(&lut, &[2000, 2047]).unwrap();
+        assert_eq!(m.next_pluto, before, "second call reuses the store");
+    }
+
+    #[test]
+    fn same_name_different_contents_never_alias_a_cached_store() {
+        // The store cache's identity is the full LUT, not its name and
+        // widths: two truncated tables sharing both must get distinct
+        // stores, answer from their own elements, and accept their own
+        // index ranges.
+        let mut m = PlutoMachine::new(small_cfg(), DesignKind::Gmc).unwrap();
+        let first = Lut::from_fn_len("alias", 650, 16, |x| x + 1).unwrap();
+        let second = Lut::from_fn_len("alias", 700, 16, |x| x + 2).unwrap();
+        assert_eq!(m.apply(&first, &[0, 649]).unwrap().values, vec![1, 650]);
+        let r = m.apply(&second, &[0, 690]).unwrap();
+        assert_eq!(
+            r.values,
+            vec![2, 692],
+            "second table answers from its own elements"
+        );
+        // And the first store is still intact (no eviction aliasing).
+        assert_eq!(m.apply(&first, &[10]).unwrap().values, vec![11]);
+        assert!(matches!(
+            m.apply(&first, &[650]),
+            Err(PlutoError::IndexOutOfRange { value: 650, .. })
+        ));
     }
 
     #[test]

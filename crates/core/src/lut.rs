@@ -16,12 +16,19 @@ use crate::error::PlutoError;
 use std::fmt;
 use std::sync::Arc;
 
-/// A lookup table: `2^input_bits` elements of `output_bits` bits each.
+/// A lookup table: up to `2^input_bits` elements of `output_bits` bits
+/// each. The canonical constructors ([`Lut::from_fn`]/[`Lut::from_table`])
+/// tabulate the full `2^input_bits` range (paper §6.1: "`lut_size` must be
+/// a power of two"); the `*_len` variants admit truncated tables of
+/// arbitrary length for the §5.6 partitioned path, which pads each
+/// per-subarray segment back to a power of two.
 #[derive(Clone)]
 pub struct Lut {
     name: String,
     input_bits: u32,
     output_bits: u32,
+    /// Slot-width floor (see [`Lut::with_min_slot_bits`]); 0 = derived.
+    min_slot_bits: u32,
     elements: Arc<Vec<u64>>,
 }
 
@@ -31,6 +38,7 @@ impl fmt::Debug for Lut {
             .field("name", &self.name)
             .field("input_bits", &self.input_bits)
             .field("output_bits", &self.output_bits)
+            .field("slot_bits", &self.slot_bits())
             .field("len", &self.elements.len())
             .finish()
     }
@@ -40,7 +48,11 @@ impl PartialEq for Lut {
     fn eq(&self, other: &Self) -> bool {
         self.input_bits == other.input_bits
             && self.output_bits == other.output_bits
-            && self.elements == other.elements
+            && self.min_slot_bits == other.min_slot_bits
+            // Pointer fast path: clones share one table, so the common
+            // same-LUT comparison (store-cache witness checks) skips the
+            // element scan.
+            && (Arc::ptr_eq(&self.elements, &other.elements) || self.elements == other.elements)
     }
 }
 
@@ -57,17 +69,40 @@ impl Lut {
         name: impl Into<String>,
         input_bits: u32,
         output_bits: u32,
-        mut f: F,
+        f: F,
     ) -> Result<Self, PlutoError>
     where
         F: FnMut(u64) -> u64,
     {
         validate_widths(input_bits, output_bits)?;
-        let len = 1u64 << input_bits;
-        let mask = width_mask(output_bits);
+        Lut::from_fn_len(name, 1usize << input_bits, output_bits, f)
+    }
+
+    /// Builds a *truncated* LUT of arbitrary length by tabulating `f` over
+    /// `0..len`. `input_bits` is the smallest index width covering `len`
+    /// (`ceil(log2 len)`); indices in `len..2^input_bits` are simply
+    /// invalid. Truncated LUTs cannot occupy a single pLUTo sweep (§6.1
+    /// requires a power-of-two `lut_size`) but partition across subarrays
+    /// (§5.6), where the tail segment is padded back to a power of two.
+    ///
+    /// # Errors
+    /// Fails if `len < 2`, the derived index width exceeds the supported
+    /// 20 bits, or `f` produces a value wider than `output_bits`.
+    pub fn from_fn_len<F>(
+        name: impl Into<String>,
+        len: usize,
+        output_bits: u32,
+        mut f: F,
+    ) -> Result<Self, PlutoError>
+    where
+        F: FnMut(u64) -> u64,
+    {
+        let input_bits = index_bits_for_len(len)?;
+        validate_widths(input_bits, output_bits)?;
         let name = name.into();
-        let mut elements = Vec::with_capacity(len as usize);
-        for x in 0..len {
+        let mask = width_mask(output_bits);
+        let mut elements = Vec::with_capacity(len);
+        for x in 0..len as u64 {
             let y = f(x);
             if y & !mask != 0 {
                 return Err(PlutoError::InvalidLut {
@@ -80,8 +115,51 @@ impl Lut {
             name,
             input_bits,
             output_bits,
+            min_slot_bits: 0,
             elements: Arc::new(elements),
         })
+    }
+
+    /// Builds a *truncated* LUT of arbitrary length from an explicit
+    /// element table (see [`Lut::from_fn_len`]).
+    ///
+    /// # Errors
+    /// Fails if the table has fewer than 2 elements, the derived index
+    /// width exceeds the supported 20 bits, or any element exceeds
+    /// `output_bits`.
+    pub fn from_table_len(
+        name: impl Into<String>,
+        output_bits: u32,
+        elements: Vec<u64>,
+    ) -> Result<Self, PlutoError> {
+        let input_bits = index_bits_for_len(elements.len())?;
+        validate_widths(input_bits, output_bits)?;
+        let name = name.into();
+        let mask = width_mask(output_bits);
+        if let Some(bad) = elements.iter().find(|&&e| e & !mask != 0) {
+            return Err(PlutoError::InvalidLut {
+                reason: format!("{name}: element {bad} exceeds {output_bits} output bits"),
+            });
+        }
+        Ok(Lut {
+            name,
+            input_bits,
+            output_bits,
+            min_slot_bits: 0,
+            elements: Arc::new(elements),
+        })
+    }
+
+    /// Pins a *slot-width floor*: [`Lut::slot_bits`] becomes at least
+    /// `bits`, so this LUT's rows pack in the layout of a wider table.
+    /// The §5.6 partitioned path uses it to store each segment at the
+    /// parent LUT's slot width — segment element rows are then
+    /// byte-identical to the corresponding rows of the unpartitioned
+    /// layout, and row capacity is uniform across segments.
+    #[must_use]
+    pub fn with_min_slot_bits(mut self, bits: u32) -> Self {
+        self.min_slot_bits = bits;
+        self
     }
 
     /// Builds a LUT from an explicit element table.
@@ -106,18 +184,7 @@ impl Lut {
                 ),
             });
         }
-        let mask = width_mask(output_bits);
-        if let Some(bad) = elements.iter().find(|&&e| e & !mask != 0) {
-            return Err(PlutoError::InvalidLut {
-                reason: format!("{name}: element {bad} exceeds {output_bits} output bits"),
-            });
-        }
-        Ok(Lut {
-            name,
-            input_bits,
-            output_bits,
-            elements: Arc::new(elements),
-        })
+        Lut::from_table_len(name, output_bits, elements)
     }
 
     /// Name used for deduplication and traces.
@@ -172,9 +239,12 @@ impl Lut {
 
     /// Slot width used when this LUT's indices and elements share one row
     /// layout: `max(N, M)` (inputs are zero-padded to `lut_bitw ≥ N`,
-    /// paper §6.1 footnote).
+    /// paper §6.1 footnote), raised to any floor pinned by
+    /// [`Lut::with_min_slot_bits`].
     pub fn slot_bits(&self) -> u32 {
-        self.input_bits.max(self.output_bits)
+        self.input_bits
+            .max(self.output_bits)
+            .max(self.min_slot_bits)
     }
 
     /// Applies the LUT in software (reference semantics for validation).
@@ -184,6 +254,16 @@ impl Lut {
     pub fn apply_all(&self, inputs: &[u64]) -> Result<Vec<u64>, PlutoError> {
         inputs.iter().map(|&x| self.element(x)).collect()
     }
+}
+
+/// The smallest index width covering a table of `len` elements.
+fn index_bits_for_len(len: usize) -> Result<u32, PlutoError> {
+    if len < 2 {
+        return Err(PlutoError::InvalidLut {
+            reason: format!("a LUT needs at least 2 elements, got {len}"),
+        });
+    }
+    Ok((len - 1).ilog2() + 1)
 }
 
 fn validate_widths(input_bits: u32, output_bits: u32) -> Result<(), PlutoError> {
@@ -661,6 +741,44 @@ mod tests {
         let e = lut.elements();
         assert!(e.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(*e.last().unwrap(), 255);
+    }
+
+    #[test]
+    fn truncated_luts_cover_arbitrary_lengths() {
+        let lut = Lut::from_fn_len("sq640", 640, 32, |x| x * x).unwrap();
+        assert_eq!(lut.len(), 640);
+        assert_eq!(lut.input_bits(), 10, "ceil(log2 640)");
+        assert_eq!(lut.element(639).unwrap(), 639 * 639);
+        assert!(matches!(
+            lut.element(640),
+            Err(PlutoError::IndexOutOfRange { value: 640, .. })
+        ));
+        let t = Lut::from_table_len("t", 4, vec![1, 2, 3]).unwrap();
+        assert_eq!(t.input_bits(), 2);
+        assert_eq!(t.len(), 3);
+        // Exact powers of two derive the same width as the strict form.
+        let p = Lut::from_fn_len("p", 16, 5, |x| x).unwrap();
+        assert_eq!(p.input_bits(), 4);
+        // Degenerate and invalid shapes rejected.
+        assert!(Lut::from_table_len("bad", 4, vec![7]).is_err());
+        assert!(Lut::from_table_len("bad", 2, vec![1, 9]).is_err());
+        assert!(Lut::from_fn_len("bad", 3, 1, |x| x).is_err());
+    }
+
+    #[test]
+    fn min_slot_bits_floors_the_layout_width() {
+        let lut = Lut::from_table("t", 2, 4, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(lut.slot_bits(), 4);
+        let wide = lut.clone().with_min_slot_bits(12);
+        assert_eq!(wide.slot_bits(), 12);
+        assert_eq!(wide.output_bits(), 4, "logical width unchanged");
+        // A floor below the derived width is inert.
+        assert_eq!(lut.clone().with_min_slot_bits(2).slot_bits(), 4);
+        // The floor is part of layout identity.
+        assert_ne!(lut, wide);
+        // Packed rows follow the floored width: 12-bit slots, MSB-first.
+        let row = pack_slots(&[1, 2], wide.slot_bits(), 3).unwrap();
+        assert_eq!(row, vec![0x00, 0x10, 0x02]);
     }
 
     #[test]

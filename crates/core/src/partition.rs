@@ -8,13 +8,44 @@
 //! semantics: **latency does not increase** (segments sweep in parallel)
 //! but **energy multiplies by the segment count** — which is why pLUTo is
 //! "not well suited for executing large-bit-width lookup queries".
+//!
+//! This module is the single implementation of those semantics
+//! (`DESIGN.md` §8):
+//!
+//! * **Segment layout.** Segments are stored at the parent LUT's *true*
+//!   `output_bits` with the parent's slot width pinned as a floor
+//!   ([`crate::lut::Lut::with_min_slot_bits`]), so every segment element
+//!   row is byte-identical to the corresponding row of the unpartitioned
+//!   layout and row capacity is uniform across segments. Tail segments
+//!   whose length is not a power of two are padded with masked-out zero
+//!   elements (inputs are validated against the *parent* length, so the
+//!   pad rows can never match). Each segment is a plain [`LutStore`] with
+//!   its own packed-row-cache identity (`name@segK`).
+//! * **Data path.** Each segment query runs on the word-parallel
+//!   [`QueryExecutor`] — the same gather/pack hot path single-subarray
+//!   queries use — with the inputs rebased into the segment and
+//!   out-of-segment slots querying index 0 (their captured values are
+//!   discarded on merge).
+//! * **Cost merge.** Per-segment command streams stay authoritative for
+//!   cost, issued as *parallel lanes* on the engine
+//!   ([`Engine::rewind_clock`] / [`Engine::advance_clock_to`]): every
+//!   lane starts at the region's start time, the clock closes at the
+//!   slowest lane's end, and energy/commands accumulate across lanes.
+//!   The engine's own clock and energy deltas therefore *equal* the
+//!   returned [`PartitionedCost`] — there is no second bookkeeping to
+//!   drift out of sync.
+//!
+//! [`PlutoStore`] wraps the single-subarray and partitioned stores behind
+//! one query interface, which is how [`crate::library::PlutoMachine`] and
+//! [`crate::controller::Controller`] (and therefore every `Session` and
+//! `Cluster` worker) transparently route oversized LUTs.
 
 use crate::design::DesignKind;
 use crate::error::PlutoError;
-use crate::lut::Lut;
-use crate::query::{QueryCost, QueryExecutor, QueryPlacement};
+use crate::lut::{pack_slots_into, unpack_slots_into, Lut};
+use crate::query::{QueryExecutor, QueryPlacement, QueryScratch};
 use crate::store::LutStore;
-use pluto_dram::{BankId, Engine, PicoJoules, Picos, RowId, SubarrayId};
+use pluto_dram::{BankId, Engine, PicoJoules, Picos, RowId, RowLoc, SubarrayId};
 
 /// A LUT partitioned across several pLUTo-enabled subarrays.
 #[derive(Debug)]
@@ -22,6 +53,14 @@ pub struct PartitionedLut {
     lut: Lut,
     segments: Vec<LutStore>,
     segment_rows: usize,
+    /// Scratch: per-segment rebased input slots.
+    local: Vec<u64>,
+    /// Scratch: merged output slots across segments.
+    merged: Vec<u64>,
+    /// Scratch: resident-input slots (controller path).
+    resident: Vec<u64>,
+    /// Scratch: one packed row.
+    row: Vec<u8>,
 }
 
 /// Cost of a partitioned query under the §5.6 semantics.
@@ -29,7 +68,7 @@ pub struct PartitionedLut {
 pub struct PartitionedCost {
     /// Number of segments (subarrays) engaged.
     pub segments: usize,
-    /// Wall latency: the slowest (= any) segment's query cost.
+    /// Wall latency: the slowest segment lane's end-to-end query cost.
     pub latency: Picos,
     /// Total energy: the *sum* over all segments (§5.6: "partitioning the
     /// query … increases energy consumption N-fold").
@@ -39,7 +78,9 @@ pub struct PartitionedCost {
 impl PartitionedLut {
     /// Loads `lut` across as many subarrays as needed, starting at
     /// `first_subarray` and claiming pairs (segment, master) like the
-    /// single-subarray store.
+    /// single-subarray store. Any LUT length ≥ 2 is accepted — including
+    /// truncated tables ([`Lut::from_fn_len`]) — because the tail segment
+    /// is padded to the next power of two with masked-out elements.
     ///
     /// # Errors
     /// Fails if the bank runs out of subarrays.
@@ -50,25 +91,34 @@ impl PartitionedLut {
         first_subarray: SubarrayId,
     ) -> Result<Self, PlutoError> {
         let rows = engine.config().rows_per_subarray as usize;
-        let segment_rows = rows.min(lut.len());
+        // Segments must be powers of two (§6.1's `lut_size` constraint
+        // holds per sweep), so on a non-power-of-two geometry only the
+        // largest power-of-two row prefix is usable per subarray.
+        let max_rows = 1usize << rows.ilog2();
+        let segment_rows = max_rows.min(lut.len().next_power_of_two());
         let count = lut.len().div_ceil(segment_rows);
+        let slot_floor = lut.slot_bits();
         let mut segments = Vec::with_capacity(count);
         for k in 0..count {
             let base = k * segment_rows;
             let end = (base + segment_rows).min(lut.len());
-            let seg_len = end - base;
-            if !seg_len.is_power_of_two() {
-                return Err(PlutoError::InvalidLut {
-                    reason: format!("segment {k} has {seg_len} elements (not a power of two)"),
-                });
-            }
-            let elements = lut.elements()[base..end].to_vec();
+            let mut elements = lut.elements()[base..end].to_vec();
+            // Pad the (tail) segment to a power of two with masked-out
+            // elements: inputs are validated against the parent length,
+            // so a pad row can never be the matching row of any query.
+            elements.resize((end - base).next_power_of_two(), 0);
             let seg = Lut::from_table(
                 format!("{}@seg{k}", lut.name()),
-                seg_len.trailing_zeros(),
-                lut.output_bits().max(lut.input_bits()),
+                elements.len().trailing_zeros(),
+                lut.output_bits(),
                 elements,
-            )?;
+            )?
+            .with_min_slot_bits(slot_floor);
+            debug_assert_eq!(
+                seg.slot_bits(),
+                lut.slot_bits(),
+                "segment layout must match the unpartitioned layout"
+            );
             let pluto = SubarrayId(first_subarray.0 + 2 * k as u16);
             let master = SubarrayId(pluto.0 + 1);
             if master.0 >= engine.config().subarrays_per_bank {
@@ -82,7 +132,16 @@ impl PartitionedLut {
             lut,
             segments,
             segment_rows,
+            local: Vec::new(),
+            merged: Vec::new(),
+            resident: Vec::new(),
+            row: Vec::new(),
         })
+    }
+
+    /// The logical (parent) LUT.
+    pub fn lut(&self) -> &Lut {
+        &self.lut
     }
 
     /// Number of segments.
@@ -90,12 +149,32 @@ impl PartitionedLut {
         self.segments.len()
     }
 
-    /// Executes the partitioned query: every segment sweeps; outputs merge
-    /// by each input's owning segment. Returns the outputs and the §5.6
-    /// cost (max-latency, summed energy).
+    /// Logical LUT rows per segment (the tail segment may own fewer).
+    pub fn segment_rows(&self) -> usize {
+        self.segment_rows
+    }
+
+    /// The per-segment stores, in segment order.
+    pub fn segments(&self) -> &[LutStore] {
+        &self.segments
+    }
+
+    /// The bank holding every segment.
+    pub fn bank(&self) -> BankId {
+        self.segments[0].bank()
+    }
+
+    /// Executes the partitioned query: every segment sweeps as a parallel
+    /// lane; outputs merge by each input's owning segment. Inputs are
+    /// packed into `src_row` of the `source` subarray (restored to the
+    /// global index vector afterwards) and the merged output vector is
+    /// committed to `dst_row` of `dest`. Returns the outputs and the §5.6
+    /// cost (max-latency, summed energy), which the engine's own clock
+    /// and energy deltas also reflect.
     ///
     /// # Errors
     /// Fails if any input exceeds the logical LUT's range.
+    #[allow(clippy::too_many_arguments)]
     pub fn query(
         &mut self,
         engine: &mut Engine,
@@ -103,7 +182,41 @@ impl PartitionedLut {
         source: SubarrayId,
         dest: SubarrayId,
         inputs: &[u64],
+        src_row: RowId,
+        dst_row: RowId,
     ) -> Result<(Vec<u64>, PartitionedCost), PlutoError> {
+        let mut scratch = QueryScratch::new();
+        let cost = self.query_with(
+            engine,
+            design,
+            source,
+            dest,
+            inputs,
+            src_row,
+            dst_row,
+            &mut scratch,
+        )?;
+        Ok((std::mem::take(scratch.out_mut()), cost))
+    }
+
+    /// [`PartitionedLut::query`] with caller-owned scratch buffers: the
+    /// merged output vector lands in [`QueryScratch::outputs`]. This is
+    /// the hot-path entry point the machine/controller use.
+    ///
+    /// # Errors
+    /// Fails if any input exceeds the logical LUT's range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_with(
+        &mut self,
+        engine: &mut Engine,
+        design: DesignKind,
+        source: SubarrayId,
+        dest: SubarrayId,
+        inputs: &[u64],
+        src_row: RowId,
+        dst_row: RowId,
+        scratch: &mut QueryScratch,
+    ) -> Result<PartitionedCost, PlutoError> {
         let n = self.lut.len() as u64;
         if let Some(&bad) = inputs.iter().find(|&&x| x >= n) {
             return Err(PlutoError::IndexOutOfRange {
@@ -111,25 +224,33 @@ impl PartitionedLut {
                 input_bits: self.lut.input_bits(),
             });
         }
-        let bank = self.segments[0].bank();
-        let mut outputs = vec![0u64; inputs.len()];
-        let mut latency = Picos::ZERO;
-        let mut energy = PicoJoules::ZERO;
+        let bank = self.bank();
+        let slot_bits = self.lut.slot_bits();
+        let row_bytes = engine.config().row_bytes;
+        self.merged.clear();
+        self.merged.resize(inputs.len(), 0);
+
+        // §5.6: all segments sweep simultaneously. Issue each segment's
+        // command stream as a parallel lane from one start time; the
+        // region closes at the slowest lane's end, so the engine clock
+        // advances by the max while energy and command counters sum.
+        let clock0 = engine.elapsed();
+        let energy0 = engine.command_energy();
+        let mut slowest = clock0;
         for (k, store) in self.segments.iter_mut().enumerate() {
+            engine.rewind_clock(clock0);
             let base = (k * self.segment_rows) as u64;
             let span = store.lut().len() as u64;
             // Inputs rebased into this segment; out-of-segment slots query
             // index 0 (their captured values are discarded on merge).
-            let local: Vec<u64> = inputs
-                .iter()
-                .map(|&x| {
-                    if x >= base && x < base + span {
-                        x - base
-                    } else {
-                        0
-                    }
-                })
-                .collect();
+            self.local.clear();
+            self.local.extend(inputs.iter().map(|&x| {
+                if x >= base && x < base + span {
+                    x - base
+                } else {
+                    0
+                }
+            }));
             let placement = QueryPlacement {
                 bank,
                 source,
@@ -137,32 +258,253 @@ impl PartitionedLut {
                 dest,
             };
             let mut ex = QueryExecutor::new(engine, design);
-            let (seg_out, cost): (Vec<u64>, QueryCost) =
-                ex.execute(store, placement, &local, RowId(0), RowId(1))?;
+            ex.execute_with(store, placement, &self.local, src_row, dst_row, scratch)?;
             for (i, &x) in inputs.iter().enumerate() {
                 if x >= base && x < base + span {
-                    outputs[i] = seg_out[i];
+                    self.merged[i] = scratch.outputs()[i];
                 }
             }
-            // §5.6: segments sweep simultaneously — wall latency is the
-            // max; energy accumulates across all engaged subarrays.
-            latency = latency.max(cost.total());
-            energy += cost.energy;
+            slowest = slowest.max(engine.elapsed());
         }
-        Ok((
-            outputs,
-            PartitionedCost {
-                segments: self.segments.len(),
-                latency,
-                energy,
-            },
-        ))
+        engine.advance_clock_to(slowest);
+
+        // The simulator emulated per-segment matching by rebasing the
+        // source row; real §5.6 hardware broadcasts the *global* index
+        // vector unchanged — restore it (zero-cost backdoor, the per-lane
+        // activations above carried the real cost).
+        let src_loc = RowLoc {
+            bank,
+            subarray: source,
+            row: src_row,
+        };
+        pack_slots_into(inputs, slot_bits, row_bytes, &mut self.row)?;
+        engine.poke_row(src_loc, &self.row)?;
+        // Likewise the destination row holds the *merged* output vector:
+        // each subarray's copy-out (already charged per lane) only drives
+        // the slots its segment matched.
+        let dst_loc = RowLoc {
+            bank,
+            subarray: dest,
+            row: dst_row,
+        };
+        pack_slots_into(&self.merged, slot_bits, row_bytes, &mut self.row)?;
+        engine.poke_row(dst_loc, &self.row)?;
+
+        let cost = PartitionedCost {
+            segments: self.segments.len(),
+            latency: engine.elapsed() - clock0,
+            energy: engine.command_energy() - energy0,
+        };
+        std::mem::swap(scratch.out_mut(), &mut self.merged);
+        Ok(cost)
+    }
+
+    /// Partitioned query whose input vector is already resident in
+    /// `src_row` of `source` (the controller's `pluto_op` path):
+    /// `num_slots` slots at the parent LUT's slot width are read back as
+    /// global indices, queried, and the source row is left holding the
+    /// same global index vector it started with.
+    ///
+    /// # Errors
+    /// Fails if any resident slot exceeds the logical LUT's range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_resident_with(
+        &mut self,
+        engine: &mut Engine,
+        design: DesignKind,
+        source: SubarrayId,
+        dest: SubarrayId,
+        src_row: RowId,
+        dst_row: RowId,
+        num_slots: usize,
+        scratch: &mut QueryScratch,
+    ) -> Result<PartitionedCost, PlutoError> {
+        let src_loc = RowLoc {
+            bank: self.bank(),
+            subarray: source,
+            row: src_row,
+        };
+        let mut resident = std::mem::take(&mut self.resident);
+        engine.peek_row_into(src_loc, &mut self.row)?;
+        unpack_slots_into(&self.row, self.lut.slot_bits(), num_slots, &mut resident);
+        let result = self.query_with(
+            engine, design, source, dest, &resident, src_row, dst_row, scratch,
+        );
+        self.resident = resident;
+        result
+    }
+}
+
+/// A LUT resident in one *or many* pLUTo-enabled subarrays: the unified
+/// store the execution stack queries without caring whether the table fit
+/// a single subarray or was partitioned per §5.6.
+#[derive(Debug)]
+pub enum PlutoStore {
+    /// The LUT fits one subarray (a plain [`LutStore`]).
+    Single(LutStore),
+    /// The LUT exceeds `rows_per_subarray` and was partitioned (§5.6).
+    Partitioned(PartitionedLut),
+}
+
+impl PlutoStore {
+    /// Materializes `lut` starting at `first_subarray`, claiming
+    /// consecutive (pLUTo, master) subarray pairs: one pair for a LUT
+    /// that fits a subarray, one pair per segment otherwise.
+    ///
+    /// Routing is by *sweep legality*, not just size: a LUT whose length
+    /// exceeds `rows_per_subarray` partitions across subarrays, and a
+    /// truncated LUT whose length is not a power of two — which §6.1
+    /// forbids as a single sweep — takes the partitioned path too, where
+    /// it is padded to a power-of-two (possibly single-segment) sweep.
+    ///
+    /// # Errors
+    /// Fails if the bank runs out of subarrays.
+    pub fn load(
+        engine: &mut Engine,
+        lut: Lut,
+        bank: BankId,
+        first_subarray: SubarrayId,
+    ) -> Result<Self, PlutoError> {
+        if lut.len() > engine.config().rows_per_subarray as usize || !lut.len().is_power_of_two() {
+            return Ok(PlutoStore::Partitioned(PartitionedLut::load(
+                engine,
+                lut,
+                bank,
+                first_subarray,
+            )?));
+        }
+        let master = SubarrayId(first_subarray.0 + 1);
+        if master.0 >= engine.config().subarrays_per_bank {
+            return Err(PlutoError::AllocationFailed {
+                reason: "out of pLUTo-enabled subarrays".into(),
+            });
+        }
+        Ok(PlutoStore::Single(LutStore::load(
+            engine,
+            lut,
+            bank,
+            first_subarray,
+            master,
+            0,
+        )?))
+    }
+
+    /// The logical LUT this store answers queries for.
+    pub fn lut(&self) -> &Lut {
+        match self {
+            PlutoStore::Single(s) => s.lut(),
+            PlutoStore::Partitioned(p) => p.lut(),
+        }
+    }
+
+    /// Whether the LUT was partitioned across subarrays.
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self, PlutoStore::Partitioned(_))
+    }
+
+    /// Number of pLUTo-enabled subarrays sweeping per query.
+    pub fn segment_count(&self) -> usize {
+        match self {
+            PlutoStore::Single(_) => 1,
+            PlutoStore::Partitioned(p) => p.segment_count(),
+        }
+    }
+
+    /// Subarrays this store occupies (one (pLUTo, master) pair per
+    /// segment) — what an allocator must advance its cursor by.
+    pub fn subarrays_claimed(&self) -> u16 {
+        2 * self.segment_count() as u16
+    }
+
+    /// Executes one bulk LUT query through whichever data path the store
+    /// uses, with caller-owned scratch buffers: inputs are packed into
+    /// `src_row` of `source`, the output vector is committed to `dst_row`
+    /// of `dest` and lands in [`QueryScratch::outputs`]. Returns the
+    /// §5.6-merged cost (a single-subarray query is the 1-segment case).
+    ///
+    /// # Errors
+    /// Fails if any input exceeds the LUT's range, the inputs exceed one
+    /// row's slot capacity, or on any underlying DRAM error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_with(
+        &mut self,
+        engine: &mut Engine,
+        design: DesignKind,
+        source: SubarrayId,
+        dest: SubarrayId,
+        inputs: &[u64],
+        src_row: RowId,
+        dst_row: RowId,
+        scratch: &mut QueryScratch,
+    ) -> Result<PartitionedCost, PlutoError> {
+        match self {
+            PlutoStore::Single(store) => {
+                let placement = QueryPlacement {
+                    bank: store.bank(),
+                    source,
+                    pluto: store.subarray(),
+                    dest,
+                };
+                let mut ex = QueryExecutor::new(engine, design);
+                let cost = ex.execute_with(store, placement, inputs, src_row, dst_row, scratch)?;
+                Ok(PartitionedCost {
+                    segments: 1,
+                    latency: cost.total(),
+                    energy: cost.energy,
+                })
+            }
+            PlutoStore::Partitioned(p) => p.query_with(
+                engine, design, source, dest, inputs, src_row, dst_row, scratch,
+            ),
+        }
+    }
+
+    /// [`PlutoStore::query_with`] for an input vector already resident in
+    /// `src_row` (the controller's `pluto_op` path).
+    ///
+    /// # Errors
+    /// Same conditions as [`PlutoStore::query_with`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_resident_with(
+        &mut self,
+        engine: &mut Engine,
+        design: DesignKind,
+        source: SubarrayId,
+        dest: SubarrayId,
+        src_row: RowId,
+        dst_row: RowId,
+        num_slots: usize,
+        scratch: &mut QueryScratch,
+    ) -> Result<PartitionedCost, PlutoError> {
+        match self {
+            PlutoStore::Single(store) => {
+                let placement = QueryPlacement {
+                    bank: store.bank(),
+                    source,
+                    pluto: store.subarray(),
+                    dest,
+                };
+                let mut ex = QueryExecutor::new(engine, design);
+                let cost = ex.execute_resident_with(
+                    store, placement, src_row, dst_row, num_slots, scratch,
+                )?;
+                Ok(PartitionedCost {
+                    segments: 1,
+                    latency: cost.total(),
+                    energy: cost.energy,
+                })
+            }
+            PlutoStore::Partitioned(p) => p.query_resident_with(
+                engine, design, source, dest, src_row, dst_row, num_slots, scratch,
+            ),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lut::{pack_slots, slots_per_row, unpack_slots};
     use pluto_dram::DramConfig;
 
     fn engine() -> Engine {
@@ -176,6 +518,9 @@ mod tests {
         })
     }
 
+    const SRC: SubarrayId = SubarrayId(0);
+    const DST: SubarrayId = SubarrayId(1);
+
     #[test]
     fn large_lut_partitions_and_answers_correctly() {
         let mut e = engine();
@@ -188,9 +533,11 @@ mod tests {
             .query(
                 &mut e,
                 DesignKind::Gmc,
-                SubarrayId(0),
-                SubarrayId(1),
+                SRC,
+                DST,
                 &inputs,
+                RowId(0),
+                RowId(1),
             )
             .unwrap();
         let expect: Vec<u64> = inputs.iter().map(|&x| x * x).collect();
@@ -205,12 +552,12 @@ mod tests {
         let small = Lut::from_fn("sq6", 6, 16, |x| x * x).unwrap(); // 64 rows, 1 segment
         let mut p1 = PartitionedLut::load(&mut e, small, BankId(0), SubarrayId(2)).unwrap();
         let (_, c1) = p1
-            .query(&mut e, DesignKind::Bsa, SubarrayId(0), SubarrayId(1), &[5])
+            .query(&mut e, DesignKind::Bsa, SRC, DST, &[5], RowId(0), RowId(1))
             .unwrap();
         let big = Lut::from_fn("sq8b", 8, 16, |x| x * x).unwrap(); // 4 segments
         let mut p4 = PartitionedLut::load(&mut e, big, BankId(0), SubarrayId(10)).unwrap();
         let (_, c4) = p4
-            .query(&mut e, DesignKind::Bsa, SubarrayId(0), SubarrayId(1), &[5])
+            .query(&mut e, DesignKind::Bsa, SRC, DST, &[5], RowId(0), RowId(1))
             .unwrap();
         // Same wall latency up to LISA placement distance (each segment
         // sweeps the same 64 rows; the farthest segment's copy-out crosses
@@ -225,6 +572,140 @@ mod tests {
         // …roughly segment-count-times the energy.
         let ratio = c4.energy.as_pj() / c1.energy.as_pj();
         assert!((ratio - 4.0).abs() < 0.5, "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn engine_accounting_agrees_with_partitioned_cost() {
+        // The §5.6 merge is implemented *on the engine* (parallel lanes),
+        // so the engine's clock/energy deltas must equal the returned
+        // cost — the old per-segment serial loop advanced the clock
+        // segment-count times instead.
+        for design in DesignKind::ALL {
+            let mut e = engine();
+            let lut = Lut::from_fn("acct8", 8, 16, |x| x * 3).unwrap();
+            let mut part = PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
+            let inputs: Vec<u64> = (0..16u64).map(|i| i * 17 % 256).collect();
+            let t0 = e.elapsed();
+            let e0 = e.command_energy();
+            let (_, cost) = part
+                .query(&mut e, design, SRC, DST, &inputs, RowId(0), RowId(1))
+                .unwrap();
+            assert_eq!(e.elapsed() - t0, cost.latency, "{design} clock drift");
+            assert!(
+                ((e.command_energy() - e0).as_pj() - cost.energy.as_pj()).abs() < 1e-9,
+                "{design} energy drift"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_length_tail_segment_is_padded() {
+        // 650 elements over 64-row subarrays: 10 full segments plus a
+        // 10-element tail padded to 16. The old loader rejected any
+        // non-power-of-two segment outright.
+        let mut e = engine();
+        let lut = Lut::from_fn_len("odd650", 650, 16, |x| (x * x) & 0xFFFF).unwrap();
+        let mut part = PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
+        assert_eq!(part.segment_count(), 11);
+        assert_eq!(part.segments()[10].lut().len(), 16, "tail padded to 2^4");
+        // Seam and tail indices answer from the logical table.
+        let inputs: Vec<u64> = vec![0, 63, 64, 127, 128, 639, 640, 648, 649];
+        let (out, _) = part
+            .query(
+                &mut e,
+                DesignKind::Gmc,
+                SRC,
+                DST,
+                &inputs,
+                RowId(0),
+                RowId(1),
+            )
+            .unwrap();
+        let expect: Vec<u64> = inputs.iter().map(|&x| (x * x) & 0xFFFF).collect();
+        assert_eq!(out, expect);
+        // Indices in the padded range are rejected like any out-of-range
+        // input.
+        assert!(matches!(
+            part.query(
+                &mut e,
+                DesignKind::Gmc,
+                SRC,
+                DST,
+                &[650],
+                RowId(0),
+                RowId(1)
+            ),
+            Err(PlutoError::IndexOutOfRange { value: 650, .. })
+        ));
+    }
+
+    #[test]
+    fn segments_keep_parent_output_bits_and_row_layout() {
+        // Parent: 8-bit indices, 4-bit elements => slot width 8. The old
+        // loader inflated segment output_bits to max(out, in); segments
+        // must instead carry the true 4-bit output with the parent's slot
+        // width pinned, making each element row byte-identical to the
+        // unpartitioned layout.
+        let mut e = engine();
+        let lut = Lut::from_fn("narrow8to4", 8, 4, |x| x % 13).unwrap();
+        let parent = lut.clone();
+        let part = PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
+        let row_bytes = e.config().row_bytes;
+        let per_row = slots_per_row(row_bytes, parent.slot_bits());
+        for (k, seg) in part.segments().iter().enumerate() {
+            assert_eq!(seg.lut().output_bits(), parent.output_bits(), "seg {k}");
+            assert_eq!(seg.lut().slot_bits(), parent.slot_bits(), "seg {k}");
+            for i in 0..seg.lut().len() {
+                let global = k * part.segment_rows() + i;
+                let elem = parent.elements()[global];
+                let expect =
+                    pack_slots(&vec![elem; per_row], parent.slot_bits(), row_bytes).unwrap();
+                assert_eq!(
+                    e.peek_row(seg.element_row(i)).unwrap(),
+                    expect,
+                    "seg {k} row {i} differs from the unpartitioned layout"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn source_and_destination_rows_hold_global_vectors() {
+        // After a partitioned query the source row holds the *global*
+        // index vector (not the last segment's rebased copy) and the
+        // destination row holds the *merged* output vector.
+        let mut e = engine();
+        let lut = Lut::from_fn("sq8r", 8, 16, |x| x * x).unwrap();
+        let slot = lut.slot_bits();
+        let mut part = PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
+        let inputs: Vec<u64> = vec![7, 200, 70, 135];
+        part.query(
+            &mut e,
+            DesignKind::Bsa,
+            SRC,
+            DST,
+            &inputs,
+            RowId(0),
+            RowId(3),
+        )
+        .unwrap();
+        let src = e
+            .peek_row(RowLoc {
+                bank: BankId(0),
+                subarray: SRC,
+                row: RowId(0),
+            })
+            .unwrap();
+        assert_eq!(unpack_slots(&src, slot, inputs.len()), inputs);
+        let dst = e
+            .peek_row(RowLoc {
+                bank: BankId(0),
+                subarray: DST,
+                row: RowId(3),
+            })
+            .unwrap();
+        let expect: Vec<u64> = inputs.iter().map(|&x| x * x).collect();
+        assert_eq!(unpack_slots(&dst, slot, inputs.len()), expect);
     }
 
     #[test]
@@ -244,9 +725,11 @@ mod tests {
             part.query(
                 &mut e,
                 DesignKind::Bsa,
-                SubarrayId(0),
-                SubarrayId(1),
-                &[256]
+                SRC,
+                DST,
+                &[256],
+                RowId(0),
+                RowId(1)
             ),
             Err(PlutoError::IndexOutOfRange { value: 256, .. })
         ));
@@ -267,5 +750,94 @@ mod tests {
             PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)),
             Err(PlutoError::AllocationFailed { .. })
         ));
+    }
+
+    #[test]
+    fn pluto_store_routes_by_size_and_claims_pairs() {
+        let mut e = engine();
+        let small = Lut::from_fn("route4", 4, 4, |x| x).unwrap();
+        let s = PlutoStore::load(&mut e, small, BankId(0), SubarrayId(2)).unwrap();
+        assert!(!s.is_partitioned());
+        assert_eq!(s.subarrays_claimed(), 2);
+        let big = Lut::from_fn("route8", 8, 16, |x| x + 1).unwrap();
+        let p = PlutoStore::load(&mut e, big, BankId(0), SubarrayId(4)).unwrap();
+        assert!(p.is_partitioned());
+        assert_eq!(p.segment_count(), 4);
+        assert_eq!(p.subarrays_claimed(), 8);
+    }
+
+    #[test]
+    fn non_power_of_two_luts_route_partitioned_even_when_they_fit() {
+        // §6.1 forbids a non-power-of-two single sweep, so a truncated
+        // 50-entry LUT on a 64-row subarray still takes the partitioned
+        // path: one segment, padded to a 64-row sweep.
+        let mut e = engine();
+        let lut = Lut::from_fn_len("odd50", 50, 16, |x| x * 5).unwrap();
+        let mut store = PlutoStore::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
+        assert!(store.is_partitioned());
+        assert_eq!(store.segment_count(), 1);
+        match &store {
+            PlutoStore::Partitioned(p) => {
+                assert_eq!(p.segments()[0].lut().len(), 64, "padded to 2^6")
+            }
+            PlutoStore::Single(_) => unreachable!(),
+        }
+        let mut scratch = QueryScratch::new();
+        store
+            .query_with(
+                &mut e,
+                DesignKind::Bsa,
+                SRC,
+                DST,
+                &[0, 7, 49],
+                RowId(0),
+                RowId(1),
+                &mut scratch,
+            )
+            .unwrap();
+        assert_eq!(scratch.outputs(), [0, 35, 245]);
+        // Indices in the padded range stay invalid.
+        assert!(matches!(
+            store.query_with(
+                &mut e,
+                DesignKind::Bsa,
+                SRC,
+                DST,
+                &[50],
+                RowId(0),
+                RowId(1),
+                &mut scratch,
+            ),
+            Err(PlutoError::IndexOutOfRange { value: 50, .. })
+        ));
+    }
+
+    #[test]
+    fn pluto_store_query_is_uniform_across_both_paths() {
+        // The same `query_with` call answers a small and a large LUT.
+        let mut e = engine();
+        let mut scratch = QueryScratch::new();
+        for (name, bits) in [("uni6", 6u32), ("uni8", 8u32)] {
+            let lut = Lut::from_fn(name, bits, 16, |x| x * 2 + 1).unwrap();
+            let mut store = PlutoStore::load(&mut e, lut, BankId(0), SubarrayId(20)).unwrap();
+            let n = 1u64 << bits;
+            let inputs: Vec<u64> = (0..8u64).map(|i| i * (n / 8)).collect();
+            let cost = store
+                .query_with(
+                    &mut e,
+                    DesignKind::Gmc,
+                    SRC,
+                    DST,
+                    &inputs,
+                    RowId(0),
+                    RowId(1),
+                    &mut scratch,
+                )
+                .unwrap();
+            let expect: Vec<u64> = inputs.iter().map(|&x| x * 2 + 1).collect();
+            assert_eq!(scratch.outputs(), expect, "{name}");
+            assert_eq!(cost.segments, store.segment_count(), "{name}");
+            assert!(cost.latency > Picos::ZERO && cost.energy > PicoJoules::ZERO);
+        }
     }
 }

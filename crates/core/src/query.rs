@@ -123,6 +123,14 @@ impl QueryScratch {
     pub fn outputs(&self) -> &[u64] {
         &self.out
     }
+
+    /// Mutable access to the output slots, so the §5.6 partitioned path
+    /// ([`crate::partition`]) can surface its *merged* output vector
+    /// through the same scratch interface its per-segment sub-queries
+    /// wrote into.
+    pub(crate) fn out_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.out
+    }
 }
 
 /// Executes pLUTo LUT Queries of one design on an [`Engine`].

@@ -34,6 +34,10 @@ struct PackedKey {
     name: String,
     input_bits: u32,
     output_bits: u32,
+    /// Effective slot width — distinct from `max(input, output)` when a
+    /// slot-width floor is pinned (partitioned segments stored at their
+    /// parent's layout, [`crate::lut::Lut::with_min_slot_bits`]).
+    slot_bits: u32,
     row_bytes: usize,
 }
 
@@ -78,6 +82,7 @@ fn packed_rows(lut: &Lut, row_bytes: usize) -> Arc<Vec<Arc<[u8]>>> {
         name: lut.name().to_string(),
         input_bits: lut.input_bits(),
         output_bits: lut.output_bits(),
+        slot_bits: lut.slot_bits(),
         row_bytes,
     };
     // Lookup holds the lock only briefly; the O(lut_len × row_bytes)

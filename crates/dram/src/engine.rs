@@ -137,6 +137,43 @@ impl Engine {
         self.stats
     }
 
+    /// Rewinds the simulated clock to `to` (a timestamp at or before the
+    /// current clock; later values are a no-op), dropping tFAW-window
+    /// entries issued after it.
+    ///
+    /// Together with [`Engine::advance_clock_to`] this models **parallel
+    /// command lanes**: command streams that execute simultaneously in
+    /// different subarrays (the paper's §5.6 partitioned LUT sweep) but
+    /// are *issued* serially by the simulator. The caller records the
+    /// region's start time, rewinds to it before issuing each lane, and
+    /// finally advances to the slowest lane's end time. Energy and
+    /// command counters are untouched — they keep accumulating across
+    /// lanes, which is exactly the §5.6 semantics (latency does not
+    /// increase, energy multiplies by the lane count).
+    ///
+    /// tFAW entries issued inside an abandoned lane are dropped rather
+    /// than carried across lanes: the four-activation window is modeled
+    /// per lane, a deliberate simplification of the rank-global window
+    /// for overlapped subarray streams (see `crate::schedule` for the
+    /// SALP treatment of the same question).
+    pub fn rewind_clock(&mut self, to: Picos) {
+        if to >= self.clock {
+            return;
+        }
+        self.clock = to;
+        self.act_window.retain(|&t| t <= to);
+    }
+
+    /// Advances the simulated clock to `to` without issuing commands or
+    /// consuming energy (earlier values are a no-op) — closing a
+    /// parallel-lane region at its slowest lane's end time (see
+    /// [`Engine::rewind_clock`]).
+    pub fn advance_clock_to(&mut self, to: Picos) {
+        if to > self.clock {
+            self.clock = to;
+        }
+    }
+
     /// Resets clock, energy, and counters (array contents are preserved).
     pub fn reset_accounting(&mut self) {
         self.clock = Picos::ZERO;
@@ -792,6 +829,74 @@ mod tests {
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[0].mnemonic(), "ACT");
         assert_eq!(trace[1].mnemonic(), "PRE");
+    }
+
+    #[test]
+    fn parallel_lane_region_merges_as_max_latency_summed_energy() {
+        // Two "lanes" of different lengths issued from one start time:
+        // the clock ends at the slower lane's end, the energy at the sum.
+        let mut e = tiny();
+        e.activate(RowLoc::new(0, 0, 0)).unwrap();
+        e.precharge(BankId(0), SubarrayId(0)).unwrap();
+        let t0 = e.elapsed();
+        let e0 = e.command_energy();
+        // Lane 0: three sweep steps.
+        for r in 0..3 {
+            e.sweep_step(RowLoc::new(0, 1, r), SweepStepKind::FullCycle)
+                .unwrap();
+        }
+        let lane0 = e.elapsed();
+        // Lane 1: one sweep step, issued from the same start time.
+        e.rewind_clock(t0);
+        e.sweep_step(RowLoc::new(0, 2, 0), SweepStepKind::FullCycle)
+            .unwrap();
+        let lane1 = e.elapsed();
+        assert!(lane1 < lane0);
+        e.advance_clock_to(lane0.max(lane1));
+        assert_eq!(e.elapsed() - t0, e.timing().act_pre_cycle().times(3));
+        let de = e.command_energy() - e0;
+        let expect = e.energy_model().act_pre_cycle().times(4);
+        assert!((de.as_pj() - expect.as_pj()).abs() < 1e-9, "energy sums");
+        assert_eq!(e.stats().sweep_steps, 4, "commands count across lanes");
+    }
+
+    #[test]
+    fn rewind_and_advance_clamp_to_no_ops() {
+        let mut e = tiny();
+        e.activate(RowLoc::new(0, 0, 0)).unwrap();
+        let now = e.elapsed();
+        e.rewind_clock(now + Picos::from_ns(5.0)); // future: no-op
+        assert_eq!(e.elapsed(), now);
+        e.advance_clock_to(now.saturating_sub(Picos::from_ns(1.0))); // past: no-op
+        assert_eq!(e.elapsed(), now);
+    }
+
+    #[test]
+    fn rewind_drops_tfaw_entries_issued_after_the_mark() {
+        // tFAW binds after 4 ACTs; rewinding to before a lane's ACTs must
+        // forget them, so the next lane is throttled identically.
+        let cfg = DramConfig {
+            row_bytes: 8,
+            burst_bytes: 8,
+            ..DramConfig::ddr4_2400()
+        };
+        let mut timing = TimingParams::ddr4_2400();
+        timing.t_rcd = Picos::from_ns(1.0);
+        timing.t_rp = Picos::from_ns(1.0);
+        timing.t_faw = Picos::from_ns(100.0);
+        let mut e = Engine::with_models(cfg, timing, EnergyModel::ddr4());
+        let t0 = e.elapsed();
+        let lane = |e: &mut Engine| {
+            for r in 0..5 {
+                e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::ChargeShare)
+                    .unwrap();
+            }
+            e.elapsed()
+        };
+        let lane0 = lane(&mut e);
+        e.rewind_clock(t0);
+        let lane1 = lane(&mut e);
+        assert_eq!(lane0, lane1, "each lane sees a fresh tFAW window");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`vecops`] | LUT-based vector addition; Q1.7 / Q1.15 point-wise multiply |
 //! | [`bitcount`] | BC-4 / BC-8 bit counting |
 //! | [`bitwise`] | Row-level bitwise AND/OR/XOR/XNOR (4-entry LUTs) |
+//! | [`direct`] | §5.6 partitioned large-LUT scenarios (Gamma12 tone map, direct-table MulDirect8) |
 //! | [`wide`] | Nibble-plane wide arithmetic the mappings are built from |
 //! | [`gen`] | Deterministic synthetic data generators |
 //! | [`runner`] | End-to-end drivers used by the figure harness |
@@ -28,7 +29,7 @@
 //! Every workload is also a first-class pluggable scenario: each module
 //! exposes a struct implementing [`pluto_core::session::Workload`]
 //! (`CrcWorkload`, `Salsa20Workload`, …), [`registry`] enumerates the
-//! fourteen canonical scenarios, and [`workload_for`] resolves a
+//! sixteen canonical scenarios, and [`workload_for`] resolves a
 //! [`WorkloadId`] (aliases included) to its scenario. A
 //! [`pluto_core::session::Session`] runs them serially; a
 //! [`pluto_core::cluster::Cluster`] runs them across a worker pool with
@@ -45,6 +46,7 @@
 pub mod bitcount;
 pub mod bitwise;
 pub mod crc;
+pub mod direct;
 pub mod gen;
 pub mod image;
 pub mod runner;
@@ -61,8 +63,8 @@ pub use pluto_core::prelude::*;
 /// (≤ 256 8-bit slots).
 pub(crate) const MEASURE_BATCH_ELEMS: usize = 192;
 
-/// All fourteen canonical workloads as pluggable scenarios, in
-/// [`WorkloadId::CANONICAL`] (paper Table 4) order.
+/// All sixteen canonical workloads as pluggable scenarios, in
+/// [`WorkloadId::CANONICAL`] (paper Table 4 + §5.6 large-LUT) order.
 pub fn registry() -> Vec<Box<dyn Workload>> {
     WorkloadId::CANONICAL
         .into_iter()
@@ -89,6 +91,8 @@ pub fn workload_for(id: WorkloadId) -> Box<dyn Workload> {
         WorkloadId::Bc4 => Box::new(bitcount::BitcountWorkload::new(4)),
         WorkloadId::Bc8 => Box::new(bitcount::BitcountWorkload::new(8)),
         WorkloadId::BitwiseRow => Box::new(bitwise::BitwiseWorkload::new()),
+        WorkloadId::Gamma12 => Box::new(direct::Gamma12Workload::new()),
+        WorkloadId::MulDirect8 => Box::new(direct::MulDirect8Workload::new()),
         WorkloadId::MulQ1_7 | WorkloadId::MulQ1_15 => {
             unreachable!("aliases resolve via canonical()")
         }

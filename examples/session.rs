@@ -23,6 +23,10 @@ fn main() -> Result<(), PlutoError> {
     // 2. Pluggable workloads from the registry, run as one batch. Each
     //    run executes the full pLUTo mapping on a fresh machine and
     //    validates the output against the reference implementation.
+    // Gamma12's 4096-entry LUT exceeds one 512-row subarray, so its runs
+    // route through the §5.6 partitioned path (`DESIGN.md` §8) — same
+    // `query()` API, 8 parallel segment sweeps, max-latency/summed-energy
+    // cost.
     let ids = [
         WorkloadId::Vmpc,
         WorkloadId::ImgBin,
@@ -30,6 +34,7 @@ fn main() -> Result<(), PlutoError> {
         WorkloadId::Add4,
         WorkloadId::Bc8,
         WorkloadId::BitwiseRow,
+        WorkloadId::Gamma12,
     ];
     let mut workloads: Vec<Box<dyn Workload>> = ids.iter().map(|&id| workload_for(id)).collect();
     let reports = session.run_all(&mut workloads)?;

@@ -10,8 +10,9 @@ use pluto_repro::core::session::{CostReport, ExecConfig, Session, Workload};
 use pluto_repro::core::DesignKind;
 use pluto_repro::dram::MemoryKind;
 use pluto_repro::workloads::{
-    bitcount::BitcountWorkload, crc::CrcSpec, crc::CrcWorkload, image::BinarizeWorkload,
-    image::GradeWorkload, registry, vecops::AddWorkload, vecops::QMulWorkload, workload_for,
+    bitcount::BitcountWorkload, crc::CrcSpec, crc::CrcWorkload, direct::Gamma12Workload,
+    direct::MulDirect8Workload, image::BinarizeWorkload, image::GradeWorkload, registry,
+    vecops::AddWorkload, vecops::QMulWorkload, workload_for,
 };
 use sim_support::{Rng, SeedableRng, StdRng};
 
@@ -162,6 +163,18 @@ fn sharded_batches_reduce_to_the_serial_shard_fold() {
             "CRC8x1.25",
             Box::new(CrcWorkload::with_packets(CrcSpec::CRC8, 240)),
             Box::new(CrcWorkload::with_packets(CrcSpec::CRC8, 240)),
+        ),
+        // The §5.6 partitioned-LUT scenarios: shard determinism must hold
+        // when every shard routes through the multi-segment data path.
+        (
+            "Gamma12x3",
+            Box::new(Gamma12Workload::with_batch(3 * 192)),
+            Box::new(Gamma12Workload::with_batch(3 * 192)),
+        ),
+        (
+            "MulDirect8x2",
+            Box::new(MulDirect8Workload::with_batch(2 * 192)),
+            Box::new(MulDirect8Workload::with_batch(2 * 192)),
         ),
     ];
     let config = exec_config(DesignKind::Gmc, MemoryKind::Ddr4);
