@@ -34,7 +34,7 @@ cargo run --release --quiet -p pluto-bench --bin fig07_speedup -- --quick --work
 echo "==> query-engine throughput guard (benches/query.rs smoke: word-parallel >= 2x scalar packing)"
 PLUTO_QUICK=1 cargo bench -p pluto-bench --bench query
 
-echo "==> partitioned-LUT guard (benches/partition.rs smoke: cached segment loads, 5.6 query cost)"
+echo "==> partitioned-LUT guard (benches/partition.rs smoke: fused 5.6 path — 4-seg query < 2x single, cached load < the query it serves)"
 PLUTO_QUICK=1 cargo bench -p pluto-bench --bench partition
 
 echo "==> CI green"

@@ -1,40 +1,50 @@
 //! Throughput of the §5.6 partitioned-LUT data path (`DESIGN.md` §8),
 //! writing the machine-readable `BENCH_partition.json` baseline.
 //!
-//! Three groups on the measurement geometry (256 B rows, 512 rows per
+//! Four groups on the measurement geometry (256 B rows, 512 rows per
 //! subarray):
 //!
 //! * `query` — the end-to-end partitioned query (a 2048-entry LUT swept
 //!   as 4 parallel segment lanes through [`PartitionedLut::query_with`])
 //!   against a single-segment query of a 512-entry LUT (the same
 //!   per-subarray sweep length), all three designs. The partitioned
-//!   query issues 4× the commands, so its wall-clock cost per call bounds
-//!   the §5.6 overhead of the simulator itself.
-//! * `store` — `PartitionedLut::load` with every segment's packed rows
+//!   query still issues 4× the commands (§5.6 is authoritative for
+//!   cost), but the fused data path does its data work in one pass —
+//!   the wall-clock ratio gates the simulator's constant factor.
+//! * `query_wide` — the high-segment-count regime: the Gamma12 LUT
+//!   (4096 entries, 8 segments) and the full 8-bit multiplier table
+//!   (65536 entries, 128 segments), the shapes §5.6 warns about.
+//! * `store` — `PartitionedLut::load` with the parent's packed rows
 //!   served by the process-wide cache (`load_cached`, the pooled-cluster
-//!   steady state) against `pack_segments_uncached`, the per-element
-//!   packing work the segment cache misses would redo.
+//!   steady state; the engine is constructed outside the timed loop)
+//!   against `pack_segments_uncached`, the per-element packing work a
+//!   cold cache performs.
 //! * `routing` — `PlutoMachine::apply` over the same inputs with a
 //!   512-entry (single) and a 2048-entry (partitioned) LUT: the
 //!   transparent-routing overhead callers actually see.
 
-use pluto_core::lut::{pack_slots, slots_per_row};
+use pluto_core::lut::{catalog, pack_slots, slots_per_row};
 use pluto_core::partition::PartitionedLut;
 use pluto_core::query::QueryScratch;
 use pluto_core::store::LutStore;
 use pluto_core::{DesignKind, Lut, PlutoMachine, QueryExecutor, QueryPlacement};
 use pluto_dram::{BankId, DramConfig, Engine, RowId, SubarrayId};
+use pluto_workloads::direct::gamma12_lut;
 use sim_support::bench::Criterion;
 
-fn bench_engine() -> Engine {
+fn wide_engine(subarrays: u16) -> Engine {
     Engine::new(DramConfig {
         row_bytes: 256,
         burst_bytes: 32,
         banks: 1,
-        subarrays_per_bank: 16,
+        subarrays_per_bank: subarrays,
         rows_per_subarray: 512,
         ..DramConfig::ddr4_2400()
     })
+}
+
+fn bench_engine() -> Engine {
+    wide_engine(16)
 }
 
 /// 2048-entry LUT: 4 segments on the 512-row measurement geometry.
@@ -103,12 +113,71 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
+/// High-segment-count queries: Gamma12 (4096 entries → 8 segments) and
+/// the full 8-bit multiplier table (65536 entries → 128 segments).
+fn bench_query_wide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_wide");
+    for design in DesignKind::ALL {
+        // Gamma12: 12→8-bit, 8 segments (needs 2 + 8×2 subarrays).
+        let lut = gamma12_lut().unwrap();
+        let inputs: Vec<u64> = (0..128u64).map(|i| (i * 31) % 4096).collect();
+        let mut e = wide_engine(20);
+        let mut part = PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
+        assert_eq!(part.segment_count(), 8);
+        let mut scratch = QueryScratch::new();
+        group.bench_function(&format!("gamma12_8seg/{design}"), |b| {
+            b.iter(|| {
+                part.query_with(
+                    &mut e,
+                    design,
+                    SubarrayId(0),
+                    SubarrayId(1),
+                    &inputs,
+                    RowId(0),
+                    RowId(1),
+                    &mut scratch,
+                )
+                .unwrap();
+                scratch.outputs().len()
+            })
+        });
+
+        // MulDirect8: 16→16-bit, 128 segments (needs 2 + 128×2 subarrays).
+        let lut = catalog::mul(8).unwrap();
+        let inputs: Vec<u64> = (0..128u64).map(|i| (i * 509) % 65536).collect();
+        let mut e = wide_engine(260);
+        let mut part = PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
+        assert_eq!(part.segment_count(), 128);
+        let mut scratch = QueryScratch::new();
+        group.bench_function(&format!("mul8_128seg/{design}"), |b| {
+            b.iter(|| {
+                part.query_with(
+                    &mut e,
+                    design,
+                    SubarrayId(0),
+                    SubarrayId(1),
+                    &inputs,
+                    RowId(0),
+                    RowId(1),
+                    &mut scratch,
+                )
+                .unwrap();
+                scratch.outputs().len()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_store_load(c: &mut Criterion) {
     let lut = big_lut();
     let mut group = c.benchmark_group("store");
+    // The engine lives outside the timed loop: `load_cached` measures the
+    // load itself (one cache lookup, per-segment row slicing, batched
+    // pokes), not engine construction.
+    let mut e = bench_engine();
     group.bench_function("load_cached", |b| {
         b.iter(|| {
-            let mut e = bench_engine();
             let part = PartitionedLut::load(&mut e, lut.clone(), BankId(0), SubarrayId(2)).unwrap();
             part.segment_count()
         })
@@ -156,9 +225,14 @@ fn bench_machine_routing(c: &mut Criterion) {
 }
 
 /// Sanity gates (deliberately loose — wall-clock on shared containers is
-/// noisy): a cached 4-segment load must beat redoing the full packing
-/// work, and a 4-segment query must cost less than 8× a single-segment
-/// query of the same sweep length (it issues exactly 4× the commands).
+/// noisy), tightened for the fused single-pass data path:
+///
+/// * a cached 4-segment load must beat redoing the full packing work AND
+///   cost less than the partitioned query it serves;
+/// * a 4-segment query must cost less than 2× a single-segment query of
+///   the same sweep length — it still issues 4× the commands, but data
+///   moves in one pass, so only the per-lane cost accounting scales with
+///   the segment count.
 fn guard(c: &Criterion) {
     let cached = c.mean_ns("store/load_cached");
     let packing = c.mean_ns("store/pack_segments_uncached");
@@ -175,17 +249,23 @@ fn guard(c: &Criterion) {
         let single = c.mean_ns(&format!("query/single/{design}"));
         let ratio = part / single;
         assert!(
-            ratio < 8.0,
-            "4-segment query costs {ratio:.1}x a single-segment query on {design} \
-             (expected < 8x for 4x the commands)"
+            ratio < 2.0,
+            "4-segment query costs {ratio:.2}x a single-segment query on {design} \
+             (fused data path expected < 2x despite 4x the commands)"
         );
-        println!("guard: {design} partitioned/single query cost {ratio:.1}x (4x commands)");
+        assert!(
+            cached < part,
+            "cached segment load ({cached:.0} ns) should cost less than the \
+             partitioned query it serves ({part:.0} ns on {design})"
+        );
+        println!("guard: {design} partitioned/single query cost {ratio:.2}x (4x commands)");
     }
 }
 
 fn main() {
     let mut c = Criterion::named("partition");
     bench_query(&mut c);
+    bench_query_wide(&mut c);
     bench_store_load(&mut c);
     bench_machine_routing(&mut c);
     guard(&c);

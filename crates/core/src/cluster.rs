@@ -106,6 +106,7 @@ struct ConfigKey {
     salp_subarrays: usize,
     t_faw_bits: u64,
     seed: u64,
+    segment_farming: Option<crate::partition::FarmPolicy>,
 }
 
 impl ConfigKey {
@@ -125,6 +126,7 @@ impl ConfigKey {
             salp_subarrays,
             t_faw_scale,
             seed,
+            segment_farming,
         } = config.clone();
         ConfigKey {
             design,
@@ -138,6 +140,7 @@ impl ConfigKey {
             salp_subarrays,
             t_faw_bits: t_faw_scale.to_bits(),
             seed,
+            segment_farming,
         }
     }
 }

@@ -73,7 +73,7 @@ pub use design::{DesignKind, DesignModel};
 pub use error::PlutoError;
 pub use library::{MapResult, PlutoMachine};
 pub use lut::Lut;
-pub use partition::{PartitionedCost, PartitionedLut, PlutoStore};
+pub use partition::{FarmPolicy, PartitionedCost, PartitionedLut, PlutoStore};
 pub use query::{QueryCost, QueryExecutor, QueryPlacement, QueryScratch};
 pub use session::{CostReport, ExecConfig, Session, SessionBuilder, Workload};
 pub use store::LutStore;
@@ -85,7 +85,7 @@ pub mod prelude {
     pub use crate::error::PlutoError;
     pub use crate::library::{MapResult, PlutoMachine};
     pub use crate::lut::{catalog, Lut};
-    pub use crate::partition::{PartitionedCost, PartitionedLut, PlutoStore};
+    pub use crate::partition::{FarmPolicy, PartitionedCost, PartitionedLut, PlutoStore};
     pub use crate::query::{QueryCost, QueryExecutor, QueryPlacement};
     pub use crate::session::{CostReport, ExecConfig, Session, SessionBuilder, Workload};
     pub use crate::store::LutStore;

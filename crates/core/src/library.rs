@@ -68,6 +68,9 @@ pub struct PlutoMachine {
     next_pluto: u16,
     bank: BankId,
     data_sa: SubarrayId,
+    /// Segment-farming policy applied to partitioned stores as they are
+    /// created (see [`crate::partition::FarmPolicy`]).
+    farm: Option<crate::partition::FarmPolicy>,
 }
 
 impl PlutoMachine {
@@ -88,6 +91,7 @@ impl PlutoMachine {
             next_pluto: 1,
             bank: BankId(0),
             data_sa: SubarrayId(0),
+            farm: None,
         })
     }
 
@@ -132,6 +136,17 @@ impl PlutoMachine {
     /// Resets the aggregate counters.
     pub fn reset_totals(&mut self) {
         self.totals = AggregateCost::default();
+    }
+
+    /// Applies a segment-farming policy ([`crate::partition::FarmPolicy`])
+    /// to every partitioned store on the fast path — those already cached
+    /// and those created by later calls. The policy survives
+    /// [`PlutoMachine::reset`] (it is configuration, not run state).
+    pub fn set_segment_farming(&mut self, policy: Option<crate::partition::FarmPolicy>) {
+        self.farm = policy;
+        for store in self.stores.values_mut() {
+            store.set_farming(policy);
+        }
     }
 
     /// Restores the machine to its just-constructed state: a pristine
@@ -203,12 +218,13 @@ impl PlutoMachine {
                 None => break,
             }
         }
-        let store = PlutoStore::load(
+        let mut store = PlutoStore::load(
             &mut self.engine,
             lut.clone(),
             self.bank,
             SubarrayId(self.next_pluto),
         )?;
+        store.set_farming(self.farm);
         self.next_pluto += store.subarrays_claimed();
         self.stores.insert(key.clone(), store);
         Ok(key)

@@ -247,6 +247,16 @@ impl Lut {
             .max(self.min_slot_bits)
     }
 
+    /// Whether the slot width itself bounds every representable value to
+    /// a valid index: the table is full (`len == 2^input_bits`) and slots
+    /// carry no spare bits (`slot_bits == input_bits`). When this holds,
+    /// unpacking a resident input row at the slot width *cannot* produce
+    /// an out-of-range index, so resident-path queries skip the per-query
+    /// linear range scan entirely.
+    pub fn slot_width_bounds_inputs(&self) -> bool {
+        self.slot_bits() == self.input_bits && self.len() == 1usize << self.input_bits
+    }
+
     /// Applies the LUT in software (reference semantics for validation).
     ///
     /// # Errors
@@ -779,6 +789,23 @@ mod tests {
         // Packed rows follow the floored width: 12-bit slots, MSB-first.
         let row = pack_slots(&[1, 2], wide.slot_bits(), 3).unwrap();
         assert_eq!(row, vec![0x00, 0x10, 0x02]);
+    }
+
+    #[test]
+    fn slot_width_bounds_inputs_requires_full_table_and_tight_slots() {
+        // 12→8: slots are 12-bit, table is full — every slot value is a
+        // valid index.
+        let gamma = Lut::from_fn("g12", 12, 8, |x| x & 0xFF).unwrap();
+        assert!(gamma.slot_width_bounds_inputs());
+        // 8→16: 16-bit slots can hold indices ≥ 256.
+        let wide = Lut::from_fn("w8", 8, 16, |x| x).unwrap();
+        assert!(!wide.slot_width_bounds_inputs());
+        // Truncated table: slot values in the hole are invalid.
+        let odd = Lut::from_fn_len("odd", 650, 8, |x| x & 0xFF).unwrap();
+        assert!(!odd.slot_width_bounds_inputs());
+        // A raised slot floor reopens the range.
+        let floored = gamma.clone().with_min_slot_bits(14);
+        assert!(!floored.slot_width_bounds_inputs());
     }
 
     #[test]

@@ -16,16 +16,24 @@
 //!   `output_bits` with the parent's slot width pinned as a floor
 //!   ([`crate::lut::Lut::with_min_slot_bits`]), so every segment element
 //!   row is byte-identical to the corresponding row of the unpartitioned
-//!   layout and row capacity is uniform across segments. Tail segments
-//!   whose length is not a power of two are padded with masked-out zero
+//!   layout and row capacity is uniform across segments. Because of that
+//!   identity, loading N segments is **one pass over the parent's packed
+//!   rows**: all segments slice the parent's single packed-row-cache
+//!   entry ([`crate::store`]) — one cache lookup and one identity check —
+//!   with tail padding drawn from one shared zero row, and each segment's
+//!   rows enter DRAM as one batched copy-on-write poke
+//!   ([`crate::store::LutStore`]'s sliced loader). Tail segments whose
+//!   length is not a power of two are padded with masked-out zero
 //!   elements (inputs are validated against the *parent* length, so the
-//!   pad rows can never match). Each segment is a plain [`LutStore`] with
-//!   its own packed-row-cache identity (`name@segK`).
-//! * **Data path.** Each segment query runs on the word-parallel
-//!   [`QueryExecutor`] — the same gather/pack hot path single-subarray
-//!   queries use — with the inputs rebased into the segment and
-//!   out-of-segment slots querying index 0 (their captured values are
-//!   discarded on merge).
+//!   pad rows can never match).
+//! * **Data path — fused single pass.** Commands and data are split:
+//!   each segment's *command stream* is still issued in full (that is
+//!   what §5.6 charges), but the *data work* is one gather over the
+//!   parent element table — `merged[i] = elements[inputs[i]]` — plus one
+//!   input pack and one output pack. The old path re-based the input
+//!   vector, re-packed the source row, and re-merged outputs once **per
+//!   segment** (O(N × slots) data work); the fused path is O(slots + N).
+//!   The invariant: *commands per lane, data in one pass.*
 //! * **Cost merge.** Per-segment command streams stay authoritative for
 //!   cost, issued as *parallel lanes* on the engine
 //!   ([`Engine::rewind_clock`] / [`Engine::advance_clock_to`]): every
@@ -33,19 +41,66 @@
 //!   slowest lane's end, and energy/commands accumulate across lanes.
 //!   The engine's own clock and energy deltas therefore *equal* the
 //!   returned [`PartitionedCost`] — there is no second bookkeeping to
-//!   drift out of sync.
+//!   drift out of sync. The fused path issues each lane's spends in the
+//!   exact order the per-segment [`QueryExecutor`] did, so the cost is
+//!   bit-identical to the retained serial reference
+//!   ([`PartitionedLut::query_serial_reference`], locked down by
+//!   `tests/partition_fused.rs`).
+//! * **Segment farming (opt-in).** For large segment counts the lane
+//!   *cost replay* itself dominates; [`FarmPolicy`] shards it across
+//!   worker threads using [`pluto_dram::LaneClock`] forks, merged back
+//!   deterministically in segment order. Outputs, latency, and command
+//!   counters are exact; energy folds as one per-lane subtotal, so it is
+//!   deterministic but may differ from the serial fold in the last float
+//!   bit — which is why farming is opt-in and excluded from the
+//!   bit-identity suite.
 //!
 //! [`PlutoStore`] wraps the single-subarray and partitioned stores behind
 //! one query interface, which is how [`crate::library::PlutoMachine`] and
 //! [`crate::controller::Controller`] (and therefore every `Session` and
 //! `Cluster` worker) transparently route oversized LUTs.
 
+use std::sync::Arc;
+
 use crate::design::DesignKind;
 use crate::error::PlutoError;
-use crate::lut::{pack_slots_into, unpack_slots_into, Lut};
+use crate::lut::{pack_slots_into, slots_per_row, unpack_slots_into, Lut};
 use crate::query::{QueryExecutor, QueryPlacement, QueryScratch};
 use crate::store::LutStore;
-use pluto_dram::{BankId, Engine, PicoJoules, Picos, RowId, RowLoc, SubarrayId};
+use pluto_dram::{
+    BankId, Engine, LaneOutcome, PicoJoules, Picos, RowId, RowLoc, SubarrayId, SweepStepKind,
+};
+
+/// Opt-in policy for farming one partitioned query's per-segment cost
+/// lanes across worker threads (see the module docs for the determinism
+/// contract: exact latency/stats/outputs, energy deterministic but folded
+/// per lane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FarmPolicy {
+    /// Farm only queries with at least this many segments (below the
+    /// threshold, thread startup costs more than the lane replay).
+    pub min_segments: usize,
+    /// Worker threads; `0` means one per available core.
+    pub workers: usize,
+}
+
+impl Default for FarmPolicy {
+    fn default() -> Self {
+        FarmPolicy {
+            min_segments: 32,
+            workers: 0,
+        }
+    }
+}
+
+/// How the query's input vector arrives (the one routing layer behind
+/// [`PlutoStore::query_with`] / [`PlutoStore::query_resident_with`]).
+enum QueryInput<'a> {
+    /// Caller-supplied slot values, packed and poked into the source row.
+    Slots(&'a [u64]),
+    /// This many slots already resident in the source row.
+    Resident(usize),
+}
 
 /// A LUT partitioned across several pLUTo-enabled subarrays.
 #[derive(Debug)]
@@ -53,7 +108,8 @@ pub struct PartitionedLut {
     lut: Lut,
     segments: Vec<LutStore>,
     segment_rows: usize,
-    /// Scratch: per-segment rebased input slots.
+    farm: Option<FarmPolicy>,
+    /// Scratch: per-segment rebased input slots (serial reference only).
     local: Vec<u64>,
     /// Scratch: merged output slots across segments.
     merged: Vec<u64>,
@@ -82,6 +138,10 @@ impl PartitionedLut {
     /// truncated tables ([`Lut::from_fn_len`]) — because the tail segment
     /// is padded to the next power of two with masked-out elements.
     ///
+    /// All segments pack in **one pass**: the parent's packed rows come
+    /// from the process-wide cache once, each segment slices its row range
+    /// as copy-on-write handles, and pad rows share a single zero row.
+    ///
     /// # Errors
     /// Fails if the bank runs out of subarrays.
     pub fn load(
@@ -91,6 +151,7 @@ impl PartitionedLut {
         first_subarray: SubarrayId,
     ) -> Result<Self, PlutoError> {
         let rows = engine.config().rows_per_subarray as usize;
+        let row_bytes = engine.config().row_bytes;
         // Segments must be powers of two (§6.1's `lut_size` constraint
         // holds per sweep), so on a non-power-of-two geometry only the
         // largest power-of-two row prefix is usable per subarray.
@@ -98,6 +159,12 @@ impl PartitionedLut {
         let segment_rows = max_rows.min(lut.len().next_power_of_two());
         let count = lut.len().div_ceil(segment_rows);
         let slot_floor = lut.slot_bits();
+        // One cache lookup + identity check for the whole partition: the
+        // parent's packed rows ARE the segment rows (segments keep the
+        // parent's slot layout), and every pad row packs to zero bytes.
+        let parent_rows = crate::store::packed_rows(&lut, row_bytes);
+        let zero_row = Arc::new(vec![0u8; row_bytes]);
+        let mut seg_rows: Vec<Arc<Vec<u8>>> = Vec::with_capacity(segment_rows);
         let mut segments = Vec::with_capacity(count);
         for k in 0..count {
             let base = k * segment_rows;
@@ -126,12 +193,25 @@ impl PartitionedLut {
                     reason: format!("segment {k} exceeds the bank's subarrays"),
                 });
             }
-            segments.push(LutStore::load(engine, seg, bank, pluto, master, 0)?);
+            // Full segments poke the parent's cached rows straight from
+            // the slice — no handle cloning at all (and on a repeat load
+            // the pokes are pointer-equal no-ops). Only a padded tail
+            // segment assembles a temporary row vector.
+            let store = if end - base == seg.len() {
+                LutStore::load_sliced(engine, seg, bank, pluto, master, 0, &parent_rows[base..end])?
+            } else {
+                seg_rows.clear();
+                seg_rows.extend(parent_rows[base..end].iter().map(Arc::clone));
+                seg_rows.resize_with(seg.len(), || Arc::clone(&zero_row));
+                LutStore::load_sliced(engine, seg, bank, pluto, master, 0, &seg_rows)?
+            };
+            segments.push(store);
         }
         Ok(PartitionedLut {
             lut,
             segments,
             segment_rows,
+            farm: None,
             local: Vec::new(),
             merged: Vec::new(),
             resident: Vec::new(),
@@ -164,13 +244,27 @@ impl PartitionedLut {
         self.segments[0].bank()
     }
 
+    /// The active segment-farming policy, if any.
+    pub fn farming(&self) -> Option<FarmPolicy> {
+        self.farm
+    }
+
+    /// Enables (`Some`) or disables (`None`) farming this partition's
+    /// per-segment cost lanes across worker threads. See the module docs:
+    /// outputs, latency, and command counters stay exact; energy folds
+    /// per lane, so it is deterministic but not bit-identical to the
+    /// serial fold.
+    pub fn set_farming(&mut self, policy: Option<FarmPolicy>) {
+        self.farm = policy;
+    }
+
     /// Executes the partitioned query: every segment sweeps as a parallel
     /// lane; outputs merge by each input's owning segment. Inputs are
-    /// packed into `src_row` of the `source` subarray (restored to the
-    /// global index vector afterwards) and the merged output vector is
-    /// committed to `dst_row` of `dest`. Returns the outputs and the §5.6
-    /// cost (max-latency, summed energy), which the engine's own clock
-    /// and energy deltas also reflect.
+    /// packed into `src_row` of the `source` subarray (left holding the
+    /// global index vector) and the merged output vector is committed to
+    /// `dst_row` of `dest`. Returns the outputs and the §5.6 cost
+    /// (max-latency, summed energy), which the engine's own clock and
+    /// energy deltas also reflect.
     ///
     /// # Errors
     /// Fails if any input exceeds the logical LUT's range.
@@ -217,6 +311,308 @@ impl PartitionedLut {
         dst_row: RowId,
         scratch: &mut QueryScratch,
     ) -> Result<PartitionedCost, PlutoError> {
+        self.query_fused(
+            engine, design, source, dest, inputs, src_row, dst_row, scratch, true,
+        )
+    }
+
+    /// Partitioned query whose input vector is already resident in
+    /// `src_row` of `source` (the controller's `pluto_op` path):
+    /// `num_slots` slots at the parent LUT's slot width are read back as
+    /// global indices, queried, and the source row is left holding the
+    /// same global index vector it started with.
+    ///
+    /// When the parent's slot width already bounds every representable
+    /// value to a valid index ([`Lut::slot_width_bounds_inputs`]), the
+    /// per-query linear range scan is hoisted off this path entirely.
+    ///
+    /// # Errors
+    /// Fails if any resident slot exceeds the logical LUT's range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_resident_with(
+        &mut self,
+        engine: &mut Engine,
+        design: DesignKind,
+        source: SubarrayId,
+        dest: SubarrayId,
+        src_row: RowId,
+        dst_row: RowId,
+        num_slots: usize,
+        scratch: &mut QueryScratch,
+    ) -> Result<PartitionedCost, PlutoError> {
+        let src_loc = RowLoc {
+            bank: self.bank(),
+            subarray: source,
+            row: src_row,
+        };
+        let mut resident = std::mem::take(&mut self.resident);
+        engine.peek_row_into(src_loc, &mut self.row)?;
+        unpack_slots_into(&self.row, self.lut.slot_bits(), num_slots, &mut resident);
+        let validate = !self.lut.slot_width_bounds_inputs();
+        let result = self.query_fused(
+            engine, design, source, dest, &resident, src_row, dst_row, scratch, validate,
+        );
+        self.resident = resident;
+        result
+    }
+
+    /// The fused single-pass query behind both entry points: one gather
+    /// over the parent element table produces the merged outputs, one
+    /// pack each for the source/destination rows, and each segment's
+    /// command stream is issued as a parallel lane (serially on the
+    /// engine, or farmed across threads under a [`FarmPolicy`]).
+    #[allow(clippy::too_many_arguments)]
+    fn query_fused(
+        &mut self,
+        engine: &mut Engine,
+        design: DesignKind,
+        source: SubarrayId,
+        dest: SubarrayId,
+        inputs: &[u64],
+        src_row: RowId,
+        dst_row: RowId,
+        scratch: &mut QueryScratch,
+        validate: bool,
+    ) -> Result<PartitionedCost, PlutoError> {
+        if validate {
+            let n = self.lut.len() as u64;
+            if let Some(&bad) = inputs.iter().find(|&&x| x >= n) {
+                return Err(PlutoError::IndexOutOfRange {
+                    value: bad,
+                    input_bits: self.lut.input_bits(),
+                });
+            }
+        }
+        let bank = self.bank();
+        let slot_bits = self.lut.slot_bits();
+        let row_bytes = engine.config().row_bytes;
+        let capacity = slots_per_row(row_bytes, slot_bits);
+        if inputs.len() > capacity {
+            return Err(PlutoError::LayoutMismatch {
+                reason: format!(
+                    "{} inputs exceed the {capacity}-slot row capacity",
+                    inputs.len()
+                ),
+            });
+        }
+
+        // The fused single pass: data work is one gather over the parent
+        // table (plus the two packs below), regardless of segment count.
+        let elements = self.lut.elements();
+        self.merged.clear();
+        self.merged
+            .extend(inputs.iter().map(|&x| elements[x as usize]));
+
+        // Real §5.6 hardware broadcasts the *global* index vector to every
+        // segment; poke it once (zero-cost backdoor — the per-lane
+        // activations below carry the real cost).
+        let src_loc = RowLoc {
+            bank,
+            subarray: source,
+            row: src_row,
+        };
+        pack_slots_into(inputs, slot_bits, row_bytes, &mut self.row)?;
+        engine.poke_row(src_loc, &self.row)?;
+
+        // §5.6: all segments sweep simultaneously. Issue each segment's
+        // command stream as a parallel lane from one start time; the
+        // region closes at the slowest lane's end, so the engine clock
+        // advances by the max while energy and command counters sum.
+        let clock0 = engine.elapsed();
+        let energy0 = engine.command_energy();
+        // Every lane commits the *merged* output row (each subarray's
+        // copy-out only drives the slots its segment matched; the merged
+        // vector is what the destination row holds when the last lane's
+        // RBM lands).
+        pack_slots_into(&self.merged, slot_bits, row_bytes, &mut self.row)?;
+        let farm = self.farm.filter(|p| {
+            self.segments.len() >= p.min_segments.max(1)
+                && (design.reload_per_query() || self.segments.iter().all(LutStore::is_loaded))
+        });
+        match farm {
+            Some(policy) => {
+                self.issue_lanes_farmed(engine, design, source, dest, dst_row, policy)?
+            }
+            None => self.issue_lanes_serial(engine, design, source, dest, src_loc, dst_row)?,
+        }
+
+        let cost = PartitionedCost {
+            segments: self.segments.len(),
+            latency: engine.elapsed() - clock0,
+            energy: engine.command_energy() - energy0,
+        };
+        std::mem::swap(scratch.out_mut(), &mut self.merged);
+        Ok(cost)
+    }
+
+    /// Issues every segment's command stream serially on the engine, each
+    /// as a parallel lane from the current clock. The per-lane spend
+    /// sequence replicates [`QueryExecutor::execute_resident_with`]
+    /// exactly (reload → activate → sweep → precharge/destroy → copy-out),
+    /// so cost, counters, and the tFAW window evolve bit-identically to
+    /// the old per-segment executor loop. `self.row` must hold the packed
+    /// merged output row.
+    fn issue_lanes_serial(
+        &mut self,
+        engine: &mut Engine,
+        design: DesignKind,
+        source: SubarrayId,
+        dest: SubarrayId,
+        src_loc: RowLoc,
+        dst_row: RowId,
+    ) -> Result<(), PlutoError> {
+        let bank = src_loc.bank;
+        let clock0 = engine.elapsed();
+        let step_kind = design.sweep_step_kind();
+        let out_row = &self.row;
+        let mut slowest = clock0;
+        for store in self.segments.iter_mut() {
+            engine.rewind_clock(clock0);
+            // Phase R: GSA reloads the LUT before every query (§5.2.1).
+            // The reload is transient — full cost, no functional restore —
+            // because this same loop destroys the segment again below,
+            // before any caller can observe the restored rows.
+            if design.reload_per_query() {
+                store.reload_transient(engine)?;
+            } else {
+                store.ensure_ready(engine, design)?;
+            }
+            // Phase 1: latch the (global) input vector.
+            engine.activate(src_loc)?;
+            // Phases 2–4: the pLUTo Row Sweep, one step per segment row.
+            let pluto = store.subarray();
+            engine.sweep_rows(bank, pluto, RowId(0), store.lut().len(), step_kind)?;
+            if step_kind == SweepStepKind::ChargeShare {
+                engine.precharge(bank, pluto)?;
+            }
+            if design.destructive_reads() {
+                store.mark_destroyed(engine)?;
+            }
+            // Phase 5: copy-out. Close the source row first when it shares
+            // the destination subarray, after otherwise.
+            if dest == source {
+                engine.precharge(bank, source)?;
+            }
+            engine.deposit_buffer(bank, pluto, out_row)?;
+            engine.lisa_rbm_to_row(bank, pluto, dest, dst_row)?;
+            if dest != source {
+                engine.precharge(bank, source)?;
+            }
+            slowest = slowest.max(engine.elapsed());
+        }
+        engine.advance_clock_to(slowest);
+        Ok(())
+    }
+
+    /// Farms the per-segment cost lanes across worker threads: each lane
+    /// replays its command costs on a [`pluto_dram::LaneClock`] fork and
+    /// the outcomes fold back in segment order. Callers guarantee every
+    /// store is ready (loaded, or the design reloads per query). The
+    /// functional effects the lanes skipped — the destination row commit
+    /// and GSA's destructive clear — are applied on the engine afterwards.
+    fn issue_lanes_farmed(
+        &mut self,
+        engine: &mut Engine,
+        design: DesignKind,
+        source: SubarrayId,
+        dest: SubarrayId,
+        dst_row: RowId,
+        policy: FarmPolicy,
+    ) -> Result<(), PlutoError> {
+        let bank = self.bank();
+        let step_kind = design.sweep_step_kind();
+        let reload = design.reload_per_query();
+        struct LaneSpec {
+            rows: usize,
+            reload_hops: u64,
+            out_hops: u64,
+        }
+        let specs: Vec<LaneSpec> = self
+            .segments
+            .iter()
+            .map(|s| LaneSpec {
+                rows: s.lut().len(),
+                reload_hops: u64::from(s.master().0.abs_diff(s.subarray().0)),
+                out_hops: u64::from(s.subarray().0.abs_diff(dest.0)),
+            })
+            .collect();
+        let workers = if policy.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            policy.workers
+        }
+        .clamp(1, specs.len());
+        let chunk = specs.len().div_ceil(workers);
+        let mut outcomes: Vec<Option<LaneOutcome>> = Vec::new();
+        outcomes.resize_with(specs.len(), || None);
+        let template = engine.fork_lane();
+        std::thread::scope(|scope| {
+            for (spec_chunk, out_chunk) in specs.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
+                let template = template.clone();
+                scope.spawn(move || {
+                    for (spec, slot) in spec_chunk.iter().zip(out_chunk.iter_mut()) {
+                        let mut lane = template.clone();
+                        if reload {
+                            lane.lisa_rbm_rows(spec.reload_hops, spec.rows);
+                        }
+                        lane.activate();
+                        lane.sweep_rows(spec.rows, step_kind);
+                        if step_kind == SweepStepKind::ChargeShare {
+                            lane.precharge();
+                        }
+                        if dest == source {
+                            lane.precharge();
+                        }
+                        lane.lisa_rbm_rows(spec.out_hops, 1);
+                        if dest != source {
+                            lane.precharge();
+                        }
+                        *slot = Some(lane.finish());
+                    }
+                });
+            }
+        });
+        for outcome in outcomes.iter().flatten() {
+            engine.merge_lane(outcome);
+        }
+        // Functional effects the cost lanes skipped (all zero-cost).
+        engine.poke_row(
+            RowLoc {
+                bank,
+                subarray: dest,
+                row: dst_row,
+            },
+            &self.row,
+        )?;
+        if design.destructive_reads() {
+            for store in self.segments.iter_mut() {
+                store.mark_destroyed(engine)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The retained pre-fusion data path: one full [`QueryExecutor`] run
+    /// per segment with rebased inputs, re-packed source rows, and an
+    /// O(N × slots) output merge. Kept verbatim as the differential
+    /// oracle — `tests/partition_fused.rs` asserts the fused path matches
+    /// it in outputs, [`PartitionedCost`] (to the bit), engine clock,
+    /// stats, and committed row bytes. Not a production entry point.
+    ///
+    /// # Errors
+    /// Fails if any input exceeds the logical LUT's range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_serial_reference(
+        &mut self,
+        engine: &mut Engine,
+        design: DesignKind,
+        source: SubarrayId,
+        dest: SubarrayId,
+        inputs: &[u64],
+        src_row: RowId,
+        dst_row: RowId,
+        scratch: &mut QueryScratch,
+    ) -> Result<PartitionedCost, PlutoError> {
         let n = self.lut.len() as u64;
         if let Some(&bad) = inputs.iter().find(|&&x| x >= n) {
             return Err(PlutoError::IndexOutOfRange {
@@ -230,10 +626,6 @@ impl PartitionedLut {
         self.merged.clear();
         self.merged.resize(inputs.len(), 0);
 
-        // §5.6: all segments sweep simultaneously. Issue each segment's
-        // command stream as a parallel lane from one start time; the
-        // region closes at the slowest lane's end, so the engine clock
-        // advances by the max while energy and command counters sum.
         let clock0 = engine.elapsed();
         let energy0 = engine.command_energy();
         let mut slowest = clock0;
@@ -268,10 +660,8 @@ impl PartitionedLut {
         }
         engine.advance_clock_to(slowest);
 
-        // The simulator emulated per-segment matching by rebasing the
-        // source row; real §5.6 hardware broadcasts the *global* index
-        // vector unchanged — restore it (zero-cost backdoor, the per-lane
-        // activations above carried the real cost).
+        // Restore the global index vector and commit the merged outputs
+        // (zero-cost backdoors; the per-lane streams carried the cost).
         let src_loc = RowLoc {
             bank,
             subarray: source,
@@ -279,9 +669,6 @@ impl PartitionedLut {
         };
         pack_slots_into(inputs, slot_bits, row_bytes, &mut self.row)?;
         engine.poke_row(src_loc, &self.row)?;
-        // Likewise the destination row holds the *merged* output vector:
-        // each subarray's copy-out (already charged per lane) only drives
-        // the slots its segment matched.
         let dst_loc = RowLoc {
             bank,
             subarray: dest,
@@ -297,41 +684,6 @@ impl PartitionedLut {
         };
         std::mem::swap(scratch.out_mut(), &mut self.merged);
         Ok(cost)
-    }
-
-    /// Partitioned query whose input vector is already resident in
-    /// `src_row` of `source` (the controller's `pluto_op` path):
-    /// `num_slots` slots at the parent LUT's slot width are read back as
-    /// global indices, queried, and the source row is left holding the
-    /// same global index vector it started with.
-    ///
-    /// # Errors
-    /// Fails if any resident slot exceeds the logical LUT's range.
-    #[allow(clippy::too_many_arguments)]
-    pub fn query_resident_with(
-        &mut self,
-        engine: &mut Engine,
-        design: DesignKind,
-        source: SubarrayId,
-        dest: SubarrayId,
-        src_row: RowId,
-        dst_row: RowId,
-        num_slots: usize,
-        scratch: &mut QueryScratch,
-    ) -> Result<PartitionedCost, PlutoError> {
-        let src_loc = RowLoc {
-            bank: self.bank(),
-            subarray: source,
-            row: src_row,
-        };
-        let mut resident = std::mem::take(&mut self.resident);
-        engine.peek_row_into(src_loc, &mut self.row)?;
-        unpack_slots_into(&self.row, self.lut.slot_bits(), num_slots, &mut resident);
-        let result = self.query_with(
-            engine, design, source, dest, &resident, src_row, dst_row, scratch,
-        );
-        self.resident = resident;
-        result
     }
 }
 
@@ -416,6 +768,14 @@ impl PlutoStore {
         2 * self.segment_count() as u16
     }
 
+    /// Applies a segment-farming policy ([`PartitionedLut::set_farming`])
+    /// when this store is partitioned; a no-op for single-subarray stores.
+    pub fn set_farming(&mut self, policy: Option<FarmPolicy>) {
+        if let PlutoStore::Partitioned(p) = self {
+            p.set_farming(policy);
+        }
+    }
+
     /// Executes one bulk LUT query through whichever data path the store
     /// uses, with caller-owned scratch buffers: inputs are packed into
     /// `src_row` of `source`, the output vector is committed to `dst_row`
@@ -437,26 +797,16 @@ impl PlutoStore {
         dst_row: RowId,
         scratch: &mut QueryScratch,
     ) -> Result<PartitionedCost, PlutoError> {
-        match self {
-            PlutoStore::Single(store) => {
-                let placement = QueryPlacement {
-                    bank: store.bank(),
-                    source,
-                    pluto: store.subarray(),
-                    dest,
-                };
-                let mut ex = QueryExecutor::new(engine, design);
-                let cost = ex.execute_with(store, placement, inputs, src_row, dst_row, scratch)?;
-                Ok(PartitionedCost {
-                    segments: 1,
-                    latency: cost.total(),
-                    energy: cost.energy,
-                })
-            }
-            PlutoStore::Partitioned(p) => p.query_with(
-                engine, design, source, dest, inputs, src_row, dst_row, scratch,
-            ),
-        }
+        self.route(
+            engine,
+            design,
+            source,
+            dest,
+            QueryInput::Slots(inputs),
+            src_row,
+            dst_row,
+            scratch,
+        )
     }
 
     /// [`PlutoStore::query_with`] for an input vector already resident in
@@ -476,6 +826,33 @@ impl PlutoStore {
         num_slots: usize,
         scratch: &mut QueryScratch,
     ) -> Result<PartitionedCost, PlutoError> {
+        self.route(
+            engine,
+            design,
+            source,
+            dest,
+            QueryInput::Resident(num_slots),
+            src_row,
+            dst_row,
+            scratch,
+        )
+    }
+
+    /// The single routing layer behind both query entry points: picks the
+    /// single-subarray executor or the partitioned fused path, then
+    /// dispatches on how the inputs arrive.
+    #[allow(clippy::too_many_arguments)]
+    fn route(
+        &mut self,
+        engine: &mut Engine,
+        design: DesignKind,
+        source: SubarrayId,
+        dest: SubarrayId,
+        input: QueryInput<'_>,
+        src_row: RowId,
+        dst_row: RowId,
+        scratch: &mut QueryScratch,
+    ) -> Result<PartitionedCost, PlutoError> {
         match self {
             PlutoStore::Single(store) => {
                 let placement = QueryPlacement {
@@ -485,18 +862,28 @@ impl PlutoStore {
                     dest,
                 };
                 let mut ex = QueryExecutor::new(engine, design);
-                let cost = ex.execute_resident_with(
-                    store, placement, src_row, dst_row, num_slots, scratch,
-                )?;
+                let cost = match input {
+                    QueryInput::Slots(inputs) => {
+                        ex.execute_with(store, placement, inputs, src_row, dst_row, scratch)?
+                    }
+                    QueryInput::Resident(n) => {
+                        ex.execute_resident_with(store, placement, src_row, dst_row, n, scratch)?
+                    }
+                };
                 Ok(PartitionedCost {
                     segments: 1,
                     latency: cost.total(),
                     energy: cost.energy,
                 })
             }
-            PlutoStore::Partitioned(p) => p.query_resident_with(
-                engine, design, source, dest, src_row, dst_row, num_slots, scratch,
-            ),
+            PlutoStore::Partitioned(p) => match input {
+                QueryInput::Slots(inputs) => p.query_with(
+                    engine, design, source, dest, inputs, src_row, dst_row, scratch,
+                ),
+                QueryInput::Resident(n) => p.query_resident_with(
+                    engine, design, source, dest, src_row, dst_row, n, scratch,
+                ),
+            },
         }
     }
 }
@@ -670,6 +1057,37 @@ mod tests {
     }
 
     #[test]
+    fn sliced_segment_load_matches_master_copies_and_pad_rows() {
+        // The one-pass loader slices the parent pack: element rows land in
+        // both the pLUTo and master subarrays, and tail pad rows are zero.
+        let mut e = engine();
+        let lut = Lut::from_fn_len("slice650", 650, 16, |x| (x * 7) & 0xFFFF).unwrap();
+        let part = PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
+        let tail = part.segments().last().unwrap();
+        for i in 0..tail.lut().len() {
+            let pluto_row = e.peek_row(tail.element_row(i)).unwrap();
+            let master_row = e
+                .peek_row(RowLoc {
+                    bank: BankId(0),
+                    subarray: tail.master(),
+                    row: RowId(i as u16),
+                })
+                .unwrap();
+            assert_eq!(pluto_row, master_row, "row {i}: pluto vs master copy");
+        }
+        // 650 = 10×64 + 10: tail rows 10.. are shared zero padding.
+        for i in 10..tail.lut().len() {
+            assert!(
+                e.peek_row(tail.element_row(i))
+                    .unwrap()
+                    .iter()
+                    .all(|&b| b == 0),
+                "pad row {i} must be zero"
+            );
+        }
+    }
+
+    #[test]
     fn source_and_destination_rows_hold_global_vectors() {
         // After a partitioned query the source row holds the *global*
         // index vector (not the last segment's rebased copy) and the
@@ -750,6 +1168,94 @@ mod tests {
             PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)),
             Err(PlutoError::AllocationFailed { .. })
         ));
+    }
+
+    #[test]
+    fn farmed_lanes_match_serial_issue_exactly() {
+        // Farming replays lane costs on worker threads; outputs, latency,
+        // command counters, and committed rows must equal the serial
+        // issue exactly, and energy within float-fold tolerance.
+        for design in DesignKind::ALL {
+            let mut e_serial = engine();
+            let mut e_farm = engine();
+            let lut = Lut::from_fn("farm8", 8, 16, |x| (x * 29 + 3) & 0xFFFF).unwrap();
+            let mut serial =
+                PartitionedLut::load(&mut e_serial, lut.clone(), BankId(0), SubarrayId(2)).unwrap();
+            let mut farmed =
+                PartitionedLut::load(&mut e_farm, lut.clone(), BankId(0), SubarrayId(2)).unwrap();
+            farmed.set_farming(Some(FarmPolicy {
+                min_segments: 2,
+                workers: 3,
+            }));
+            let inputs: Vec<u64> = vec![0, 63, 64, 128, 255, 17, 200, 99];
+            for round in 0..2 {
+                let (out_s, cost_s) = serial
+                    .query(&mut e_serial, design, SRC, DST, &inputs, RowId(0), RowId(1))
+                    .unwrap();
+                let (out_f, cost_f) = farmed
+                    .query(&mut e_farm, design, SRC, DST, &inputs, RowId(0), RowId(1))
+                    .unwrap();
+                assert_eq!(out_f, out_s, "{design} round {round}: outputs");
+                assert_eq!(
+                    cost_f.latency, cost_s.latency,
+                    "{design} round {round}: latency"
+                );
+                assert_eq!(cost_f.segments, cost_s.segments);
+                assert!(
+                    (cost_f.energy.as_pj() - cost_s.energy.as_pj()).abs()
+                        < 1e-9 * cost_s.energy.as_pj().max(1.0),
+                    "{design} round {round}: farmed energy {} vs serial {}",
+                    cost_f.energy,
+                    cost_s.energy
+                );
+                assert_eq!(
+                    e_farm.elapsed(),
+                    e_serial.elapsed(),
+                    "{design} round {round}: engine clock"
+                );
+                assert_eq!(
+                    e_farm.stats(),
+                    e_serial.stats(),
+                    "{design} round {round}: command counters"
+                );
+                let dst = |e: &Engine| {
+                    e.peek_row(RowLoc {
+                        bank: BankId(0),
+                        subarray: DST,
+                        row: RowId(1),
+                    })
+                    .unwrap()
+                };
+                assert_eq!(dst(&e_farm), dst(&e_serial), "{design}: destination row");
+            }
+        }
+    }
+
+    #[test]
+    fn farming_below_threshold_or_stale_stores_falls_back_to_serial() {
+        // A 4-segment partition under a min_segments=8 policy must take
+        // the serial path (indistinguishable results either way — this
+        // guards the gate logic compiles to a fallback, not an error).
+        let mut e = engine();
+        let lut = Lut::from_fn("gate8", 8, 16, |x| x + 2).unwrap();
+        let mut part = PartitionedLut::load(&mut e, lut, BankId(0), SubarrayId(2)).unwrap();
+        part.set_farming(Some(FarmPolicy {
+            min_segments: 8,
+            workers: 2,
+        }));
+        let (out, cost) = part
+            .query(
+                &mut e,
+                DesignKind::Bsa,
+                SRC,
+                DST,
+                &[1, 100, 255],
+                RowId(0),
+                RowId(1),
+            )
+            .unwrap();
+        assert_eq!(out, vec![3, 102, 257]);
+        assert_eq!(cost.segments, 4);
     }
 
     #[test]

@@ -121,6 +121,11 @@ pub struct ExecConfig {
     pub t_faw_scale: f64,
     /// Seed of the RNG handed to [`Workload::prepare`].
     pub seed: u64,
+    /// Opt-in policy for farming one partitioned query's per-segment cost
+    /// lanes across threads ([`crate::partition::FarmPolicy`]); `None`
+    /// (the default) keeps the serial lane issue, which is bit-identical
+    /// in energy as well as latency/counters.
+    pub segment_farming: Option<crate::partition::FarmPolicy>,
 }
 
 impl ExecConfig {
@@ -139,6 +144,7 @@ impl ExecConfig {
             salp_subarrays: default_salp(MemoryKind::Ddr4),
             t_faw_scale: 0.0,
             seed: 0,
+            segment_farming: None,
         }
     }
 
@@ -278,6 +284,15 @@ impl SessionBuilder {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Opts partitioned queries into segment farming
+    /// ([`crate::partition::FarmPolicy`]); `None` keeps the serial lane
+    /// issue.
+    #[must_use]
+    pub fn segment_farming(mut self, policy: Option<crate::partition::FarmPolicy>) -> Self {
+        self.config.segment_farming = policy;
         self
     }
 
@@ -468,7 +483,8 @@ impl Session {
     /// # Errors
     /// Fails if the geometry cannot host the controller layout.
     pub fn with_config(config: ExecConfig) -> Result<Self, PlutoError> {
-        let machine = PlutoMachine::new(config.dram_config(), config.design)?;
+        let mut machine = PlutoMachine::new(config.dram_config(), config.design)?;
+        machine.set_segment_farming(config.segment_farming);
         Ok(Session {
             config,
             machine,
@@ -538,6 +554,7 @@ impl Session {
             self.machine.reset();
         } else {
             self.machine = PlutoMachine::new(dram, cfg.design)?;
+            self.machine.set_segment_farming(cfg.segment_farming);
         }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         workload.prepare(&mut rng);

@@ -45,7 +45,7 @@ struct PackedKey {
 struct PackedEntry {
     /// The element table the rows were packed from (the identity witness).
     elements: Arc<Vec<u64>>,
-    rows: Arc<Vec<Arc<[u8]>>>,
+    rows: Arc<Vec<Arc<Vec<u8>>>>,
 }
 
 #[derive(Debug, Default)]
@@ -68,16 +68,20 @@ fn packed_cache() -> &'static Mutex<PackedCache> {
 /// Returns the fully packed element rows for `lut` on a `row_bytes`
 /// geometry — row *i* holds element *i* replicated across every slot —
 /// serving repeated loads of the same LUT (re-runs, pooled cluster
-/// machines, GSA workload streams) from a process-wide cache of
-/// `Arc<[u8]>` rows instead of re-packing.
+/// machines, GSA workload streams) from a process-wide cache of shared
+/// rows instead of re-packing.
 ///
-/// Purely a *load-time* optimization: the cached bytes are what
-/// `pack_slots` produces, and once poked into the engine the DRAM array
-/// owns its own copy, so later in-DRAM mutation (GSA destruction, row
-/// writes) can never leak back into the cache. Cache identity is the full
+/// Purely a *load-time* optimization: the cached rows enter the engine as
+/// copy-on-write handles ([`Engine::poke_rows_shared`]), so later in-DRAM
+/// mutation (GSA destruction, row writes) replaces the DRAM-side handle
+/// and can never leak back into the cache. Cache identity is the full
 /// element table, compared on every hit — stale or aliased rows are
 /// structurally impossible.
-fn packed_rows(lut: &Lut, row_bytes: usize) -> Arc<Vec<Arc<[u8]>>> {
+///
+/// A partitioned LUT's segments slice this same parent-keyed entry
+/// (`pluto_core::partition`), so an N-segment load is one cache lookup
+/// and one identity check, not N `name@segK` entries.
+pub(crate) fn packed_rows(lut: &Lut, row_bytes: usize) -> Arc<Vec<Arc<Vec<u8>>>> {
     let key = PackedKey {
         name: lut.name().to_string(),
         input_bits: lut.input_bits(),
@@ -116,7 +120,7 @@ fn entry_matches(entry: &PackedEntry, lut: &Lut) -> bool {
 }
 
 /// Cache lookup under a short-lived lock, bumping the hit/miss counters.
-fn lookup_packed(key: &PackedKey, lut: &Lut) -> Option<Arc<Vec<Arc<[u8]>>>> {
+fn lookup_packed(key: &PackedKey, lut: &Lut) -> Option<Arc<Vec<Arc<Vec<u8>>>>> {
     let mut cache = packed_cache().lock().expect("packed-row cache poisoned");
     let hit = cache
         .entries
@@ -131,8 +135,9 @@ fn lookup_packed(key: &PackedKey, lut: &Lut) -> Option<Arc<Vec<Arc<[u8]>>>> {
 }
 
 /// The packing work the cache elides: one fully packed row per element,
-/// the element replicated across every slot.
-fn pack_element_rows(lut: &Lut, row_bytes: usize) -> Vec<Arc<[u8]>> {
+/// the element replicated across every slot — a single pass over the
+/// element table.
+fn pack_element_rows(lut: &Lut, row_bytes: usize) -> Vec<Arc<Vec<u8>>> {
     let slot_bits = lut.slot_bits();
     let per_row = slots_per_row(row_bytes, slot_bits);
     let mut values = vec![0u64; per_row];
@@ -145,7 +150,7 @@ fn pack_element_rows(lut: &Lut, row_bytes: usize) -> Vec<Arc<[u8]>> {
             // construction, so they always fit the slot.
             pack_slots_into(&values, slot_bits, row_bytes, &mut row)
                 .expect("validated elements always pack");
-            Arc::from(row.as_slice())
+            Arc::new(row.clone())
         })
         .collect()
 }
@@ -224,26 +229,71 @@ impl LutStore {
         }
         // Packed element rows come from the process-wide cache: repeated
         // loads of the same LUT (pooled cluster machines, GSA streams)
-        // skip the packing work entirely.
+        // skip the packing work entirely, and the bulk poke shares the
+        // cached rows into DRAM as copy-on-write handles (a repeat load
+        // of an unchanged table moves no bytes at all).
         let rows = packed_rows(&lut, cfg.row_bytes);
-        for (i, row) in rows.iter().enumerate() {
-            engine.poke_row(
-                RowLoc {
-                    bank,
-                    subarray,
-                    row: RowId(i as u16),
-                },
-                row,
-            )?;
-            engine.poke_row(
-                RowLoc {
-                    bank,
-                    subarray: master,
-                    row: RowId(master_row_base + i as u16),
-                },
-                row,
-            )?;
+        engine.poke_rows_shared(bank, subarray, RowId(0), &rows)?;
+        engine.poke_rows_shared(bank, master, RowId(master_row_base), &rows)?;
+        Ok(LutStore {
+            lut,
+            bank,
+            subarray,
+            master,
+            master_row_base,
+            loaded: true,
+        })
+    }
+
+    /// Materializes a LUT whose packed rows the caller already holds — the
+    /// partitioned path, where every segment is a slice of the parent's
+    /// single cached pack plus shared zero-padding rows. Performs the same
+    /// placement validation as [`LutStore::load`] but no cache lookup and
+    /// no packing; `rows` must hold exactly `lut.len()` packed rows.
+    ///
+    /// # Errors
+    /// Same conditions as [`LutStore::load`], plus a row-count mismatch.
+    pub(crate) fn load_sliced(
+        engine: &mut Engine,
+        lut: Lut,
+        bank: BankId,
+        subarray: SubarrayId,
+        master: SubarrayId,
+        master_row_base: u16,
+        rows: &[Arc<Vec<u8>>],
+    ) -> Result<Self, PlutoError> {
+        let cfg = engine.config();
+        if rows.len() != lut.len() {
+            return Err(PlutoError::InvalidLut {
+                reason: format!("{} packed rows for a {}-element LUT", rows.len(), lut.len()),
+            });
         }
+        if lut.len() > cfg.rows_per_subarray as usize {
+            return Err(PlutoError::InvalidLut {
+                reason: format!(
+                    "{} elements exceed the {}-row subarray (partition across subarrays instead, §5.6)",
+                    lut.len(),
+                    cfg.rows_per_subarray
+                ),
+            });
+        }
+        if master == subarray {
+            return Err(PlutoError::AllocationFailed {
+                reason: "master copy must live in a different subarray".into(),
+            });
+        }
+        if master_row_base as usize + lut.len() > cfg.rows_per_subarray as usize {
+            return Err(PlutoError::AllocationFailed {
+                reason: format!(
+                    "master rows {}..{} overflow the {}-row subarray",
+                    master_row_base,
+                    master_row_base as usize + lut.len(),
+                    cfg.rows_per_subarray
+                ),
+            });
+        }
+        engine.poke_rows_shared(bank, subarray, RowId(0), rows)?;
+        engine.poke_rows_shared(bank, master, RowId(master_row_base), rows)?;
         Ok(LutStore {
             lut,
             bank,
@@ -295,34 +345,51 @@ impl LutStore {
     /// # Errors
     /// Propagates out-of-bounds errors (cannot occur for a valid store).
     pub fn mark_destroyed(&mut self, engine: &mut Engine) -> Result<(), PlutoError> {
-        let zero = vec![0u8; engine.config().row_bytes];
-        for i in 0..self.lut.len() {
-            engine.poke_row(self.element_row(i), &zero)?;
-        }
+        engine.poke_clear_rows(self.bank, self.subarray, RowId(0), self.lut.len())?;
         self.loaded = false;
         Ok(())
     }
 
     /// Reloads the LUT from the master copy via one LISA-RBM per element
-    /// row (cost `LISA_RBM × N`, Table 1 / §5.2.2).
+    /// row (cost `LISA_RBM × N`, Table 1 / §5.2.2). The engine batches
+    /// the transfer — cost, counters, and trace are identical to the
+    /// per-row deposit + RBM loop this used to issue, but the data moves
+    /// as copy-on-write row handles (GSA pays this path on every query).
     ///
     /// # Errors
     /// Propagates DRAM errors.
     pub fn reload(&mut self, engine: &mut Engine) -> Result<(), PlutoError> {
-        // One scratch row for the whole reload: GSA pays this path on
-        // every query, so the per-row `peek_row` allocation multiplied
-        // into `lut_len` heap round-trips per query.
-        let mut row = Vec::new();
-        for i in 0..self.lut.len() {
-            let master_loc = RowLoc {
-                bank: self.bank,
-                subarray: self.master,
-                row: RowId(self.master_row_base + i as u16),
-            };
-            engine.peek_row_into(master_loc, &mut row)?;
-            engine.deposit_buffer(self.bank, self.master, &row)?;
-            engine.lisa_rbm_to_row(self.bank, self.master, self.subarray, RowId(i as u16))?;
-        }
+        engine.lisa_reload_rows(
+            self.bank,
+            self.master,
+            RowId(self.master_row_base),
+            self.subarray,
+            RowId(0),
+            self.lut.len(),
+        )?;
+        self.loaded = true;
+        Ok(())
+    }
+
+    /// [`LutStore::reload`] with the functional restore elided: the same
+    /// `LISA_RBM × N` cost, counters, and trace, but the subarray keeps
+    /// its (destroyed) contents. For the fused partitioned query, which
+    /// reloads and re-destroys every GSA segment within one composite
+    /// operation — the restored rows are never observable, so moving the
+    /// row handles would be pure overhead. The caller must destroy the
+    /// store again before returning control.
+    ///
+    /// # Errors
+    /// Propagates DRAM errors.
+    pub(crate) fn reload_transient(&mut self, engine: &mut Engine) -> Result<(), PlutoError> {
+        engine.lisa_reload_rows_transient(
+            self.bank,
+            self.master,
+            RowId(self.master_row_base),
+            self.subarray,
+            RowId(0),
+            self.lut.len(),
+        )?;
         self.loaded = true;
         Ok(())
     }

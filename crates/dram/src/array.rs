@@ -10,6 +10,7 @@
 use crate::error::DramError;
 use crate::geometry::{BankId, DramConfig, RowId, RowLoc, SubarrayId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The local row buffer (sense amplifiers) of one subarray.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,10 +35,46 @@ impl RowBuffer {
     }
 }
 
+/// Row storage of one subarray: a dense, lazily grown vector indexed by
+/// row id (`None` = never written, reads as zeros). Rows are held behind
+/// `Arc` with copy-on-write discipline — every mutation either replaces
+/// the slot or writes through `Arc::get_mut` when sole owner — so bulk
+/// loads from the packed-row cache and master→pLUTo reload copies are
+/// O(1) handle clones per row instead of row-byte memcpys.
+type RowSlots = Vec<Option<Arc<Vec<u8>>>>;
+
 #[derive(Debug, Clone, Default)]
 struct SubarrayState {
-    rows: HashMap<RowId, Vec<u8>>,
+    rows: RowSlots,
     buffer: Option<RowBuffer>,
+}
+
+impl SubarrayState {
+    fn row_ref(&self, row: RowId) -> Option<&Arc<Vec<u8>>> {
+        self.rows.get(row.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// The (growable) slot for a row; bounds must already be checked.
+    fn row_slot(&mut self, row: RowId) -> &mut Option<Arc<Vec<u8>>> {
+        let idx = row.0 as usize;
+        if self.rows.len() <= idx {
+            self.rows.resize(idx + 1, None);
+        }
+        &mut self.rows[idx]
+    }
+}
+
+/// Stores `data` into a row slot, reusing the existing allocation when
+/// this array is the sole owner of the row (the copy-on-write fast path).
+fn store_bytes(slot: &mut Option<Arc<Vec<u8>>>, data: &[u8]) {
+    if let Some(arc) = slot {
+        if let Some(v) = Arc::get_mut(arc) {
+            v.clear();
+            v.extend_from_slice(data);
+            return;
+        }
+    }
+    *slot = Some(Arc::new(data.to_vec()));
 }
 
 /// Sparse functional storage for the whole module.
@@ -86,8 +123,8 @@ impl MemoryArray {
         Ok(self
             .subarrays
             .get(&(loc.bank, loc.subarray))
-            .and_then(|sa| sa.rows.get(&loc.row))
-            .cloned()
+            .and_then(|sa| sa.row_ref(loc.row))
+            .map(|arc| arc.as_ref().clone())
             .unwrap_or_else(|| vec![0; self.cfg.row_bytes]))
     }
 
@@ -104,7 +141,7 @@ impl MemoryArray {
         match self
             .subarrays
             .get(&(loc.bank, loc.subarray))
-            .and_then(|sa| sa.rows.get(&loc.row))
+            .and_then(|sa| sa.row_ref(loc.row))
         {
             Some(data) => out.extend_from_slice(data),
             None => out.resize(self.cfg.row_bytes, 0),
@@ -124,13 +161,110 @@ impl MemoryArray {
                 actual: data.len(),
             });
         }
-        let slot = self
-            .sa(loc.bank, loc.subarray)
-            .rows
-            .entry(loc.row)
-            .or_default();
-        slot.clear();
-        slot.extend_from_slice(data);
+        store_bytes(self.sa(loc.bank, loc.subarray).row_slot(loc.row), data);
+        Ok(())
+    }
+
+    /// Bulk zero-cost row fill from shared packed rows: row `first + i`
+    /// of the subarray becomes `rows[i]`. Slots that already hold the
+    /// same `Arc` (a repeated load of a cached LUT) are skipped, so the
+    /// steady-state load of an unchanged table is O(1) per row with no
+    /// byte copies at all.
+    ///
+    /// # Errors
+    /// Fails if the row range is out of bounds or a stored row is not
+    /// exactly one row wide. Width is only checked on rows actually
+    /// stored — a pointer-equal slot was validated when first stored —
+    /// so a mixed-width slice may error after earlier rows were written.
+    pub fn set_rows_shared(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        first: RowId,
+        rows: &[Arc<Vec<u8>>],
+    ) -> Result<(), DramError> {
+        let Some(count) = check_row_range(self, bank, subarray, first, rows.len())? else {
+            return Ok(());
+        };
+        let row_bytes = self.cfg.row_bytes;
+        let sa = self.sa(bank, subarray);
+        let base = first.0 as usize;
+        if sa.rows.len() < base + count {
+            sa.rows.resize(base + count, None);
+        }
+        for (slot, data) in sa.rows[base..base + count].iter_mut().zip(rows) {
+            match slot {
+                Some(existing) if Arc::ptr_eq(existing, data) => {}
+                _ => {
+                    if data.len() != row_bytes {
+                        return Err(DramError::RowSizeMismatch {
+                            expected: row_bytes,
+                            actual: data.len(),
+                        });
+                    }
+                    *slot = Some(Arc::clone(data));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bulk functional row copy between two subarrays of one bank: row
+    /// `to_first + i` becomes a shared handle to row `from_first + i`
+    /// (missing source rows clear the destination slot — both read as
+    /// zeros). Copy-on-write keeps the two subarrays independent.
+    ///
+    /// # Errors
+    /// Fails if either row range is out of bounds.
+    pub fn copy_rows(
+        &mut self,
+        bank: BankId,
+        from: SubarrayId,
+        from_first: RowId,
+        to: SubarrayId,
+        to_first: RowId,
+        count: usize,
+    ) -> Result<(), DramError> {
+        if check_row_range(self, bank, from, from_first, count)?.is_none()
+            || check_row_range(self, bank, to, to_first, count)?.is_none()
+        {
+            return Ok(());
+        }
+        let handles: Vec<Option<Arc<Vec<u8>>>> = {
+            let src = self.subarrays.get(&(bank, from));
+            (0..count)
+                .map(|i| {
+                    src.and_then(|sa| sa.row_ref(RowId(from_first.0 + i as u16)))
+                        .cloned()
+                })
+                .collect()
+        };
+        let sa = self.sa(bank, to);
+        for (i, handle) in handles.into_iter().enumerate() {
+            *sa.row_slot(RowId(to_first.0 + i as u16)) = handle;
+        }
+        Ok(())
+    }
+
+    /// Bulk functional row clear: rows `first .. first + count` of the
+    /// subarray revert to the never-written state (read as zeros).
+    ///
+    /// # Errors
+    /// Fails if the row range is out of bounds.
+    pub fn clear_rows(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        first: RowId,
+        count: usize,
+    ) -> Result<(), DramError> {
+        let Some(count) = check_row_range(self, bank, subarray, first, count)? else {
+            return Ok(());
+        };
+        let sa = self.sa(bank, subarray);
+        for i in 0..count {
+            *sa.row_slot(RowId(first.0 + i as u16)) = None;
+        }
         Ok(())
     }
 
@@ -171,8 +305,8 @@ impl MemoryArray {
                 subarray: loc.subarray,
             });
         }
-        match rows.get(&loc.row) {
-            Some(data) => buf.data.clone_from(data),
+        match rows.get(loc.row.0 as usize).and_then(Option::as_ref) {
+            Some(data) => buf.data.clone_from(data.as_ref()),
             None => {
                 buf.data.clear();
                 buf.data.resize(row_bytes, 0);
@@ -208,7 +342,7 @@ impl MemoryArray {
             });
         }
         let data = buf.data.clone();
-        self.sa(loc.bank, loc.subarray).rows.insert(loc.row, data);
+        *self.sa(loc.bank, loc.subarray).row_slot(loc.row) = Some(Arc::new(data));
         let buf = self.buffer_mut(loc.bank, loc.subarray);
         buf.open_row = Some(loc.row);
         Ok(())
@@ -250,7 +384,7 @@ impl MemoryArray {
         let buf = self.buffer_mut(bank, subarray);
         buf.data[offset..offset + data.len()].copy_from_slice(data);
         let snapshot = buf.data.clone();
-        self.sa(bank, subarray).rows.insert(open, snapshot);
+        *self.sa(bank, subarray).row_slot(open) = Some(Arc::new(snapshot));
         Ok(())
     }
 
@@ -301,8 +435,11 @@ impl MemoryArray {
         if let Some(open) = dst.open_row {
             let SubarrayState { rows, buffer } = self.sa(bank, to);
             let data = &buffer.as_ref().expect("buffer created above").data;
-            let slot = rows.entry(open).or_default();
-            slot.clone_from(data);
+            let idx = open.0 as usize;
+            if rows.len() <= idx {
+                rows.resize(idx + 1, None);
+            }
+            store_bytes(&mut rows[idx], data);
         }
         // Hand the (unchanged) source data back to its buffer.
         std::mem::swap(
@@ -345,8 +482,9 @@ impl MemoryArray {
             .zip(&c)
             .map(|((&x, &y), &z)| (x & y) | (y & z) | (x & z))
             .collect();
+        let shared = Arc::new(maj.clone());
         for l in locs {
-            self.sa(bank, subarray).rows.insert(l.row, maj.clone());
+            *self.sa(bank, subarray).row_slot(l.row) = Some(Arc::clone(&shared));
         }
         let buf = self.buffer_mut(bank, subarray);
         buf.data = maj;
@@ -370,9 +508,7 @@ impl MemoryArray {
         self.check(loc)?;
         let data = self.row(loc)?;
         let shifted = shift_bits(&data, left, amount);
-        self.sa(loc.bank, loc.subarray)
-            .rows
-            .insert(loc.row, shifted);
+        *self.sa(loc.bank, loc.subarray).row_slot(loc.row) = Some(Arc::new(shifted));
         Ok(())
     }
 
@@ -389,11 +525,39 @@ impl MemoryArray {
         self.check(loc)?;
         let data = self.row(loc)?;
         let shifted = shift_bytes(&data, left, amount);
-        self.sa(loc.bank, loc.subarray)
-            .rows
-            .insert(loc.row, shifted);
+        *self.sa(loc.bank, loc.subarray).row_slot(loc.row) = Some(Arc::new(shifted));
         Ok(())
     }
+}
+
+/// Validates a `count`-row range starting at `first` within one
+/// subarray; `Ok(None)` means the range is empty (nothing to do).
+fn check_row_range(
+    arr: &MemoryArray,
+    bank: BankId,
+    subarray: SubarrayId,
+    first: RowId,
+    count: usize,
+) -> Result<Option<usize>, DramError> {
+    if count == 0 {
+        return Ok(None);
+    }
+    let first_loc = RowLoc {
+        bank,
+        subarray,
+        row: first,
+    };
+    let last = first.0 as usize + count - 1;
+    if last > u16::MAX as usize {
+        return Err(DramError::OutOfBounds { loc: first_loc });
+    }
+    arr.check(first_loc)?;
+    arr.check(RowLoc {
+        bank,
+        subarray,
+        row: RowId(last as u16),
+    })?;
+    Ok(Some(count))
 }
 
 /// Reads a `width`-bit big-endian field starting at bit `bit` of a row
@@ -771,6 +935,60 @@ mod tests {
         arr.read_row_into(loc, &mut buf).unwrap();
         assert_eq!(buf, arr.row(loc).unwrap());
         assert!(arr.read_row_into(RowLoc::new(9, 0, 0), &mut buf).is_err());
+    }
+
+    #[test]
+    fn bulk_shared_rows_copy_clear_and_cow() {
+        let mut arr = MemoryArray::new(tiny_cfg());
+        let rows: Vec<Arc<Vec<u8>>> = (0..4u8).map(|i| Arc::new(vec![i + 1; 8])).collect();
+        arr.set_rows_shared(BankId(0), SubarrayId(0), RowId(2), &rows)
+            .unwrap();
+        assert_eq!(arr.row(RowLoc::new(0, 0, 3)).unwrap(), vec![2; 8]);
+        // Repeat loads of the same handles are idempotent.
+        arr.set_rows_shared(BankId(0), SubarrayId(0), RowId(2), &rows)
+            .unwrap();
+        // Copy into a second subarray, then mutate the copy: COW keeps
+        // the source rows (and the caller's Arcs) intact.
+        arr.copy_rows(
+            BankId(0),
+            SubarrayId(0),
+            RowId(2),
+            SubarrayId(1),
+            RowId(0),
+            4,
+        )
+        .unwrap();
+        assert_eq!(arr.row(RowLoc::new(0, 1, 1)).unwrap(), vec![2; 8]);
+        arr.set_row(RowLoc::new(0, 1, 1), &[9; 8]).unwrap();
+        assert_eq!(arr.row(RowLoc::new(0, 0, 3)).unwrap(), vec![2; 8]);
+        assert_eq!(*rows[1], vec![2u8; 8]);
+        // Clearing reverts rows to the never-written (all-zeros) state.
+        arr.clear_rows(BankId(0), SubarrayId(0), RowId(2), 4)
+            .unwrap();
+        assert_eq!(arr.row(RowLoc::new(0, 0, 3)).unwrap(), vec![0; 8]);
+        // Bounds and row-width violations are rejected.
+        assert!(arr
+            .set_rows_shared(BankId(0), SubarrayId(0), RowId(14), &rows)
+            .is_err());
+        assert!(arr
+            .set_rows_shared(BankId(0), SubarrayId(0), RowId(0), &[Arc::new(vec![0; 3])])
+            .is_err());
+        assert!(arr
+            .copy_rows(
+                BankId(0),
+                SubarrayId(0),
+                RowId(14),
+                SubarrayId(1),
+                RowId(0),
+                4
+            )
+            .is_err());
+        assert!(arr
+            .clear_rows(BankId(0), SubarrayId(9), RowId(0), 1)
+            .is_err());
+        // Empty ranges are no-ops.
+        arr.clear_rows(BankId(0), SubarrayId(0), RowId(0), 0)
+            .unwrap();
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::stats::CommandStats;
 use crate::timing::TimingParams;
 use crate::units::{PicoJoules, Picos};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Command-level DRAM simulator with functional, timing, and energy models.
 #[derive(Debug, Clone)]
@@ -338,6 +339,40 @@ impl Engine {
         self.array.read_row_into(loc, out)
     }
 
+    /// Zero-cost backdoor: bulk row fill from shared packed rows — row
+    /// `first + i` becomes `rows[i]` as a copy-on-write handle, with
+    /// repeat loads of an unchanged table skipped entirely (see
+    /// [`MemoryArray::set_rows_shared`]). This is how a cached segment
+    /// pack lands in DRAM without re-copying a byte.
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds ranges or mismatched row lengths.
+    pub fn poke_rows_shared(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        first: RowId,
+        rows: &[Arc<Vec<u8>>],
+    ) -> Result<(), DramError> {
+        self.array.set_rows_shared(bank, subarray, first, rows)
+    }
+
+    /// Zero-cost backdoor: reverts rows to the never-written state (read
+    /// as zeros) — models the aftermath of destructive charge-share reads
+    /// whose cost was already charged by the sweep itself.
+    ///
+    /// # Errors
+    /// Fails on out-of-bounds ranges.
+    pub fn poke_clear_rows(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        first: RowId,
+        count: usize,
+    ) -> Result<(), DramError> {
+        self.array.clear_rows(bank, subarray, first, count)
+    }
+
     // ------------------------------------------------------------------
     // Enhanced-DRAM commands (paper §2.2)
     // ------------------------------------------------------------------
@@ -613,6 +648,350 @@ impl Engine {
         self.stats.sweep_steps += 1;
         self.record(Command::SweepStep { loc, kind });
         Ok(())
+    }
+
+    /// Batched Row Sweep over `count` consecutive rows starting at `first`:
+    /// clock, energy, counters, tFAW interaction, and trace are identical
+    /// to `count` individual [`Engine::sweep_step`] calls (the per-step
+    /// accounting loop is kept verbatim so `f64` energy accumulates in the
+    /// same order), but the functional row-buffer work — a row-sized
+    /// memcpy per step in the serial loop — collapses to a single latch of
+    /// the last swept row, which is the only intermediate state the serial
+    /// loop leaves observable.
+    ///
+    /// # Errors
+    /// Fails if the row range is out of bounds (checked up front; a
+    /// partially out-of-range sweep issues no commands at all, unlike the
+    /// step-at-a-time loop).
+    pub fn sweep_rows(
+        &mut self,
+        bank: BankId,
+        subarray: SubarrayId,
+        first: RowId,
+        count: usize,
+        kind: SweepStepKind,
+    ) -> Result<(), DramError> {
+        if count == 0 {
+            return Ok(());
+        }
+        let first_loc = RowLoc {
+            bank,
+            subarray,
+            row: first,
+        };
+        if !self.cfg.contains(first_loc) {
+            return Err(DramError::OutOfBounds { loc: first_loc });
+        }
+        let last = first.0 as usize + count - 1;
+        if last > u16::MAX as usize {
+            return Err(DramError::OutOfBounds { loc: first_loc });
+        }
+        let last_loc = RowLoc {
+            bank,
+            subarray,
+            row: RowId(last as u16),
+        };
+        if !self.cfg.contains(last_loc) {
+            return Err(DramError::OutOfBounds { loc: last_loc });
+        }
+        self.array.activate(last_loc, true)?;
+        if kind == SweepStepKind::FullCycle {
+            self.array.precharge(bank, subarray);
+        }
+        for i in 0..count {
+            let at = self.issue_act();
+            self.clock = at;
+            match kind {
+                SweepStepKind::FullCycle => self.spend(
+                    self.timing.act_pre_cycle(),
+                    self.energy_model.act_pre_cycle(),
+                ),
+                SweepStepKind::ChargeShare => {
+                    self.spend(self.timing.t_rcd, self.energy_model.e_charge_share)
+                }
+            }
+            self.stats.activates += 1;
+            if kind == SweepStepKind::FullCycle {
+                self.stats.precharges += 1;
+            }
+            self.stats.sweep_steps += 1;
+            if self.trace.is_some() {
+                self.record(Command::SweepStep {
+                    loc: RowLoc {
+                        bank,
+                        subarray,
+                        row: RowId(first.0 + i as u16),
+                    },
+                    kind,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched GSA-style reload of `count` rows from `from` (the master
+    /// copy, rows `from_first..`) into `to` (rows `to_first..`): clock,
+    /// energy, counters, and trace are identical to the per-row
+    /// deposit-buffer + [`Engine::lisa_rbm_to_row`] loop, but the
+    /// functional transfer is a bulk copy-on-write handle copy plus one
+    /// replay of the final movement, so both row buffers (and any
+    /// write-through into `to`'s open row) end exactly as the serial loop
+    /// leaves them.
+    ///
+    /// # Errors
+    /// Fails if `from == to` or either row range is out of bounds (checked
+    /// up front).
+    pub fn lisa_reload_rows(
+        &mut self,
+        bank: BankId,
+        from: SubarrayId,
+        from_first: RowId,
+        to: SubarrayId,
+        to_first: RowId,
+        count: usize,
+    ) -> Result<(), DramError> {
+        if count == 0 {
+            return Ok(());
+        }
+        self.validate_lisa_ranges(bank, from, from_first, to, to_first, count)?;
+        self.array
+            .copy_rows(bank, from, from_first, to, to_first, count)?;
+        // Replay the last row's deposit + movement so buffer states (and a
+        // write-through into `to`'s open row, which the serial loop would
+        // overwrite once per row, last one winning) match the serial loop.
+        let mut data = Vec::new();
+        self.array.read_row_into(
+            RowLoc {
+                bank,
+                subarray: from,
+                row: RowId(from_first.0 + count as u16 - 1),
+            },
+            &mut data,
+        )?;
+        self.array.deposit_buffer(bank, from, &data);
+        self.array.lisa_rbm(bank, from, to)?;
+        self.spend_lisa_rows(bank, from, to, count);
+        Ok(())
+    }
+
+    /// [`Engine::lisa_reload_rows`] with the functional restore elided:
+    /// clock, energy, counters, and trace are identical, but no row
+    /// handles move and no buffers are touched. For reloads whose restored
+    /// contents are provably never observed — a GSA per-query reload
+    /// inside a fused partitioned query, where the same composite
+    /// operation destroys the rows again before returning. The destination
+    /// rows keep whatever (destroyed) contents they had; buffer residue
+    /// differs from the functional reload and is unspecified.
+    ///
+    /// # Errors
+    /// Same conditions as [`Engine::lisa_reload_rows`].
+    pub fn lisa_reload_rows_transient(
+        &mut self,
+        bank: BankId,
+        from: SubarrayId,
+        from_first: RowId,
+        to: SubarrayId,
+        to_first: RowId,
+        count: usize,
+    ) -> Result<(), DramError> {
+        if count == 0 {
+            return Ok(());
+        }
+        self.validate_lisa_ranges(bank, from, from_first, to, to_first, count)?;
+        self.spend_lisa_rows(bank, from, to, count);
+        Ok(())
+    }
+
+    fn validate_lisa_ranges(
+        &self,
+        bank: BankId,
+        from: SubarrayId,
+        from_first: RowId,
+        to: SubarrayId,
+        to_first: RowId,
+        count: usize,
+    ) -> Result<(), DramError> {
+        if from == to {
+            return Err(DramError::InvalidLisa { bank, from, to });
+        }
+        for (sa, first) in [(from, from_first), (to, to_first)] {
+            let first_loc = RowLoc {
+                bank,
+                subarray: sa,
+                row: first,
+            };
+            let last = first.0 as usize + count - 1;
+            if !self.cfg.contains(first_loc) || last > u16::MAX as usize {
+                return Err(DramError::OutOfBounds { loc: first_loc });
+            }
+            let last_loc = RowLoc {
+                bank,
+                subarray: sa,
+                row: RowId(last as u16),
+            };
+            if !self.cfg.contains(last_loc) {
+                return Err(DramError::OutOfBounds { loc: last_loc });
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-row cost loop shared by both reload flavours: one LISA
+    /// movement per row, each spending `hops` hop costs.
+    fn spend_lisa_rows(&mut self, bank: BankId, from: SubarrayId, to: SubarrayId, count: usize) {
+        let hops = from.0.abs_diff(to.0) as u64;
+        for _ in 0..count {
+            self.spend(
+                self.timing.t_lisa_hop.times(hops),
+                self.energy_model.e_lisa_hop.times(hops),
+            );
+            self.stats.lisa_hops += hops;
+            if self.trace.is_some() {
+                self.record(Command::LisaRbm { bank, from, to });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel-lane cost replay (§5.6 segment farming)
+    // ------------------------------------------------------------------
+
+    /// Snapshots the timing state into a detached [`LaneClock`] that can
+    /// replay one parallel lane's command costs off-engine (e.g. on a
+    /// `Cluster` worker thread). The lane starts at the current clock with
+    /// the current tFAW window — the same state [`Engine::rewind_clock`]
+    /// restores between serially-issued lanes — and accumulates its own
+    /// energy and counter deltas for a later [`Engine::merge_lane`].
+    pub fn fork_lane(&self) -> LaneClock {
+        LaneClock {
+            clock: self.clock,
+            act_window: self.act_window.clone(),
+            timing: self.timing.clone(),
+            energy_model: self.energy_model.clone(),
+            energy: PicoJoules::ZERO,
+            stats: CommandStats::new(),
+        }
+    }
+
+    /// Folds a finished lane back in with §5.6 semantics: the clock
+    /// advances to the lane's end if it is the slowest so far, energy and
+    /// command counters sum unconditionally. Energy is added as one lane
+    /// subtotal, so a farmed query's energy can differ from the serially
+    /// issued stream by float-summation reassociation (deterministic for
+    /// a fixed lane split, but not bit-identical).
+    pub fn merge_lane(&mut self, outcome: &LaneOutcome) {
+        self.advance_clock_to(outcome.end);
+        self.command_energy += outcome.energy;
+        self.stats.merge(&outcome.stats);
+    }
+}
+
+/// A detached replay of one parallel command lane's *costs* (no array, no
+/// data): the same clock arithmetic, tFAW window, energy accounting, and
+/// counters as [`Engine`], minus the functional model. Created by
+/// [`Engine::fork_lane`], consumed by [`Engine::merge_lane`]. `Send`, so
+/// lanes can be costed on worker threads while the caller owns the engine.
+#[derive(Debug, Clone)]
+pub struct LaneClock {
+    clock: Picos,
+    act_window: VecDeque<Picos>,
+    timing: TimingParams,
+    energy_model: EnergyModel,
+    energy: PicoJoules,
+    stats: CommandStats,
+}
+
+/// The summable result of a [`LaneClock`] replay.
+#[derive(Debug, Clone)]
+pub struct LaneOutcome {
+    /// The lane's end time (absolute, on the forking engine's clock).
+    pub end: Picos,
+    /// Dynamic energy the lane consumed.
+    pub energy: PicoJoules,
+    /// Commands the lane issued.
+    pub stats: CommandStats,
+}
+
+impl LaneClock {
+    fn issue_act(&mut self) -> Picos {
+        let mut at = self.clock;
+        if self.timing.t_faw_enabled() && self.act_window.len() >= 4 {
+            let fourth_back = self.act_window[self.act_window.len() - 4];
+            let earliest = fourth_back + self.timing.t_faw;
+            at = at.max(earliest);
+        }
+        self.act_window.push_back(at);
+        while self.act_window.len() > 4 {
+            self.act_window.pop_front();
+        }
+        at
+    }
+
+    fn spend(&mut self, duration: Picos, energy: PicoJoules) {
+        self.clock += duration;
+        self.energy += energy;
+    }
+
+    /// The lane's current clock (absolute).
+    pub fn elapsed(&self) -> Picos {
+        self.clock
+    }
+
+    /// Cost of one ACT (mirrors [`Engine::activate`]).
+    pub fn activate(&mut self) {
+        let at = self.issue_act();
+        self.clock = at;
+        self.spend(self.timing.t_rcd, self.energy_model.e_act);
+        self.stats.activates += 1;
+    }
+
+    /// Cost of one PRE (mirrors [`Engine::precharge`]).
+    pub fn precharge(&mut self) {
+        self.spend(self.timing.t_rp, self.energy_model.e_pre);
+        self.stats.precharges += 1;
+    }
+
+    /// Cost of `count` sweep steps (mirrors [`Engine::sweep_rows`]).
+    pub fn sweep_rows(&mut self, count: usize, kind: SweepStepKind) {
+        for _ in 0..count {
+            let at = self.issue_act();
+            self.clock = at;
+            match kind {
+                SweepStepKind::FullCycle => self.spend(
+                    self.timing.act_pre_cycle(),
+                    self.energy_model.act_pre_cycle(),
+                ),
+                SweepStepKind::ChargeShare => {
+                    self.spend(self.timing.t_rcd, self.energy_model.e_charge_share)
+                }
+            }
+            self.stats.activates += 1;
+            if kind == SweepStepKind::FullCycle {
+                self.stats.precharges += 1;
+            }
+            self.stats.sweep_steps += 1;
+        }
+    }
+
+    /// Cost of `count` LISA row movements of `hops` hops each (mirrors
+    /// [`Engine::lisa_rbm_to_row`] / [`Engine::lisa_reload_rows`]).
+    pub fn lisa_rbm_rows(&mut self, hops: u64, count: usize) {
+        for _ in 0..count {
+            self.spend(
+                self.timing.t_lisa_hop.times(hops),
+                self.energy_model.e_lisa_hop.times(hops),
+            );
+            self.stats.lisa_hops += hops;
+        }
+    }
+
+    /// Closes the lane, yielding its end time and accumulated deltas.
+    pub fn finish(self) -> LaneOutcome {
+        LaneOutcome {
+            end: self.clock,
+            energy: self.energy,
+            stats: self.stats,
+        }
     }
 }
 
@@ -897,6 +1276,224 @@ mod tests {
         e.rewind_clock(t0);
         let lane1 = lane(&mut e);
         assert_eq!(lane0, lane1, "each lane sees a fresh tFAW window");
+    }
+
+    #[test]
+    fn batched_sweep_is_bit_identical_to_step_loop() {
+        // Use a tFAW-binding timing set so the activation window matters.
+        let cfg = DramConfig {
+            row_bytes: 16,
+            burst_bytes: 8,
+            ..DramConfig::ddr4_2400()
+        };
+        let mut timing = TimingParams::ddr4_2400();
+        timing.t_rcd = Picos::from_ns(1.0);
+        timing.t_rp = Picos::from_ns(1.0);
+        timing.t_faw = Picos::from_ns(25.0);
+        for kind in [SweepStepKind::FullCycle, SweepStepKind::ChargeShare] {
+            let mut serial = Engine::with_models(cfg.clone(), timing.clone(), EnergyModel::ddr4());
+            let mut batched = serial.clone();
+            serial.enable_trace();
+            batched.enable_trace();
+            for e in [&mut serial, &mut batched] {
+                for r in 0..9u16 {
+                    e.poke_row(RowLoc::new(0, 1, r), &[r as u8; 16]).unwrap();
+                }
+            }
+            for r in 0..9u16 {
+                serial.sweep_step(RowLoc::new(0, 1, r), kind).unwrap();
+            }
+            batched
+                .sweep_rows(BankId(0), SubarrayId(1), RowId(0), 9, kind)
+                .unwrap();
+            assert_eq!(serial.elapsed(), batched.elapsed(), "{kind:?} clock");
+            assert_eq!(
+                serial.command_energy().as_pj().to_bits(),
+                batched.command_energy().as_pj().to_bits(),
+                "{kind:?} energy bits"
+            );
+            assert_eq!(serial.stats(), batched.stats(), "{kind:?} stats");
+            assert_eq!(serial.take_trace(), batched.take_trace(), "{kind:?} trace");
+            assert_eq!(
+                serial.array().buffer(BankId(0), SubarrayId(1)),
+                batched.array().buffer(BankId(0), SubarrayId(1)),
+                "{kind:?} buffer end state"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_sweep_rejects_out_of_range() {
+        let mut e = tiny();
+        assert!(e
+            .sweep_rows(
+                BankId(0),
+                SubarrayId(0),
+                RowId(30),
+                5,
+                SweepStepKind::FullCycle
+            )
+            .is_err());
+        assert_eq!(e.stats().sweep_steps, 0, "no partial issue");
+        e.sweep_rows(
+            BankId(0),
+            SubarrayId(0),
+            RowId(0),
+            0,
+            SweepStepKind::FullCycle,
+        )
+        .unwrap();
+        assert_eq!(e.elapsed(), Picos::ZERO, "empty sweep is free");
+    }
+
+    #[test]
+    fn batched_lisa_reload_is_bit_identical_to_per_row_loop() {
+        let master = SubarrayId(3);
+        let pluto = SubarrayId(2);
+        let mut serial = tiny();
+        let mut batched = serial.clone();
+        for e in [&mut serial, &mut batched] {
+            for r in 0..7u16 {
+                e.poke_row(
+                    RowLoc {
+                        bank: BankId(0),
+                        subarray: master,
+                        row: RowId(r),
+                    },
+                    &[0x40 + r as u8; 16],
+                )
+                .unwrap();
+            }
+        }
+        serial.enable_trace();
+        batched.enable_trace();
+        // Serial reference: the per-row deposit + RBM loop the GSA reload
+        // path used to issue.
+        let mut row = Vec::new();
+        for r in 0..7u16 {
+            serial
+                .peek_row_into(
+                    RowLoc {
+                        bank: BankId(0),
+                        subarray: master,
+                        row: RowId(r),
+                    },
+                    &mut row,
+                )
+                .unwrap();
+            let data = row.clone();
+            serial.deposit_buffer(BankId(0), master, &data).unwrap();
+            serial
+                .lisa_rbm_to_row(BankId(0), master, pluto, RowId(r))
+                .unwrap();
+        }
+        batched
+            .lisa_reload_rows(BankId(0), master, RowId(0), pluto, RowId(0), 7)
+            .unwrap();
+        assert_eq!(serial.elapsed(), batched.elapsed());
+        assert_eq!(
+            serial.command_energy().as_pj().to_bits(),
+            batched.command_energy().as_pj().to_bits()
+        );
+        assert_eq!(serial.stats(), batched.stats());
+        assert_eq!(serial.take_trace(), batched.take_trace());
+        for r in 0..7u16 {
+            let loc = RowLoc {
+                bank: BankId(0),
+                subarray: pluto,
+                row: RowId(r),
+            };
+            assert_eq!(
+                serial.peek_row(loc).unwrap(),
+                batched.peek_row(loc).unwrap()
+            );
+        }
+        for sa in [master, pluto] {
+            assert_eq!(
+                serial.array().buffer(BankId(0), sa),
+                batched.array().buffer(BankId(0), sa),
+                "buffer end state of {sa:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_clock_replays_engine_costs_exactly() {
+        // Issue the same lane twice: once serially on the engine between
+        // rewind/advance marks, once on a forked LaneClock. End time,
+        // energy delta, and counter delta must agree exactly.
+        let cfg = DramConfig {
+            row_bytes: 16,
+            burst_bytes: 8,
+            ..DramConfig::ddr4_2400()
+        };
+        let mut timing = TimingParams::ddr4_2400();
+        timing.t_rcd = Picos::from_ns(1.0);
+        timing.t_rp = Picos::from_ns(1.0);
+        timing.t_faw = Picos::from_ns(25.0);
+        let mut e = Engine::with_models(cfg, timing, EnergyModel::ddr4());
+        // Pre-history so the fork inherits a nonempty tFAW window.
+        for r in 0..4u16 {
+            e.sweep_step(RowLoc::new(0, 0, r), SweepStepKind::ChargeShare)
+                .unwrap();
+        }
+        e.precharge(BankId(0), SubarrayId(0)).unwrap();
+        // An identical twin that will receive the lane via merge instead
+        // of issuing it serially.
+        let mut twin = e.clone();
+        let e0 = e.command_energy();
+        let s0 = e.stats();
+        let mut lane = e.fork_lane();
+        // The lane: reload, activate, sweep, precharge, copy-out RBM.
+        lane.lisa_rbm_rows(1, 6);
+        lane.activate();
+        lane.sweep_rows(6, SweepStepKind::ChargeShare);
+        lane.precharge();
+        lane.lisa_rbm_rows(2, 1);
+        lane.precharge();
+        let outcome = lane.finish();
+        // Same stream issued serially on the engine.
+        e.lisa_reload_rows(
+            BankId(0),
+            SubarrayId(4),
+            RowId(0),
+            SubarrayId(3),
+            RowId(0),
+            6,
+        )
+        .unwrap();
+        e.activate(RowLoc::new(0, 1, 0)).unwrap();
+        e.sweep_rows(
+            BankId(0),
+            SubarrayId(3),
+            RowId(0),
+            6,
+            SweepStepKind::ChargeShare,
+        )
+        .unwrap();
+        e.precharge(BankId(0), SubarrayId(3)).unwrap();
+        e.deposit_buffer(BankId(0), SubarrayId(3), &[0; 16])
+            .unwrap();
+        e.lisa_rbm_to_row(BankId(0), SubarrayId(3), SubarrayId(1), RowId(9))
+            .unwrap();
+        e.precharge(BankId(0), SubarrayId(1)).unwrap();
+        assert_eq!(outcome.end, e.elapsed(), "lane end == serial end");
+        assert_eq!(
+            outcome.energy.as_pj().to_bits(),
+            (e.command_energy() - e0).as_pj().to_bits(),
+            "lane energy == serial delta"
+        );
+        assert_eq!(outcome.stats, e.stats().since(&s0), "lane stats == delta");
+        // Merging the outcome into the twin reproduces the serial clock
+        // and counters exactly; energy folds as one lane subtotal, equal
+        // here because the lane's additions start from zero either way.
+        twin.merge_lane(&outcome);
+        assert_eq!(twin.elapsed(), e.elapsed());
+        assert_eq!(twin.stats(), e.stats());
+        assert!(
+            (twin.command_energy() - e.command_energy()).as_pj().abs() < 1e-9,
+            "merged energy within float reassociation tolerance"
+        );
     }
 
     #[test]

@@ -46,6 +46,19 @@ impl CommandStats {
             + self.sweep_steps
     }
 
+    /// Componentwise accumulation (`self += other`), for folding a
+    /// parallel lane's counter deltas back into the engine's totals.
+    pub fn merge(&mut self, other: &CommandStats) {
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.read_bursts += other.read_bursts;
+        self.write_bursts += other.write_bursts;
+        self.row_clones += other.row_clones;
+        self.lisa_hops += other.lisa_hops;
+        self.triple_acts += other.triple_acts;
+        self.sweep_steps += other.sweep_steps;
+    }
+
     /// Componentwise difference (`self - earlier`), for measuring a window
     /// of execution.
     ///
