@@ -37,4 +37,10 @@ PLUTO_QUICK=1 cargo bench -p pluto-bench --bench query
 echo "==> partitioned-LUT guard (benches/partition.rs smoke: fused 5.6 path — 4-seg query < 2x single, cached load < the query it serves)"
 PLUTO_QUICK=1 cargo bench -p pluto-bench --bench partition
 
+echo "==> serve queue-behavior guard (benches/serve.rs smoke: mixed p99 bounded, stealing live)"
+PLUTO_QUICK=1 cargo bench -p pluto-bench --bench serve
+
+echo "==> 4-worker serve smoke (examples/serve.rs traffic replay)"
+cargo run --release --quiet --example serve -- --workers 4
+
 echo "==> CI green"

@@ -12,6 +12,15 @@
 //! **deterministic submission order** — bit-identical to running the same
 //! jobs serially through a [`Session`].
 //!
+//! Scheduling runs on per-worker work-stealing deques
+//! (the crate-internal `deque::StealDeques`): batch shards are dealt round-robin
+//! across worker lanes, the streaming [`crate::serve::Server`] injects
+//! its affinity batches onto specific lanes, and an idle worker steals
+//! from the back of a busy lane — so a small latency-sensitive serve
+//! batch never waits behind another lane's large sweep. The same worker
+//! pool executes both job flavors (the internal `Job` enum), sharing one
+//! per-configuration machine pool.
+//!
 //! Three properties make the pool safe to put under every figure sweep:
 //!
 //! 1. **Bit-identity.** A worker runs each job through [`Session::run`]
@@ -65,22 +74,36 @@
 //! # }
 //! ```
 
+use crate::deque::{Pop, StealDeques};
 use crate::error::PlutoError;
-use crate::session::{CostReport, ExecConfig, Session, Workload};
-use pluto_dram::MemoryKind;
+use crate::session::{ConfigKey, CostReport, ExecConfig, Session, Workload};
 use sim_support::{SeedableRng, StdRng};
-use std::collections::{HashMap, VecDeque};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
 use std::thread::{self, JoinHandle};
 
 /// One queued unit of work: a shard of a submitted job.
-struct ShardJob {
+pub(crate) struct ShardJob {
     /// Submission index within the current batch.
     seq: usize,
     /// Shard index within the submission.
     shard: usize,
     config: ExecConfig,
     workload: Box<dyn Workload>,
+}
+
+/// What a worker can pull off a deque lane: a batch-mode shard (the
+/// `submit`/`run` path) or a streaming serve batch injected by
+/// [`crate::serve::Server`]. Both run on the same per-worker machine
+/// pool, so a serve batch lands on sessions the batch path warmed and
+/// vice versa.
+pub(crate) enum Job {
+    /// A shard of a submitted batch job; its result flows back through
+    /// the cluster's result channel.
+    Shard(ShardJob),
+    /// A coalesced serve batch; its results flow back through the
+    /// batch's own per-ticket reply channels.
+    Serve(crate::serve::ServeBatch),
 }
 
 /// Book-keeping for one submitted job until all its shards report back.
@@ -91,71 +114,6 @@ struct PendingJob {
     shards: Vec<Option<Result<CostReport, PlutoError>>>,
 }
 
-/// Hashable identity of an [`ExecConfig`] for the per-worker machine
-/// cache (`f64` fields keyed by their bit patterns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct ConfigKey {
-    design: crate::DesignKind,
-    kind: MemoryKind,
-    row_bytes: usize,
-    burst_bytes: usize,
-    banks: u16,
-    subarrays_per_bank: u16,
-    rows_per_subarray: u16,
-    paper_row_bytes: usize,
-    salp_subarrays: usize,
-    t_faw_bits: u64,
-    seed: u64,
-    segment_farming: Option<crate::partition::FarmPolicy>,
-}
-
-impl ConfigKey {
-    fn of(config: &ExecConfig) -> Self {
-        // Exhaustive destructuring: adding a field to ExecConfig must
-        // fail to compile here, not silently alias distinct configs to
-        // one pooled machine.
-        let ExecConfig {
-            design,
-            kind,
-            row_bytes,
-            burst_bytes,
-            banks,
-            subarrays_per_bank,
-            rows_per_subarray,
-            paper_row_bytes,
-            salp_subarrays,
-            t_faw_scale,
-            seed,
-            segment_farming,
-        } = config.clone();
-        ConfigKey {
-            design,
-            kind,
-            row_bytes,
-            burst_bytes,
-            banks,
-            subarrays_per_bank,
-            rows_per_subarray,
-            paper_row_bytes,
-            salp_subarrays,
-            t_faw_bits: t_faw_scale.to_bits(),
-            seed,
-            segment_farming,
-        }
-    }
-}
-
-/// State shared between the cluster handle and its workers.
-struct Shared {
-    state: Mutex<QueueState>,
-    available: Condvar,
-}
-
-struct QueueState {
-    jobs: VecDeque<ShardJob>,
-    shutdown: bool,
-}
-
 type ShardResult = (usize, usize, Result<CostReport, PlutoError>);
 
 /// A pool of worker threads executing [`Session`] jobs in parallel with
@@ -164,18 +122,29 @@ type ShardResult = (usize, usize, Result<CostReport, PlutoError>);
 ///
 /// Workers live as long as the cluster, and their per-[`ExecConfig`]
 /// machine caches persist across [`Cluster::run`] batches, so a figure
-/// binary can reuse one cluster for every sweep it prints.
+/// binary can reuse one cluster for every sweep it prints — and the
+/// streaming [`crate::serve::Server`] front-end reuses the same pool for
+/// its query traffic.
 #[derive(Debug)]
 pub struct Cluster {
-    shared: Arc<Shared>,
+    deques: Arc<StealDeques<Job>>,
     results: mpsc::Receiver<ShardResult>,
     workers: Vec<JoinHandle<()>>,
     pending: Vec<PendingJob>,
+    /// Round-robin cursor for dealing batch shards across lanes.
+    next_lane: usize,
 }
 
-impl std::fmt::Debug for Shared {
+impl std::fmt::Debug for Job {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Shared").finish_non_exhaustive()
+        match self {
+            Job::Shard(s) => f
+                .debug_struct("Job::Shard")
+                .field("seq", &s.seq)
+                .field("shard", &s.shard)
+                .finish_non_exhaustive(),
+            Job::Serve(_) => f.debug_struct("Job::Serve").finish_non_exhaustive(),
+        }
     }
 }
 
@@ -185,30 +154,25 @@ impl Cluster {
     /// Worker count affects wall-clock time only, never results: reports
     /// are bit-identical for any worker count, including one.
     pub fn new(workers: usize) -> Self {
-        let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
-            available: Condvar::new(),
-        });
-        let (tx, rx) = mpsc::channel();
         let workers = workers.max(1);
+        let deques: Arc<StealDeques<Job>> = Arc::new(StealDeques::new(workers));
+        let (tx, rx) = mpsc::channel();
         let handles = (0..workers)
             .map(|i| {
-                let shared = Arc::clone(&shared);
+                let deques = Arc::clone(&deques);
                 let tx = tx.clone();
                 thread::Builder::new()
                     .name(format!("pluto-cluster-{i}"))
-                    .spawn(move || worker_main(&shared, &tx))
+                    .spawn(move || worker_main(&deques, i, &tx))
                     .expect("spawning cluster worker")
             })
             .collect();
         Cluster {
-            shared,
+            deques,
             results: rx,
             workers: handles,
             pending: Vec::new(),
+            next_lane: 0,
         }
     }
 
@@ -226,6 +190,14 @@ impl Cluster {
     /// Jobs submitted since the last [`Cluster::run`].
     pub fn pending(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Cross-lane steals performed by the pool since construction — a
+    /// worker that found its own lane empty and took the *back* item of
+    /// another lane. Scheduling telemetry only; results are identical
+    /// whether or not any steal happened.
+    pub fn steals(&self) -> u64 {
+        self.deques.steal_count()
     }
 
     /// Queues one workload to run whole (a single shard) under `config`.
@@ -291,12 +263,20 @@ impl Cluster {
         self.pending.push(PendingJob {
             shards: (0..jobs.len()).map(|_| None).collect(),
         });
-        {
-            let mut state = self.shared.state.lock().expect("cluster queue poisoned");
-            state.jobs.extend(jobs);
+        // Deal shards round-robin across worker lanes; idle workers
+        // steal across lanes, so the exact dealing only seeds locality.
+        for job in jobs {
+            let lane = self.next_lane;
+            self.next_lane = (self.next_lane + 1) % self.deques.lanes();
+            self.deques.push(lane, Job::Shard(job));
         }
-        self.shared.available.notify_all();
         seq
+    }
+
+    /// Pushes a coalesced serve batch onto worker `lane`'s deque (used by
+    /// [`crate::serve::Server`], which owns the lane-affinity mapping).
+    pub(crate) fn inject_serve(&self, lane: usize, batch: crate::serve::ServeBatch) {
+        self.deques.push(lane, Job::Serve(batch));
     }
 
     /// Submits every workload of a batch under one configuration and
@@ -326,17 +306,37 @@ impl Cluster {
     /// jobs of the batch still ran to completion. A workload that
     /// *panics* on a worker is caught and reported as
     /// [`PlutoError::WorkerPanic`]; the worker (and the cluster) stay
-    /// usable.
+    /// usable. If the worker pool itself dies with shards outstanding
+    /// (every worker thread exited), the missing shards are reported as
+    /// [`PlutoError::WorkerLost`] instead of hanging the caller.
     pub fn run(&mut self) -> Result<Vec<CostReport>, PlutoError> {
         let mut pending = std::mem::take(&mut self.pending);
         let mut outstanding: usize = pending.iter().map(|p| p.shards.len()).sum();
         while outstanding > 0 {
-            let (seq, shard, outcome) = self
-                .results
-                .recv()
-                .expect("a cluster worker died with jobs outstanding");
-            pending[seq].shards[shard] = Some(outcome);
-            outstanding -= 1;
+            match self.results.recv() {
+                Ok((seq, shard, outcome)) => {
+                    pending[seq].shards[shard] = Some(outcome);
+                    outstanding -= 1;
+                }
+                Err(_) => {
+                    // Every worker's sender is gone: the pool died with
+                    // shards outstanding. Fill the holes so the batch
+                    // degrades to an error instead of blocking forever.
+                    let reason = format!(
+                        "cluster result channel closed with {outstanding} shard(s) outstanding"
+                    );
+                    for job in &mut pending {
+                        for slot in &mut job.shards {
+                            if slot.is_none() {
+                                *slot = Some(Err(PlutoError::WorkerLost {
+                                    reason: reason.clone(),
+                                }));
+                            }
+                        }
+                    }
+                    break;
+                }
+            }
         }
         let mut reports = Vec::with_capacity(pending.len());
         for job in pending {
@@ -349,15 +349,21 @@ impl Cluster {
         }
         Ok(reports)
     }
+
+    /// Test hook: shut the worker pool down (discarding queued jobs) so
+    /// the degraded-pool paths can be exercised deterministically.
+    #[cfg(test)]
+    pub(crate) fn kill_workers(&mut self) {
+        self.deques.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 impl Drop for Cluster {
     fn drop(&mut self) {
-        {
-            let mut state = self.shared.state.lock().expect("cluster queue poisoned");
-            state.shutdown = true;
-        }
-        self.shared.available.notify_all();
+        self.deques.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -369,50 +375,57 @@ pub fn default_workers() -> usize {
     thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-fn worker_main(shared: &Shared, results: &mpsc::Sender<ShardResult>) {
+fn worker_main(deques: &StealDeques<Job>, lane: usize, results: &mpsc::Sender<ShardResult>) {
     // The keyed machine pool: one live Session (machine + config) per
     // distinct ExecConfig this worker has executed. Sessions reset their
     // machine in place between runs, so repeat configurations never pay
-    // machine construction again.
+    // machine construction again. Batch shards and serve batches share
+    // the pool.
     let mut pool: HashMap<ConfigKey, Session> = HashMap::new();
     loop {
-        let job = {
-            let mut state = shared.state.lock().expect("cluster queue poisoned");
-            loop {
-                if state.shutdown {
-                    return;
-                }
-                if let Some(job) = state.jobs.pop_front() {
-                    break job;
-                }
-                state = shared
-                    .available
-                    .wait(state)
-                    .expect("cluster queue poisoned");
-            }
+        let job = match deques.pop(lane) {
+            Pop::Item { item, .. } => item,
+            Pop::Closed => return,
         };
-        // Contain workload panics: report the job failed and keep the
-        // worker alive, so `Cluster::run` surfaces an error instead of
-        // deadlocking on a shard that will never report back.
-        let (seq, shard) = (job.seq, job.shard);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_shard(&mut pool, job.config, job.workload)
-        }))
-        .unwrap_or_else(|payload| {
-            // A panic may have left the pooled sessions mid-mutation;
-            // drop them (the next job rebuilds its machine).
-            pool.clear();
-            Err(PlutoError::WorkerPanic {
-                reason: panic_message(payload.as_ref()),
-            })
-        });
-        if results.send((seq, shard, outcome)).is_err() {
-            return; // cluster handle dropped
+        match job {
+            Job::Shard(job) => {
+                // Contain workload panics: report the job failed and keep
+                // the worker alive, so `Cluster::run` surfaces an error
+                // instead of deadlocking on a shard that never reports.
+                let (seq, shard) = (job.seq, job.shard);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_shard(&mut pool, job.config, job.workload)
+                }))
+                .unwrap_or_else(|payload| {
+                    // A panic may have left the pooled sessions
+                    // mid-mutation; drop them (the next job rebuilds its
+                    // machine).
+                    pool.clear();
+                    Err(PlutoError::WorkerPanic {
+                        reason: panic_message(payload.as_ref()),
+                    })
+                });
+                if results.send((seq, shard, outcome)).is_err() {
+                    return; // cluster handle dropped
+                }
+            }
+            Job::Serve(batch) => {
+                // Serve batches reply on their own per-ticket channels
+                // and catch per-query panics internally; a panic escaping
+                // the batch machinery itself still must not kill the
+                // worker (the batch's drop guards resolve its tickets).
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::serve::execute_batch(&mut pool, batch);
+                }));
+                if caught.is_err() {
+                    pool.clear();
+                }
+            }
         }
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -675,6 +688,36 @@ mod tests {
         cluster.submit(config, Box::new(Square::new(10)));
         let report = cluster.run().unwrap().remove(0);
         assert_eq!(report, serial_report(DesignKind::Gmc, 10));
+    }
+
+    #[test]
+    fn dead_pool_degrades_to_worker_lost_not_a_hang() {
+        let mut cluster = Cluster::new(2);
+        cluster.kill_workers();
+        let config = ExecConfig::measurement(DesignKind::Gmc);
+        cluster.submit(config.clone(), Box::new(Square::new(10)));
+        cluster.submit(config, Box::new(Square::new(20)));
+        let err = cluster.run().unwrap_err();
+        assert!(
+            matches!(err, PlutoError::WorkerLost { ref reason } if reason.contains("outstanding")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn batch_shards_record_steals_under_skewed_lanes() {
+        // One worker pool property the serve path depends on: an idle
+        // lane helps a loaded one. With 2 workers and many single-shard
+        // jobs dealt round-robin, forcing all work through `run` should
+        // complete regardless of which lane executed what.
+        let mut cluster = Cluster::new(2);
+        let config = ExecConfig::measurement(DesignKind::Gmc);
+        for _ in 0..6 {
+            cluster.submit(config.clone(), Box::new(Square::new(30)));
+        }
+        let reports = cluster.run().unwrap();
+        assert_eq!(reports.len(), 6);
+        assert!(reports.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

@@ -53,6 +53,15 @@ pub enum PlutoError {
         /// The panic payload, stringified.
         reason: String,
     },
+    /// A worker thread died (or its result channel closed) with work
+    /// outstanding — the batch/query cannot complete. Surfaced instead of
+    /// hanging or unwrapping a poisoned lock, so callers degrade
+    /// gracefully when the pool is gone.
+    WorkerLost {
+        /// What was observed (which channel closed, how many results
+        /// were still outstanding).
+        reason: String,
+    },
 }
 
 impl fmt::Display for PlutoError {
@@ -80,6 +89,9 @@ impl fmt::Display for PlutoError {
             }
             PlutoError::WorkerPanic { reason } => {
                 write!(f, "a cluster worker panicked while running a job: {reason}")
+            }
+            PlutoError::WorkerLost { reason } => {
+                write!(f, "a worker was lost with work outstanding: {reason}")
             }
         }
     }

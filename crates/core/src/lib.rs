@@ -32,6 +32,11 @@
 //! * [`cluster`] — the sharded parallel executor (`DESIGN.md` §6): a
 //!   deterministic multi-worker [`Cluster`] with per-configuration
 //!   machine pooling, serial-identical results in submission order.
+//! * `deque` (crate-internal) — per-worker work-stealing deques, the
+//!   scheduling substrate under both the cluster and the serve front-end.
+//! * [`serve`] — the streaming query service (`DESIGN.md` §9): a
+//!   long-lived [`serve::Server`] with non-blocking ingestion, affinity
+//!   batching, and per-ticket replies bit-identical to serial execution.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +60,7 @@ pub mod area;
 pub mod cluster;
 pub mod compiler;
 pub mod controller;
+pub(crate) mod deque;
 pub mod design;
 pub mod error;
 pub mod isa;
@@ -65,6 +71,7 @@ pub mod match_logic;
 pub mod partition;
 pub mod query;
 pub mod salp;
+pub mod serve;
 pub mod session;
 pub mod store;
 
@@ -75,6 +82,7 @@ pub use library::{MapResult, PlutoMachine};
 pub use lut::Lut;
 pub use partition::{FarmPolicy, PartitionedCost, PartitionedLut, PlutoStore};
 pub use query::{QueryCost, QueryExecutor, QueryPlacement, QueryScratch};
+pub use serve::{QueryReply, QuerySpec, ServeConfig, Server, Ticket};
 pub use session::{CostReport, ExecConfig, Session, SessionBuilder, Workload};
 pub use store::LutStore;
 
@@ -87,6 +95,7 @@ pub mod prelude {
     pub use crate::lut::{catalog, Lut};
     pub use crate::partition::{FarmPolicy, PartitionedCost, PartitionedLut, PlutoStore};
     pub use crate::query::{QueryCost, QueryExecutor, QueryPlacement};
+    pub use crate::serve::{QueryReply, QuerySpec, ServeConfig, Server, Ticket};
     pub use crate::session::{CostReport, ExecConfig, Session, SessionBuilder, Workload};
     pub use crate::store::LutStore;
     pub use pluto_dram::{DramConfig, Engine, MemoryKind};

@@ -1,0 +1,763 @@
+//! `pluto-serve` — a streaming LUT-query service with affinity batching
+//! and work-stealing workers on top of [`Cluster`] (`DESIGN.md` §9).
+//!
+//! The batch [`Cluster`] answers "run this job list and wait"; the north
+//! star's serving scenario — millions of users hitting a tone-map / CRC /
+//! inference endpoint backed by pLUTo DRAM — needs the opposite shape: a
+//! long-lived [`Server`] ingesting a *continuous stream* of independent
+//! queries, each a `(ExecConfig, LUT, inputs)` triple, and streaming its
+//! result back to the caller as soon as it completes. PALUTE
+//! (arXiv:2606.08891) frames LUT-PIM as exactly this request-stream
+//! backend, and PULSAR (arXiv:2312.02880) motivates the queueing problem
+//! the design solves: latency-sensitive small queries coexisting with
+//! heavyweight sweeps on one substrate.
+//!
+//! The pipeline (ingestion → affinity coalescer → work-stealing deques →
+//! per-ticket replies):
+//!
+//! 1. **Ingestion.** [`Server::enqueue`] is non-blocking: it hands back a
+//!    [`Ticket`] immediately; the caller later blocks on
+//!    [`Ticket::wait`] (or holds a bag of tickets and waits for each in
+//!    arrival order).
+//! 2. **Affinity coalescing.** Queries are grouped into shard-sized
+//!    batches keyed by `(effective ExecConfig, LUT identity)` — the
+//!    same key the cluster workers pool their [`Session`]s under, so
+//!    every query of a batch lands on a machine already sized and reset
+//!    for it, and repeat LUTs hit the process-wide packed-row cache
+//!    ([`crate::store`]). A batch flushes when it reaches
+//!    [`ServeConfig::batch_slots`] entries or on [`Server::flush`] /
+//!    [`Server::drain`].
+//! 3. **Work-stealing dispatch.** Each affinity class has a *home lane*
+//!    (assigned round-robin in first-appearance order — deterministic,
+//!    no hash iteration). Batches are injected onto that worker's deque;
+//!    an idle worker steals from the back of a busy lane, so a small
+//!    query batch never queues behind another lane's in-flight sweep
+//!    (the crate-internal `deque` module).
+//! 4. **Per-ticket replies.** Every query owns an `mpsc` reply channel.
+//!    Within a batch, queries execute and reply in arrival order; a
+//!    dropped worker resolves its tickets with
+//!    [`PlutoError::WorkerLost`] instead of leaving the caller hanging.
+//!
+//! **Determinism contract.** Each query runs as its own
+//! [`Session::run`] on a pristine (reset) machine, so its output words
+//! and [`CostReport`] are bit-identical to [`serial_oracle`] — the same
+//! query run serially through a fresh [`Session`] — regardless of
+//! worker count, arrival order, batching, or whether a steal moved the
+//! batch. Scheduling decides only *when*, never *what*.
+//!
+//! ```
+//! use pluto_core::serve::{QuerySpec, Server, ServeConfig};
+//! use pluto_core::session::ExecConfig;
+//! use pluto_core::lut::{catalog, Lut};
+//! use pluto_core::DesignKind;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), pluto_core::PlutoError> {
+//! let mut server = Server::new(ServeConfig { workers: 2, ..ServeConfig::default() });
+//! let lut = Arc::new(catalog::add(4)?);
+//! let tickets: Vec<_> = (0..8)
+//!     .map(|i| {
+//!         server.enqueue(QuerySpec {
+//!             config: ExecConfig::measurement(DesignKind::Gmc),
+//!             lut: Arc::clone(&lut),
+//!             inputs: vec![i, i + 1],
+//!         })
+//!     })
+//!     .collect();
+//! server.flush();
+//! for (i, t) in tickets.into_iter().enumerate() {
+//!     let reply = t.wait()?;
+//!     assert_eq!(reply.values[0], (i as u64 >> 4) + (i as u64 & 0xf));
+//!     assert!(reply.report.validated);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::cluster::{default_workers, panic_message, Cluster};
+use crate::error::PlutoError;
+use crate::lut::Lut;
+use crate::session::{encode_words, ConfigKey, CostReport, ExecConfig, Session, Workload};
+use sim_support::StdRng;
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+
+/// One independent LUT query: apply `lut` to `inputs` under `config`.
+///
+/// The LUT is shared by `Arc` so that thousands of queries against one
+/// registry LUT (the serving steady state) carry a pointer, not a table
+/// copy; affinity batching keys on the LUT's identity
+/// (name/width/length), so clones of one logical LUT coalesce together.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Execution configuration (design, memory kind, geometry, seed).
+    pub config: ExecConfig,
+    /// The lookup table to query. Any size — large LUTs route through
+    /// the §5.6 partitioned store exactly as in a serial session.
+    pub lut: Arc<Lut>,
+    /// Input elements, one LUT lookup each.
+    pub inputs: Vec<u64>,
+}
+
+/// A completed query's results, delivered through its [`Ticket`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// The query's arrival sequence number ([`Ticket::seq`]).
+    pub seq: u64,
+    /// Output elements, one per input.
+    pub values: Vec<u64>,
+    /// The query's cost report — bit-identical to the [`serial_oracle`]
+    /// report for the same spec.
+    pub report: CostReport,
+}
+
+/// Claim check for one enqueued query: resolves to the query's
+/// [`QueryReply`] (or error) exactly once.
+#[derive(Debug)]
+pub struct Ticket {
+    seq: u64,
+    rx: mpsc::Receiver<Result<QueryReply, PlutoError>>,
+}
+
+impl Ticket {
+    /// The query's arrival sequence number (dense, starting at 0 per
+    /// server).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Blocks until the query completes.
+    ///
+    /// # Errors
+    /// The query's own failure (bad input index, layout mismatch, a
+    /// panic caught on the worker as [`PlutoError::WorkerPanic`]), or
+    /// [`PlutoError::WorkerLost`] if the serving worker died before a
+    /// result could be produced — a ticket never blocks forever.
+    pub fn wait(self) -> Result<QueryReply, PlutoError> {
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(PlutoError::WorkerLost {
+                reason: format!(
+                    "reply channel for ticket {} closed before a result arrived",
+                    self.seq
+                ),
+            }),
+        }
+    }
+
+    /// Non-blocking probe: `Some` once the query has completed.
+    pub fn try_wait(&self) -> Option<Result<QueryReply, PlutoError>> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(PlutoError::WorkerLost {
+                reason: format!(
+                    "reply channel for ticket {} closed before a result arrived",
+                    self.seq
+                ),
+            })),
+        }
+    }
+}
+
+/// Construction parameters for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (and deque lanes). Clamped to at least one.
+    pub workers: usize,
+    /// Queries per affinity batch before it auto-flushes. Sized so one
+    /// batch amortizes session residency without starving other
+    /// affinities of a worker; latency-sensitive callers flush early
+    /// via [`Server::flush`].
+    pub batch_slots: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: default_workers(),
+            batch_slots: 32,
+        }
+    }
+}
+
+/// Scheduling/ingestion telemetry of a [`Server`] (monotonic since
+/// construction). Results never depend on any of these numbers — they
+/// describe *when* work ran, not *what* it computed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries accepted by [`Server::enqueue`].
+    pub enqueued: u64,
+    /// Batches dispatched to worker lanes.
+    pub batches: u64,
+    /// Batches dispatched because they filled to `batch_slots` (the
+    /// rest were flushed explicitly or by drain/shutdown).
+    pub full_batches: u64,
+    /// Largest batch occupancy dispatched so far.
+    pub max_batch: usize,
+    /// Distinct affinity classes seen (config × LUT identity).
+    pub affinities: usize,
+}
+
+/// Count of enqueued-but-unresolved queries, shared between the server
+/// handle and in-flight batches; [`Server::drain`] blocks on it reaching
+/// zero. Batches decrement it from a drop guard, so even a panicking
+/// worker accounts for its queries.
+#[derive(Debug, Default)]
+struct Outstanding {
+    count: Mutex<u64>,
+    zero: Condvar,
+}
+
+impl Outstanding {
+    fn add(&self, n: u64) {
+        let mut count = self.count.lock().unwrap_or_else(PoisonError::into_inner);
+        *count += n;
+    }
+
+    fn sub(&self, n: u64) {
+        let mut count = self.count.lock().unwrap_or_else(PoisonError::into_inner);
+        *count = count.saturating_sub(n);
+        if *count == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn current(&self) -> u64 {
+        *self.count.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait_zero(&self) {
+        let mut count = self.count.lock().unwrap_or_else(PoisonError::into_inner);
+        while *count > 0 {
+            count = self
+                .zero
+                .wait(count)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Decrements the outstanding counter when dropped — once per query the
+/// batch carried — so ticket accounting survives worker panics and
+/// discarded batches alike.
+struct DoneGuard {
+    outstanding: Arc<Outstanding>,
+    queries: u64,
+}
+
+impl Drop for DoneGuard {
+    fn drop(&mut self) {
+        self.outstanding.sub(self.queries);
+    }
+}
+
+/// One query inside a coalesced batch.
+struct ServeEntry {
+    seq: u64,
+    inputs: Vec<u64>,
+    reply: mpsc::Sender<Result<QueryReply, PlutoError>>,
+}
+
+/// A coalesced, dispatch-ready batch of same-affinity queries — the
+/// serve flavor of [`crate::cluster::Job`]. All entries share one
+/// effective configuration and LUT, so the executing worker runs the
+/// whole batch on one pooled session.
+pub(crate) struct ServeBatch {
+    /// Effective configuration: the submitted one with its subarray
+    /// floor already raised to the LUT's demand, so pooling keys match
+    /// what [`Session::run`] sizes the machine to.
+    config: ExecConfig,
+    lut: Arc<Lut>,
+    min_subarrays: u16,
+    entries: Vec<ServeEntry>,
+    /// Accounting guard; dropping the batch (normally, on panic, or
+    /// discarded by shutdown) releases its queries from `drain`.
+    done: DoneGuard,
+}
+
+/// Identity of an affinity class: queries whose batches may share a
+/// pooled session and packed LUT rows.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AffinityKey {
+    config: ConfigKey,
+    lut_name: String,
+    lut_input_bits: u32,
+    lut_output_bits: u32,
+    lut_len: usize,
+}
+
+impl AffinityKey {
+    fn of(effective: &ExecConfig, lut: &Lut) -> Self {
+        AffinityKey {
+            config: ConfigKey::of(effective),
+            lut_name: lut.name().to_string(),
+            lut_input_bits: lut.input_bits(),
+            lut_output_bits: lut.output_bits(),
+            lut_len: lut.len(),
+        }
+    }
+}
+
+/// A batch still filling in the coalescer. Kept in an insertion-ordered
+/// `Vec` (not a `HashMap`) so flush order — and therefore lane traffic —
+/// is deterministic for a fixed arrival order.
+struct PendingBatch {
+    key: AffinityKey,
+    lane: usize,
+    config: ExecConfig,
+    lut: Arc<Lut>,
+    min_subarrays: u16,
+    entries: Vec<ServeEntry>,
+}
+
+/// A streaming LUT-query service: non-blocking ingestion, affinity
+/// batching, work-stealing execution on a [`Cluster`] worker pool, and
+/// per-ticket result delivery. See the [module docs](self).
+pub struct Server {
+    cluster: Cluster,
+    batch_slots: usize,
+    /// Filling batches, insertion-ordered.
+    pending: Vec<PendingBatch>,
+    /// Home lane per affinity class, assigned round-robin in
+    /// first-appearance order.
+    lanes: HashMap<AffinityKey, usize>,
+    next_lane: usize,
+    next_seq: u64,
+    outstanding: Arc<Outstanding>,
+    stats: ServeStats,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.cluster.workers())
+            .field("batch_slots", &self.batch_slots)
+            .field("pending_batches", &self.pending.len())
+            .field("outstanding", &self.outstanding.current())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Starts a server with its own worker pool.
+    pub fn new(config: ServeConfig) -> Self {
+        Server {
+            cluster: Cluster::new(config.workers),
+            batch_slots: config.batch_slots.max(1),
+            pending: Vec::new(),
+            lanes: HashMap::new(),
+            next_lane: 0,
+            next_seq: 0,
+            outstanding: Arc::new(Outstanding::default()),
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// Starts a server with `workers` threads and default batching.
+    pub fn with_workers(workers: usize) -> Self {
+        Server::new(ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        })
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.cluster.workers()
+    }
+
+    /// Cross-lane steals performed by the pool so far (scheduling
+    /// telemetry; see [`Cluster::steals`]).
+    pub fn steals(&self) -> u64 {
+        self.cluster.steals()
+    }
+
+    /// Enqueued queries not yet resolved to their tickets.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding.current()
+    }
+
+    /// Ingestion/batching telemetry so far.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Accepts one query and returns its [`Ticket`] immediately.
+    ///
+    /// Non-blocking: the query joins (or opens) the filling batch of its
+    /// affinity class and is dispatched when that batch fills to
+    /// [`ServeConfig::batch_slots`], or on [`Server::flush`] /
+    /// [`Server::drain`]. Invalid queries (e.g. an input exceeding the
+    /// LUT's index range) are still accepted here; the failure arrives
+    /// through the ticket, leaving other queries of the batch untouched.
+    pub fn enqueue(&mut self, spec: QuerySpec) -> Ticket {
+        let QuerySpec {
+            config,
+            lut,
+            inputs,
+        } = spec;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.enqueued += 1;
+        self.outstanding.add(1);
+        let (reply, rx) = mpsc::channel();
+
+        let min_subarrays = min_subarrays_for(&lut, config.rows_per_subarray);
+        let mut effective = config;
+        effective.subarrays_per_bank = effective.subarrays_per_bank.max(min_subarrays);
+        let key = AffinityKey::of(&effective, &lut);
+
+        // Home lane: first appearance of an affinity claims the next
+        // lane round-robin — deterministic for a fixed arrival order.
+        let lane = match self.lanes.get(&key) {
+            Some(&lane) => lane,
+            None => {
+                let lane = self.next_lane;
+                self.next_lane = (self.next_lane + 1) % self.cluster.workers().max(1);
+                self.lanes.insert(key.clone(), lane);
+                self.stats.affinities = self.lanes.len();
+                lane
+            }
+        };
+
+        let entry = ServeEntry { seq, inputs, reply };
+        match self.pending.iter_mut().find(|b| b.key == key) {
+            Some(batch) => batch.entries.push(entry),
+            None => self.pending.push(PendingBatch {
+                key,
+                lane,
+                config: effective,
+                lut,
+                min_subarrays,
+                entries: vec![entry],
+            }),
+        }
+        // Auto-flush any batch that just filled (only the touched one
+        // can have).
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|b| b.entries.len() >= self.batch_slots)
+        {
+            let batch = self.pending.remove(pos);
+            self.stats.full_batches += 1;
+            self.dispatch(batch);
+        }
+        Ticket { seq, rx }
+    }
+
+    /// Dispatches every filling batch, in insertion order. Call after a
+    /// burst of enqueues (or for latency-sensitive single queries) so no
+    /// query waits for its batch to fill.
+    pub fn flush(&mut self) {
+        for batch in std::mem::take(&mut self.pending) {
+            self.dispatch(batch);
+        }
+    }
+
+    fn dispatch(&mut self, batch: PendingBatch) {
+        let PendingBatch {
+            lane,
+            config,
+            lut,
+            min_subarrays,
+            entries,
+            ..
+        } = batch;
+        self.stats.batches += 1;
+        self.stats.max_batch = self.stats.max_batch.max(entries.len());
+        let done = DoneGuard {
+            outstanding: Arc::clone(&self.outstanding),
+            queries: entries.len() as u64,
+        };
+        self.cluster.inject_serve(
+            lane,
+            ServeBatch {
+                config,
+                lut,
+                min_subarrays,
+                entries,
+                done,
+            },
+        );
+    }
+
+    /// Graceful drain: flushes every filling batch, then blocks until
+    /// every enqueued ticket has been resolved (successfully or with an
+    /// error). After `drain` returns, every outstanding [`Ticket::wait`]
+    /// returns without blocking; no ticket is ever dropped. The server
+    /// stays usable — drain is a barrier, not a shutdown.
+    pub fn drain(&mut self) {
+        self.flush();
+        self.outstanding.wait_zero();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Shutdown implies drain: every accepted ticket resolves before
+        // the workers join (satellite: no enqueued ticket is ever
+        // dropped). The cluster's own Drop then closes the deques and
+        // joins the pool.
+        self.drain();
+    }
+}
+
+/// Minimum subarrays-per-bank a standalone query against `lut` needs:
+/// room for the §5.6 partitioned store's segment pairs (2 per segment)
+/// plus the controller's fixed rails, floored at the measurement
+/// geometry's 16 (mirrors the direct-LUT workloads' demands: 20 for the
+/// 4096-entry Gamma12, 260 for the 65 536-entry MulDirect8).
+fn min_subarrays_for(lut: &Lut, rows_per_subarray: u16) -> u16 {
+    let rows = (rows_per_subarray as usize).max(1);
+    let segments = lut.len().div_ceil(rows);
+    let demand = 2 * segments + 4;
+    u16::try_from(demand).unwrap_or(u16::MAX).max(16)
+}
+
+/// The serve path's unit of execution: one query run as a [`Workload`]
+/// so that [`Session::run`] gives it the full measurement protocol —
+/// pristine machine, reference validation, costed report — and therefore
+/// bit-identity with any other execution of the same spec.
+struct QueryWorkload {
+    lut: Arc<Lut>,
+    inputs: Vec<u64>,
+    min_subarrays: u16,
+    /// Output words captured during `run_pluto` for the reply.
+    out: Vec<u64>,
+}
+
+impl std::fmt::Debug for QueryWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryWorkload")
+            .field("lut", &self.lut.name())
+            .field("inputs", &self.inputs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Workload for QueryWorkload {
+    fn id(&self) -> &'static str {
+        "serve-query"
+    }
+
+    fn prepare(&mut self, _rng: &mut StdRng) {
+        // Inputs arrive fully formed from the caller; nothing to
+        // generate, which is what makes a query seed-independent.
+    }
+
+    fn run_pluto(&mut self, session: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        let out = session.machine_mut().apply(&self.lut, &self.inputs)?.values;
+        let encoded = encode_words(&out);
+        self.out = out;
+        Ok(encoded)
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        // Only reached after run_pluto succeeded, so every input is in
+        // range; an empty fallback would simply fail validation.
+        encode_words(&self.lut.apply_all(&self.inputs).unwrap_or_default())
+    }
+
+    fn input_bytes(&self) -> f64 {
+        self.inputs.len() as f64 * f64::from(self.lut.input_bits()) / 8.0
+    }
+
+    fn min_subarrays(&self) -> u16 {
+        self.min_subarrays
+    }
+}
+
+/// Runs one query exactly as a worker would, but serially on a fresh
+/// [`Session`] — the determinism oracle: for any worker count, arrival
+/// order, or batching, the served [`QueryReply`] carries these same
+/// output words and this same bit-exact [`CostReport`].
+///
+/// # Errors
+/// Whatever the query itself fails with (construction, layout, index
+/// range).
+pub fn serial_oracle(spec: &QuerySpec) -> Result<(Vec<u64>, CostReport), PlutoError> {
+    let mut session = Session::with_config(spec.config.clone())?;
+    let mut workload = QueryWorkload {
+        lut: Arc::clone(&spec.lut),
+        inputs: spec.inputs.clone(),
+        min_subarrays: min_subarrays_for(&spec.lut, spec.config.rows_per_subarray),
+        out: Vec::new(),
+    };
+    let report = session.run(&mut workload)?;
+    Ok((workload.out, report))
+}
+
+/// Executes a coalesced batch on a worker's pooled sessions (called from
+/// the cluster worker loop). Entries run — and reply — in arrival
+/// order; a per-entry panic resolves that entry's ticket with
+/// [`PlutoError::WorkerPanic`] and drops the (possibly torn) pooled
+/// sessions, leaving the rest of the batch to run on rebuilt machines.
+pub(crate) fn execute_batch(pool: &mut HashMap<ConfigKey, Session>, batch: ServeBatch) {
+    let ServeBatch {
+        config,
+        lut,
+        min_subarrays,
+        entries,
+        done,
+    } = batch;
+    for entry in entries {
+        let ServeEntry { seq, inputs, reply } = entry;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_query(pool, &config, &lut, min_subarrays, inputs)
+        }))
+        .unwrap_or_else(|payload| {
+            pool.clear();
+            Err(PlutoError::WorkerPanic {
+                reason: panic_message(payload.as_ref()),
+            })
+        });
+        // A dropped ticket (caller gave up) is fine; everyone else gets
+        // their reply before the done-guard releases the drain barrier.
+        let _ = reply.send(outcome.map(|(values, report)| QueryReply {
+            seq,
+            values,
+            report,
+        }));
+    }
+    drop(done);
+}
+
+fn run_query(
+    pool: &mut HashMap<ConfigKey, Session>,
+    config: &ExecConfig,
+    lut: &Arc<Lut>,
+    min_subarrays: u16,
+    inputs: Vec<u64>,
+) -> Result<(Vec<u64>, CostReport), PlutoError> {
+    // `config` is already effective (subarray floor raised at enqueue),
+    // so this key matches the batch path's pooling and `Session::run`
+    // takes the cheap reset branch on repeat geometries.
+    let session = match pool.entry(ConfigKey::of(config)) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(v) => {
+            v.insert(Session::with_config(config.clone())?)
+        }
+    };
+    let mut workload = QueryWorkload {
+        lut: Arc::clone(lut),
+        inputs,
+        min_subarrays,
+        out: Vec::new(),
+    };
+    let report = session.run(&mut workload)?;
+    session.take_reports();
+    Ok((workload.out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::catalog;
+    use crate::DesignKind;
+
+    fn spec(inputs: Vec<u64>) -> QuerySpec {
+        QuerySpec {
+            config: ExecConfig::measurement(DesignKind::Gmc),
+            lut: Arc::new(catalog::add(4).unwrap()),
+            inputs,
+        }
+    }
+
+    #[test]
+    fn served_replies_match_the_serial_oracle() {
+        let mut server = Server::with_workers(2);
+        let specs: Vec<QuerySpec> = (0..6).map(|i| spec(vec![i, i + 16, i + 32])).collect();
+        let tickets: Vec<Ticket> = specs.iter().map(|s| server.enqueue(s.clone())).collect();
+        server.flush();
+        for (s, t) in specs.iter().zip(tickets) {
+            let (values, report) = serial_oracle(s).unwrap();
+            let reply = t.wait().unwrap();
+            assert_eq!(reply.values, values);
+            assert_eq!(reply.report, report);
+            assert!(reply.report.validated);
+        }
+    }
+
+    #[test]
+    fn tickets_number_in_arrival_order_and_batches_coalesce() {
+        let mut server = Server::new(ServeConfig {
+            workers: 1,
+            batch_slots: 4,
+        });
+        let tickets: Vec<Ticket> = (0..10).map(|i| server.enqueue(spec(vec![i]))).collect();
+        for (i, t) in tickets.iter().enumerate() {
+            assert_eq!(t.seq(), i as u64);
+        }
+        // 10 same-affinity queries with 4 slots: two full batches
+        // auto-flushed, two queries still filling.
+        let stats = server.stats();
+        assert_eq!(stats.enqueued, 10);
+        assert_eq!(stats.full_batches, 2);
+        assert_eq!(stats.max_batch, 4);
+        assert_eq!(stats.affinities, 1);
+        server.drain();
+        assert_eq!(server.outstanding(), 0);
+        for t in tickets {
+            assert!(t.try_wait().expect("drained").is_ok());
+        }
+    }
+
+    #[test]
+    fn per_query_errors_do_not_poison_the_batch() {
+        let mut server = Server::with_workers(1);
+        let good = server.enqueue(spec(vec![3]));
+        let bad = server.enqueue(spec(vec![1 << 40])); // exceeds 8-bit index
+        let after = server.enqueue(spec(vec![5]));
+        server.drain();
+        assert!(good.wait().unwrap().report.validated);
+        assert!(matches!(
+            bad.wait().unwrap_err(),
+            PlutoError::IndexOutOfRange { .. }
+        ));
+        assert!(after.wait().unwrap().report.validated);
+    }
+
+    #[test]
+    fn drop_without_drain_resolves_every_ticket() {
+        let mut server = Server::with_workers(2);
+        let tickets: Vec<Ticket> = (0..5).map(|i| server.enqueue(spec(vec![i]))).collect();
+        drop(server); // never flushed explicitly
+        for t in tickets {
+            assert!(t.wait().unwrap().report.validated);
+        }
+    }
+
+    #[test]
+    fn large_luts_are_served_through_the_partitioned_store() {
+        // 4096-entry 12-bit LUT: 8 segments at 512 rows/subarray.
+        let lut = Arc::new(Lut::from_fn("tone", 12, 8, |x| x >> 4).unwrap());
+        assert_eq!(min_subarrays_for(&lut, 512), 20);
+        let s = QuerySpec {
+            config: ExecConfig::measurement(DesignKind::Gmc),
+            lut,
+            inputs: vec![0, 4095, 1234],
+        };
+        let mut server = Server::with_workers(1);
+        let t = server.enqueue(s.clone());
+        server.flush();
+        let reply = t.wait().unwrap();
+        let (values, report) = serial_oracle(&s).unwrap();
+        assert_eq!(reply.values, values);
+        assert_eq!(reply.report, report);
+        assert_eq!(reply.values, vec![0, 255, 77]);
+    }
+
+    #[test]
+    fn min_subarray_floor_matches_the_direct_workload_demands() {
+        let small = Lut::from_fn("s", 8, 8, |x| x).unwrap();
+        assert_eq!(min_subarrays_for(&small, 512), 16);
+        // The §5.6 direct-LUT workloads pin 20 (Gamma12, 8 segments) and
+        // 260 (MulDirect8, 128 segments); the serve formula reproduces
+        // both.
+        let mul8 = catalog::mul(8).unwrap();
+        assert_eq!(min_subarrays_for(&mul8, 512), 260);
+    }
+}

@@ -194,6 +194,62 @@ impl ExecConfig {
     }
 }
 
+/// Hashable identity of an [`ExecConfig`] for keyed machine/session pools
+/// (`f64` fields keyed by their bit patterns). Both the cluster's
+/// per-worker machine pools and the serve path's affinity coalescer key
+/// on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ConfigKey {
+    design: DesignKind,
+    kind: MemoryKind,
+    row_bytes: usize,
+    burst_bytes: usize,
+    banks: u16,
+    subarrays_per_bank: u16,
+    rows_per_subarray: u16,
+    paper_row_bytes: usize,
+    salp_subarrays: usize,
+    t_faw_bits: u64,
+    seed: u64,
+    segment_farming: Option<crate::partition::FarmPolicy>,
+}
+
+impl ConfigKey {
+    pub(crate) fn of(config: &ExecConfig) -> Self {
+        // Exhaustive destructuring: adding a field to ExecConfig must
+        // fail to compile here, not silently alias distinct configs to
+        // one pooled machine.
+        let ExecConfig {
+            design,
+            kind,
+            row_bytes,
+            burst_bytes,
+            banks,
+            subarrays_per_bank,
+            rows_per_subarray,
+            paper_row_bytes,
+            salp_subarrays,
+            t_faw_scale,
+            seed,
+            segment_farming,
+        } = config.clone();
+        ConfigKey {
+            design,
+            kind,
+            row_bytes,
+            burst_bytes,
+            banks,
+            subarrays_per_bank,
+            rows_per_subarray,
+            paper_row_bytes,
+            salp_subarrays,
+            t_faw_bits: t_faw_scale.to_bits(),
+            seed,
+            segment_farming,
+        }
+    }
+}
+
 /// Builder for [`Session`]s; starts from [`ExecConfig::measurement`].
 ///
 /// The SALP degree follows the memory kind's Table 3 default (16 for

@@ -164,12 +164,35 @@ impl Criterion {
         self
     }
 
+    /// Records an externally measured distribution of per-event durations
+    /// in nanoseconds — for latency-style benchmarks (per-query serve
+    /// latencies, end-to-end request times) where the caller, not the
+    /// harness, drives the measured loop. The resulting [`Record`] treats
+    /// each event as one sample: `median_ns` is the distribution's p50
+    /// and `max_ns` its worst case. Combine with [`percentile_ns`] for
+    /// in-process tail-latency guards.
+    ///
+    /// # Panics
+    /// Panics if `samples_ns` is empty.
+    pub fn record_ns(&mut self, id: &str, samples_ns: Vec<f64>) -> &mut Self {
+        assert!(
+            !samples_ns.is_empty(),
+            "record_ns('{id}') needs at least one sample"
+        );
+        self.push_record(id.to_string(), 1, samples_ns);
+        self
+    }
+
     fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
         let mut bencher = Bencher::new(self.samples);
         f(&mut bencher);
-        let (iters, mut samples) = bencher
+        let (iters, samples) = bencher
             .result
             .unwrap_or_else(|| panic!("benchmark '{id}' never called Bencher::iter"));
+        self.push_record(id, iters, samples);
+    }
+
+    fn push_record(&mut self, id: String, iters: u64, mut samples: Vec<f64>) {
         samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
@@ -276,6 +299,20 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Nearest-rank percentile of a duration distribution: `pct` in 0–100,
+/// e.g. `percentile_ns(&lat, 99.0)` for p99. Used by bench targets for
+/// in-process tail-latency guards next to [`Criterion::record_ns`].
+///
+/// # Panics
+/// Panics if `samples` is empty.
+pub fn percentile_ns(samples: &[f64], pct: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of an empty distribution");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let rank = (pct / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -360,5 +397,27 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn record_ns_treats_events_as_samples() {
+        let mut c = Criterion::named("selftest3");
+        c.record_ns("lat", vec![30.0, 10.0, 20.0]);
+        let r = c.records.last().unwrap();
+        assert_eq!(r.iters_per_sample, 1);
+        assert_eq!(r.samples, 3);
+        assert_eq!(r.median_ns, 20.0);
+        assert_eq!(r.min_ns, 10.0);
+        assert_eq!(r.max_ns, 30.0);
+        assert!((c.mean_ns("lat") - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_ns(&v, 50.0), 50.0);
+        assert_eq!(percentile_ns(&v, 99.0), 99.0);
+        assert_eq!(percentile_ns(&v, 100.0), 100.0);
+        assert_eq!(percentile_ns(&[42.0], 99.0), 42.0);
     }
 }

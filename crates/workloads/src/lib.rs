@@ -98,3 +98,31 @@ pub fn workload_for(id: WorkloadId) -> Box<dyn Workload> {
         }
     }
 }
+
+/// The standalone lookup table a workload's *serve-mode* queries hit —
+/// what a `pluto_core::serve::Server` request stream references by
+/// [`WorkloadId`] instead of shipping a table per query. `None` for the
+/// workloads whose mapping is a multi-step LUT *program* (CRC, Salsa20,
+/// VMPC, color grading, the nibble-plane Q-multiplies) rather than one
+/// table: those serve through their [`Workload`] scenarios, not single
+/// queries.
+///
+/// The returned LUTs are exactly the tables the batch scenarios load —
+/// Gamma12's 4096-entry tone map, MulDirect8's 65 536-entry product
+/// table, the binarization threshold-128 map — so serve traffic and
+/// figure sweeps exercise identical contents (and share the packed-row
+/// cache).
+pub fn serve_lut(id: WorkloadId) -> Option<Lut> {
+    let lut = match id.canonical() {
+        WorkloadId::Add4 => catalog::add(4),
+        WorkloadId::Add8 => catalog::add(8),
+        WorkloadId::Bc4 => catalog::popcount(4),
+        WorkloadId::Bc8 => catalog::popcount(8),
+        WorkloadId::ImgBin => catalog::binarize(128),
+        WorkloadId::BitwiseRow => catalog::xor(1),
+        WorkloadId::Gamma12 => direct::gamma12_lut(),
+        WorkloadId::MulDirect8 => catalog::mul(8),
+        _ => return None,
+    };
+    Some(lut.expect("canonical serve LUTs are well-formed"))
+}

@@ -1,0 +1,147 @@
+//! Serve quickstart: replay a recorded query stream through the
+//! streaming `Server` (`DESIGN.md` §9).
+//!
+//! Synthesizes a deterministic "traffic trace" — small tone-map /
+//! adder / bit-count queries with an occasional heavyweight partitioned
+//! Gamma12 sweep, exactly the PULSAR-style mix — enqueues it in arrival
+//! order, and waits each ticket, spot-checking the replies against the
+//! serial oracle. Prints per-class latency and the server's scheduling
+//! telemetry (batches, occupancy, steals).
+//!
+//! ```sh
+//! cargo run --release --example serve            # one worker per CPU
+//! cargo run --release --example serve -- --workers 4
+//! ```
+
+use pluto_repro::baselines::WorkloadId;
+use pluto_repro::core::lut::Lut;
+use pluto_repro::core::serve::{serial_oracle, QuerySpec, ServeConfig, Server};
+use pluto_repro::core::session::ExecConfig;
+use pluto_repro::core::{DesignKind, PlutoError};
+use pluto_repro::workloads::serve_lut;
+use sim_support::{Rng, SeedableRng, StdRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One recorded arrival in the replayed trace.
+struct TraceEntry {
+    class: &'static str,
+    spec: QuerySpec,
+}
+
+fn registry_lut(id: WorkloadId) -> Arc<Lut> {
+    Arc::new(serve_lut(id).expect("workload serves a single LUT"))
+}
+
+/// A deterministic 60-query trace: ~1 in 6 arrivals is a 32-element
+/// Gamma12 sweep (partitioned across 8 subarray segments); the rest are
+/// small latency-class queries.
+fn synthesize_trace(seed: u64) -> Vec<TraceEntry> {
+    let add4 = registry_lut(WorkloadId::Add4);
+    let bc8 = registry_lut(WorkloadId::Bc8);
+    let gamma = registry_lut(WorkloadId::Gamma12);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..60)
+        .map(|i| {
+            let (class, lut, modulo, len, design) = match i % 6 {
+                0 => ("gamma12-sweep", &gamma, 4096u64, 32usize, DesignKind::Gmc),
+                1 | 3 => ("add4", &add4, 256, 8, DesignKind::Gmc),
+                _ => ("bc8", &bc8, 256, 6, DesignKind::Bsa),
+            };
+            TraceEntry {
+                class,
+                spec: QuerySpec {
+                    config: ExecConfig::measurement(design),
+                    lut: Arc::clone(lut),
+                    inputs: (0..len).map(|_| rng.gen_range(0..modulo)).collect(),
+                },
+            }
+        })
+        .collect()
+}
+
+fn parse_workers() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--workers") {
+        return args.get(pos + 1).and_then(|v| v.parse().ok());
+    }
+    std::env::var("PLUTO_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() -> Result<(), PlutoError> {
+    let trace = synthesize_trace(42);
+    let config = ServeConfig {
+        workers: parse_workers().unwrap_or_else(|| ServeConfig::default().workers),
+        batch_slots: 8,
+    };
+    println!(
+        "replaying {} queries on {} worker(s), {} slots per affinity batch",
+        trace.len(),
+        config.workers,
+        config.batch_slots
+    );
+    let mut server = Server::new(config);
+
+    // 1. Ingest the whole trace in arrival order. enqueue() never
+    //    blocks; affinity batches auto-flush as they fill.
+    let start = Instant::now();
+    let tickets: Vec<_> = trace
+        .iter()
+        .map(|e| server.enqueue(e.spec.clone()))
+        .collect();
+    server.flush();
+
+    // 2. Wait every ticket in arrival order, folding per-class latency
+    //    (time from replay start to that reply, i.e. sojourn under the
+    //    whole backlog).
+    let mut by_class: Vec<(&str, u32, f64, f64)> = Vec::new();
+    for (entry, ticket) in trace.iter().zip(tickets) {
+        let reply = ticket.wait()?;
+        let sojourn_ms = start.elapsed().as_secs_f64() * 1e3;
+        let time_ns = reply.report.time.as_secs() * 1e9;
+        match by_class.iter_mut().find(|(c, ..)| *c == entry.class) {
+            Some((_, n, ms, ns)) => {
+                *n += 1;
+                *ms = ms.max(sojourn_ms);
+                *ns += time_ns;
+            }
+            None => by_class.push((entry.class, 1, sojourn_ms, time_ns)),
+        }
+        assert!(reply.report.validated, "{} failed validation", entry.class);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // 3. Spot-check three replies against the serial oracle (the full
+    //    sweep lives in tests/serve.rs).
+    for probe in [0usize, 1, 7] {
+        let (values, report) = serial_oracle(&trace[probe].spec)?;
+        let mut check = Server::with_workers(1);
+        let t = check.enqueue(trace[probe].spec.clone());
+        check.flush();
+        let reply = t.wait()?;
+        assert_eq!(reply.values, values, "query {probe} vs oracle");
+        assert_eq!(reply.report, report, "query {probe} report vs oracle");
+    }
+
+    println!(
+        "\n{:<14} {:>7} {:>16} {:>18}",
+        "class", "queries", "last-done (ms)", "device time (ns)"
+    );
+    for (class, n, ms, ns) in &by_class {
+        println!("{class:<14} {n:>7} {ms:>16.2} {ns:>18.1}");
+    }
+    let stats = server.stats();
+    println!(
+        "\nreplayed in {wall_ms:.1} ms wall: {} batches ({} full, max occupancy {}), \
+         {} affinity classes, {} cross-lane steal(s)",
+        stats.batches,
+        stats.full_batches,
+        stats.max_batch,
+        stats.affinities,
+        server.steals()
+    );
+    println!("all replies validated and spot-checked against the serial oracle");
+    Ok(())
+}
