@@ -31,13 +31,13 @@ cargo run --release --quiet --example cluster
 echo "==> 4-worker cluster smoke (fig07 --quick --workers 4)"
 cargo run --release --quiet -p pluto-bench --bin fig07_speedup -- --quick --workers 4
 
-echo "==> query-engine throughput guard (benches/query.rs smoke: word-parallel >= 2x scalar packing)"
+echo "==> query-engine throughput guard (benches/query.rs smoke: word-parallel >= 2x scalar packing, warm-plan replay >= 2x issuing)"
 PLUTO_QUICK=1 cargo bench -p pluto-bench --bench query
 
 echo "==> partitioned-LUT guard (benches/partition.rs smoke: fused 5.6 path — 4-seg query < 2x single, cached load < the query it serves)"
 PLUTO_QUICK=1 cargo bench -p pluto-bench --bench partition
 
-echo "==> serve queue-behavior guard (benches/serve.rs smoke: mixed p99 bounded, stealing live)"
+echo "==> serve queue-behavior guard (benches/serve.rs smoke: mixed p99 bounded vs baseline, plan-cache hits live, stealing live)"
 PLUTO_QUICK=1 cargo bench -p pluto-bench --bench serve
 
 echo "==> 4-worker serve smoke (examples/serve.rs traffic replay)"

@@ -10,7 +10,13 @@
 //!   per-subarray sweep length), all three designs. The partitioned
 //!   query still issues 4× the commands (§5.6 is authoritative for
 //!   cost), but the fused data path does its data work in one pass —
-//!   the wall-clock ratio gates the simulator's constant factor.
+//!   the wall-clock ratio gates the simulator's constant factor. Both
+//!   sides run with compiled plans *disabled* (the issuing path the
+//!   ratio has always measured): a warm-plan replay collapses the
+//!   single query to a tape apply while the partitioned query keeps
+//!   per-lane replay bookkeeping, so the ratio would gate the plan
+//!   cache, not the fusion — the plan cache has its own ≥ 2× guard in
+//!   `benches/query.rs` and a hit-counter guard in `benches/serve.rs`.
 //! * `query_wide` — the high-segment-count regime: the Gamma12 LUT
 //!   (4096 entries, 8 segments) and the full 8-bit multiplier table
 //!   (65536 entries, 128 segments), the shapes §5.6 warns about.
@@ -63,6 +69,7 @@ fn bench_query(c: &mut Criterion) {
         let inputs: Vec<u64> = (0..128u64).map(|i| (i * 16) % 2048).collect();
         let mut e = bench_engine();
         let mut part = PartitionedLut::load(&mut e, big_lut(), BankId(0), SubarrayId(2)).unwrap();
+        part.set_use_plans(false);
         let mut scratch = QueryScratch::new();
         group.bench_function(&format!("partitioned4/{design}"), |b| {
             b.iter(|| {
@@ -97,6 +104,7 @@ fn bench_query(c: &mut Criterion) {
         group.bench_function(&format!("single/{design}"), |b| {
             b.iter(|| {
                 let mut ex = QueryExecutor::new(&mut e, design);
+                ex.set_use_plans(false);
                 ex.execute_with(
                     &mut store,
                     placement,

@@ -8,20 +8,25 @@
 //!   64-bit shift/mask accumulator vs the original bit-serial loops) at
 //!   aligned, non-power-of-two, and word-straddling slot widths over one
 //!   paper-sized 8 KiB row.
-//! * `query` — the end-to-end LUT query (`QueryExecutor::execute` vs
-//!   `execute_scalar_reference`) on the measurement geometry: one full
-//!   row of 8-bit lookups through a 256-entry LUT, all three designs.
+//! * `query` — the end-to-end LUT query on the measurement geometry (one
+//!   full row of 8-bit lookups through a 256-entry LUT, all three
+//!   designs), three ways: `word` (the issuing word-parallel path, plans
+//!   disabled — the cold cost every first-seen plan key pays), `scalar`
+//!   (the retained scalar reference), and `warm_plan` (the compiled-plan
+//!   cache hot: the query applies a memoized cost tape instead of
+//!   re-simulating every command, `DESIGN.md` §10).
 //! * `store` — `LutStore::load` with the packed-row cache warm (the
 //!   pooled-cluster steady state) vs `pack_rows_uncached`, the
 //!   per-element packing work a cache miss performs.
 //!
-//! The two paths are bit-identical (enforced by
-//! `tests/query_differential.rs`); only throughput differs. This target
-//! also acts as CI's **throughput regression guard**: it fails outright
-//! if the word-parallel packer is less than 2x the scalar reference on
-//! the packing microbench (1.5x at the narrowest width, where the
-//! structural gap is smallest), or if the end-to-end word query is not
-//! faster than the scalar query it replaced.
+//! All paths are bit-identical (enforced by `tests/query_differential.rs`
+//! and `tests/plan_replay.rs`); only throughput differs. This target also
+//! acts as CI's **throughput regression guard**: it fails outright if the
+//! word-parallel packer is less than 2x the scalar reference on the
+//! packing microbench (1.5x at the narrowest width, where the structural
+//! gap is smallest), if the end-to-end word query is not faster than the
+//! scalar query it replaced, or if a warm-plan query is not at least 2x
+//! faster than the issuing path it memoizes.
 
 use pluto_core::lut::{catalog, pack_slots, pack_slots_scalar, unpack_slots, unpack_slots_scalar};
 use pluto_core::query::{QueryExecutor, QueryPlacement, QueryScratch};
@@ -105,7 +110,10 @@ fn bench_query(c: &mut Criterion) {
         let mut scratch = QueryScratch::new();
         group.bench_function(&format!("word/{design}"), |b| {
             b.iter(|| {
+                // Plans off: this is the issuing path — the cold cost a
+                // first-seen plan key pays, and the differential oracle.
                 let mut ex = QueryExecutor::new(&mut e, design);
+                ex.set_use_plans(false);
                 ex.execute_with(
                     &mut store,
                     placement,
@@ -127,6 +135,38 @@ fn bench_query(c: &mut Criterion) {
                     .unwrap()
                     .0
                     .len()
+            })
+        });
+        let mut e = query_engine();
+        let (mut store, placement) = query_setup(&mut e);
+        let mut scratch = QueryScratch::new();
+        // One unmeasured query records the plan; the measured loop then
+        // runs the warm steady state (tape replay + data gather only).
+        {
+            let mut ex = QueryExecutor::new(&mut e, design);
+            ex.execute_with(
+                &mut store,
+                placement,
+                &inputs,
+                RowId(0),
+                RowId(1),
+                &mut scratch,
+            )
+            .unwrap();
+        }
+        group.bench_function(&format!("warm_plan/{design}"), |b| {
+            b.iter(|| {
+                let mut ex = QueryExecutor::new(&mut e, design);
+                ex.execute_with(
+                    &mut store,
+                    placement,
+                    &inputs,
+                    RowId(0),
+                    RowId(1),
+                    &mut scratch,
+                )
+                .unwrap();
+                scratch.outputs().len()
             })
         });
     }
@@ -208,6 +248,17 @@ fn guard(c: &Criterion) {
              the scalar reference on {design} (the guard requires >= {floor}x)"
         );
         println!("guard: end-to-end query {design} word/scalar speedup {ratio:.1}x");
+    }
+    for design in DesignKind::ALL {
+        let ratio = c.mean_ns(&format!("query/word/{design}"))
+            / c.mean_ns(&format!("query/warm_plan/{design}"));
+        assert!(
+            ratio >= 2.0,
+            "plan-cache regression: warm-plan query is only {ratio:.2}x the issuing \
+             path on {design} (the guard requires >= 2x) — replay is not skipping \
+             command simulation"
+        );
+        println!("guard: warm-plan query {design} replay speedup {ratio:.1}x (>= 2x required)");
     }
 }
 

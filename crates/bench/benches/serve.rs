@@ -17,10 +17,17 @@
 //!    pool's steal counter must move.
 //!
 //! Latency records use `Criterion::record_ns` (each measured query is
-//! one sample), so `median_ns` is p50 and the explicit `…_p99` records
-//! carry the nearest-rank p99. The `queue/steals_count` record is a
-//! *count*, not nanoseconds — it exists so the baseline documents that
+//! one sample), so `median_ns` is p50. Derived statistics — the isolated
+//! p50, the mixed-traffic p99, the plan-cache hit count — go through
+//! `Criterion::summary_ns` into the baseline's `"summaries"` object, not
+//! as fake one-sample benchmark rows. The `queue/steals_count` record is
+//! a *count*, not nanoseconds — it exists so the baseline documents that
 //! stealing occurred.
+//!
+//! A third guard compares the mixed-traffic p99 against the committed
+//! `BENCH_serve.json` baseline (generously, wall-clock on shared runners
+//! is noisy): the compiled-plan cache must not let the serve tail
+//! regress.
 //!
 //! `PLUTO_QUICK=1` shrinks query counts and sample sizes for the CI
 //! smoke run; the committed baseline comes from a full run.
@@ -172,8 +179,8 @@ fn bench_latency(c: &mut Criterion) {
 
     let isolated_p50 = percentile_ns(&isolated, 50.0);
     let mixed_p99 = percentile_ns(&mixed, 99.0);
-    c.record_ns("latency/small_isolated_p50", vec![isolated_p50]);
-    c.record_ns("latency/small_mixed_w4_p99", vec![mixed_p99]);
+    c.summary_ns("latency/small_isolated_p50", isolated_p50);
+    c.summary_ns("latency/small_mixed_w4_p99", mixed_p99);
 
     // Guard 1: mixed-traffic tail within budget of the isolated median.
     assert!(
@@ -182,6 +189,46 @@ fn bench_latency(c: &mut Criterion) {
          ({mixed_p99:.0} ns) exceeds {TAIL_FACTOR}x the isolated median \
          ({isolated_p50:.0} ns) — small queries are queuing behind sweeps"
     );
+
+    // Guard 3: compiled-plan cache live on the serve path. The measured
+    // traffic repeats two plan shapes dozens of times, so the workers'
+    // warm queries must be replaying memoized tapes, not re-simulating.
+    let plans = server.plan_stats();
+    c.summary_ns("plan/hits_count", plans.hits as f64);
+    assert!(
+        plans.hits > 0,
+        "plan-cache guard: zero warm-plan hits under mixed serve traffic ({plans:?})"
+    );
+
+    // Guard 4: the mixed-traffic p99 must not regress past the committed
+    // baseline. The allowance is deliberately generous — wall-clock on a
+    // shared 1-CPU container is noisy — so this catches order-of-
+    // magnitude queueing regressions, not jitter.
+    const BASELINE_FACTOR: f64 = 8.0;
+    if let Some(baseline_p99) = baseline_summary("latency/small_mixed_w4_p99") {
+        assert!(
+            mixed_p99 <= BASELINE_FACTOR * baseline_p99,
+            "serve-tail guard: mixed p99 ({mixed_p99:.0} ns) exceeds \
+             {BASELINE_FACTOR}x the committed baseline ({baseline_p99:.0} ns)"
+        );
+    } else {
+        println!("serve-tail guard skipped: no committed baseline summary");
+    }
+}
+
+/// Reads one `"summaries"` value from the committed `BENCH_serve.json`
+/// at the repo root (`None` if the file or key is missing — first run
+/// after a baseline format change, or a pruned checkout).
+fn baseline_summary(key: &str) -> Option<f64> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let json = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"{key}\": ");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Skewed-lane contention: every sweep batch homes on lane 0 while the

@@ -200,6 +200,13 @@ impl Cluster {
         self.deques.steal_count()
     }
 
+    /// Compiled-plan cache counters ([`crate::plan::plan_stats`]). The
+    /// cache is process-wide, so every pooled worker shares one set of
+    /// recorded plans — a tape recorded on one lane replays on all.
+    pub fn plan_stats(&self) -> crate::plan::PlanStats {
+        crate::plan::plan_stats()
+    }
+
     /// Queues one workload to run whole (a single shard) under `config`.
     /// Returns the job's submission index — [`Cluster::run`] reports in
     /// exactly this order.
@@ -455,8 +462,8 @@ fn run_shard(
     };
     let report = session.run(workload.as_mut())?;
     // Keep pooled sessions lean: the cluster, not the session, owns
-    // result aggregation.
-    session.take_reports();
+    // result aggregation (and `clear_reports` keeps the allocation).
+    session.clear_reports();
     Ok(report)
 }
 

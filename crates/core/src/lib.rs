@@ -24,6 +24,9 @@
 //! * [`partition`] — §5.6 partitioned queries for LUTs larger than one
 //!   subarray (same latency, segment-count × energy), plus the unified
 //!   [`PlutoStore`] the machine/controller route every LUT through.
+//! * [`plan`] — compiled query plans (`DESIGN.md` §10): a process-wide
+//!   cache of recorded command-stream cost tapes, so warm queries apply a
+//!   memoized delta instead of re-simulating every command.
 //! * [`salp`] — subarray-level parallelism scaling, tFAW sensitivity.
 //! * [`loading`] — the §8.5 LUT-loading overhead model (Fig. 11).
 //! * [`session`] — the unified execution API (`DESIGN.md` §5): explicit
@@ -69,6 +72,7 @@ pub mod loading;
 pub mod lut;
 pub mod match_logic;
 pub mod partition;
+pub mod plan;
 pub mod query;
 pub mod salp;
 pub mod serve;
@@ -81,6 +85,7 @@ pub use error::PlutoError;
 pub use library::{MapResult, PlutoMachine};
 pub use lut::Lut;
 pub use partition::{FarmPolicy, PartitionedCost, PartitionedLut, PlutoStore};
+pub use plan::PlanStats;
 pub use query::{QueryCost, QueryExecutor, QueryPlacement, QueryScratch};
 pub use serve::{QueryReply, QuerySpec, ServeConfig, Server, Ticket};
 pub use session::{CostReport, ExecConfig, Session, SessionBuilder, Workload};

@@ -65,6 +65,7 @@ use std::sync::Arc;
 use crate::design::DesignKind;
 use crate::error::PlutoError;
 use crate::lut::{pack_slots_into, slots_per_row, unpack_slots_into, Lut};
+use crate::plan::{self, PlanKey, PlanShape};
 use crate::query::{QueryExecutor, QueryPlacement, QueryScratch};
 use crate::store::LutStore;
 use pluto_dram::{
@@ -109,6 +110,9 @@ pub struct PartitionedLut {
     segments: Vec<LutStore>,
     segment_rows: usize,
     farm: Option<FarmPolicy>,
+    /// Whether serially issued lanes may use the compiled-plan cache
+    /// (`crate::plan`); disabled on differential-oracle partitions.
+    use_plans: bool,
     /// Scratch: per-segment rebased input slots (serial reference only).
     local: Vec<u64>,
     /// Scratch: merged output slots across segments.
@@ -212,6 +216,7 @@ impl PartitionedLut {
             segments,
             segment_rows,
             farm: None,
+            use_plans: true,
             local: Vec::new(),
             merged: Vec::new(),
             resident: Vec::new(),
@@ -256,6 +261,13 @@ impl PartitionedLut {
     /// serial fold.
     pub fn set_farming(&mut self, policy: Option<FarmPolicy>) {
         self.farm = policy;
+    }
+
+    /// Enables or disables the compiled-plan cache for serially issued
+    /// segment lanes. With plans off every lane runs the full issuing
+    /// stream — the differential oracle for lane-shaped plans.
+    pub fn set_use_plans(&mut self, on: bool) {
+        self.use_plans = on;
     }
 
     /// Executes the partitioned query: every segment sweeps as a parallel
@@ -452,6 +464,12 @@ impl PartitionedLut {
     /// so cost, counters, and the tFAW window evolve bit-identically to
     /// the old per-segment executor loop. `self.row` must hold the packed
     /// merged output row.
+    ///
+    /// Each lane consults the compiled-plan cache (`crate::plan`): a
+    /// warm lane applies its memoized cost tape and skips issuance; the
+    /// functional effects the tape stands in for — the destination-row
+    /// commit and GSA destruction — are applied directly (same pattern as
+    /// the farmed path below).
     fn issue_lanes_serial(
         &mut self,
         engine: &mut Engine,
@@ -463,44 +481,79 @@ impl PartitionedLut {
     ) -> Result<(), PlutoError> {
         let bank = src_loc.bank;
         let clock0 = engine.elapsed();
-        let step_kind = design.sweep_step_kind();
         let out_row = &self.row;
         let mut slowest = clock0;
+        let plans_ok = self.use_plans && !engine.trace_enabled();
+        let mut any_replayed = false;
         for store in self.segments.iter_mut() {
             engine.rewind_clock(clock0);
-            // Phase R: GSA reloads the LUT before every query (§5.2.1).
-            // The reload is transient — full cost, no functional restore —
-            // because this same loop destroys the segment again below,
-            // before any caller can observe the restored rows.
-            if design.reload_per_query() {
-                store.reload_transient(engine)?;
-            } else {
-                store.ensure_ready(engine, design)?;
+            // A stale BSA/GMC segment needs the *functional* reload only
+            // the issuing path performs.
+            let legal = plans_ok && (design.reload_per_query() || store.is_loaded());
+            let mut record: Option<PlanKey> = None;
+            if legal {
+                let key = PlanKey::new(
+                    PlanShape::Lane,
+                    engine,
+                    design,
+                    store,
+                    store.subarray().0.abs_diff(dest.0),
+                    dest == source,
+                    0,
+                );
+                match plan::lookup(&key) {
+                    Some(tape) if tape.replayable_from(engine) => {
+                        engine.apply_replayed(&tape);
+                        // The sweep the tape stands in for destroyed the
+                        // segment (zero-cost functional effect).
+                        if design.destructive_reads() {
+                            store.mark_destroyed(engine)?;
+                        }
+                        any_replayed = true;
+                        slowest = slowest.max(engine.elapsed());
+                        continue;
+                    }
+                    Some(_) => {
+                        // Captured from a different tFAW phase (e.g. a
+                        // hop-distance key collision between two lane
+                        // positions) — issue in full.
+                        plan::note_fallback();
+                    }
+                    None => {
+                        engine.begin_tape();
+                        record = Some(key);
+                    }
+                }
+            } else if self.use_plans {
+                plan::note_fallback();
             }
-            // Phase 1: latch the (global) input vector.
-            engine.activate(src_loc)?;
-            // Phases 2–4: the pLUTo Row Sweep, one step per segment row.
-            let pluto = store.subarray();
-            engine.sweep_rows(bank, pluto, RowId(0), store.lut().len(), step_kind)?;
-            if step_kind == SweepStepKind::ChargeShare {
-                engine.precharge(bank, pluto)?;
+            if let Err(e) = issue_lane(
+                engine, design, store, source, dest, src_loc, dst_row, out_row,
+            ) {
+                engine.abort_tape();
+                return Err(e);
             }
-            if design.destructive_reads() {
-                store.mark_destroyed(engine)?;
-            }
-            // Phase 5: copy-out. Close the source row first when it shares
-            // the destination subarray, after otherwise.
-            if dest == source {
-                engine.precharge(bank, source)?;
-            }
-            engine.deposit_buffer(bank, pluto, out_row)?;
-            engine.lisa_rbm_to_row(bank, pluto, dest, dst_row)?;
-            if dest != source {
-                engine.precharge(bank, source)?;
+            if let Some(key) = record {
+                if let Some(tape) = engine.end_tape() {
+                    plan::insert(key, tape);
+                }
             }
             slowest = slowest.max(engine.elapsed());
         }
         engine.advance_clock_to(slowest);
+        if any_replayed {
+            // Replayed lanes skipped the LISA write-through; commit the
+            // merged output row they would have landed (idempotent when
+            // issued lanes already wrote the same bytes).
+            engine.poke_row(
+                RowLoc {
+                    bank,
+                    subarray: dest,
+                    row: dst_row,
+                },
+                &self.row,
+            )?;
+        }
         Ok(())
     }
 
@@ -650,6 +703,9 @@ impl PartitionedLut {
                 dest,
             };
             let mut ex = QueryExecutor::new(engine, design);
+            // The reference is the issuing oracle — never serve it from
+            // (or populate) the plan cache.
+            ex.set_use_plans(false);
             ex.execute_with(store, placement, &self.local, src_row, dst_row, scratch)?;
             for (i, &x) in inputs.iter().enumerate() {
                 if x >= base && x < base + span {
@@ -685,6 +741,56 @@ impl PartitionedLut {
         std::mem::swap(scratch.out_mut(), &mut self.merged);
         Ok(cost)
     }
+}
+
+/// One segment's issuing lane — the spend sequence the per-segment
+/// [`QueryExecutor`] produced pre-fusion, and the authoritative oracle a
+/// lane-shaped plan tape is recorded from. `out_row` must hold the packed
+/// merged output row.
+#[allow(clippy::too_many_arguments)]
+fn issue_lane(
+    engine: &mut Engine,
+    design: DesignKind,
+    store: &mut LutStore,
+    source: SubarrayId,
+    dest: SubarrayId,
+    src_loc: RowLoc,
+    dst_row: RowId,
+    out_row: &[u8],
+) -> Result<(), PlutoError> {
+    let bank = src_loc.bank;
+    let step_kind = design.sweep_step_kind();
+    // Phase R: GSA reloads the LUT before every query (§5.2.1). The
+    // reload is transient — full cost, no functional restore — because
+    // this same lane destroys the segment again below, before any caller
+    // can observe the restored rows.
+    if design.reload_per_query() {
+        store.reload_transient(engine)?;
+    } else {
+        store.ensure_ready(engine, design)?;
+    }
+    // Phase 1: latch the (global) input vector.
+    engine.activate(src_loc)?;
+    // Phases 2–4: the pLUTo Row Sweep, one step per segment row.
+    let pluto = store.subarray();
+    engine.sweep_rows(bank, pluto, RowId(0), store.lut().len(), step_kind)?;
+    if step_kind == SweepStepKind::ChargeShare {
+        engine.precharge(bank, pluto)?;
+    }
+    if design.destructive_reads() {
+        store.mark_destroyed(engine)?;
+    }
+    // Phase 5: copy-out. Close the source row first when it shares the
+    // destination subarray, after otherwise.
+    if dest == source {
+        engine.precharge(bank, source)?;
+    }
+    engine.deposit_buffer(bank, pluto, out_row)?;
+    engine.lisa_rbm_to_row(bank, pluto, dest, dst_row)?;
+    if dest != source {
+        engine.precharge(bank, source)?;
+    }
+    Ok(())
 }
 
 /// A LUT resident in one *or many* pLUTo-enabled subarrays: the unified

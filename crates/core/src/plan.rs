@@ -1,0 +1,217 @@
+//! Compiled query plans (`DESIGN.md` §10): a process-wide cache of
+//! [`CostTape`]s memoizing the command-stream cost of a query.
+//!
+//! The PR 4 word-parallel split made commands authoritative for *cost* and
+//! words authoritative for *data*. A query's command stream — and therefore
+//! its cost delta — is a pure function of the effective configuration,
+//! design, LUT geometry, placement distances, and residency state; the data
+//! path is a single gather. So the cost side can be *compiled*: the first
+//! execution under a `PlanKey` records a [`CostTape`] while running the
+//! ordinary issuing path, and every later execution under the same key
+//! performs only the gather + pack and applies the tape via
+//! [`Engine::apply_replayed`], skipping per-command simulation entirely.
+//!
+//! ## Legality
+//!
+//! A tape is context-independent only when nothing outside the key can
+//! shift the delta. The executors therefore gate replay (and capture) on:
+//!
+//! - the live tFAW-window *signature* at replay matching the one recorded
+//!   at capture ([`CostTape::replayable_from`]) — a warm window throttles
+//!   ACTs by an amount that depends on the ages of its entries;
+//! - command tracing being off ([`Engine::trace_enabled`]) — a replayed
+//!   delta has no per-command stream to append to the trace;
+//! - the store being resident, or the design reloading per query — a
+//!   stale BSA/GMC store needs a *functional* reload the replay would skip.
+//!
+//! Any failed gate falls back to full issuance (counted in
+//! [`PlanStats::fallbacks`]) and the issuing path stays available as the
+//! differential oracle (`QueryExecutor::set_use_plans(false)`), mirroring
+//! `execute_scalar_reference` / `query_serial_reference`.
+//!
+//! The cache mirrors the packed-row cache in [`crate::store`]: one
+//! process-wide map under a mutex, cleared wholesale past a deterministic
+//! cap. Unlike packed rows, tapes need no identity witness — the cost of a
+//! sweep is independent of the element *values*, so two same-shaped LUTs
+//! sharing a key is correct, not a collision.
+
+use crate::design::DesignKind;
+use crate::store::LutStore;
+use pluto_dram::{CostTape, DramConfig, Engine};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Counters of the process-wide plan cache (see [`plan_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Queries whose cost was applied from a memoized tape.
+    pub hits: u64,
+    /// Queries that recorded a new tape while issuing.
+    pub misses: u64,
+    /// Queries that ran the issuing path because a legality gate failed
+    /// (trace on, warm tFAW window, stale store, or plans disabled on a
+    /// differential-oracle executor).
+    pub fallbacks: u64,
+    /// Tapes currently cached.
+    pub entries: usize,
+}
+
+/// Which executor shape a tape belongs to. A whole-query tape carries
+/// three phase marks (reload/setup/sweep boundaries, for the
+/// `QueryCost` breakdown); a partitioned per-lane tape carries none —
+/// the shapes must never alias even when every other key field matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum PlanShape {
+    /// One full [`crate::query::QueryExecutor`] query.
+    Query,
+    /// One segment lane of a partitioned query (`crate::partition`).
+    Lane,
+}
+
+/// Everything that can shift a query's command-stream cost delta. Two
+/// executions with equal keys issue identical command streams from any
+/// inert start state, so one recorded tape serves both.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct PlanKey {
+    shape: PlanShape,
+    /// Effective DRAM geometry (row width bounds slot capacity; kind
+    /// selects the default models).
+    cfg: DramConfig,
+    /// Timing fingerprint: the eight `Picos` parameters plus the applied
+    /// tFAW scale's bits, so `with_models` engines (SALP/tFAW sweeps)
+    /// never share tapes with the defaults.
+    timing: [u64; 9],
+    /// Energy fingerprint: the seven model parameters' `f64` bits.
+    energy: [u64; 7],
+    design: DesignKind,
+    /// LUT identity by *shape*, not contents — cost never reads element
+    /// values.
+    lut_name: String,
+    input_bits: u32,
+    output_bits: u32,
+    slot_bits: u32,
+    lut_len: usize,
+    /// Queried slot count (cost-neutral today, but part of the declared
+    /// plan identity so future slot-dependent commands stay sound).
+    num_slots: usize,
+    /// LISA distance master ↔ pLUTo subarray (reload cost per row).
+    reload_hops: u16,
+    /// LISA distance pLUTo subarray ↔ destination (copy-out cost).
+    out_hops: u16,
+    /// Destination sharing the source subarray reorders the closing
+    /// precharge, which reorders the f64 energy additions.
+    dest_is_source: bool,
+    /// Residency at query entry (a stale store reloads before sweeping).
+    loaded: bool,
+}
+
+impl PlanKey {
+    /// Builds the key for a query about to run on `engine` against
+    /// `store`. `out_hops` and `dest_is_source` come from the caller's
+    /// placement; `num_slots` is 0 for lane-shaped plans (a lane's cost
+    /// is slot-independent by construction).
+    pub(crate) fn new(
+        shape: PlanShape,
+        engine: &Engine,
+        design: DesignKind,
+        store: &LutStore,
+        out_hops: u16,
+        dest_is_source: bool,
+        num_slots: usize,
+    ) -> PlanKey {
+        let t = engine.timing();
+        let e = engine.energy_model();
+        let lut = store.lut();
+        PlanKey {
+            shape,
+            cfg: engine.config().clone(),
+            timing: [
+                t.t_rcd.as_ps(),
+                t.t_rp.as_ps(),
+                t.t_ras.as_ps(),
+                t.t_faw.as_ps(),
+                t.t_cl.as_ps(),
+                t.t_ccd.as_ps(),
+                t.t_burst.as_ps(),
+                t.t_lisa_hop.as_ps(),
+                t.t_faw_scale_applied.to_bits(),
+            ],
+            energy: [
+                e.e_act.as_pj().to_bits(),
+                e.e_pre.as_pj().to_bits(),
+                e.e_rd_burst.as_pj().to_bits(),
+                e.e_wr_burst.as_pj().to_bits(),
+                e.e_lisa_hop.as_pj().to_bits(),
+                e.e_charge_share.as_pj().to_bits(),
+                e.background_watts.to_bits(),
+            ],
+            design,
+            lut_name: lut.name().to_string(),
+            input_bits: lut.input_bits(),
+            output_bits: lut.output_bits(),
+            slot_bits: lut.slot_bits(),
+            lut_len: lut.len(),
+            num_slots,
+            reload_hops: store.master().0.abs_diff(store.subarray().0),
+            out_hops,
+            dest_is_source,
+            loaded: store.is_loaded(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PlanCache {
+    entries: HashMap<PlanKey, Arc<CostTape>>,
+    hits: u64,
+    misses: u64,
+    fallbacks: u64,
+}
+
+/// Entry count beyond which the cache resets (same deterministic
+/// anti-churn guard as the packed-row cache; real traffic uses a handful
+/// of plan shapes).
+const PLAN_CACHE_CAP: usize = 512;
+
+fn plan_cache() -> &'static Mutex<PlanCache> {
+    static CACHE: OnceLock<Mutex<PlanCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(PlanCache::default()))
+}
+
+/// Looks up a tape, bumping the hit/miss counters.
+pub(crate) fn lookup(key: &PlanKey) -> Option<Arc<CostTape>> {
+    let mut cache = plan_cache().lock().expect("plan cache poisoned");
+    let hit = cache.entries.get(key).map(Arc::clone);
+    match hit {
+        Some(_) => cache.hits += 1,
+        None => cache.misses += 1,
+    }
+    hit
+}
+
+/// Stores a freshly recorded tape.
+pub(crate) fn insert(key: PlanKey, tape: CostTape) {
+    let mut cache = plan_cache().lock().expect("plan cache poisoned");
+    if cache.entries.len() >= PLAN_CACHE_CAP {
+        cache.entries.clear();
+    }
+    cache.entries.insert(key, Arc::new(tape));
+}
+
+/// Counts a query that ran the issuing path because a legality gate
+/// failed.
+pub(crate) fn note_fallback() {
+    plan_cache().lock().expect("plan cache poisoned").fallbacks += 1;
+}
+
+/// Hit/miss/fallback counters of the plan cache (process-wide and
+/// monotonic, like [`crate::store::packed_cache_stats`]).
+pub fn plan_stats() -> PlanStats {
+    let cache = plan_cache().lock().expect("plan cache poisoned");
+    PlanStats {
+        hits: cache.hits,
+        misses: cache.misses,
+        fallbacks: cache.fallbacks,
+        entries: cache.entries.len(),
+    }
+}

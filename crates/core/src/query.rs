@@ -36,8 +36,17 @@ use crate::lut::{
     pack_slots_into, pack_slots_scalar, slots_per_row, unpack_slots_into, unpack_slots_scalar,
 };
 use crate::match_logic;
+use crate::plan::{self, PlanKey, PlanShape};
 use crate::store::LutStore;
 use pluto_dram::{BankId, Engine, PicoJoules, Picos, RowId, RowLoc, SubarrayId};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread scratch backing the owned-output entry points
+    /// ([`QueryExecutor::execute`] / [`QueryExecutor::execute_resident`]),
+    /// so one-shot callers stop paying fresh buffer allocations per query.
+    static LOCAL_SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
 
 /// Where the three subarrays participating in a query live (paper Fig. 2:
 /// source subarray, pLUTo-enabled subarray, destination subarray).
@@ -138,12 +147,27 @@ impl QueryScratch {
 pub struct QueryExecutor<'e> {
     engine: &'e mut Engine,
     design: DesignKind,
+    /// Whether the compiled-plan cache may serve this executor's queries
+    /// (`crate::plan`). Disabled on differential-oracle executors so the
+    /// issuing path stays observable.
+    use_plans: bool,
 }
 
 impl<'e> QueryExecutor<'e> {
     /// Creates an executor for `design` driving `engine`.
     pub fn new(engine: &'e mut Engine, design: DesignKind) -> Self {
-        QueryExecutor { engine, design }
+        QueryExecutor {
+            engine,
+            design,
+            use_plans: true,
+        }
+    }
+
+    /// Enables or disables the compiled-plan cache for this executor.
+    /// With plans off every query runs the full issuing path — the
+    /// differential oracle the replay tests compare against.
+    pub fn set_use_plans(&mut self, on: bool) {
+        self.use_plans = on;
     }
 
     /// The design this executor models.
@@ -176,9 +200,14 @@ impl<'e> QueryExecutor<'e> {
         src_row: RowId,
         dst_row: RowId,
     ) -> Result<(Vec<u64>, QueryCost), PlutoError> {
-        let mut scratch = QueryScratch::new();
-        let cost = self.execute_with(store, placement, inputs, src_row, dst_row, &mut scratch)?;
-        Ok((std::mem::take(&mut scratch.out), cost))
+        LOCAL_SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            let cost =
+                self.execute_with(store, placement, inputs, src_row, dst_row, &mut scratch)?;
+            // The output vector is returned owned; the packing/unpacking
+            // buffers stay in the thread-local scratch for the next call.
+            Ok((std::mem::take(&mut scratch.out), cost))
+        })
     }
 
     /// [`QueryExecutor::execute`] with caller-owned scratch buffers: the
@@ -248,16 +277,18 @@ impl<'e> QueryExecutor<'e> {
         dst_row: RowId,
         num_slots: usize,
     ) -> Result<(Vec<u64>, QueryCost), PlutoError> {
-        let mut scratch = QueryScratch::new();
-        let cost = self.execute_resident_with(
-            store,
-            placement,
-            src_row,
-            dst_row,
-            num_slots,
-            &mut scratch,
-        )?;
-        Ok((std::mem::take(&mut scratch.out), cost))
+        LOCAL_SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            let cost = self.execute_resident_with(
+                store,
+                placement,
+                src_row,
+                dst_row,
+                num_slots,
+                &mut scratch,
+            )?;
+            Ok((std::mem::take(&mut scratch.out), cost))
+        })
     }
 
     /// [`QueryExecutor::execute_resident`] with caller-owned scratch
@@ -306,6 +337,79 @@ impl<'e> QueryExecutor<'e> {
             }
         }
 
+        // Compiled-plan gate (`crate::plan`, DESIGN.md §10): replay is
+        // legal only when the cost delta is context-independent — no
+        // command trace to populate, and no pending *functional* reload
+        // the replay would skip (GSA reloads per query, so its stale
+        // stores replay fine). The remaining context — the tFAW window
+        // phase — is checked per tape via its recorded signature.
+        let replay_legal = self.use_plans
+            && !self.engine.trace_enabled()
+            && (self.design.reload_per_query() || store.is_loaded());
+        if !replay_legal {
+            if self.use_plans {
+                plan::note_fallback();
+            }
+            return self.issue_resident(store, placement, src_row, dst_row, scratch);
+        }
+        let key = PlanKey::new(
+            PlanShape::Query,
+            self.engine,
+            self.design,
+            store,
+            placement.pluto.0.abs_diff(placement.dest.0),
+            placement.dest == placement.source,
+            num_slots,
+        );
+        if let Some(tape) = plan::lookup(&key) {
+            if tape.replayable_from(self.engine) {
+                return self.replay_resident(store, placement, dst_row, scratch, &tape);
+            }
+            // Cached under this key, but captured from a different tFAW
+            // phase — issue in full rather than apply a delta that would
+            // mis-model this context's throttling.
+            plan::note_fallback();
+            return self.issue_resident(store, placement, src_row, dst_row, scratch);
+        }
+        // Miss: run the issuing path under a recorder and memoize the tape
+        // (unless the capture was voided by a mid-query absolute-time jump
+        // or the query failed).
+        self.engine.begin_tape();
+        let result = self.issue_resident(store, placement, src_row, dst_row, scratch);
+        match &result {
+            Ok(_) => {
+                if let Some(tape) = self.engine.end_tape() {
+                    plan::insert(key, tape);
+                }
+            }
+            Err(_) => self.engine.abort_tape(),
+        }
+        result
+    }
+
+    /// The issuing path: drives the full per-design command stream, the
+    /// authoritative cost model and the differential oracle for plan
+    /// replay. Expects `scratch.live` to hold the validated input slots
+    /// (the shared validation pass in
+    /// [`QueryExecutor::execute_resident_with`]).
+    fn issue_resident(
+        &mut self,
+        store: &mut LutStore,
+        placement: QueryPlacement,
+        src_row: RowId,
+        dst_row: RowId,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryCost, PlutoError> {
+        let lut = store.lut().clone();
+        let slot_bits = lut.slot_bits();
+        let row_bytes = self.engine.config().row_bytes;
+        let num_slots = scratch.live.len();
+        let bank = placement.bank;
+        let src_loc = RowLoc {
+            bank,
+            subarray: placement.source,
+            row: src_row,
+        };
         let clock0 = self.engine.elapsed();
         let energy0 = self.engine.command_energy();
 
@@ -317,6 +421,7 @@ impl<'e> QueryExecutor<'e> {
         } else {
             store.ensure_ready(self.engine, self.design)?;
         }
+        self.engine.mark_tape_phase();
         let clock_r = self.engine.elapsed();
         let energy_r = self.engine.command_energy();
 
@@ -328,6 +433,7 @@ impl<'e> QueryExecutor<'e> {
             let buf = self.engine.row_buffer(bank, placement.source)?;
             unpack_slots_into(&buf.data, slot_bits, num_slots, &mut scratch.live);
         }
+        self.engine.mark_tape_phase();
         let clock_s = self.engine.elapsed();
         let energy_s = self.engine.command_energy();
 
@@ -357,6 +463,7 @@ impl<'e> QueryExecutor<'e> {
                 .iter()
                 .map(|&x| elements.get(x as usize).copied().unwrap_or(0)),
         );
+        self.engine.mark_tape_phase();
         let clock_w = self.engine.elapsed();
         let energy_w = self.engine.command_energy();
 
@@ -369,7 +476,7 @@ impl<'e> QueryExecutor<'e> {
         // (and commit it to the destination row). If the destination shares
         // the source subarray, close the source row *first* so the LISA
         // write-through cannot clobber the still-open input row.
-        pack_slots_into(&scratch.out, slot_bits, cfg.row_bytes, &mut scratch.row)?;
+        pack_slots_into(&scratch.out, slot_bits, row_bytes, &mut scratch.row)?;
         if placement.dest == placement.source {
             self.engine.precharge(bank, placement.source)?;
         }
@@ -394,6 +501,72 @@ impl<'e> QueryExecutor<'e> {
             reload_energy: energy_r - energy0,
         };
         Ok(cost)
+    }
+
+    /// The warm-plan path: performs the query's *data* effects — the one
+    /// gather pass, the packed commit to the destination row, and GSA
+    /// destruction — then applies the memoized cost tape. The phase
+    /// snapshots land on the same absolute clock/energy values the
+    /// issuing path reaches, so the returned [`QueryCost`] is built from
+    /// the identical subtractions and is bit-identical to it.
+    fn replay_resident(
+        &mut self,
+        store: &mut LutStore,
+        placement: QueryPlacement,
+        dst_row: RowId,
+        scratch: &mut QueryScratch,
+        tape: &pluto_dram::CostTape,
+    ) -> Result<QueryCost, PlutoError> {
+        let lut = store.lut().clone();
+        let slot_bits = lut.slot_bits();
+        let row_bytes = self.engine.config().row_bytes;
+        let clock0 = self.engine.elapsed();
+        let energy0 = self.engine.command_energy();
+
+        // Data path: `scratch.live` holds the validated input slots, which
+        // are bit-identical to what the issuing path's source activation
+        // would latch (the resident row was peeked by the same unpack).
+        scratch.out.clear();
+        let elements = lut.elements();
+        scratch.out.extend(
+            scratch
+                .live
+                .iter()
+                .map(|&x| elements.get(x as usize).copied().unwrap_or(0)),
+        );
+        // Commit the output vector to the destination row — same bytes the
+        // issuing path's deposit + LISA write-through commits.
+        pack_slots_into(&scratch.out, slot_bits, row_bytes, &mut scratch.row)?;
+        let dst_loc = RowLoc {
+            bank: placement.bank,
+            subarray: placement.dest,
+            row: dst_row,
+        };
+        self.engine.poke_row(dst_loc, &scratch.row)?;
+        // GSA: the sweep the tape stands in for destroyed the LUT.
+        if self.design.destructive_reads() {
+            store.mark_destroyed(self.engine)?;
+        }
+
+        let snaps = self.engine.apply_replayed(tape);
+        let clock_end = self.engine.elapsed();
+        let energy_end = self.engine.command_energy();
+        let [(clock_r, energy_r), (clock_s, energy_s), (clock_w, energy_w)] = snaps[..] else {
+            // Structurally impossible: query-shaped tapes record exactly
+            // three phase marks. Treated as corruption, not fallback.
+            return Err(PlutoError::LayoutMismatch {
+                reason: format!("query plan tape carried {} phase marks", snaps.len()),
+            });
+        };
+        Ok(QueryCost {
+            setup: clock_s - clock_r,
+            reload: clock_r - clock0,
+            sweep: clock_w - clock_s,
+            copyout: clock_end - clock_w,
+            energy: energy_end - energy0,
+            sweep_energy: energy_w - energy_s,
+            reload_energy: energy_r - energy0,
+        })
     }
 
     /// The retained pre-refactor scalar path: bit-serial slot packing and

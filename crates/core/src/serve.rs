@@ -379,6 +379,14 @@ impl Server {
         self.outstanding.current()
     }
 
+    /// Compiled-plan cache counters ([`crate::plan::plan_stats`]). The
+    /// cache is process-wide, so under steady mixed traffic the workers'
+    /// repeat queries show up here as hits regardless of which lane ran
+    /// them.
+    pub fn plan_stats(&self) -> crate::plan::PlanStats {
+        crate::plan::plan_stats()
+    }
+
     /// Ingestion/batching telemetry so far.
     pub fn stats(&self) -> ServeStats {
         self.stats
@@ -603,10 +611,20 @@ pub(crate) fn execute_batch(pool: &mut HashMap<ConfigKey, Session>, batch: Serve
         entries,
         done,
     } = batch;
+    // One workload reused across the whole batch: per-query inputs are
+    // moved in and outputs moved out, so the hot loop constructs no
+    // per-entry workload (and clones no per-entry `Arc`).
+    let mut workload = QueryWorkload {
+        lut,
+        inputs: Vec::new(),
+        min_subarrays,
+        out: Vec::new(),
+    };
     for entry in entries {
         let ServeEntry { seq, inputs, reply } = entry;
+        workload.inputs = inputs;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_query(pool, &config, &lut, min_subarrays, inputs)
+            run_query(pool, &config, &mut workload)
         }))
         .unwrap_or_else(|payload| {
             pool.clear();
@@ -628,9 +646,7 @@ pub(crate) fn execute_batch(pool: &mut HashMap<ConfigKey, Session>, batch: Serve
 fn run_query(
     pool: &mut HashMap<ConfigKey, Session>,
     config: &ExecConfig,
-    lut: &Arc<Lut>,
-    min_subarrays: u16,
-    inputs: Vec<u64>,
+    workload: &mut QueryWorkload,
 ) -> Result<(Vec<u64>, CostReport), PlutoError> {
     // `config` is already effective (subarray floor raised at enqueue),
     // so this key matches the batch path's pooling and `Session::run`
@@ -641,15 +657,9 @@ fn run_query(
             v.insert(Session::with_config(config.clone())?)
         }
     };
-    let mut workload = QueryWorkload {
-        lut: Arc::clone(lut),
-        inputs,
-        min_subarrays,
-        out: Vec::new(),
-    };
-    let report = session.run(&mut workload)?;
-    session.take_reports();
-    Ok((workload.out, report))
+    let report = session.run(workload)?;
+    session.clear_reports();
+    Ok((std::mem::take(&mut workload.out), report))
 }
 
 #[cfg(test)]

@@ -588,6 +588,14 @@ impl Session {
         std::mem::take(&mut self.reports)
     }
 
+    /// Drops the accumulated reports in place, keeping the allocation.
+    /// The pooled-worker hot paths (cluster shards, serve batches) call
+    /// this once per query, where [`Session::take_reports`]'s fresh
+    /// `Vec` would churn the allocator.
+    pub fn clear_reports(&mut self) {
+        self.reports.clear();
+    }
+
     /// Runs one workload: prepare on a pristine machine, execute the
     /// pLUTo mapping, validate against the reference, and record the
     /// cost.
@@ -657,6 +665,13 @@ impl Session {
     /// Energy in joules to process `volume_bytes` (SALP-independent).
     pub fn energy_joules(&self, report: &CostReport, volume_bytes: f64) -> f64 {
         report.scaled_energy(volume_bytes)
+    }
+
+    /// Compiled-plan cache counters ([`crate::plan::plan_stats`]) —
+    /// process-wide and monotonic, surfaced here so session-level tools
+    /// can report warm-plan hit rates next to their cost reports.
+    pub fn plan_stats(&self) -> crate::plan::PlanStats {
+        crate::plan::plan_stats()
     }
 }
 

@@ -40,6 +40,9 @@ pub struct Engine {
     act_window: VecDeque<Picos>,
     /// Optional command trace (off by default; enable for golden tests).
     trace: Option<Vec<Command>>,
+    /// Active cost-tape recorder (see [`Engine::begin_tape`]); `None`
+    /// outside a capture.
+    recorder: Option<TapeRecorder>,
 }
 
 impl Engine {
@@ -60,6 +63,7 @@ impl Engine {
             stats: CommandStats::new(),
             act_window: VecDeque::with_capacity(4),
             trace: None,
+            recorder: None,
         }
     }
 
@@ -76,6 +80,7 @@ impl Engine {
             stats: CommandStats::new(),
             act_window: VecDeque::with_capacity(4),
             trace: None,
+            recorder: None,
         }
     }
 
@@ -158,6 +163,9 @@ impl Engine {
     /// for overlapped subarray streams (see `crate::schedule` for the
     /// SALP treatment of the same question).
     pub fn rewind_clock(&mut self, to: Picos) {
+        // A clock rewind is not expressible as a translation-invariant
+        // cost delta, so it invalidates any capture in progress.
+        self.recorder = None;
         if to >= self.clock {
             return;
         }
@@ -170,6 +178,9 @@ impl Engine {
     /// parallel-lane region at its slowest lane's end time (see
     /// [`Engine::rewind_clock`]).
     pub fn advance_clock_to(&mut self, to: Picos) {
+        // An absolute-time jump (like a rewind) cannot be replayed as a
+        // relative delta; drop any capture in progress.
+        self.recorder = None;
         if to > self.clock {
             self.clock = to;
         }
@@ -177,6 +188,7 @@ impl Engine {
 
     /// Resets clock, energy, and counters (array contents are preserved).
     pub fn reset_accounting(&mut self) {
+        self.recorder = None;
         self.clock = Picos::ZERO;
         self.command_energy = PicoJoules::ZERO;
         self.stats = CommandStats::new();
@@ -202,10 +214,39 @@ impl Engine {
         while self.act_window.len() > 4 {
             self.act_window.pop_front();
         }
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.acts += 1;
+            rec.act_tail.push(at - rec.entry_clock);
+            if rec.act_tail.len() > 4 {
+                rec.act_tail.remove(0);
+            }
+        }
         at
     }
 
     fn spend(&mut self, duration: Picos, energy: PicoJoules) {
+        if let Some(rec) = self.recorder.as_mut() {
+            // Fold any forward clock jump since the previous spend (a
+            // tFAW-throttled ACT issue) into this op's delta: the two
+            // u64 additions associate, so replaying the combined delta
+            // lands on exactly the clock the issuing path reaches.
+            let delta = (self.clock - rec.last_clock) + duration;
+            rec.last_clock = self.clock + duration;
+            rec.spends += 1;
+            match rec.ops.last_mut() {
+                Some(op)
+                    if op.delta == delta
+                        && op.energy.as_pj().to_bits() == energy.as_pj().to_bits() =>
+                {
+                    op.repeat += 1
+                }
+                _ => rec.ops.push(TapeOp {
+                    delta,
+                    energy,
+                    repeat: 1,
+                }),
+            }
+        }
         self.clock += duration;
         self.command_energy += energy;
     }
@@ -884,6 +925,168 @@ impl Engine {
         self.command_energy += outcome.energy;
         self.stats.merge(&outcome.stats);
     }
+
+    // ------------------------------------------------------------------
+    // Compiled cost tapes (plan-cache replay, DESIGN.md §10)
+    // ------------------------------------------------------------------
+
+    /// Whether command tracing is currently enabled (traced command
+    /// streams are per-issue, so a recorded cost tape cannot stand in for
+    /// them — plan replay must fall back to full issuance).
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Whether the tFAW window can no longer throttle any future ACT: every
+    /// recorded activation is at least `t_faw` in the past (or the window
+    /// is disabled). Equivalent to an empty window *signature* — an aged
+    /// entry occupies a window slot but its `t + t_faw` bound lies in the
+    /// past, so it can never delay an ACT and is indistinguishable from an
+    /// absent one.
+    pub fn tfaw_window_inert(&self) -> bool {
+        !self.timing.t_faw_enabled()
+            || self
+                .act_window
+                .iter()
+                .all(|&t| t + self.timing.t_faw <= self.clock)
+    }
+
+    /// Ages (`now − issue time`, oldest first) of the tFAW-window entries
+    /// that can still throttle a future ACT; empty when the window is
+    /// inert or tFAW is disabled. Two engine states with equal signatures
+    /// throttle any identical future command stream identically, which is
+    /// the replay-legality contract of [`CostTape::replayable_from`].
+    fn tfaw_window_signature(&self) -> Vec<Picos> {
+        if !self.timing.t_faw_enabled() {
+            return Vec::new();
+        }
+        self.act_window
+            .iter()
+            .filter(|&&t| t + self.timing.t_faw > self.clock)
+            .map(|&t| self.clock - t)
+            .collect()
+    }
+
+    /// Allocation-free comparison of the current window signature against
+    /// a recorded one (the replay hot path checks this per query).
+    fn tfaw_window_signature_matches(&self, sig: &[Picos]) -> bool {
+        if !self.timing.t_faw_enabled() {
+            return sig.is_empty();
+        }
+        self.act_window
+            .iter()
+            .filter(|&&t| t + self.timing.t_faw > self.clock)
+            .map(|&t| self.clock - t)
+            .eq(sig.iter().copied())
+    }
+
+    /// Starts recording a cost tape at the current clock: every subsequent
+    /// costed command appends its clock/energy delta (run-length
+    /// compressed) until [`Engine::end_tape`]. The entry state's tFAW
+    /// window signature is recorded on the tape, and replay is only legal
+    /// from a state with the identical signature
+    /// ([`CostTape::replayable_from`]). A capture in progress is dropped
+    /// by any absolute-time mutation ([`Engine::rewind_clock`],
+    /// [`Engine::advance_clock_to`], [`Engine::reset_accounting`],
+    /// [`Engine::merge_lane`]) — `end_tape` then returns `None` and the
+    /// caller falls back to uncached issuance. Beginning a new capture
+    /// discards any previous one.
+    pub fn begin_tape(&mut self) {
+        self.recorder = Some(TapeRecorder {
+            entry_clock: self.clock,
+            last_clock: self.clock,
+            entry_stats: self.stats,
+            entry_sig: self.tfaw_window_signature(),
+            ops: Vec::new(),
+            marks: Vec::new(),
+            spends: 0,
+            acts: 0,
+            act_tail: Vec::new(),
+        });
+    }
+
+    /// Records a phase boundary on the active tape (a no-op outside a
+    /// capture): [`Engine::apply_replayed`] returns one `(clock, energy)`
+    /// snapshot per mark, in order, letting callers reconstruct per-phase
+    /// cost breakdowns without re-issuing commands.
+    pub fn mark_tape_phase(&mut self) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.marks.push(rec.spends);
+        }
+    }
+
+    /// Finishes the active capture and returns the tape, or `None` if no
+    /// capture is active (never started, or dropped by an absolute-time
+    /// mutation — see [`Engine::begin_tape`]).
+    pub fn end_tape(&mut self) -> Option<CostTape> {
+        self.recorder.take().map(|rec| CostTape {
+            ops: rec.ops,
+            marks: rec.marks,
+            stats: self.stats.since(&rec.entry_stats),
+            entry_sig: rec.entry_sig,
+            acts: rec.acts,
+            act_tail: rec.act_tail,
+        })
+    }
+
+    /// Discards any capture in progress without producing a tape.
+    pub fn abort_tape(&mut self) {
+        self.recorder = None;
+    }
+
+    /// Applies a recorded cost tape as if its command stream had been
+    /// issued from the current clock: clock and energy advance through the
+    /// identical sequence of additions the issuing path performs (so the
+    /// end state is bit-identical), command counters merge, and the tFAW
+    /// window is reconstructed from the tape's activation tail. Returns
+    /// one `(clock, energy)` snapshot per recorded phase mark.
+    ///
+    /// Legality is the caller's contract:
+    /// [`CostTape::replayable_from`] must hold (checked by
+    /// `debug_assert`). Any capture in progress on *this* engine is
+    /// dropped (a replayed delta has no per-command structure to
+    /// re-record).
+    pub fn apply_replayed(&mut self, tape: &CostTape) -> Vec<(Picos, PicoJoules)> {
+        debug_assert!(
+            tape.replayable_from(self),
+            "cost-tape replay from a state with a different tFAW-window signature"
+        );
+        self.recorder = None;
+        let entry = self.clock;
+        let mut snapshots = Vec::with_capacity(tape.marks.len());
+        let mut next_mark = tape.marks.iter().copied();
+        let mut pending = next_mark.next();
+        let mut done = 0u64;
+        while pending == Some(done) {
+            snapshots.push((self.clock, self.command_energy));
+            pending = next_mark.next();
+        }
+        for op in &tape.ops {
+            for _ in 0..op.repeat {
+                self.clock += op.delta;
+                self.command_energy += op.energy;
+                done += 1;
+                while pending == Some(done) {
+                    snapshots.push((self.clock, self.command_energy));
+                    pending = next_mark.next();
+                }
+            }
+        }
+        self.stats.merge(&tape.stats);
+        // Reconstruct the window the issuing path would leave: its last
+        // ≤4 ACTs at their recorded offsets from the entry clock. With 4+
+        // recorded ACTs they displace every pre-existing entry.
+        if tape.acts >= 4 {
+            self.act_window.clear();
+        }
+        for &off in &tape.act_tail {
+            self.act_window.push_back(entry + off);
+        }
+        while self.act_window.len() > 4 {
+            self.act_window.pop_front();
+        }
+        snapshots
+    }
 }
 
 /// A detached replay of one parallel command lane's *costs* (no array, no
@@ -992,6 +1195,82 @@ impl LaneClock {
             energy: self.energy,
             stats: self.stats,
         }
+    }
+}
+
+/// One run-length-compressed cost step on a [`CostTape`]: `repeat`
+/// consecutive spends, each advancing the clock by `delta` and the energy
+/// accumulator by `energy`. `delta` folds in any tFAW forward jump the
+/// issuing path took before the spend (the two u64 additions associate, so
+/// replay lands on exactly the clock the issuing path reached).
+#[derive(Debug, Clone, Copy)]
+struct TapeOp {
+    delta: Picos,
+    energy: PicoJoules,
+    repeat: u64,
+}
+
+/// In-progress capture state (see [`Engine::begin_tape`]).
+#[derive(Debug, Clone)]
+struct TapeRecorder {
+    /// Clock at capture start; ACT offsets are recorded relative to it.
+    entry_clock: Picos,
+    /// Clock immediately after the previous spend (for delta folding).
+    last_clock: Picos,
+    /// Counter snapshot at capture start, subtracted out at `end_tape`.
+    entry_stats: CommandStats,
+    /// tFAW-window signature at capture start (replay-legality witness).
+    entry_sig: Vec<Picos>,
+    ops: Vec<TapeOp>,
+    /// Phase boundaries, as spend counts (see [`Engine::mark_tape_phase`]).
+    marks: Vec<u64>,
+    /// Total spends so far (mark positions index into this count).
+    spends: u64,
+    /// Total ACT issues so far.
+    acts: u64,
+    /// Offsets (from `entry_clock`) of the last ≤4 ACT issues, for
+    /// reconstructing the tFAW window on replay.
+    act_tail: Vec<Picos>,
+}
+
+/// A recorded command-stream cost delta: the exact sequence of clock/energy
+/// additions, counter deltas, and tFAW-window tail a query's command stream
+/// produces when issued from a [`Engine::tfaw_window_inert`] state.
+/// Captured with [`Engine::begin_tape`]/[`Engine::end_tape`] and applied —
+/// bit-identically, without re-simulating commands — with
+/// [`Engine::apply_replayed`]. The plan-cache layer in `pluto-core` keys
+/// tapes by everything that can shift the delta (config, design, LUT
+/// geometry, residency); see `DESIGN.md` §10.
+#[derive(Debug, Clone)]
+pub struct CostTape {
+    ops: Vec<TapeOp>,
+    marks: Vec<u64>,
+    stats: CommandStats,
+    entry_sig: Vec<Picos>,
+    acts: u64,
+    act_tail: Vec<Picos>,
+}
+
+impl CostTape {
+    /// Number of phase marks recorded on this tape (one
+    /// [`Engine::apply_replayed`] snapshot is returned per mark).
+    pub fn mark_count(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Command-counter delta the taped stream produces.
+    pub fn stats(&self) -> &CommandStats {
+        &self.stats
+    }
+
+    /// Whether applying this tape from `engine`'s current state is exact:
+    /// the live tFAW-window signature (relative ages of activations that
+    /// can still throttle) must equal the signature at capture time —
+    /// anything else would shift the throttling the recorded deltas
+    /// embed. Allocation-free; callers fall back to full issuance when
+    /// this is false.
+    pub fn replayable_from(&self, engine: &Engine) -> bool {
+        engine.tfaw_window_signature_matches(&self.entry_sig)
     }
 }
 
@@ -1517,5 +1796,161 @@ mod tests {
             .is_err());
         assert!(e.row_clone_fpm(RowLoc::new(0, 0, 0), RowId(999)).is_err());
         assert!(e.shift_row(RowLoc::new(0, 0, 999), true, 1).is_err());
+    }
+
+    /// An engine with binding timing: 1 ns ACT/PRE against a 25 ns tFAW,
+    /// so four back-to-back sweep steps leave a window that throttles.
+    fn binding() -> Engine {
+        let cfg = DramConfig {
+            row_bytes: 16,
+            burst_bytes: 8,
+            ..DramConfig::ddr4_2400()
+        };
+        let mut timing = TimingParams::ddr4_2400();
+        timing.t_rcd = Picos::from_ns(1.0);
+        timing.t_rp = Picos::from_ns(1.0);
+        timing.t_faw = Picos::from_ns(25.0);
+        Engine::with_models(cfg, timing, EnergyModel::ddr4())
+    }
+
+    /// A representative query-shaped stream (reload, activate, sweep,
+    /// precharge, copy-out RBM, precharge) issued on `e`, with a phase
+    /// mark after the reload and after the sweep.
+    fn issue_query_shape(e: &mut Engine) {
+        e.lisa_reload_rows(
+            BankId(0),
+            SubarrayId(4),
+            RowId(0),
+            SubarrayId(3),
+            RowId(0),
+            6,
+        )
+        .unwrap();
+        e.mark_tape_phase();
+        e.activate(RowLoc::new(0, 1, 0)).unwrap();
+        e.sweep_rows(
+            BankId(0),
+            SubarrayId(3),
+            RowId(0),
+            6,
+            SweepStepKind::ChargeShare,
+        )
+        .unwrap();
+        e.mark_tape_phase();
+        e.precharge(BankId(0), SubarrayId(3)).unwrap();
+        e.deposit_buffer(BankId(0), SubarrayId(3), &[0; 16])
+            .unwrap();
+        e.lisa_rbm_to_row(BankId(0), SubarrayId(3), SubarrayId(1), RowId(9))
+            .unwrap();
+        e.precharge(BankId(0), SubarrayId(1)).unwrap();
+    }
+
+    #[test]
+    fn tape_replay_is_bit_identical_from_a_different_inert_state() {
+        // Capture from one inert state, replay from another (different
+        // clock, different energy history). End clock, energy bits,
+        // counters, and phase snapshots must all match a freshly issued
+        // stream from the replay state.
+        let mut rec = binding();
+        rec.begin_tape();
+        issue_query_shape(&mut rec);
+        let tape = rec.end_tape().expect("capture survived");
+        assert_eq!(tape.mark_count(), 2);
+
+        // A different start state: some prior history, then idle long
+        // enough that the window is inert.
+        let mut a = binding();
+        a.sweep_step(RowLoc::new(0, 0, 0), SweepStepKind::FullCycle)
+            .unwrap();
+        a.advance_clock_to(a.elapsed() + Picos::from_ns(100.0));
+        assert!(a.tfaw_window_inert());
+        let mut b = a.clone();
+
+        issue_query_shape(&mut a); // issuing oracle
+        let snaps = b.apply_replayed(&tape); // memoized replay
+        assert_eq!(b.elapsed(), a.elapsed(), "replayed clock == issued clock");
+        assert_eq!(
+            b.command_energy().as_pj().to_bits(),
+            a.command_energy().as_pj().to_bits(),
+            "replayed energy bit-identical"
+        );
+        assert_eq!(b.stats(), a.stats(), "replayed counters == issued");
+        assert_eq!(snaps.len(), 2);
+        // Snapshots land on the same absolute clocks a marked issue would.
+        assert!(snaps[0].0 < snaps[1].0 && snaps[1].0 < b.elapsed());
+    }
+
+    #[test]
+    fn tape_replay_reconstructs_the_tfaw_window() {
+        // After replay, a follow-on burst of ACTs must throttle exactly
+        // as it does after the issued stream.
+        let mut rec = binding();
+        rec.begin_tape();
+        issue_query_shape(&mut rec);
+        let tape = rec.end_tape().expect("capture survived");
+
+        let mut a = binding();
+        a.advance_clock_to(Picos::from_ns(50.0));
+        let mut b = a.clone();
+        issue_query_shape(&mut a);
+        b.apply_replayed(&tape);
+        // Immediate follow-on ACT pressure: the 4-deep window recorded on
+        // the tape must throttle the replayed engine identically.
+        for r in 0..6u16 {
+            a.sweep_step(RowLoc::new(0, 2, r), SweepStepKind::ChargeShare)
+                .unwrap();
+            b.sweep_step(RowLoc::new(0, 2, r), SweepStepKind::ChargeShare)
+                .unwrap();
+        }
+        assert_eq!(a.elapsed(), b.elapsed(), "tFAW throttling agrees");
+    }
+
+    #[test]
+    fn tfaw_window_inert_truth_table() {
+        let mut e = binding();
+        assert!(e.tfaw_window_inert(), "empty window is inert");
+        e.sweep_step(RowLoc::new(0, 0, 0), SweepStepKind::ChargeShare)
+            .unwrap();
+        assert!(!e.tfaw_window_inert(), "fresh ACT arms the window");
+        e.advance_clock_to(e.elapsed() + Picos::from_ns(30.0));
+        assert!(e.tfaw_window_inert(), "aged past t_faw");
+        let mut z = tiny();
+        let mut timing = z.timing().clone();
+        timing.t_faw = Picos::ZERO;
+        z = Engine::with_models(z.config().clone(), timing, EnergyModel::ddr4());
+        z.sweep_step(RowLoc::new(0, 0, 0), SweepStepKind::ChargeShare)
+            .unwrap();
+        assert!(z.tfaw_window_inert(), "disabled window is always inert");
+    }
+
+    #[test]
+    fn rewind_during_capture_voids_the_tape() {
+        let mut e = binding();
+        e.begin_tape();
+        let mark = e.elapsed();
+        e.activate(RowLoc::new(0, 0, 0)).unwrap();
+        e.rewind_clock(mark);
+        assert!(e.end_tape().is_none(), "absolute-time jump drops capture");
+        e.begin_tape();
+        e.abort_tape();
+        assert!(e.end_tape().is_none(), "abort drops capture");
+    }
+
+    #[test]
+    fn replay_with_leading_marks_snapshots_the_entry_state() {
+        // A tape whose first phase costs nothing (e.g. a no-reload query)
+        // has its first mark at zero spends; the snapshot must be the
+        // entry clock/energy.
+        let mut e = binding();
+        e.begin_tape();
+        e.mark_tape_phase();
+        e.activate(RowLoc::new(0, 0, 0)).unwrap();
+        e.precharge(BankId(0), SubarrayId(0)).unwrap();
+        let tape = e.end_tape().expect("capture survived");
+        let mut b = binding();
+        b.advance_clock_to(Picos::from_ns(40.0));
+        let entry = (b.elapsed(), b.command_energy());
+        let snaps = b.apply_replayed(&tape);
+        assert_eq!(snaps, vec![entry]);
     }
 }

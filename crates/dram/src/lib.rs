@@ -63,7 +63,7 @@ pub mod units;
 pub use array::{set_word_at_bit, word_at_bit, MemoryArray, RowBuffer, MAX_FIELD_BITS};
 pub use command::{Command, SweepStepKind};
 pub use energy::EnergyModel;
-pub use engine::{Engine, LaneClock, LaneOutcome};
+pub use engine::{CostTape, Engine, LaneClock, LaneOutcome};
 pub use error::DramError;
 pub use geometry::{BankId, DramConfig, MemoryKind, RowId, RowLoc, SubarrayId};
 pub use schedule::{Lane, LaneStep, ParallelScheduler, StepKind};

@@ -119,6 +119,10 @@ pub struct Criterion {
     name: String,
     samples: usize,
     records: Vec<Record>,
+    /// Derived summary statistics (percentiles, ratios) keyed by id —
+    /// serialized as a separate `"summaries"` JSON object, never as
+    /// benchmark rows.
+    summaries: Vec<(String, f64)>,
 }
 
 impl Criterion {
@@ -132,6 +136,7 @@ impl Criterion {
             name: name.to_string(),
             samples: if quick { SAMPLES_QUICK } else { SAMPLES_FULL },
             records: Vec::new(),
+            summaries: Vec::new(),
         }
     }
 
@@ -180,6 +185,19 @@ impl Criterion {
             "record_ns('{id}') needs at least one sample"
         );
         self.push_record(id.to_string(), 1, samples_ns);
+        self
+    }
+
+    /// Records a derived summary statistic — a percentile computed with
+    /// [`percentile_ns`], a ratio, a worst case — under `id`. Summaries
+    /// land in the baseline's `"summaries"` JSON object, not in
+    /// `"results"`: a p50/p99 is a property of one measured
+    /// distribution, and emitting it as a one-sample benchmark row would
+    /// give it a fake `samples: 1, stddev: 0` shape that regression
+    /// tooling can't distinguish from a real (degenerate) benchmark.
+    pub fn summary_ns(&mut self, id: &str, value_ns: f64) -> &mut Self {
+        println!("summary {:<39} {:>12.1} ns", id, value_ns);
+        self.summaries.push((id.to_string(), value_ns));
         self
     }
 
@@ -262,7 +280,22 @@ impl Criterion {
                 r.max_ns
             );
         }
-        out.push_str("\n  ]\n}\n");
+        out.push_str("\n  ],\n  \"summaries\": {");
+        for (i, (id, value)) in self.summaries.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {}: {:.3}",
+                if i == 0 { "" } else { "," },
+                json_string(id),
+                value
+            );
+        }
+        if self.summaries.is_empty() {
+            out.push('}');
+        } else {
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -397,6 +430,20 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn summaries_serialize_as_an_object_not_benchmark_rows() {
+        let mut c = Criterion::named("selftest4");
+        c.record_ns("lat", vec![10.0, 20.0, 30.0]);
+        c.summary_ns("lat_p99", percentile_ns(&[10.0, 20.0, 30.0], 99.0));
+        let json = c.to_json();
+        assert!(json.contains("\"summaries\": {"));
+        assert!(json.contains("\"lat_p99\": 30.000"));
+        // The summary must NOT appear as a results row.
+        assert!(!json.contains("{\"id\": \"lat_p99\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(c.records.len(), 1);
     }
 
     #[test]

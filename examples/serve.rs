@@ -142,6 +142,11 @@ fn main() -> Result<(), PlutoError> {
         stats.affinities,
         server.steals()
     );
+    let plans = server.plan_stats();
+    println!(
+        "plan cache: {} hit(s), {} miss(es), {} fallback(s) across {} cached plan(s)",
+        plans.hits, plans.misses, plans.fallbacks, plans.entries
+    );
     println!("all replies validated and spot-checked against the serial oracle");
     Ok(())
 }

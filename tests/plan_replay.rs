@@ -1,0 +1,398 @@
+//! Differential suite for the compiled query-plan cache (`DESIGN.md`
+//! §10): warm-plan replay must be indistinguishable from the full
+//! issuing path at every observable level — output words, `QueryCost` /
+//! `PartitionedCost` breakdowns, engine clock, energy (compared on raw
+//! `f64` bits), command counters, and committed DRAM rows — across all
+//! three designs × both memory kinds × varied tFAW scales × interleaved
+//! LUTs, cold and warm, including GSA's reload-per-query stores and
+//! 128-segment partitioned queries. Non-replayable contexts (command
+//! tracing, a tFAW-window signature mismatch) must fall back to full
+//! issuance, not replay a wrong tape.
+
+use pluto_repro::core::lut::{slots_per_row, width_mask, Lut};
+use pluto_repro::core::partition::PartitionedLut;
+use pluto_repro::core::plan;
+use pluto_repro::core::query::{QueryExecutor, QueryPlacement};
+use pluto_repro::core::store::LutStore;
+use pluto_repro::core::DesignKind;
+use pluto_repro::dram::{
+    BankId, DramConfig, EnergyModel, Engine, MemoryKind, RowId, RowLoc, SubarrayId, TimingParams,
+};
+use sim_support::prop::{self, Gen};
+use sim_support::prop_assert_eq;
+
+/// A small-geometry engine with an explicit tFAW scale (0.0 disables the
+/// window entirely; >1.0 makes the four-activate throttle bite harder).
+fn engine(kind: MemoryKind, t_faw_scale: f64) -> Engine {
+    let (base, timing, energy) = match kind {
+        MemoryKind::Ddr4 => (
+            DramConfig::ddr4_2400(),
+            TimingParams::ddr4_2400(),
+            EnergyModel::ddr4(),
+        ),
+        MemoryKind::Stacked3d => (
+            DramConfig::hmc_3ds(),
+            TimingParams::hmc_3ds(),
+            EnergyModel::hmc_3ds(),
+        ),
+    };
+    Engine::with_models(
+        DramConfig {
+            row_bytes: 32,
+            burst_bytes: 8,
+            banks: 2,
+            subarrays_per_bank: 8,
+            rows_per_subarray: 64,
+            ..base
+        },
+        timing.with_t_faw_scale(t_faw_scale),
+        energy,
+    )
+}
+
+fn setup(e: &mut Engine, lut: Lut) -> (LutStore, QueryPlacement) {
+    let bank = BankId(0);
+    let pluto = SubarrayId(2);
+    let n = lut.len() as u16;
+    let base = e.config().rows_per_subarray - n;
+    let store = LutStore::load(e, lut, bank, pluto, SubarrayId(1), base).unwrap();
+    (store, QueryPlacement::adjacent(bank, pluto))
+}
+
+/// A random LUT with an effectively unique name, so every sweep case
+/// records its own plans (repeat queries within the case then replay
+/// them).
+fn random_lut(g: &mut Gen, tag: u64) -> Lut {
+    let input_bits = g.range(1u32..=6);
+    let output_bits = g.range(1u32..=16);
+    let mask = width_mask(output_bits);
+    let len = 1usize << input_bits;
+    let elements: Vec<u64> = (0..len).map(|_| g.any::<u64>() & mask).collect();
+    Lut::from_table(
+        format!("plan-{tag}-{input_bits}x{output_bits}"),
+        input_bits,
+        output_bits,
+        elements,
+    )
+    .unwrap()
+}
+
+/// The tentpole property: a fresh plans-enabled engine (whose first
+/// query records a tape and whose second replays from a warm clock), a
+/// second plans-enabled engine (whose first query replays the cached
+/// tape cold), and a plans-disabled issuing oracle are indistinguishable
+/// query by query.
+#[test]
+fn warm_plan_replay_is_bit_identical_to_the_issuing_oracle() {
+    let before = plan::plan_stats();
+    prop::check("plan_replay_vs_issuing", 24, |g| {
+        let tag: u64 = g.any();
+        let scale = [0.0, 0.5, 1.0, 4.0][g.range(0usize..4)];
+        for kind in [MemoryKind::Ddr4, MemoryKind::Stacked3d] {
+            for design in DesignKind::ALL {
+                let lut = random_lut(g, tag);
+                let capacity = slots_per_row(32, lut.slot_bits());
+                let inputs: Vec<u64> = g.vec(1, capacity, |g| g.range(0..lut.len() as u64));
+                let dst_row = RowId(g.range(0u16..8));
+                let label = format!("{design}/{kind}/x{scale}/{}", lut.name());
+
+                let mut e_rec = engine(kind, scale);
+                let (mut store_r, placement) = setup(&mut e_rec, lut.clone());
+                let mut e_warm = engine(kind, scale);
+                let (mut store_w, _) = setup(&mut e_warm, lut.clone());
+                let mut e_oracle = engine(kind, scale);
+                let (mut store_o, _) = setup(&mut e_oracle, lut.clone());
+
+                // Two back-to-back queries: the first records (recorder) /
+                // replays cold (warm engine); the second replays from a
+                // warm clock — or legally falls back when the live tFAW
+                // window diverges from the recorded signature.
+                for step in 0..2 {
+                    let (out_r, cost_r) = {
+                        let mut ex = QueryExecutor::new(&mut e_rec, design);
+                        ex.execute(&mut store_r, placement, &inputs, RowId(0), dst_row)
+                            .unwrap()
+                    };
+                    let (out_w, cost_w) = {
+                        let mut ex = QueryExecutor::new(&mut e_warm, design);
+                        ex.execute(&mut store_w, placement, &inputs, RowId(0), dst_row)
+                            .unwrap()
+                    };
+                    let (out_o, cost_o) = {
+                        let mut ex = QueryExecutor::new(&mut e_oracle, design);
+                        ex.set_use_plans(false);
+                        ex.execute(&mut store_o, placement, &inputs, RowId(0), dst_row)
+                            .unwrap()
+                    };
+                    prop_assert_eq!(
+                        &out_o,
+                        &lut.apply_all(&inputs).unwrap(),
+                        "semantics {label}"
+                    );
+                    for (who, out, cost, e) in [
+                        ("recorder", &out_r, cost_r, &mut e_rec),
+                        ("warm", &out_w, cost_w, &mut e_warm),
+                    ] {
+                        prop_assert_eq!(out, &out_o, "outputs {who}#{step} {label}");
+                        prop_assert_eq!(cost, cost_o, "cost {who}#{step} {label}");
+                        prop_assert_eq!(
+                            e.elapsed(),
+                            e_oracle.elapsed(),
+                            "clock {who}#{step} {label}"
+                        );
+                        prop_assert_eq!(
+                            e.command_energy().as_pj().to_bits(),
+                            e_oracle.command_energy().as_pj().to_bits(),
+                            "energy {who}#{step} {label}"
+                        );
+                        prop_assert_eq!(e.stats(), e_oracle.stats(), "stats {who}#{step} {label}");
+                        let dst = RowLoc {
+                            bank: placement.bank,
+                            subarray: placement.dest,
+                            row: dst_row,
+                        };
+                        prop_assert_eq!(
+                            e.peek_row(dst).unwrap(),
+                            e_oracle.peek_row(dst).unwrap(),
+                            "destination row {who}#{step} {label}"
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    });
+    let after = plan::plan_stats();
+    // The cache is process-wide, so only monotone deltas are meaningful:
+    // the sweep must have both recorded tapes and replayed them.
+    assert!(after.misses > before.misses, "sweep never recorded a plan");
+    assert!(after.hits > before.hits, "sweep never replayed a plan");
+}
+
+/// Interleaving two LUTs (alternating stores, shared engine) never lets
+/// one plan's tape leak into the other's queries, cold or warm.
+#[test]
+fn interleaved_luts_replay_their_own_plans() {
+    prop::check("plan_interleaved_luts", 12, |g| {
+        let tag: u64 = g.any();
+        for design in DesignKind::ALL {
+            let lut_a = random_lut(g, tag);
+            let lut_b = random_lut(g, tag.wrapping_add(1));
+            let mut e_plan = engine(MemoryKind::Ddr4, 1.0);
+            let mut e_oracle = engine(MemoryKind::Ddr4, 1.0);
+            // Two stores side by side: A at subarray 2, B at subarray 4.
+            let (mut sa_p, pa) = setup(&mut e_plan, lut_a.clone());
+            let (mut sa_o, _) = setup(&mut e_oracle, lut_a.clone());
+            let base_b = e_plan.config().rows_per_subarray - lut_b.len() as u16;
+            let mut sb_p = LutStore::load(
+                &mut e_plan,
+                lut_b.clone(),
+                BankId(0),
+                SubarrayId(4),
+                SubarrayId(3),
+                base_b,
+            )
+            .unwrap();
+            let mut sb_o = LutStore::load(
+                &mut e_oracle,
+                lut_b.clone(),
+                BankId(0),
+                SubarrayId(4),
+                SubarrayId(3),
+                base_b,
+            )
+            .unwrap();
+            let pb = QueryPlacement::adjacent(BankId(0), SubarrayId(4));
+            let ins_a: Vec<u64> = g.vec(1, 4, |g| g.range(0..lut_a.len() as u64));
+            let ins_b: Vec<u64> = g.vec(1, 4, |g| g.range(0..lut_b.len() as u64));
+
+            for round in 0..3 {
+                for (which, store_p, store_o, placement, inputs) in [
+                    ("A", &mut sa_p, &mut sa_o, pa, &ins_a),
+                    ("B", &mut sb_p, &mut sb_o, pb, &ins_b),
+                ] {
+                    let (out_p, cost_p) = {
+                        let mut ex = QueryExecutor::new(&mut e_plan, design);
+                        ex.execute(store_p, placement, inputs, RowId(0), RowId(1))
+                            .unwrap()
+                    };
+                    let (out_o, cost_o) = {
+                        let mut ex = QueryExecutor::new(&mut e_oracle, design);
+                        ex.set_use_plans(false);
+                        ex.execute(store_o, placement, inputs, RowId(0), RowId(1))
+                            .unwrap()
+                    };
+                    let label = format!("{design}/{which}#{round}");
+                    prop_assert_eq!(&out_p, &out_o, "outputs {label}");
+                    prop_assert_eq!(cost_p, cost_o, "cost {label}");
+                    prop_assert_eq!(e_plan.elapsed(), e_oracle.elapsed(), "clock {label}");
+                    prop_assert_eq!(
+                        e_plan.command_energy().as_pj().to_bits(),
+                        e_oracle.command_energy().as_pj().to_bits(),
+                        "energy {label}"
+                    );
+                    prop_assert_eq!(e_plan.stats(), e_oracle.stats(), "stats {label}");
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Partitioned queries replay per-lane plans — including a full
+/// 128-segment partition — with outputs, the §5.6 merged cost, and the
+/// engine's end state bit-identical to the plans-disabled serial lanes,
+/// for every design (GSA re-records once per residency state, then
+/// replays warm).
+#[test]
+fn partitioned_lanes_replay_warm_including_128_segments() {
+    let before = plan::plan_stats();
+    // 1024-entry LUT over 8-row subarrays => 128 segment lanes.
+    let cfg = DramConfig {
+        row_bytes: 32,
+        burst_bytes: 8,
+        banks: 1,
+        subarrays_per_bank: 260,
+        rows_per_subarray: 8,
+        ..DramConfig::ddr4_2400()
+    };
+    let src = SubarrayId(0);
+    let dst = SubarrayId(1);
+    for design in DesignKind::ALL {
+        let lut = Lut::from_fn(format!("plan-128seg-{design}"), 10, 12, |x| {
+            x.wrapping_mul(31) & 0xfff
+        })
+        .unwrap();
+        let mut e_plan = Engine::new(cfg.clone());
+        let mut p_plan =
+            PartitionedLut::load(&mut e_plan, lut.clone(), BankId(0), SubarrayId(2)).unwrap();
+        let mut e_oracle = Engine::new(cfg.clone());
+        let mut p_oracle =
+            PartitionedLut::load(&mut e_oracle, lut.clone(), BankId(0), SubarrayId(2)).unwrap();
+        p_oracle.set_use_plans(false);
+        assert_eq!(p_plan.segment_count(), 128);
+
+        let inputs: Vec<u64> = (0..6).map(|i| i * 171).collect();
+        for round in 0..3 {
+            let (out_p, cost_p) = p_plan
+                .query(&mut e_plan, design, src, dst, &inputs, RowId(0), RowId(1))
+                .unwrap();
+            let (out_o, cost_o) = p_oracle
+                .query(&mut e_oracle, design, src, dst, &inputs, RowId(0), RowId(1))
+                .unwrap();
+            let label = format!("{design}#{round}");
+            assert_eq!(out_p, out_o, "outputs {label}");
+            assert_eq!(out_p, lut.apply_all(&inputs).unwrap(), "semantics {label}");
+            assert_eq!(cost_p, cost_o, "cost {label}");
+            assert_eq!(e_plan.elapsed(), e_oracle.elapsed(), "clock {label}");
+            assert_eq!(
+                e_plan.command_energy().as_pj().to_bits(),
+                e_oracle.command_energy().as_pj().to_bits(),
+                "energy {label}"
+            );
+            assert_eq!(e_plan.stats(), e_oracle.stats(), "stats {label}");
+        }
+    }
+    let after = plan::plan_stats();
+    // Three designs × three rounds × 128 lanes; at least the final warm
+    // round of each design replays every lane.
+    assert!(
+        after.hits - before.hits >= 128,
+        "partitioned lanes never replayed: {before:?} -> {after:?}"
+    );
+}
+
+/// Explicit non-replayable-context tests: a legality gate failure must
+/// run the full issuing path (bit-identical to a plans-disabled twin)
+/// and count a fallback — never replay a wrong tape.
+#[test]
+fn non_replayable_contexts_fall_back_to_full_issuance() {
+    let lut = Lut::from_fn("plan-fallback-probe", 5, 9, |x| (x * 7) & 0x1ff).unwrap();
+    let inputs: Vec<u64> = vec![3, 17, 30, 8];
+
+    // Gate 1: command tracing. A traced engine must issue (the replayed
+    // delta has no command stream to append), and its trace must match
+    // the plans-disabled twin's exactly.
+    let before = plan::plan_stats();
+    let mut e_traced = engine(MemoryKind::Ddr4, 1.0);
+    e_traced.enable_trace();
+    let (mut store_t, placement) = setup(&mut e_traced, lut.clone());
+    let (out_t, cost_t) = {
+        let mut ex = QueryExecutor::new(&mut e_traced, DesignKind::Gmc);
+        ex.execute(&mut store_t, placement, &inputs, RowId(0), RowId(1))
+            .unwrap()
+    };
+    let mut e_oracle = engine(MemoryKind::Ddr4, 1.0);
+    e_oracle.enable_trace();
+    let (mut store_o, _) = setup(&mut e_oracle, lut.clone());
+    let (out_o, cost_o) = {
+        let mut ex = QueryExecutor::new(&mut e_oracle, DesignKind::Gmc);
+        ex.set_use_plans(false);
+        ex.execute(&mut store_o, placement, &inputs, RowId(0), RowId(1))
+            .unwrap()
+    };
+    assert_eq!(out_t, out_o, "traced outputs");
+    assert_eq!(cost_t, cost_o, "traced cost");
+    assert_eq!(e_traced.take_trace(), e_oracle.take_trace(), "traces");
+    let after = plan::plan_stats();
+    assert!(
+        after.fallbacks > before.fallbacks,
+        "tracing did not fall back: {before:?} -> {after:?}"
+    );
+
+    // Gate 2: tFAW-window signature mismatch. Record a tape on an engine
+    // whose window is warm (a just-issued ACT ages into the query), then
+    // query the same key from a fresh engine: the live signature differs,
+    // so the hit must be refused and the query issued in full.
+    let lut = Lut::from_fn("plan-sig-mismatch-probe", 5, 9, |x| (x * 11) & 0x1ff).unwrap();
+    let warm_clock = |e: &mut Engine| {
+        // One ACT immediately before the query, with tFAW stretched so
+        // the entry is still live when the query begins.
+        let probe = RowLoc {
+            bank: BankId(1),
+            subarray: SubarrayId(0),
+            row: RowId(0),
+        };
+        e.activate(probe).unwrap();
+        e.precharge(probe.bank, probe.subarray).unwrap();
+    };
+    let mut e_rec = engine(MemoryKind::Ddr4, 40.0);
+    let (mut store_r, placement) = setup(&mut e_rec, lut.clone());
+    warm_clock(&mut e_rec);
+    let (out_r, _) = {
+        let mut ex = QueryExecutor::new(&mut e_rec, DesignKind::Gmc);
+        ex.execute(&mut store_r, placement, &inputs, RowId(0), RowId(1))
+            .unwrap()
+    };
+    assert_eq!(out_r, lut.apply_all(&inputs).unwrap());
+
+    let before = plan::plan_stats();
+    let mut e_cold = engine(MemoryKind::Ddr4, 40.0);
+    let (mut store_c, _) = setup(&mut e_cold, lut.clone());
+    let (out_c, cost_c) = {
+        let mut ex = QueryExecutor::new(&mut e_cold, DesignKind::Gmc);
+        ex.execute(&mut store_c, placement, &inputs, RowId(0), RowId(1))
+            .unwrap()
+    };
+    let mut e_oracle = engine(MemoryKind::Ddr4, 40.0);
+    let (mut store_o, _) = setup(&mut e_oracle, lut.clone());
+    let (out_o, cost_o) = {
+        let mut ex = QueryExecutor::new(&mut e_oracle, DesignKind::Gmc);
+        ex.set_use_plans(false);
+        ex.execute(&mut store_o, placement, &inputs, RowId(0), RowId(1))
+            .unwrap()
+    };
+    assert_eq!(out_c, out_o, "mismatch outputs");
+    assert_eq!(cost_c, cost_o, "mismatch cost");
+    assert_eq!(e_cold.elapsed(), e_oracle.elapsed(), "mismatch clock");
+    assert_eq!(
+        e_cold.command_energy().as_pj().to_bits(),
+        e_oracle.command_energy().as_pj().to_bits(),
+        "mismatch energy"
+    );
+    let after = plan::plan_stats();
+    assert!(
+        after.fallbacks > before.fallbacks,
+        "signature mismatch did not fall back: {before:?} -> {after:?}"
+    );
+}
