@@ -22,6 +22,9 @@ cargo build --release --workspace
 echo "==> cargo test -q (quick mode for the bench-binary smoke tests)"
 PLUTO_QUICK=1 cargo test -q --workspace
 
+echo "==> timing-backend differential (tests/timing_backend.rs: analytic == banked bit-for-bit on serial streams)"
+PLUTO_QUICK=1 cargo test -q --test timing_backend
+
 echo "==> session API quickstart (examples/session.rs)"
 cargo run --release --quiet --example session
 
@@ -42,5 +45,8 @@ PLUTO_QUICK=1 cargo bench -p pluto-bench --bench serve
 
 echo "==> 4-worker serve smoke (examples/serve.rs traffic replay)"
 cargo run --release --quiet --example serve -- --workers 4
+
+echo "==> banked-backend serve smoke (examples/serve.rs --timing banked)"
+cargo run --release --quiet --example serve -- --workers 4 --timing banked
 
 echo "==> CI green"

@@ -37,6 +37,7 @@ use pluto_core::lut::Lut;
 use pluto_core::serve::{QuerySpec, Server};
 use pluto_core::session::ExecConfig;
 use pluto_core::DesignKind;
+use pluto_dram::TimingBackend;
 use pluto_workloads::serve_lut;
 use sim_support::bench::{percentile_ns, BenchmarkId, Criterion};
 use sim_support::{bench_group, bench_main};
@@ -58,6 +59,16 @@ fn quick() -> bool {
 
 fn config() -> ExecConfig {
     ExecConfig::measurement(DesignKind::Gmc)
+}
+
+/// The measurement configuration on the banked timing backend
+/// (`DESIGN.md` §11) — its own affinity/machine pool key, so banked
+/// traffic never shares a pooled machine with analytic traffic.
+fn banked_config() -> ExecConfig {
+    ExecConfig {
+        timing_backend: TimingBackend::Banked,
+        ..config()
+    }
 }
 
 /// The small latency-sensitive query class: a handful of lookups against
@@ -262,5 +273,60 @@ fn bench_steals(c: &mut Criterion) {
     );
 }
 
-bench_group!(benches, bench_throughput, bench_latency, bench_steals);
+/// Banked-backend serve traffic (`DESIGN.md` §11): the same mixed
+/// small + sweep mix, served on the event-driven backend. The guard
+/// checks the backend is actually live on the serve path — GMC's
+/// charge-share sweep chains must report row-buffer hits in the query
+/// replies' `CostReport`s — and the baseline records the hit/stall
+/// counters so `BENCH_serve.json` documents queueing effects.
+fn bench_banked(c: &mut Criterion) {
+    let add = add_lut();
+    let gamma = gamma_lut();
+    let queries = if quick() { 8u64 } else { 24 };
+    let mut server = Server::with_workers(2);
+    let mut hits = 0u64;
+    let mut stalls = 0u64;
+    let mut conflicts = 0u64;
+    let tickets: Vec<_> = (0..queries)
+        .map(|i| {
+            let small = QuerySpec {
+                config: banked_config(),
+                ..small_spec(&add, i)
+            };
+            let sweep = QuerySpec {
+                config: banked_config(),
+                ..sweep_spec(&gamma, i)
+            };
+            (server.enqueue(small), server.enqueue(sweep))
+        })
+        .collect();
+    server.flush();
+    for (small, sweep) in tickets {
+        for reply in [
+            small.wait().expect("banked small"),
+            sweep.wait().expect("banked sweep"),
+        ] {
+            hits += reply.report.row_hits;
+            stalls += reply.report.queue_stalls;
+            conflicts += reply.report.row_conflicts;
+        }
+    }
+    c.record_ns("banked/row_hits_count", vec![hits as f64]);
+    c.summary_ns("banked/queue_stalls_count", stalls as f64);
+    c.summary_ns("banked/row_conflicts_count", conflicts as f64);
+    // Guard 5: the banked backend is live under mixed serve traffic.
+    assert!(
+        hits > 0,
+        "banked-backend guard: zero row-buffer hits across {queries} \
+         mixed banked queries — the backend is not classifying ACTs"
+    );
+}
+
+bench_group!(
+    benches,
+    bench_throughput,
+    bench_latency,
+    bench_steals,
+    bench_banked
+);
 bench_main!(benches);

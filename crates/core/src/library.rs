@@ -14,7 +14,9 @@ use crate::error::PlutoError;
 use crate::lut::{catalog, slots_per_row, Lut};
 use crate::partition::PlutoStore;
 use crate::query::QueryScratch;
-use pluto_dram::{BankId, CommandStats, DramConfig, Engine, PicoJoules, Picos, RowId, SubarrayId};
+use pluto_dram::{
+    BankId, CommandStats, DramConfig, Engine, PicoJoules, Picos, RowId, SubarrayId, TimingBackend,
+};
 use std::collections::HashMap;
 
 /// Aggregate cost of the operations a [`PlutoMachine`] has executed.
@@ -58,6 +60,7 @@ pub struct MapResult {
 pub struct PlutoMachine {
     cfg: DramConfig,
     design: DesignKind,
+    backend: TimingBackend,
     totals: AggregateCost,
     engine: Engine,
     stores: HashMap<String, PlutoStore>,
@@ -79,12 +82,27 @@ impl PlutoMachine {
     /// # Errors
     /// Fails if the geometry cannot host the controller layout.
     pub fn new(cfg: DramConfig, design: DesignKind) -> Result<Self, PlutoError> {
+        PlutoMachine::with_backend(cfg, design, TimingBackend::Analytic)
+    }
+
+    /// Creates a machine whose fast-path engine uses the given timing
+    /// backend (`DESIGN.md` §11). [`PlutoMachine::new`] is this with
+    /// [`TimingBackend::Analytic`].
+    ///
+    /// # Errors
+    /// Fails if the geometry cannot host the controller layout.
+    pub fn with_backend(
+        cfg: DramConfig,
+        design: DesignKind,
+        backend: TimingBackend,
+    ) -> Result<Self, PlutoError> {
         // Validate the layout once up front.
         Controller::new(cfg.clone(), design)?;
         Ok(PlutoMachine {
-            engine: Engine::new(cfg.clone()),
+            engine: Engine::new(cfg.clone()).with_timing_backend(backend),
             cfg,
             design,
+            backend,
             totals: AggregateCost::default(),
             stores: HashMap::new(),
             scratch: QueryScratch::new(),
@@ -116,6 +134,11 @@ impl PlutoMachine {
     /// The design this machine simulates.
     pub fn design(&self) -> DesignKind {
         self.design
+    }
+
+    /// The timing backend the fast-path engine charges costs with.
+    pub fn timing_backend(&self) -> TimingBackend {
+        self.backend
     }
 
     /// The DRAM geometry this machine simulates.
@@ -159,7 +182,7 @@ impl PlutoMachine {
     /// worker pool keep one machine per configuration and reuse it across
     /// jobs without perturbing any measurement.
     pub fn reset(&mut self) {
-        self.engine = Engine::new(self.cfg.clone());
+        self.engine = Engine::new(self.cfg.clone()).with_timing_backend(self.backend);
         self.totals = AggregateCost::default();
         self.stores.clear();
         self.next_pluto = 1;

@@ -83,6 +83,10 @@ pub(crate) struct PlanKey {
     timing: [u64; 9],
     /// Energy fingerprint: the seven model parameters' `f64` bits.
     energy: [u64; 7],
+    /// Timing backend the tape was recorded under — a tape is never
+    /// replayed across backends (`DESIGN.md` §11), so the key must
+    /// separate them even though serial single-bank streams agree.
+    backend: pluto_dram::TimingBackend,
     design: DesignKind,
     /// LUT identity by *shape*, not contents — cost never reads element
     /// values.
@@ -145,6 +149,7 @@ impl PlanKey {
                 e.e_charge_share.as_pj().to_bits(),
                 e.background_watts.to_bits(),
             ],
+            backend: engine.timing_backend(),
             design,
             lut_name: lut.name().to_string(),
             input_bits: lut.input_bits(),

@@ -65,7 +65,7 @@
 use crate::design::DesignKind;
 use crate::error::PlutoError;
 use crate::library::PlutoMachine;
-use pluto_dram::{DramConfig, MemoryKind, PicoJoules, Picos, TimingParams};
+use pluto_dram::{DramConfig, MemoryKind, PicoJoules, Picos, TimingBackend, TimingParams};
 use sim_support::{SeedableRng, StdRng};
 
 /// Row size used for fast functional measurement runs: command timing is
@@ -126,6 +126,12 @@ pub struct ExecConfig {
     /// (the default) keeps the serial lane issue, which is bit-identical
     /// in energy as well as latency/counters.
     pub segment_farming: Option<crate::partition::FarmPolicy>,
+    /// Timing backend charging the engine's command costs (`DESIGN.md`
+    /// §11): the paper's analytic model, or the event-driven banked
+    /// model that also charges row-buffer conflicts and command-queue
+    /// contention. On serial single-bank streams the two agree
+    /// bit-for-bit.
+    pub timing_backend: TimingBackend,
 }
 
 impl ExecConfig {
@@ -145,6 +151,7 @@ impl ExecConfig {
             t_faw_scale: 0.0,
             seed: 0,
             segment_farming: None,
+            timing_backend: TimingBackend::Analytic,
         }
     }
 
@@ -212,6 +219,7 @@ pub(crate) struct ConfigKey {
     t_faw_bits: u64,
     seed: u64,
     segment_farming: Option<crate::partition::FarmPolicy>,
+    timing_backend: TimingBackend,
 }
 
 impl ConfigKey {
@@ -232,6 +240,7 @@ impl ConfigKey {
             t_faw_scale,
             seed,
             segment_farming,
+            timing_backend,
         } = config.clone();
         ConfigKey {
             design,
@@ -246,6 +255,7 @@ impl ConfigKey {
             t_faw_bits: t_faw_scale.to_bits(),
             seed,
             segment_farming,
+            timing_backend,
         }
     }
 }
@@ -352,6 +362,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the timing backend (`DESIGN.md` §11). Defaults to
+    /// [`TimingBackend::Analytic`], the paper's model.
+    #[must_use]
+    pub fn timing(mut self, backend: TimingBackend) -> Self {
+        self.config.timing_backend = backend;
+        self
+    }
+
     /// Builds the session (constructs and validates the machine).
     ///
     /// # Errors
@@ -380,6 +398,16 @@ pub struct CostReport {
     pub energy: PicoJoules,
     /// Row activations issued in the batch (tFAW-relevant).
     pub acts: u64,
+    /// Activations classified as row-buffer hits (`DESIGN.md` §11).
+    pub row_hits: u64,
+    /// Activations classified as row-buffer misses.
+    pub row_misses: u64,
+    /// Activations classified as row-buffer conflicts (charged latency
+    /// only by the banked backend).
+    pub row_conflicts: u64,
+    /// Activations that found the bounded command queue full (delayed
+    /// only by the banked backend).
+    pub queue_stalls: u64,
     /// Paper-equivalent input bytes covered by the batch (8 KiB rows).
     pub paper_bytes: f64,
     /// Whether the pLUTo output matched the reference bit-for-bit.
@@ -437,6 +465,10 @@ impl CostReport {
         self.time += shard.time;
         self.energy += shard.energy;
         self.acts += shard.acts;
+        self.row_hits += shard.row_hits;
+        self.row_misses += shard.row_misses;
+        self.row_conflicts += shard.row_conflicts;
+        self.queue_stalls += shard.queue_stalls;
         self.paper_bytes += shard.paper_bytes;
         self.validated &= shard.validated;
     }
@@ -539,7 +571,8 @@ impl Session {
     /// # Errors
     /// Fails if the geometry cannot host the controller layout.
     pub fn with_config(config: ExecConfig) -> Result<Self, PlutoError> {
-        let mut machine = PlutoMachine::new(config.dram_config(), config.design)?;
+        let mut machine =
+            PlutoMachine::with_backend(config.dram_config(), config.design, config.timing_backend)?;
         machine.set_segment_farming(config.segment_farming);
         Ok(Session {
             config,
@@ -614,10 +647,13 @@ impl Session {
         let mut cfg = self.config.clone();
         cfg.subarrays_per_bank = cfg.subarrays_per_bank.max(workload.min_subarrays());
         let dram = cfg.dram_config();
-        if *self.machine.config() == dram && self.machine.design() == cfg.design {
+        if *self.machine.config() == dram
+            && self.machine.design() == cfg.design
+            && self.machine.timing_backend() == cfg.timing_backend
+        {
             self.machine.reset();
         } else {
-            self.machine = PlutoMachine::new(dram, cfg.design)?;
+            self.machine = PlutoMachine::with_backend(dram, cfg.design, cfg.timing_backend)?;
             self.machine.set_segment_farming(cfg.segment_farming);
         }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -625,13 +661,18 @@ impl Session {
         let pluto_out = workload.run_pluto(self)?;
         let validated = pluto_out == workload.run_reference();
         let totals = self.machine.totals();
+        let stats = self.machine.engine_stats();
         let report = CostReport {
             workload: workload.id(),
             design: self.config.design,
             kind: self.config.kind,
             time: totals.time,
             energy: totals.energy,
-            acts: self.machine.engine_stats().activates,
+            acts: stats.activates,
+            row_hits: stats.row_hits,
+            row_misses: stats.row_misses,
+            row_conflicts: stats.row_conflicts,
+            queue_stalls: stats.queue_stalls,
             paper_bytes: workload.input_bytes() * self.config.row_ratio(),
             validated,
         };

@@ -1,0 +1,125 @@
+//! The event-driven banked timing backend (`DESIGN.md` §11).
+//!
+//! [`BankedTiming`] is the second implementation of the
+//! [`crate::TimingModel`] seam: where [`crate::AnalyticTiming`]
+//! reproduces the paper's fixed per-command latencies, this backend
+//! charges the tRCD/tRP/tRAS interplay a real per-bank controller
+//! would:
+//!
+//! * **Row-buffer conflicts** — activating over a different open row in
+//!   the same bank first waits out the open row's tRAS residency, then
+//!   pays the implicit precharge (tRP) before the new activation can
+//!   issue.
+//! * **Command-queue contention** — a bounded per-rank queue of
+//!   [`crate::ACT_QUEUE_DEPTH`] in-flight activations; an activation
+//!   arriving at a full queue waits for the oldest entry to retire (one
+//!   tRAS after its issue).
+//!
+//! The backend is deliberately *pure policy*: all bank/row/queue state
+//! lives in the engine's shared tracking (`timing_model::RankState`),
+//! which both backends maintain identically. On a serial single-bank
+//! stream — no conflicts, queue occupancy bounded by ⌈tRAS/tRCD⌉ well
+//! below the queue depth — every penalty term is zero and the two
+//! backends agree bit-for-bit on latency and energy
+//! (`tests/timing_backend.rs`).
+
+use crate::timing::TimingParams;
+use crate::timing_model::{ActClass, ActIssue, TimingBackend, TimingModel};
+use crate::units::Picos;
+
+/// Event-driven per-bank backend: charges row-buffer conflicts and
+/// bounded command-queue contention (see the module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BankedTiming;
+
+impl TimingModel for BankedTiming {
+    fn backend(&self) -> TimingBackend {
+        TimingBackend::Banked
+    }
+
+    fn act_issue(
+        &self,
+        at: Picos,
+        class: ActClass,
+        conflict_open: Option<Picos>,
+        queue_gate: Option<Picos>,
+        timing: &TimingParams,
+    ) -> ActIssue {
+        let mut at = at;
+        if class == ActClass::Conflict {
+            if let Some(opened) = conflict_open {
+                // The open row must satisfy its tRAS residency before
+                // the implicit precharge can issue; tRP then restores
+                // the bitlines. Time-only: the closing precharge's
+                // energy is already charged by the stream's own PREs.
+                at = at.max(opened + timing.t_ras) + timing.t_rp;
+            }
+        }
+        let queue_stalled = queue_gate.is_some_and(|gate| gate > at);
+        if let Some(gate) = queue_gate {
+            at = at.max(gate);
+        }
+        ActIssue { at, queue_stalled }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses_are_free() {
+        let timing = TimingParams::ddr4_2400();
+        let at = Picos::from_ns(100.0);
+        for class in [ActClass::Hit, ActClass::Miss] {
+            let issue = BankedTiming.act_issue(at, class, None, None, &timing);
+            assert_eq!(issue.at, at);
+            assert!(!issue.queue_stalled);
+        }
+    }
+
+    #[test]
+    fn conflict_waits_out_tras_then_pays_trp() {
+        let timing = TimingParams::ddr4_2400();
+        // Row opened at 90 ns, conflict attempted at 100 ns: the open
+        // row holds until 90 + tRAS, then tRP.
+        let opened = Picos::from_ns(90.0);
+        let at = Picos::from_ns(100.0);
+        let issue = BankedTiming.act_issue(at, ActClass::Conflict, Some(opened), None, &timing);
+        assert_eq!(issue.at, opened + timing.t_ras + timing.t_rp);
+        // A long-resident open row (tRAS already satisfied) only costs
+        // the precharge.
+        let stale = Picos::from_ns(10.0);
+        let issue = BankedTiming.act_issue(at, ActClass::Conflict, Some(stale), None, &timing);
+        assert_eq!(issue.at, at + timing.t_rp);
+    }
+
+    #[test]
+    fn full_queue_delays_issue() {
+        let timing = TimingParams::ddr4_2400();
+        let at = Picos::from_ns(50.0);
+        let gate = Picos::from_ns(60.0);
+        let issue = BankedTiming.act_issue(at, ActClass::Miss, None, Some(gate), &timing);
+        assert_eq!(issue.at, gate);
+        assert!(issue.queue_stalled);
+        // A gate already in the past neither stalls nor delays.
+        let past = Picos::from_ns(40.0);
+        let issue = BankedTiming.act_issue(at, ActClass::Miss, None, Some(past), &timing);
+        assert_eq!(issue.at, at);
+        assert!(!issue.queue_stalled);
+    }
+
+    #[test]
+    fn conflict_resolution_can_absorb_the_queue_gate() {
+        let timing = TimingParams::ddr4_2400();
+        let opened = Picos::from_ns(100.0);
+        let at = Picos::from_ns(101.0);
+        // Conflict pushes the issue past the queue gate: no stall is
+        // charged on top (the queue drained while the bank closed).
+        let gate = Picos::from_ns(110.0);
+        let issue =
+            BankedTiming.act_issue(at, ActClass::Conflict, Some(opened), Some(gate), &timing);
+        assert_eq!(issue.at, opened + timing.t_ras + timing.t_rp);
+        assert!(!issue.queue_stalled);
+    }
+}

@@ -21,6 +21,9 @@ use crate::error::DramError;
 use crate::geometry::{BankId, DramConfig, RowId, RowLoc, SubarrayId};
 use crate::stats::CommandStats;
 use crate::timing::TimingParams;
+use crate::timing_model::{
+    model_for, ActClass, RankState, TimingBackend, TimingSig, ACT_QUEUE_DEPTH,
+};
 use crate::units::{PicoJoules, Picos};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -38,6 +41,12 @@ pub struct Engine {
     /// Issue timestamps of the last four activations (tFAW window, per rank;
     /// the paper's configurations are single-rank).
     act_window: VecDeque<Picos>,
+    /// Which timing backend resolves activation issue times (see
+    /// `DESIGN.md` §11). [`TimingBackend::Analytic`] by default.
+    backend: TimingBackend,
+    /// Row-buffer and command-queue tracking state, maintained
+    /// identically under both backends.
+    rank: RankState,
     /// Optional command trace (off by default; enable for golden tests).
     trace: Option<Vec<Command>>,
     /// Active cost-tape recorder (see [`Engine::begin_tape`]); `None`
@@ -62,6 +71,8 @@ impl Engine {
             command_energy: PicoJoules::ZERO,
             stats: CommandStats::new(),
             act_window: VecDeque::with_capacity(4),
+            backend: TimingBackend::default(),
+            rank: RankState::default(),
             trace: None,
             recorder: None,
         }
@@ -79,9 +90,29 @@ impl Engine {
             command_energy: PicoJoules::ZERO,
             stats: CommandStats::new(),
             act_window: VecDeque::with_capacity(4),
+            backend: TimingBackend::default(),
+            rank: RankState::default(),
             trace: None,
             recorder: None,
         }
+    }
+
+    /// Selects the timing backend (builder-style; see `DESIGN.md` §11).
+    /// Must be called on a pristine engine — switching backends
+    /// mid-stream would mix two models' issue decisions in one clock.
+    #[must_use]
+    pub fn with_timing_backend(mut self, backend: TimingBackend) -> Self {
+        debug_assert!(
+            self.clock == Picos::ZERO && self.stats == CommandStats::new(),
+            "select the timing backend before issuing commands"
+        );
+        self.backend = backend;
+        self
+    }
+
+    /// The timing backend resolving this engine's activation issue times.
+    pub fn timing_backend(&self) -> TimingBackend {
+        self.backend
     }
 
     /// Enables command tracing. Traced commands are retrievable with
@@ -161,7 +192,12 @@ impl Engine {
     /// than carried across lanes: the four-activation window is modeled
     /// per lane, a deliberate simplification of the rank-global window
     /// for overlapped subarray streams (see `crate::schedule` for the
-    /// SALP treatment of the same question).
+    /// SALP treatment of the same question). The boundary is strict: an
+    /// ACT issued *exactly at* `to` belongs to the abandoned lane (a
+    /// lane's first ACT can issue at the region start, but every
+    /// pre-region ACT issued strictly before it), so it is dropped too.
+    /// The same strict rule drops row-buffer and command-queue records
+    /// from `to` onward.
     pub fn rewind_clock(&mut self, to: Picos) {
         // A clock rewind is not expressible as a translation-invariant
         // cost delta, so it invalidates any capture in progress.
@@ -170,7 +206,8 @@ impl Engine {
             return;
         }
         self.clock = to;
-        self.act_window.retain(|&t| t <= to);
+        self.act_window.retain(|&t| t < to);
+        self.rank.rewind(to);
     }
 
     /// Advances the simulated clock to `to` without issuing commands or
@@ -193,6 +230,7 @@ impl Engine {
         self.command_energy = PicoJoules::ZERO;
         self.stats = CommandStats::new();
         self.act_window.clear();
+        self.rank.clear();
     }
 
     fn record(&mut self, cmd: Command) {
@@ -201,18 +239,27 @@ impl Engine {
         }
     }
 
-    /// Reserves an activation slot: returns the issue time respecting tFAW,
-    /// and records the issue in the window.
-    fn issue_act(&mut self) -> Picos {
+    /// The earliest tFAW-legal issue time at the current clock.
+    fn faw_slot(&self) -> Picos {
         let mut at = self.clock;
         if self.timing.t_faw_enabled() && self.act_window.len() >= 4 {
             let fourth_back = self.act_window[self.act_window.len() - 4];
             let earliest = fourth_back + self.timing.t_faw;
             at = at.max(earliest);
         }
+        at
+    }
+
+    /// Records an issued ACT in the tFAW window (and, when `classified`,
+    /// in the bounded command queue), mirroring both into an active
+    /// tape recorder.
+    fn push_act(&mut self, at: Picos, classified: bool) {
         self.act_window.push_back(at);
         while self.act_window.len() > 4 {
             self.act_window.pop_front();
+        }
+        if classified {
+            self.rank.push_queue(at);
         }
         if let Some(rec) = self.recorder.as_mut() {
             rec.acts += 1;
@@ -220,8 +267,66 @@ impl Engine {
             if rec.act_tail.len() > 4 {
                 rec.act_tail.remove(0);
             }
+            if classified {
+                rec.queued += 1;
+                rec.queue_tail.push(at - rec.entry_clock);
+                if rec.queue_tail.len() > ACT_QUEUE_DEPTH {
+                    rec.queue_tail.remove(0);
+                }
+            }
         }
+    }
+
+    /// Reserves an activation slot for a compound, classification-exempt
+    /// command (RowClone, TRA, DRISA shifts — internally
+    /// precharge-terminated, bypassing both row buffers and the command
+    /// queue): returns the issue time respecting tFAW, and records the
+    /// issue in the window.
+    fn issue_act(&mut self) -> Picos {
+        let at = self.faw_slot();
+        self.push_act(at, false);
         at
+    }
+
+    /// Issues one row-buffer-classified activation through the timing
+    /// backend: tFAW gate, hit/miss/conflict classification against the
+    /// tracked rank state, then the backend's conflict and queue policy.
+    /// `sweep` is `None` for standard activations (bank-level row
+    /// buffer) and the step kind for pLUTo sweeps (subarray-local sense
+    /// amps — see `crate::timing_model` for the geometry rules).
+    fn issue_act_classified(&mut self, loc: RowLoc, sweep: Option<SweepStepKind>) -> Picos {
+        let at = self.faw_slot();
+        let (class, conflict_open) = match sweep {
+            None => self.rank.classify_standard(loc.bank, loc.subarray, loc.row),
+            Some(SweepStepKind::ChargeShare) => {
+                (self.rank.classify_share(loc.bank, loc.subarray), None)
+            }
+            Some(SweepStepKind::FullCycle) => (ActClass::Miss, None),
+        };
+        let queue_gate = self.rank.queue_gate(self.timing.t_ras);
+        let issue =
+            model_for(self.backend).act_issue(at, class, conflict_open, queue_gate, &self.timing);
+        match class {
+            ActClass::Hit => self.stats.row_hits += 1,
+            ActClass::Miss => self.stats.row_misses += 1,
+            ActClass::Conflict => self.stats.row_conflicts += 1,
+        }
+        if issue.queue_stalled {
+            self.stats.queue_stalls += 1;
+        }
+        self.push_act(issue.at, true);
+        match sweep {
+            None => self
+                .rank
+                .apply_standard(loc.bank, loc.subarray, loc.row, issue.at),
+            Some(SweepStepKind::ChargeShare) => {
+                self.rank
+                    .apply_share(loc.bank, loc.subarray, loc.row, issue.at)
+            }
+            // A full ACT+PRE cycle leaves nothing open.
+            Some(SweepStepKind::FullCycle) => {}
+        }
+        issue.at
     }
 
     fn spend(&mut self, duration: Picos, energy: PicoJoules) {
@@ -262,7 +367,7 @@ impl Engine {
     /// open row.
     pub fn activate(&mut self, loc: RowLoc) -> Result<(), DramError> {
         self.array.activate(loc, false)?;
-        let at = self.issue_act();
+        let at = self.issue_act_classified(loc, None);
         self.clock = at;
         self.spend(self.timing.t_rcd, self.energy_model.e_act);
         self.stats.activates += 1;
@@ -285,6 +390,7 @@ impl Engine {
             return Err(DramError::OutOfBounds { loc: probe });
         }
         self.array.precharge(bank, subarray);
+        self.rank.close(bank, subarray);
         self.spend(self.timing.t_rp, self.energy_model.e_pre);
         self.stats.precharges += 1;
         self.record(Command::Precharge(bank, subarray));
@@ -668,7 +774,7 @@ impl Engine {
             return Err(DramError::OutOfBounds { loc });
         }
         self.array.activate(loc, true)?;
-        let at = self.issue_act();
+        let at = self.issue_act_classified(loc, Some(kind));
         self.clock = at;
         match kind {
             SweepStepKind::FullCycle => {
@@ -740,7 +846,14 @@ impl Engine {
             self.array.precharge(bank, subarray);
         }
         for i in 0..count {
-            let at = self.issue_act();
+            let at = self.issue_act_classified(
+                RowLoc {
+                    bank,
+                    subarray,
+                    row: RowId(first.0 + i as u16),
+                },
+                Some(kind),
+            );
             self.clock = at;
             match kind {
                 SweepStepKind::FullCycle => self.spend(
@@ -907,6 +1020,10 @@ impl Engine {
         LaneClock {
             clock: self.clock,
             act_window: self.act_window.clone(),
+            queue: self.rank.queue.clone(),
+            backend: self.backend,
+            open: None,
+            share: None,
             timing: self.timing.clone(),
             energy_model: self.energy_model.clone(),
             energy: PicoJoules::ZERO,
@@ -980,6 +1097,24 @@ impl Engine {
             .eq(sig.iter().copied())
     }
 
+    /// The full timing-state signature at the current clock: tFAW window
+    /// plus the rank's command-queue and open-row state.
+    fn timing_signature(&self) -> TimingSig {
+        TimingSig {
+            faw: self.tfaw_window_signature(),
+            queue: self.rank.queue_sig(self.clock, self.timing.t_ras),
+            bank_open: self.rank.bank_open_sig(self.clock, self.timing.t_ras),
+            share_open: self.rank.share_open_sig(self.clock, self.timing.t_ras),
+        }
+    }
+
+    /// Allocation-free comparison of the full timing-state signature
+    /// (replay-legality check, per query on the hot path).
+    fn timing_signature_matches(&self, sig: &TimingSig) -> bool {
+        self.tfaw_window_signature_matches(&sig.faw)
+            && self.rank.matches_sig(sig, self.clock, self.timing.t_ras)
+    }
+
     /// Starts recording a cost tape at the current clock: every subsequent
     /// costed command appends its clock/energy delta (run-length
     /// compressed) until [`Engine::end_tape`]. The entry state's tFAW
@@ -996,12 +1131,14 @@ impl Engine {
             entry_clock: self.clock,
             last_clock: self.clock,
             entry_stats: self.stats,
-            entry_sig: self.tfaw_window_signature(),
+            entry_sig: self.timing_signature(),
             ops: Vec::new(),
             marks: Vec::new(),
             spends: 0,
             acts: 0,
             act_tail: Vec::new(),
+            queued: 0,
+            queue_tail: Vec::new(),
         });
     }
 
@@ -1019,6 +1156,8 @@ impl Engine {
     /// capture is active (never started, or dropped by an absolute-time
     /// mutation — see [`Engine::begin_tape`]).
     pub fn end_tape(&mut self) -> Option<CostTape> {
+        let end_bank_open = self.rank.bank_open_sig(self.clock, self.timing.t_ras);
+        let end_share_open = self.rank.share_open_sig(self.clock, self.timing.t_ras);
         self.recorder.take().map(|rec| CostTape {
             ops: rec.ops,
             marks: rec.marks,
@@ -1026,6 +1165,11 @@ impl Engine {
             entry_sig: rec.entry_sig,
             acts: rec.acts,
             act_tail: rec.act_tail,
+            queued: rec.queued,
+            queue_tail: rec.queue_tail,
+            end_bank_open,
+            end_share_open,
+            backend: self.backend,
         })
     }
 
@@ -1049,7 +1193,7 @@ impl Engine {
     pub fn apply_replayed(&mut self, tape: &CostTape) -> Vec<(Picos, PicoJoules)> {
         debug_assert!(
             tape.replayable_from(self),
-            "cost-tape replay from a state with a different tFAW-window signature"
+            "cost-tape replay across backends or from a state with a different timing signature"
         );
         self.recorder = None;
         let entry = self.clock;
@@ -1085,6 +1229,18 @@ impl Engine {
         while self.act_window.len() > 4 {
             self.act_window.pop_front();
         }
+        // Likewise the command queue (its last ≤8 classified ACTs) and
+        // the open-row state the taped stream would leave. The entry
+        // signatures matched, so wholesale replacement of the open set
+        // is exact.
+        if tape.queued >= ACT_QUEUE_DEPTH as u64 {
+            self.rank.queue.clear();
+        }
+        for &off in &tape.queue_tail {
+            self.rank.push_queue(entry + off);
+        }
+        self.rank
+            .restore_open(&tape.end_bank_open, &tape.end_share_open, self.clock);
         snapshots
     }
 }
@@ -1098,6 +1254,17 @@ impl Engine {
 pub struct LaneClock {
     clock: Picos,
     act_window: VecDeque<Picos>,
+    /// The forking engine's command queue at fork time (rank-global, so
+    /// a lane inherits pre-region queue pressure like it inherits the
+    /// tFAW window).
+    queue: VecDeque<Picos>,
+    backend: TimingBackend,
+    /// The lane's bank-level open row (its activation time). Lanes are
+    /// forked at region starts, which the partitioned data path enters
+    /// with every subarray precharged, so lane-local tracking suffices.
+    open: Option<Picos>,
+    /// The lane's charge-share chain state (last step's issue time).
+    share: Option<Picos>,
     timing: TimingParams,
     energy_model: EnergyModel,
     energy: PicoJoules,
@@ -1116,18 +1283,37 @@ pub struct LaneOutcome {
 }
 
 impl LaneClock {
-    fn issue_act(&mut self) -> Picos {
+    /// Issues one classified activation through the same backend policy
+    /// as [`Engine::issue_act_classified`], against the lane-local
+    /// row-buffer state and the inherited command queue.
+    fn issue_act(&mut self, class: ActClass, conflict_open: Option<Picos>) -> Picos {
         let mut at = self.clock;
         if self.timing.t_faw_enabled() && self.act_window.len() >= 4 {
             let fourth_back = self.act_window[self.act_window.len() - 4];
             let earliest = fourth_back + self.timing.t_faw;
             at = at.max(earliest);
         }
-        self.act_window.push_back(at);
+        let queue_gate = (self.queue.len() >= ACT_QUEUE_DEPTH)
+            .then(|| self.queue[self.queue.len() - ACT_QUEUE_DEPTH] + self.timing.t_ras);
+        let issue =
+            model_for(self.backend).act_issue(at, class, conflict_open, queue_gate, &self.timing);
+        match class {
+            ActClass::Hit => self.stats.row_hits += 1,
+            ActClass::Miss => self.stats.row_misses += 1,
+            ActClass::Conflict => self.stats.row_conflicts += 1,
+        }
+        if issue.queue_stalled {
+            self.stats.queue_stalls += 1;
+        }
+        self.act_window.push_back(issue.at);
         while self.act_window.len() > 4 {
             self.act_window.pop_front();
         }
-        at
+        self.queue.push_back(issue.at);
+        if self.queue.len() > ACT_QUEUE_DEPTH {
+            self.queue.pop_front();
+        }
+        issue.at
     }
 
     fn spend(&mut self, duration: Picos, energy: PicoJoules) {
@@ -1142,14 +1328,27 @@ impl LaneClock {
 
     /// Cost of one ACT (mirrors [`Engine::activate`]).
     pub fn activate(&mut self) {
-        let at = self.issue_act();
+        let class = match self.open {
+            Some(_) => ActClass::Conflict,
+            None => ActClass::Miss,
+        };
+        let at = self.issue_act(class, self.open);
+        self.open = Some(at);
         self.clock = at;
         self.spend(self.timing.t_rcd, self.energy_model.e_act);
         self.stats.activates += 1;
     }
 
-    /// Cost of one PRE (mirrors [`Engine::precharge`]).
+    /// Cost of one PRE (mirrors [`Engine::precharge`]). Like the
+    /// engine's `RankState::close`, it closes the charge-share chain
+    /// first if one is open (partitioned lanes precharge the pLUTo
+    /// subarray before the source), otherwise the bank-level row.
     pub fn precharge(&mut self) {
+        if self.share.is_some() {
+            self.share = None;
+        } else {
+            self.open = None;
+        }
         self.spend(self.timing.t_rp, self.energy_model.e_pre);
         self.stats.precharges += 1;
     }
@@ -1157,7 +1356,17 @@ impl LaneClock {
     /// Cost of `count` sweep steps (mirrors [`Engine::sweep_rows`]).
     pub fn sweep_rows(&mut self, count: usize, kind: SweepStepKind) {
         for _ in 0..count {
-            let at = self.issue_act();
+            let class = match kind {
+                SweepStepKind::FullCycle => ActClass::Miss,
+                SweepStepKind::ChargeShare => match self.share {
+                    Some(_) => ActClass::Hit,
+                    None => ActClass::Miss,
+                },
+            };
+            let at = self.issue_act(class, None);
+            if kind == SweepStepKind::ChargeShare {
+                self.share = Some(at);
+            }
             self.clock = at;
             match kind {
                 SweepStepKind::FullCycle => self.spend(
@@ -1219,8 +1428,8 @@ struct TapeRecorder {
     last_clock: Picos,
     /// Counter snapshot at capture start, subtracted out at `end_tape`.
     entry_stats: CommandStats,
-    /// tFAW-window signature at capture start (replay-legality witness).
-    entry_sig: Vec<Picos>,
+    /// Timing-state signature at capture start (replay-legality witness).
+    entry_sig: TimingSig,
     ops: Vec<TapeOp>,
     /// Phase boundaries, as spend counts (see [`Engine::mark_tape_phase`]).
     marks: Vec<u64>,
@@ -1231,6 +1440,11 @@ struct TapeRecorder {
     /// Offsets (from `entry_clock`) of the last ≤4 ACT issues, for
     /// reconstructing the tFAW window on replay.
     act_tail: Vec<Picos>,
+    /// Total classified (queue-entering) ACT issues so far.
+    queued: u64,
+    /// Offsets of the last ≤[`ACT_QUEUE_DEPTH`] classified ACT issues,
+    /// for reconstructing the command queue on replay.
+    queue_tail: Vec<Picos>,
 }
 
 /// A recorded command-stream cost delta: the exact sequence of clock/energy
@@ -1246,9 +1460,19 @@ pub struct CostTape {
     ops: Vec<TapeOp>,
     marks: Vec<u64>,
     stats: CommandStats,
-    entry_sig: Vec<Picos>,
+    entry_sig: TimingSig,
     acts: u64,
     act_tail: Vec<Picos>,
+    queued: u64,
+    queue_tail: Vec<Picos>,
+    /// Open-row state (bank-level / charge-share, as end-relative ages)
+    /// the taped stream leaves behind.
+    end_bank_open: Vec<crate::timing_model::OpenSig>,
+    end_share_open: Vec<crate::timing_model::OpenSig>,
+    /// The backend the tape was recorded under. A tape embeds that
+    /// backend's conflict/queue penalties in its deltas, so it is never
+    /// replayable under the other backend.
+    backend: TimingBackend,
 }
 
 impl CostTape {
@@ -1263,14 +1487,21 @@ impl CostTape {
         &self.stats
     }
 
+    /// The timing backend this tape was recorded under.
+    pub fn backend(&self) -> TimingBackend {
+        self.backend
+    }
+
     /// Whether applying this tape from `engine`'s current state is exact:
-    /// the live tFAW-window signature (relative ages of activations that
-    /// can still throttle) must equal the signature at capture time —
-    /// anything else would shift the throttling the recorded deltas
-    /// embed. Allocation-free; callers fall back to full issuance when
-    /// this is false.
+    /// the engine must run the same timing backend (a tape embeds its
+    /// backend's penalties in the deltas), and the live timing-state
+    /// signature — tFAW-window ages, command-queue ages, and open-row
+    /// state — must equal the signature at capture time; anything else
+    /// would shift the throttling/penalties the recorded deltas embed.
+    /// Allocation-free; callers fall back to full issuance when this is
+    /// false.
     pub fn replayable_from(&self, engine: &Engine) -> bool {
-        engine.tfaw_window_signature_matches(&self.entry_sig)
+        self.backend == engine.backend && engine.timing_signature_matches(&self.entry_sig)
     }
 }
 

@@ -26,6 +26,10 @@
 //! * [`engine`] — the serial command-level simulator: executes commands,
 //!   mutates the functional array, accumulates elapsed time and energy, and
 //!   enforces timing constraints (including the four-activate window, tFAW).
+//! * [`timing_model`] / [`banked`] — the pluggable timing-backend seam:
+//!   the analytic model as one implementation, and an event-driven
+//!   per-bank backend charging row-buffer conflicts and command-queue
+//!   contention as the second (`DESIGN.md` §11).
 //! * [`schedule`] — the multi-lane makespan scheduler used to model
 //!   subarray-level parallelism (MASA/SALP) under the shared tFAW constraint.
 //! * [`stats`] — command counters.
@@ -50,6 +54,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod array;
+pub mod banked;
 pub mod command;
 pub mod energy;
 pub mod engine;
@@ -58,9 +63,11 @@ pub mod geometry;
 pub mod schedule;
 pub mod stats;
 pub mod timing;
+pub mod timing_model;
 pub mod units;
 
 pub use array::{set_word_at_bit, word_at_bit, MemoryArray, RowBuffer, MAX_FIELD_BITS};
+pub use banked::BankedTiming;
 pub use command::{Command, SweepStepKind};
 pub use energy::EnergyModel;
 pub use engine::{CostTape, Engine, LaneClock, LaneOutcome};
@@ -69,4 +76,7 @@ pub use geometry::{BankId, DramConfig, MemoryKind, RowId, RowLoc, SubarrayId};
 pub use schedule::{Lane, LaneStep, ParallelScheduler, StepKind};
 pub use stats::CommandStats;
 pub use timing::TimingParams;
+pub use timing_model::{
+    model_for, ActClass, ActIssue, AnalyticTiming, TimingBackend, TimingModel, ACT_QUEUE_DEPTH,
+};
 pub use units::{PicoJoules, Picos};

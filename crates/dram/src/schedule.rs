@@ -97,21 +97,24 @@ impl FromIterator<LaneStep> for Lane {
 }
 
 /// Computes the parallel makespan of a set of lanes under a shared tFAW
-/// constraint.
+/// constraint, optionally with a bounded per-rank command queue.
 #[derive(Debug, Clone)]
 pub struct ParallelScheduler {
     t_faw: Picos,
     acts_per_window: usize,
+    queue: Option<(usize, Picos)>,
 }
 
 impl ParallelScheduler {
     /// Creates a scheduler enforcing at most four activations per `t_faw`
     /// window ([`Picos::ZERO`] disables the constraint, the paper's
-    /// "tFAW = 0 s" configuration).
+    /// "tFAW = 0 s" configuration). No command queue is modeled by
+    /// default — see [`ParallelScheduler::with_command_queue`].
     pub fn new(t_faw: Picos) -> Self {
         ParallelScheduler {
             t_faw,
             acts_per_window: 4,
+            queue: None,
         }
     }
 
@@ -125,6 +128,20 @@ impl ParallelScheduler {
         self
     }
 
+    /// Also models a bounded per-rank command queue: at most `depth`
+    /// activations may be in flight, and an entry retires `t_ras` after
+    /// it issues. An activation arriving at a full queue waits for the
+    /// oldest in-flight entry to retire — the same gate the banked
+    /// timing backend applies serially (`DESIGN.md` §11).
+    ///
+    /// # Panics
+    /// Panics if `depth` is zero.
+    pub fn with_command_queue(mut self, depth: usize, t_ras: Picos) -> Self {
+        assert!(depth > 0, "command queue must admit at least one entry");
+        self.queue = Some((depth, t_ras));
+        self
+    }
+
     /// Returns the makespan: the time at which the last lane finishes when
     /// all lanes start at time zero and activations contend for the shared
     /// window (earliest-ready-first arbitration, FIFO tie-break).
@@ -132,6 +149,7 @@ impl ParallelScheduler {
         let mut ready: Vec<Picos> = vec![Picos::ZERO; lanes.len()];
         let mut next_step: Vec<usize> = vec![0; lanes.len()];
         let mut window: VecDeque<Picos> = VecDeque::with_capacity(self.acts_per_window);
+        let mut cmd_queue: VecDeque<Picos> = VecDeque::new();
         let mut finish = Picos::ZERO;
 
         // Process steps globally in earliest-ready order so that the shared
@@ -152,19 +170,33 @@ impl ParallelScheduler {
             let step = lanes[i].steps[next_step[i]];
             next_step[i] += 1;
             let start = match step.kind {
-                StepKind::Act if self.t_faw > Picos::ZERO => {
+                StepKind::Act => {
                     let mut at = ready[i];
-                    if window.len() >= self.acts_per_window {
+                    if self.t_faw > Picos::ZERO && window.len() >= self.acts_per_window {
                         let gate = window[window.len() - self.acts_per_window] + self.t_faw;
                         at = at.max(gate);
                     }
-                    window.push_back(at);
-                    while window.len() > self.acts_per_window {
-                        window.pop_front();
+                    if let Some((depth, t_ras)) = self.queue {
+                        if cmd_queue.len() >= depth {
+                            let gate = cmd_queue[cmd_queue.len() - depth] + t_ras;
+                            at = at.max(gate);
+                        }
+                    }
+                    if self.t_faw > Picos::ZERO {
+                        window.push_back(at);
+                        while window.len() > self.acts_per_window {
+                            window.pop_front();
+                        }
+                    }
+                    if let Some((depth, _)) = self.queue {
+                        cmd_queue.push_back(at);
+                        while cmd_queue.len() > depth {
+                            cmd_queue.pop_front();
+                        }
                     }
                     at
                 }
-                _ => ready[i],
+                StepKind::Other => ready[i],
             };
             ready[i] = start + step.duration;
             finish = finish.max(ready[i]);
@@ -267,5 +299,44 @@ mod tests {
     fn from_iterator_builds_lane() {
         let lane: Lane = (0..3).map(|_| LaneStep::act(ns(1.0))).collect();
         assert_eq!(lane.steps().len(), 3);
+    }
+
+    #[test]
+    fn command_queue_binds_fast_parallel_lanes() {
+        // 8 lanes each issuing 4 fast ACTs, tFAW disabled: aggregate
+        // 32 ACTs hit a 4-deep queue with a 32 ns retirement time. The
+        // queue admits 4 per 32 ns, so a lower bound on the makespan is
+        // (32 - 4) / 4 * 32 ns = 224 ns, far above the 4 ns serial lane.
+        let mut lane = Lane::new();
+        lane.push_repeated(LaneStep::act(ns(1.0)), 4);
+        let free = ParallelScheduler::new(Picos::ZERO);
+        let queued = ParallelScheduler::new(Picos::ZERO).with_command_queue(4, ns(32.0));
+        assert_eq!(free.makespan_uniform(&lane, 8), lane.serial_duration());
+        let t = queued.makespan_uniform(&lane, 8);
+        assert!(t >= ns(224.0), "queue must throttle: {t}");
+    }
+
+    #[test]
+    fn command_queue_never_slows_slow_lanes() {
+        // ACT spacing (40 ns) exceeds tRAS (32 ns): each entry retires
+        // before the next fills the queue, even with depth 1.
+        let mut lane = Lane::new();
+        lane.push_repeated(LaneStep::act(ns(40.0)), 6);
+        let sched = ParallelScheduler::new(Picos::ZERO).with_command_queue(1, ns(32.0));
+        assert_eq!(sched.makespan_uniform(&lane, 1), lane.serial_duration());
+    }
+
+    #[test]
+    fn command_queue_composes_with_tfaw() {
+        // With both constraints active, the makespan is at least the
+        // makespan under either alone.
+        let mut lane = Lane::new();
+        lane.push_repeated(LaneStep::act(ns(2.0)), 8);
+        let faw_only = ParallelScheduler::new(ns(13.328));
+        let queue_only = ParallelScheduler::new(Picos::ZERO).with_command_queue(8, ns(32.0));
+        let both = ParallelScheduler::new(ns(13.328)).with_command_queue(8, ns(32.0));
+        let t = both.makespan_uniform(&lane, 16);
+        assert!(t >= faw_only.makespan_uniform(&lane, 16));
+        assert!(t >= queue_only.makespan_uniform(&lane, 16));
     }
 }

@@ -26,6 +26,19 @@ pub struct CommandStats {
     pub triple_acts: u64,
     /// pLUTo sweep steps.
     pub sweep_steps: u64,
+    /// Activations classified as row-buffer hits (charge-share chain
+    /// landing on an already-open subarray). Classifications, not new
+    /// commands — excluded from [`CommandStats::total_commands`].
+    pub row_hits: u64,
+    /// Activations classified as row-buffer misses (closed target).
+    pub row_misses: u64,
+    /// Activations classified as row-buffer conflicts (another subarray
+    /// of the same bank still open — the banked backend charges
+    /// tRAS/tRP to close it first).
+    pub row_conflicts: u64,
+    /// Activations that found the bounded per-rank command queue full
+    /// (the banked backend delays issue until a slot frees).
+    pub queue_stalls: u64,
 }
 
 impl CommandStats {
@@ -57,6 +70,10 @@ impl CommandStats {
         self.lisa_hops += other.lisa_hops;
         self.triple_acts += other.triple_acts;
         self.sweep_steps += other.sweep_steps;
+        self.row_hits += other.row_hits;
+        self.row_misses += other.row_misses;
+        self.row_conflicts += other.row_conflicts;
+        self.queue_stalls += other.queue_stalls;
     }
 
     /// Componentwise difference (`self - earlier`), for measuring a window
@@ -74,6 +91,10 @@ impl CommandStats {
             lisa_hops: self.lisa_hops - earlier.lisa_hops,
             triple_acts: self.triple_acts - earlier.triple_acts,
             sweep_steps: self.sweep_steps - earlier.sweep_steps,
+            row_hits: self.row_hits - earlier.row_hits,
+            row_misses: self.row_misses - earlier.row_misses,
+            row_conflicts: self.row_conflicts - earlier.row_conflicts,
+            queue_stalls: self.queue_stalls - earlier.queue_stalls,
         }
     }
 }
@@ -82,7 +103,7 @@ impl fmt::Display for CommandStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ACT={} PRE={} RD={} WR={} RC={} LISA={} TRA={} SWEEP={}",
+            "ACT={} PRE={} RD={} WR={} RC={} LISA={} TRA={} SWEEP={} RBH={} RBM={} RBC={} QST={}",
             self.activates,
             self.precharges,
             self.read_bursts,
@@ -90,7 +111,11 @@ impl fmt::Display for CommandStats {
             self.row_clones,
             self.lisa_hops,
             self.triple_acts,
-            self.sweep_steps
+            self.sweep_steps,
+            self.row_hits,
+            self.row_misses,
+            self.row_conflicts,
+            self.queue_stalls
         )
     }
 }
@@ -112,6 +137,30 @@ mod tests {
         assert_eq!(d.precharges, 0);
         assert_eq!(d.sweep_steps, 2);
         assert_eq!(d.total_commands(), 6);
+    }
+
+    #[test]
+    fn row_buffer_classifications_are_not_commands() {
+        let mut a = CommandStats::new();
+        a.activates = 4;
+        a.row_hits = 3;
+        a.row_misses = 1;
+        a.row_conflicts = 2;
+        a.queue_stalls = 5;
+        // Hits/misses/conflicts/stalls classify existing ACTs; only the
+        // ACT itself is a command.
+        assert_eq!(a.total_commands(), 4);
+        let mut b = a;
+        b.row_hits = 7;
+        b.queue_stalls = 6;
+        let d = b.since(&a);
+        assert_eq!(d.row_hits, 4);
+        assert_eq!(d.queue_stalls, 1);
+        let mut m = a;
+        m.merge(&d);
+        assert_eq!(m.row_hits, 7);
+        assert_eq!(m.row_conflicts, 2);
+        assert_eq!(m.queue_stalls, 6);
     }
 
     #[test]

@@ -123,6 +123,10 @@ pub struct Criterion {
     /// serialized as a separate `"summaries"` JSON object, never as
     /// benchmark rows.
     summaries: Vec<(String, f64)>,
+    /// [`Criterion::record_ns`] calls skipped because their sample
+    /// vector was empty (a quick-mode run that produced no events must
+    /// not abort the whole bench binary).
+    skipped: u64,
 }
 
 impl Criterion {
@@ -137,6 +141,7 @@ impl Criterion {
             samples: if quick { SAMPLES_QUICK } else { SAMPLES_FULL },
             records: Vec::new(),
             summaries: Vec::new(),
+            skipped: 0,
         }
     }
 
@@ -177,15 +182,24 @@ impl Criterion {
     /// and `max_ns` its worst case. Combine with [`percentile_ns`] for
     /// in-process tail-latency guards.
     ///
-    /// # Panics
-    /// Panics if `samples_ns` is empty.
+    /// An empty sample vector records nothing: the call is counted in
+    /// [`Criterion::skipped_records`] and noted on stdout, but does not
+    /// abort the run — a quick-mode pass that produced no events of one
+    /// class must still write the baseline for the classes that did.
     pub fn record_ns(&mut self, id: &str, samples_ns: Vec<f64>) -> &mut Self {
-        assert!(
-            !samples_ns.is_empty(),
-            "record_ns('{id}') needs at least one sample"
-        );
+        if samples_ns.is_empty() {
+            println!("skipped  {id:<39} (no samples)");
+            self.skipped += 1;
+            return self;
+        }
         self.push_record(id.to_string(), 1, samples_ns);
         self
+    }
+
+    /// Number of [`Criterion::record_ns`] calls skipped for lack of
+    /// samples.
+    pub fn skipped_records(&self) -> u64 {
+        self.skipped
     }
 
     /// Records a derived summary statistic — a percentile computed with
@@ -336,13 +350,18 @@ impl BenchmarkGroup<'_> {
 /// e.g. `percentile_ns(&lat, 99.0)` for p99. Used by bench targets for
 /// in-process tail-latency guards next to [`Criterion::record_ns`].
 ///
+/// Boundary contract: `p0` is the minimum, `p100` the maximum, and any
+/// percentile of a single-sample distribution is that sample. The rank
+/// multiplies before dividing — `pct / 100.0` first would round
+/// `p70` of 10 samples up to the 8th (0.7 × 10 = 7.000000000000001).
+///
 /// # Panics
 /// Panics if `samples` is empty.
 pub fn percentile_ns(samples: &[f64], pct: f64) -> f64 {
     assert!(!samples.is_empty(), "percentile of an empty distribution");
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
-    let rank = (pct / 100.0 * sorted.len() as f64).ceil() as usize;
+    let rank = (pct * sorted.len() as f64 / 100.0).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
@@ -466,5 +485,33 @@ mod tests {
         assert_eq!(percentile_ns(&v, 99.0), 99.0);
         assert_eq!(percentile_ns(&v, 100.0), 100.0);
         assert_eq!(percentile_ns(&[42.0], 99.0), 42.0);
+    }
+
+    #[test]
+    fn percentile_boundaries() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        // p0 clamps to the minimum; p100 is the maximum.
+        assert_eq!(percentile_ns(&v, 0.0), 1.0);
+        assert_eq!(percentile_ns(&v, 100.0), 100.0);
+        // Every percentile of a single sample is that sample.
+        for pct in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile_ns(&[7.5], pct), 7.5);
+        }
+        // Regression: pct/100 first rounds 0.7 * 10 up to rank 8
+        // (7.000000000000001); nearest-rank p70 of 10 is the 7th value.
+        let ten: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile_ns(&ten, 70.0), 7.0);
+    }
+
+    #[test]
+    fn record_ns_skips_empty_distributions() {
+        let mut c = Criterion::named("selftest4");
+        c.record_ns("empty", Vec::new());
+        assert_eq!(c.skipped_records(), 1);
+        assert!(c.records.is_empty(), "an empty record must not be pushed");
+        // Later non-empty records still work.
+        c.record_ns("lat", vec![1.0, 2.0]);
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.skipped_records(), 1);
     }
 }

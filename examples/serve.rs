@@ -11,6 +11,7 @@
 //! ```sh
 //! cargo run --release --example serve            # one worker per CPU
 //! cargo run --release --example serve -- --workers 4
+//! cargo run --release --example serve -- --timing banked
 //! ```
 
 use pluto_repro::baselines::WorkloadId;
@@ -18,6 +19,7 @@ use pluto_repro::core::lut::Lut;
 use pluto_repro::core::serve::{serial_oracle, QuerySpec, ServeConfig, Server};
 use pluto_repro::core::session::ExecConfig;
 use pluto_repro::core::{DesignKind, PlutoError};
+use pluto_repro::dram::TimingBackend;
 use pluto_repro::workloads::serve_lut;
 use sim_support::{Rng, SeedableRng, StdRng};
 use std::sync::Arc;
@@ -36,7 +38,7 @@ fn registry_lut(id: WorkloadId) -> Arc<Lut> {
 /// A deterministic 60-query trace: ~1 in 6 arrivals is a 32-element
 /// Gamma12 sweep (partitioned across 8 subarray segments); the rest are
 /// small latency-class queries.
-fn synthesize_trace(seed: u64) -> Vec<TraceEntry> {
+fn synthesize_trace(seed: u64, timing: TimingBackend) -> Vec<TraceEntry> {
     let add4 = registry_lut(WorkloadId::Add4);
     let bc8 = registry_lut(WorkloadId::Bc8);
     let gamma = registry_lut(WorkloadId::Gamma12);
@@ -48,10 +50,12 @@ fn synthesize_trace(seed: u64) -> Vec<TraceEntry> {
                 1 | 3 => ("add4", &add4, 256, 8, DesignKind::Gmc),
                 _ => ("bc8", &bc8, 256, 6, DesignKind::Bsa),
             };
+            let mut config = ExecConfig::measurement(design);
+            config.timing_backend = timing;
             TraceEntry {
                 class,
                 spec: QuerySpec {
-                    config: ExecConfig::measurement(design),
+                    config,
                     lut: Arc::clone(lut),
                     inputs: (0..len).map(|_| rng.gen_range(0..modulo)).collect(),
                 },
@@ -70,14 +74,31 @@ fn parse_workers() -> Option<usize> {
         .and_then(|v| v.parse().ok())
 }
 
+/// `--timing analytic|banked` (or `PLUTO_TIMING`) selects the timing
+/// backend every trace query runs on (`DESIGN.md` §11).
+fn parse_timing() -> TimingBackend {
+    let args: Vec<String> = std::env::args().collect();
+    let value = args
+        .iter()
+        .position(|a| a == "--timing")
+        .and_then(|pos| args.get(pos + 1).cloned())
+        .or_else(|| std::env::var("PLUTO_TIMING").ok());
+    match value.as_deref() {
+        Some("banked") => TimingBackend::Banked,
+        Some("analytic") | None => TimingBackend::Analytic,
+        Some(other) => panic!("unknown --timing '{other}' (expected analytic|banked)"),
+    }
+}
+
 fn main() -> Result<(), PlutoError> {
-    let trace = synthesize_trace(42);
+    let timing = parse_timing();
+    let trace = synthesize_trace(42, timing);
     let config = ServeConfig {
         workers: parse_workers().unwrap_or_else(|| ServeConfig::default().workers),
         batch_slots: 8,
     };
     println!(
-        "replaying {} queries on {} worker(s), {} slots per affinity batch",
+        "replaying {} queries on {} worker(s), {} slots per affinity batch, {timing} timing",
         trace.len(),
         config.workers,
         config.batch_slots
@@ -97,10 +118,16 @@ fn main() -> Result<(), PlutoError> {
     //    (time from replay start to that reply, i.e. sojourn under the
     //    whole backlog).
     let mut by_class: Vec<(&str, u32, f64, f64)> = Vec::new();
+    let (mut row_hits, mut row_misses, mut row_conflicts, mut queue_stalls) =
+        (0u64, 0u64, 0u64, 0u64);
     for (entry, ticket) in trace.iter().zip(tickets) {
         let reply = ticket.wait()?;
         let sojourn_ms = start.elapsed().as_secs_f64() * 1e3;
         let time_ns = reply.report.time.as_secs() * 1e9;
+        row_hits += reply.report.row_hits;
+        row_misses += reply.report.row_misses;
+        row_conflicts += reply.report.row_conflicts;
+        queue_stalls += reply.report.queue_stalls;
         match by_class.iter_mut().find(|(c, ..)| *c == entry.class) {
             Some((_, n, ms, ns)) => {
                 *n += 1;
@@ -146,6 +173,10 @@ fn main() -> Result<(), PlutoError> {
     println!(
         "plan cache: {} hit(s), {} miss(es), {} fallback(s) across {} cached plan(s)",
         plans.hits, plans.misses, plans.fallbacks, plans.entries
+    );
+    println!(
+        "{timing} timing: {row_hits} row-buffer hit(s), {row_misses} miss(es), \
+         {row_conflicts} conflict(s), {queue_stalls} queue stall(s)"
     );
     println!("all replies validated and spot-checked against the serial oracle");
     Ok(())

@@ -16,7 +16,8 @@ use pluto_repro::core::query::{QueryExecutor, QueryPlacement};
 use pluto_repro::core::store::LutStore;
 use pluto_repro::core::DesignKind;
 use pluto_repro::dram::{
-    BankId, DramConfig, EnergyModel, Engine, MemoryKind, RowId, RowLoc, SubarrayId, TimingParams,
+    BankId, DramConfig, EnergyModel, Engine, MemoryKind, Picos, RowId, RowLoc, SubarrayId,
+    SweepStepKind, TimingParams,
 };
 use sim_support::prop::{self, Gen};
 use sim_support::prop_assert_eq;
@@ -300,6 +301,65 @@ fn partitioned_lanes_replay_warm_including_128_segments() {
         after.hits - before.hits >= 128,
         "partitioned lanes never replayed: {before:?} -> {after:?}"
     );
+}
+
+/// Seam regression for `Engine::rewind_clock`'s boundary rule: an ACT
+/// issued at *exactly* the rewind timestamp belongs to the region being
+/// rewound and must be dropped (strict `t < to`). The §5.6 partitioned
+/// max-lane pattern rewinds to the region start before replaying each
+/// lane, and a lane's first ACT issues at exactly that mark on a fresh
+/// engine — under the old `t <= to` retention, that boundary ACT (and
+/// the subarray it left open) survived into the next lane, which then
+/// saw a fake warm tFAW window and a fake row-buffer hit.
+#[test]
+fn rewind_drops_the_act_issued_exactly_at_the_mark() {
+    // Binding timing: 1 ns ACT spacing against a ~27 ns four-activate
+    // window, so a single stale window entry re-gates the 4th ACT.
+    let timing = TimingParams {
+        t_rcd: Picos::from_ns(1.0),
+        ..TimingParams::ddr4_2400().with_t_faw_scale(2.0)
+    };
+    let fresh =
+        || Engine::with_models(DramConfig::ddr4_2400(), timing.clone(), EnergyModel::ddr4());
+    // Exactly four ACTs: the window holds four entries, so the boundary
+    // ACT at t0 is still *in* the window when the rewind runs (a fifth
+    // ACT would evict it and mask the boundary rule).
+    let lane = |e: &mut Engine| {
+        e.sweep_rows(
+            BankId(1),
+            SubarrayId(0),
+            RowId(0),
+            4,
+            SweepStepKind::ChargeShare,
+        )
+        .unwrap();
+    };
+
+    let mut oracle = fresh();
+    lane(&mut oracle);
+    let expect_elapsed = oracle.elapsed();
+    let expect_stats = oracle.stats();
+
+    let mut e = fresh();
+    let t0 = e.elapsed();
+    assert_eq!(t0, Picos::ZERO);
+    lane(&mut e); // lane A: first ACT issues at exactly t0
+    let stats_a = e.stats();
+    e.rewind_clock(t0);
+    assert_eq!(e.elapsed(), t0);
+    assert!(
+        e.tfaw_window_inert(),
+        "the boundary ACT at t0 must not survive the rewind"
+    );
+    lane(&mut e); // lane B: identical stream from the same mark
+    assert_eq!(
+        e.elapsed(),
+        expect_elapsed,
+        "lane B must replay at lane A's exact cost"
+    );
+    // Classification must also restart: lane B re-opens the subarray
+    // (one miss, then charge-share hits), exactly like lane A did.
+    assert_eq!(e.stats().since(&stats_a), expect_stats);
 }
 
 /// Explicit non-replayable-context tests: a legality gate failure must

@@ -1,0 +1,284 @@
+//! Differential suite for the pluggable timing backend (`DESIGN.md`
+//! §11): on any serial single-bank command stream the analytic and
+//! banked backends must agree **bit for bit** — engine clock, energy
+//! (compared on raw `f64` bits), command counters, and session-level
+//! `CostReport`s across the whole workload registry. The suite also
+//! locks the two ways the backends are *supposed* to diverge (row-buffer
+//! conflicts and command-queue contention charge latency only under the
+//! banked model) and the rule that a recorded cost tape is never
+//! replayed across backends.
+
+use pluto_repro::core::lut::{slots_per_row, width_mask, Lut};
+use pluto_repro::core::query::{QueryExecutor, QueryPlacement};
+use pluto_repro::core::session::{CostReport, Session};
+use pluto_repro::core::store::LutStore;
+use pluto_repro::core::DesignKind;
+use pluto_repro::dram::{
+    BankId, DramConfig, EnergyModel, Engine, MemoryKind, RowId, RowLoc, SubarrayId, SweepStepKind,
+    TimingBackend, TimingParams,
+};
+use pluto_repro::workloads::registry;
+use sim_support::prop::{self, Gen};
+use sim_support::prop_assert_eq;
+
+/// A small-geometry engine on the requested backend with an explicit
+/// tFAW scale (0.0 disables the window; >1.0 makes it bite harder).
+fn engine(kind: MemoryKind, t_faw_scale: f64, backend: TimingBackend) -> Engine {
+    let (base, timing, energy) = match kind {
+        MemoryKind::Ddr4 => (
+            DramConfig::ddr4_2400(),
+            TimingParams::ddr4_2400(),
+            EnergyModel::ddr4(),
+        ),
+        MemoryKind::Stacked3d => (
+            DramConfig::hmc_3ds(),
+            TimingParams::hmc_3ds(),
+            EnergyModel::hmc_3ds(),
+        ),
+    };
+    Engine::with_models(
+        DramConfig {
+            row_bytes: 32,
+            burst_bytes: 8,
+            banks: 2,
+            subarrays_per_bank: 8,
+            rows_per_subarray: 64,
+            ..base
+        },
+        timing.with_t_faw_scale(t_faw_scale),
+        energy,
+    )
+    .with_timing_backend(backend)
+}
+
+fn setup(e: &mut Engine, lut: Lut) -> (LutStore, QueryPlacement) {
+    let bank = BankId(0);
+    let pluto = SubarrayId(2);
+    let n = lut.len() as u16;
+    let base = e.config().rows_per_subarray - n;
+    let store = LutStore::load(e, lut, bank, pluto, SubarrayId(1), base).unwrap();
+    (store, QueryPlacement::adjacent(bank, pluto))
+}
+
+fn random_lut(g: &mut Gen, tag: u64) -> Lut {
+    let input_bits = g.range(1u32..=6);
+    let output_bits = g.range(1u32..=16);
+    let mask = width_mask(output_bits);
+    let len = 1usize << input_bits;
+    let elements: Vec<u64> = (0..len).map(|_| g.any::<u64>() & mask).collect();
+    Lut::from_table(
+        format!("backend-{tag}-{input_bits}x{output_bits}"),
+        input_bits,
+        output_bits,
+        elements,
+    )
+    .unwrap()
+}
+
+/// The exact-agreement invariant at the engine level: query-shaped
+/// command streams (all three designs' sweep kinds, both memory kinds,
+/// tFAW disabled / nominal / stretched) cost identically under both
+/// backends — outputs, `QueryCost`, clock, energy bits, and counters.
+#[test]
+fn serial_query_streams_agree_bit_for_bit_across_backends() {
+    prop::check("timing_backend_differential", 24, |g| {
+        let tag: u64 = g.any();
+        let scale = [0.0, 1.0, 40.0][g.range(0usize..3)];
+        for kind in [MemoryKind::Ddr4, MemoryKind::Stacked3d] {
+            for design in DesignKind::ALL {
+                let lut = random_lut(g, tag);
+                let capacity = slots_per_row(32, lut.slot_bits());
+                let inputs: Vec<u64> = g.vec(1, capacity, |g| g.range(0..lut.len() as u64));
+                let dst_row = RowId(g.range(0u16..8));
+                let label = format!("{design}/{kind}/x{scale}/{}", lut.name());
+
+                let mut e_a = engine(kind, scale, TimingBackend::Analytic);
+                let (mut store_a, placement) = setup(&mut e_a, lut.clone());
+                let mut e_b = engine(kind, scale, TimingBackend::Banked);
+                let (mut store_b, _) = setup(&mut e_b, lut.clone());
+
+                // Back-to-back queries: cold, then from a warm clock.
+                for step in 0..2 {
+                    let (out_a, cost_a) = {
+                        let mut ex = QueryExecutor::new(&mut e_a, design);
+                        ex.execute(&mut store_a, placement, &inputs, RowId(0), dst_row)
+                            .unwrap()
+                    };
+                    let (out_b, cost_b) = {
+                        let mut ex = QueryExecutor::new(&mut e_b, design);
+                        ex.execute(&mut store_b, placement, &inputs, RowId(0), dst_row)
+                            .unwrap()
+                    };
+                    prop_assert_eq!(&out_a, &out_b, "outputs #{step} {label}");
+                    prop_assert_eq!(cost_a, cost_b, "cost #{step} {label}");
+                    prop_assert_eq!(e_a.elapsed(), e_b.elapsed(), "clock #{step} {label}");
+                    prop_assert_eq!(
+                        e_a.command_energy().as_pj().to_bits(),
+                        e_b.command_energy().as_pj().to_bits(),
+                        "energy #{step} {label}"
+                    );
+                    prop_assert_eq!(e_a.stats(), e_b.stats(), "stats #{step} {label}");
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+/// `PLUTO_QUICK=1` (the CI smoke configuration) skips the long-running
+/// measurement workloads, exactly as `tests/session.rs` does.
+fn skip_in_quick_mode(id: &str) -> bool {
+    let quick = std::env::var("PLUTO_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    quick && ["CRC-16", "CRC-32", "Salsa20"].contains(&id)
+}
+
+/// The exact-agreement invariant at the session level: every registry
+/// workload produces a bit-identical `CostReport` under both backends
+/// on both memory kinds. Registry streams run one query at a time on
+/// one bank, so no conflict or queue penalty may fire.
+#[test]
+fn full_registry_cost_reports_are_bit_identical_across_backends() {
+    for kind in [MemoryKind::Ddr4, MemoryKind::Stacked3d] {
+        let run = |backend: TimingBackend| -> Vec<CostReport> {
+            let mut session = Session::builder(DesignKind::Gmc)
+                .memory(kind)
+                .timing(backend)
+                .build()
+                .unwrap();
+            registry()
+                .into_iter()
+                .filter(|w| !skip_in_quick_mode(w.id()))
+                .map(|mut w| session.run(w.as_mut()).unwrap())
+                .collect()
+        };
+        let analytic = run(TimingBackend::Analytic);
+        let banked = run(TimingBackend::Banked);
+        assert_eq!(analytic.len(), banked.len());
+        for (a, b) in analytic.iter().zip(&banked) {
+            assert_eq!(a, b, "{} on {kind}", a.workload);
+            assert_eq!(
+                a.energy.as_pj().to_bits(),
+                b.energy.as_pj().to_bits(),
+                "{} on {kind}: energy bits",
+                a.workload
+            );
+            assert!(a.validated, "{} on {kind}", a.workload);
+            // Serial single-bank streams never conflict or stall.
+            assert_eq!(a.row_conflicts, 0, "{} on {kind}", a.workload);
+            assert_eq!(a.queue_stalls, 0, "{} on {kind}", a.workload);
+        }
+    }
+}
+
+/// Divergence, part 1: activating over a different open row of the same
+/// bank is a row-buffer conflict. Both backends *count* it; only the
+/// banked backend charges the tRAS residency + tRP close.
+#[test]
+fn banked_charges_row_buffer_conflicts_where_analytic_does_not() {
+    let run = |backend: TimingBackend| {
+        let mut e = Engine::new(DramConfig::ddr4_2400()).with_timing_backend(backend);
+        e.activate(RowLoc::new(0, 1, 0)).unwrap();
+        // Same bank, different subarray, row still open: conflict.
+        e.activate(RowLoc::new(0, 2, 5)).unwrap();
+        e
+    };
+    let analytic = run(TimingBackend::Analytic);
+    let banked = run(TimingBackend::Banked);
+    assert_eq!(analytic.stats().row_conflicts, 1);
+    assert_eq!(banked.stats().row_conflicts, 1);
+    assert_eq!(analytic.stats().row_misses, 1);
+    let timing = TimingParams::ddr4_2400();
+    assert_eq!(
+        banked.elapsed(),
+        analytic.elapsed() + timing.t_ras + timing.t_rp - timing.t_rcd,
+        "banked must wait out tRAS from the first ACT, then pay tRP"
+    );
+    // Energy never diverges: the conflict penalty is latency-only.
+    assert_eq!(
+        analytic.command_energy().as_pj().to_bits(),
+        banked.command_energy().as_pj().to_bits()
+    );
+}
+
+/// Divergence, part 2: a charge-share chain faster than the queue's
+/// retirement rate fills the bounded per-rank command queue. Both
+/// backends count the stalls; only the banked backend delays issue.
+#[test]
+fn banked_delays_issue_when_the_command_queue_fills() {
+    let fast = TimingParams {
+        t_rcd: pluto_repro::dram::Picos::from_ns(1.0),
+        ..TimingParams::ddr4_2400().with_t_faw_scale(0.0)
+    };
+    let run = |backend: TimingBackend| {
+        let mut e = Engine::with_models(DramConfig::ddr4_2400(), fast.clone(), EnergyModel::ddr4())
+            .with_timing_backend(backend);
+        e.sweep_rows(
+            BankId(0),
+            SubarrayId(1),
+            RowId(0),
+            12,
+            SweepStepKind::ChargeShare,
+        )
+        .unwrap();
+        e
+    };
+    let analytic = run(TimingBackend::Analytic);
+    let banked = run(TimingBackend::Banked);
+    assert!(
+        analytic.stats().queue_stalls > 0,
+        "the analytic backend must still count the stalls"
+    );
+    assert!(banked.stats().queue_stalls > 0);
+    // 12 ACTs at 1 ns spacing against an 8-deep queue retiring one entry
+    // per tRAS (32 ns): the 9th ACT waits for the 1st to retire.
+    assert!(
+        banked.elapsed() >= fast.t_ras,
+        "queue contention must delay the banked chain: {} < {}",
+        banked.elapsed(),
+        fast.t_ras
+    );
+    assert_eq!(
+        analytic.elapsed(),
+        pluto_repro::dram::Picos::from_ns(12.0),
+        "the analytic chain is 12 x tRCD regardless of the queue"
+    );
+    // Classification agrees: one miss opens the chain, hits follow.
+    assert_eq!(analytic.stats().row_misses, 1);
+    assert_eq!(analytic.stats().row_hits, 11);
+    assert_eq!(banked.stats().row_misses, 1);
+    assert_eq!(banked.stats().row_hits, 11);
+}
+
+/// A cost tape records the backend that produced it and refuses replay
+/// on any engine running the other backend, even when every timing
+/// signature matches.
+#[test]
+fn tapes_are_never_replayed_across_backends() {
+    let record = |backend: TimingBackend| {
+        let mut e = Engine::new(DramConfig::ddr4_2400()).with_timing_backend(backend);
+        e.begin_tape();
+        e.activate(RowLoc::new(0, 1, 3)).unwrap();
+        e.precharge(BankId(0), SubarrayId(1)).unwrap();
+        e.end_tape().expect("tape must record")
+    };
+    let analytic_tape = record(TimingBackend::Analytic);
+    let banked_tape = record(TimingBackend::Banked);
+    assert_eq!(analytic_tape.backend(), TimingBackend::Analytic);
+    assert_eq!(banked_tape.backend(), TimingBackend::Banked);
+
+    let fresh_analytic = Engine::new(DramConfig::ddr4_2400());
+    let fresh_banked =
+        Engine::new(DramConfig::ddr4_2400()).with_timing_backend(TimingBackend::Banked);
+    assert!(analytic_tape.replayable_from(&fresh_analytic));
+    assert!(banked_tape.replayable_from(&fresh_banked));
+    assert!(
+        !analytic_tape.replayable_from(&fresh_banked),
+        "an analytic tape must not replay on a banked engine"
+    );
+    assert!(
+        !banked_tape.replayable_from(&fresh_analytic),
+        "a banked tape must not replay on an analytic engine"
+    );
+}
