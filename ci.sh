@@ -43,10 +43,19 @@ PLUTO_QUICK=1 cargo bench -p pluto-bench --bench partition
 echo "==> serve queue-behavior guard (benches/serve.rs smoke: mixed p99 bounded vs baseline, plan-cache hits live, stealing live)"
 PLUTO_QUICK=1 cargo bench -p pluto-bench --bench serve
 
+echo "==> qnn pipeline guard (benches/qnn.rs smoke: warm layers replay plans, direct w8 energy >= 100x nibble, latency <= 2x)"
+PLUTO_QUICK=1 cargo bench -p pluto-bench --bench qnn
+
+echo "==> 4-worker MLP smoke (examples/qnn_inference.rs --workers 4: cluster bit-identical to serial)"
+cargo run --release --quiet --example qnn_inference -- --workers 4
+
 echo "==> 4-worker serve smoke (examples/serve.rs traffic replay)"
 cargo run --release --quiet --example serve -- --workers 4
 
 echo "==> banked-backend serve smoke (examples/serve.rs --timing banked)"
 cargo run --release --quiet --example serve -- --workers 4 --timing banked
+
+echo "==> qnn serve smoke (examples/serve.rs --qnn: streamed inference bit-identical to the host oracle)"
+cargo run --release --quiet --example serve -- --qnn --workers 4
 
 echo "==> CI green"

@@ -36,11 +36,18 @@ pub enum WorkloadId {
     /// Direct-table 8×8 → 16-bit multiply (a 65 536-entry LUT partitioned
     /// across subarrays, §5.6 — contrast with the nibble-plane `Mul8`).
     MulDirect8,
+    /// GEMV-by-LUT over int8 operands: direct signed-product tables
+    /// (§5.6-partitioned) with host-side accumulation plus a 12-bit
+    /// requantization LUT stage (`pluto-qnn`, `DESIGN.md` §12).
+    QnnGemv8,
+    /// End-to-end quantized MLP forward pass — GEMV then requantize,
+    /// layer by layer — on the same LUT substrate (`pluto-qnn`).
+    QnnMlp,
 }
 
 impl WorkloadId {
-    /// All eighteen ids, aliases included, in declaration order.
-    pub const ALL: [WorkloadId; 18] = [
+    /// All twenty ids, aliases included, in declaration order.
+    pub const ALL: [WorkloadId; 20] = [
         WorkloadId::Crc8,
         WorkloadId::Crc16,
         WorkloadId::Crc32,
@@ -59,12 +66,15 @@ impl WorkloadId {
         WorkloadId::BitwiseRow,
         WorkloadId::Gamma12,
         WorkloadId::MulDirect8,
+        WorkloadId::QnnGemv8,
+        WorkloadId::QnnMlp,
     ];
 
-    /// The sixteen distinct workloads after alias resolution — paper
-    /// Table 4 order followed by the §5.6 large-LUT scenarios (the order
-    /// `pluto_workloads::registry()` uses).
-    pub const CANONICAL: [WorkloadId; 16] = [
+    /// The eighteen distinct workloads after alias resolution — paper
+    /// Table 4 order followed by the §5.6 large-LUT scenarios and the
+    /// §12 inference scenarios (the order `pluto_workloads::registry()`
+    /// uses).
+    pub const CANONICAL: [WorkloadId; 18] = [
         WorkloadId::Crc8,
         WorkloadId::Crc16,
         WorkloadId::Crc32,
@@ -81,6 +91,8 @@ impl WorkloadId {
         WorkloadId::BitwiseRow,
         WorkloadId::Gamma12,
         WorkloadId::MulDirect8,
+        WorkloadId::QnnGemv8,
+        WorkloadId::QnnMlp,
     ];
 
     /// Resolves the aliased ids to the workload whose mapping and profile
@@ -124,6 +136,8 @@ impl WorkloadId {
             WorkloadId::BitwiseRow => "Bitwise",
             WorkloadId::Gamma12 => "Gamma12",
             WorkloadId::MulDirect8 => "MulDirect8",
+            WorkloadId::QnnGemv8 => "QNN-GEMV8",
+            WorkloadId::QnnMlp => "QNN-MLP",
         }
     }
 
@@ -226,6 +240,14 @@ pub fn workload_profile(id: WorkloadId) -> Profile {
         // table, which is the §5.6 capacity–computation tradeoff the
         // scenario exists to expose.
         MulDirect8 => (2.0, 0.2, 4.0, 24.0, 0.0, 3.0),
+        // int8 GEMV: one fused multiply-add per MAC on CPU/GPU; the PnM
+        // core pays the same bit-serial multiply as Mul8 plus the
+        // accumulate; LUT substrates pay the 128 KiB product table.
+        QnnGemv8 => (2.0, 0.2, 4.0, 26.0, 0.0, 2.0),
+        // Whole MLP forward pass: GEMV traffic plus per-layer
+        // requantization; a small serial fraction models the layer
+        // barrier (activations must finish before the next layer).
+        QnnMlp => (3.0, 0.3, 2.0, 30.0, 0.01, 2.0),
     };
     Profile {
         id,

@@ -1,12 +1,19 @@
 //! Table 7: quantized LeNet-5 inference time and energy on CPU, GPU
 //! (P100), FPGA, and pLUTo-BSA (paper §9), with this reproduction's
-//! modeled estimates next to the published values — plus a live functional
-//! demonstration of the binary XNOR-popcount kernel on the simulator.
+//! modeled estimates next to the published values — query counts
+//! derived from the layer graph (`DESIGN.md` §12) — plus live
+//! functional demonstrations of both inference kernels on the cluster:
+//! the binary XNOR-popcount inner product and the layered int8
+//! GEMV → requantize MLP forward pass.
 
 use pluto_core::DesignKind;
+use pluto_qnn::gemv::GemvPath;
 use pluto_qnn::lenet::{binary_dot_reference, LeNet5, Precision};
 use pluto_qnn::mnist::SyntheticMnist;
-use pluto_qnn::pluto_exec::binary_dot_cluster;
+use pluto_qnn::model::QuantModel;
+use pluto_qnn::pluto_exec::{
+    binary_dot_cluster, mlp_cluster_layers, mlp_exec_config, qnn_layer_query_counts,
+};
 use pluto_qnn::table7::{modeled, published, published_accuracy_percent, Platform};
 
 fn main() {
@@ -16,6 +23,15 @@ fn main() {
             "{:?} (published accuracy {:.1}%):",
             precision,
             published_accuracy_percent(precision)
+        );
+        let net = LeNet5::new(precision, 42);
+        let per_layer: Vec<String> = qnn_layer_query_counts(&net)
+            .into_iter()
+            .map(|(name, queries)| format!("{name}={queries}"))
+            .collect();
+        println!(
+            "  per-layer query counts (from the layer graph): {}",
+            per_layer.join(" ")
         );
         println!(
             "  {:<12} {:>11} {:>11} {:>12} {:>12}",
@@ -74,4 +90,41 @@ fn main() {
     );
     let prediction = net.classify(&img);
     println!("  full 1-bit LeNet-5 classifies the synthetic '7' as class {prediction}");
+
+    // The layered pipeline through the same pool: one digit through the
+    // int8 MLP, every layer a GEMV-by-LUT batch sharded by output-neuron
+    // tile, with the per-layer cost breakdown.
+    println!("\nfunctional demo — layered int8 MLP forward pass via the cluster:");
+    let model = QuantModel::mnist_mlp(7);
+    let x = QuantModel::input_from_image(&img);
+    let oracle = model.forward_reference(&x);
+    let (logits, reports) = mlp_cluster_layers(
+        &mut pool,
+        mlp_exec_config(DesignKind::Bsa),
+        &model,
+        &x,
+        GemvPath::Direct,
+    )
+    .unwrap();
+    assert_eq!(logits, oracle, "cluster logits must match the host oracle");
+    for (shape, report) in model.layer_shapes().iter().zip(&reports) {
+        println!(
+            "  {:<10} {:>4}x{:<3} macs={:<5} simulated {} / {}",
+            shape.name,
+            shape.out_features,
+            shape.in_features,
+            shape.mac_count(),
+            report.time,
+            report.energy
+        );
+    }
+    println!(
+        "  logits {logits:?} -> class {} (bit-identical to the host i32 oracle)",
+        logits
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap()
+    );
 }

@@ -172,6 +172,30 @@ impl PlutoMachine {
         }
     }
 
+    /// Pins a LUT resident on the machine ahead of its first query,
+    /// returning the number of subarrays its store claims (2 per §5.6
+    /// segment: pLUTo + master). Layered pipelines use this to keep a
+    /// whole layer's tables — weight-product LUT plus requantization
+    /// LUT — co-resident before any activation streams through, so the
+    /// first inference pays no mid-layer load and every later layer
+    /// shares the same stores via the content-keyed cache.
+    ///
+    /// Idempotent: preloading an already-resident LUT costs nothing and
+    /// reports the same claim.
+    ///
+    /// # Errors
+    /// Fails if the subarray pool cannot hold the store.
+    pub fn preload(&mut self, lut: &Lut) -> Result<u16, PlutoError> {
+        let key = self.store_for(lut)?;
+        Ok(self.stores[&key].subarrays_claimed())
+    }
+
+    /// Number of distinct LUT stores currently resident on the machine
+    /// (variant keys for same-name/different-table LUTs count separately).
+    pub fn resident_luts(&self) -> usize {
+        self.stores.len()
+    }
+
     /// Restores the machine to its just-constructed state: a pristine
     /// engine (zero clock/energy/stats, empty array), no cached LUT
     /// stores, and zeroed totals.

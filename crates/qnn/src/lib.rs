@@ -1,8 +1,9 @@
-//! # pluto-qnn — quantized LeNet-5 case study (paper §9, Table 7)
+//! # pluto-qnn — LUT-based quantized inference (paper §9, `DESIGN.md` §12)
 //!
 //! The paper evaluates 1-bit and 4-bit quantized LeNet-5 inference on
-//! MNIST as a proof of concept for pLUTo's low-bit-width strengths. This
-//! crate reproduces the study end to end:
+//! MNIST as a proof of concept for pLUTo's low-bit-width strengths.
+//! This crate reproduces that study and extends it into a layered
+//! inference pipeline running on the full store/cluster/serve stack:
 //!
 //! * [`tensor`] — a minimal integer tensor.
 //! * [`mnist`] — a deterministic synthetic MNIST-like digit generator
@@ -11,22 +12,41 @@
 //!   exercise the identical compute path).
 //! * [`lenet`] — the LeNet-5 topology with 1-bit (binarised,
 //!   XNOR-popcount) and 4-bit quantised arithmetic.
-//! * [`pluto_exec`] — the pLUTo mapping of the binary dot-product kernel
-//!   (bit-plane XNOR LUT queries + BC-8 popcount fold), validated against
-//!   the reference layer, plus the whole-network operation counting used
-//!   for the Table 7 cost model.
+//! * [`gemv`] — the GEMV-by-LUT stage: [`gemv::QuantLinear`] lowers
+//!   int8 matrix–vector products onto LUT queries, either a direct
+//!   signed-product table (65 536 entries at 8 bits, partitioned across
+//!   128 §5.6 segments) or the nibble-plane `mul4` contrast — the
+//!   LoCalut capacity–computation axis — with host (PnM-core)
+//!   accumulation.
+//! * [`requant`] — per-layer requantization as its own direct LUT
+//!   (saturate/shift/clamp baked into the table, the Gamma12 machinery
+//!   generalized).
+//! * [`model`] — the [`model::QuantModel`]/[`model::Layer`] graph
+//!   composing those stages into an end-to-end MLP forward pass,
+//!   bit-identical to a host `i32` oracle, plus the layer-shape view
+//!   that Table 7's query counts derive from.
+//! * [`pluto_exec`] — execution plumbing: the original binary
+//!   dot-product kernel, the [`pluto_exec::QnnGemvWorkload`] /
+//!   [`pluto_exec::QnnMlpWorkload`] registry scenarios, and the
+//!   cluster drivers that shard a layer by output-neuron tile.
 //! * [`table7`] — the paper's published Table 7 numbers next to this
 //!   reproduction's modeled estimates.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod gemv;
 pub mod lenet;
 pub mod mnist;
+pub mod model;
 pub mod pluto_exec;
+pub mod requant;
 pub mod table7;
 pub mod tensor;
 
+pub use gemv::{GemvPath, QuantLinear};
 pub use lenet::{LeNet5, Precision};
 pub use mnist::SyntheticMnist;
+pub use model::{Layer, QuantModel};
+pub use requant::Requant;
 pub use table7::{published, InferenceCost, Platform};

@@ -1,66 +1,69 @@
-//! pLUTo execution of the QNN kernels (paper §9).
+//! pLUTo execution of the QNN kernels (paper §9, `DESIGN.md` §12).
 //!
-//! The binarised network's inner product is
-//! `dot(a, b) = 2·popcount(XNOR(a, b)) − n` — precisely the bit counting +
-//! bitwise operations pLUTo excels at (Table 6). [`binary_dot_pluto`] runs
-//! that kernel *functionally* on a [`Session`]'s machine: one XNOR
-//! LUT-query stream over bit pairs and a BC-8 popcount fold, validated
-//! against the reference. [`binary_dot_cluster`] runs the same kernel as
-//! a first-class [`Workload`] through a multi-worker
-//! [`pluto_core::cluster::Cluster`], sharding the row pairs across the
-//! pool — the per-layer LUT maps of a whole network submit as one batch.
-//! [`qnn_query_count`] extends the per-kernel costs to the whole network
-//! via the layer MAC counts, feeding the Table 7 cost model.
+//! Two generations of kernel live here. The original binarized inner
+//! product — `dot(a, b) = 2·popcount(XNOR(a, b)) − n`, one XNOR(1)
+//! query stream plus a BC-8 popcount fold — remains as
+//! [`binary_dot_machine`] / [`BinaryDotWorkload`] /
+//! [`binary_dot_cluster`], feeding the 1-bit Table 7 row. Layered on
+//! top is the quantized-inference pipeline: [`QnnGemvWorkload`] runs a
+//! [`QuantLinear`] GEMV tile (either [`GemvPath`] lowering, optional
+//! [`Requant`] stage) as a first-class [`Workload`], sharded across the
+//! cluster by output-neuron tile; [`gemv_cluster`] and [`mlp_cluster`]
+//! drive one layer / a whole [`QuantModel`] through the pool with
+//! row-order reassembly; [`QnnMlpWorkload`] packages end-to-end
+//! forward passes for the registry and figure harness.
+//!
+//! [`qnn_query_count`] derives the Table 7 query totals from the layer
+//! graph ([`lenet_layer_shapes`]) rather than hand-maintained MAC
+//! constants.
 
+use crate::gemv::{signed_max, signed_min, GemvPath, QuantLinear};
 use crate::lenet::{binary_dot_reference, LeNet5, Precision};
+use crate::model::{lenet_layer_shapes, sample_batch, QuantModel};
+use crate::requant::Requant;
 use pluto_core::cluster::Cluster;
 use pluto_core::lut::catalog;
 use pluto_core::session::{CostReport, ExecConfig, Session, Workload};
 use pluto_core::{DesignKind, PlutoError};
 use pluto_dram::{PicoJoules, Picos};
-use sim_support::StdRng;
+use sim_support::{Rng, SeedableRng, StdRng};
+use std::ops::Range;
 use std::sync::{Arc, Mutex};
 
 /// The execution configuration of the QNN kernels: the measurement
-/// geometry with 64 subarrays per bank.
+/// geometry with 64 subarrays per bank (enough for the binary-dot and
+/// nibble-plane stores; the direct-path workloads raise the pool
+/// further through [`Workload::min_subarrays`]).
 pub fn qnn_exec_config(design: DesignKind) -> ExecConfig {
     let mut cfg = ExecConfig::measurement(design);
     cfg.subarrays_per_bank = 64;
     cfg
 }
 
-/// Builds a [`Session`] sized for the QNN kernels
-/// ([`qnn_exec_config`]'s geometry).
-///
-/// # Errors
-/// Propagates machine construction errors.
-pub fn qnn_session(design: DesignKind) -> Result<Session, PlutoError> {
-    Session::with_config(qnn_exec_config(design))
+/// The execution configuration of the direct-path inference pipeline:
+/// measurement geometry with a subarray pool wide enough to hold a
+/// partitioned 65 536-entry product store, a requantization store, and
+/// the data subarray simultaneously.
+pub fn mlp_exec_config(design: DesignKind) -> ExecConfig {
+    let mut cfg = ExecConfig::measurement(design);
+    cfg.subarrays_per_bank = DIRECT_SUBARRAYS;
+    cfg
 }
 
-/// Computes many binary dot products at once: row `i` of `a_rows`/`b_rows`
-/// is a pair of bit vectors (1 ⇔ +1). Returns one signed dot product per
-/// row.
-///
-/// The mapping packs bit pairs per position and issues: one XNOR(1) query
-/// stream per position batch, then BC-8 popcount queries over the XNOR
-/// result bytes, then a host-side (PnM-core) sum — mirroring the paper's
-/// "bulk querying of input values using only short sequences of DRAM
-/// commands".
-///
-/// # Errors
-/// Propagates machine errors.
-pub fn binary_dot_pluto(
-    session: &mut Session,
-    a_rows: &[Vec<u8>],
-    b_rows: &[Vec<u8>],
-) -> Result<Vec<i32>, PlutoError> {
-    binary_dot_on(session.machine_mut(), a_rows, b_rows)
-}
+/// Subarray demand of the direct 8-bit path: 128 §5.6 segments × 2
+/// subarrays for the product store, 8 × 2 for the 12-bit requantization
+/// store, plus the data subarray and slack.
+const DIRECT_SUBARRAYS: u16 = 280;
 
 /// The kernel proper, on a bare machine (shared by the session path and
 /// the cluster workload).
-fn binary_dot_on(
+///
+/// # Errors
+/// Propagates machine errors.
+///
+/// # Panics
+/// Panics if the row counts or pair lengths differ.
+pub fn binary_dot_machine(
     m: &mut pluto_core::PlutoMachine,
     a_rows: &[Vec<u8>],
     b_rows: &[Vec<u8>],
@@ -102,9 +105,9 @@ fn binary_dot_on(
 /// overhead.
 const DOT_SHARD_ROWS: usize = 16;
 
-/// Shared output sink for the shards of one [`BinaryDotWorkload`]
-/// submission: `(first_row, dot_products)` per shard, reassembled in row
-/// order by [`binary_dot_cluster`].
+/// Shared output sink for the shards of one submission:
+/// `(first_row, values)` per shard, reassembled in row order by
+/// [`binary_dot_cluster`] / [`gemv_cluster`].
 type DotSink = Arc<Mutex<Vec<(usize, Vec<i32>)>>>;
 
 /// The binary XNOR-popcount inner product as a first-class pluggable
@@ -149,8 +152,8 @@ impl Workload for BinaryDotWorkload {
     }
 
     fn run_pluto(&mut self, session: &mut Session) -> Result<Vec<u8>, PlutoError> {
-        let out = binary_dot_on(session.machine_mut(), &self.a_rows, &self.b_rows)?;
-        let encoded = encode_dots(&out);
+        let out = binary_dot_machine(session.machine_mut(), &self.a_rows, &self.b_rows)?;
+        let encoded = encode_i32(&out);
         self.sink
             .lock()
             .expect("dot sink poisoned")
@@ -165,7 +168,7 @@ impl Workload for BinaryDotWorkload {
             .zip(&self.b_rows)
             .map(|(a, b)| binary_dot_reference(a, b))
             .collect();
-        encode_dots(&expect)
+        encode_i32(&expect)
     }
 
     fn input_bytes(&self) -> f64 {
@@ -195,7 +198,7 @@ impl Workload for BinaryDotWorkload {
     }
 }
 
-fn encode_dots(values: &[i32]) -> Vec<u8> {
+fn encode_i32(values: &[i32]) -> Vec<u8> {
     values.iter().flat_map(|v| v.to_le_bytes()).collect()
 }
 
@@ -220,37 +223,465 @@ pub fn binary_dot_cluster(
     a_rows: &[Vec<u8>],
     b_rows: &[Vec<u8>],
 ) -> Result<(Vec<i32>, CostReport), PlutoError> {
-    assert_eq!(
-        cluster.pending(),
-        0,
-        "binary_dot_cluster runs its own batch; collect pending submissions with run() first"
-    );
     let sink: DotSink = Arc::new(Mutex::new(Vec::new()));
     let workload = BinaryDotWorkload::new(a_rows.to_vec(), b_rows.to_vec(), Arc::clone(&sink));
-    cluster.submit_sharded(qnn_exec_config(design), Box::new(workload));
-    let report = cluster.run()?.remove(0);
-    if !report.validated {
-        return Err(PlutoError::InvalidProgram {
-            reason: "binary dot kernel mismatched the reference".into(),
-        });
-    }
+    let report = run_one_sharded(cluster, qnn_exec_config(design), Box::new(workload))?;
     let mut parts = sink.lock().expect("dot sink poisoned");
     parts.sort_by_key(|(first_row, _)| *first_row);
     let out: Vec<i32> = parts.drain(..).flat_map(|(_, vals)| vals).collect();
     Ok((out, report))
 }
 
-/// Number of bulk LUT queries the full network needs per inference batch,
-/// per precision. A batch is one source row of elements (8192 slots on the
-/// paper's DDR4 rows); MACs map to queries as:
+/// Submits one workload sharded, runs the batch, and enforces
+/// validation.
+fn run_one_sharded(
+    cluster: &mut Cluster,
+    config: ExecConfig,
+    workload: Box<dyn Workload>,
+) -> Result<CostReport, PlutoError> {
+    assert_eq!(
+        cluster.pending(),
+        0,
+        "this helper runs its own batch; collect pending submissions with run() first"
+    );
+    let id = workload.id();
+    cluster.submit_sharded(config, workload);
+    let report = cluster.run()?.remove(0);
+    if !report.validated {
+        return Err(PlutoError::InvalidProgram {
+            reason: format!("{id} mismatched the reference"),
+        });
+    }
+    Ok(report)
+}
+
+/// Output-neuron rows per [`QnnGemvWorkload`] shard: a LeNet-scale
+/// layer's 32-row GEMV fans out across four workers.
+pub const GEMV_TILE_ROWS: usize = 8;
+
+/// One [`QuantLinear`] GEMV (plus optional [`Requant`] stage) as a
+/// first-class [`Workload`]: multiplies run as LUT queries
+/// ([`GemvPath`]), accumulation is host-side, and
+/// [`Workload::shards`] tiles the output neurons in
+/// [`GEMV_TILE_ROWS`]-row slices — the shard-by-neuron-tile axis of
+/// `DESIGN.md` §12.
+#[derive(Debug)]
+pub struct QnnGemvWorkload {
+    linear: Arc<QuantLinear>,
+    requant: Option<Requant>,
+    x: Vec<i32>,
+    path: GemvPath,
+    /// The output-neuron tile this instance computes.
+    rows: Range<usize>,
+    /// Shards (and explicit-input workloads) pin their operands;
+    /// registry instances regenerate from the session rng.
+    pinned: bool,
+    sink: Option<DotSink>,
+}
+
+impl QnnGemvWorkload {
+    /// The registry scenario: a 32×48 int8 GEMV on the direct path with
+    /// a 12-bit requantization stage, operands regenerated from the
+    /// session rng on [`Workload::prepare`].
+    #[must_use]
+    pub fn new() -> Self {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (linear, x) = Self::regenerate(&mut rng);
+        QnnGemvWorkload {
+            linear,
+            requant: Some(Requant::new(12, 2, 8)),
+            x,
+            path: GemvPath::Direct,
+            rows: 0..REGISTRY_OUT,
+            pinned: false,
+            sink: None,
+        }
+    }
+
+    /// A pinned workload over explicit operands, publishing each tile's
+    /// outputs into `sink` for row-order reassembly.
+    ///
+    /// # Panics
+    /// Panics if `x` disagrees with the layer shape.
+    #[must_use]
+    pub fn with_input(
+        linear: Arc<QuantLinear>,
+        requant: Option<Requant>,
+        x: Vec<i32>,
+        path: GemvPath,
+        sink: Option<DotSink>,
+    ) -> Self {
+        assert_eq!(x.len(), linear.in_features(), "activation count");
+        let rows = 0..linear.out_features();
+        QnnGemvWorkload {
+            linear,
+            requant,
+            x,
+            path,
+            rows,
+            pinned: true,
+            sink,
+        }
+    }
+
+    fn regenerate(rng: &mut StdRng) -> (Arc<QuantLinear>, Vec<i32>) {
+        let linear = Arc::new(QuantLinear::seeded(
+            "qnn-gemv8",
+            REGISTRY_OUT,
+            REGISTRY_IN,
+            8,
+            -16..=15,
+            rng,
+        ));
+        let x = (0..REGISTRY_IN).map(|_| rng.gen_range(-64..=63)).collect();
+        (linear, x)
+    }
+}
+
+const REGISTRY_OUT: usize = 32;
+const REGISTRY_IN: usize = 48;
+
+impl Default for QnnGemvWorkload {
+    fn default() -> Self {
+        QnnGemvWorkload::new()
+    }
+}
+
+impl Workload for QnnGemvWorkload {
+    fn id(&self) -> &'static str {
+        pluto_baselines::WorkloadId::QnnGemv8.label()
+    }
+
+    fn prepare(&mut self, rng: &mut StdRng) {
+        if self.pinned {
+            return;
+        }
+        let (linear, x) = Self::regenerate(rng);
+        self.rows = 0..linear.out_features();
+        self.linear = linear;
+        self.x = x;
+    }
+
+    fn run_pluto(&mut self, session: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        let m = session.machine_mut();
+        let accs = self
+            .linear
+            .forward_rows_on(m, &self.x, self.path, self.rows.clone())?;
+        let out = match &self.requant {
+            Some(r) => r.apply_on(m, &accs)?,
+            None => accs,
+        };
+        let encoded = encode_i32(&out);
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("gemv sink poisoned")
+                .push((self.rows.start, out));
+        }
+        Ok(encoded)
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        let accs = self
+            .linear
+            .forward_rows_reference(&self.x, self.rows.clone());
+        let out: Vec<i32> = match &self.requant {
+            Some(r) => accs.iter().map(|&a| r.apply_host(a)).collect(),
+            None => accs,
+        };
+        encode_i32(&out)
+    }
+
+    fn input_bytes(&self) -> f64 {
+        // The tile's weight rows plus one activation vector.
+        let operands = (self.rows.len() + 1) * self.linear.in_features();
+        (operands * self.linear.width() as usize) as f64 / 8.0
+    }
+
+    fn min_subarrays(&self) -> u16 {
+        match self.path {
+            GemvPath::Direct => DIRECT_SUBARRAYS,
+            GemvPath::NibblePlane => 64,
+        }
+    }
+
+    fn shards(&self) -> Vec<Box<dyn Workload>> {
+        let rows: Vec<usize> = self.rows.clone().collect();
+        rows.chunks(GEMV_TILE_ROWS)
+            .map(|tile| {
+                Box::new(QnnGemvWorkload {
+                    linear: Arc::clone(&self.linear),
+                    requant: self.requant,
+                    x: self.x.clone(),
+                    path: self.path,
+                    rows: tile[0]..tile[tile.len() - 1] + 1,
+                    pinned: true,
+                    sink: self.sink.clone(),
+                }) as Box<dyn Workload>
+            })
+            .collect()
+    }
+}
+
+/// Runs one [`QuantLinear`] layer (GEMV + optional requantization)
+/// through a [`Cluster`], sharded by output-neuron tile, with outputs
+/// reassembled in row order. Returns the layer's output vector plus the
+/// shard-reduced cost report.
+///
+/// # Errors
+/// Propagates machine/workload errors; `InvalidProgram` on a validation
+/// miss.
+///
+/// # Panics
+/// Panics if `cluster` has submissions pending from before this call.
+pub fn gemv_cluster(
+    cluster: &mut Cluster,
+    config: ExecConfig,
+    linear: &Arc<QuantLinear>,
+    requant: Option<Requant>,
+    x: &[i32],
+    path: GemvPath,
+) -> Result<(Vec<i32>, CostReport), PlutoError> {
+    let sink: DotSink = Arc::new(Mutex::new(Vec::new()));
+    let workload = QnnGemvWorkload::with_input(
+        Arc::clone(linear),
+        requant,
+        x.to_vec(),
+        path,
+        Some(Arc::clone(&sink)),
+    );
+    let report = run_one_sharded(cluster, config, Box::new(workload))?;
+    let mut parts = sink.lock().expect("gemv sink poisoned");
+    parts.sort_by_key(|(first_row, _)| *first_row);
+    let out: Vec<i32> = parts.drain(..).flat_map(|(_, vals)| vals).collect();
+    Ok((out, report))
+}
+
+/// Runs a whole [`QuantModel`] forward pass through a [`Cluster`]:
+/// every layer is one [`gemv_cluster`] batch (output-neuron tiles
+/// across the pool), activations flow host-side between layers, and
+/// the per-layer reports reduce into one pipeline report. Returns the
+/// logits plus that reduced report; `layer_reports` gives the
+/// per-layer breakdown when the caller wants it.
+///
+/// # Errors
+/// Propagates machine/workload errors.
+///
+/// # Panics
+/// Panics if `cluster` has submissions pending, or the model is empty.
+pub fn mlp_cluster(
+    cluster: &mut Cluster,
+    config: ExecConfig,
+    model: &QuantModel,
+    x: &[i32],
+    path: GemvPath,
+) -> Result<(Vec<i32>, CostReport), PlutoError> {
+    let (out, mut reports) = mlp_cluster_layers(cluster, config, model, x, path)?;
+    let mut total = reports.remove(0);
+    for report in &reports {
+        total.absorb(report);
+    }
+    total.workload = "QNN-MLP";
+    Ok((out, total))
+}
+
+/// [`mlp_cluster`] with the per-layer [`CostReport`] breakdown kept
+/// separate (one report per [`crate::model::Layer`], in layer order).
+///
+/// # Errors
+/// Propagates machine/workload errors.
+///
+/// # Panics
+/// Panics if `cluster` has submissions pending, or the model is empty.
+pub fn mlp_cluster_layers(
+    cluster: &mut Cluster,
+    config: ExecConfig,
+    model: &QuantModel,
+    x: &[i32],
+    path: GemvPath,
+) -> Result<(Vec<i32>, Vec<CostReport>), PlutoError> {
+    assert!(!model.layers.is_empty(), "empty model");
+    let mut act = x.to_vec();
+    let mut reports = Vec::with_capacity(model.layers.len());
+    for layer in &model.layers {
+        let (out, report) = gemv_cluster(
+            cluster,
+            config.clone(),
+            &layer.linear,
+            layer.requant,
+            &act,
+            path,
+        )?;
+        act = out;
+        reports.push(report);
+    }
+    Ok((act, reports))
+}
+
+/// An end-to-end quantized MLP forward pass as a first-class
+/// [`Workload`]: synthetic MNIST digits through
+/// [`QuantModel::mnist_mlp`] on one machine, every layer a GEMV query
+/// stream plus a requantization query stream, validated against the
+/// host `i32` oracle. Batches of two or more samples shard by sample
+/// across the cluster ([`QnnMlpWorkload::with_batch`]); the registry
+/// instance runs one.
+#[derive(Debug)]
+pub struct QnnMlpWorkload {
+    model: Arc<QuantModel>,
+    samples: Vec<(u8, Vec<i32>)>,
+    path: GemvPath,
+    batch: usize,
+    first_sample: usize,
+    pinned: bool,
+    sink: Option<DotSink>,
+}
+
+impl QnnMlpWorkload {
+    /// The registry scenario: one synthetic MNIST digit through the
+    /// 196→32→16→10 reference MLP on the direct path, the sample
+    /// regenerated from the session rng on [`Workload::prepare`].
+    #[must_use]
+    pub fn new() -> Self {
+        QnnMlpWorkload::with_batch(1)
+    }
+
+    /// A batch of `samples` digits; batches of two or more shard by
+    /// sample across the cluster.
+    ///
+    /// # Panics
+    /// Panics on an empty batch.
+    #[must_use]
+    pub fn with_batch(samples: usize) -> Self {
+        assert!(samples > 0, "empty batch");
+        QnnMlpWorkload {
+            model: Arc::new(QuantModel::mnist_mlp(MLP_MODEL_SEED)),
+            samples: sample_batch(0, samples),
+            path: GemvPath::Direct,
+            batch: samples,
+            first_sample: 0,
+            pinned: false,
+            sink: None,
+        }
+    }
+
+    /// The model every instance runs (seeded, deterministic).
+    #[must_use]
+    pub fn model(&self) -> &QuantModel {
+        &self.model
+    }
+}
+
+/// Seed of the registry MLP's weights ([`QuantModel::mnist_mlp`]).
+pub const MLP_MODEL_SEED: u64 = 7;
+
+impl Default for QnnMlpWorkload {
+    fn default() -> Self {
+        QnnMlpWorkload::new()
+    }
+}
+
+impl Workload for QnnMlpWorkload {
+    fn id(&self) -> &'static str {
+        pluto_baselines::WorkloadId::QnnMlp.label()
+    }
+
+    fn prepare(&mut self, rng: &mut StdRng) {
+        if self.pinned {
+            return;
+        }
+        self.samples = sample_batch(rng.gen(), self.batch);
+    }
+
+    fn run_pluto(&mut self, session: &mut Session) -> Result<Vec<u8>, PlutoError> {
+        let m = session.machine_mut();
+        let mut all = Vec::new();
+        for (i, (_, x)) in self.samples.iter().enumerate() {
+            let logits = self.model.forward_on(m, x, self.path)?;
+            if let Some(sink) = &self.sink {
+                sink.lock()
+                    .expect("mlp sink poisoned")
+                    .push((self.first_sample + i, logits.clone()));
+            }
+            all.extend(logits);
+        }
+        Ok(encode_i32(&all))
+    }
+
+    fn run_reference(&self) -> Vec<u8> {
+        let all: Vec<i32> = self
+            .samples
+            .iter()
+            .flat_map(|(_, x)| self.model.forward_reference(x))
+            .collect();
+        encode_i32(&all)
+    }
+
+    fn input_bytes(&self) -> f64 {
+        let per_sample = self.model.layers[0].linear.in_features();
+        (self.samples.len() * per_sample) as f64
+    }
+
+    fn min_subarrays(&self) -> u16 {
+        match self.path {
+            GemvPath::Direct => DIRECT_SUBARRAYS,
+            GemvPath::NibblePlane => 64,
+        }
+    }
+
+    fn shards(&self) -> Vec<Box<dyn Workload>> {
+        if self.samples.len() < 2 {
+            return Vec::new();
+        }
+        self.samples
+            .chunks(1)
+            .enumerate()
+            .map(|(i, chunk)| {
+                Box::new(QnnMlpWorkload {
+                    model: Arc::clone(&self.model),
+                    samples: chunk.to_vec(),
+                    path: self.path,
+                    batch: chunk.len(),
+                    first_sample: self.first_sample + i,
+                    pinned: true,
+                    sink: self.sink.clone(),
+                }) as Box<dyn Workload>
+            })
+            .collect()
+    }
+}
+
+/// Number of bulk LUT queries the full LeNet-5 needs per inference
+/// batch, per precision — derived from the layer graph
+/// ([`lenet_layer_shapes`]): total MACs are the sum of every layer
+/// shape's `out × in`, and a batch is one source row of elements (8192
+/// slots on the paper's DDR4 rows). MACs map to queries as:
 ///
 /// * 1-bit: one XNOR query + one BC-8 query per 8·8192 MACs (bit-packed),
 /// * 4-bit: one mul4 query + two 4-bit add queries per 8192 MACs.
 pub fn qnn_query_count(net: &LeNet5) -> u64 {
-    let (conv, fc) = net.mac_counts();
-    let macs = conv + fc;
+    let macs: u64 = lenet_layer_shapes(net)
+        .iter()
+        .map(crate::model::LayerShape::mac_count)
+        .sum();
+    batched_queries(macs, net.precision)
+}
+
+/// Per-layer view of [`qnn_query_count`]: `(layer name, queries)` with
+/// the same MAC→query mapping batched within each layer. Layer-local
+/// batching can only pad (each layer rounds its own tail row up), so
+/// the per-layer counts sum to at least the cross-layer total.
+pub fn qnn_layer_query_counts(net: &LeNet5) -> Vec<(String, u64)> {
+    lenet_layer_shapes(net)
+        .into_iter()
+        .map(|shape| {
+            let queries = batched_queries(shape.mac_count(), net.precision);
+            (shape.name, queries)
+        })
+        .collect()
+}
+
+fn batched_queries(macs: u64, precision: Precision) -> u64 {
     let slots = 8192u64;
-    match net.precision {
+    match precision {
         Precision::Bit1 => 2 * macs.div_ceil(8 * slots).max(1) * 8,
         Precision::Bit4 => 3 * macs.div_ceil(slots).max(1),
     }
@@ -276,6 +707,14 @@ pub fn pluto_inference_cost(net: &LeNet5, design: DesignKind) -> (Picos, PicoJou
     (time, energy)
 }
 
+/// Sanity floor used by callers seeding GEMV operands: the registry
+/// instances keep activations well inside the operand range so the
+/// requantization window stays informative.
+#[must_use]
+pub fn operand_range(width: u32) -> std::ops::RangeInclusive<i32> {
+    signed_min(width)..=signed_max(width)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,8 +733,8 @@ mod tests {
             .collect();
         let a_rows: Vec<Vec<u8>> = rows.iter().map(|r| r.0.clone()).collect();
         let b_rows: Vec<Vec<u8>> = rows.iter().map(|r| r.1.clone()).collect();
-        let mut session = qnn_session(DesignKind::Gmc).unwrap();
-        let out = binary_dot_pluto(&mut session, &a_rows, &b_rows).unwrap();
+        let mut session = Session::with_config(qnn_exec_config(DesignKind::Gmc)).unwrap();
+        let out = binary_dot_machine(session.machine_mut(), &a_rows, &b_rows).unwrap();
         for (i, (a, b)) in rows.iter().enumerate() {
             assert_eq!(out[i], binary_dot_reference(a, b), "row {i}");
         }
@@ -311,8 +750,8 @@ mod tests {
         let b_rows: Vec<Vec<u8>> = (0..40)
             .map(|_| (0..32).map(|_| rng.gen_range(0..2u8)).collect())
             .collect();
-        let mut session = qnn_session(DesignKind::Bsa).unwrap();
-        let serial = binary_dot_pluto(&mut session, &a_rows, &b_rows).unwrap();
+        let mut session = Session::with_config(qnn_exec_config(DesignKind::Bsa)).unwrap();
+        let serial = binary_dot_machine(session.machine_mut(), &a_rows, &b_rows).unwrap();
         for workers in [1, 4] {
             let mut cluster = Cluster::new(workers);
             let (out, report) =
@@ -345,6 +784,21 @@ mod tests {
             qnn_query_count(&net4) > qnn_query_count(&net1),
             "4-bit needs more queries than binary"
         );
+    }
+
+    #[test]
+    fn layer_query_counts_cover_the_graph() {
+        for precision in [Precision::Bit1, Precision::Bit4] {
+            let net = LeNet5::new(precision, 0);
+            let layers = qnn_layer_query_counts(&net);
+            assert_eq!(layers.len(), 5, "conv1/conv2/fc1/fc2/fc3");
+            assert!(layers.iter().all(|(_, q)| *q > 0));
+            let sum: u64 = layers.iter().map(|(_, q)| q).sum();
+            assert!(
+                sum >= qnn_query_count(&net),
+                "per-layer batching can only pad: {sum}"
+            );
+        }
     }
 
     #[test]

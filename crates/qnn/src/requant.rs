@@ -1,0 +1,117 @@
+//! Per-layer requantization as a direct LUT — the Gamma12 tone-map
+//! machinery generalized (`DESIGN.md` §12).
+//!
+//! After a GEMV the host holds wide signed accumulators; the next layer
+//! wants narrow signed activations. A [`Requant`] stage bakes the whole
+//! `saturate → arithmetic shift → clamp` transfer into one direct table
+//! (`in_width`-bit index, `out_width`-bit entries) so the step costs a
+//! single bulk query stream, exactly like the 4096-entry gamma table.
+//! The host first saturates accumulators into the table's signed input
+//! window — that saturation is part of the stage's defined semantics
+//! and the host oracle ([`Requant::apply_host`]) performs the identical
+//! arithmetic, keeping both paths bit-for-bit equal.
+
+use crate::gemv::{signed_max, signed_min, to_field, to_signed};
+use pluto_core::{Lut, PlutoError, PlutoMachine};
+
+/// A requantization stage: clamp to the signed `in_width`-bit window,
+/// arithmetic-shift right by `shift` (the power-of-two rescale), clamp
+/// to the signed `out_width`-bit range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Requant {
+    /// LUT index width: the signed window accumulators saturate into.
+    pub in_width: u32,
+    /// Arithmetic right shift applied after the input clamp.
+    pub shift: u32,
+    /// Output activation width (second clamp range).
+    pub out_width: u32,
+}
+
+impl Requant {
+    /// Builds a stage; widths must fit the LUT shape limits and the
+    /// shift must leave at least one output bit of signal.
+    ///
+    /// # Panics
+    /// On a shape that cannot form a valid LUT.
+    #[must_use]
+    pub fn new(in_width: u32, shift: u32, out_width: u32) -> Self {
+        assert!((2..=20).contains(&in_width), "in_width must be 2..=20");
+        assert!((2..=16).contains(&out_width), "out_width must be 2..=16");
+        assert!(shift < in_width, "shift must leave signal bits");
+        Requant {
+            in_width,
+            shift,
+            out_width,
+        }
+    }
+
+    /// The host oracle, also the exact arithmetic baked into
+    /// [`Requant::lut`]: `(acc.clamp(in range) >> shift).clamp(out range)`
+    /// with arithmetic (sign-preserving) shift.
+    #[must_use]
+    pub fn apply_host(&self, acc: i32) -> i32 {
+        let clamped = acc.clamp(signed_min(self.in_width), signed_max(self.in_width));
+        (clamped >> self.shift).clamp(signed_min(self.out_width), signed_max(self.out_width))
+    }
+
+    /// Saturates a raw accumulator into the LUT's signed input window
+    /// and encodes it as a table index.
+    #[must_use]
+    pub fn index_of(&self, acc: i32) -> u64 {
+        to_field(
+            acc.clamp(signed_min(self.in_width), signed_max(self.in_width)),
+            self.in_width,
+        )
+    }
+
+    /// The direct requantization table: `2^in_width` entries of
+    /// `out_width`-bit two's-complement activations. At the default
+    /// 12-bit window this is a 4096-entry table — the same §5.6 store
+    /// shape as Gamma12 (8 segments on the measurement geometry).
+    ///
+    /// # Errors
+    /// Propagates [`Lut::from_fn`] shape errors.
+    pub fn lut(&self) -> Result<Lut, PlutoError> {
+        let stage = *self;
+        Lut::from_fn(
+            format!(
+                "requant{}s{}c{}",
+                stage.in_width, stage.shift, stage.out_width
+            ),
+            stage.in_width,
+            stage.out_width,
+            move |u| {
+                to_field(
+                    stage.apply_host(to_signed(u, stage.in_width)),
+                    stage.out_width,
+                )
+            },
+        )
+    }
+
+    /// Requantizes a batch of raw accumulators through the LUT on a
+    /// machine: host-saturate to the input window, one bulk query
+    /// stream, decode signed activations.
+    ///
+    /// # Errors
+    /// Propagates machine errors.
+    pub fn apply_on(&self, m: &mut PlutoMachine, accs: &[i32]) -> Result<Vec<i32>, PlutoError> {
+        let lut = self.lut()?;
+        let indices: Vec<u64> = accs.iter().map(|&a| self.index_of(a)).collect();
+        Ok(m.apply(&lut, &indices)?
+            .values
+            .into_iter()
+            .map(|v| to_signed(v, self.out_width))
+            .collect())
+    }
+}
+
+impl std::fmt::Display for Requant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requant({}→>>{}→{})",
+            self.in_width, self.shift, self.out_width
+        )
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`bitcount`] | BC-4 / BC-8 bit counting |
 //! | [`bitwise`] | Row-level bitwise AND/OR/XOR/XNOR (4-entry LUTs) |
 //! | [`direct`] | §5.6 partitioned large-LUT scenarios (Gamma12 tone map, direct-table MulDirect8) |
+//! | `pluto_qnn::pluto_exec` | §12 inference scenarios (QNN-GEMV8 tile, QNN-MLP forward pass) |
 //! | [`wide`] | Nibble-plane wide arithmetic the mappings are built from |
 //! | [`gen`] | Deterministic synthetic data generators |
 //! | [`runner`] | End-to-end drivers used by the figure harness |
@@ -29,7 +30,7 @@
 //! Every workload is also a first-class pluggable scenario: each module
 //! exposes a struct implementing [`pluto_core::session::Workload`]
 //! (`CrcWorkload`, `Salsa20Workload`, …), [`registry`] enumerates the
-//! sixteen canonical scenarios, and [`workload_for`] resolves a
+//! eighteen canonical scenarios, and [`workload_for`] resolves a
 //! [`WorkloadId`] (aliases included) to its scenario. A
 //! [`pluto_core::session::Session`] runs them serially; a
 //! [`pluto_core::cluster::Cluster`] runs them across a worker pool with
@@ -63,8 +64,9 @@ pub use pluto_core::prelude::*;
 /// (≤ 256 8-bit slots).
 pub(crate) const MEASURE_BATCH_ELEMS: usize = 192;
 
-/// All sixteen canonical workloads as pluggable scenarios, in
-/// [`WorkloadId::CANONICAL`] (paper Table 4 + §5.6 large-LUT) order.
+/// All eighteen canonical workloads as pluggable scenarios, in
+/// [`WorkloadId::CANONICAL`] (paper Table 4 + §5.6 large-LUT + §12
+/// inference) order.
 pub fn registry() -> Vec<Box<dyn Workload>> {
     WorkloadId::CANONICAL
         .into_iter()
@@ -93,6 +95,8 @@ pub fn workload_for(id: WorkloadId) -> Box<dyn Workload> {
         WorkloadId::BitwiseRow => Box::new(bitwise::BitwiseWorkload::new()),
         WorkloadId::Gamma12 => Box::new(direct::Gamma12Workload::new()),
         WorkloadId::MulDirect8 => Box::new(direct::MulDirect8Workload::new()),
+        WorkloadId::QnnGemv8 => Box::new(pluto_qnn::pluto_exec::QnnGemvWorkload::new()),
+        WorkloadId::QnnMlp => Box::new(pluto_qnn::pluto_exec::QnnMlpWorkload::new()),
         WorkloadId::MulQ1_7 | WorkloadId::MulQ1_15 => {
             unreachable!("aliases resolve via canonical()")
         }
@@ -122,6 +126,9 @@ pub fn serve_lut(id: WorkloadId) -> Option<Lut> {
         WorkloadId::BitwiseRow => catalog::xor(1),
         WorkloadId::Gamma12 => direct::gamma12_lut(),
         WorkloadId::MulDirect8 => catalog::mul(8),
+        // The signed product table every direct-path GEMV layer queries
+        // (the QNN-MLP scenario itself is a multi-query program).
+        WorkloadId::QnnGemv8 => pluto_qnn::gemv::smul_lut(8),
         _ => return None,
     };
     Some(lut.expect("canonical serve LUTs are well-formed"))

@@ -1,17 +1,33 @@
-//! Quantized LeNet-5 inference (the paper's §9 case study): classify
-//! synthetic MNIST digits with the 1-bit and 4-bit networks, run the
-//! binary XNOR-popcount kernel on the simulator, and print the Table 7
-//! platform comparison.
+//! Quantized inference quickstart (the paper's §9 case study grown into
+//! the `DESIGN.md` §12 pipeline): classify synthetic MNIST digits,
+//! run the layered GEMV-by-LUT → requantize → forward pass on the
+//! simulator — serially on both lowerings (the LoCalut contrast) and
+//! sharded across a cluster by output-neuron tile — then print the
+//! Table 7 platform comparison with layer-graph-derived query counts.
 //!
 //! ```sh
 //! cargo run --release --example qnn_inference
+//! cargo run --release --example qnn_inference -- --workers 4
 //! ```
 
+use pluto_repro::core::cluster::Cluster;
+use pluto_repro::core::session::Session;
 use pluto_repro::core::DesignKind;
-use pluto_repro::qnn::lenet::{binary_dot_reference, LeNet5, Precision};
+use pluto_repro::qnn::gemv::GemvPath;
+use pluto_repro::qnn::lenet::{LeNet5, Precision};
 use pluto_repro::qnn::mnist::SyntheticMnist;
-use pluto_repro::qnn::pluto_exec::{binary_dot_pluto, qnn_session};
+use pluto_repro::qnn::model::QuantModel;
+use pluto_repro::qnn::pluto_exec::{mlp_cluster, mlp_exec_config, qnn_layer_query_counts};
 use pluto_repro::qnn::table7::{modeled, published, Platform};
+
+fn parse_workers() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--workers")
+        .and_then(|pos| args.get(pos + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
 
 fn main() {
     let digits = SyntheticMnist::new(7);
@@ -24,32 +40,54 @@ fn main() {
         println!();
     }
 
-    // The binary inner-product kernel, live on the command-level simulator.
-    let net = LeNet5::new(Precision::Bit1, 42);
-    let img = digits.image(4, 0);
-    let x = net.quantize_input(&img);
-    let a: Vec<u8> = x.data()[..256].iter().map(|&v| u8::from(v > 0)).collect();
-    let w: Vec<u8> = net.fc1.weights[..256]
-        .iter()
-        .map(|&v| u8::from(v > 0))
-        .collect();
-    let mut session = qnn_session(DesignKind::Bsa).expect("session");
-    let dot = binary_dot_pluto(
-        &mut session,
-        std::slice::from_ref(&a),
-        std::slice::from_ref(&w),
+    // The layered pipeline, live on the command-level simulator: one
+    // digit through the 196->32->16->10 int8 MLP, every multiply a LUT
+    // query, every layer requantized through its own direct table.
+    let model = QuantModel::mnist_mlp(7);
+    let x = QuantModel::input_from_image(&digits.image(4, 0));
+    let oracle = model.forward_reference(&x);
+    println!("\nMLP forward pass (digit 4), host i32 oracle logits: {oracle:?}");
+
+    for path in GemvPath::ALL {
+        let mut session = Session::with_config(mlp_exec_config(DesignKind::Bsa)).expect("session");
+        let logits = model
+            .forward_on(session.machine_mut(), &x, path)
+            .expect("forward pass");
+        assert_eq!(logits, oracle, "{path} lowering must match the oracle");
+        let totals = session.machine().totals();
+        println!(
+            "  {path:<7} lowering: {} LUT lookups, simulated {} / {} — bit-identical",
+            model.lut_lookups(path),
+            totals.time,
+            totals.energy
+        );
+    }
+
+    // The same pass sharded across a cluster by output-neuron tile.
+    let workers = parse_workers();
+    let mut cluster = Cluster::new(workers);
+    let (logits, report) = mlp_cluster(
+        &mut cluster,
+        mlp_exec_config(DesignKind::Bsa),
+        &model,
+        &x,
+        GemvPath::Direct,
     )
-    .expect("kernel");
-    assert_eq!(dot[0], binary_dot_reference(&a, &w));
+    .expect("cluster forward pass");
+    assert_eq!(logits, oracle, "cluster must be bit-identical to serial");
     println!(
-        "\nXNOR-popcount dot product on pLUTo: {} (simulated {})",
-        dot[0],
-        session.machine().totals().time
+        "  cluster ({workers} workers): validated={}, simulated {} — bit-identical to the oracle",
+        report.validated, report.time
     );
 
-    println!("\nTable 7 (published | modeled):");
+    println!("\nTable 7 (published | modeled), query counts derived from the layer graph:");
     for precision in [Precision::Bit1, Precision::Bit4] {
-        println!("  {precision:?}:");
+        let net = LeNet5::new(precision, 42);
+        let per_layer: Vec<String> = qnn_layer_query_counts(&net)
+            .into_iter()
+            .map(|(name, queries)| format!("{name}={queries}"))
+            .collect();
+        println!("  {precision:?} ({}):", per_layer.join(" "));
         for p in Platform::ALL {
             let pb = published(p, precision);
             let md = modeled(p, precision);

@@ -8,10 +8,16 @@
 //! serial oracle. Prints per-class latency and the server's scheduling
 //! telemetry (batches, occupancy, steals).
 //!
+//! With `--qnn`, replays inference traffic instead: single-sample
+//! quantized MLP forward passes stream through the server as per-layer
+//! product + requantization queries (`DESIGN.md` §12), each checked
+//! bit-for-bit against the host `i32` oracle.
+//!
 //! ```sh
 //! cargo run --release --example serve            # one worker per CPU
 //! cargo run --release --example serve -- --workers 4
 //! cargo run --release --example serve -- --timing banked
+//! cargo run --release --example serve -- --qnn --workers 4
 //! ```
 
 use pluto_repro::baselines::WorkloadId;
@@ -90,8 +96,57 @@ fn parse_timing() -> TimingBackend {
     }
 }
 
+/// `--qnn` traffic mode: stream single-sample inferences through the
+/// server — per layer one signed-product query stream and one
+/// requantization query, host PnM-core accumulation in between — and
+/// check every sample's logits against the host oracle.
+fn qnn_traffic(workers: usize, timing: TimingBackend) -> Result<(), PlutoError> {
+    use pluto_repro::qnn::model::{sample_batch, QuantModel};
+    use pluto_repro::qnn::pluto_exec::mlp_exec_config;
+
+    let model = QuantModel::mnist_mlp(7);
+    let samples = sample_batch(11, 4);
+    let mut config = mlp_exec_config(DesignKind::Gmc);
+    config.timing_backend = timing;
+    println!(
+        "streaming {} single-sample inferences on {workers} worker(s), {timing} timing",
+        samples.len()
+    );
+    let mut server = Server::with_workers(workers);
+    let start = Instant::now();
+    for (digit, x) in &samples {
+        let logits = model.serve_infer(&mut server, &config, x)?;
+        assert_eq!(
+            logits,
+            model.forward_reference(x),
+            "digit {digit}: served logits must match the host oracle"
+        );
+        let class = logits
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap();
+        println!("  digit {digit}: logits validated bit-for-bit, argmax class {class}");
+    }
+    let stats = server.stats();
+    println!(
+        "served in {:.1} ms wall: {} batches across {} affinity classes, plan cache {} hit(s)",
+        start.elapsed().as_secs_f64() * 1e3,
+        stats.batches,
+        stats.affinities,
+        server.plan_stats().hits
+    );
+    println!("all inferences bit-identical to the host i32 oracle");
+    Ok(())
+}
+
 fn main() -> Result<(), PlutoError> {
     let timing = parse_timing();
+    if std::env::args().any(|a| a == "--qnn") {
+        let workers = parse_workers().unwrap_or_else(|| ServeConfig::default().workers);
+        return qnn_traffic(workers, timing);
+    }
     let trace = synthesize_trace(42, timing);
     let config = ServeConfig {
         workers: parse_workers().unwrap_or_else(|| ServeConfig::default().workers),

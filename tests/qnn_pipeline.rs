@@ -1,0 +1,250 @@
+//! Differential coverage of the layered quantized-inference pipeline
+//! (`DESIGN.md` §12): every lowering of the GEMV-by-LUT kernel, the
+//! requantization stage's clamp seams, the 128-segment partitioned
+//! direct-product store, and the end-to-end MLP forward pass must be
+//! **bit-identical** to the host `i32` oracle — serially on a
+//! [`Session`] machine and through the [`Cluster`] for every design ×
+//! memory kind × worker count.
+
+use pluto_repro::core::cluster::Cluster;
+use pluto_repro::core::session::{ExecConfig, Session};
+use pluto_repro::core::DesignKind;
+use pluto_repro::dram::MemoryKind;
+use pluto_repro::qnn::gemv::{smul_lut, to_field, to_signed, GemvPath, QuantLinear};
+use pluto_repro::qnn::model::{lenet_layer_shapes, sample_batch, QuantModel};
+use pluto_repro::qnn::pluto_exec::{
+    gemv_cluster, mlp_cluster, mlp_exec_config, qnn_layer_query_counts, qnn_query_count,
+};
+use pluto_repro::qnn::requant::Requant;
+use pluto_repro::qnn::{LeNet5, Precision};
+use sim_support::prop::{self, Gen};
+use sim_support::prop_assert_eq;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A session whose subarray pool holds the widest direct store the
+/// sweep queries (128 product segments + requantization + data).
+fn wide_session(design: DesignKind) -> Session {
+    let mut cfg = ExecConfig::measurement(design);
+    cfg.subarrays_per_bank = 300;
+    Session::with_config(cfg).expect("measurement session")
+}
+
+fn seeded_case(g: &mut Gen, width: u32) -> (QuantLinear, Vec<i32>) {
+    let lo = -(1i32 << (width - 1));
+    let hi = (1i32 << (width - 1)) - 1;
+    let out = g.range(1usize..=4);
+    let inp = g.range(1usize..=6);
+    let weights = g.vec(out * inp, out * inp, |g| g.range(lo..=hi));
+    let x = g.vec(inp, inp, |g| g.range(lo..=hi));
+    (QuantLinear::new("prop-gemv", out, inp, width, weights), x)
+}
+
+/// The property sweep of the satellite: seeded weights/activations at
+/// every operand width 1..=8, both lowerings, against the host `i32`
+/// oracle. One persistent machine per width — stores stay resident
+/// across cases, exactly how a model reuses them across layers.
+#[test]
+fn gemv_matches_host_oracle_for_every_width_and_path() {
+    let sessions: RefCell<HashMap<u32, Session>> = RefCell::new(HashMap::new());
+    prop::check("qnn_gemv_differential", 40, |g| {
+        let width = g.range(1u32..=8);
+        let (linear, x) = seeded_case(g, width);
+        let expect = linear.forward_reference(&x);
+        let mut sessions = sessions.borrow_mut();
+        let session = sessions
+            .entry(width)
+            .or_insert_with(|| wide_session(DesignKind::Gmc));
+        for path in GemvPath::ALL {
+            let got = linear.forward_on(session.machine_mut(), &x, path).unwrap();
+            prop_assert_eq!(
+                &got,
+                &expect,
+                "w{width} {path} {}x{}",
+                linear.out_features(),
+                linear.in_features()
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Negative-value requantization clamp seams: every boundary of the
+/// `saturate → arithmetic shift → clamp` transfer, host oracle vs the
+/// LUT stage on a machine.
+#[test]
+fn requant_clamp_seams_match_the_lut() {
+    let mut session = wide_session(DesignKind::Bsa);
+    for stage in [Requant::new(12, 2, 8), Requant::new(10, 3, 6)] {
+        let in_min = -(1i32 << (stage.in_width - 1));
+        let in_max = (1i32 << (stage.in_width - 1)) - 1;
+        let step = 1i32 << stage.shift;
+        let seams = vec![
+            i32::MIN / 2, // deep saturation from a wide accumulator
+            in_min - 1,
+            in_min,
+            in_min + 1,
+            -step - 1,
+            -step, // exactly one negative output step
+            -step + 1,
+            -1, // arithmetic shift must round toward -inf, not zero
+            0,
+            1,
+            step - 1,
+            step,
+            in_max - 1,
+            in_max,
+            in_max + 1,
+            i32::MAX / 2,
+        ];
+        let expect: Vec<i32> = seams.iter().map(|&a| stage.apply_host(a)).collect();
+        let got = stage.apply_on(session.machine_mut(), &seams).unwrap();
+        assert_eq!(got, expect, "{stage} seams");
+        // The defining negative seam: -1 >> shift stays -1 (arithmetic),
+        // and the output clamp engages on both ends of the window.
+        assert_eq!(stage.apply_host(-1), -1, "{stage}");
+        let out_min = -(1i32 << (stage.out_width - 1));
+        let out_max = (1i32 << (stage.out_width - 1)) - 1;
+        assert_eq!(stage.apply_host(in_min), out_min, "{stage}");
+        assert_eq!(stage.apply_host(in_max), out_max, "{stage}");
+    }
+}
+
+/// The 128-segment partitioned-multiply case: the 8-bit signed product
+/// table spans 65 536 rows ⇒ 128 §5.6 segments ⇒ 256 claimed
+/// subarrays, preloading is idempotent, and a GEMV through the
+/// partitioned store stays exact.
+#[test]
+fn direct_smul8_partitions_across_128_segments() {
+    let mut session = wide_session(DesignKind::Gmc);
+    let m = session.machine_mut();
+    let lut = smul_lut(8).unwrap();
+    assert_eq!(lut.len(), 65_536);
+    let claimed = m.preload(&lut).unwrap();
+    assert_eq!(claimed, 256, "128 segments x (pLUTo + master)");
+    assert_eq!(m.resident_luts(), 1);
+    // Idempotent: preloading again reports the same claim, no new store.
+    assert_eq!(m.preload(&lut).unwrap(), 256);
+    assert_eq!(m.resident_luts(), 1);
+
+    let linear = QuantLinear::new("seg128", 2, 4, 8, vec![-128, 127, -1, 64, 3, -77, 90, -128]);
+    let x = vec![-128, -1, 127, 5];
+    let got = linear.forward_on(m, &x, GemvPath::Direct).unwrap();
+    assert_eq!(got, linear.forward_reference(&x));
+}
+
+/// Field encode/decode round-trips across every width (the seam the
+/// whole pipeline's signedness rests on).
+#[test]
+fn two_s_complement_fields_round_trip() {
+    for width in 1..=16u32 {
+        let lo = -(1i64 << (width - 1)) as i32;
+        let hi = ((1i64 << (width - 1)) - 1) as i32;
+        for v in [lo, lo + 1, -1, 0, 1, hi - 1, hi] {
+            if v < lo || v > hi {
+                continue;
+            }
+            assert_eq!(to_signed(to_field(v, width), width), v, "w{width} {v}");
+        }
+    }
+}
+
+/// The acceptance criterion: the end-to-end quantized MLP forward pass
+/// on the cluster is bit-identical to the host `i32` oracle for every
+/// design × memory kind × {1, 2, 4} workers (direct path — the serving
+/// lowering), and the serial machine agrees on both lowerings.
+#[test]
+fn mlp_forward_is_bit_identical_across_designs_kinds_and_workers() {
+    let model = QuantModel::mnist_mlp(7);
+    let samples = sample_batch(21, 2);
+    for (digit, x) in &samples {
+        let oracle = model.forward_reference(x);
+        assert_eq!(oracle.len(), 10, "digit {digit} logits");
+        for design in DesignKind::ALL {
+            for kind in [MemoryKind::Ddr4, MemoryKind::Stacked3d] {
+                let mut config = mlp_exec_config(design);
+                config.kind = kind;
+                for workers in [1usize, 2, 4] {
+                    let mut cluster = Cluster::new(workers);
+                    let (logits, report) =
+                        mlp_cluster(&mut cluster, config.clone(), &model, x, GemvPath::Direct)
+                            .unwrap();
+                    assert_eq!(
+                        logits, oracle,
+                        "digit {digit} on {design}/{kind} x{workers} workers"
+                    );
+                    assert!(report.validated, "{design}/{kind} x{workers}");
+                }
+            }
+        }
+    }
+    // Serial machine, both lowerings, one design per path (the width
+    // sweep above covers the per-width differentials).
+    let (_, x) = &samples[0];
+    let oracle = model.forward_reference(x);
+    for path in GemvPath::ALL {
+        let mut session = wide_session(DesignKind::Bsa);
+        let got = model.forward_on(session.machine_mut(), x, path).unwrap();
+        assert_eq!(got, oracle, "serial {path}");
+    }
+}
+
+/// Worker count must not perturb the *report* either: the shard
+/// reduction is deterministic in shard order.
+#[test]
+fn gemv_cluster_reports_are_worker_count_invariant() {
+    let mut rng = <sim_support::StdRng as sim_support::SeedableRng>::seed_from_u64(9);
+    let linear = Arc::new(QuantLinear::seeded("inv", 24, 16, 8, -8..=7, &mut rng));
+    let x: Vec<i32> = (0..16).map(|i| (i % 13) - 6).collect();
+    let requant = Some(Requant::new(12, 2, 8));
+    let run = |workers| {
+        let mut cluster = Cluster::new(workers);
+        gemv_cluster(
+            &mut cluster,
+            mlp_exec_config(DesignKind::Gmc),
+            &linear,
+            requant,
+            &x,
+            GemvPath::Direct,
+        )
+        .unwrap()
+    };
+    let (out1, rep1) = run(1);
+    let (out4, rep4) = run(4);
+    assert_eq!(out1, out4);
+    assert_eq!(rep1, rep4, "shard reduction must be bit-stable");
+}
+
+/// Satellite pin: the Table 7 query counts, now derived from the layer
+/// graph, must reproduce the original hand-maintained numbers.
+#[test]
+fn table7_query_counts_are_pinned() {
+    let net1 = LeNet5::new(Precision::Bit1, 0);
+    let net4 = LeNet5::new(Precision::Bit4, 0);
+    assert_eq!(qnn_query_count(&net1), 80, "1-bit Table 7 count");
+    assert_eq!(qnn_query_count(&net4), 105, "4-bit Table 7 count");
+    // The graph view agrees with the network's own MAC bookkeeping.
+    for net in [&net1, &net4] {
+        let (conv, fc) = net.mac_counts();
+        let graph: u64 = lenet_layer_shapes(net).iter().map(|s| s.mac_count()).sum();
+        assert_eq!(graph, conv + fc, "layer graph covers every MAC");
+        let layers = qnn_layer_query_counts(net);
+        assert_eq!(layers.len(), 5);
+        assert!(layers.iter().all(|(_, q)| *q > 0));
+    }
+}
+
+/// The model's own lookup accounting matches the shapes it reports.
+#[test]
+fn model_lookup_accounting_is_consistent() {
+    let model = QuantModel::mnist_mlp(7);
+    let shapes = model.layer_shapes();
+    assert_eq!(shapes.len(), 3);
+    let macs: u64 = shapes.iter().map(|s| s.mac_count()).sum();
+    assert_eq!(macs, 196 * 32 + 32 * 16 + 16 * 10);
+    // Direct: one lookup per MAC + one per requantized activation.
+    assert_eq!(model.lut_lookups(GemvPath::Direct), macs + 32 + 16);
+    // Nibble-plane at 8 bits: four limb queries per MAC.
+    assert_eq!(model.lut_lookups(GemvPath::NibblePlane), 4 * macs + 32 + 16);
+}

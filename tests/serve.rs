@@ -205,6 +205,98 @@ fn stealing_activates_under_contention_and_changes_nothing() {
     );
 }
 
+/// Mixed qnn + tone-map traffic (`DESIGN.md` §12): inference-shaped
+/// queries — signed-product streams against the partitioned 65 536-entry
+/// `smul8` table and 12-bit requantization lookups — interleaved with
+/// Gamma12 tone-map sweeps, under seeded-shuffle arrival orders. Every
+/// reply must match its own serial oracle bit-for-bit.
+#[test]
+fn mixed_qnn_and_tonemap_traffic_survives_any_arrival_order() {
+    use pluto_repro::qnn::gemv::{smul_lut, to_field};
+    use pluto_repro::qnn::requant::Requant;
+
+    let smul8 = Arc::new(smul_lut(8).unwrap());
+    let requant = Arc::new(Requant::new(12, 2, 8).lut().unwrap());
+    let gamma = registry_lut(WorkloadId::Gamma12);
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut specs = Vec::new();
+    for i in 0..18u64 {
+        let spec = match i % 3 {
+            // A product stream: packed (weight, activation) pairs.
+            0 => QuerySpec {
+                config: ExecConfig::measurement(DesignKind::Gmc),
+                lut: Arc::clone(&smul8),
+                inputs: (0..12)
+                    .map(|_| {
+                        let w = to_field(rng.gen_range(-128..=127), 8);
+                        let x = to_field(rng.gen_range(-128..=127), 8);
+                        (w << 8) | x
+                    })
+                    .collect(),
+            },
+            // A requantization stream over saturated accumulators.
+            1 => QuerySpec {
+                config: ExecConfig::measurement(DesignKind::Bsa),
+                lut: Arc::clone(&requant),
+                inputs: (0..10)
+                    .map(|_| to_field(rng.gen_range(-2048..=2047), 12))
+                    .collect(),
+            },
+            // The tone-map sweep the serve suite already exercises.
+            _ => QuerySpec {
+                config: ExecConfig::measurement(DesignKind::Gmc),
+                lut: Arc::clone(&gamma),
+                inputs: (0..16).map(|_| rng.gen_range(0..4096)).collect(),
+            },
+        };
+        specs.push(spec);
+    }
+    for (shuffle_seed, workers) in [(1u64, 2usize), (2, 4)] {
+        let shuffled_specs = shuffled(specs.clone(), shuffle_seed);
+        let replies = serve_all(&shuffled_specs, workers, 3);
+        for (i, (spec, reply)) in shuffled_specs.iter().zip(&replies).enumerate() {
+            let (values, report) = serial_oracle(spec).unwrap();
+            assert_eq!(
+                reply.values, values,
+                "shuffle {shuffle_seed} workers {workers} query {i}"
+            );
+            assert_eq!(
+                reply.report, report,
+                "shuffle {shuffle_seed} workers {workers} query {i}"
+            );
+        }
+    }
+}
+
+/// A whole streamed inference next to tone-map traffic: the per-sample
+/// serve path produces logits bit-identical to the host oracle even
+/// with unrelated queries in flight.
+#[test]
+fn streamed_inference_matches_the_host_oracle() {
+    use pluto_repro::qnn::model::{sample_batch, QuantModel};
+    use pluto_repro::qnn::pluto_exec::mlp_exec_config;
+
+    let model = QuantModel::mnist_mlp(7);
+    let (digit, x) = sample_batch(3, 1).remove(0);
+    let config = mlp_exec_config(DesignKind::Gmc);
+    let mut server = Server::with_workers(2);
+    // Unrelated traffic in flight on the same server.
+    let gamma = registry_lut(WorkloadId::Gamma12);
+    let noise = server.enqueue(QuerySpec {
+        config: ExecConfig::measurement(DesignKind::Gmc),
+        lut: Arc::clone(&gamma),
+        inputs: (0..8).map(|k| (k * 509) % 4096).collect(),
+    });
+    let logits = model.serve_infer(&mut server, &config, &x).unwrap();
+    assert_eq!(
+        logits,
+        model.forward_reference(&x),
+        "digit {digit}: served logits"
+    );
+    server.drain();
+    assert!(noise.wait().unwrap().report.validated);
+}
+
 #[test]
 fn per_query_failures_resolve_only_their_own_ticket() {
     let add4 = registry_lut(WorkloadId::Add4);
